@@ -1,0 +1,68 @@
+// Shared plumbing for the figure/table reproduction harnesses: a standard
+// plant matching the paper's §4.2 testbed and small output helpers.
+
+#ifndef FF_BENCH_BENCH_COMMON_H_
+#define FF_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "dataflow/forecast_run.h"
+#include "sim/series.h"
+#include "workload/fleet.h"
+
+namespace ff {
+namespace bench {
+
+/// The §4.2 testbed: one dual-CPU client (2.8 GHz, 1 GB) and the public
+/// server (2.6 GHz, 1 GB) on a 100 Mb/s LAN.
+struct Testbed {
+  sim::Simulator sim;
+  cluster::Cluster plant{&sim, /*server_cpus=*/2,
+                         /*server_speed=*/2.6 / 2.8,
+                         /*server_ram_bytes=*/1.0e9};
+  sim::SeriesRecorder recorder;
+
+  Testbed() {
+    cluster::NodeSpec spec;
+    spec.name = "client";
+    spec.num_cpus = 2;
+    spec.speed = 1.0;
+    spec.ram_bytes = 1.0e9;
+    spec.uplink_bps = 12.5e6;
+    if (!plant.AddNode(spec).ok()) std::abort();
+  }
+};
+
+/// Runs the §4.2 forecast under one architecture; returns the run.
+inline std::unique_ptr<dataflow::ForecastRun> RunDataflow(
+    Testbed* tb, dataflow::Architecture arch,
+    const workload::ForecastSpec& spec) {
+  dataflow::RunConfig cfg;
+  cfg.arch = arch;
+  auto run = std::make_unique<dataflow::ForecastRun>(
+      &tb->sim, *tb->plant.node("client"), *tb->plant.uplink("client"),
+      tb->plant.server(), &tb->recorder, spec, cfg);
+  run->Start();
+  tb->sim.Run();
+  return run;
+}
+
+inline void PrintHeader(const std::string& id, const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void PrintPaperVsMeasured(const std::string& what,
+                                 const std::string& paper,
+                                 const std::string& measured) {
+  std::printf("  %-46s paper: %-14s measured: %s\n", what.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+}  // namespace bench
+}  // namespace ff
+
+#endif  // FF_BENCH_BENCH_COMMON_H_

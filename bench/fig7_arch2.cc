@@ -1,0 +1,74 @@
+// Figure 7 — "Time until all data appears at server for Architecture 2".
+//
+// Same workload and tracked entities as Figure 6, but the simulation runs
+// alone on the compute node; model outputs rsync to the server where the
+// master process generates the products. Paper end-to-end: ~11,000 s,
+// with the final products appearing slightly after the final model
+// outputs (the extra time to generate the last product increments at the
+// server).
+
+#include "bench/bench_common.h"
+#include "util/strings.h"
+
+using namespace ff;
+
+int main() {
+  bench::PrintHeader("Figure 7",
+                     "percent of data at server vs time, Architecture 2 "
+                     "(products generated at server)");
+
+  bench::Testbed tb;
+  auto spec = workload::MakeElcircEstuaryForecast();
+  auto run = bench::RunDataflow(
+      &tb, dataflow::Architecture::kProductsAtServer, spec);
+  if (!run->done()) {
+    std::printf("ERROR: run did not complete\n");
+    return 1;
+  }
+
+  static const char* kTracked[] = {"1_salt.63", "2_salt.63",
+                                   "isosal_far_surface",
+                                   "isosal_near_surface", "process"};
+
+  std::printf("\ntime_s");
+  for (const char* name : kTracked) std::printf(",%s", name);
+  std::printf("\n");
+  for (double t = 0.0; t <= run->finish_time() + 500.0; t += 500.0) {
+    std::printf("%.0f", t);
+    for (const char* name : kTracked) {
+      auto pts = tb.recorder.Get(name);
+      double v = 0.0;
+      if (pts.ok()) {
+        for (const auto& p : *pts) {
+          if (p.time <= t) v = p.value;
+          else break;
+        }
+      }
+      std::printf(",%.3f", v);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nSummary:\n");
+  bench::PrintPaperVsMeasured(
+      "end-to-end time (all data at server)", "~11,000 s",
+      util::StrFormat("%.0f s", run->finish_time()));
+
+  double last_model = 0.0, last_product = 0.0;
+  for (const char* name : {"1_salt.63", "2_salt.63"}) {
+    auto t = tb.recorder.FirstTimeAtLeast(name, 0.999);
+    if (t.ok()) last_model = std::max(last_model, *t);
+  }
+  for (const char* name :
+       {"isosal_far_surface", "isosal_near_surface", "process"}) {
+    auto t = tb.recorder.FirstTimeAtLeast(name, 0.999);
+    if (t.ok()) last_product = std::max(last_product, *t);
+  }
+  bench::PrintPaperVsMeasured(
+      "final products lag behind final model outputs", "slightly later",
+      util::StrFormat("+%.0f s", last_product - last_model));
+  bench::PrintPaperVsMeasured(
+      "speedup vs Architecture 1", "18,000 -> 11,000 s (~1.6x)",
+      "(run fig6_arch1 for the companion number)");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// T1 — §4.2 scalability claim: "We have evaluated the performance of
+// Architecture 2 generating four sets of data products concurrently at a
+// server and found that running these four sets of tasks concurrently
+// increases the completion time by only a small amount (about 3000
+// seconds)."
+//
+// Four compute nodes each run the §4.2 forecast simultaneously under
+// Architecture 2; all four product sets generate at the one public
+// server.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "util/strings.h"
+
+using namespace ff;
+
+namespace {
+
+double RunConcurrent(int n_forecasts) {
+  sim::Simulator sim;
+  cluster::Cluster plant(&sim, 2, 2.6 / 2.8, 1.0e9);
+  sim::SeriesRecorder recorder;
+  std::vector<std::unique_ptr<dataflow::ForecastRun>> runs;
+  for (int i = 0; i < n_forecasts; ++i) {
+    cluster::NodeSpec node;
+    node.name = "client" + std::to_string(i);
+    node.num_cpus = 2;
+    node.ram_bytes = 1.0e9;
+    if (!plant.AddNode(node).ok()) std::abort();
+    auto spec = workload::MakeElcircEstuaryForecast();
+    spec.name += "-" + std::to_string(i);
+    dataflow::RunConfig cfg;
+    cfg.arch = dataflow::Architecture::kProductsAtServer;
+    cfg.series_prefix = spec.name + "/";
+    runs.push_back(std::make_unique<dataflow::ForecastRun>(
+        &sim, *plant.node(node.name), *plant.uplink(node.name),
+        plant.server(), &recorder, spec, cfg));
+  }
+  for (auto& run : runs) run->Start();
+  sim.Run();
+  double last = 0.0;
+  for (auto& run : runs) {
+    if (!run->done()) return -1.0;
+    last = std::max(last, run->finish_time());
+  }
+  return last;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("T1",
+                     "Architecture 2 with concurrent product sets at one "
+                     "server (§4.2 scalability)");
+
+  std::printf("\nconcurrent_forecasts,completion_s,delta_vs_single_s\n");
+  double base = 0.0;
+  double four = 0.0;
+  for (int n : {1, 2, 3, 4, 6}) {
+    double t = RunConcurrent(n);
+    if (n == 1) base = t;
+    if (n == 4) four = t;
+    std::printf("%d,%.0f,%.0f\n", n, t, t - base);
+  }
+
+  std::printf("\nSummary:\n");
+  bench::PrintPaperVsMeasured(
+      "4 concurrent product sets add", "~3,000 s",
+      util::StrFormat("+%.0f s", four - base));
+  return 0;
+}

@@ -1,0 +1,50 @@
+// T2 — §4.2 bandwidth claim: "For many forecasts, data products account
+// for as much as 20% of all data generated in a run. Thus, this
+// architecture could significantly reduce bandwidth consumption."
+//
+// Byte accounting of the two architectures on the §4.2 forecast.
+
+#include "bench/bench_common.h"
+#include "util/strings.h"
+
+using namespace ff;
+
+int main() {
+  bench::PrintHeader("T2", "bytes transferred per architecture (§4.2)");
+
+  double transferred[2];
+  double model_bytes = 0.0, product_bytes = 0.0;
+  int i = 0;
+  for (auto arch : {dataflow::Architecture::kProductsAtNode,
+                    dataflow::Architecture::kProductsAtServer}) {
+    bench::Testbed tb;
+    auto spec = workload::MakeElcircEstuaryForecast();
+    auto run = bench::RunDataflow(&tb, arch, spec);
+    if (!run->done()) {
+      std::printf("ERROR: run did not complete\n");
+      return 1;
+    }
+    transferred[i++] = run->bytes_transferred();
+    model_bytes = run->model_bytes_generated();
+    product_bytes = run->product_bytes_generated();
+  }
+
+  std::printf("\narchitecture,bytes_transferred,MB\n");
+  std::printf("arch1-products-at-node,%.0f,%.1f\n", transferred[0],
+              transferred[0] / 1e6);
+  std::printf("arch2-products-at-server,%.0f,%.1f\n", transferred[1],
+              transferred[1] / 1e6);
+
+  double product_fraction =
+      product_bytes / (product_bytes + model_bytes);
+  double savings = 1.0 - transferred[1] / transferred[0];
+
+  std::printf("\nSummary:\n");
+  bench::PrintPaperVsMeasured(
+      "products as fraction of all bytes", "up to ~20%",
+      util::StrFormat("%.1f%%", 100.0 * product_fraction));
+  bench::PrintPaperVsMeasured(
+      "bandwidth saved by Architecture 2", "significant (~20%)",
+      util::StrFormat("%.1f%%", 100.0 * savings));
+  return 0;
+}

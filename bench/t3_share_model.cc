@@ -1,0 +1,113 @@
+// T3 — §4.1 validation of ForeMan's CPU-sharing completion model:
+// "if three forecasts run concurrently on a node with two CPUs, ForeMan
+// will compute the expected completion time of each assuming each
+// forecast gets 2/3 of the available CPU cycles. We have validated this
+// assumption empirically using data from past forecast runs."
+//
+// Here the "empirical" side is the discrete-event execution; the model
+// side is core::PredictCompletions. The table reports prediction error
+// across fleet sizes, with and without run-time noise.
+
+#include <cmath>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cluster/machine.h"
+#include "core/share_model.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+using namespace ff;
+
+namespace {
+
+struct Sample {
+  double predicted;
+  double actual;
+};
+
+std::vector<Sample> RunCase(int n_runs, double noise_sigma,
+                            uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> works;
+  for (int i = 0; i < n_runs; ++i) {
+    works.push_back(rng.Uniform(20000.0, 60000.0));
+  }
+  std::vector<double> starts;
+  for (int i = 0; i < n_runs; ++i) {
+    starts.push_back(3600.0 * static_cast<double>(rng.UniformInt(0, 3)));
+  }
+
+  // Model prediction.
+  std::vector<core::ShareJob> jobs;
+  for (int i = 0; i < n_runs; ++i) {
+    jobs.push_back(core::ShareJob{"r" + std::to_string(i), "f1",
+                                  starts[i], works[i]});
+  }
+  auto pred =
+      core::PredictCompletions({core::NodeInfo{"f1", 2, 1.0}}, jobs);
+  if (!pred.ok()) std::abort();
+
+  // Discrete-event execution with optional multiplicative noise.
+  sim::Simulator sim;
+  cluster::Machine node(&sim, "f1", 2, 1.0);
+  std::vector<double> actual(static_cast<size_t>(n_runs), 0.0);
+  for (int i = 0; i < n_runs; ++i) {
+    double w = noise_sigma > 0.0
+                   ? rng.LogNormalMedian(works[static_cast<size_t>(i)],
+                                         noise_sigma)
+                   : works[static_cast<size_t>(i)];
+    sim.ScheduleAt(starts[static_cast<size_t>(i)], [&, i, w] {
+      node.StartTask(w, [&, i] {
+        actual[static_cast<size_t>(i)] = sim.now();
+      });
+    });
+  }
+  sim.Run();
+
+  std::vector<Sample> out;
+  for (int i = 0; i < n_runs; ++i) {
+    out.push_back(Sample{
+        pred->completion.at("r" + std::to_string(i)),
+        actual[static_cast<size_t>(i)]});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("T3",
+                     "ForeMan CPU-share completion model vs discrete-event "
+                     "execution (§4.1)");
+
+  std::printf(
+      "\nruns_on_node,noise_sigma,mean_abs_err_s,max_abs_err_s,"
+      "mean_rel_err_pct\n");
+  for (int n : {1, 2, 3, 4, 6, 8, 12}) {
+    for (double sigma : {0.0, 0.02, 0.05}) {
+      double sum_abs = 0.0, max_abs = 0.0, sum_rel = 0.0;
+      int count = 0;
+      for (uint64_t seed = 1; seed <= 5; ++seed) {
+        for (const auto& s : RunCase(n, sigma, seed)) {
+          double err = std::fabs(s.predicted - s.actual);
+          sum_abs += err;
+          max_abs = std::max(max_abs, err);
+          sum_rel += err / s.actual;
+          ++count;
+        }
+      }
+      std::printf("%d,%.2f,%.1f,%.1f,%.2f\n", n, sigma, sum_abs / count,
+                  max_abs, 100.0 * sum_rel / count);
+    }
+  }
+
+  std::printf("\nSummary:\n");
+  bench::PrintPaperVsMeasured(
+      "model accuracy without disturbances", "validated empirically",
+      "exact (errors ~0 at sigma=0)");
+  bench::PrintPaperVsMeasured(
+      "3 runs / 2 CPUs each get", "2/3 of CPU cycles",
+      "reproduced (see cluster tests: PaperExampleThreeForecastsTwoCpus)");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// T5 — §4.3.2 estimation laws: "forecast running times appear linearly
+// proportional to the number of timesteps" and "a near-linear
+// relationship of run time with the number of sides in a mesh"; plus the
+// estimator's accuracy when predicting tomorrow from logged history.
+//
+// Sweeps timesteps and mesh sides through the campaign executor, fits
+// the scaling laws, then scores RunTimeEstimator's one-day-ahead
+// predictions on a noisy 30-day history.
+
+#include <cmath>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/estimator.h"
+#include "factory/campaign.h"
+#include "logdata/loader.h"
+#include "util/summary_stats.h"
+#include "util/strings.h"
+
+using namespace ff;
+
+namespace {
+
+// Runs one forecast for one day alone on a node; returns walltime.
+double MeasureWalltime(const workload::ForecastSpec& spec) {
+  factory::CampaignConfig cfg;
+  cfg.num_days = 1;
+  cfg.noise_sigma = 0.0;
+  factory::Campaign campaign(cfg);
+  if (!campaign.AddNode("f1").ok()) std::abort();
+  if (!campaign.AddForecast(spec, "f1").ok()) std::abort();
+  auto result = campaign.Run();
+  if (!result.ok()) std::abort();
+  return result->walltimes.at(spec.name)[0].walltime;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("T5", "run-time estimation laws and accuracy (§4.3.2)");
+
+  // ---- Timestep sweep (mesh fixed). ----
+  std::printf("\ntimesteps,walltime_s\n");
+  std::vector<double> ts_x, ts_y;
+  for (int64_t steps : {1440, 2880, 5760, 8640, 11520, 17280}) {
+    auto spec = workload::MakeTillamookForecast();
+    spec.timesteps = steps;
+    double w = MeasureWalltime(spec);
+    std::printf("%lld,%.0f\n", static_cast<long long>(steps), w);
+    ts_x.push_back(static_cast<double>(steps));
+    ts_y.push_back(w);
+  }
+  auto ts_fit = util::FitLinear(ts_x, ts_y);
+
+  // ---- Mesh sweep (timesteps fixed). ----
+  std::printf("\nmesh_sides,walltime_s\n");
+  std::vector<double> mesh_x, mesh_y;
+  for (int64_t sides : {5000, 10000, 15000, 20000, 25000, 30000}) {
+    auto spec = workload::MakeTillamookForecast();
+    spec.mesh_sides = sides;
+    double w = MeasureWalltime(spec);
+    std::printf("%lld,%.0f\n", static_cast<long long>(sides), w);
+    mesh_x.push_back(static_cast<double>(sides));
+    mesh_y.push_back(w);
+  }
+  auto mesh_fit = util::FitLinear(mesh_x, mesh_y);
+
+  // ---- Estimator accuracy from noisy history. ----
+  factory::CampaignConfig cfg;
+  cfg.num_days = 30;
+  cfg.noise_sigma = 0.03;
+  factory::Campaign campaign(cfg);
+  if (!campaign.AddNode("f1").ok()) return 1;
+  auto spec = workload::MakeTillamookForecast();
+  spec.mesh_sides = 23400;
+  if (!campaign.AddForecast(spec, "f1").ok()) return 1;
+  auto history = campaign.Run();
+  if (!history.ok()) return 1;
+
+  statsdb::Database db;
+  if (!logdata::LoadRuns(&db, history->records).ok()) return 1;
+  core::RunTimeEstimator estimator(&db, workload::CostModel{});
+  auto estimate = estimator.EstimateWork(spec);
+  if (!estimate.ok()) return 1;
+  util::SummaryStats actuals;
+  for (const auto& s : history->walltimes.at(spec.name)) {
+    actuals.Add(s.walltime);
+  }
+  double rel_err =
+      std::fabs(estimate->cpu_seconds - actuals.mean()) / actuals.mean();
+
+  // Scaled prediction after a timestep change, per the paper's recipe.
+  auto doubled = spec;
+  doubled.timesteps *= 2;
+  auto scaled = estimator.EstimateWork(doubled);
+  double actual_doubled = MeasureWalltime(doubled);
+  double scale_err = std::fabs(scaled->cpu_seconds - actual_doubled) /
+                     actual_doubled;
+
+  std::printf("\nSummary:\n");
+  bench::PrintPaperVsMeasured(
+      "walltime vs timesteps", "linear",
+      util::StrFormat("linear, R^2 = %.4f", ts_fit->r_squared));
+  bench::PrintPaperVsMeasured(
+      "walltime vs mesh sides", "near-linear",
+      util::StrFormat("linear, R^2 = %.4f", mesh_fit->r_squared));
+  bench::PrintPaperVsMeasured(
+      "history-median estimate vs 30-day mean", "good approximation",
+      util::StrFormat("%.1f%% error (%d samples)", 100.0 * rel_err,
+                      estimate->history_samples));
+  bench::PrintPaperVsMeasured(
+      "scaled estimate after timestep doubling", "an approximation",
+      util::StrFormat("%.1f%% error", 100.0 * scale_err));
+  return 0;
+}

@@ -1,0 +1,154 @@
+// T6 — §4.3.2 statistics database microbenchmarks (google-benchmark).
+//
+// The paper replaced flat log files with a relational database so that
+// queries like "find all forecasts that use code version X" and
+// estimation aggregates become cheap. These benchmarks measure the
+// engine on a production-shaped runs table: the paper notes the table
+// stays small (one tuple per run-day: 100 forecasts x 1 year ~= 36,500
+// rows), so all operations should sit comfortably in the microsecond-to-
+// millisecond range.
+
+#include <benchmark/benchmark.h>
+
+#include "logdata/loader.h"
+#include "statsdb/csv_io.h"
+#include "statsdb/database.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ff;
+
+std::vector<logdata::LogRecord> MakeRecords(int n_forecasts, int n_days) {
+  util::Rng rng(7);
+  std::vector<logdata::LogRecord> out;
+  out.reserve(static_cast<size_t>(n_forecasts) * n_days);
+  for (int f = 0; f < n_forecasts; ++f) {
+    for (int d = 1; d <= n_days; ++d) {
+      logdata::LogRecord r;
+      r.forecast = "forecast-" + std::to_string(f);
+      r.region = "region-" + std::to_string(f % 20);
+      r.day = d;
+      r.node = "f" + std::to_string(f % 6 + 1);
+      r.code_version = "v" + std::to_string(d / 60);
+      r.mesh_sides = 5000 + (f % 26) * 1000;
+      r.timesteps = f % 2 ? 5760 : 2880;
+      r.start_time = d * 86400.0 + 3600.0;
+      r.walltime = rng.Uniform(20000.0, 80000.0);
+      r.end_time = r.start_time + r.walltime;
+      r.status = logdata::RunStatus::kCompleted;
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+statsdb::Database* SharedDb() {
+  static statsdb::Database* db = [] {
+    auto* d = new statsdb::Database();
+    auto table = logdata::LoadRuns(d, MakeRecords(100, 365));
+    if (!table.ok()) std::abort();
+    return d;
+  }();
+  return db;
+}
+
+void BM_LoadRuns(benchmark::State& state) {
+  auto records = MakeRecords(static_cast<int>(state.range(0)), 365);
+  for (auto _ : state) {
+    statsdb::Database db;
+    auto table = logdata::LoadRuns(&db, records);
+    benchmark::DoNotOptimize(table.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(records.size()));
+}
+BENCHMARK(BM_LoadRuns)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_PaperQuery_CodeVersion(benchmark::State& state) {
+  auto* db = SharedDb();
+  for (auto _ : state) {
+    auto rs = db->Sql(
+        "SELECT DISTINCT forecast FROM runs WHERE code_version = 'v2'");
+    if (!rs.ok()) std::abort();
+    benchmark::DoNotOptimize(rs->rows.size());
+  }
+}
+BENCHMARK(BM_PaperQuery_CodeVersion);
+
+void BM_PaperQuery_EstimationAverage(benchmark::State& state) {
+  auto* db = SharedDb();
+  for (auto _ : state) {
+    auto rs = db->Sql(
+        "SELECT AVG(walltime) AS w FROM runs WHERE forecast = "
+        "'forecast-17' AND node = 'f6' AND timesteps = 5760");
+    if (!rs.ok()) std::abort();
+    benchmark::DoNotOptimize(rs->rows.size());
+  }
+}
+BENCHMARK(BM_PaperQuery_EstimationAverage);
+
+void BM_GroupByForecast(benchmark::State& state) {
+  auto* db = SharedDb();
+  for (auto _ : state) {
+    auto rs = db->Sql(
+        "SELECT forecast, COUNT(*) AS n, AVG(walltime) AS w FROM runs "
+        "GROUP BY forecast");
+    if (!rs.ok()) std::abort();
+    benchmark::DoNotOptimize(rs->rows.size());
+  }
+}
+BENCHMARK(BM_GroupByForecast);
+
+void BM_IndexedLookup(benchmark::State& state) {
+  auto* db = SharedDb();
+  auto table = db->table("runs");
+  if (!table.ok()) std::abort();
+  for (auto _ : state) {
+    auto rows = (*table)->Lookup(
+        "forecast", statsdb::Value::String("forecast-42"));
+    if (!rows.ok()) std::abort();
+    benchmark::DoNotOptimize(rows->size());
+  }
+}
+BENCHMARK(BM_IndexedLookup);
+
+void BM_OrderByLimit(benchmark::State& state) {
+  auto* db = SharedDb();
+  for (auto _ : state) {
+    auto rs = db->Sql(
+        "SELECT day, walltime FROM runs WHERE forecast = 'forecast-3' "
+        "ORDER BY day DESC LIMIT 7");
+    if (!rs.ok()) std::abort();
+    benchmark::DoNotOptimize(rs->rows.size());
+  }
+}
+BENCHMARK(BM_OrderByLimit);
+
+void BM_InsertRow(benchmark::State& state) {
+  statsdb::Database db;
+  auto table = logdata::LoadRuns(&db, {});
+  if (!table.ok()) std::abort();
+  logdata::LogRecord r = MakeRecords(1, 1)[0];
+  int64_t day = 0;
+  for (auto _ : state) {
+    r.day = ++day;
+    if (!logdata::AppendRun(*table, r).ok()) std::abort();
+  }
+}
+BENCHMARK(BM_InsertRow);
+
+void BM_CsvExport(benchmark::State& state) {
+  statsdb::Database db;
+  auto table = logdata::LoadRuns(&db, MakeRecords(10, 365));
+  if (!table.ok()) std::abort();
+  for (auto _ : state) {
+    std::string csv = statsdb::TableToCsv(**table);
+    benchmark::DoNotOptimize(csv.size());
+  }
+}
+BENCHMARK(BM_CsvExport);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// Log analytics (§4.3): run a 60-day campaign that writes real run.log
+// directories (the paper's flat per-forecast layout), crawl them, load
+// the relational statistics database, and ask it the paper's questions —
+// including SQL typed at a prompt-style loop and the change-point /
+// spike report that explains Figs. 8-9.
+//
+// Usage: log_analytics [log_dir]   (default: ./forecast_logs)
+
+#include <cstdio>
+#include <iostream>
+
+#include "factory/campaign.h"
+#include "logdata/loader.h"
+#include "logdata/log_store.h"
+#include "logdata/spc.h"
+#include "logdata/timeseries.h"
+#include "workload/fleet.h"
+
+using namespace ff;
+
+int main(int argc, char** argv) {
+  std::string log_dir = argc > 1 ? argv[1] : "./forecast_logs";
+
+  // --- A 60-day campaign with a mid-campaign code change & a failure. ---
+  factory::CampaignConfig cfg;
+  cfg.num_days = 60;
+  cfg.log_dir = log_dir;
+  cfg.noise_sigma = 0.02;
+  factory::Campaign campaign(cfg);
+  for (int i = 1; i <= 4; ++i) {
+    if (!campaign.AddNode("f" + std::to_string(i)).ok()) return 1;
+  }
+  auto till = workload::MakeTillamookForecast();
+  till.mesh_sides = 23400;
+  if (!campaign.AddForecast(till, "f1").ok()) return 1;
+  util::Rng rng(60);
+  auto fleet = workload::MakeCorieFleet(5, &rng);
+  for (auto& f : fleet) f.name += "-p";
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    if (!campaign
+             .AddForecast(fleet[i], "f" + std::to_string(i % 4 + 1))
+             .ok()) {
+      return 1;
+    }
+  }
+  factory::ChangeEvent code;
+  code.day = 30;
+  code.kind = factory::ChangeEvent::Kind::kSetCodeVersion;
+  code.forecast = till.name;
+  code.str_value = "elcirc-5.10";
+  code.factor = 0.85;  // 15% faster code drop
+  campaign.AddEvent(code);
+  auto result = campaign.Run();
+  if (!result.ok()) {
+    std::cerr << result.status() << "\n";
+    return 1;
+  }
+  std::printf("campaign wrote %zu run.log files under %s\n",
+              result->records.size(), log_dir.c_str());
+
+  // --- Crawl the directories, exactly like the paper's Perl scripts. ---
+  logdata::Crawler crawler(log_dir);
+  auto records = crawler.CrawlAll();
+  if (!records.ok()) {
+    std::cerr << records.status() << "\n";
+    return 1;
+  }
+  std::printf("crawler: %zu files seen, %zu skipped\n\n",
+              crawler.files_seen(), crawler.files_skipped());
+
+  statsdb::Database db;
+  if (!logdata::LoadRuns(&db, *records).ok()) return 1;
+
+  // --- The paper's queries. ---
+  const char* queries[] = {
+      // "find all forecasts that use code version X" (§4.3.2)
+      "SELECT DISTINCT forecast FROM runs WHERE code_version = "
+      "'elcirc-5.10'",
+      // estimation aggregate (§4.1)
+      "SELECT forecast, COUNT(*) AS days, AVG(walltime) AS avg_s, "
+      "MIN(walltime) AS min_s, MAX(walltime) AS max_s FROM runs "
+      "WHERE status = 'completed' GROUP BY forecast ORDER BY avg_s DESC",
+      // node occupancy view (the ForeMan monitoring pane's backing query)
+      "SELECT node, COUNT(*) AS runs, AVG(walltime) AS avg_s FROM runs "
+      "GROUP BY node ORDER BY node",
+      // recent history window for one forecast
+      "SELECT day, walltime FROM runs WHERE forecast = "
+      "'forecast-tillamook' ORDER BY day DESC LIMIT 7",
+  };
+  for (const char* q : queries) {
+    std::printf("sql> %s\n", q);
+    auto rs = db.Sql(q);
+    if (!rs.ok()) {
+      std::printf("error: %s\n\n", rs.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s\n", rs->ToPrettyString().c_str());
+  }
+
+  // --- Trend analysis: what changed, when, by how much. ---
+  std::vector<double> walltimes;
+  for (const auto& s : result->walltimes.at(till.name)) {
+    walltimes.push_back(s.walltime);
+  }
+  std::printf("trend analysis for %s:\n%s", till.name.c_str(),
+              logdata::AnalyzeSeries(walltimes, /*first_day=*/1,
+                                     /*window=*/5, /*min_shift=*/3000.0,
+                                     /*z_threshold=*/6.0)
+                  .c_str());
+
+  // --- Statistical process control (§1's MRP toolbox). ---
+  auto spc = logdata::SpcReport(walltimes, /*baseline_n=*/20,
+                                /*first_day=*/1);
+  if (spc.ok()) {
+    std::printf("\nstatistical process control for %s:\n%s",
+                till.name.c_str(), spc->c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "cluster/cluster.h"
+
+namespace ff {
+namespace cluster {
+
+Cluster::Cluster(sim::Simulator* sim, int server_cpus, double server_speed,
+                 double server_ram_bytes)
+    : sim_(sim),
+      server_(std::make_unique<Machine>(sim, "server", server_cpus,
+                                        server_speed, server_ram_bytes)) {}
+
+util::Status Cluster::AddNode(const NodeSpec& spec) {
+  if (spec.name == "server") {
+    return util::Status::InvalidArgument("'server' is a reserved node name");
+  }
+  if (nodes_.count(spec.name)) {
+    return util::Status::AlreadyExists("node " + spec.name);
+  }
+  NodeEntry entry;
+  entry.machine = std::make_unique<Machine>(sim_, spec.name, spec.num_cpus,
+                                            spec.speed, spec.ram_bytes);
+  entry.uplink = std::make_unique<Link>(sim_, spec.name + "->server",
+                                        spec.uplink_bps);
+  nodes_.emplace(spec.name, std::move(entry));
+  order_.push_back(spec.name);
+  return util::Status::OK();
+}
+
+util::StatusOr<Machine*> Cluster::node(const std::string& name) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) return util::Status::NotFound("node " + name);
+  return it->second.machine.get();
+}
+
+util::StatusOr<Link*> Cluster::uplink(const std::string& name) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) return util::Status::NotFound("node " + name);
+  return it->second.uplink.get();
+}
+
+std::vector<std::string> Cluster::NodeNames() const { return order_; }
+
+util::Status Cluster::SetNodeUp(const std::string& name, bool up) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) return util::Status::NotFound("node " + name);
+  it->second.machine->SetUp(up);
+  it->second.uplink->SetUp(up);
+  return util::Status::OK();
+}
+
+}  // namespace cluster
+}  // namespace ff

@@ -1,0 +1,73 @@
+// Cluster: the forecast factory's physical plant — a set of named compute
+// nodes, a public server, and per-node uplinks to the server (the paper's
+// "two compute nodes connected by a local area network" scaled up to the
+// production 6-node plant).
+
+#ifndef FF_CLUSTER_CLUSTER_H_
+#define FF_CLUSTER_CLUSTER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/link.h"
+#include "cluster/machine.h"
+#include "util/statusor.h"
+
+namespace ff {
+namespace cluster {
+
+/// Static description of a node to add to the cluster.
+struct NodeSpec {
+  std::string name;
+  int num_cpus = 2;
+  double speed = 1.0;             // relative CPU speed
+  double ram_bytes = 1.0e9;       // 1 GB, matching the paper's testbed
+  double uplink_bps = 12.5e6;     // ~100 Mb/s LAN by default
+};
+
+/// The plant: compute nodes + one public server.
+class Cluster {
+ public:
+  /// `server_cpus`/`server_speed` describe the public server, which in
+  /// Architecture 2 also generates data products.
+  Cluster(sim::Simulator* sim, int server_cpus = 2,
+          double server_speed = 1.0, double server_ram_bytes = 1.0e9);
+
+  /// Adds a compute node with a dedicated uplink to the server.
+  /// AlreadyExists if the name is taken.
+  util::Status AddNode(const NodeSpec& spec);
+
+  /// Node accessors (NotFound for unknown names).
+  util::StatusOr<Machine*> node(const std::string& name);
+  util::StatusOr<Link*> uplink(const std::string& name);
+
+  /// The public server machine (always present).
+  Machine* server() { return server_.get(); }
+
+  /// Names of all compute nodes, in insertion order.
+  std::vector<std::string> NodeNames() const;
+  size_t num_nodes() const { return order_.size(); }
+
+  /// Marks a node (and its uplink) down/up.
+  util::Status SetNodeUp(const std::string& name, bool up);
+
+  sim::Simulator* simulator() { return sim_; }
+
+ private:
+  struct NodeEntry {
+    std::unique_ptr<Machine> machine;
+    std::unique_ptr<Link> uplink;
+  };
+
+  sim::Simulator* sim_;
+  std::unique_ptr<Machine> server_;
+  std::map<std::string, NodeEntry> nodes_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace cluster
+}  // namespace ff
+
+#endif  // FF_CLUSTER_CLUSTER_H_

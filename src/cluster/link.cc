@@ -1,0 +1,30 @@
+#include "cluster/link.h"
+
+#include "util/logging.h"
+
+namespace ff {
+namespace cluster {
+
+Link::Link(sim::Simulator* sim, std::string name, double bytes_per_second)
+    : res_(sim, std::move(name), bytes_per_second,
+           /*max_per_job=*/bytes_per_second),
+      bps_(bytes_per_second) {
+  FF_CHECK(bytes_per_second > 0.0) << "link bandwidth must be positive";
+}
+
+TransferId Link::StartTransfer(double bytes,
+                               std::function<void()> on_done) {
+  return res_.Add(bytes, std::move(on_done));
+}
+
+util::StatusOr<double> Link::CancelTransfer(TransferId id) {
+  return res_.Remove(id);
+}
+
+void Link::SetUp(bool up) {
+  up_ = up;
+  res_.SetSpeedFactor(up ? 1.0 : 0.0);
+}
+
+}  // namespace cluster
+}  // namespace ff

@@ -1,0 +1,48 @@
+// Link: a bandwidth-limited network path (e.g. compute node -> public
+// server over the lab LAN). Concurrent transfers share bandwidth fairly,
+// which matches rsync streams multiplexed on one path.
+
+#ifndef FF_CLUSTER_LINK_H_
+#define FF_CLUSTER_LINK_H_
+
+#include <functional>
+#include <string>
+
+#include "cluster/ps_resource.h"
+
+namespace ff {
+namespace cluster {
+
+/// Identifier of an in-flight transfer.
+using TransferId = JobId;
+
+/// A shared network path with fixed capacity in bytes/second.
+class Link {
+ public:
+  Link(sim::Simulator* sim, std::string name, double bytes_per_second);
+
+  /// Starts transferring `bytes`; `on_done` fires when the last byte lands.
+  TransferId StartTransfer(double bytes, std::function<void()> on_done);
+
+  /// Aborts a transfer; returns bytes still unsent.
+  util::StatusOr<double> CancelTransfer(TransferId id);
+
+  /// Failure injection (link down => transfers stall, no loss).
+  void SetUp(bool up);
+  bool up() const { return up_; }
+
+  const std::string& name() const { return res_.name(); }
+  double bytes_per_second() const { return bps_; }
+  size_t active_transfers() const { return res_.active_jobs(); }
+  double total_bytes_transferred() const { return res_.total_delivered(); }
+
+ private:
+  PsResource res_;
+  double bps_;
+  bool up_ = true;
+};
+
+}  // namespace cluster
+}  // namespace ff
+
+#endif  // FF_CLUSTER_LINK_H_

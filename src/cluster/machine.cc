@@ -1,0 +1,82 @@
+#include "cluster/machine.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/logging.h"
+
+namespace ff {
+namespace cluster {
+
+Machine::Machine(sim::Simulator* sim, std::string name, int num_cpus,
+                 double speed, double ram_bytes)
+    : sim_(sim),
+      res_(sim, std::move(name), static_cast<double>(num_cpus),
+           /*max_per_job=*/1.0),
+      num_cpus_(num_cpus),
+      speed_(speed),
+      ram_bytes_(ram_bytes) {
+  FF_CHECK(num_cpus >= 1) << "machine needs at least one CPU";
+  FF_CHECK(speed > 0.0) << "machine speed must be positive";
+  FF_CHECK(ram_bytes > 0.0) << "machine RAM must be positive";
+  res_.SetSpeedFactor(speed);
+}
+
+void Machine::UpdateCongestion() {
+  double factor = 1.0;
+  if (resident_bytes_ > ram_bytes_) {
+    factor = ram_bytes_ / resident_bytes_;
+  }
+  res_.SetCongestionFactor(factor);
+}
+
+TaskId Machine::StartTask(double cpu_seconds, std::function<void()> on_done,
+                          double mem_bytes) {
+  FF_CHECK(mem_bytes >= 0.0) << "negative task memory";
+  // Completion fires through the event queue, strictly after Add returns,
+  // so the id holder is always populated by the time the wrapper runs.
+  auto id_holder = std::make_shared<TaskId>(0);
+  resident_bytes_ += mem_bytes;
+  TaskId id = res_.Add(
+      cpu_seconds, [this, id_holder, cb = std::move(on_done)]() {
+        auto it = task_mem_.find(*id_holder);
+        if (it != task_mem_.end()) {
+          resident_bytes_ -= it->second;
+          task_mem_.erase(it);
+          UpdateCongestion();
+        }
+        if (cb) cb();
+      });
+  *id_holder = id;
+  task_mem_[id] = mem_bytes;
+  UpdateCongestion();
+  return id;
+}
+
+util::StatusOr<double> Machine::RemoveTask(TaskId id) {
+  FF_ASSIGN_OR_RETURN(double remaining, res_.Remove(id));
+  auto it = task_mem_.find(id);
+  if (it != task_mem_.end()) {
+    resident_bytes_ -= it->second;
+    task_mem_.erase(it);
+    UpdateCongestion();
+  }
+  return remaining;
+}
+
+void Machine::SetUp(bool up) {
+  up_ = up;
+  res_.SetSpeedFactor(up ? speed_ : 0.0);
+}
+
+double Machine::AverageUtilization(sim::Time t0) const {
+  double elapsed = sim_->now() - t0;
+  if (elapsed <= 0.0) return 0.0;
+  // busy_capacity_integral counts reference-speed work; normalize by the
+  // machine's own deliverable capacity.
+  double deliverable = speed_ * static_cast<double>(num_cpus_) * elapsed;
+  return std::min(1.0, res_.busy_capacity_integral() / deliverable);
+}
+
+}  // namespace cluster
+}  // namespace ff

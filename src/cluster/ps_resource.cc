@@ -1,0 +1,141 @@
+#include "cluster/ps_resource.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ff {
+namespace cluster {
+
+PsResource::PsResource(sim::Simulator* sim, std::string name,
+                       double capacity, double max_per_job)
+    : sim_(sim),
+      name_(std::move(name)),
+      capacity_(capacity),
+      max_per_job_(max_per_job),
+      last_update_(sim->now()) {
+  FF_CHECK(capacity > 0.0) << name_ << ": capacity must be positive";
+  FF_CHECK(max_per_job > 0.0) << name_ << ": max_per_job must be positive";
+}
+
+double PsResource::CurrentRatePerJob() const {
+  if (jobs_.empty() || speed_factor_ <= 0.0 || congestion_ <= 0.0) {
+    return 0.0;
+  }
+  double share = capacity_ / static_cast<double>(jobs_.size());
+  return speed_factor_ * congestion_ * std::min(max_per_job_, share);
+}
+
+void PsResource::Advance() {
+  sim::Time now = sim_->now();
+  double dt = now - last_update_;
+  if (dt > 0.0) {
+    double rate = CurrentRatePerJob();
+    if (rate > 0.0) {
+      for (auto& [id, job] : jobs_) {
+        job.remaining -= rate * dt;
+        total_delivered_ += rate * dt;
+      }
+      busy_integral_ += rate * static_cast<double>(jobs_.size()) * dt;
+    }
+  }
+  last_update_ = now;
+}
+
+void PsResource::Reschedule() {
+  if (pending_.pending()) sim_->Cancel(pending_);
+  double rate = CurrentRatePerJob();
+  if (jobs_.empty() || rate <= 0.0) return;
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const auto& [id, job] : jobs_) {
+    min_remaining = std::min(min_remaining, job.remaining);
+  }
+  double delay = std::max(0.0, min_remaining) / rate;
+  pending_ = sim_->ScheduleAfter(delay, [this] { OnCompletionEvent(); });
+}
+
+void PsResource::OnCompletionEvent() {
+  Advance();
+  // Collect everything that is done at this instant. The threshold scales
+  // with the service rate: below it, the residual work would complete in
+  // less simulated time than a double can resolve, and leaving the job
+  // active would re-fire this event at an identical timestamp forever.
+  double threshold =
+      std::max(kWorkEpsilon, CurrentRatePerJob() * kTimeEpsilon);
+  std::vector<std::function<void()>> done;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->second.remaining <= threshold) {
+      done.push_back(std::move(it->second.on_done));
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  Reschedule();
+  for (auto& fn : done) {
+    if (fn) fn();
+  }
+}
+
+JobId PsResource::Add(double work, std::function<void()> on_done) {
+  Advance();
+  JobId id = next_id_++;
+  jobs_.emplace(id, Job{std::max(work, 0.0), std::move(on_done)});
+  Reschedule();
+  return id;
+}
+
+util::StatusOr<double> PsResource::Remove(JobId id) {
+  Advance();
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return util::Status::NotFound(name_ + ": job " + std::to_string(id));
+  }
+  double remaining = std::max(0.0, it->second.remaining);
+  jobs_.erase(it);
+  Reschedule();
+  return remaining;
+}
+
+void PsResource::SetSpeedFactor(double factor) {
+  FF_CHECK(factor >= 0.0) << name_ << ": negative speed factor";
+  Advance();
+  speed_factor_ = factor;
+  Reschedule();
+}
+
+void PsResource::SetCongestionFactor(double factor) {
+  FF_CHECK(factor > 0.0 && factor <= 1.0)
+      << name_ << ": congestion factor must be in (0,1], got " << factor;
+  Advance();
+  congestion_ = factor;
+  Reschedule();
+}
+
+util::StatusOr<double> PsResource::RemainingWork(JobId id) const {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return util::Status::NotFound(name_ + ": job " + std::to_string(id));
+  }
+  // Account for progress since last_update_ without mutating state.
+  double dt = sim_->now() - last_update_;
+  double rate = CurrentRatePerJob();
+  return std::max(0.0, it->second.remaining - rate * dt);
+}
+
+double PsResource::total_delivered() const {
+  double dt = sim_->now() - last_update_;
+  double rate = CurrentRatePerJob();
+  return total_delivered_ + rate * static_cast<double>(jobs_.size()) * dt;
+}
+
+double PsResource::busy_capacity_integral() const {
+  double dt = sim_->now() - last_update_;
+  double rate = CurrentRatePerJob();
+  return busy_integral_ + rate * static_cast<double>(jobs_.size()) * dt;
+}
+
+}  // namespace cluster
+}  // namespace ff

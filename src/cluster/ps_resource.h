@@ -1,0 +1,112 @@
+// Egalitarian processor-sharing resource — the execution model the paper's
+// ForeMan assumes ("if three forecasts run concurrently on a node with two
+// CPUs ... each forecast gets 2/3 of the available CPU cycles").
+//
+// A PsResource has a capacity (CPUs for machines, bytes/s for links) and a
+// per-job rate cap (1 CPU for serial forecast codes; the full bandwidth for
+// transfers). K active jobs each progress at
+//     rate = speed_factor * min(max_per_job, capacity / K).
+// Completion events are recomputed whenever membership or speed changes.
+
+#ifndef FF_CLUSTER_PS_RESOURCE_H_
+#define FF_CLUSTER_PS_RESOURCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/simulator.h"
+#include "util/statusor.h"
+
+namespace ff {
+namespace cluster {
+
+/// Identifier of a job admitted to a PsResource.
+using JobId = uint64_t;
+
+/// Processor-sharing resource on a discrete-event simulator.
+class PsResource {
+ public:
+  /// `capacity` — total service rate available (e.g. number of CPUs);
+  /// `max_per_job` — cap on a single job's service rate (e.g. 1.0 CPU).
+  PsResource(sim::Simulator* sim, std::string name, double capacity,
+             double max_per_job);
+
+  PsResource(const PsResource&) = delete;
+  PsResource& operator=(const PsResource&) = delete;
+
+  /// Admits a job with `work` units of demand (capacity-units × seconds;
+  /// CPU-seconds for machines, bytes for links). `on_done` fires exactly
+  /// once, at the simulated completion instant. Zero/negative work
+  /// completes at the current time (event still dispatched via the queue).
+  JobId Add(double work, std::function<void()> on_done);
+
+  /// Removes a job before completion; returns its remaining work.
+  /// NotFound if the job is unknown or already completed.
+  util::StatusOr<double> Remove(JobId id);
+
+  /// Scales all service (0 = down / failed). Takes effect immediately.
+  void SetSpeedFactor(double factor);
+  double speed_factor() const { return speed_factor_; }
+
+  /// Additional multiplicative slowdown in (0,1], orthogonal to the speed
+  /// factor — used by Machine to model memory thrashing when the working
+  /// sets of concurrent tasks exceed RAM.
+  void SetCongestionFactor(double factor);
+  double congestion_factor() const { return congestion_; }
+
+  /// Remaining work of an active job (advanced to the current instant).
+  util::StatusOr<double> RemainingWork(JobId id) const;
+
+  size_t active_jobs() const { return jobs_.size(); }
+  double capacity() const { return capacity_; }
+  double max_per_job() const { return max_per_job_; }
+  const std::string& name() const { return name_; }
+
+  /// Per-job service rate right now (0 when idle or down).
+  double CurrentRatePerJob() const;
+
+  /// Total work units delivered so far (for utilization accounting).
+  double total_delivered() const;
+
+  /// Integral of busy capacity over time so far; divide by
+  /// (capacity * elapsed) for average utilization.
+  double busy_capacity_integral() const;
+
+ private:
+  struct Job {
+    double remaining;
+    std::function<void()> on_done;
+  };
+
+  // Advances all jobs' remaining work to sim_->now().
+  void Advance();
+  // Cancels and reschedules the next-completion event.
+  void Reschedule();
+  // Fires completions due at the current instant.
+  void OnCompletionEvent();
+
+  sim::Simulator* sim_;
+  std::string name_;
+  double capacity_;
+  double max_per_job_;
+  double speed_factor_ = 1.0;
+  double congestion_ = 1.0;
+  std::map<JobId, Job> jobs_;
+  JobId next_id_ = 1;
+  sim::Time last_update_;
+  sim::EventHandle pending_;
+  double total_delivered_ = 0.0;
+  double busy_integral_ = 0.0;
+
+  static constexpr double kWorkEpsilon = 1e-9;
+  // Jobs whose residual service time falls below this are complete (their
+  // completion delay is unrepresentable in double virtual time).
+  static constexpr double kTimeEpsilon = 1e-6;
+};
+
+}  // namespace cluster
+}  // namespace ff
+
+#endif  // FF_CLUSTER_PS_RESOURCE_H_

@@ -1,0 +1,170 @@
+#include "core/binpack.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace ff {
+namespace core {
+
+const char* PackHeuristicName(PackHeuristic h) {
+  switch (h) {
+    case PackHeuristic::kFirstFit:
+      return "first-fit";
+    case PackHeuristic::kFirstFitDecreasing:
+      return "first-fit-decreasing";
+    case PackHeuristic::kBestFitDecreasing:
+      return "best-fit-decreasing";
+    case PackHeuristic::kLpt:
+      return "lpt";
+    case PackHeuristic::kRoundRobin:
+      return "round-robin";
+    case PackHeuristic::kRandom:
+      return "random";
+    case PackHeuristic::kPreviousDay:
+      return "previous-day";
+  }
+  return "?";
+}
+
+util::StatusOr<PackHeuristic> ParsePackHeuristic(const std::string& name) {
+  for (PackHeuristic h :
+       {PackHeuristic::kFirstFit, PackHeuristic::kFirstFitDecreasing,
+        PackHeuristic::kBestFitDecreasing, PackHeuristic::kLpt,
+        PackHeuristic::kRoundRobin, PackHeuristic::kRandom,
+        PackHeuristic::kPreviousDay}) {
+    if (util::EqualsIgnoreCase(name, PackHeuristicName(h))) return h;
+  }
+  return util::Status::InvalidArgument("unknown heuristic: " + name);
+}
+
+namespace {
+
+struct Bin {
+  const NodeInfo* node;
+  double capacity;  // cpus * speed * horizon
+  double load = 0.0;
+  double relative_load() const { return load / capacity; }
+};
+
+size_t LeastLoadedBin(const std::vector<Bin>& bins) {
+  size_t best = 0;
+  for (size_t i = 1; i < bins.size(); ++i) {
+    if (bins[i].relative_load() < bins[best].relative_load()) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+util::StatusOr<PackResult> Pack(
+    const std::vector<PackItem>& items, const std::vector<NodeInfo>& nodes,
+    PackHeuristic heuristic, double horizon,
+    const std::map<std::string, std::string>* previous, util::Rng* rng) {
+  if (nodes.empty()) {
+    return util::Status::InvalidArgument("no nodes to pack onto");
+  }
+  if (horizon <= 0.0) {
+    return util::Status::InvalidArgument("horizon must be positive");
+  }
+  for (const auto& item : items) {
+    if (item.work < 0.0) {
+      return util::Status::InvalidArgument("negative work: " + item.id);
+    }
+  }
+  if (heuristic == PackHeuristic::kRandom && rng == nullptr) {
+    return util::Status::InvalidArgument("kRandom requires an Rng");
+  }
+
+  std::vector<Bin> bins;
+  bins.reserve(nodes.size());
+  for (const auto& n : nodes) {
+    bins.push_back(Bin{&n, static_cast<double>(n.num_cpus) * n.speed *
+                              horizon});
+  }
+
+  // Work on an index permutation so the caller's order is preserved in
+  // the result maps.
+  std::vector<size_t> order(items.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  bool decreasing = heuristic == PackHeuristic::kFirstFitDecreasing ||
+                    heuristic == PackHeuristic::kBestFitDecreasing ||
+                    heuristic == PackHeuristic::kLpt;
+  if (decreasing) {
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return items[a].work > items[b].work;
+    });
+  }
+
+  PackResult result;
+  size_t rr_cursor = 0;
+  for (size_t oi : order) {
+    const PackItem& item = items[oi];
+    size_t chosen = bins.size();  // sentinel
+    switch (heuristic) {
+      case PackHeuristic::kFirstFit:
+      case PackHeuristic::kFirstFitDecreasing: {
+        for (size_t b = 0; b < bins.size(); ++b) {
+          if (bins[b].load + item.work <= bins[b].capacity) {
+            chosen = b;
+            break;
+          }
+        }
+        break;
+      }
+      case PackHeuristic::kBestFitDecreasing: {
+        double best_residual = -1.0;
+        for (size_t b = 0; b < bins.size(); ++b) {
+          double residual = bins[b].capacity - bins[b].load - item.work;
+          if (residual < 0.0) continue;
+          if (chosen == bins.size() || residual < best_residual) {
+            chosen = b;
+            best_residual = residual;
+          }
+        }
+        break;
+      }
+      case PackHeuristic::kLpt:
+        chosen = LeastLoadedBin(bins);
+        break;
+      case PackHeuristic::kRoundRobin:
+        chosen = rr_cursor++ % bins.size();
+        break;
+      case PackHeuristic::kRandom:
+        chosen = rng->Index(bins.size());
+        break;
+      case PackHeuristic::kPreviousDay: {
+        if (previous != nullptr) {
+          auto it = previous->find(item.id);
+          if (it != previous->end()) {
+            for (size_t b = 0; b < bins.size(); ++b) {
+              if (bins[b].node->name == it->second) {
+                chosen = b;
+                break;
+              }
+            }
+          }
+        }
+        if (chosen == bins.size()) chosen = LeastLoadedBin(bins);
+        break;
+      }
+    }
+    // FF/BFD overflow: nothing fits — spill to the least loaded node (a
+    // data product factory must place every run somewhere; capacity
+    // overruns surface via max_relative_load instead).
+    if (chosen == bins.size()) chosen = LeastLoadedBin(bins);
+
+    bins[chosen].load += item.work;
+    result.assignment[item.id] = bins[chosen].node->name;
+  }
+
+  for (const auto& b : bins) {
+    result.node_load[b.node->name] = b.load;
+    result.max_relative_load =
+        std::max(result.max_relative_load, b.relative_load());
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace ff

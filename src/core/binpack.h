@@ -1,0 +1,66 @@
+// Bin-packing heuristics for run -> node assignment (the paper cites
+// Coffman, Garey & Johnson's application of bin-packing to multiprocessor
+// scheduling). Bins are nodes with capacity = cpus × speed × horizon;
+// items are runs with their estimated reference-speed CPU demand.
+// Includes the baselines the paper's §2.2 manual process implies
+// (previous-day / round-robin / random).
+
+#ifndef FF_CORE_BINPACK_H_
+#define FF_CORE_BINPACK_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/share_model.h"
+#include "util/rng.h"
+#include "util/statusor.h"
+
+namespace ff {
+namespace core {
+
+/// Assignment heuristic.
+enum class PackHeuristic {
+  kFirstFit,
+  kFirstFitDecreasing,
+  kBestFitDecreasing,
+  kLpt,           // longest processing time -> least relatively loaded node
+  kRoundRobin,    // baseline
+  kRandom,        // baseline
+  kPreviousDay,   // baseline: keep yesterday's node (ForeMan's default
+                  // before optimization); unknown runs fall back to LPT
+};
+
+const char* PackHeuristicName(PackHeuristic h);
+util::StatusOr<PackHeuristic> ParsePackHeuristic(const std::string& name);
+
+/// One run to place.
+struct PackItem {
+  std::string id;
+  double work = 0.0;  // reference-speed CPU-seconds
+};
+
+/// Packing output.
+struct PackResult {
+  /// item id -> node name.
+  std::map<std::string, std::string> assignment;
+  /// node -> total assigned work (reference-speed CPU-seconds).
+  std::map<std::string, double> node_load;
+  /// max over nodes of load / (cpus × speed × horizon); > 1 means the
+  /// plan exceeds rough-cut capacity (RCCP in the paper's MRP analogy).
+  double max_relative_load = 0.0;
+};
+
+/// Packs `items` onto `nodes` within `horizon` seconds of wall clock.
+/// `previous` is consulted only by kPreviousDay; `rng` only by kRandom.
+/// InvalidArgument when nodes is empty.
+util::StatusOr<PackResult> Pack(
+    const std::vector<PackItem>& items, const std::vector<NodeInfo>& nodes,
+    PackHeuristic heuristic, double horizon,
+    const std::map<std::string, std::string>* previous = nullptr,
+    util::Rng* rng = nullptr);
+
+}  // namespace core
+}  // namespace ff
+
+#endif  // FF_CORE_BINPACK_H_

@@ -1,0 +1,105 @@
+#include "core/estimator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "statsdb/expr.h"
+#include "statsdb/query.h"
+
+namespace ff {
+namespace core {
+
+using statsdb::Col;
+using statsdb::Eq;
+using statsdb::LitString;
+using statsdb::Query;
+
+RunTimeEstimator::RunTimeEstimator(const statsdb::Database* db,
+                                   workload::CostModel model,
+                                   EstimatorConfig config)
+    : db_(db), model_(model), config_(std::move(config)) {}
+
+void RunTimeEstimator::SetUserAdjustment(const std::string& forecast,
+                                         double factor) {
+  user_adjustments_[forecast] = factor;
+}
+
+void RunTimeEstimator::ClearUserAdjustment(const std::string& forecast) {
+  user_adjustments_.erase(forecast);
+}
+
+util::StatusOr<Estimate> RunTimeEstimator::EstimateWork(
+    const workload::ForecastSpec& spec) const {
+  Estimate fallback;
+  fallback.cpu_seconds = model_.TotalCpuSeconds(spec);
+  fallback.from_history = false;
+
+  if (db_ == nullptr || !db_->HasTable("runs")) return fallback;
+
+  // Most recent completed executions of this forecast.
+  auto rs_or =
+      Query(db_, "runs")
+          .Filter(statsdb::And(
+              Eq(Col("forecast"), LitString(spec.name)),
+              Eq(Col("status"), LitString("completed"))))
+          .OrderBy({{"day", /*ascending=*/false}})
+          .Limit(static_cast<size_t>(std::max(1, config_.history_window)))
+          .Run();
+  if (!rs_or.ok()) return fallback;
+  const statsdb::ResultSet& rs = rs_or.value();
+  if (rs.rows.empty()) return fallback;
+
+  FF_ASSIGN_OR_RETURN(size_t c_wall, rs.schema.IndexOf("walltime"));
+  FF_ASSIGN_OR_RETURN(size_t c_ts, rs.schema.IndexOf("timesteps"));
+  FF_ASSIGN_OR_RETURN(size_t c_mesh, rs.schema.IndexOf("mesh_sides"));
+  FF_ASSIGN_OR_RETURN(size_t c_node, rs.schema.IndexOf("node"));
+
+  std::vector<double> samples;
+  samples.reserve(rs.rows.size());
+  for (const auto& row : rs.rows) {
+    if (row[c_wall].is_null()) continue;
+    double wall = row[c_wall].double_value();
+    if (wall <= 0.0) continue;
+    // Convert the logged node-local walltime to reference-speed work.
+    double node_speed = 1.0;
+    if (!row[c_node].is_null()) {
+      auto it = config_.node_speeds.find(row[c_node].string_value());
+      if (it != config_.node_speeds.end()) node_speed = it->second;
+    }
+    double work = wall * node_speed;
+    // Linear timestep scaling (§4.3.2: "scale the running time
+    // accordingly").
+    if (!row[c_ts].is_null() && row[c_ts].int64_value() > 0 &&
+        spec.timesteps > 0) {
+      work *= static_cast<double>(spec.timesteps) /
+              static_cast<double>(row[c_ts].int64_value());
+    }
+    // Near-linear mesh-side scaling.
+    if (!row[c_mesh].is_null() && row[c_mesh].int64_value() > 0 &&
+        spec.mesh_sides > 0) {
+      work *= static_cast<double>(spec.mesh_sides) /
+              static_cast<double>(row[c_mesh].int64_value());
+    }
+    samples.push_back(work);
+  }
+  if (samples.empty()) return fallback;
+
+  // Median: robust against contention-inflated days (Fig. 8's hump must
+  // not poison the estimate).
+  std::sort(samples.begin(), samples.end());
+  size_t n = samples.size();
+  double median = n % 2 ? samples[n / 2]
+                        : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+
+  auto adj = user_adjustments_.find(spec.name);
+  if (adj != user_adjustments_.end()) median *= adj->second;
+
+  Estimate e;
+  e.cpu_seconds = median;
+  e.from_history = true;
+  e.history_samples = static_cast<int>(n);
+  return e;
+}
+
+}  // namespace core
+}  // namespace ff

@@ -1,0 +1,68 @@
+// RunTimeEstimator: ForeMan's §4.3.2 estimation pipeline. Estimates a
+// run's CPU demand from the statistics database — the median of recent
+// completed executions, rescaled along the paper's documented laws:
+// linear in timesteps, near-linear in mesh sides, relative node speed,
+// and a user-supplied adjustment for code-version changes ("a programmer
+// may estimate that a new code version will run 10% faster"). Falls back
+// to the analytic cost model when no history exists.
+
+#ifndef FF_CORE_ESTIMATOR_H_
+#define FF_CORE_ESTIMATOR_H_
+
+#include <map>
+#include <string>
+
+#include "statsdb/database.h"
+#include "workload/cost_model.h"
+#include "workload/forecast_spec.h"
+
+namespace ff {
+namespace core {
+
+/// An estimate of one run's demand.
+struct Estimate {
+  /// Reference-speed CPU-seconds the run needs.
+  double cpu_seconds = 0.0;
+  /// True when derived from logged history, false when from the model.
+  bool from_history = false;
+  /// Number of history samples used.
+  int history_samples = 0;
+};
+
+/// Estimator configuration.
+struct EstimatorConfig {
+  /// How many most-recent completed runs to aggregate (median).
+  int history_window = 7;
+  /// Speed of each node name (for converting logged walltimes, which are
+  /// node-local, into reference-speed work). Unknown nodes assume 1.0.
+  std::map<std::string, double> node_speeds;
+};
+
+/// Estimates run demand from history in a statistics database.
+class RunTimeEstimator {
+ public:
+  /// `db` must outlive the estimator and contain a logdata-layout "runs"
+  /// table (absence is fine: everything falls back to the cost model).
+  RunTimeEstimator(const statsdb::Database* db, workload::CostModel model,
+                   EstimatorConfig config = {});
+
+  /// Estimates reference-speed CPU-seconds for running `spec` today.
+  util::StatusOr<Estimate> EstimateWork(
+      const workload::ForecastSpec& spec) const;
+
+  /// Registers a user adjustment factor for a forecast (multiplies the
+  /// history-derived estimate; e.g. 0.9 = "new code 10% faster").
+  void SetUserAdjustment(const std::string& forecast, double factor);
+  void ClearUserAdjustment(const std::string& forecast);
+
+ private:
+  const statsdb::Database* db_;
+  workload::CostModel model_;
+  EstimatorConfig config_;
+  std::map<std::string, double> user_adjustments_;
+};
+
+}  // namespace core
+}  // namespace ff
+
+#endif  // FF_CORE_ESTIMATOR_H_

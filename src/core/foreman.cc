@@ -1,0 +1,132 @@
+#include "core/foreman.h"
+
+#include <algorithm>
+
+namespace ff {
+namespace core {
+
+namespace {
+
+EstimatorConfig WithNodeSpeeds(EstimatorConfig config,
+                               const std::vector<NodeInfo>& nodes) {
+  for (const auto& n : nodes) {
+    config.node_speeds.emplace(n.name, n.speed);
+  }
+  return config;
+}
+
+}  // namespace
+
+ForeMan::ForeMan(std::vector<NodeInfo> nodes, const statsdb::Database* db,
+                 ForeManConfig config)
+    : nodes_(std::move(nodes)),
+      config_(std::move(config)),
+      estimator_(db, workload::CostModel{},
+                 WithNodeSpeeds(config_.estimator, nodes_)),
+      planner_(nodes_, config_.planner) {}
+
+util::StatusOr<std::vector<RunRequest>> ForeMan::BuildRequests(
+    const std::vector<workload::ForecastSpec>& fleet) const {
+  std::vector<RunRequest> requests;
+  requests.reserve(fleet.size());
+  for (const auto& spec : fleet) {
+    FF_ASSIGN_OR_RETURN(Estimate est, estimator_.EstimateWork(spec));
+    RunRequest r;
+    r.name = spec.name;
+    r.work = est.cpu_seconds;
+    r.priority = spec.priority;
+    r.earliest_start = spec.earliest_start;
+    r.deadline = spec.deadline;
+    requests.push_back(std::move(r));
+  }
+  return requests;
+}
+
+util::StatusOr<DayPlan> ForeMan::PlanDay(
+    const std::vector<workload::ForecastSpec>& fleet,
+    const std::map<std::string, std::string>* previous) {
+  FF_ASSIGN_OR_RETURN(last_requests_, BuildRequests(fleet));
+  return planner_.Plan(last_requests_, previous);
+}
+
+util::StatusOr<DayPlan> ForeMan::MoveRun(const DayPlan& plan,
+                                         const std::string& run,
+                                         const std::string& new_node) {
+  auto assignment = plan.Assignment();
+  auto it = assignment.find(run);
+  if (it == assignment.end()) {
+    return util::Status::NotFound("run " + run + " not in plan");
+  }
+  it->second = new_node;
+  return planner_.Evaluate(last_requests_, assignment);
+}
+
+util::StatusOr<DayPlan> ForeMan::AdjustStart(const DayPlan& plan,
+                                             const std::string& run,
+                                             double new_start) {
+  std::vector<RunRequest> adjusted = last_requests_;
+  bool found = false;
+  for (auto& r : adjusted) {
+    if (r.name == run) {
+      r.earliest_start = new_start;
+      found = true;
+    }
+  }
+  if (!found) {
+    return util::Status::NotFound("run " + run + " not in plan");
+  }
+  auto assignment = plan.Assignment();
+  FF_ASSIGN_OR_RETURN(DayPlan out, planner_.Evaluate(adjusted, assignment));
+  last_requests_ = std::move(adjusted);
+  return out;
+}
+
+util::StatusOr<DayPlan> ForeMan::WhatIf(
+    const std::vector<workload::ForecastSpec>& fleet,
+    const std::vector<NodeInfo>& hypothetical_nodes) const {
+  FF_ASSIGN_OR_RETURN(std::vector<RunRequest> requests,
+                      BuildRequests(fleet));
+  Planner hypothetical(hypothetical_nodes, config_.planner);
+  return hypothetical.Plan(requests);
+}
+
+util::StatusOr<RescheduleResult> ForeMan::HandleNodeFailure(
+    const DayPlan& current, const std::string& failed_node,
+    double failure_time, ReschedulePolicy policy) {
+  // Remaining-work requests: approximate by subtracting delivered work
+  // assuming each run progressed at full rate since its start (an upper
+  // bound on progress; conservative for the receiving nodes).
+  std::vector<RunRequest> remaining;
+  remaining.reserve(last_requests_.size());
+  for (const auto& r : last_requests_) {
+    const PlannedRun* pr = current.Find(r.name);
+    RunRequest adj = r;
+    if (pr != nullptr && !pr->dropped) {
+      double elapsed = std::max(0.0, failure_time - pr->start_time);
+      adj.work = std::max(0.0, r.work - elapsed);
+      adj.earliest_start = std::max(r.earliest_start, failure_time);
+    }
+    remaining.push_back(std::move(adj));
+  }
+  return RescheduleAfterFailure(planner_, current, remaining, failed_node,
+                                failure_time, policy);
+}
+
+std::string ForeMan::RenderGantt(const DayPlan& plan, double now) const {
+  GanttOptions options;
+  options.now = now;
+  options.t_end = std::max(86400.0, plan.makespan * 1.05);
+  return core::RenderGantt(plan, options);
+}
+
+std::string ForeMan::RenderTable(const DayPlan& plan) const {
+  return RenderPlanTable(plan);
+}
+
+std::map<std::string, std::string> ForeMan::Accept(
+    const DayPlan& plan) const {
+  return GenerateScripts(plan, config_.backend);
+}
+
+}  // namespace core
+}  // namespace ff

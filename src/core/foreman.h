@@ -1,0 +1,100 @@
+// ForeMan: the paper's forecast-management tool (§4.1, Figure 3), as a
+// library facade. Ties together the statistics database, the run-time
+// estimator, the bin-packing planner, the CPU-share predictor, the
+// rescheduler, the Gantt view and the script-generating back end.
+//
+// Typical use:
+//   statsdb::Database db;                       // loaded from logs
+//   ForeMan foreman(nodes, &db);
+//   auto plan = foreman.PlanDay(fleet);         // assignments + ETAs
+//   std::cout << foreman.RenderGantt(*plan);    // the "big picture"
+//   foreman.MoveRun(&*plan, "forecast-coos", "f3");   // user drag
+//   auto scripts = foreman.Accept(*plan);       // back-end scripts
+
+#ifndef FF_CORE_FOREMAN_H_
+#define FF_CORE_FOREMAN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/gantt.h"
+#include "core/planner.h"
+#include "core/rescheduler.h"
+#include "core/script_gen.h"
+#include "workload/forecast_spec.h"
+
+namespace ff {
+namespace core {
+
+/// ForeMan configuration.
+struct ForeManConfig {
+  PlannerConfig planner;
+  EstimatorConfig estimator;
+  ScriptBackend backend = ScriptBackend::kShell;
+};
+
+/// The factory-management facade.
+class ForeMan {
+ public:
+  /// `db` may be null (estimates then come from the cost model only).
+  ForeMan(std::vector<NodeInfo> nodes, const statsdb::Database* db,
+          ForeManConfig config = {});
+
+  /// Estimates demand and plans the day. By default each forecast stays
+  /// on yesterday's node when `previous` is supplied and the heuristic is
+  /// kPreviousDay; optimizing heuristics re-pack.
+  util::StatusOr<DayPlan> PlanDay(
+      const std::vector<workload::ForecastSpec>& fleet,
+      const std::map<std::string, std::string>* previous = nullptr);
+
+  /// Re-evaluates a plan after the user moves one run to another node
+  /// ("Users can easily move workflows to different nodes using ForeMan,
+  /// without making any changes to the underlying scripts").
+  util::StatusOr<DayPlan> MoveRun(const DayPlan& plan,
+                                  const std::string& run,
+                                  const std::string& new_node);
+
+  /// Re-evaluates a plan with a changed start time for one run.
+  util::StatusOr<DayPlan> AdjustStart(const DayPlan& plan,
+                                      const std::string& run,
+                                      double new_start);
+
+  /// What-if: evaluates the same fleet on a hypothetical node set
+  /// ("anticipating hardware needs as the number of forecasts grows").
+  util::StatusOr<DayPlan> WhatIf(
+      const std::vector<workload::ForecastSpec>& fleet,
+      const std::vector<NodeInfo>& hypothetical_nodes) const;
+
+  /// Node-failure handling; see rescheduler.h.
+  util::StatusOr<RescheduleResult> HandleNodeFailure(
+      const DayPlan& current, const std::string& failed_node,
+      double failure_time, ReschedulePolicy policy);
+
+  /// The monitoring pane.
+  std::string RenderGantt(const DayPlan& plan, double now = -1.0) const;
+  std::string RenderTable(const DayPlan& plan) const;
+
+  /// The accept button: per-node launch scripts.
+  std::map<std::string, std::string> Accept(const DayPlan& plan) const;
+
+  RunTimeEstimator* estimator() { return &estimator_; }
+  const Planner& planner() const { return planner_; }
+
+ private:
+  util::StatusOr<std::vector<RunRequest>> BuildRequests(
+      const std::vector<workload::ForecastSpec>& fleet) const;
+
+  std::vector<NodeInfo> nodes_;
+  ForeManConfig config_;
+  RunTimeEstimator estimator_;
+  Planner planner_;
+  /// Requests of the most recent PlanDay/WhatIf, used by MoveRun etc.
+  std::vector<RunRequest> last_requests_;
+};
+
+}  // namespace core
+}  // namespace ff
+
+#endif  // FF_CORE_FOREMAN_H_

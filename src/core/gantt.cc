@@ -1,0 +1,134 @@
+#include "core/gantt.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/strings.h"
+#include "util/time_util.h"
+
+namespace ff {
+namespace core {
+
+std::string RenderGantt(const DayPlan& plan, const GanttOptions& options) {
+  std::ostringstream os;
+  const double span = options.t_end - options.t_begin;
+  if (span <= 0.0 || options.width < 8) return "(invalid gantt window)\n";
+  auto col_of = [&](double t) {
+    double frac = (t - options.t_begin) / span;
+    frac = std::clamp(frac, 0.0, 1.0);
+    return static_cast<int>(frac * (options.width - 1));
+  };
+
+  // Group runs by node; order nodes alphabetically, runs by start time.
+  std::map<std::string, std::vector<const PlannedRun*>> by_node;
+  for (const auto& r : plan.runs) {
+    if (!r.dropped) by_node[r.node].push_back(&r);
+  }
+  char letter = 'A';
+  std::map<std::string, char> letters;
+  for (const auto& r : plan.runs) {
+    letters[r.name] = letter;
+    letter = letter == 'Z' ? 'a' : static_cast<char>(letter + 1);
+  }
+
+  // Time axis header (every 4 hours).
+  os << util::StrFormat("%-10s", "");
+  std::string axis(static_cast<size_t>(options.width), ' ');
+  for (int h = 0; h <= 24; h += 4) {
+    int c = col_of(options.t_begin == 0.0 ? h * 3600.0
+                                          : options.t_begin + h * span / 24);
+    std::string label = util::StrFormat("%02dh", h);
+    for (size_t k = 0; k < label.size(); ++k) {
+      size_t pos = static_cast<size_t>(c) + k;
+      if (pos < axis.size()) axis[pos] = label[k];
+    }
+  }
+  os << axis << "\n";
+
+  for (const auto& [node, runs] : by_node) {
+    // Stack overlapping runs into sub-rows.
+    std::vector<std::vector<const PlannedRun*>> rows;
+    std::vector<const PlannedRun*> sorted = runs;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const PlannedRun* a, const PlannedRun* b) {
+                return a->start_time < b->start_time;
+              });
+    for (const PlannedRun* r : sorted) {
+      bool placed = false;
+      for (auto& row : rows) {
+        if (row.back()->predicted_completion <= r->start_time) {
+          row.push_back(r);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) rows.push_back({r});
+    }
+    bool first = true;
+    if (rows.empty()) {
+      os << util::StrFormat("%-10s", node.c_str())
+         << std::string(static_cast<size_t>(options.width), ' ') << "\n";
+      continue;
+    }
+    for (const auto& row : rows) {
+      os << util::StrFormat("%-10s", first ? node.c_str() : "");
+      first = false;
+      std::string line(static_cast<size_t>(options.width), ' ');
+      for (const PlannedRun* r : row) {
+        int c0 = col_of(r->start_time);
+        int c1 = std::max(c0, col_of(r->predicted_completion));
+        for (int c = c0; c <= c1; ++c) {
+          bool past = options.now >= 0.0 &&
+                      options.t_begin + (c + 0.5) * span / options.width <
+                          options.now;
+          line[static_cast<size_t>(c)] = past ? '.' : letters[r->name];
+        }
+      }
+      if (options.now >= 0.0) {
+        int cn = col_of(options.now);
+        if (cn >= 0 && cn < options.width) {
+          line[static_cast<size_t>(cn)] = '|';
+        }
+      }
+      os << line << "\n";
+    }
+  }
+
+  os << "\nlegend:";
+  for (const auto& r : plan.runs) {
+    os << " " << letters[r.name] << "=" << r.name
+       << (r.dropped ? "(dropped)" : "");
+  }
+  os << "\n";
+  return os.str();
+}
+
+std::string RenderPlanTable(const DayPlan& plan) {
+  std::ostringstream os;
+  os << util::StrFormat("%-28s %-8s %10s %12s %12s %8s %s\n", "run", "node",
+                        "work(s)", "start", "completion", "slack", "flags");
+  for (const auto& r : plan.runs) {
+    std::string flags;
+    if (r.dropped) flags += "DROPPED ";
+    if (r.delayed) flags += "delayed ";
+    if (r.MissesDeadline()) flags += "MISS ";
+    os << util::StrFormat(
+        "%-28s %-8s %10.0f %12s %12s %8.0f %s\n", r.name.c_str(),
+        r.dropped ? "-" : r.node.c_str(), r.work,
+        util::FormatDuration(r.start_time).c_str(),
+        r.dropped ? "-" : util::FormatDuration(r.predicted_completion)
+                              .c_str(),
+        r.dropped ? 0.0 : r.deadline - r.predicted_completion,
+        flags.c_str());
+  }
+  os << util::StrFormat(
+      "makespan %.0f s, misses %d, dropped %d, delayed %d, max load %.2f\n",
+      plan.makespan, plan.deadline_misses, plan.dropped, plan.delayed,
+      plan.max_relative_load);
+  return os.str();
+}
+
+}  // namespace core
+}  // namespace ff

@@ -1,0 +1,36 @@
+// ASCII Gantt rendering of a DayPlan — the terminal analogue of the
+// ForeMan monitoring pane (Figure 3): one row per node, time across,
+// rectangles per run, a current-time marker, and shading of completed
+// work.
+
+#ifndef FF_CORE_GANTT_H_
+#define FF_CORE_GANTT_H_
+
+#include <string>
+
+#include "core/planner.h"
+
+namespace ff {
+namespace core {
+
+/// Rendering options.
+struct GanttOptions {
+  double t_begin = 0.0;       // seconds after midnight
+  double t_end = 86400.0;
+  int width = 96;             // characters across the time axis
+  double now = -1.0;          // current-time marker; < 0 = omit
+};
+
+/// Renders the plan. Each run occupies [start, predicted completion] on
+/// its node's row; concurrent runs stack into sub-rows. Completed
+/// portions (before `now`) render as '.', pending as the run's letter.
+std::string RenderGantt(const DayPlan& plan, const GanttOptions& options);
+
+/// One-line-per-run textual summary (name, node, start, completion,
+/// deadline slack, flags).
+std::string RenderPlanTable(const DayPlan& plan);
+
+}  // namespace core
+}  // namespace ff
+
+#endif  // FF_CORE_GANTT_H_

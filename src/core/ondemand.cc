@@ -1,0 +1,122 @@
+#include "core/ondemand.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ff {
+namespace core {
+
+const char* AdmissionOutcomeName(AdmissionOutcome outcome) {
+  switch (outcome) {
+    case AdmissionOutcome::kAccepted:
+      return "accepted";
+    case AdmissionOutcome::kRejectedOwnDeadline:
+      return "rejected-own-deadline";
+    case AdmissionOutcome::kRejectedInterference:
+      return "rejected-interference";
+  }
+  return "?";
+}
+
+OnDemandScheduler::OnDemandScheduler(std::vector<NodeInfo> nodes,
+                                     DayPlan daily_plan)
+    : nodes_(std::move(nodes)), plan_(std::move(daily_plan)) {
+  // Pre-existing misses are the plan's problem, not the requests'.
+  for (const auto& r : plan_.runs) {
+    if (r.MissesDeadline()) baseline_misses_.push_back(r.name);
+  }
+}
+
+util::StatusOr<SharePrediction> OnDemandScheduler::Predict(
+    const OnDemandRequest* candidate,
+    const std::string& candidate_node) const {
+  std::vector<ShareJob> jobs;
+  for (const auto& r : plan_.runs) {
+    if (r.dropped) continue;
+    jobs.push_back(ShareJob{r.name, r.node, r.start_time, r.work});
+  }
+  for (const auto& [req, node] : accepted_jobs_) {
+    jobs.push_back(
+        ShareJob{"od:" + req.id, node, req.arrival, req.cpu_seconds});
+  }
+  if (candidate != nullptr) {
+    jobs.push_back(ShareJob{"od:" + candidate->id, candidate_node,
+                            candidate->arrival, candidate->cpu_seconds});
+  }
+  return PredictCompletions(nodes_, jobs);
+}
+
+util::StatusOr<OnDemandPlacement> OnDemandScheduler::Admit(
+    const OnDemandRequest& request) {
+  if (request.cpu_seconds < 0.0) {
+    return util::Status::InvalidArgument("negative work: " + request.id);
+  }
+  if (request.arrival + 1e-9 < last_arrival_) {
+    return util::Status::InvalidArgument(
+        "requests must arrive in time order: " + request.id);
+  }
+  last_arrival_ = request.arrival;
+
+  OnDemandPlacement placement;
+  placement.request = request;
+
+  bool some_node_meets_own_deadline = false;
+  std::string best_node;
+  double best_completion = 0.0;
+
+  for (const auto& n : nodes_) {
+    FF_ASSIGN_OR_RETURN(SharePrediction pred, Predict(&request, n.name));
+    double completion = pred.completion.at("od:" + request.id);
+    if (completion > request.deadline + 1e-9) continue;
+    some_node_meets_own_deadline = true;
+    // Does any made-to-stock run newly miss?
+    bool interferes = false;
+    for (const auto& r : plan_.runs) {
+      if (r.dropped) continue;
+      auto it = pred.completion.find(r.name);
+      FF_CHECK(it != pred.completion.end());
+      bool misses = it->second > r.deadline + 1e-9;
+      bool baseline_miss =
+          std::find(baseline_misses_.begin(), baseline_misses_.end(),
+                    r.name) != baseline_misses_.end();
+      if (misses && !baseline_miss) {
+        interferes = true;
+        break;
+      }
+    }
+    // Accepted on-demand work must keep ITS deadlines too.
+    if (!interferes) {
+      for (const auto& [req, node] : accepted_jobs_) {
+        auto it = pred.completion.find("od:" + req.id);
+        FF_CHECK(it != pred.completion.end());
+        if (it->second > req.deadline + 1e-9) {
+          interferes = true;
+          break;
+        }
+      }
+    }
+    if (interferes) continue;
+    if (best_node.empty() || completion < best_completion) {
+      best_node = n.name;
+      best_completion = completion;
+    }
+  }
+
+  if (best_node.empty()) {
+    placement.outcome = some_node_meets_own_deadline
+                            ? AdmissionOutcome::kRejectedInterference
+                            : AdmissionOutcome::kRejectedOwnDeadline;
+  } else {
+    placement.outcome = AdmissionOutcome::kAccepted;
+    placement.node = best_node;
+    placement.predicted_completion = best_completion;
+    accepted_jobs_.emplace_back(request, best_node);
+    ++accepted_;
+  }
+  placements_.push_back(placement);
+  return placement;
+}
+
+}  // namespace core
+}  // namespace ff

@@ -1,0 +1,87 @@
+// On-demand ("made-to-order") product scheduling — the paper's §5 future
+// work: "we are investigating how to incorporate made-to-order
+// (on-demand) products into the system along with the made-to-stock
+// products currently manufactured in the factory."
+//
+// Scientists request ad-hoc products (a hindcast animation, a custom
+// transect) during the day. The scheduler admits a request only when
+// some node can serve it by its deadline WITHOUT pushing any made-to-
+// stock forecast past its own deadline — the §1 newspaper constraint
+// ("having idle capacity at mid-morning doesn't mean the newspaper can
+// necessarily add another edition and have it be timely").
+
+#ifndef FF_CORE_ONDEMAND_H_
+#define FF_CORE_ONDEMAND_H_
+
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+
+namespace ff {
+namespace core {
+
+/// An ad-hoc product request.
+struct OnDemandRequest {
+  std::string id;
+  double arrival = 0.0;      // seconds after midnight
+  double cpu_seconds = 0.0;  // reference-speed work
+  double deadline = 86400.0; // absolute, seconds after midnight
+};
+
+/// Why a request was (not) admitted.
+enum class AdmissionOutcome {
+  kAccepted,
+  kRejectedOwnDeadline,   // no node finishes it in time
+  kRejectedInterference,  // serving it would make a stock run miss
+};
+
+const char* AdmissionOutcomeName(AdmissionOutcome outcome);
+
+/// The decision for one request.
+struct OnDemandPlacement {
+  OnDemandRequest request;
+  AdmissionOutcome outcome = AdmissionOutcome::kRejectedOwnDeadline;
+  std::string node;                    // set when accepted
+  double predicted_completion = 0.0;   // set when accepted
+};
+
+/// Admits requests one at a time against a fixed daily plan.
+class OnDemandScheduler {
+ public:
+  /// `daily_plan` is the accepted made-to-stock plan (dropped runs are
+  /// ignored). Runs that already miss in the baseline plan are not
+  /// charged to on-demand requests.
+  OnDemandScheduler(std::vector<NodeInfo> nodes, DayPlan daily_plan);
+
+  /// Decides a request (requests must arrive in non-decreasing time).
+  /// Accepted requests occupy capacity for all later decisions.
+  util::StatusOr<OnDemandPlacement> Admit(const OnDemandRequest& request);
+
+  const std::vector<OnDemandPlacement>& placements() const {
+    return placements_;
+  }
+  int accepted() const { return accepted_; }
+  int rejected() const {
+    return static_cast<int>(placements_.size()) - accepted_;
+  }
+
+ private:
+  // Predicts completions of stock + accepted + optional candidate.
+  util::StatusOr<SharePrediction> Predict(
+      const OnDemandRequest* candidate,
+      const std::string& candidate_node) const;
+
+  std::vector<NodeInfo> nodes_;
+  DayPlan plan_;
+  std::vector<OnDemandPlacement> placements_;
+  std::vector<std::pair<OnDemandRequest, std::string>> accepted_jobs_;
+  std::vector<std::string> baseline_misses_;
+  int accepted_ = 0;
+  double last_arrival_ = 0.0;
+};
+
+}  // namespace core
+}  // namespace ff
+
+#endif  // FF_CORE_ONDEMAND_H_

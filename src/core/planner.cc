@@ -1,0 +1,232 @@
+#include "core/planner.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ff {
+namespace core {
+
+std::map<std::string, std::string> DayPlan::Assignment() const {
+  std::map<std::string, std::string> out;
+  for (const auto& r : runs) {
+    if (!r.dropped) out[r.name] = r.node;
+  }
+  return out;
+}
+
+const PlannedRun* DayPlan::Find(const std::string& name) const {
+  for (const auto& r : runs) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+Planner::Planner(std::vector<NodeInfo> nodes, PlannerConfig config)
+    : nodes_(std::move(nodes)), config_(config) {}
+
+util::Status Planner::Predict(DayPlan* plan) const {
+  std::vector<ShareJob> jobs;
+  jobs.reserve(plan->runs.size());
+  for (const auto& r : plan->runs) {
+    if (r.dropped) continue;
+    jobs.push_back(ShareJob{r.name, r.node, r.start_time, r.work});
+  }
+  FF_ASSIGN_OR_RETURN(SharePrediction pred,
+                      PredictCompletions(nodes_, jobs));
+  plan->makespan = pred.makespan;
+  plan->deadline_misses = 0;
+  plan->dropped = 0;
+  plan->delayed = 0;
+  for (auto& r : plan->runs) {
+    if (r.dropped) {
+      ++plan->dropped;
+      continue;
+    }
+    auto it = pred.completion.find(r.name);
+    FF_CHECK(it != pred.completion.end()) << "missing prediction " << r.name;
+    r.predicted_completion = it->second;
+    if (r.MissesDeadline()) ++plan->deadline_misses;
+    if (r.delayed) ++plan->delayed;
+  }
+  return util::Status::OK();
+}
+
+util::Status Planner::RepairDeadlines(DayPlan* plan) const {
+  FF_RETURN_NOT_OK(Predict(plan));
+  // Severity = sum of positive deadline overruns; a repair step is kept
+  // only when it reduces (misses, severity) lexicographically, otherwise
+  // it is reverted and the next lever is pulled. This keeps the loop from
+  // bouncing a victim between two saturated nodes forever.
+  auto severity = [&]() {
+    double s = 0.0;
+    for (const auto& r : plan->runs) {
+      if (r.MissesDeadline()) {
+        s += r.predicted_completion - r.deadline;
+      }
+    }
+    return s;
+  };
+  auto improved = [&](int misses_before, double severity_before) {
+    return plan->deadline_misses < misses_before ||
+           (plan->deadline_misses == misses_before &&
+            severity() < severity_before - 1e-6);
+  };
+
+  for (int iter = 0; iter < config_.max_repair_iterations; ++iter) {
+    if (plan->deadline_misses == 0) return util::Status::OK();
+    int misses_before = plan->deadline_misses;
+    double severity_before = severity();
+
+    // Find the worst miss and its node.
+    const PlannedRun* worst = nullptr;
+    for (const auto& r : plan->runs) {
+      if (!r.MissesDeadline()) continue;
+      if (worst == nullptr || r.predicted_completion - r.deadline >
+                                  worst->predicted_completion -
+                                      worst->deadline) {
+        worst = &r;
+      }
+    }
+    FF_CHECK(worst != nullptr);
+    const std::string hot_node = worst->node;
+    const double worst_deadline = worst->deadline;
+
+    // Victim: the lowest-priority (then largest) run on the hot node.
+    PlannedRun* victim = nullptr;
+    for (auto& r : plan->runs) {
+      if (r.dropped || r.node != hot_node) continue;
+      if (victim == nullptr || r.priority > victim->priority ||
+          (r.priority == victim->priority && r.work > victim->work)) {
+        victim = &r;
+      }
+    }
+    FF_CHECK(victim != nullptr);
+
+    bool changed = false;
+    if (config_.allow_move && nodes_.size() > 1) {
+      // Try the node with the least assigned work.
+      std::map<std::string, double> load;
+      for (const auto& n : nodes_) load[n.name] = 0.0;
+      for (const auto& r : plan->runs) {
+        if (!r.dropped) load[r.node] += r.work;
+      }
+      std::string best_node;
+      double best_rel = -1.0;
+      for (const auto& n : nodes_) {
+        if (n.name == hot_node) continue;
+        double rel = load[n.name] /
+                     (static_cast<double>(n.num_cpus) * n.speed);
+        if (best_node.empty() || rel < best_rel) {
+          best_node = n.name;
+          best_rel = rel;
+        }
+      }
+      if (!best_node.empty()) {
+        std::string old_node = victim->node;
+        victim->node = best_node;
+        FF_RETURN_NOT_OK(Predict(plan));
+        if (improved(misses_before, severity_before)) {
+          changed = true;
+        } else {
+          victim->node = old_node;
+          FF_RETURN_NOT_OK(Predict(plan));
+        }
+      }
+    }
+    if (!changed && config_.allow_delay && !victim->delayed) {
+      // Push the victim's start past the worst run's deadline so the
+      // high-priority run gets the CPUs first.
+      double old_start = victim->start_time;
+      victim->start_time = std::max(victim->start_time, worst_deadline);
+      victim->delayed = true;
+      FF_RETURN_NOT_OK(Predict(plan));
+      if (improved(misses_before, severity_before)) {
+        changed = true;
+      } else {
+        victim->start_time = old_start;
+        victim->delayed = false;
+        FF_RETURN_NOT_OK(Predict(plan));
+      }
+    }
+    if (!changed && config_.allow_drop && !victim->dropped) {
+      victim->dropped = true;
+      victim->node.clear();
+      FF_RETURN_NOT_OK(Predict(plan));
+      changed = true;
+    }
+    if (!changed) break;  // no lever left
+  }
+  return Predict(plan);
+}
+
+util::StatusOr<DayPlan> Planner::Plan(
+    const std::vector<RunRequest>& requests,
+    const std::map<std::string, std::string>* previous,
+    util::Rng* rng) const {
+  std::vector<PackItem> items;
+  items.reserve(requests.size());
+  for (const auto& r : requests) {
+    items.push_back(PackItem{r.name, r.work});
+  }
+  FF_ASSIGN_OR_RETURN(PackResult packed,
+                      Pack(items, nodes_, config_.heuristic,
+                           config_.horizon, previous, rng));
+  DayPlan plan;
+  plan.max_relative_load = packed.max_relative_load;
+  plan.runs.reserve(requests.size());
+  for (const auto& r : requests) {
+    PlannedRun pr;
+    pr.name = r.name;
+    pr.node = packed.assignment.at(r.name);
+    pr.work = r.work;
+    pr.priority = r.priority;
+    pr.start_time = r.earliest_start;
+    pr.deadline = r.deadline;
+    plan.runs.push_back(std::move(pr));
+  }
+  FF_RETURN_NOT_OK(RepairDeadlines(&plan));
+  return plan;
+}
+
+util::StatusOr<DayPlan> Planner::Evaluate(
+    const std::vector<RunRequest>& requests,
+    const std::map<std::string, std::string>& assignment) const {
+  DayPlan plan;
+  plan.runs.reserve(requests.size());
+  double horizon_load_max = 0.0;
+  std::map<std::string, double> load;
+  for (const auto& r : requests) {
+    auto it = assignment.find(r.name);
+    if (it == assignment.end()) {
+      return util::Status::InvalidArgument("no assignment for " + r.name);
+    }
+    bool known = false;
+    for (const auto& n : nodes_) {
+      if (n.name == it->second) known = true;
+    }
+    if (!known) {
+      return util::Status::InvalidArgument("unknown node " + it->second);
+    }
+    PlannedRun pr;
+    pr.name = r.name;
+    pr.node = it->second;
+    pr.work = r.work;
+    pr.priority = r.priority;
+    pr.start_time = r.earliest_start;
+    pr.deadline = r.deadline;
+    plan.runs.push_back(std::move(pr));
+    load[it->second] += r.work;
+  }
+  for (const auto& n : nodes_) {
+    double rel = load[n.name] / (static_cast<double>(n.num_cpus) * n.speed *
+                                 config_.horizon);
+    horizon_load_max = std::max(horizon_load_max, rel);
+  }
+  plan.max_relative_load = horizon_load_max;
+  FF_RETURN_NOT_OK(Predict(&plan));
+  return plan;
+}
+
+}  // namespace core
+}  // namespace ff

@@ -1,0 +1,105 @@
+// Planner: ForeMan's capacity-requirements planning (§4.1). Packs the
+// day's runs onto nodes, predicts completion times under CPU sharing,
+// and resolves deadline misses by moving, delaying or dropping
+// lower-priority forecasts ("ForeMan also allows users to prioritize
+// forecasts, and may automatically delay or drop lower priority
+// forecasts if needed").
+
+#ifndef FF_CORE_PLANNER_H_
+#define FF_CORE_PLANNER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/binpack.h"
+#include "core/share_model.h"
+#include "util/rng.h"
+#include "util/statusor.h"
+
+namespace ff {
+namespace core {
+
+/// One run the planner must place (demand already estimated).
+struct RunRequest {
+  std::string name;
+  double work = 0.0;            // reference-speed CPU-seconds
+  int priority = 1;             // lower = more important
+  double earliest_start = 3600.0;  // seconds after midnight
+  double deadline = 86400.0;       // seconds after midnight
+};
+
+/// A planned run.
+struct PlannedRun {
+  std::string name;
+  std::string node;           // empty when dropped
+  double work = 0.0;
+  int priority = 1;
+  double start_time = 0.0;    // seconds after midnight
+  double deadline = 0.0;
+  double predicted_completion = 0.0;  // seconds after midnight
+  bool dropped = false;
+  bool delayed = false;
+  bool MissesDeadline() const {
+    return !dropped && predicted_completion > deadline;
+  }
+};
+
+/// The day's plan.
+struct DayPlan {
+  std::vector<PlannedRun> runs;
+  double makespan = 0.0;       // latest predicted completion
+  int deadline_misses = 0;
+  int dropped = 0;
+  int delayed = 0;
+  double max_relative_load = 0.0;
+
+  /// Assignment view (excludes dropped runs).
+  std::map<std::string, std::string> Assignment() const;
+  const PlannedRun* Find(const std::string& name) const;
+};
+
+/// Planner policy knobs.
+struct PlannerConfig {
+  PackHeuristic heuristic = PackHeuristic::kFirstFitDecreasing;
+  double horizon = 86400.0;  // the day
+  bool allow_move = true;    // move low-priority runs off hot nodes
+  bool allow_delay = true;   // push low-priority starts later
+  bool allow_drop = true;    // shed lowest-priority runs as a last resort
+  int max_repair_iterations = 128;
+};
+
+/// Plans one day of production.
+class Planner {
+ public:
+  Planner(std::vector<NodeInfo> nodes, PlannerConfig config);
+
+  /// `previous` is yesterday's assignment (used by kPreviousDay and as
+  /// the move baseline); `rng` only needed for kRandom.
+  util::StatusOr<DayPlan> Plan(
+      const std::vector<RunRequest>& requests,
+      const std::map<std::string, std::string>* previous = nullptr,
+      util::Rng* rng = nullptr) const;
+
+  /// Re-predicts completions of an existing assignment (what-if support:
+  /// the ForeMan UI "will automatically recompute the expected completion
+  /// times of all affected workflows" when the user drags a run).
+  util::StatusOr<DayPlan> Evaluate(
+      const std::vector<RunRequest>& requests,
+      const std::map<std::string, std::string>& assignment) const;
+
+  const std::vector<NodeInfo>& nodes() const { return nodes_; }
+  const PlannerConfig& config() const { return config_; }
+
+ private:
+  util::Status Predict(DayPlan* plan) const;
+  util::Status RepairDeadlines(DayPlan* plan) const;
+
+  std::vector<NodeInfo> nodes_;
+  PlannerConfig config_;
+};
+
+}  // namespace core
+}  // namespace ff
+
+#endif  // FF_CORE_PLANNER_H_

@@ -1,0 +1,173 @@
+#include "core/rescheduler.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace ff {
+namespace core {
+
+const char* ReschedulePolicyName(ReschedulePolicy p) {
+  switch (p) {
+    case ReschedulePolicy::kNone:
+      return "none";
+    case ReschedulePolicy::kMinimal:
+      return "minimal";
+    case ReschedulePolicy::kCascading:
+      return "cascading";
+    case ReschedulePolicy::kFullReplan:
+      return "full-replan";
+  }
+  return "?";
+}
+
+namespace {
+
+// Least relatively loaded healthy node.
+std::string BestNode(const std::vector<NodeInfo>& nodes,
+                     const std::map<std::string, double>& load,
+                     const std::string& excluded) {
+  std::string best;
+  double best_rel = 0.0;
+  for (const auto& n : nodes) {
+    if (n.name == excluded) continue;
+    auto it = load.find(n.name);
+    double l = it == load.end() ? 0.0 : it->second;
+    double rel = l / (static_cast<double>(n.num_cpus) * n.speed);
+    if (best.empty() || rel < best_rel) {
+      best = n.name;
+      best_rel = rel;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+util::StatusOr<RescheduleResult> RescheduleAfterFailure(
+    const Planner& planner, const DayPlan& current,
+    const std::vector<RunRequest>& requests, const std::string& failed_node,
+    double failure_time, ReschedulePolicy policy) {
+  bool known = false;
+  for (const auto& n : planner.nodes()) {
+    if (n.name == failed_node) known = true;
+  }
+  if (!known) {
+    return util::Status::NotFound("node " + failed_node);
+  }
+
+  // Base assignment = current plan; requests carry remaining work.
+  std::map<std::string, std::string> assignment = current.Assignment();
+  std::map<std::string, const RunRequest*> req_index;
+  for (const auto& r : requests) req_index[r.name] = &r;
+  for (const auto& [name, node] : assignment) {
+    if (!req_index.count(name)) {
+      return util::Status::InvalidArgument("no remaining-work request for " +
+                                           name);
+    }
+  }
+
+  RescheduleResult result;
+
+  if (policy == ReschedulePolicy::kFullReplan) {
+    // Re-pack everything onto the healthy nodes.
+    std::vector<NodeInfo> healthy;
+    for (const auto& n : planner.nodes()) {
+      if (n.name != failed_node) healthy.push_back(n);
+    }
+    if (healthy.empty()) {
+      return util::Status::FailedPrecondition("no healthy nodes left");
+    }
+    PlannerConfig cfg = planner.config();
+    Planner replanner(healthy, cfg);
+    std::vector<RunRequest> adjusted = requests;
+    for (auto& r : adjusted) {
+      r.earliest_start = std::max(r.earliest_start, failure_time);
+    }
+    FF_ASSIGN_OR_RETURN(result.plan, replanner.Plan(adjusted));
+    for (const auto& r : result.plan.runs) {
+      auto it = assignment.find(r.name);
+      if (it != assignment.end() && !r.dropped && it->second != r.node) {
+        ++result.runs_moved;
+      }
+    }
+    return result;
+  }
+
+  // Current loads (remaining work) per node.
+  std::map<std::string, double> load;
+  for (const auto& [name, node] : assignment) {
+    load[node] += req_index.at(name)->work;
+  }
+
+  std::vector<RunRequest> adjusted;
+  adjusted.reserve(requests.size());
+  std::map<std::string, std::string> new_assignment = assignment;
+
+  for (const auto& r : requests) {
+    RunRequest a = r;
+    const std::string& node = assignment.at(r.name);
+    if (node == failed_node) {
+      if (policy == ReschedulePolicy::kNone) {
+        ++result.runs_waiting;
+        // Leave it on the failed node; the share model will still
+        // predict a completion, so inflate the start far past the
+        // horizon to surface the miss honestly.
+        a.earliest_start = std::max(a.earliest_start,
+                                    failure_time + planner.config().horizon);
+      } else {
+        std::string target = BestNode(planner.nodes(), load, failed_node);
+        if (target.empty()) {
+          return util::Status::FailedPrecondition("no healthy nodes left");
+        }
+        load[node] -= a.work;
+        load[target] += a.work;
+        new_assignment[r.name] = target;
+        a.earliest_start = std::max(a.earliest_start, failure_time);
+        ++result.runs_moved;
+      }
+    }
+    adjusted.push_back(std::move(a));
+  }
+
+  FF_ASSIGN_OR_RETURN(DayPlan plan,
+                      planner.Evaluate(adjusted, new_assignment));
+
+  if (policy == ReschedulePolicy::kCascading) {
+    // Bounded cascade: while a receiving node misses deadlines, move its
+    // lowest-priority run to the least loaded other healthy node.
+    for (int iter = 0; iter < planner.config().max_repair_iterations;
+         ++iter) {
+      const PlannedRun* miss = nullptr;
+      for (const auto& r : plan.runs) {
+        if (r.MissesDeadline()) {
+          miss = &r;
+          break;
+        }
+      }
+      if (miss == nullptr) break;
+      // Lowest-priority run on the missing run's node.
+      std::string hot = miss->node;
+      const PlannedRun* victim = nullptr;
+      for (const auto& r : plan.runs) {
+        if (r.dropped || r.node != hot) continue;
+        if (victim == nullptr || r.priority > victim->priority) victim = &r;
+      }
+      if (victim == nullptr) break;
+      std::string target = BestNode(planner.nodes(), load, failed_node);
+      if (target.empty() || target == hot) break;
+      load[hot] -= victim->work;
+      load[target] += victim->work;
+      new_assignment[victim->name] = target;
+      ++result.runs_moved;
+      FF_ASSIGN_OR_RETURN(plan, planner.Evaluate(adjusted, new_assignment));
+    }
+  }
+
+  result.plan = std::move(plan);
+  return result;
+}
+
+}  // namespace core
+}  // namespace ff

@@ -1,0 +1,50 @@
+// Rescheduler: reacts to node failures and fleet changes (§2.1: "if a
+// node becomes temporarily unavailable, forecasts scheduled to run on it
+// must be reassigned ... To accommodate the displaced forecasts, other
+// runs may need to be reassigned as well"). Implements the policy
+// spectrum the paper discusses: when a node fails temporarily users "may
+// wish to reschedule only a subset of forecasts", while a permanent
+// change may justify rescheduling everything.
+
+#ifndef FF_CORE_RESCHEDULER_H_
+#define FF_CORE_RESCHEDULER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+
+namespace ff {
+namespace core {
+
+/// How much of the plan may be disturbed when a node fails.
+enum class ReschedulePolicy {
+  kNone,       // displaced runs wait for the node (baseline)
+  kMinimal,    // move only the displaced runs (least-loaded placement)
+  kCascading,  // displaced runs move; then bounded moves of low-priority
+               // runs off receiving nodes that now miss deadlines
+  kFullReplan, // re-pack every unstarted run from scratch
+};
+
+const char* ReschedulePolicyName(ReschedulePolicy p);
+
+/// Outcome of a reschedule.
+struct RescheduleResult {
+  DayPlan plan;
+  int runs_moved = 0;     // runs whose node changed (excluding waiting)
+  int runs_waiting = 0;   // runs left on the failed node (kNone)
+};
+
+/// Produces a new plan after `failed_node` goes down at `failure_time`
+/// (seconds after midnight). Runs already finished are untouched; the
+/// remaining work of in-flight runs on the failed node is what moves.
+/// `requests` must carry each run's *remaining* work at failure_time.
+util::StatusOr<RescheduleResult> RescheduleAfterFailure(
+    const Planner& planner, const DayPlan& current,
+    const std::vector<RunRequest>& requests, const std::string& failed_node,
+    double failure_time, ReschedulePolicy policy);
+
+}  // namespace core
+}  // namespace ff
+
+#endif  // FF_CORE_RESCHEDULER_H_

@@ -1,0 +1,34 @@
+// Script generation: the ForeMan back end. "Once an acceptable assignment
+// of workflows to nodes is found, the user can click an accept button and
+// the back end will automatically generate the needed scripts and
+// commands. The back end can be tailored to any underlying scheduler or
+// resource manager."
+
+#ifndef FF_CORE_SCRIPT_GEN_H_
+#define FF_CORE_SCRIPT_GEN_H_
+
+#include <map>
+#include <string>
+
+#include "core/planner.h"
+
+namespace ff {
+namespace core {
+
+/// Which launcher syntax to emit.
+enum class ScriptBackend {
+  kShell,       // plain sh: stage-in, launch, rsync stage-out
+  kTorqueMaui,  // qsub job script per run (the paper cites Torque/Maui)
+};
+
+const char* ScriptBackendName(ScriptBackend b);
+
+/// Per-node launch scripts for an accepted plan; key = node name.
+/// Dropped runs are omitted; delayed runs get an `at`-style start guard.
+std::map<std::string, std::string> GenerateScripts(const DayPlan& plan,
+                                                   ScriptBackend backend);
+
+}  // namespace core
+}  // namespace ff
+
+#endif  // FF_CORE_SCRIPT_GEN_H_

@@ -1,0 +1,113 @@
+#include "core/share_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ff {
+namespace core {
+
+namespace {
+
+struct ActiveJob {
+  const ShareJob* job;
+  double remaining;
+};
+
+// Predicts one node's jobs; appends into `out`.
+util::Status PredictNode(const NodeInfo& node,
+                         std::vector<const ShareJob*> jobs,
+                         SharePrediction* out) {
+  std::sort(jobs.begin(), jobs.end(),
+            [](const ShareJob* a, const ShareJob* b) {
+              if (a->start_time != b->start_time) {
+                return a->start_time < b->start_time;
+              }
+              return a->id < b->id;
+            });
+
+  std::vector<ActiveJob> active;
+  size_t next_arrival = 0;
+  double now = jobs.empty() ? 0.0 : jobs[0]->start_time;
+  double node_makespan = 0.0;
+  const double capacity = static_cast<double>(node.num_cpus);
+
+  while (next_arrival < jobs.size() || !active.empty()) {
+    // Admit everything due now.
+    while (next_arrival < jobs.size() &&
+           jobs[next_arrival]->start_time <= now + 1e-9) {
+      active.push_back(ActiveJob{jobs[next_arrival],
+                                 std::max(0.0, jobs[next_arrival]->work)});
+      ++next_arrival;
+    }
+    if (active.empty()) {
+      now = jobs[next_arrival]->start_time;
+      continue;
+    }
+    double k = static_cast<double>(active.size());
+    double rate = node.speed * std::min(1.0, capacity / k);
+    // Next event: earliest completion at this rate, or next arrival.
+    double min_remaining = std::numeric_limits<double>::infinity();
+    for (const auto& a : active) {
+      min_remaining = std::min(min_remaining, a.remaining);
+    }
+    double t_complete = now + min_remaining / rate;
+    double t_arrival = next_arrival < jobs.size()
+                           ? jobs[next_arrival]->start_time
+                           : std::numeric_limits<double>::infinity();
+    double t_next = std::min(t_complete, t_arrival);
+    double dt = t_next - now;
+    for (auto& a : active) a.remaining -= rate * dt;
+    now = t_next;
+    // Retire everything that finished (numerical slack scaled to rate).
+    double eps = std::max(1e-9, rate * 1e-9);
+    for (auto it = active.begin(); it != active.end();) {
+      if (it->remaining <= eps) {
+        out->completion[it->job->id] = now;
+        node_makespan = std::max(node_makespan, now);
+        it = active.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  out->node_makespan[node.name] = node_makespan;
+  out->makespan = std::max(out->makespan, node_makespan);
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::StatusOr<SharePrediction> PredictCompletions(
+    const std::vector<NodeInfo>& nodes, const std::vector<ShareJob>& jobs) {
+  std::map<std::string, std::vector<const ShareJob*>> by_node;
+  std::map<std::string, const NodeInfo*> node_index;
+  for (const auto& n : nodes) {
+    if (n.num_cpus < 1 || n.speed <= 0.0) {
+      return util::Status::InvalidArgument("bad node " + n.name);
+    }
+    if (!node_index.emplace(n.name, &n).second) {
+      return util::Status::InvalidArgument("duplicate node " + n.name);
+    }
+    by_node[n.name];  // ensure present even when empty
+  }
+  for (const auto& j : jobs) {
+    if (j.work < 0.0) {
+      return util::Status::InvalidArgument("negative work for job " + j.id);
+    }
+    auto it = by_node.find(j.node);
+    if (it == by_node.end()) {
+      return util::Status::InvalidArgument("job " + j.id +
+                                           " names unknown node " + j.node);
+    }
+    it->second.push_back(&j);
+  }
+  SharePrediction out;
+  for (const auto& n : nodes) {
+    FF_RETURN_NOT_OK(PredictNode(n, by_node[n.name], &out));
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace ff

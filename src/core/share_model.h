@@ -1,0 +1,59 @@
+// ShareModel: ForeMan's analytic completion-time predictor under the
+// paper's CPU-sharing assumption — "if three forecasts run concurrently
+// on a node with two CPUs, ForeMan will compute the expected completion
+// time of each assuming each forecast gets 2/3 of the available CPU
+// cycles". A run is serial (uses at most one CPU); the available cycles
+// divide evenly among concurrent runs.
+//
+// The maths mirrors cluster::PsResource exactly, so prediction error
+// against the discrete-event execution is ~0 absent disturbances
+// (validated by experiment T3).
+
+#ifndef FF_CORE_SHARE_MODEL_H_
+#define FF_CORE_SHARE_MODEL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace ff {
+namespace core {
+
+/// Static description of a node as the planner sees it.
+struct NodeInfo {
+  std::string name;
+  int num_cpus = 2;
+  double speed = 1.0;  // relative to the reference node
+};
+
+/// One run to predict: assigned node, release time, CPU work demand
+/// (reference-speed CPU-seconds).
+struct ShareJob {
+  std::string id;
+  std::string node;
+  double start_time = 0.0;
+  double work = 0.0;
+};
+
+/// Prediction output.
+struct SharePrediction {
+  /// Completion time per job id.
+  std::map<std::string, double> completion;
+  /// Latest completion over all jobs (the day's makespan).
+  double makespan = 0.0;
+  /// Per-node latest completion.
+  std::map<std::string, double> node_makespan;
+};
+
+/// Predicts completion times of `jobs` on `nodes` under egalitarian
+/// processor sharing. InvalidArgument when a job names an unknown node or
+/// has negative work; jobs with zero work complete at their start time.
+util::StatusOr<SharePrediction> PredictCompletions(
+    const std::vector<NodeInfo>& nodes, const std::vector<ShareJob>& jobs);
+
+}  // namespace core
+}  // namespace ff
+
+#endif  // FF_CORE_SHARE_MODEL_H_

@@ -1,0 +1,297 @@
+#include "dataflow/forecast_run.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ff {
+namespace dataflow {
+
+namespace {
+constexpr double kByteEpsilon = 1.0;  // byte-accounting slack
+}
+
+const char* ArchitectureName(Architecture a) {
+  switch (a) {
+    case Architecture::kProductsAtNode:
+      return "arch1-products-at-node";
+    case Architecture::kProductsAtServer:
+      return "arch2-products-at-server";
+  }
+  return "?";
+}
+
+ForecastRun::ForecastRun(sim::Simulator* sim, cluster::Machine* node,
+                         cluster::Link* uplink, cluster::Machine* server,
+                         sim::SeriesRecorder* recorder,
+                         const workload::ForecastSpec& spec, RunConfig cfg)
+    : sim_(sim),
+      node_(node),
+      uplink_(uplink),
+      server_(server),
+      recorder_(recorder),
+      spec_(spec),
+      cfg_(std::move(cfg)) {
+  FF_CHECK(spec_.increments > 0) << spec_.name << ": needs increments";
+  const int n = spec_.increments;
+  files_.reserve(spec_.output_files.size());
+  for (const auto& f : spec_.output_files) {
+    FileState fs;
+    fs.spec = &f;
+    fs.cum.assign(static_cast<size_t>(n) + 1, 0.0);
+    // Count increments whose progress lies inside (start, end].
+    int in_window = 0;
+    for (int i = 1; i <= n; ++i) {
+      double p = static_cast<double>(i) / n;
+      if (p > f.start_progress + 1e-12 && p <= f.end_progress + 1e-12) {
+        ++in_window;
+      }
+    }
+    double per = in_window > 0 ? f.total_bytes / in_window : 0.0;
+    double acc = 0.0;
+    for (int i = 1; i <= n; ++i) {
+      double p = static_cast<double>(i) / n;
+      if (p > f.start_progress + 1e-12 && p <= f.end_progress + 1e-12) {
+        acc += per;
+      }
+      fs.cum[static_cast<size_t>(i)] = acc;
+    }
+    // Snap the final cumulative value to the exact total.
+    if (in_window > 0) fs.cum[static_cast<size_t>(n)] = f.total_bytes;
+    files_.push_back(std::move(fs));
+  }
+  products_.reserve(spec_.products.size());
+  for (const auto& p : spec_.products) {
+    ProductState ps;
+    ps.spec = &p;
+    products_.push_back(ps);
+  }
+}
+
+double ForecastRun::SimWorkPerIncrement() const {
+  return cfg_.cost_model.SimulationCpuSeconds(spec_) /
+         static_cast<double>(spec_.increments);
+}
+
+void ForecastRun::Start() {
+  FF_CHECK(!started_) << spec_.name << ": started twice";
+  started_ = true;
+  start_time_ = sim_->now();
+  StartSimIncrement(1);
+  // Kick off the rsync and master-process cycles.
+  rsync_scheduled_ = true;
+  sim_->ScheduleAfter(cfg_.rsync_interval, [this] { RsyncCycle(); });
+  sim_->ScheduleAfter(cfg_.poll_interval, [this] { PollProducts(); });
+}
+
+void ForecastRun::StartSimIncrement(int index) {
+  node_->StartTask(
+      SimWorkPerIncrement(), [this, index] { OnSimIncrementDone(index); },
+      cfg_.sim_mem_bytes);
+}
+
+void ForecastRun::OnSimIncrementDone(int index) {
+  increments_done_ = index;
+  for (auto& fs : files_) {
+    fs.generated = fs.cum[static_cast<size_t>(index)];
+  }
+  if (cfg_.arch == Architecture::kProductsAtNode) {
+    for (auto& ps : products_) ps.ready = index;
+  }
+  if (index < spec_.increments) {
+    StartSimIncrement(index + 1);
+  } else {
+    sim_finish_time_ = sim_->now();
+    // Wake the product launcher immediately for the tail.
+    TryLaunchProducts();
+    CheckDone();
+  }
+}
+
+void ForecastRun::PollProducts() {
+  if (done_) return;
+  TryLaunchProducts();
+  bool more_work = false;
+  for (const auto& ps : products_) {
+    if (ps.processed < spec_.increments) more_work = true;
+  }
+  if (more_work) {
+    sim_->ScheduleAfter(cfg_.poll_interval, [this] { PollProducts(); });
+  }
+}
+
+void ForecastRun::TryLaunchProducts() {
+  if (done_) return;
+  cluster::Machine* host = cfg_.arch == Architecture::kProductsAtNode
+                               ? node_
+                               : server_;
+  bool at_server = cfg_.arch == Architecture::kProductsAtServer;
+  for (size_t pi = 0; pi < products_.size(); ++pi) {
+    ProductState& ps = products_[pi];
+    while (running_products_total_ < cfg_.max_concurrent_products &&
+           ps.launched < ps.ready && ps.running == 0) {
+      if (at_server && cfg_.server_admission_control &&
+          host->resident_bytes() + cfg_.product_mem_bytes >
+              host->ram_bytes()) {
+        return;  // retry on the next poll or task completion
+      }
+      // Serialize per product (one master-process task per product class
+      // at a time); each task processes one increment.
+      ++ps.launched;
+      ++ps.running;
+      ++running_products_total_;
+      double work = ps.spec->cpu_per_increment;
+      if (cfg_.arch == Architecture::kProductsAtNode &&
+          increments_done_ < spec_.increments) {
+        work *= cfg_.colocated_io_penalty;
+      }
+      host->StartTask(
+          work, [this, pi] { OnProductTaskDone(pi); },
+          cfg_.product_mem_bytes);
+    }
+  }
+}
+
+void ForecastRun::OnProductTaskDone(size_t product_index) {
+  ProductState& ps = products_[product_index];
+  --ps.running;
+  --running_products_total_;
+  ++ps.processed;
+  ps.generated += ps.spec->bytes_per_increment;
+  if (cfg_.arch == Architecture::kProductsAtServer) {
+    // Product bytes are born at the server; no transfer needed.
+    ps.at_server = ps.generated;
+    double total = ps.spec->bytes_per_increment *
+                   static_cast<double>(spec_.increments);
+    RecordEntity(ps.spec->name, ps.at_server, total);
+  }
+  TryLaunchProducts();
+  CheckDone();
+}
+
+void ForecastRun::RsyncCycle() {
+  if (done_) {
+    rsync_scheduled_ = false;
+    return;
+  }
+  if (!transfer_in_flight_) {
+    // Gather deltas per file (and per product directory in arch 1).
+    std::vector<double> file_amounts(files_.size(), 0.0);
+    std::vector<double> product_amounts(products_.size(), 0.0);
+    double total = 0.0;
+    for (size_t i = 0; i < files_.size(); ++i) {
+      double delta = files_[i].generated - files_[i].sent;
+      if (delta > kByteEpsilon) {
+        file_amounts[i] = delta;
+        files_[i].sent += delta;
+        total += delta;
+      }
+    }
+    if (cfg_.arch == Architecture::kProductsAtNode) {
+      for (size_t i = 0; i < products_.size(); ++i) {
+        double delta = products_[i].generated - products_[i].sent;
+        if (delta > kByteEpsilon) {
+          product_amounts[i] = delta;
+          products_[i].sent += delta;
+          total += delta;
+        }
+      }
+    }
+    if (total > 0.0) {
+      transfer_in_flight_ = true;
+      uplink_->StartTransfer(
+          total, [this, fa = std::move(file_amounts),
+                  pa = std::move(product_amounts)]() mutable {
+            OnTransferDone(std::move(fa), std::move(pa));
+          });
+    }
+  }
+  sim_->ScheduleAfter(cfg_.rsync_interval, [this] { RsyncCycle(); });
+}
+
+void ForecastRun::OnTransferDone(std::vector<double> file_amounts,
+                                 std::vector<double> product_amounts) {
+  transfer_in_flight_ = false;
+  for (size_t i = 0; i < files_.size(); ++i) {
+    if (file_amounts[i] <= 0.0) continue;
+    files_[i].at_server += file_amounts[i];
+    bytes_transferred_ += file_amounts[i];
+    RecordEntity(files_[i].spec->name, files_[i].at_server,
+                 files_[i].spec->total_bytes);
+  }
+  for (size_t i = 0; i < products_.size(); ++i) {
+    if (product_amounts[i] <= 0.0) continue;
+    products_[i].at_server += product_amounts[i];
+    bytes_transferred_ += product_amounts[i];
+    double total = products_[i].spec->bytes_per_increment *
+                   static_cast<double>(spec_.increments);
+    RecordEntity(products_[i].spec->name, products_[i].at_server, total);
+  }
+  if (cfg_.arch == Architecture::kProductsAtServer) {
+    UpdateServerSideReadiness();
+    TryLaunchProducts();
+  }
+  CheckDone();
+}
+
+void ForecastRun::UpdateServerSideReadiness() {
+  // A product's increment i is ready once every input file's cumulative
+  // bytes through increment i have arrived at the server.
+  for (auto& ps : products_) {
+    int ready = ps.ready;
+    while (ready < spec_.increments) {
+      int next = ready + 1;
+      bool ok = true;
+      for (int fi : ps.spec->input_files) {
+        const FileState& fs = files_[static_cast<size_t>(fi)];
+        if (fs.at_server + kByteEpsilon <
+            fs.cum[static_cast<size_t>(next)]) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) break;
+      ready = next;
+    }
+    ps.ready = ready;
+  }
+}
+
+void ForecastRun::RecordEntity(const std::string& name, double at,
+                               double total) {
+  if (!cfg_.record_series || recorder_ == nullptr || total <= 0.0) return;
+  recorder_->Record(cfg_.series_prefix + name, sim_->now(), at / total);
+}
+
+void ForecastRun::CheckDone() {
+  if (done_) return;
+  if (increments_done_ < spec_.increments) return;
+  for (const auto& fs : files_) {
+    if (fs.at_server + kByteEpsilon < fs.spec->total_bytes) return;
+  }
+  for (const auto& ps : products_) {
+    if (ps.processed < spec_.increments) return;
+    double total = ps.spec->bytes_per_increment *
+                   static_cast<double>(spec_.increments);
+    if (ps.at_server + kByteEpsilon < total) return;
+  }
+  done_ = true;
+  finish_time_ = sim_->now();
+  if (on_complete_) on_complete_();
+}
+
+double ForecastRun::model_bytes_generated() const {
+  double total = 0.0;
+  for (const auto& fs : files_) total += fs.generated;
+  return total;
+}
+
+double ForecastRun::product_bytes_generated() const {
+  double total = 0.0;
+  for (const auto& ps : products_) total += ps.generated;
+  return total;
+}
+
+}  // namespace dataflow
+}  // namespace ff

@@ -1,0 +1,298 @@
+#include "dataflow/partitioned_run.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ff {
+namespace dataflow {
+
+namespace {
+constexpr double kByteEpsilon = 1.0;
+}
+
+PartitionedRun::PartitionedRun(sim::Simulator* sim,
+                               cluster::Machine* primary,
+                               cluster::Link* primary_uplink,
+                               std::vector<SecondaryHost> secondaries,
+                               std::vector<int> partition,
+                               sim::SeriesRecorder* recorder,
+                               const workload::ForecastSpec& spec,
+                               PartitionedConfig cfg)
+    : sim_(sim),
+      primary_(primary),
+      primary_uplink_(primary_uplink),
+      secondaries_(std::move(secondaries)),
+      recorder_(recorder),
+      spec_(spec),
+      cfg_(std::move(cfg)) {
+  FF_CHECK(!secondaries_.empty()) << "need at least one secondary host";
+  FF_CHECK(partition.size() == spec_.products.size())
+      << "partition size must match product count";
+  const int n = spec_.increments;
+  FF_CHECK(n > 0);
+  for (const auto& f : spec_.output_files) {
+    FileState fs;
+    fs.spec = &f;
+    fs.cum.assign(static_cast<size_t>(n) + 1, 0.0);
+    int in_window = 0;
+    for (int i = 1; i <= n; ++i) {
+      double p = static_cast<double>(i) / n;
+      if (p > f.start_progress + 1e-12 && p <= f.end_progress + 1e-12) {
+        ++in_window;
+      }
+    }
+    double per = in_window > 0 ? f.total_bytes / in_window : 0.0;
+    double acc = 0.0;
+    for (int i = 1; i <= n; ++i) {
+      double p = static_cast<double>(i) / n;
+      if (p > f.start_progress + 1e-12 && p <= f.end_progress + 1e-12) {
+        acc += per;
+      }
+      fs.cum[static_cast<size_t>(i)] = acc;
+    }
+    if (in_window > 0) fs.cum[static_cast<size_t>(n)] = f.total_bytes;
+    files_.push_back(std::move(fs));
+  }
+  replicas_.resize(secondaries_.size());
+  for (auto& r : replicas_) {
+    r.needs_file.assign(files_.size(), 0);
+    r.pulled.assign(files_.size(), 0.0);
+    r.in_flight.assign(files_.size(), 0.0);
+  }
+  for (size_t pi = 0; pi < spec_.products.size(); ++pi) {
+    ProductState ps;
+    ps.spec = &spec_.products[pi];
+    int host = partition[pi];
+    FF_CHECK(host >= 0 &&
+             host < static_cast<int>(secondaries_.size()))
+        << "bad partition entry for product " << ps.spec->name;
+    ps.host = host;
+    for (int fi : ps.spec->input_files) {
+      replicas_[static_cast<size_t>(host)]
+          .needs_file[static_cast<size_t>(fi)] = 1;
+    }
+    products_.push_back(std::move(ps));
+  }
+}
+
+void PartitionedRun::Start() {
+  FF_CHECK(!started_) << spec_.name << ": started twice";
+  started_ = true;
+  StartSimIncrement(1);
+  sim_->ScheduleAfter(cfg_.rsync_interval, [this] { PrimaryRsyncCycle(); });
+  for (size_t h = 0; h < secondaries_.size(); ++h) {
+    sim_->ScheduleAfter(cfg_.rsync_interval,
+                        [this, h] { SecondaryPullCycle(h); });
+    sim_->ScheduleAfter(cfg_.poll_interval,
+                        [this, h] { TryLaunchProducts(h); });
+  }
+}
+
+void PartitionedRun::StartSimIncrement(int index) {
+  double work = cfg_.cost_model.SimulationCpuSeconds(spec_) /
+                static_cast<double>(spec_.increments);
+  primary_->StartTask(
+      work, [this, index] { OnSimIncrementDone(index); },
+      cfg_.sim_mem_bytes);
+}
+
+void PartitionedRun::OnSimIncrementDone(int index) {
+  increments_done_ = index;
+  for (auto& fs : files_) {
+    fs.generated = fs.cum[static_cast<size_t>(index)];
+  }
+  if (index < spec_.increments) {
+    StartSimIncrement(index + 1);
+  } else {
+    sim_finish_time_ = sim_->now();
+    CheckDone();
+  }
+}
+
+void PartitionedRun::PrimaryRsyncCycle() {
+  if (done_) return;
+  if (!primary_transfer_in_flight_) {
+    std::vector<double> amounts(files_.size(), 0.0);
+    double total = 0.0;
+    for (size_t i = 0; i < files_.size(); ++i) {
+      double delta = files_[i].generated - files_[i].sent;
+      if (delta > kByteEpsilon) {
+        amounts[i] = delta;
+        files_[i].sent += delta;
+        total += delta;
+      }
+    }
+    if (total > 0.0) {
+      primary_transfer_in_flight_ = true;
+      primary_uplink_->StartTransfer(
+          total, [this, a = std::move(amounts)]() mutable {
+            OnPrimaryTransferDone(std::move(a));
+          });
+    }
+  }
+  sim_->ScheduleAfter(cfg_.rsync_interval, [this] { PrimaryRsyncCycle(); });
+}
+
+void PartitionedRun::OnPrimaryTransferDone(std::vector<double> amounts) {
+  primary_transfer_in_flight_ = false;
+  for (size_t i = 0; i < files_.size(); ++i) {
+    if (amounts[i] <= 0.0) continue;
+    files_[i].at_server += amounts[i];
+    bytes_transferred_ += amounts[i];
+    RecordEntity(files_[i].spec->name, files_[i].at_server,
+                 files_[i].spec->total_bytes);
+  }
+  CheckDone();
+}
+
+void PartitionedRun::SecondaryPullCycle(size_t host) {
+  if (done_) return;
+  ReplicaState& rep = replicas_[host];
+  if (!rep.transfer_in_flight) {
+    std::vector<double> amounts(files_.size(), 0.0);
+    double total = 0.0;
+    for (size_t i = 0; i < files_.size(); ++i) {
+      if (!rep.needs_file[i]) continue;
+      double delta = files_[i].at_server - rep.pulled[i] -
+                     rep.in_flight[i];
+      if (delta > kByteEpsilon) {
+        amounts[i] = delta;
+        rep.in_flight[i] += delta;
+        total += delta;
+      }
+    }
+    if (total > 0.0) {
+      rep.transfer_in_flight = true;
+      secondaries_[host].downlink->StartTransfer(
+          total, [this, host, a = std::move(amounts)]() mutable {
+            OnSecondaryPullDone(host, std::move(a));
+          });
+    }
+  }
+  sim_->ScheduleAfter(cfg_.rsync_interval,
+                      [this, host] { SecondaryPullCycle(host); });
+}
+
+void PartitionedRun::OnSecondaryPullDone(size_t host,
+                                         std::vector<double> amounts) {
+  ReplicaState& rep = replicas_[host];
+  rep.transfer_in_flight = false;
+  for (size_t i = 0; i < files_.size(); ++i) {
+    if (amounts[i] <= 0.0) continue;
+    rep.pulled[i] += amounts[i];
+    rep.in_flight[i] -= amounts[i];
+    bytes_transferred_ += amounts[i];
+  }
+  UpdateReadiness(host);
+  TryLaunchProducts(host);
+}
+
+void PartitionedRun::UpdateReadiness(size_t host) {
+  const ReplicaState& rep = replicas_[host];
+  for (auto& ps : products_) {
+    if (ps.host != static_cast<int>(host)) continue;
+    int ready = ps.ready;
+    while (ready < spec_.increments) {
+      int next = ready + 1;
+      bool ok = true;
+      for (int fi : ps.spec->input_files) {
+        const FileState& fs = files_[static_cast<size_t>(fi)];
+        if (rep.pulled[static_cast<size_t>(fi)] + kByteEpsilon <
+            fs.cum[static_cast<size_t>(next)]) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) break;
+      ready = next;
+    }
+    ps.ready = ready;
+  }
+}
+
+void PartitionedRun::TryLaunchProducts(size_t host) {
+  if (done_) return;
+  for (size_t pi = 0; pi < products_.size(); ++pi) {
+    ProductState& ps = products_[pi];
+    if (ps.host != static_cast<int>(host)) continue;
+    while (ps.launched < ps.ready && ps.running == 0) {
+      ++ps.launched;
+      ++ps.running;
+      secondaries_[host].machine->StartTask(
+          ps.spec->cpu_per_increment,
+          [this, pi] { OnProductTaskDone(pi); }, cfg_.product_mem_bytes);
+    }
+  }
+  // Keep polling while this host still has unprocessed increments.
+  bool more = false;
+  for (const auto& ps : products_) {
+    if (ps.host == static_cast<int>(host) &&
+        ps.processed < spec_.increments) {
+      more = true;
+    }
+  }
+  if (more) {
+    sim_->ScheduleAfter(cfg_.poll_interval,
+                        [this, host] { TryLaunchProducts(host); });
+  }
+}
+
+void PartitionedRun::OnProductTaskDone(size_t product_index) {
+  ProductState& ps = products_[product_index];
+  --ps.running;
+  ++ps.processed;
+  // Push this increment's product bytes back to the server.
+  double bytes = ps.spec->bytes_per_increment;
+  secondaries_[static_cast<size_t>(ps.host)].uplink->StartTransfer(
+      bytes, [this, product_index, bytes] {
+        OnProductPushDone(product_index, bytes);
+      });
+  // Chain the next increment if ready (per-product serialization).
+  size_t host = static_cast<size_t>(ps.host);
+  if (ps.launched < ps.ready && ps.running == 0) {
+    ++ps.launched;
+    ++ps.running;
+    secondaries_[host].machine->StartTask(
+        ps.spec->cpu_per_increment,
+        [this, product_index] { OnProductTaskDone(product_index); },
+        cfg_.product_mem_bytes);
+  }
+}
+
+void PartitionedRun::OnProductPushDone(size_t product_index,
+                                       double bytes) {
+  ProductState& ps = products_[product_index];
+  ps.at_server_bytes += bytes;
+  bytes_transferred_ += bytes;
+  double total = ps.spec->bytes_per_increment *
+                 static_cast<double>(spec_.increments);
+  RecordEntity(ps.spec->name, ps.at_server_bytes, total);
+  CheckDone();
+}
+
+void PartitionedRun::RecordEntity(const std::string& name, double at,
+                                  double total) {
+  if (!cfg_.record_series || recorder_ == nullptr || total <= 0.0) return;
+  recorder_->Record(cfg_.series_prefix + name, sim_->now(), at / total);
+}
+
+void PartitionedRun::CheckDone() {
+  if (done_) return;
+  if (increments_done_ < spec_.increments) return;
+  for (const auto& fs : files_) {
+    if (fs.at_server + kByteEpsilon < fs.spec->total_bytes) return;
+  }
+  for (const auto& ps : products_) {
+    double total = ps.spec->bytes_per_increment *
+                   static_cast<double>(spec_.increments);
+    if (ps.processed < spec_.increments) return;
+    if (ps.at_server_bytes + kByteEpsilon < total) return;
+  }
+  done_ = true;
+  finish_time_ = sim_->now();
+  if (on_complete_) on_complete_();
+}
+
+}  // namespace dataflow
+}  // namespace ff

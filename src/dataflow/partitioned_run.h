@@ -1,0 +1,142 @@
+// PartitionedRun — "Architecture 3": data products partitioned across
+// multiple secondary nodes. The paper's §2.2: "in the current factory
+// implementation, there is generally little benefit to generating data
+// products for a single forecast concurrently at multiple nodes, due to
+// high data transfer overhead and limited node availability. In the
+// future, however, parallel code versions or increased node capacity may
+// make partitioning different data products across multiple nodes a more
+// attractive option, so we plan to revisit this issue."
+//
+// Data path: the simulation runs on the primary node; model outputs
+// rsync to the public server (as in Architecture 2); each secondary node
+// periodically pulls the newly-arrived increments of the input files its
+// product partition needs, generates those products, and pushes the
+// product bytes back to the server. The double data movement
+// (server -> secondary, products -> server) is exactly the "high data
+// transfer overhead" the paper flags; the A4 ablation quantifies when
+// the extra CPUs win anyway.
+
+#ifndef FF_DATAFLOW_PARTITIONED_RUN_H_
+#define FF_DATAFLOW_PARTITIONED_RUN_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/link.h"
+#include "cluster/machine.h"
+#include "sim/series.h"
+#include "workload/cost_model.h"
+#include "workload/forecast_spec.h"
+
+namespace ff {
+namespace dataflow {
+
+/// One secondary product-generation host.
+struct SecondaryHost {
+  cluster::Machine* machine = nullptr;
+  cluster::Link* downlink = nullptr;  // server -> secondary
+  cluster::Link* uplink = nullptr;    // secondary -> server
+};
+
+/// Tunables (subset of RunConfig semantics).
+struct PartitionedConfig {
+  workload::CostModel cost_model;
+  double rsync_interval = 300.0;
+  double poll_interval = 300.0;
+  double sim_mem_bytes = 700e6;
+  double product_mem_bytes = 300e6;
+  std::string series_prefix;
+  bool record_series = true;
+};
+
+/// A forecast run with its products spread over secondary nodes.
+class PartitionedRun {
+ public:
+  /// `partition[i]` gives the secondary-host index (into `secondaries`)
+  /// for product i of `spec`. `recorder` may be null when
+  /// cfg.record_series is false.
+  PartitionedRun(sim::Simulator* sim, cluster::Machine* primary,
+                 cluster::Link* primary_uplink,
+                 std::vector<SecondaryHost> secondaries,
+                 std::vector<int> partition, sim::SeriesRecorder* recorder,
+                 const workload::ForecastSpec& spec,
+                 PartitionedConfig cfg);
+
+  void Start();
+  void set_on_complete(std::function<void()> fn) {
+    on_complete_ = std::move(fn);
+  }
+
+  bool done() const { return done_; }
+  sim::Time finish_time() const { return finish_time_; }
+  sim::Time sim_finish_time() const { return sim_finish_time_; }
+
+  /// Total bytes moved over any link (model to server + replication to
+  /// secondaries + products back) — the architecture's transfer overhead.
+  double bytes_transferred() const { return bytes_transferred_; }
+
+ private:
+  struct FileState {
+    const workload::OutputFileSpec* spec;
+    std::vector<double> cum;
+    double generated = 0.0;
+    double sent = 0.0;
+    double at_server = 0.0;
+  };
+  struct ProductState {
+    const workload::ProductSpec* spec;
+    int host = 0;  // index into secondaries_
+    int ready = 0;
+    int launched = 0;
+    int processed = 0;
+    int running = 0;
+    double at_server_bytes = 0.0;
+  };
+  // Per-secondary replica of the input files it needs.
+  struct ReplicaState {
+    std::vector<char> needs_file;     // per file index
+    std::vector<double> pulled;       // bytes pulled per file
+    std::vector<double> in_flight;    // bytes being pulled per file
+    bool transfer_in_flight = false;
+  };
+
+  void StartSimIncrement(int index);
+  void OnSimIncrementDone(int index);
+  void PrimaryRsyncCycle();
+  void OnPrimaryTransferDone(std::vector<double> amounts);
+  void SecondaryPullCycle(size_t host);
+  void OnSecondaryPullDone(size_t host, std::vector<double> amounts);
+  void UpdateReadiness(size_t host);
+  void TryLaunchProducts(size_t host);
+  void OnProductTaskDone(size_t product_index);
+  void OnProductPushDone(size_t product_index, double bytes);
+  void RecordEntity(const std::string& name, double at, double total);
+  void CheckDone();
+
+  sim::Simulator* sim_;
+  cluster::Machine* primary_;
+  cluster::Link* primary_uplink_;
+  std::vector<SecondaryHost> secondaries_;
+  sim::SeriesRecorder* recorder_;
+  workload::ForecastSpec spec_;
+  PartitionedConfig cfg_;
+
+  std::vector<FileState> files_;
+  std::vector<ProductState> products_;
+  std::vector<ReplicaState> replicas_;
+
+  bool started_ = false;
+  bool done_ = false;
+  int increments_done_ = 0;
+  bool primary_transfer_in_flight_ = false;
+  double bytes_transferred_ = 0.0;
+  sim::Time sim_finish_time_ = 0.0;
+  sim::Time finish_time_ = 0.0;
+  std::function<void()> on_complete_;
+};
+
+}  // namespace dataflow
+}  // namespace ff
+
+#endif  // FF_DATAFLOW_PARTITIONED_RUN_H_

@@ -1,0 +1,416 @@
+#include "factory/campaign.h"
+
+#include <algorithm>
+
+#include "core/share_model.h"
+#include "logdata/loader.h"
+#include "logdata/log_store.h"
+#include "util/logging.h"
+#include "util/time_util.h"
+
+namespace ff {
+namespace factory {
+
+namespace {
+constexpr double kDay = util::kSecondsPerDay;
+}
+
+Campaign::Campaign(CampaignConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+Campaign::~Campaign() = default;
+
+util::Status Campaign::AddNode(const std::string& name, int num_cpus,
+                               double speed) {
+  if (machines_.count(name)) {
+    return util::Status::AlreadyExists("node " + name);
+  }
+  machines_.emplace(name, std::make_unique<cluster::Machine>(
+                              &sim_, name, num_cpus, speed));
+  node_order_.push_back(name);
+  return util::Status::OK();
+}
+
+util::Status Campaign::AddForecast(const workload::ForecastSpec& spec,
+                                   const std::string& node, int added_day) {
+  if (forecasts_.count(spec.name)) {
+    return util::Status::AlreadyExists("forecast " + spec.name);
+  }
+  if (!machines_.count(node)) {
+    return util::Status::NotFound("node " + node);
+  }
+  ForecastEntry entry;
+  entry.spec = spec;
+  entry.node = node;
+  entry.added_day = added_day;
+  forecasts_.emplace(spec.name, std::move(entry));
+  return util::Status::OK();
+}
+
+void Campaign::AddEvent(ChangeEvent event) {
+  events_.push_back(std::move(event));
+}
+
+cluster::Machine* Campaign::MachineOrDie(const std::string& name) {
+  auto it = machines_.find(name);
+  FF_CHECK(it != machines_.end()) << "unknown node " << name;
+  return it->second.get();
+}
+
+std::string Campaign::LeastLoadedNode(const std::string& excluded) const {
+  std::string best;
+  double best_rel = 0.0;
+  for (const auto& name : node_order_) {
+    const auto& m = machines_.at(name);
+    if (name == excluded || !m->up()) continue;
+    auto it = pending_work_.find(name);
+    double load = it == pending_work_.end() ? 0.0 : it->second;
+    double rel = load / (static_cast<double>(m->num_cpus()) * m->speed());
+    if (best.empty() || rel < best_rel) {
+      best = name;
+      best_rel = rel;
+    }
+  }
+  return best;
+}
+
+void Campaign::ScheduleDay(int day_index) {
+  double t = day_index * kDay + config_.start_hour * 3600.0;
+  sim_.ScheduleAt(t, [this, day_index] { LaunchDay(day_index); });
+}
+
+void Campaign::ApplyEvents(int day_index) {
+  for (const auto& ev : events_) {
+    if (ev.day != day_index) continue;
+    switch (ev.kind) {
+      case ChangeEvent::Kind::kSetTimesteps: {
+        auto it = forecasts_.find(ev.forecast);
+        if (it != forecasts_.end()) it->second.spec.timesteps = ev.int_value;
+        break;
+      }
+      case ChangeEvent::Kind::kSetMeshSides: {
+        auto it = forecasts_.find(ev.forecast);
+        if (it != forecasts_.end()) {
+          it->second.spec.mesh_sides = ev.int_value;
+        }
+        break;
+      }
+      case ChangeEvent::Kind::kSetCodeVersion: {
+        auto it = forecasts_.find(ev.forecast);
+        if (it != forecasts_.end()) {
+          it->second.spec.code_version = ev.str_value;
+          it->second.spec.code_factor = ev.factor;
+        }
+        break;
+      }
+      case ChangeEvent::Kind::kAddForecast: {
+        AddForecast(ev.new_forecast, ev.str_value, day_index).ok();
+        break;
+      }
+      case ChangeEvent::Kind::kRemoveForecast: {
+        auto it = forecasts_.find(ev.forecast);
+        if (it != forecasts_.end()) it->second.removed_day = day_index;
+        break;
+      }
+      case ChangeEvent::Kind::kReassign: {
+        auto it = forecasts_.find(ev.forecast);
+        if (it != forecasts_.end() && machines_.count(ev.str_value)) {
+          it->second.node = ev.str_value;
+        }
+        break;
+      }
+      case ChangeEvent::Kind::kNodeDown: {
+        if (machines_.count(ev.str_value)) {
+          MachineOrDie(ev.str_value)->SetUp(false);
+          HandleNodeDown(ev.str_value);
+        }
+        break;
+      }
+      case ChangeEvent::Kind::kNodeUp: {
+        if (machines_.count(ev.str_value)) {
+          MachineOrDie(ev.str_value)->SetUp(true);
+        }
+        break;
+      }
+      case ChangeEvent::Kind::kGuestLoad: {
+        if (machines_.count(ev.str_value)) {
+          // One-day guest work; not logged as a forecast run.
+          std::string node = ev.str_value;
+          pending_work_[node] += ev.factor;
+          MachineOrDie(node)->StartTask(
+              ev.factor, [this, node, w = ev.factor] {
+                pending_work_[node] -= w;
+              });
+        }
+        break;
+      }
+    }
+  }
+}
+
+void Campaign::HandleNodeDown(const std::string& node) {
+  using core::ReschedulePolicy;
+  if (config_.failure_policy == ReschedulePolicy::kNone) return;
+
+  // Displace the failed node's in-flight runs.
+  for (auto& run : active_runs_) {
+    if (run.task == 0 || run.node != node) continue;
+    auto remaining = MachineOrDie(node)->RemoveTask(run.task);
+    if (!remaining.ok()) continue;
+    pending_work_[node] -= *remaining;
+    std::string target = LeastLoadedNode(node);
+    if (target.empty()) {
+      // Nowhere to go; record as failed.
+      run.task = 0;
+      logdata::LogRecord rec;
+      auto& entry = forecasts_.at(run.forecast);
+      rec.forecast = run.forecast;
+      rec.region = entry.spec.region;
+      rec.day = config_.first_day + run.day_index;
+      rec.node = node;
+      rec.code_version = entry.spec.code_version;
+      rec.mesh_sides = entry.spec.mesh_sides;
+      rec.timesteps = entry.spec.timesteps;
+      rec.start_time = run.start_time;
+      rec.status = logdata::RunStatus::kFailed;
+      result_.records.push_back(rec);
+      continue;
+    }
+    size_t index = static_cast<size_t>(&run - active_runs_.data());
+    run.node = target;
+    pending_work_[target] += *remaining;
+    run.task = MachineOrDie(target)->StartTask(
+        *remaining, [this, index] { OnRunComplete(index); });
+    ++result_.failure_migrations;
+  }
+  // Reassign the forecasts themselves so tomorrow's launches avoid the
+  // dead node.
+  for (auto& [name, entry] : forecasts_) {
+    if (entry.node == node) {
+      std::string target = LeastLoadedNode(node);
+      if (!target.empty()) entry.node = target;
+    }
+  }
+  if (config_.failure_policy == ReschedulePolicy::kFullReplan) {
+    // Spread ALL forecasts over healthy nodes by estimated work (LPT).
+    std::vector<std::pair<double, std::string>> items;
+    for (const auto& [name, entry] : forecasts_) {
+      items.emplace_back(config_.cost_model.TotalCpuSeconds(entry.spec),
+                         name);
+    }
+    std::sort(items.rbegin(), items.rend());
+    std::map<std::string, double> load;
+    for (const auto& [w, name] : items) {
+      std::string best;
+      double best_rel = 0.0;
+      for (const auto& n : node_order_) {
+        const auto& m = machines_.at(n);
+        if (!m->up()) continue;
+        double rel = load[n] /
+                     (static_cast<double>(m->num_cpus()) * m->speed());
+        if (best.empty() || rel < best_rel) {
+          best = n;
+          best_rel = rel;
+        }
+      }
+      if (best.empty()) break;
+      forecasts_.at(name).node = best;
+      load[best] += w;
+    }
+  }
+}
+
+void Campaign::RebalanceIfNeeded(int day_index) {
+  if (!config_.foreman_rebalance) return;
+  // ForeMan's check: predict today's completions per node under the CPU-
+  // sharing model (carryover work from still-running prior days included);
+  // a node whose runs would still be executing when tomorrow launches is
+  // overloaded — that is exactly the condition that snowballs into the
+  // Fig. 8 cascade.
+  std::map<std::string, std::vector<ForecastEntry*>> node_forecasts;
+  std::map<std::string, std::vector<core::ShareJob>> node_jobs;
+  for (const auto& run : active_runs_) {
+    if (run.task == 0) continue;
+    auto remaining = machines_.at(run.node)->RemainingWork(run.task);
+    if (!remaining.ok()) continue;
+    node_jobs[run.node].push_back(core::ShareJob{
+        run.forecast + "#wip" + std::to_string(run.day_index), run.node,
+        0.0, *remaining});
+  }
+  for (auto& [name, entry] : forecasts_) {
+    if (day_index < entry.added_day || day_index >= entry.removed_day) {
+      continue;
+    }
+    node_forecasts[entry.node].push_back(&entry);
+    node_jobs[entry.node].push_back(core::ShareJob{
+        name, entry.node, 0.0,
+        config_.cost_model.TotalCpuSeconds(entry.spec)});
+  }
+  for (auto& [node, fcs] : node_forecasts) {
+    const auto& m = machines_.at(node);
+    core::NodeInfo info{node, m->num_cpus(), m->speed()};
+    auto pred = core::PredictCompletions({info}, node_jobs[node]);
+    bool overloaded =
+        pred.ok() && pred->makespan > kDay - config_.start_hour * 3600.0;
+    if (!overloaded) {
+      for (auto* f : fcs) f->overload_streak = 0;
+      continue;
+    }
+    bool acted = false;
+    for (auto* f : fcs) {
+      f->overload_streak += 1;
+    }
+    // Move the lowest-priority, most recently added forecast once the
+    // overload has persisted (the paper's operators reacted after a
+    // couple of days of inflated walltimes).
+    std::vector<ForecastEntry*> sorted = fcs;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const ForecastEntry* a, const ForecastEntry* b) {
+                if (a->spec.priority != b->spec.priority) {
+                  return a->spec.priority > b->spec.priority;
+                }
+                return a->added_day > b->added_day;
+              });
+    for (auto* victim : sorted) {
+      if (acted) break;
+      if (victim->overload_streak < config_.rebalance_patience) continue;
+      if (sorted.size() < 2) break;  // nothing else to keep here
+      std::string target = LeastLoadedNode(node);
+      if (target.empty() || target == node) break;
+      victim->node = target;
+      victim->overload_streak = 0;
+      ++result_.foreman_moves;
+      acted = true;
+    }
+  }
+}
+
+void Campaign::LiveDbUpsert(const logdata::LogRecord& rec) {
+  if (config_.live_db == nullptr) return;
+  if (!config_.live_db->HasTable(logdata::kRunsTable)) {
+    auto table = config_.live_db->CreateTable(logdata::kRunsTable,
+                                              logdata::RunsSchema());
+    if (!table.ok()) return;
+    (*table)->CreateIndex("forecast").ok();
+  }
+  auto table = config_.live_db->table(logdata::kRunsTable);
+  if (!table.ok()) return;
+  logdata::UpsertRun(*table, rec).ok();
+}
+
+logdata::LogRecord Campaign::MakeRecord(const ActiveRun& run,
+                                        logdata::RunStatus status) const {
+  const ForecastEntry& entry = forecasts_.at(run.forecast);
+  logdata::LogRecord rec;
+  rec.forecast = run.forecast;
+  rec.region = entry.spec.region;
+  rec.day = config_.first_day + run.day_index;
+  rec.node = run.node;
+  rec.code_version = entry.spec.code_version;
+  rec.mesh_sides = entry.spec.mesh_sides;
+  rec.timesteps = entry.spec.timesteps;
+  rec.start_time = run.start_time;
+  if (status == logdata::RunStatus::kCompleted) {
+    rec.end_time = sim_.now();
+    rec.walltime = sim_.now() - run.start_time;
+  }
+  rec.status = status;
+  return rec;
+}
+
+void Campaign::LaunchRun(ForecastEntry* entry, int day_index) {
+  double work = config_.cost_model.TotalCpuSeconds(entry->spec);
+  if (config_.noise_sigma > 0.0) {
+    work = rng_.LogNormalMedian(work, config_.noise_sigma);
+  }
+  ActiveRun run;
+  run.forecast = entry->spec.name;
+  run.day_index = day_index;
+  run.node = entry->node;
+  run.start_time = sim_.now();
+  run.work = work;
+  size_t index = active_runs_.size();
+  pending_work_[entry->node] += work;
+  active_runs_.push_back(run);
+  active_runs_[index].task = MachineOrDie(entry->node)->StartTask(
+      work, [this, index] { OnRunComplete(index); });
+  LiveDbUpsert(MakeRecord(active_runs_[index], logdata::RunStatus::kRunning));
+}
+
+void Campaign::OnRunComplete(size_t run_index) {
+  ActiveRun& run = active_runs_[run_index];
+  run.task = 0;
+  pending_work_[run.node] -= run.work;
+  double walltime = sim_.now() - run.start_time;
+  int day = config_.first_day + run.day_index;
+  result_.walltimes[run.forecast].push_back(DaySample{day, walltime});
+
+  logdata::LogRecord rec =
+      MakeRecord(run, logdata::RunStatus::kCompleted);
+  LiveDbUpsert(rec);
+  result_.records.push_back(std::move(rec));
+}
+
+void Campaign::LaunchDay(int day_index) {
+  ApplyEvents(day_index);
+  RebalanceIfNeeded(day_index);
+  for (auto& [name, entry] : forecasts_) {
+    if (day_index < entry.added_day || day_index >= entry.removed_day) {
+      continue;
+    }
+    LaunchRun(&entry, day_index);
+  }
+}
+
+util::StatusOr<CampaignResult> Campaign::Run() {
+  if (ran_) {
+    return util::Status::FailedPrecondition("campaign already ran");
+  }
+  ran_ = true;
+  if (machines_.empty()) {
+    return util::Status::FailedPrecondition("no nodes");
+  }
+  for (int d = 0; d < config_.num_days; ++d) ScheduleDay(d);
+  sim_.Run();
+
+  // Anything still active stalled on a dead node: record as running.
+  for (const auto& run : active_runs_) {
+    if (run.task == 0) continue;
+    logdata::LogRecord rec;
+    const ForecastEntry& entry = forecasts_.at(run.forecast);
+    rec.forecast = run.forecast;
+    rec.region = entry.spec.region;
+    rec.day = config_.first_day + run.day_index;
+    rec.node = run.node;
+    rec.code_version = entry.spec.code_version;
+    rec.mesh_sides = entry.spec.mesh_sides;
+    rec.timesteps = entry.spec.timesteps;
+    rec.start_time = run.start_time;
+    rec.status = logdata::RunStatus::kRunning;
+    result_.records.push_back(rec);
+  }
+
+  // Keep per-forecast samples sorted by day (completions can interleave).
+  for (auto& [name, samples] : result_.walltimes) {
+    std::sort(samples.begin(), samples.end(),
+              [](const DaySample& a, const DaySample& b) {
+                return a.day < b.day;
+              });
+  }
+  std::sort(result_.records.begin(), result_.records.end(),
+            [](const logdata::LogRecord& a, const logdata::LogRecord& b) {
+              if (a.forecast != b.forecast) return a.forecast < b.forecast;
+              return a.day < b.day;
+            });
+
+  if (!config_.log_dir.empty()) {
+    logdata::LogStore store(config_.log_dir);
+    for (const auto& rec : result_.records) {
+      FF_RETURN_NOT_OK(store.Write(rec));
+    }
+  }
+  return std::move(result_);
+}
+
+}  // namespace factory
+}  // namespace ff

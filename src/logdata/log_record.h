@@ -1,0 +1,43 @@
+// Log records harvested from per-forecast run directories (§4.3.2).
+// Each forecast runs in its own directory; the factory writes one run.log
+// per (forecast, day) with the statistics the paper's Perl crawlers
+// extracted: code version, mesh, timesteps, node, start/end, walltime.
+
+#ifndef FF_LOGDATA_LOG_RECORD_H_
+#define FF_LOGDATA_LOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ff {
+namespace logdata {
+
+/// Completion state of a logged run.
+enum class RunStatus {
+  kCompleted,
+  kRunning,   // statistics incomplete ("does not have a completion time")
+  kDropped,   // shed by ForeMan priority policy
+  kFailed,    // node failure mid-run
+};
+
+const char* RunStatusName(RunStatus s);
+
+/// One run execution = one tuple in the statistics database.
+struct LogRecord {
+  std::string forecast;
+  std::string region;
+  int64_t day = 0;  // day of year, matching Figs. 8-9's x axis
+  std::string node;
+  std::string code_version;
+  int64_t mesh_sides = 0;
+  int64_t timesteps = 0;
+  double start_time = 0.0;  // campaign seconds
+  double end_time = 0.0;    // 0 when not finished
+  double walltime = 0.0;    // 0 when not finished
+  RunStatus status = RunStatus::kCompleted;
+};
+
+}  // namespace logdata
+}  // namespace ff
+
+#endif  // FF_LOGDATA_LOG_RECORD_H_

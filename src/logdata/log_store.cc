@@ -1,0 +1,173 @@
+#include "logdata/log_store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace fs = std::filesystem;
+
+namespace ff {
+namespace logdata {
+
+const char* RunStatusName(RunStatus s) {
+  switch (s) {
+    case RunStatus::kCompleted:
+      return "completed";
+    case RunStatus::kRunning:
+      return "running";
+    case RunStatus::kDropped:
+      return "dropped";
+    case RunStatus::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+namespace {
+
+util::StatusOr<RunStatus> ParseRunStatus(const std::string& name) {
+  if (name == "completed") return RunStatus::kCompleted;
+  if (name == "running") return RunStatus::kRunning;
+  if (name == "dropped") return RunStatus::kDropped;
+  if (name == "failed") return RunStatus::kFailed;
+  return util::Status::ParseError("unknown run status: " + name);
+}
+
+}  // namespace
+
+std::string FormatRunLog(const LogRecord& r) {
+  std::ostringstream os;
+  os << "forecast: " << r.forecast << "\n"
+     << "region: " << r.region << "\n"
+     << "day: " << r.day << "\n"
+     << "node: " << r.node << "\n"
+     << "code_version: " << r.code_version << "\n"
+     << "mesh_sides: " << r.mesh_sides << "\n"
+     << "timesteps: " << r.timesteps << "\n"
+     << "start_time: " << util::StrFormat("%.3f", r.start_time) << "\n"
+     << "end_time: " << util::StrFormat("%.3f", r.end_time) << "\n"
+     << "walltime: " << util::StrFormat("%.3f", r.walltime) << "\n"
+     << "status: " << RunStatusName(r.status) << "\n";
+  return os.str();
+}
+
+util::StatusOr<LogRecord> ParseRunLog(const std::string& text) {
+  LogRecord r;
+  bool saw_forecast = false;
+  for (const auto& raw_line : util::Split(text, '\n')) {
+    std::string line = util::Trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;  // noise line
+    std::string key = util::Trim(line.substr(0, colon));
+    std::string value = util::Trim(line.substr(colon + 1));
+    if (key == "forecast") {
+      r.forecast = value;
+      saw_forecast = true;
+    } else if (key == "region") {
+      r.region = value;
+    } else if (key == "day") {
+      FF_ASSIGN_OR_RETURN(r.day, util::ParseInt64(value));
+    } else if (key == "node") {
+      r.node = value;
+    } else if (key == "code_version") {
+      r.code_version = value;
+    } else if (key == "mesh_sides") {
+      FF_ASSIGN_OR_RETURN(r.mesh_sides, util::ParseInt64(value));
+    } else if (key == "timesteps") {
+      FF_ASSIGN_OR_RETURN(r.timesteps, util::ParseInt64(value));
+    } else if (key == "start_time") {
+      FF_ASSIGN_OR_RETURN(r.start_time, util::ParseDouble(value));
+    } else if (key == "end_time") {
+      FF_ASSIGN_OR_RETURN(r.end_time, util::ParseDouble(value));
+    } else if (key == "walltime") {
+      FF_ASSIGN_OR_RETURN(r.walltime, util::ParseDouble(value));
+    } else if (key == "status") {
+      FF_ASSIGN_OR_RETURN(r.status, ParseRunStatus(value));
+    }
+    // Unknown keys ignored.
+  }
+  if (!saw_forecast) {
+    return util::Status::ParseError("run.log missing 'forecast' key");
+  }
+  return r;
+}
+
+LogStore::LogStore(std::string root_dir) : root_(std::move(root_dir)) {}
+
+std::string LogStore::RunDir(const std::string& forecast,
+                             int64_t day) const {
+  return root_ + "/" + forecast + "/" +
+         util::StrFormat("day%03lld", static_cast<long long>(day));
+}
+
+util::Status LogStore::Write(const LogRecord& record) {
+  if (record.forecast.empty()) {
+    return util::Status::InvalidArgument("record has empty forecast name");
+  }
+  std::string dir = RunDir(record.forecast, record.day);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return util::Status::IoError("create_directories " + dir + ": " +
+                                 ec.message());
+  }
+  std::string path = dir + "/run.log";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return util::Status::IoError("cannot open " + path);
+  }
+  out << FormatRunLog(record);
+  out.close();
+  if (!out) {
+    return util::Status::IoError("write failed: " + path);
+  }
+  return util::Status::OK();
+}
+
+Crawler::Crawler(std::string root_dir) : root_(std::move(root_dir)) {}
+
+util::StatusOr<std::vector<LogRecord>> Crawler::CrawlAll() {
+  files_seen_ = 0;
+  files_skipped_ = 0;
+  std::vector<LogRecord> records;
+  std::error_code ec;
+  if (!fs::exists(root_, ec) || ec) {
+    return util::Status::NotFound("log root " + root_);
+  }
+  for (auto it = fs::recursive_directory_iterator(root_, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    if (it->path().filename() != "run.log") continue;
+    ++files_seen_;
+    std::ifstream in(it->path());
+    if (!in) {
+      ++files_skipped_;
+      continue;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = ParseRunLog(buffer.str());
+    if (!parsed.ok()) {
+      ++files_skipped_;
+      continue;
+    }
+    records.push_back(std::move(parsed).value());
+  }
+  if (ec) {
+    return util::Status::IoError("crawl " + root_ + ": " + ec.message());
+  }
+  std::sort(records.begin(), records.end(),
+            [](const LogRecord& a, const LogRecord& b) {
+              if (a.forecast != b.forecast) return a.forecast < b.forecast;
+              return a.day < b.day;
+            });
+  return records;
+}
+
+}  // namespace logdata
+}  // namespace ff

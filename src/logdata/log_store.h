@@ -1,0 +1,64 @@
+// LogStore: writes run.log files into the paper's flat per-forecast
+// directory layout —
+//     <root>/<forecast>/<day NNN>/run.log
+// — and Crawler: walks that layout back into LogRecords (the paper's
+// "scripts to crawl all existing directories to parse log files").
+
+#ifndef FF_LOGDATA_LOG_STORE_H_
+#define FF_LOGDATA_LOG_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "logdata/log_record.h"
+#include "util/statusor.h"
+
+namespace ff {
+namespace logdata {
+
+/// Serializes a record to run.log's "key: value" format.
+std::string FormatRunLog(const LogRecord& record);
+
+/// Parses run.log text; unknown keys are ignored (real logs carry extra
+/// noise), missing keys default.
+util::StatusOr<LogRecord> ParseRunLog(const std::string& text);
+
+/// Filesystem-backed store of run directories.
+class LogStore {
+ public:
+  explicit LogStore(std::string root_dir);
+
+  /// Writes (or overwrites, e.g. when a running forecast completes)
+  /// <root>/<forecast>/dayNNN/run.log.
+  util::Status Write(const LogRecord& record);
+
+  /// Path helpers.
+  const std::string& root() const { return root_; }
+  std::string RunDir(const std::string& forecast, int64_t day) const;
+
+ private:
+  std::string root_;
+};
+
+/// Crawls a LogStore-layout tree into records, sorted by (forecast, day).
+class Crawler {
+ public:
+  explicit Crawler(std::string root_dir);
+
+  /// Parses every run.log under the root. Unreadable or malformed files
+  /// are skipped and counted (the factory's real logs have partial days).
+  util::StatusOr<std::vector<LogRecord>> CrawlAll();
+
+  size_t files_seen() const { return files_seen_; }
+  size_t files_skipped() const { return files_skipped_; }
+
+ private:
+  std::string root_;
+  size_t files_seen_ = 0;
+  size_t files_skipped_ = 0;
+};
+
+}  // namespace logdata
+}  // namespace ff
+
+#endif  // FF_LOGDATA_LOG_STORE_H_

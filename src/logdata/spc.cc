@@ -1,0 +1,132 @@
+#include "logdata/spc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace ff {
+namespace logdata {
+
+const char* SpcRuleName(SpcRule rule) {
+  switch (rule) {
+    case SpcRule::kBeyondLimits:
+      return "beyond-3-sigma";
+    case SpcRule::kRunOfEight:
+      return "run-of-8";
+    case SpcRule::kTwoOfThreeBeyond2Sigma:
+      return "2-of-3-beyond-2-sigma";
+  }
+  return "?";
+}
+
+util::StatusOr<ControlChart> FitControlChart(
+    const std::vector<double>& baseline) {
+  if (baseline.size() < 5) {
+    return util::Status::InvalidArgument(
+        "control chart needs at least 5 baseline samples");
+  }
+  ControlChart chart;
+  chart.baseline_samples = baseline.size();
+  double sum = 0.0;
+  for (double x : baseline) sum += x;
+  chart.center = sum / static_cast<double>(baseline.size());
+  // Mean moving range; d2 = 1.128 for subgroup size 2.
+  double mr_sum = 0.0;
+  for (size_t i = 1; i < baseline.size(); ++i) {
+    mr_sum += std::fabs(baseline[i] - baseline[i - 1]);
+  }
+  double mr_mean = mr_sum / static_cast<double>(baseline.size() - 1);
+  chart.sigma = mr_mean / 1.128;
+  chart.ucl = chart.center + 3.0 * chart.sigma;
+  chart.lcl = std::max(0.0, chart.center - 3.0 * chart.sigma);
+  return chart;
+}
+
+std::vector<SpcSignal> Monitor(const ControlChart& chart,
+                               const std::vector<double>& samples) {
+  std::vector<SpcSignal> signals;
+  int run_side = 0;   // +1 above center, -1 below
+  int run_length = 0;
+  // For rule 2, remember which of the last 3 samples crossed 2 sigma.
+  std::vector<int> beyond2;  // per-sample: +1/-1/0
+  beyond2.reserve(samples.size());
+
+  for (size_t i = 0; i < samples.size(); ++i) {
+    double x = samples[i];
+    // Rule 1.
+    if (!chart.InControl(x)) {
+      signals.push_back(SpcSignal{i, x, SpcRule::kBeyondLimits,
+                                  x > chart.center});
+    }
+    // Rule 4 bookkeeping.
+    int side = x > chart.center ? 1 : (x < chart.center ? -1 : 0);
+    if (side != 0 && side == run_side) {
+      ++run_length;
+    } else {
+      run_side = side;
+      run_length = side == 0 ? 0 : 1;
+    }
+    if (run_length == 8) {
+      signals.push_back(
+          SpcSignal{i, x, SpcRule::kRunOfEight, run_side > 0});
+    }
+    // Rule 2 bookkeeping.
+    double two_sigma_hi = chart.center + 2.0 * chart.sigma;
+    double two_sigma_lo = chart.center - 2.0 * chart.sigma;
+    int b2 = x > two_sigma_hi ? 1 : (x < two_sigma_lo ? -1 : 0);
+    beyond2.push_back(b2);
+    if (beyond2.size() >= 3 && b2 != 0) {
+      int same = 0;
+      for (size_t k = beyond2.size() - 3; k < beyond2.size(); ++k) {
+        if (beyond2[k] == b2) ++same;
+      }
+      bool already_rule1 =
+          !signals.empty() && signals.back().index == i &&
+          signals.back().rule == SpcRule::kBeyondLimits;
+      if (same >= 2 && !already_rule1) {
+        signals.push_back(SpcSignal{
+            i, x, SpcRule::kTwoOfThreeBeyond2Sigma, b2 > 0});
+      }
+    }
+  }
+  return signals;
+}
+
+util::StatusOr<std::string> SpcReport(const std::vector<double>& series,
+                                      size_t baseline_n,
+                                      int64_t first_day) {
+  if (baseline_n >= series.size()) {
+    return util::Status::InvalidArgument(
+        "baseline consumes the whole series");
+  }
+  std::vector<double> baseline(series.begin(),
+                               series.begin() +
+                                   static_cast<ptrdiff_t>(baseline_n));
+  FF_ASSIGN_OR_RETURN(ControlChart chart, FitControlChart(baseline));
+  std::vector<double> monitored(
+      series.begin() + static_cast<ptrdiff_t>(baseline_n), series.end());
+  auto signals = Monitor(chart, monitored);
+
+  std::ostringstream os;
+  os << util::StrFormat(
+      "X-mR chart: center %.0f s, sigma %.0f s, limits [%.0f, %.0f] "
+      "(baseline %zu days)\n",
+      chart.center, chart.sigma, chart.lcl, chart.ucl,
+      chart.baseline_samples);
+  if (signals.empty()) {
+    os << "  process in control over " << monitored.size() << " days\n";
+  }
+  for (const auto& s : signals) {
+    os << util::StrFormat(
+        "  day %lld: %.0f s %s (%s)\n",
+        static_cast<long long>(first_day +
+                               static_cast<int64_t>(baseline_n + s.index)),
+        s.value, s.above ? "high" : "low", SpcRuleName(s.rule));
+  }
+  return os.str();
+}
+
+}  // namespace logdata
+}  // namespace ff

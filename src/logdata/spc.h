@@ -1,0 +1,78 @@
+// Statistical process control for forecast run times.
+//
+// The paper's §1: "Plant Managers use statistical process control to
+// reduce uncertainty on the factory floor. For example, process time
+// variability, regardless of source, results in increased work-in-
+// progress ... historical data can be used as a baseline to help
+// determine possible effects of changes."
+//
+// Implements an individuals/moving-range (X-mR) control chart: the
+// baseline window establishes the center line and 3-sigma control limits
+// (sigma estimated as mean moving range / 1.128); subsequent samples are
+// screened with Western Electric-style rules. Out-of-control signals are
+// what should trigger a ForeMan re-plan *before* the Fig. 8 cascade
+// builds.
+
+#ifndef FF_LOGDATA_SPC_H_
+#define FF_LOGDATA_SPC_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace ff {
+namespace logdata {
+
+/// Why a sample was flagged.
+enum class SpcRule {
+  kBeyondLimits,     // rule 1: single point beyond a 3-sigma limit
+  kRunOfEight,       // rule 4: 8 consecutive points on one side of center
+  kTwoOfThreeBeyond2Sigma,  // rule 2: 2 of 3 beyond the same 2-sigma line
+};
+
+const char* SpcRuleName(SpcRule rule);
+
+/// One out-of-control signal.
+struct SpcSignal {
+  size_t index;   // sample index within the monitored series
+  double value;
+  SpcRule rule;
+  bool above;     // signal direction relative to the center line
+};
+
+/// The fitted chart.
+struct ControlChart {
+  double center = 0.0;      // baseline mean
+  double sigma = 0.0;       // moving-range sigma estimate
+  double ucl = 0.0;         // center + 3 sigma
+  double lcl = 0.0;         // max(0, center - 3 sigma): walltimes >= 0
+  size_t baseline_samples = 0;
+
+  bool InControl(double x) const { return x <= ucl && x >= lcl; }
+};
+
+/// Fits an X-mR chart from a baseline window. Requires >= 5 samples and
+/// non-identical values (a zero moving range would put the limits on the
+/// center line; in that degenerate case sigma is taken as 0 and every
+/// differing sample signals).
+util::StatusOr<ControlChart> FitControlChart(
+    const std::vector<double>& baseline);
+
+/// Screens `samples` against the chart with the three implemented rules;
+/// returns signals ordered by index. Indices refer to `samples`.
+std::vector<SpcSignal> Monitor(const ControlChart& chart,
+                               const std::vector<double>& samples);
+
+/// Convenience: fit on the first `baseline_n` samples of `series`,
+/// monitor the rest (signal indices are series-relative), and render a
+/// short report with day labels starting at `first_day + baseline_n`.
+util::StatusOr<std::string> SpcReport(const std::vector<double>& series,
+                                      size_t baseline_n,
+                                      int64_t first_day);
+
+}  // namespace logdata
+}  // namespace ff
+
+#endif  // FF_LOGDATA_SPC_H_

@@ -1,0 +1,159 @@
+#include "logdata/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/strings.h"
+#include "util/summary_stats.h"
+
+namespace ff {
+namespace logdata {
+
+namespace {
+
+double MeanOf(const std::vector<double>& xs, size_t begin, size_t end) {
+  double s = 0.0;
+  for (size_t i = begin; i < end; ++i) s += xs[i];
+  return end > begin ? s / static_cast<double>(end - begin) : 0.0;
+}
+
+double MedianOf(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t n = v.size();
+  return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace
+
+util::StatusOr<std::vector<double>> MovingAverage(
+    const std::vector<double>& xs, size_t w) {
+  if (xs.empty()) return util::Status::InvalidArgument("empty series");
+  if (w < 1) return util::Status::InvalidArgument("window must be >= 1");
+  std::vector<double> out(xs.size());
+  size_t half = w / 2;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    size_t b = i >= half ? i - half : 0;
+    size_t e = std::min(xs.size(), i + half + 1);
+    out[i] = MeanOf(xs, b, e);
+  }
+  return out;
+}
+
+util::StatusOr<std::vector<ChangePoint>> DetectChangePoints(
+    const std::vector<double>& xs, size_t window, double min_shift) {
+  if (window < 2) {
+    return util::Status::InvalidArgument("window must be >= 2");
+  }
+  if (min_shift <= 0.0) {
+    return util::Status::InvalidArgument("min_shift must be positive");
+  }
+  std::vector<ChangePoint> out;
+  if (xs.size() < 2 * window) return out;
+  size_t last_cp = 0;
+  bool has_last = false;
+  for (size_t i = window; i + window <= xs.size(); ++i) {
+    double before = MeanOf(xs, i - window, i);
+    double after = MeanOf(xs, i, i + window);
+    double shift = after - before;
+    if (std::fabs(shift) < min_shift) continue;
+    // Require the shift to dominate the noise of both windows.
+    util::SummaryStats sb, sa;
+    for (size_t k = i - window; k < i; ++k) sb.Add(xs[k]);
+    for (size_t k = i; k < i + window; ++k) sa.Add(xs[k]);
+    double noise = std::max(sb.stddev(), sa.stddev());
+    if (std::fabs(shift) < 2.0 * noise) continue;
+    if (has_last && i - last_cp < window) {
+      // Within the exclusion zone of the previous change point; keep the
+      // one with the larger shift.
+      if (std::fabs(shift) > std::fabs(out.back().shift())) {
+        out.back() = ChangePoint{i, before, after};
+        last_cp = i;
+      }
+      continue;
+    }
+    out.push_back(ChangePoint{i, before, after});
+    last_cp = i;
+    has_last = true;
+  }
+  return out;
+}
+
+util::StatusOr<std::vector<Spike>> DetectSpikes(
+    const std::vector<double>& xs, size_t w, double z_threshold,
+    double min_relative) {
+  if (w < 3) return util::Status::InvalidArgument("window must be >= 3");
+  if (z_threshold <= 0.0) {
+    return util::Status::InvalidArgument("z_threshold must be positive");
+  }
+  std::vector<Spike> out;
+  if (xs.size() < w) return out;
+  size_t half = w / 2;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    size_t b = i >= half ? i - half : 0;
+    size_t e = std::min(xs.size(), b + w);
+    if (e - b < 3) continue;
+    // Local neighbourhood excluding the candidate itself.
+    std::vector<double> neigh;
+    neigh.reserve(e - b);
+    for (size_t k = b; k < e; ++k) {
+      if (k != i) neigh.push_back(xs[k]);
+    }
+    double med = MedianOf(neigh);
+    std::vector<double> devs;
+    devs.reserve(neigh.size());
+    for (double v : neigh) devs.push_back(std::fabs(v - med));
+    double mad = MedianOf(devs);
+    double scale = mad > 1e-12 ? 1.4826 * mad : 1e-12;
+    double z = (xs[i] - med) / scale;
+    if (std::fabs(z) < z_threshold) continue;
+    if (std::fabs(med) > 1e-12 &&
+        std::fabs(xs[i] - med) < min_relative * std::fabs(med)) {
+      continue;
+    }
+    // Transience: immediate neighbours must sit near the baseline, which
+    // distinguishes a spike from a level shift.
+    bool left_ok = i == 0 || std::fabs(xs[i - 1] - med) <
+                                 0.5 * std::fabs(xs[i] - med);
+    bool right_ok = i + 1 >= xs.size() ||
+                    std::fabs(xs[i + 1] - med) <
+                        0.5 * std::fabs(xs[i] - med);
+    if (left_ok && right_ok) {
+      out.push_back(Spike{i, xs[i], med, z});
+    }
+  }
+  return out;
+}
+
+std::string AnalyzeSeries(const std::vector<double>& xs, int64_t first_day,
+                          size_t window, double min_shift,
+                          double z_threshold) {
+  std::ostringstream os;
+  os << "series: " << xs.size() << " samples, days " << first_day << ".."
+     << first_day + static_cast<int64_t>(xs.size()) - 1 << "\n";
+  auto cps = DetectChangePoints(xs, window, min_shift);
+  if (cps.ok()) {
+    for (const auto& cp : *cps) {
+      os << util::StrFormat(
+          "  level shift at day %lld: %.0f -> %.0f (%+.0f s)\n",
+          static_cast<long long>(first_day +
+                                 static_cast<int64_t>(cp.index)),
+          cp.level_before, cp.level_after, cp.shift());
+    }
+  }
+  auto spikes = DetectSpikes(xs, window | 1, z_threshold);
+  if (spikes.ok()) {
+    for (const auto& sp : *spikes) {
+      os << util::StrFormat(
+          "  spike at day %lld: %.0f (baseline %.0f, z=%.1f)\n",
+          static_cast<long long>(first_day +
+                                 static_cast<int64_t>(sp.index)),
+          sp.value, sp.baseline, sp.z);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace logdata
+}  // namespace ff

@@ -1,0 +1,64 @@
+// Time-series analysis over per-day walltimes — the §4.3.1 toolkit that
+// surfaces what the paper reads off Figs. 8-9: level shifts from timestep/
+// code/mesh changes, contention spikes, and cascading-delay humps.
+
+#ifndef FF_LOGDATA_TIMESERIES_H_
+#define FF_LOGDATA_TIMESERIES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace ff {
+namespace logdata {
+
+/// A detected sustained level shift.
+struct ChangePoint {
+  size_t index;        // first sample of the new level
+  double level_before; // mean of the window preceding the shift
+  double level_after;  // mean of the window following the shift
+  double shift() const { return level_after - level_before; }
+};
+
+/// A transient outlier (e.g. a one-day contention spike).
+struct Spike {
+  size_t index;
+  double value;
+  double baseline;  // local median
+  double z;         // robust z-score (vs MAD)
+};
+
+/// Centered moving average with window `w` (odd recommended); edges use
+/// the available samples. Requires w >= 1 and non-empty xs.
+util::StatusOr<std::vector<double>> MovingAverage(
+    const std::vector<double>& xs, size_t w);
+
+/// Detects sustained level shifts: index i is a change point when the
+/// means of the `window` samples before and after differ by more than
+/// `min_shift` AND the shift dominates local noise. Spikes shorter than
+/// `window` are not reported (use DetectSpikes). Change points are
+/// separated by at least `window` samples.
+util::StatusOr<std::vector<ChangePoint>> DetectChangePoints(
+    const std::vector<double>& xs, size_t window, double min_shift);
+
+/// Detects transient outliers by robust z-score against a rolling median
+/// (window `w`); reports samples with |z| >= z_threshold that also
+/// deviate by at least `min_relative` of the local baseline (guards
+/// against near-noiseless series where any jitter has a huge z) and do
+/// NOT persist (the neighbours return to baseline).
+util::StatusOr<std::vector<Spike>> DetectSpikes(
+    const std::vector<double>& xs, size_t w, double z_threshold,
+    double min_relative = 0.10);
+
+/// Human-readable report of both analyses ("day" labels are
+/// first_day + index), the ForeMan log-analysis screen.
+std::string AnalyzeSeries(const std::vector<double>& xs, int64_t first_day,
+                          size_t window, double min_shift,
+                          double z_threshold);
+
+}  // namespace logdata
+}  // namespace ff
+
+#endif  // FF_LOGDATA_TIMESERIES_H_

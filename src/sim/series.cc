@@ -1,0 +1,107 @@
+#include "sim/series.h"
+
+#include <algorithm>
+
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace ff {
+namespace sim {
+
+void SeriesRecorder::Record(const std::string& series, Time t, double value) {
+  auto& pts = series_[series];
+  FF_CHECK(pts.empty() || pts.back().time <= t)
+      << "series " << series << " recorded out of order";
+  pts.push_back(SeriesPoint{t, value});
+}
+
+std::vector<std::string> SeriesRecorder::SeriesNames() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, _] : series_) names.push_back(name);
+  return names;
+}
+
+bool SeriesRecorder::Has(const std::string& series) const {
+  return series_.count(series) > 0;
+}
+
+util::StatusOr<std::vector<SeriesPoint>> SeriesRecorder::Get(
+    const std::string& series) const {
+  auto it = series_.find(series);
+  if (it == series_.end()) {
+    return util::Status::NotFound("series " + series);
+  }
+  return it->second;
+}
+
+util::StatusOr<double> SeriesRecorder::LastValue(
+    const std::string& series) const {
+  auto it = series_.find(series);
+  if (it == series_.end() || it->second.empty()) {
+    return util::Status::NotFound("series " + series);
+  }
+  return it->second.back().value;
+}
+
+util::StatusOr<Time> SeriesRecorder::FirstTimeAtLeast(
+    const std::string& series, double threshold) const {
+  auto it = series_.find(series);
+  if (it == series_.end() || it->second.empty()) {
+    return util::Status::NotFound("series " + series);
+  }
+  const auto& pts = it->second;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (pts[i].value >= threshold) {
+      if (i == 0 || pts[i - 1].value >= threshold) return pts[i].time;
+      // Linear interpolation between i-1 and i.
+      const auto& a = pts[i - 1];
+      const auto& b = pts[i];
+      if (b.value == a.value || b.time == a.time) return b.time;
+      double frac = (threshold - a.value) / (b.value - a.value);
+      return a.time + frac * (b.time - a.time);
+    }
+  }
+  return util::Status::NotFound(
+      util::StrFormat("series %s never reached %g", series.c_str(),
+                      threshold));
+}
+
+void SeriesRecorder::WriteCsv(std::ostream* out) const {
+  util::CsvWriter writer(out, {"series", "time", "value"});
+  for (const auto& [name, pts] : series_) {
+    for (const auto& p : pts) {
+      writer
+          .WriteRow({name, util::StrFormat("%.3f", p.time),
+                     util::StrFormat("%.6g", p.value)})
+          .ok();
+    }
+  }
+}
+
+void SeriesRecorder::WriteCsvGrid(std::ostream* out, Time t_end,
+                                  Time dt) const {
+  FF_CHECK(dt > 0.0) << "WriteCsvGrid: dt must be positive";
+  std::vector<std::string> header{"time"};
+  auto names = SeriesNames();
+  header.insert(header.end(), names.begin(), names.end());
+  util::CsvWriter writer(out, header);
+  std::vector<size_t> cursor(names.size(), 0);
+  for (Time t = 0.0; t <= t_end + dt * 0.5; t += dt) {
+    std::vector<std::string> row{util::StrFormat("%.3f", t)};
+    for (size_t i = 0; i < names.size(); ++i) {
+      const auto& pts = series_.at(names[i]);
+      while (cursor[i] + 1 < pts.size() && pts[cursor[i] + 1].time <= t) {
+        ++cursor[i];
+      }
+      double v = 0.0;
+      if (!pts.empty() && pts[cursor[i]].time <= t) v = pts[cursor[i]].value;
+      row.push_back(util::StrFormat("%.6g", v));
+    }
+    writer.WriteRow(row).ok();
+  }
+}
+
+}  // namespace sim
+}  // namespace ff

@@ -1,0 +1,66 @@
+// Named time-series recording, used to capture the curves plotted in the
+// paper's figures (e.g. "percentage of data at server" per file/directory,
+// per-day walltimes) and dump them as CSV.
+
+#ifndef FF_SIM_SERIES_H_
+#define FF_SIM_SERIES_H_
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/statusor.h"
+
+namespace ff {
+namespace sim {
+
+/// One sample of a series.
+struct SeriesPoint {
+  Time time;
+  double value;
+};
+
+/// Collects named (time, value) series.
+class SeriesRecorder {
+ public:
+  /// Appends a sample. Samples within a series must be recorded in
+  /// non-decreasing time order (the DES guarantees this naturally).
+  void Record(const std::string& series, Time t, double value);
+
+  /// Names in lexicographic order.
+  std::vector<std::string> SeriesNames() const;
+
+  bool Has(const std::string& series) const;
+
+  /// Samples of a series; NotFound when absent.
+  util::StatusOr<std::vector<SeriesPoint>> Get(
+      const std::string& series) const;
+
+  /// Last recorded value; NotFound when absent/empty.
+  util::StatusOr<double> LastValue(const std::string& series) const;
+
+  /// First time at which the series reached `threshold` (values are
+  /// interpolated linearly between samples); NotFound when never reached.
+  util::StatusOr<Time> FirstTimeAtLeast(const std::string& series,
+                                        double threshold) const;
+
+  /// Writes long-format CSV: series,time,value.
+  void WriteCsv(std::ostream* out) const;
+
+  /// Writes wide-format CSV sampled on a fixed grid [0, t_end] with step
+  /// `dt`; each series is carried forward from its last sample (step
+  /// interpolation). Header: time,<series...>.
+  void WriteCsvGrid(std::ostream* out, Time t_end, Time dt) const;
+
+  void Clear() { series_.clear(); }
+
+ private:
+  std::map<std::string, std::vector<SeriesPoint>> series_;
+};
+
+}  // namespace sim
+}  // namespace ff
+
+#endif  // FF_SIM_SERIES_H_

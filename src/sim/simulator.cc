@@ -1,0 +1,69 @@
+#include "sim/simulator.h"
+
+#include "util/logging.h"
+
+namespace ff {
+namespace sim {
+
+bool EventHandle::pending() const {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+EventHandle Simulator::ScheduleAt(Time t, std::function<void()> fn,
+                                  int priority) {
+  FF_CHECK(t >= now_) << "ScheduleAt in the past: t=" << t
+                      << " now=" << now_;
+  EventHandle handle;
+  handle.state_ = std::make_shared<EventHandle::State>();
+  queue_.push(QueuedEvent{t, priority, next_seq_++, std::move(fn),
+                          handle.state_});
+  return handle;
+}
+
+EventHandle Simulator::ScheduleAfter(Time delay, std::function<void()> fn,
+                                     int priority) {
+  FF_CHECK(delay >= 0.0) << "negative delay " << delay;
+  return ScheduleAt(now_ + delay, std::move(fn), priority);
+}
+
+bool Simulator::Cancel(EventHandle& handle) {
+  if (!handle.pending()) return false;
+  handle.state_->cancelled = true;
+  return true;
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    QueuedEvent ev = queue_.top();
+    queue_.pop();
+    if (ev.state->cancelled) continue;  // tombstone
+    FF_CHECK(ev.time >= now_) << "event queue time went backwards";
+    now_ = ev.time;
+    ev.state->fired = true;
+    ++events_processed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run() {
+  stopped_ = false;
+  while (!stopped_ && Step()) {
+  }
+}
+
+void Simulator::RunUntil(Time t_end) {
+  stopped_ = false;
+  while (!stopped_) {
+    // Peek past tombstones without dispatching.
+    while (!queue_.empty() && queue_.top().state->cancelled) queue_.pop();
+    if (queue_.empty()) break;
+    if (queue_.top().time > t_end) break;
+    Step();
+  }
+  if (now_ < t_end) now_ = t_end;
+}
+
+}  // namespace sim
+}  // namespace ff

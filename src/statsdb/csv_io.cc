@@ -1,0 +1,90 @@
+#include "statsdb/csv_io.h"
+
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace ff {
+namespace statsdb {
+
+std::string TableToCsv(const Table& table) {
+  std::ostringstream os;
+  std::vector<std::string> header;
+  for (const auto& c : table.schema().columns()) header.push_back(c.name);
+  util::CsvWriter writer(&os, header);
+  for (const auto& row : table.rows()) {
+    std::vector<std::string> fields;
+    fields.reserve(row.size());
+    for (const auto& v : row) fields.push_back(v.ToString());
+    writer.WriteRow(fields).ok();
+  }
+  return os.str();
+}
+
+namespace {
+
+util::Status CheckHeader(const Schema& schema,
+                         const std::vector<std::string>& header) {
+  if (header.size() != schema.num_columns()) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "CSV header width %zu != schema width %zu", header.size(),
+        schema.num_columns()));
+  }
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (!util::EqualsIgnoreCase(util::Trim(header[i]),
+                                schema.column(i).name)) {
+      return util::Status::InvalidArgument(
+          "CSV header mismatch at column " + std::to_string(i) + ": '" +
+          header[i] + "' vs '" + schema.column(i).name + "'");
+    }
+  }
+  return util::Status::OK();
+}
+
+util::Status InsertCsvRows(Table* table, const util::CsvDocument& doc) {
+  const Schema& schema = table->schema();
+  for (const auto& fields : doc.rows) {
+    if (fields.size() != schema.num_columns()) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "CSV row width %zu != schema width %zu", fields.size(),
+          schema.num_columns()));
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      FF_ASSIGN_OR_RETURN(Value v,
+                          Value::Parse(fields[i], schema.column(i).type));
+      row.push_back(std::move(v));
+    }
+    FF_RETURN_NOT_OK(table->Insert(std::move(row)));
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::StatusOr<Table*> TableFromCsv(Database* db, const std::string& name,
+                                    const Schema& schema,
+                                    const std::string& csv_text) {
+  FF_ASSIGN_OR_RETURN(util::CsvDocument doc,
+                      util::ParseCsv(csv_text, /*has_header=*/true));
+  FF_RETURN_NOT_OK(CheckHeader(schema, doc.header));
+  FF_ASSIGN_OR_RETURN(Table * table, db->CreateTable(name, schema));
+  util::Status st = InsertCsvRows(table, doc);
+  if (!st.ok()) {
+    db->DropTable(name).ok();
+    return st;
+  }
+  return table;
+}
+
+util::Status AppendCsv(Table* table, const std::string& csv_text) {
+  FF_ASSIGN_OR_RETURN(util::CsvDocument doc,
+                      util::ParseCsv(csv_text, /*has_header=*/true));
+  FF_RETURN_NOT_OK(CheckHeader(table->schema(), doc.header));
+  return InsertCsvRows(table, doc);
+}
+
+}  // namespace statsdb
+}  // namespace ff

@@ -1,0 +1,30 @@
+// CSV import/export for statsdb tables (the interchange format the bench
+// harnesses and the log-data loader use).
+
+#ifndef FF_STATSDB_CSV_IO_H_
+#define FF_STATSDB_CSV_IO_H_
+
+#include <string>
+
+#include "statsdb/database.h"
+
+namespace ff {
+namespace statsdb {
+
+/// Serializes a table to CSV with a header row; NULLs render empty.
+std::string TableToCsv(const Table& table);
+
+/// Creates table `name` in `db` from CSV text. Column types are taken
+/// from `schema`, whose column names must match the CSV header
+/// (case-insensitive, same order).
+util::StatusOr<Table*> TableFromCsv(Database* db, const std::string& name,
+                                    const Schema& schema,
+                                    const std::string& csv_text);
+
+/// Appends CSV rows into an existing table; header must match its schema.
+util::Status AppendCsv(Table* table, const std::string& csv_text);
+
+}  // namespace statsdb
+}  // namespace ff
+
+#endif  // FF_STATSDB_CSV_IO_H_

@@ -1,0 +1,49 @@
+// Database: the catalog of statsdb tables plus the SQL entry point.
+
+#ifndef FF_STATSDB_DATABASE_H_
+#define FF_STATSDB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "statsdb/query.h"
+#include "statsdb/table.h"
+
+namespace ff {
+namespace statsdb {
+
+/// A named collection of tables. Not thread-safe (the factory drives it
+/// from the single-threaded simulation loop, as the paper's daily Perl
+/// crawl did).
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates an empty table; AlreadyExists when the name is taken.
+  util::StatusOr<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Drops a table; NotFound when absent.
+  util::Status DropTable(const std::string& name);
+
+  util::StatusOr<Table*> table(const std::string& name);
+  util::StatusOr<const Table*> table(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  /// Executes a SQL statement. SELECT returns rows; CREATE TABLE and
+  /// INSERT return an empty ResultSet (INSERT's schema carries a single
+  /// "rows_inserted" column).
+  util::StatusOr<ResultSet> Sql(const std::string& statement);
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace statsdb
+}  // namespace ff
+
+#endif  // FF_STATSDB_DATABASE_H_

@@ -1,0 +1,470 @@
+#include "statsdb/expr.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace ff {
+namespace statsdb {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kLike:
+      return "LIKE";
+  }
+  return "?";
+}
+
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  // Iterative wildcard match with backtracking on the last '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+namespace {
+
+bool IsNumeric(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kDouble;
+}
+
+class LiteralExpr : public Expr {
+ public:
+  explicit LiteralExpr(Value v) : value_(std::move(v)) {}
+
+  util::StatusOr<Value> Eval(const Row&, const Schema&) const override {
+    return value_;
+  }
+  util::StatusOr<DataType> ResultType(const Schema&) const override {
+    return value_.type();
+  }
+  std::string ToString() const override {
+    if (value_.type() == DataType::kString) {
+      return "'" + value_.ToString() + "'";
+    }
+    if (value_.is_null()) return "NULL";
+    return value_.ToString();
+  }
+
+ private:
+  Value value_;
+};
+
+class ColumnExpr : public Expr {
+ public:
+  explicit ColumnExpr(std::string name) : name_(std::move(name)) {}
+
+  util::StatusOr<Value> Eval(const Row& row,
+                             const Schema& schema) const override {
+    FF_ASSIGN_OR_RETURN(size_t i, schema.IndexOf(name_));
+    return row[i];
+  }
+  util::StatusOr<DataType> ResultType(const Schema& schema) const override {
+    FF_ASSIGN_OR_RETURN(size_t i, schema.IndexOf(name_));
+    return schema.column(i).type;
+  }
+  std::string ToString() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+class UnaryExpr : public Expr {
+ public:
+  UnaryExpr(UnaryOp op, ExprPtr operand)
+      : op_(op), operand_(std::move(operand)) {}
+
+  util::StatusOr<Value> Eval(const Row& row,
+                             const Schema& schema) const override {
+    FF_ASSIGN_OR_RETURN(Value v, operand_->Eval(row, schema));
+    switch (op_) {
+      case UnaryOp::kIsNull:
+        return Value::Bool(v.is_null());
+      case UnaryOp::kIsNotNull:
+        return Value::Bool(!v.is_null());
+      case UnaryOp::kNot: {
+        if (v.is_null()) return Value::Null();
+        if (v.type() != DataType::kBool) {
+          return util::Status::InvalidArgument("NOT requires bool");
+        }
+        return Value::Bool(!v.bool_value());
+      }
+      case UnaryOp::kNeg: {
+        if (v.is_null()) return Value::Null();
+        if (v.type() == DataType::kInt64) {
+          return Value::Int64(-v.int64_value());
+        }
+        if (v.type() == DataType::kDouble) {
+          return Value::Double(-v.double_value());
+        }
+        return util::Status::InvalidArgument("negation requires numeric");
+      }
+    }
+    return util::Status::Internal("unhandled unary op");
+  }
+
+  util::StatusOr<DataType> ResultType(const Schema& schema) const override {
+    FF_ASSIGN_OR_RETURN(DataType t, operand_->ResultType(schema));
+    switch (op_) {
+      case UnaryOp::kIsNull:
+      case UnaryOp::kIsNotNull:
+        return DataType::kBool;
+      case UnaryOp::kNot:
+        if (t != DataType::kBool && t != DataType::kNull) {
+          return util::Status::InvalidArgument("NOT requires bool");
+        }
+        return DataType::kBool;
+      case UnaryOp::kNeg:
+        if (!IsNumeric(t) && t != DataType::kNull) {
+          return util::Status::InvalidArgument("negation requires numeric");
+        }
+        return t;
+    }
+    return util::Status::Internal("unhandled unary op");
+  }
+
+  std::string ToString() const override {
+    switch (op_) {
+      case UnaryOp::kIsNull:
+        return "(" + operand_->ToString() + " IS NULL)";
+      case UnaryOp::kIsNotNull:
+        return "(" + operand_->ToString() + " IS NOT NULL)";
+      case UnaryOp::kNot:
+        return "(NOT " + operand_->ToString() + ")";
+      case UnaryOp::kNeg:
+        return "(-" + operand_->ToString() + ")";
+    }
+    return "?";
+  }
+
+ private:
+  UnaryOp op_;
+  ExprPtr operand_;
+};
+
+class BinaryExpr : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  util::StatusOr<Value> Eval(const Row& row,
+                             const Schema& schema) const override {
+    // Kleene AND/OR must not fail just because one side is NULL.
+    if (op_ == BinaryOp::kAnd || op_ == BinaryOp::kOr) {
+      return EvalLogical(row, schema);
+    }
+    FF_ASSIGN_OR_RETURN(Value a, lhs_->Eval(row, schema));
+    FF_ASSIGN_OR_RETURN(Value b, rhs_->Eval(row, schema));
+    if (a.is_null() || b.is_null()) return Value::Null();
+    switch (op_) {
+      case BinaryOp::kEq:
+      case BinaryOp::kNe:
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        return EvalComparison(a, b);
+      case BinaryOp::kAdd:
+      case BinaryOp::kSub:
+      case BinaryOp::kMul:
+      case BinaryOp::kDiv:
+      case BinaryOp::kMod:
+        return EvalArithmetic(a, b);
+      case BinaryOp::kLike: {
+        if (a.type() != DataType::kString ||
+            b.type() != DataType::kString) {
+          return util::Status::InvalidArgument("LIKE requires strings");
+        }
+        return Value::Bool(LikeMatch(a.string_value(), b.string_value()));
+      }
+      default:
+        return util::Status::Internal("unhandled binary op");
+    }
+  }
+
+  util::StatusOr<DataType> ResultType(const Schema& schema) const override {
+    FF_ASSIGN_OR_RETURN(DataType ta, lhs_->ResultType(schema));
+    FF_ASSIGN_OR_RETURN(DataType tb, rhs_->ResultType(schema));
+    auto type_ok = [&](auto pred) {
+      return (pred(ta) || ta == DataType::kNull) &&
+             (pred(tb) || tb == DataType::kNull);
+    };
+    switch (op_) {
+      case BinaryOp::kEq:
+      case BinaryOp::kNe:
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe: {
+        bool comparable =
+            ta == DataType::kNull || tb == DataType::kNull || ta == tb ||
+            (IsNumeric(ta) && IsNumeric(tb));
+        if (!comparable) {
+          return util::Status::InvalidArgument(
+              util::StrFormat("cannot compare %s with %s",
+                              DataTypeName(ta), DataTypeName(tb)));
+        }
+        return DataType::kBool;
+      }
+      case BinaryOp::kAdd:
+      case BinaryOp::kSub:
+      case BinaryOp::kMul:
+      case BinaryOp::kMod:
+        if (!type_ok(IsNumeric)) {
+          return util::Status::InvalidArgument("arithmetic requires numeric");
+        }
+        if (ta == DataType::kDouble || tb == DataType::kDouble) {
+          return DataType::kDouble;
+        }
+        return DataType::kInt64;
+      case BinaryOp::kDiv:
+        if (!type_ok(IsNumeric)) {
+          return util::Status::InvalidArgument("arithmetic requires numeric");
+        }
+        return DataType::kDouble;  // SQL-ish: '/' always returns double here
+      case BinaryOp::kAnd:
+      case BinaryOp::kOr:
+        if (!type_ok([](DataType t) { return t == DataType::kBool; })) {
+          return util::Status::InvalidArgument("AND/OR require bool");
+        }
+        return DataType::kBool;
+      case BinaryOp::kLike:
+        if (!type_ok([](DataType t) { return t == DataType::kString; })) {
+          return util::Status::InvalidArgument("LIKE requires strings");
+        }
+        return DataType::kBool;
+    }
+    return util::Status::Internal("unhandled binary op");
+  }
+
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() + " " + BinaryOpName(op_) + " " +
+           rhs_->ToString() + ")";
+  }
+
+ private:
+  util::StatusOr<Value> EvalLogical(const Row& row,
+                                    const Schema& schema) const {
+    FF_ASSIGN_OR_RETURN(Value a, lhs_->Eval(row, schema));
+    FF_ASSIGN_OR_RETURN(Value b, rhs_->Eval(row, schema));
+    auto as_tri = [](const Value& v) -> util::StatusOr<int> {
+      if (v.is_null()) return -1;  // unknown
+      if (v.type() != DataType::kBool) {
+        return util::Status::InvalidArgument("AND/OR require bool");
+      }
+      return v.bool_value() ? 1 : 0;
+    };
+    FF_ASSIGN_OR_RETURN(int ta, as_tri(a));
+    FF_ASSIGN_OR_RETURN(int tb, as_tri(b));
+    if (op_ == BinaryOp::kAnd) {
+      if (ta == 0 || tb == 0) return Value::Bool(false);
+      if (ta == -1 || tb == -1) return Value::Null();
+      return Value::Bool(true);
+    }
+    // OR
+    if (ta == 1 || tb == 1) return Value::Bool(true);
+    if (ta == -1 || tb == -1) return Value::Null();
+    return Value::Bool(false);
+  }
+
+  util::StatusOr<Value> EvalComparison(const Value& a,
+                                       const Value& b) const {
+    bool comparable = a.type() == b.type() ||
+                      (IsNumeric(a.type()) && IsNumeric(b.type()));
+    if (!comparable) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("cannot compare %s with %s",
+                          DataTypeName(a.type()), DataTypeName(b.type())));
+    }
+    int c = a.Compare(b);
+    switch (op_) {
+      case BinaryOp::kEq:
+        return Value::Bool(c == 0);
+      case BinaryOp::kNe:
+        return Value::Bool(c != 0);
+      case BinaryOp::kLt:
+        return Value::Bool(c < 0);
+      case BinaryOp::kLe:
+        return Value::Bool(c <= 0);
+      case BinaryOp::kGt:
+        return Value::Bool(c > 0);
+      case BinaryOp::kGe:
+        return Value::Bool(c >= 0);
+      default:
+        return util::Status::Internal("not a comparison");
+    }
+  }
+
+  util::StatusOr<Value> EvalArithmetic(const Value& a,
+                                       const Value& b) const {
+    if (!IsNumeric(a.type()) || !IsNumeric(b.type())) {
+      return util::Status::InvalidArgument("arithmetic requires numeric");
+    }
+    bool both_int = a.type() == DataType::kInt64 &&
+                    b.type() == DataType::kInt64 && op_ != BinaryOp::kDiv;
+    if (both_int) {
+      int64_t x = a.int64_value(), y = b.int64_value();
+      switch (op_) {
+        case BinaryOp::kAdd:
+          return Value::Int64(x + y);
+        case BinaryOp::kSub:
+          return Value::Int64(x - y);
+        case BinaryOp::kMul:
+          return Value::Int64(x * y);
+        case BinaryOp::kMod:
+          if (y == 0) {
+            return util::Status::InvalidArgument("modulo by zero");
+          }
+          return Value::Int64(x % y);
+        default:
+          break;
+      }
+    }
+    double x = *a.AsDouble(), y = *b.AsDouble();
+    switch (op_) {
+      case BinaryOp::kAdd:
+        return Value::Double(x + y);
+      case BinaryOp::kSub:
+        return Value::Double(x - y);
+      case BinaryOp::kMul:
+        return Value::Double(x * y);
+      case BinaryOp::kDiv:
+        if (y == 0.0) {
+          return util::Status::InvalidArgument("division by zero");
+        }
+        return Value::Double(x / y);
+      case BinaryOp::kMod:
+        if (y == 0.0) {
+          return util::Status::InvalidArgument("modulo by zero");
+        }
+        return Value::Double(std::fmod(x, y));
+      default:
+        return util::Status::Internal("not arithmetic");
+    }
+  }
+
+  BinaryOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+}  // namespace
+
+ExprPtr Lit(Value v) { return std::make_shared<LiteralExpr>(std::move(v)); }
+ExprPtr LitInt(int64_t v) { return Lit(Value::Int64(v)); }
+ExprPtr LitDouble(double v) { return Lit(Value::Double(v)); }
+ExprPtr LitString(std::string v) { return Lit(Value::String(std::move(v))); }
+ExprPtr LitBool(bool v) { return Lit(Value::Bool(v)); }
+ExprPtr LitNull() { return Lit(Value::Null()); }
+ExprPtr Col(std::string name) {
+  return std::make_shared<ColumnExpr>(std::move(name));
+}
+ExprPtr Unary(UnaryOp op, ExprPtr operand) {
+  return std::make_shared<UnaryExpr>(op, std::move(operand));
+}
+ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return Binary(BinaryOp::kEq, std::move(a), std::move(b));
+}
+ExprPtr Ne(ExprPtr a, ExprPtr b) {
+  return Binary(BinaryOp::kNe, std::move(a), std::move(b));
+}
+ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return Binary(BinaryOp::kLt, std::move(a), std::move(b));
+}
+ExprPtr Le(ExprPtr a, ExprPtr b) {
+  return Binary(BinaryOp::kLe, std::move(a), std::move(b));
+}
+ExprPtr Gt(ExprPtr a, ExprPtr b) {
+  return Binary(BinaryOp::kGt, std::move(a), std::move(b));
+}
+ExprPtr Ge(ExprPtr a, ExprPtr b) {
+  return Binary(BinaryOp::kGe, std::move(a), std::move(b));
+}
+ExprPtr And(ExprPtr a, ExprPtr b) {
+  return Binary(BinaryOp::kAnd, std::move(a), std::move(b));
+}
+ExprPtr Or(ExprPtr a, ExprPtr b) {
+  return Binary(BinaryOp::kOr, std::move(a), std::move(b));
+}
+ExprPtr Not(ExprPtr a) { return Unary(UnaryOp::kNot, std::move(a)); }
+ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return Binary(BinaryOp::kAdd, std::move(a), std::move(b));
+}
+ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  return Binary(BinaryOp::kSub, std::move(a), std::move(b));
+}
+ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return Binary(BinaryOp::kMul, std::move(a), std::move(b));
+}
+ExprPtr Div(ExprPtr a, ExprPtr b) {
+  return Binary(BinaryOp::kDiv, std::move(a), std::move(b));
+}
+ExprPtr Like(ExprPtr a, ExprPtr pattern) {
+  return Binary(BinaryOp::kLike, std::move(a), std::move(pattern));
+}
+ExprPtr IsNull(ExprPtr a) { return Unary(UnaryOp::kIsNull, std::move(a)); }
+ExprPtr IsNotNull(ExprPtr a) {
+  return Unary(UnaryOp::kIsNotNull, std::move(a));
+}
+
+ExprPtr In(ExprPtr a, std::vector<ExprPtr> candidates) {
+  if (candidates.empty()) return LitBool(false);
+  ExprPtr out = Eq(a, std::move(candidates[0]));
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    out = Or(std::move(out), Eq(a, std::move(candidates[i])));
+  }
+  return out;
+}
+
+ExprPtr Between(ExprPtr a, ExprPtr lo, ExprPtr hi) {
+  return And(Le(std::move(lo), a), Le(a, std::move(hi)));
+}
+
+}  // namespace statsdb
+}  // namespace ff

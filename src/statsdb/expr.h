@@ -1,0 +1,105 @@
+// Scalar expression trees evaluated over rows, with SQL three-valued
+// logic (NULL-propagating comparisons, Kleene AND/OR). Shared by the
+// programmatic query builder and the SQL front end.
+
+#ifndef FF_STATSDB_EXPR_H_
+#define FF_STATSDB_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "statsdb/schema.h"
+
+namespace ff {
+namespace statsdb {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Binary operators.
+enum class BinaryOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kAnd,
+  kOr,
+  kLike,
+};
+
+/// Unary operators.
+enum class UnaryOp {
+  kNot,
+  kNeg,
+  kIsNull,
+  kIsNotNull,
+};
+
+const char* BinaryOpName(BinaryOp op);
+
+/// Immutable expression node.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  /// Evaluates against a row. Columns are resolved by position using the
+  /// index bound at construction (see Bind) or lazily by name.
+  virtual util::StatusOr<Value> Eval(const Row& row,
+                                     const Schema& schema) const = 0;
+
+  /// Static result type (NULL literal -> kNull). Errors on type mismatch.
+  virtual util::StatusOr<DataType> ResultType(
+      const Schema& schema) const = 0;
+
+  /// SQL-ish rendering, for error messages and plan display.
+  virtual std::string ToString() const = 0;
+};
+
+/// Constructors.
+ExprPtr Lit(Value v);
+ExprPtr LitInt(int64_t v);
+ExprPtr LitDouble(double v);
+ExprPtr LitString(std::string v);
+ExprPtr LitBool(bool v);
+ExprPtr LitNull();
+ExprPtr Col(std::string name);
+ExprPtr Unary(UnaryOp op, ExprPtr operand);
+ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+
+/// Convenience comparison/arithmetic builders.
+ExprPtr Eq(ExprPtr a, ExprPtr b);
+ExprPtr Ne(ExprPtr a, ExprPtr b);
+ExprPtr Lt(ExprPtr a, ExprPtr b);
+ExprPtr Le(ExprPtr a, ExprPtr b);
+ExprPtr Gt(ExprPtr a, ExprPtr b);
+ExprPtr Ge(ExprPtr a, ExprPtr b);
+ExprPtr And(ExprPtr a, ExprPtr b);
+ExprPtr Or(ExprPtr a, ExprPtr b);
+ExprPtr Not(ExprPtr a);
+ExprPtr Add(ExprPtr a, ExprPtr b);
+ExprPtr Sub(ExprPtr a, ExprPtr b);
+ExprPtr Mul(ExprPtr a, ExprPtr b);
+ExprPtr Div(ExprPtr a, ExprPtr b);
+ExprPtr Like(ExprPtr a, ExprPtr pattern);
+ExprPtr IsNull(ExprPtr a);
+ExprPtr IsNotNull(ExprPtr a);
+/// Desugared SQL conveniences: IN becomes a chain of OR'd equalities,
+/// BETWEEN becomes lo <= a AND a <= hi.
+ExprPtr In(ExprPtr a, std::vector<ExprPtr> candidates);
+ExprPtr Between(ExprPtr a, ExprPtr lo, ExprPtr hi);
+
+/// SQL LIKE with % (any run) and _ (any char); case-sensitive.
+bool LikeMatch(const std::string& text, const std::string& pattern);
+
+}  // namespace statsdb
+}  // namespace ff
+
+#endif  // FF_STATSDB_EXPR_H_

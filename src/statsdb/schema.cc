@@ -1,0 +1,77 @@
+#include "statsdb/schema.h"
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace ff {
+namespace statsdb {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+util::StatusOr<Schema> Schema::Create(std::vector<Column> columns) {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name.empty()) {
+      return util::Status::InvalidArgument("empty column name");
+    }
+    for (size_t j = i + 1; j < columns.size(); ++j) {
+      if (util::EqualsIgnoreCase(columns[i].name, columns[j].name)) {
+        return util::Status::InvalidArgument("duplicate column name: " +
+                                             columns[i].name);
+      }
+    }
+  }
+  return Schema(std::move(columns));
+}
+
+util::StatusOr<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (util::EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return util::Status::NotFound("column " + name);
+}
+
+bool Schema::Has(const std::string& name) const {
+  return IndexOf(name).ok();
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const auto& c : columns_) {
+    parts.push_back(c.name + ":" + DataTypeName(c.type));
+  }
+  return util::Join(parts, ", ");
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+util::Status ValidateRow(const Schema& schema, const Row& row) {
+  if (row.size() != schema.num_columns()) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "row width %zu != schema width %zu", row.size(),
+        schema.num_columns()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    DataType want = schema.column(i).type;
+    DataType got = row[i].type();
+    if (got == want) continue;
+    if (want == DataType::kDouble && got == DataType::kInt64) continue;
+    return util::Status::InvalidArgument(util::StrFormat(
+        "column %s expects %s, got %s", schema.column(i).name.c_str(),
+        DataTypeName(want), DataTypeName(got)));
+  }
+  return util::Status::OK();
+}
+
+}  // namespace statsdb
+}  // namespace ff

@@ -1,0 +1,60 @@
+// Column and Schema definitions for statsdb tables and query results.
+
+#ifndef FF_STATSDB_SCHEMA_H_
+#define FF_STATSDB_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "statsdb/value.h"
+#include "util/statusor.h"
+
+namespace ff {
+namespace statsdb {
+
+/// One column: a name and a type. All columns are nullable (the paper's
+/// runs table inherently has incomplete rows for in-flight forecasts —
+/// "a currently executing forecast ... does not have a completion time").
+struct Column {
+  std::string name;
+  DataType type;
+};
+
+/// An ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  /// InvalidArgument on duplicate or empty column names.
+  static util::StatusOr<Schema> Create(std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of a column by name (case-insensitive); NotFound when absent.
+  util::StatusOr<size_t> IndexOf(const std::string& name) const;
+  bool Has(const std::string& name) const;
+
+  /// "name:TYPE, name:TYPE, ..." — used in error messages and tests.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// A row is a vector of values, positionally aligned with a Schema.
+using Row = std::vector<Value>;
+
+/// Validates `row` against `schema`: width and per-column type (NULL is
+/// accepted anywhere; int64 values are accepted into double columns and
+/// widened in place by the table layer).
+util::Status ValidateRow(const Schema& schema, const Row& row);
+
+}  // namespace statsdb
+}  // namespace ff
+
+#endif  // FF_STATSDB_SCHEMA_H_

@@ -1,0 +1,45 @@
+// SQL subset for the statistics database.
+//
+// Supported statements (keywords case-insensitive):
+//
+//   SELECT [DISTINCT] * | item[, item...]
+//     FROM table [JOIN table2 ON col1 = col2]
+//     [WHERE expr] [GROUP BY col[, col...]] [HAVING expr]
+//     [ORDER BY col [ASC|DESC][, ...]] [LIMIT n [OFFSET m]]
+//   CREATE TABLE name (col TYPE[, ...])
+//   INSERT INTO name VALUES (lit[, ...])[, (...)...]
+//   UPDATE name SET col = expr[, ...] [WHERE expr]
+//   DELETE FROM name [WHERE expr]
+//
+// Predicates additionally support [NOT] IN (expr, ...), [NOT] BETWEEN
+// lo AND hi, LIKE, and IS [NOT] NULL. UPDATE exists for the paper's
+// §4.3.2 maintenance path: "a currently executing forecast will have
+// incomplete statistics in the database" that get patched on completion.
+//
+// Aggregates COUNT(*)/COUNT/SUM/AVG/MIN/MAX may appear as top-level select
+// items (optionally aliased). This covers every query the paper issues
+// against its run-statistics database, e.g.
+//   SELECT forecast FROM runs WHERE code_version = 'X'           (§4.3.2)
+//   SELECT AVG(walltime) FROM runs WHERE forecast='tillamook'
+//     AND node='f1' AND timesteps=5760                            (§4.1)
+
+#ifndef FF_STATSDB_SQL_H_
+#define FF_STATSDB_SQL_H_
+
+#include <string>
+
+#include "statsdb/query.h"
+
+namespace ff {
+namespace statsdb {
+
+class Database;
+
+/// Parses and executes one SQL statement against `db`.
+util::StatusOr<ResultSet> ExecuteSql(Database* db,
+                                     const std::string& statement);
+
+}  // namespace statsdb
+}  // namespace ff
+
+#endif  // FF_STATSDB_SQL_H_

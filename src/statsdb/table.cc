@@ -1,0 +1,120 @@
+#include "statsdb/table.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ff {
+namespace statsdb {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {}
+
+util::Status Table::Insert(Row row) {
+  FF_RETURN_NOT_OK(ValidateRow(schema_, row).WithContext(name_));
+  // Widen int64 values stored into double columns so the storage type is
+  // uniform per column.
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!row[i].is_null() && schema_.column(i).type == DataType::kDouble &&
+        row[i].type() == DataType::kInt64) {
+      row[i] = Value::Double(static_cast<double>(row[i].int64_value()));
+    }
+  }
+  size_t row_index = rows_.size();
+  for (auto& [col, index] : indexes_) {
+    index[row[col]].push_back(row_index);
+  }
+  rows_.push_back(std::move(row));
+  return util::Status::OK();
+}
+
+util::Status Table::UpdateCell(size_t row_index, size_t col_index, Value v) {
+  if (row_index >= rows_.size()) {
+    return util::Status::OutOfRange("row index " + std::to_string(row_index));
+  }
+  if (col_index >= schema_.num_columns()) {
+    return util::Status::OutOfRange("column index " +
+                                    std::to_string(col_index));
+  }
+  if (!v.is_null()) {
+    DataType want = schema_.column(col_index).type;
+    if (v.type() == DataType::kInt64 && want == DataType::kDouble) {
+      v = Value::Double(static_cast<double>(v.int64_value()));
+    } else if (v.type() != want) {
+      return util::Status::InvalidArgument(
+          std::string("type mismatch updating column ") +
+          schema_.column(col_index).name);
+    }
+  }
+  auto idx_it = indexes_.find(col_index);
+  if (idx_it != indexes_.end()) {
+    auto& index = idx_it->second;
+    auto& old_bucket = index[rows_[row_index][col_index]];
+    old_bucket.erase(
+        std::remove(old_bucket.begin(), old_bucket.end(), row_index),
+        old_bucket.end());
+    index[v].push_back(row_index);
+  }
+  rows_[row_index][col_index] = std::move(v);
+  return util::Status::OK();
+}
+
+util::Status Table::DeleteRows(std::vector<size_t> row_indices) {
+  std::sort(row_indices.begin(), row_indices.end());
+  row_indices.erase(
+      std::unique(row_indices.begin(), row_indices.end()),
+      row_indices.end());
+  if (!row_indices.empty() && row_indices.back() >= rows_.size()) {
+    return util::Status::OutOfRange(
+        "row index " + std::to_string(row_indices.back()));
+  }
+  // Erase from the back so earlier indices stay valid.
+  for (auto it = row_indices.rbegin(); it != row_indices.rend(); ++it) {
+    rows_.erase(rows_.begin() + static_cast<ptrdiff_t>(*it));
+  }
+  // Row indices shifted; rebuild every index.
+  for (auto& [col, index] : indexes_) {
+    index.clear();
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      index[rows_[i][col]].push_back(i);
+    }
+  }
+  return util::Status::OK();
+}
+
+util::Status Table::CreateIndex(const std::string& column) {
+  FF_ASSIGN_OR_RETURN(size_t col, schema_.IndexOf(column));
+  if (indexes_.count(col)) return util::Status::OK();
+  HashIndex index;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    index[rows_[i][col]].push_back(i);
+  }
+  indexes_.emplace(col, std::move(index));
+  return util::Status::OK();
+}
+
+bool Table::HasIndex(const std::string& column) const {
+  auto col = schema_.IndexOf(column);
+  return col.ok() && indexes_.count(*col) > 0;
+}
+
+util::StatusOr<std::vector<size_t>> Table::Lookup(const std::string& column,
+                                                  const Value& v) const {
+  FF_ASSIGN_OR_RETURN(size_t col, schema_.IndexOf(column));
+  auto idx_it = indexes_.find(col);
+  if (idx_it != indexes_.end()) {
+    auto bucket = idx_it->second.find(v);
+    if (bucket == idx_it->second.end()) return std::vector<size_t>{};
+    std::vector<size_t> sorted = bucket->second;
+    std::sort(sorted.begin(), sorted.end());
+    return sorted;
+  }
+  std::vector<size_t> out;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i][col].Compare(v) == 0) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace statsdb
+}  // namespace ff

@@ -1,0 +1,74 @@
+// Row-store table with optional hash indexes. Small and simple by design:
+// the paper notes the run-statistics database stays small ("tuples for
+// each run execution ... rather than for each task execution"), so a
+// scan-oriented row store with per-column hash indexes is the right size.
+
+#ifndef FF_STATSDB_TABLE_H_
+#define FF_STATSDB_TABLE_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "statsdb/schema.h"
+
+namespace ff {
+namespace statsdb {
+
+/// A named table: schema + rows + optional per-column hash indexes.
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+  const Row& row(size_t i) const { return rows_[i]; }
+
+  /// Validates, widens int64 into double columns, appends, maintains
+  /// indexes.
+  util::Status Insert(Row row);
+
+  /// Updates one cell in place (used to patch completion stats of
+  /// previously in-flight runs). Maintains indexes.
+  util::Status UpdateCell(size_t row_index, size_t col_index, Value v);
+
+  /// Deletes the given rows (indices into rows(), any order, duplicates
+  /// ignored); remaining rows keep their relative order. Indexes are
+  /// rebuilt. OutOfRange when an index is invalid.
+  util::Status DeleteRows(std::vector<size_t> row_indices);
+
+  /// Builds a hash index on `column`; idempotent. NotFound for unknown
+  /// columns.
+  util::Status CreateIndex(const std::string& column);
+  bool HasIndex(const std::string& column) const;
+
+  /// Row indices where `column` == `v` (uses index when present, else
+  /// scans). NotFound for unknown columns.
+  util::StatusOr<std::vector<size_t>> Lookup(const std::string& column,
+                                             const Value& v) const;
+
+ private:
+  struct ValueHash {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+  struct ValueEq {
+    bool operator()(const Value& a, const Value& b) const {
+      return a.Compare(b) == 0;
+    }
+  };
+  using HashIndex =
+      std::unordered_map<Value, std::vector<size_t>, ValueHash, ValueEq>;
+
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::map<size_t, HashIndex> indexes_;  // column index -> hash index
+};
+
+}  // namespace statsdb
+}  // namespace ff
+
+#endif  // FF_STATSDB_TABLE_H_

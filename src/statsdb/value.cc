@@ -1,0 +1,207 @@
+#include "statsdb/value.h"
+
+#include <cmath>
+#include <functional>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace ff {
+namespace statsdb {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return "BOOL";
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+util::StatusOr<DataType> ParseDataType(const std::string& name) {
+  std::string u = util::ToUpper(name);
+  if (u == "INT" || u == "INTEGER" || u == "BIGINT" || u == "INT64") {
+    return DataType::kInt64;
+  }
+  if (u == "DOUBLE" || u == "REAL" || u == "FLOAT") return DataType::kDouble;
+  if (u == "TEXT" || u == "STRING" || u == "VARCHAR") {
+    return DataType::kString;
+  }
+  if (u == "BOOL" || u == "BOOLEAN") return DataType::kBool;
+  return util::Status::ParseError("unknown type name: " + name);
+}
+
+DataType Value::type() const {
+  switch (v_.index()) {
+    case 0:
+      return DataType::kNull;
+    case 1:
+      return DataType::kBool;
+    case 2:
+      return DataType::kInt64;
+    case 3:
+      return DataType::kDouble;
+    case 4:
+      return DataType::kString;
+  }
+  return DataType::kNull;
+}
+
+bool Value::bool_value() const {
+  FF_CHECK(type() == DataType::kBool) << "not a bool: " << ToString();
+  return std::get<bool>(v_);
+}
+
+int64_t Value::int64_value() const {
+  FF_CHECK(type() == DataType::kInt64) << "not an int64: " << ToString();
+  return std::get<int64_t>(v_);
+}
+
+double Value::double_value() const {
+  FF_CHECK(type() == DataType::kDouble) << "not a double: " << ToString();
+  return std::get<double>(v_);
+}
+
+const std::string& Value::string_value() const {
+  FF_CHECK(type() == DataType::kString) << "not a string: " << ToString();
+  return std::get<std::string>(v_);
+}
+
+util::StatusOr<double> Value::AsDouble() const {
+  switch (type()) {
+    case DataType::kInt64:
+      return static_cast<double>(int64_value());
+    case DataType::kDouble:
+      return double_value();
+    default:
+      return util::Status::InvalidArgument(
+          std::string("not numeric: ") + DataTypeName(type()));
+  }
+}
+
+namespace {
+int TypeRank(DataType t) {
+  switch (t) {
+    case DataType::kNull:
+      return 0;
+    case DataType::kBool:
+      return 1;
+    case DataType::kInt64:
+    case DataType::kDouble:
+      return 2;
+    case DataType::kString:
+      return 3;
+  }
+  return 4;
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int ra = TypeRank(type());
+  int rb = TypeRank(other.type());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (type()) {
+    case DataType::kNull:
+      return 0;
+    case DataType::kBool: {
+      bool a = bool_value(), b = other.bool_value();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case DataType::kInt64:
+    case DataType::kDouble: {
+      // Both numeric (possibly mixed int/double).
+      if (type() == DataType::kInt64 &&
+          other.type() == DataType::kInt64) {
+        int64_t a = int64_value(), b = other.int64_value();
+        return a == b ? 0 : (a < b ? -1 : 1);
+      }
+      double a = *AsDouble();
+      double b = *other.AsDouble();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case DataType::kString: {
+      const std::string& a = string_value();
+      const std::string& b = other.string_value();
+      int c = a.compare(b);
+      return c == 0 ? 0 : (c < 0 ? -1 : 1);
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "";
+    case DataType::kBool:
+      return bool_value() ? "true" : "false";
+    case DataType::kInt64:
+      return std::to_string(int64_value());
+    case DataType::kDouble:
+      return util::StrFormat("%.10g", double_value());
+    case DataType::kString:
+      return string_value();
+  }
+  return "";
+}
+
+util::StatusOr<Value> Value::Parse(const std::string& text, DataType type) {
+  if (text.empty()) return Value::Null();
+  switch (type) {
+    case DataType::kNull:
+      return Value::Null();
+    case DataType::kBool: {
+      if (util::EqualsIgnoreCase(text, "true") || text == "1") {
+        return Value::Bool(true);
+      }
+      if (util::EqualsIgnoreCase(text, "false") || text == "0") {
+        return Value::Bool(false);
+      }
+      return util::Status::ParseError("not a bool: " + text);
+    }
+    case DataType::kInt64: {
+      FF_ASSIGN_OR_RETURN(int64_t v, util::ParseInt64(text));
+      return Value::Int64(v);
+    }
+    case DataType::kDouble: {
+      FF_ASSIGN_OR_RETURN(double v, util::ParseDouble(text));
+      return Value::Double(v);
+    }
+    case DataType::kString:
+      return Value::String(text);
+  }
+  return util::Status::Internal("unhandled type");
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case DataType::kNull:
+      return 0x9b5a1f3d;
+    case DataType::kBool:
+      return bool_value() ? 0x1 : 0x2;
+    case DataType::kInt64: {
+      // Hash integers through double when exactly representable so that
+      // 3 and 3.0 land in one bucket, consistent with Compare().
+      double d = static_cast<double>(int64_value());
+      if (static_cast<int64_t>(d) == int64_value()) {
+        return std::hash<double>()(d);
+      }
+      return std::hash<int64_t>()(int64_value());
+    }
+    case DataType::kDouble:
+      return std::hash<double>()(double_value());
+    case DataType::kString:
+      return std::hash<std::string>()(string_value());
+  }
+  return 0;
+}
+
+}  // namespace statsdb
+}  // namespace ff

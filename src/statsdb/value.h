@@ -1,0 +1,86 @@
+// Typed values for the statistics database. The paper stores one tuple per
+// forecast-run execution in "a relational database with statistics
+// extracted from forecast directories"; statsdb is that engine.
+
+#ifndef FF_STATSDB_VALUE_H_
+#define FF_STATSDB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/statusor.h"
+
+namespace ff {
+namespace statsdb {
+
+/// Column/value types supported by the engine.
+enum class DataType {
+  kNull,    // only as the type of a NULL literal
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* DataTypeName(DataType t);
+
+/// Parses a type name ("INT", "INTEGER", "BIGINT", "DOUBLE", "REAL",
+/// "FLOAT", "TEXT", "STRING", "VARCHAR", "BOOL", "BOOLEAN"),
+/// case-insensitive.
+util::StatusOr<DataType> ParseDataType(const std::string& name);
+
+/// A single SQL value; monostate encodes NULL.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Rep(b)); }
+  static Value Int64(int64_t i) { return Value(Rep(i)); }
+  static Value Double(double d) { return Value(Rep(d)); }
+  static Value String(std::string s) { return Value(Rep(std::move(s))); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  DataType type() const;
+
+  /// Typed accessors; the caller must check the type first (FF_CHECKed).
+  bool bool_value() const;
+  int64_t int64_value() const;
+  double double_value() const;
+  const std::string& string_value() const;
+
+  /// Numeric view: int64 or double widened to double. Error for other
+  /// types (including NULL).
+  util::StatusOr<double> AsDouble() const;
+
+  /// SQL-style three-valued comparison is handled in expr.cc; this is a
+  /// *total* ordering used by ORDER BY and group keys: NULL < bool <
+  /// numeric < string; numerics compare by value across int/double.
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Rendering for CSV/result output; NULL renders as empty string.
+  std::string ToString() const;
+
+  /// Parses a string into the given type (used by CSV import). Empty
+  /// string parses as NULL for any type.
+  static util::StatusOr<Value> Parse(const std::string& text, DataType type);
+
+  /// Hash consistent with Compare()==0 (int 3 and double 3.0 hash alike).
+  size_t Hash() const;
+
+ private:
+  using Rep = std::variant<std::monostate, bool, int64_t, double,
+                           std::string>;
+  explicit Value(Rep rep) : v_(std::move(rep)) {}
+  Rep v_;
+};
+
+}  // namespace statsdb
+}  // namespace ff
+
+#endif  // FF_STATSDB_VALUE_H_

@@ -1,0 +1,130 @@
+#include "util/csv.h"
+
+namespace ff {
+namespace util {
+
+std::string CsvEscape(const std::string& field) {
+  bool needs_quote = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvRow(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ',';
+    out += CsvEscape(fields[i]);
+  }
+  return out;
+}
+
+namespace {
+
+// Parses records from `text` starting at *pos; returns one record and
+// advances *pos past its terminating newline (or to end).
+StatusOr<std::vector<std::string>> ParseRecord(const std::string& text,
+                                               size_t* pos) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = *pos;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else {
+      if (c == '"') {
+        in_quotes = true;
+      } else if (c == ',') {
+        fields.push_back(std::move(field));
+        field.clear();
+      } else if (c == '\n') {
+        ++i;
+        break;
+      } else if (c == '\r') {
+        // swallow; handle \r\n
+      } else {
+        field += c;
+      }
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted CSV field");
+  }
+  fields.push_back(std::move(field));
+  *pos = i;
+  return fields;
+}
+
+}  // namespace
+
+StatusOr<std::vector<std::string>> ParseCsvLine(const std::string& line) {
+  size_t pos = 0;
+  return ParseRecord(line, &pos);
+}
+
+StatusOr<CsvDocument> ParseCsv(const std::string& text, bool has_header) {
+  CsvDocument doc;
+  size_t pos = 0;
+  bool first = true;
+  while (pos < text.size()) {
+    // Skip blank lines between records.
+    if (text[pos] == '\n' || text[pos] == '\r') {
+      ++pos;
+      continue;
+    }
+    FF_ASSIGN_OR_RETURN(auto record, ParseRecord(text, &pos));
+    if (first && has_header) {
+      doc.header = std::move(record);
+    } else {
+      doc.rows.push_back(std::move(record));
+    }
+    first = false;
+  }
+  return doc;
+}
+
+CsvWriter::CsvWriter(std::ostream* out, std::vector<std::string> header)
+    : out_(out) {
+  if (!header.empty()) {
+    width_ = header.size();
+    (*out_) << CsvRow(header) << '\n';
+  }
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (width_ == 0) {
+    width_ = fields.size();
+  } else if (fields.size() != width_) {
+    return Status::InvalidArgument(
+        "CSV row width mismatch: expected " + std::to_string(width_) +
+        ", got " + std::to_string(fields.size()));
+  }
+  (*out_) << CsvRow(fields) << '\n';
+  ++rows_written_;
+  return Status::OK();
+}
+
+}  // namespace util
+}  // namespace ff

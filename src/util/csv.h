@@ -1,0 +1,57 @@
+// CSV reading/writing with RFC-4180-style quoting. Used by statsdb
+// import/export and by the bench harnesses that emit figure series.
+
+#ifndef FF_UTIL_CSV_H_
+#define FF_UTIL_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace ff {
+namespace util {
+
+/// One parsed CSV document: optional header plus data rows.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Escapes a single field (quotes when it contains comma, quote or newline).
+std::string CsvEscape(const std::string& field);
+
+/// Renders one row (no trailing newline).
+std::string CsvRow(const std::vector<std::string>& fields);
+
+/// Parses CSV text. When `has_header` is true the first record becomes
+/// `header`. Handles quoted fields, embedded commas/newlines and doubled
+/// quotes. Rejects unterminated quotes.
+StatusOr<CsvDocument> ParseCsv(const std::string& text, bool has_header);
+
+/// Parses a single CSV record (no embedded newlines expected).
+StatusOr<std::vector<std::string>> ParseCsvLine(const std::string& line);
+
+/// Streaming writer with uniform row-width checking.
+class CsvWriter {
+ public:
+  /// Writes to `out` (not owned); `header` may be empty for headerless CSV.
+  CsvWriter(std::ostream* out, std::vector<std::string> header);
+
+  /// Writes one row; returns InvalidArgument when the width differs from
+  /// the header width (if a header was given) or the first row's width.
+  Status WriteRow(const std::vector<std::string>& fields);
+
+  size_t rows_written() const { return rows_written_; }
+
+ private:
+  std::ostream* out_;
+  size_t width_ = 0;  // 0 = not yet fixed
+  size_t rows_written_ = 0;
+};
+
+}  // namespace util
+}  // namespace ff
+
+#endif  // FF_UTIL_CSV_H_

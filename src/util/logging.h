@@ -1,0 +1,77 @@
+// Minimal leveled logging + check macros for the forecast-factory library.
+//
+// FF_LOG(INFO) << "...";  FF_CHECK(cond) << "...";
+// Severity filtering is a process-wide runtime setting (SetMinLogLevel).
+
+#ifndef FF_UTIL_LOGGING_H_
+#define FF_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace ff {
+namespace util {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the minimum level that is actually emitted (default: kWarning, so
+/// library internals stay quiet in tests and benches).
+void SetMinLogLevel(LogLevel level);
+LogLevel GetMinLogLevel();
+
+/// Internal: one log statement. Emits on destruction; aborts for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Turns the ostream expression on the right of `&` into void so it can sit
+/// in the unused branch of a ternary (classic glog "voidify" trick).
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace util
+}  // namespace ff
+
+#define FF_LOG_DEBUG \
+  ::ff::util::LogMessage(::ff::util::LogLevel::kDebug, __FILE__, __LINE__)
+#define FF_LOG_INFO \
+  ::ff::util::LogMessage(::ff::util::LogLevel::kInfo, __FILE__, __LINE__)
+#define FF_LOG_WARNING \
+  ::ff::util::LogMessage(::ff::util::LogLevel::kWarning, __FILE__, __LINE__)
+#define FF_LOG_ERROR \
+  ::ff::util::LogMessage(::ff::util::LogLevel::kError, __FILE__, __LINE__)
+#define FF_LOG_FATAL \
+  ::ff::util::LogMessage(::ff::util::LogLevel::kFatal, __FILE__, __LINE__)
+
+#define FF_LOG(severity) FF_LOG_##severity.stream()
+
+/// Fatal unless `cond` holds; enabled in all build types (invariants in a
+/// simulator are cheap relative to simulated work).
+#define FF_CHECK(cond)                                 \
+  (cond) ? (void)0                                     \
+         : ::ff::util::LogMessageVoidify() &           \
+               FF_LOG(FATAL) << "Check failed: " #cond " "
+
+#define FF_DCHECK(cond) FF_CHECK(cond)
+
+#endif  // FF_UTIL_LOGGING_H_

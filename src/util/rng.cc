@@ -1,0 +1,110 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ff {
+namespace util {
+
+namespace {
+
+// splitmix64: seed expander recommended for xoshiro initialization.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform01() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  FF_CHECK(lo <= hi) << "Uniform(" << lo << "," << hi << ")";
+  return lo + (hi - lo) * Uniform01();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  FF_CHECK(lo <= hi) << "UniformInt(" << lo << "," << hi << ")";
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t v;
+  do {
+    v = Next();
+  } while (v >= limit);
+  return lo + static_cast<int64_t>(v % range);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1, u2;
+  do {
+    u1 = Uniform01();
+  } while (u1 <= 0.0);
+  u2 = Uniform01();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double z0 = r * std::cos(2.0 * M_PI * u2);
+  cached_normal_ = r * std::sin(2.0 * M_PI * u2);
+  have_cached_normal_ = true;
+  return mean + stddev * z0;
+}
+
+double Rng::Exponential(double rate) {
+  FF_CHECK(rate > 0.0) << "Exponential rate must be positive";
+  double u;
+  do {
+    u = Uniform01();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+double Rng::LogNormalMedian(double median, double sigma) {
+  FF_CHECK(median > 0.0) << "LogNormalMedian requires positive median";
+  return median * std::exp(Normal(0.0, sigma));
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform01() < p;
+}
+
+size_t Rng::Index(size_t n) {
+  FF_CHECK(n > 0) << "Index(0)";
+  return static_cast<size_t>(
+      UniformInt(0, static_cast<int64_t>(n) - 1));
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0x9e3779b97f4a7c15ULL); }
+
+}  // namespace util
+}  // namespace ff

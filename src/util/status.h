@@ -1,0 +1,145 @@
+// Status: error-handling primitive used across the forecast-factory library.
+//
+// Follows the Arrow/RocksDB convention: library functions that can fail
+// return a Status (or StatusOr<T>, see statusor.h) instead of throwing.
+// A Status is cheap to copy in the OK case (no allocation).
+
+#ifndef FF_UTIL_STATUS_H_
+#define FF_UTIL_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace ff {
+namespace util {
+
+/// Error category carried by a non-OK Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kUnimplemented = 7,
+  kIoError = 8,
+  kParseError = 9,
+  kCapacityExceeded = 10,
+  kDeadlineMissed = 11,
+};
+
+/// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation: either OK or an error code plus message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status DeadlineMissed(std::string msg) {
+    return Status(StatusCode::kDeadlineMissed, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsCapacityExceeded() const {
+    return code() == StatusCode::kCapacityExceeded;
+  }
+  bool IsDeadlineMissed() const {
+    return code() == StatusCode::kDeadlineMissed;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Returns this status with `context + ": "` prepended to the message.
+  /// OK statuses pass through unchanged.
+  Status WithContext(const std::string& context) const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;  // null == OK
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace util
+}  // namespace ff
+
+/// Propagates a non-OK Status to the caller.
+#define FF_RETURN_NOT_OK(expr)                  \
+  do {                                          \
+    ::ff::util::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#endif  // FF_UTIL_STATUS_H_

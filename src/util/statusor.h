@@ -1,0 +1,83 @@
+// StatusOr<T>: value-or-error result type, companion to Status.
+
+#ifndef FF_UTIL_STATUSOR_H_
+#define FF_UTIL_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace ff {
+namespace util {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Constructing from an OK Status is a programming error
+/// (asserted in debug builds, converted to Internal otherwise).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value (mirrors absl::StatusOr ergonomics).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  /// Implicit from error status.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// The contained value; requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when holding an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ present
+  std::optional<T> value_;
+};
+
+}  // namespace util
+}  // namespace ff
+
+/// Assigns the value of a StatusOr expression to `lhs`, or propagates the
+/// error. Usage: FF_ASSIGN_OR_RETURN(auto x, ComputeX());
+#define FF_ASSIGN_OR_RETURN(lhs, expr)                       \
+  FF_ASSIGN_OR_RETURN_IMPL_(                                 \
+      FF_STATUSOR_CONCAT_(_statusor_, __LINE__), lhs, expr)
+
+#define FF_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define FF_STATUSOR_CONCAT_(a, b) FF_STATUSOR_CONCAT_IMPL_(a, b)
+#define FF_STATUSOR_CONCAT_IMPL_(a, b) a##b
+
+#endif  // FF_UTIL_STATUSOR_H_

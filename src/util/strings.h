@@ -1,0 +1,49 @@
+// Small string utilities shared across modules (split, trim, case, join,
+// printf-style formatting, numeric parsing with Status reporting).
+
+#ifndef FF_UTIL_STRINGS_H_
+#define FF_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace ff {
+namespace util {
+
+/// Splits `s` on `sep`; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on any whitespace; drops empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Removes leading and trailing whitespace.
+std::string Trim(std::string_view s);
+
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Strict numeric parsers (whole string must parse).
+StatusOr<int64_t> ParseInt64(std::string_view s);
+StatusOr<double> ParseDouble(std::string_view s);
+
+/// Case-insensitive equality (ASCII).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+}  // namespace util
+}  // namespace ff
+
+#endif  // FF_UTIL_STRINGS_H_

@@ -1,0 +1,109 @@
+#include "util/summary_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ff {
+namespace util {
+
+void SummaryStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double SummaryStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double SummaryStats::stddev() const { return std::sqrt(variance()); }
+
+void SummaryStats::Merge(const SummaryStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double n1 = static_cast<double>(count_);
+  double n2 = static_cast<double>(other.count_);
+  double delta = other.mean_ - mean_;
+  double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+StatusOr<LinearFit> FitLinear(const std::vector<double>& xs,
+                              const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("FitLinear: size mismatch");
+  }
+  if (xs.size() < 2) {
+    return Status::InvalidArgument("FitLinear: need at least 2 points");
+  }
+  double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  double mx = sx / n, my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    double dx = xs[i] - mx;
+    double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) {
+    return Status::InvalidArgument("FitLinear: x is constant");
+  }
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy == 0.0) {
+    fit.r_squared = 1.0;  // constant y, exactly fit by slope 0
+  } else {
+    double ss_res = 0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+      double r = ys[i] - fit.Predict(xs[i]);
+      ss_res += r * r;
+    }
+    fit.r_squared = 1.0 - ss_res / syy;
+  }
+  return fit;
+}
+
+StatusOr<double> Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return Status::InvalidArgument("Percentile: empty sample");
+  if (p < 0.0 || p > 100.0) {
+    return Status::InvalidArgument("Percentile: p out of [0,100]");
+  }
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(rank));
+  size_t hi = static_cast<size_t>(std::ceil(rank));
+  double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+StatusOr<double> MedianAbsDeviation(const std::vector<double>& xs) {
+  FF_ASSIGN_OR_RETURN(double med, Percentile(xs, 50.0));
+  std::vector<double> devs;
+  devs.reserve(xs.size());
+  for (double x : xs) devs.push_back(std::fabs(x - med));
+  return Percentile(std::move(devs), 50.0);
+}
+
+}  // namespace util
+}  // namespace ff

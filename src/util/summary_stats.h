@@ -1,0 +1,66 @@
+// Streaming summary statistics and simple regression/series analysis
+// primitives used by the estimator, the log analyzer and the benches.
+
+#ifndef FF_UTIL_SUMMARY_STATS_H_
+#define FF_UTIL_SUMMARY_STATS_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace ff {
+namespace util {
+
+/// Welford streaming mean/variance plus min/max.
+class SummaryStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when count < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel-safe reduction).
+  void Merge(const SummaryStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Ordinary least squares y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0,1] (1 when all variance explained;
+  /// defined as 1 when y is constant and perfectly fit).
+  double r_squared = 0.0;
+  double Predict(double x) const { return slope * x + intercept; }
+};
+
+/// Fits OLS; requires xs.size() == ys.size() >= 2 and non-constant x.
+StatusOr<LinearFit> FitLinear(const std::vector<double>& xs,
+                              const std::vector<double>& ys);
+
+/// Exact percentile (linear interpolation) of a copy-sorted sample.
+/// p in [0,100]. Requires non-empty xs.
+StatusOr<double> Percentile(std::vector<double> xs, double p);
+
+/// Median absolute deviation (robust scale estimate).
+StatusOr<double> MedianAbsDeviation(const std::vector<double>& xs);
+
+}  // namespace util
+}  // namespace ff
+
+#endif  // FF_UTIL_SUMMARY_STATS_H_

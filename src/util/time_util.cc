@@ -1,0 +1,52 @@
+#include "util/time_util.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace ff {
+namespace util {
+
+int64_t DayOfTime(double t_seconds) {
+  if (t_seconds <= 0.0) return 0;
+  return static_cast<int64_t>(std::floor(t_seconds / kSecondsPerDay));
+}
+
+double TimeOfDay(double t_seconds) {
+  double d = std::fmod(t_seconds, kSecondsPerDay);
+  if (d < 0.0) d += kSecondsPerDay;
+  return d;
+}
+
+double StartOfDay(int64_t day) {
+  return static_cast<double>(day) * kSecondsPerDay;
+}
+
+double MakeTime(int64_t day, int hour, int minute, double second) {
+  return StartOfDay(day) + hour * kSecondsPerHour +
+         minute * kSecondsPerMinute + second;
+}
+
+std::string FormatTime(double t_seconds) {
+  int64_t day = DayOfTime(t_seconds);
+  double tod = TimeOfDay(t_seconds);
+  int h = static_cast<int>(tod / kSecondsPerHour);
+  int m = static_cast<int>(std::fmod(tod, kSecondsPerHour) /
+                           kSecondsPerMinute);
+  int s = static_cast<int>(std::fmod(tod, kSecondsPerMinute));
+  return StrFormat("d%03lld %02d:%02d:%02d",
+                   static_cast<long long>(day), h, m, s);
+}
+
+std::string FormatDuration(double seconds) {
+  bool neg = seconds < 0.0;
+  double abs = std::fabs(seconds);
+  int h = static_cast<int>(abs / kSecondsPerHour);
+  int m = static_cast<int>(std::fmod(abs, kSecondsPerHour) /
+                           kSecondsPerMinute);
+  int s = static_cast<int>(std::fmod(abs, kSecondsPerMinute));
+  return StrFormat("%s%02d:%02d:%02d", neg ? "-" : "", h, m, s);
+}
+
+}  // namespace util
+}  // namespace ff

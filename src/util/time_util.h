@@ -1,0 +1,41 @@
+// Simulation-time helpers. Simulated time is seconds (double) since an
+// arbitrary campaign epoch; the campaign layer interprets it as
+// day-of-year + time-of-day, matching the paper's figures (x axis in days,
+// walltimes in seconds, "one day is 86,400 seconds").
+
+#ifndef FF_UTIL_TIME_UTIL_H_
+#define FF_UTIL_TIME_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ff {
+namespace util {
+
+/// Seconds per simulated day.
+inline constexpr double kSecondsPerDay = 86400.0;
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kSecondsPerMinute = 60.0;
+
+/// 0-based day index containing simulated time t (t may be negative -> 0).
+int64_t DayOfTime(double t_seconds);
+
+/// Seconds since the start of the containing day, in [0, 86400).
+double TimeOfDay(double t_seconds);
+
+/// Start-of-day timestamp for a 0-based day index.
+double StartOfDay(int64_t day);
+
+/// Builds a timestamp: day index + hours/minutes/seconds within the day.
+double MakeTime(int64_t day, int hour, int minute = 0, double second = 0.0);
+
+/// "dDDD hh:mm:ss" rendering used by log files and the Gantt view.
+std::string FormatTime(double t_seconds);
+
+/// "hh:mm:ss" (duration) rendering.
+std::string FormatDuration(double seconds);
+
+}  // namespace util
+}  // namespace ff
+
+#endif  // FF_UTIL_TIME_UTIL_H_

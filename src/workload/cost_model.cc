@@ -1,0 +1,16 @@
+#include "workload/cost_model.h"
+
+namespace ff {
+namespace workload {
+
+double CostModel::SimulationCpuSeconds(const ForecastSpec& spec) const {
+  return alpha * static_cast<double>(spec.timesteps) *
+         (static_cast<double>(spec.mesh_sides) / 1000.0) * spec.code_factor;
+}
+
+double CostModel::TotalCpuSeconds(const ForecastSpec& spec) const {
+  return SimulationCpuSeconds(spec) + spec.TotalProductCpuSeconds();
+}
+
+}  // namespace workload
+}  // namespace ff

@@ -1,0 +1,32 @@
+// The simulation cost model: walltime drivers the paper documents in
+// §4.3.2 — "forecast running times appear linearly proportional to the
+// number of timesteps" and "a near-linear relationship of run time with
+// the number of sides in a mesh" — plus per-version code factors and
+// node-speed scaling.
+
+#ifndef FF_WORKLOAD_COST_MODEL_H_
+#define FF_WORKLOAD_COST_MODEL_H_
+
+#include "workload/forecast_spec.h"
+
+namespace ff {
+namespace workload {
+
+/// Coefficients of the cost law
+///   cpu_seconds = alpha * timesteps * (mesh_sides / 1000) * code_factor.
+/// alpha is calibrated so the Tillamook forecast (5760 timesteps, 25k
+/// sides) needs ~40,000 CPU-seconds, matching Fig. 8's pre-change level.
+struct CostModel {
+  double alpha = 40000.0 / (5760.0 * 25.0);
+
+  /// Reference-node CPU-seconds for the simulation part of a run.
+  double SimulationCpuSeconds(const ForecastSpec& spec) const;
+
+  /// Reference-node CPU-seconds for the whole run (simulation + products).
+  double TotalCpuSeconds(const ForecastSpec& spec) const;
+};
+
+}  // namespace workload
+}  // namespace ff
+
+#endif  // FF_WORKLOAD_COST_MODEL_H_

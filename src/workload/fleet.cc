@@ -1,0 +1,134 @@
+#include "workload/fleet.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace ff {
+namespace workload {
+
+namespace {
+
+// Output files of a 2-day ELCIRC-style run: per-day salinity, temperature
+// and (heavier, vector-valued) horizontal-velocity files.
+std::vector<OutputFileSpec> MakeElcircOutputFiles(double scale) {
+  return {
+      {"1_salt.63", 0.0, 0.5, 250e6 * scale},
+      {"2_salt.63", 0.5, 1.0, 250e6 * scale},
+      {"1_temp.63", 0.0, 0.5, 200e6 * scale},
+      {"2_temp.63", 0.5, 1.0, 200e6 * scale},
+      {"1_hvel.64", 0.0, 0.5, 400e6 * scale},
+      {"2_hvel.64", 0.5, 1.0, 400e6 * scale},
+  };
+}
+
+}  // namespace
+
+std::vector<ProductSpec> MakeStandardProducts(double scale) {
+  // Input-file indices refer to MakeElcircOutputFiles order:
+  // 0/1 salt, 2/3 temp, 4/5 hvel.
+  std::vector<ProductSpec> products = {
+      {"isosal_far_surface", ProductClass::kIsolines, 6.0, 1.0e6, {0, 1}},
+      {"isosal_near_surface", ProductClass::kIsolines, 6.0, 1.0e6, {0, 1}},
+      {"process", ProductClass::kPlots, 5.0, 0.8e6, {0, 1, 2, 3, 4, 5}},
+      {"transect_estuary", ProductClass::kTransects, 4.0, 0.6e6,
+       {0, 1, 2, 3}},
+      {"xsect_channel", ProductClass::kCrossSections, 3.0, 0.4e6, {0, 1}},
+      {"anim_plume", ProductClass::kAnimations, 5.0, 1.0e6, {4, 5}},
+  };
+  for (auto& p : products) {
+    p.cpu_per_increment *= scale;
+    p.bytes_per_increment *= scale;
+  }
+  return products;
+}
+
+ForecastSpec MakeElcircEstuaryForecast() {
+  ForecastSpec spec;
+  spec.name = "forecast-estuary";
+  spec.region = "estuary";
+  spec.forecast_days = 2;
+  spec.timesteps = 5760;     // 2 days at 30-second steps
+  spec.mesh_sides = 6500;    // small estuary mesh => ~10,400 CPU-s
+  spec.code_version = "elcirc-5.01";
+  spec.increments = 96;      // half-hourly output over 2 days
+  spec.output_files = MakeElcircOutputFiles(1.0);
+  spec.products = MakeStandardProducts(1.0);
+  return spec;
+}
+
+ForecastSpec MakeTillamookForecast() {
+  ForecastSpec spec;
+  spec.name = "forecast-tillamook";
+  spec.region = "tillamook";
+  spec.forecast_days = 2;
+  spec.timesteps = 5760;
+  spec.mesh_sides = 25000;   // ~40,000 CPU-s at the calibrated alpha
+  spec.code_version = "elcirc-5.01";
+  spec.increments = 96;
+  spec.output_files = MakeElcircOutputFiles(1.5);
+  spec.products = MakeStandardProducts(0.5);
+  return spec;
+}
+
+ForecastSpec MakeDevForecast() {
+  ForecastSpec spec;
+  spec.name = "forecasts-dev";
+  spec.region = "columbia";
+  spec.forecast_days = 2;
+  spec.timesteps = 8640;     // 2 days at 20-second steps
+  spec.mesh_sides = 29000;
+  spec.code_version = "dev-1.0";
+  spec.increments = 96;
+  spec.output_files = MakeElcircOutputFiles(1.5);
+  spec.products = MakeStandardProducts(0.5);
+  return spec;
+}
+
+std::vector<ForecastSpec> MakeCorieFleet(int n, util::Rng* rng) {
+  static const char* kRegions[] = {
+      "columbia",  "tillamook", "yaquina",  "nehalem",  "coos",
+      "umpqua",    "siuslaw",   "alsea",    "nestucca", "salmon",
+      "willapa",   "grays",     "chehalis", "klamath",  "eel",
+      "russian",   "sanfran",   "monterey", "morro",    "santaclara",
+  };
+  constexpr int kNumRegions = sizeof(kRegions) / sizeof(kRegions[0]);
+  std::vector<ForecastSpec> fleet;
+  fleet.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ForecastSpec spec;
+    std::string region = kRegions[i % kNumRegions];
+    if (i >= kNumRegions) {
+      region += util::StrFormat("-%d", i / kNumRegions + 1);
+    }
+    spec.name = "forecast-" + region;
+    spec.region = region;
+    spec.forecast_days = 2;
+    // 30- or 60-second timesteps.
+    spec.timesteps = rng->Bernoulli(0.5) ? 5760 : 2880;
+    spec.mesh_sides = rng->UniformInt(5, 30) * 1000;
+    spec.code_version = rng->Bernoulli(0.8) ? "elcirc-5.01" : "elcirc-5.02";
+    spec.code_factor = spec.code_version == "elcirc-5.02" ? 0.95 : 1.0;
+    spec.increments = 96;
+    spec.priority = static_cast<int>(rng->UniformInt(1, 3));
+    spec.earliest_start = 3600.0 * static_cast<double>(rng->UniformInt(0, 2));
+    double scale = rng->Uniform(0.8, 1.6);
+    spec.output_files = MakeElcircOutputFiles(scale);
+    spec.products = MakeStandardProducts(rng->Uniform(0.4, 1.0));
+    // Deadline: a serial run must be able to make it with ~50% slack —
+    // forecasts "have the most value when they complete well before the
+    // time period they are forecasting", but an impossible deadline is a
+    // specification bug, not a workload.
+    double serial_time =
+        40000.0 / (5760.0 * 25.0) * static_cast<double>(spec.timesteps) *
+        (static_cast<double>(spec.mesh_sides) / 1000.0);
+    double earliest_ok = spec.earliest_start + 1.5 * serial_time;
+    double preferred = 3600.0 * static_cast<double>(rng->UniformInt(8, 16));
+    spec.deadline = std::min(86400.0, std::max(preferred, earliest_ok));
+    fleet.push_back(std::move(spec));
+  }
+  return fleet;
+}
+
+}  // namespace workload
+}  // namespace ff

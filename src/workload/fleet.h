@@ -1,0 +1,43 @@
+// Canned forecasts and fleet generators.
+//
+// MakeElcircEstuaryForecast reproduces the workload of the paper's §4.2
+// experiment (the ELCIRC run whose staging behaviour is plotted in
+// Figs. 6-7, with output files 1_salt.63 / 2_salt.63 and product
+// directories isosal_far_surface / isosal_near_surface / process).
+// MakeTillamookForecast and MakeDevForecast parameterize the campaigns of
+// Figs. 8-9. MakeCorieFleet generates the production-style fleet (10 runs
+// growing toward the expected 50-100).
+
+#ifndef FF_WORKLOAD_FLEET_H_
+#define FF_WORKLOAD_FLEET_H_
+
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/forecast_spec.h"
+
+namespace ff {
+namespace workload {
+
+/// The §4.2 data-flow experiment forecast (~10,400 CPU-s of simulation,
+/// ~5,000 CPU-s of products, ~20% of bytes in products).
+ForecastSpec MakeElcircEstuaryForecast();
+
+/// The Tillamook forecast of Fig. 8 (5760 timesteps, ~40,000 s walltime).
+ForecastSpec MakeTillamookForecast();
+
+/// The developmental forecast of Fig. 9 (frequent code/mesh changes).
+ForecastSpec MakeDevForecast();
+
+/// A CORIE-like fleet of `n` forecasts over coastal regions, with varied
+/// timestep counts, mesh sizes and priorities. Deterministic given `rng`.
+std::vector<ForecastSpec> MakeCorieFleet(int n, util::Rng* rng);
+
+/// Standard product set for a region (one product per Figure-2 class,
+/// scaled by `scale`).
+std::vector<ProductSpec> MakeStandardProducts(double scale = 1.0);
+
+}  // namespace workload
+}  // namespace ff
+
+#endif  // FF_WORKLOAD_FLEET_H_

@@ -1,0 +1,45 @@
+#include "workload/forecast_spec.h"
+
+namespace ff {
+namespace workload {
+
+const char* ProductClassName(ProductClass c) {
+  switch (c) {
+    case ProductClass::kIsolines:
+      return "isolines";
+    case ProductClass::kTransects:
+      return "transects";
+    case ProductClass::kCrossSections:
+      return "cross_sections";
+    case ProductClass::kAnimations:
+      return "animations";
+    case ProductClass::kPlots:
+      return "plots";
+  }
+  return "?";
+}
+
+double ForecastSpec::TotalModelBytes() const {
+  double total = 0.0;
+  for (const auto& f : output_files) total += f.total_bytes;
+  return total;
+}
+
+double ForecastSpec::TotalProductBytes() const {
+  double total = 0.0;
+  for (const auto& p : products) {
+    total += p.bytes_per_increment * static_cast<double>(increments);
+  }
+  return total;
+}
+
+double ForecastSpec::TotalProductCpuSeconds() const {
+  double total = 0.0;
+  for (const auto& p : products) {
+    total += p.cpu_per_increment * static_cast<double>(increments);
+  }
+  return total;
+}
+
+}  // namespace workload
+}  // namespace ff

@@ -1,0 +1,93 @@
+// Forecast specifications: the static description of one daily forecast
+// run — region, simulated period, timestep count, mesh, code version,
+// priority, output files and derived data products (§2 of the paper).
+
+#ifndef FF_WORKLOAD_FORECAST_SPEC_H_
+#define FF_WORKLOAD_FORECAST_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ff {
+namespace workload {
+
+/// Classification of data products, following the paper's Figure 2.
+enum class ProductClass {
+  kIsolines,       // e.g. isosal_far_surface, isosal_near_surface
+  kTransects,      // estuary / plume transects
+  kCrossSections,
+  kAnimations,
+  kPlots,          // e.g. the "process" directory
+};
+
+const char* ProductClassName(ProductClass c);
+
+/// One derived data product (a directory of files generated incrementally
+/// from model outputs, tens to hundreds of instances per forecast).
+struct ProductSpec {
+  std::string name;           // e.g. "isosal_far_surface"
+  ProductClass product_class = ProductClass::kPlots;
+  /// CPU-seconds (reference node) to process one model-output increment.
+  double cpu_per_increment = 15.0;
+  /// Bytes this product emits per model-output increment.
+  double bytes_per_increment = 2.0e6;
+  /// Indices into ForecastSpec::output_files consumed by this product
+  /// (many products read several model outputs simultaneously).
+  std::vector<int> input_files;
+};
+
+/// One model output file (e.g. "1_salt.63": day-1 salinity), appended to
+/// incrementally as the simulation progresses.
+struct OutputFileSpec {
+  std::string name;
+  /// Fraction of simulation progress at which this file starts growing
+  /// (day-2 files only grow during the second half of a 2-day forecast).
+  double start_progress = 0.0;
+  /// ... and stops growing.
+  double end_progress = 1.0;
+  /// Total bytes when complete.
+  double total_bytes = 200.0e6;
+};
+
+/// The full static description of a forecast.
+struct ForecastSpec {
+  std::string name;          // e.g. "forecast-tillamook"
+  std::string region;        // e.g. "tillamook"
+  int forecast_days = 2;     // simulated period (paper: "typically two days")
+  int64_t timesteps = 5760;  // number of model timesteps for the period
+  int64_t mesh_sides = 25000;  // number of sides in the mesh
+  std::string code_version = "elcirc-5.01";
+  /// Relative cost multiplier of the code version (1.0 = baseline);
+  /// version changes in Fig. 9 move this by ±10-60%.
+  double code_factor = 1.0;
+  /// Number of model-output increments written over the run (the paper's
+  /// products are "incrementally computed as additional model data is
+  /// appended"; half-hourly output over 2 days = 96).
+  int increments = 96;
+  /// Priority: lower value = more important. ForeMan "allows users to
+  /// prioritize forecasts, and may automatically delay or drop lower
+  /// priority forecasts if needed".
+  int priority = 1;
+  /// Seconds after midnight when inputs (atmospheric forcings, river
+  /// flows) arrive and the run may start.
+  double earliest_start = 3600.0;  // 01:00
+  /// Seconds after midnight by which products should be complete (e.g.
+  /// 06:00 for a fishing-boat captain's morning).
+  double deadline = 86400.0;
+
+  std::vector<OutputFileSpec> output_files;
+  std::vector<ProductSpec> products;
+
+  /// Total bytes of all model outputs.
+  double TotalModelBytes() const;
+  /// Total bytes of all products over a full run.
+  double TotalProductBytes() const;
+  /// Total product CPU-seconds over a full run (reference node).
+  double TotalProductCpuSeconds() const;
+};
+
+}  // namespace workload
+}  // namespace ff
+
+#endif  // FF_WORKLOAD_FORECAST_SPEC_H_

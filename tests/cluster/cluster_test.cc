@@ -1,0 +1,132 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/link.h"
+#include "sim/simulator.h"
+
+namespace ff {
+namespace cluster {
+namespace {
+
+TEST(LinkTest, TransferTimeIsBytesOverBandwidth) {
+  sim::Simulator s;
+  Link link(&s, "lan", 12.5e6);  // 100 Mb/s
+  double done = -1.0;
+  link.StartTransfer(125e6, [&] { done = s.now(); });
+  s.Run();
+  EXPECT_NEAR(done, 10.0, 1e-6);
+}
+
+TEST(LinkTest, ConcurrentTransfersShareBandwidth) {
+  sim::Simulator s;
+  Link link(&s, "lan", 10.0);
+  double a = -1.0, b = -1.0;
+  link.StartTransfer(100.0, [&] { a = s.now(); });
+  link.StartTransfer(100.0, [&] { b = s.now(); });
+  s.Run();
+  // Each gets 5 bytes/s -> both done at t=20.
+  EXPECT_NEAR(a, 20.0, 1e-6);
+  EXPECT_NEAR(b, 20.0, 1e-6);
+}
+
+TEST(LinkTest, CancelReturnsUnsentBytes) {
+  sim::Simulator s;
+  Link link(&s, "lan", 10.0);
+  TransferId id = link.StartTransfer(100.0, nullptr);
+  s.RunUntil(4.0);
+  auto unsent = link.CancelTransfer(id);
+  ASSERT_TRUE(unsent.ok());
+  EXPECT_NEAR(*unsent, 60.0, 1e-6);
+}
+
+TEST(LinkTest, DownLinkStallsTransfers) {
+  sim::Simulator s;
+  Link link(&s, "lan", 10.0);
+  double done = -1.0;
+  link.StartTransfer(100.0, [&] { done = s.now(); });
+  link.SetUp(false);
+  s.RunUntil(100.0);
+  EXPECT_EQ(done, -1.0);
+  link.SetUp(true);
+  s.Run();
+  EXPECT_NEAR(done, 110.0, 1e-6);
+}
+
+TEST(ClusterTest, AddAndLookupNodes) {
+  sim::Simulator s;
+  Cluster c(&s);
+  NodeSpec spec;
+  spec.name = "f1";
+  spec.num_cpus = 2;
+  ASSERT_TRUE(c.AddNode(spec).ok());
+  auto node = c.node("f1");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ((*node)->name(), "f1");
+  EXPECT_EQ((*node)->num_cpus(), 2);
+  auto uplink = c.uplink("f1");
+  ASSERT_TRUE(uplink.ok());
+  EXPECT_EQ((*uplink)->name(), "f1->server");
+}
+
+TEST(ClusterTest, DuplicateNodeRejected) {
+  sim::Simulator s;
+  Cluster c(&s);
+  NodeSpec spec;
+  spec.name = "f1";
+  ASSERT_TRUE(c.AddNode(spec).ok());
+  EXPECT_TRUE(c.AddNode(spec).IsAlreadyExists());
+}
+
+TEST(ClusterTest, ServerNameReserved) {
+  sim::Simulator s;
+  Cluster c(&s);
+  NodeSpec spec;
+  spec.name = "server";
+  EXPECT_TRUE(c.AddNode(spec).IsInvalidArgument());
+}
+
+TEST(ClusterTest, UnknownNodeNotFound) {
+  sim::Simulator s;
+  Cluster c(&s);
+  EXPECT_TRUE(c.node("ghost").status().IsNotFound());
+  EXPECT_TRUE(c.uplink("ghost").status().IsNotFound());
+  EXPECT_TRUE(c.SetNodeUp("ghost", false).IsNotFound());
+}
+
+TEST(ClusterTest, ServerAlwaysPresent) {
+  sim::Simulator s;
+  Cluster c(&s, /*server_cpus=*/4, /*server_speed=*/1.5);
+  ASSERT_NE(c.server(), nullptr);
+  EXPECT_EQ(c.server()->num_cpus(), 4);
+  EXPECT_DOUBLE_EQ(c.server()->speed(), 1.5);
+}
+
+TEST(ClusterTest, NodeNamesPreserveInsertionOrder) {
+  sim::Simulator s;
+  Cluster c(&s);
+  for (const char* n : {"f3", "f1", "f2"}) {
+    NodeSpec spec;
+    spec.name = n;
+    ASSERT_TRUE(c.AddNode(spec).ok());
+  }
+  EXPECT_EQ(c.NodeNames(), (std::vector<std::string>{"f3", "f1", "f2"}));
+  EXPECT_EQ(c.num_nodes(), 3u);
+}
+
+TEST(ClusterTest, SetNodeUpTogglesMachineAndUplink) {
+  sim::Simulator s;
+  Cluster c(&s);
+  NodeSpec spec;
+  spec.name = "f1";
+  ASSERT_TRUE(c.AddNode(spec).ok());
+  ASSERT_TRUE(c.SetNodeUp("f1", false).ok());
+  EXPECT_FALSE((*c.node("f1"))->up());
+  EXPECT_FALSE((*c.uplink("f1"))->up());
+  ASSERT_TRUE(c.SetNodeUp("f1", true).ok());
+  EXPECT_TRUE((*c.node("f1"))->up());
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace ff

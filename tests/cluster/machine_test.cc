@@ -1,0 +1,130 @@
+#include "cluster/machine.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace ff {
+namespace cluster {
+namespace {
+
+TEST(MachineTest, SerialTaskBoundedByOneCpu) {
+  sim::Simulator s;
+  Machine m(&s, "f1", 2, 1.0);
+  double done = -1.0;
+  m.StartTask(1000.0, [&] { done = s.now(); });
+  s.Run();
+  EXPECT_NEAR(done, 1000.0, 1e-6);
+}
+
+TEST(MachineTest, SpeedScalesRuntime) {
+  sim::Simulator s;
+  Machine fast(&s, "fast", 2, 2.0);
+  Machine slow(&s, "slow", 2, 0.5);
+  double fast_done = -1.0, slow_done = -1.0;
+  fast.StartTask(100.0, [&] { fast_done = s.now(); });
+  slow.StartTask(100.0, [&] { slow_done = s.now(); });
+  s.Run();
+  EXPECT_NEAR(fast_done, 50.0, 1e-6);
+  EXPECT_NEAR(slow_done, 200.0, 1e-6);
+}
+
+TEST(MachineTest, PaperExampleThreeForecastsTwoCpus) {
+  sim::Simulator s;
+  Machine m(&s, "f1", 2, 1.0);
+  m.StartTask(100.0, nullptr);
+  m.StartTask(100.0, nullptr);
+  m.StartTask(100.0, nullptr);
+  EXPECT_NEAR(m.CurrentRatePerTask(), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(m.active_tasks(), 3u);
+}
+
+TEST(MachineTest, RemoveTaskForMigration) {
+  sim::Simulator s;
+  Machine m(&s, "f1", 2, 1.0);
+  TaskId id = m.StartTask(500.0, nullptr);
+  s.RunUntil(200.0);
+  auto remaining = m.RemoveTask(id);
+  ASSERT_TRUE(remaining.ok());
+  EXPECT_NEAR(*remaining, 300.0, 1e-6);
+  EXPECT_EQ(m.active_tasks(), 0u);
+}
+
+TEST(MachineTest, DownMachineMakesNoProgress) {
+  sim::Simulator s;
+  Machine m(&s, "f1", 2, 1.0);
+  double done = -1.0;
+  m.StartTask(100.0, [&] { done = s.now(); });
+  m.SetUp(false);
+  EXPECT_FALSE(m.up());
+  s.RunUntil(1000.0);
+  EXPECT_EQ(done, -1.0);
+  m.SetUp(true);
+  s.Run();
+  EXPECT_NEAR(done, 1100.0, 1e-6);
+}
+
+TEST(MachineTest, MemoryWithinRamNoThrash) {
+  sim::Simulator s;
+  Machine m(&s, "f1", 2, 1.0, /*ram_bytes=*/1.0e9);
+  m.StartTask(100.0, nullptr, /*mem_bytes=*/400e6);
+  m.StartTask(100.0, nullptr, /*mem_bytes=*/500e6);
+  EXPECT_DOUBLE_EQ(m.thrash_factor(), 1.0);
+  EXPECT_NEAR(m.resident_bytes(), 900e6, 1.0);
+}
+
+TEST(MachineTest, MemoryOverRamThrashesProportionally) {
+  sim::Simulator s;
+  Machine m(&s, "f1", 2, 1.0, 1.0e9);
+  m.StartTask(100.0, nullptr, 700e6);
+  m.StartTask(100.0, nullptr, 800e6);
+  // 1.5 GB resident on 1 GB RAM -> factor 2/3.
+  EXPECT_NEAR(m.thrash_factor(), 1.0e9 / 1.5e9, 1e-9);
+  // Both tasks fit on separate CPUs, but thrash slows both.
+  EXPECT_NEAR(m.CurrentRatePerTask(), 1.0e9 / 1.5e9, 1e-9);
+}
+
+TEST(MachineTest, ThrashClearsWhenTaskFinishes) {
+  sim::Simulator s;
+  Machine m(&s, "f1", 2, 1.0, 1.0e9);
+  m.StartTask(30.0, nullptr, 700e6);
+  m.StartTask(10000.0, nullptr, 800e6);
+  s.RunUntil(60.0);  // short task done (30 / (2/3) = 45)
+  EXPECT_EQ(m.active_tasks(), 1u);
+  EXPECT_DOUBLE_EQ(m.thrash_factor(), 1.0);
+  EXPECT_NEAR(m.resident_bytes(), 800e6, 1.0);
+}
+
+TEST(MachineTest, RemoveTaskReleasesMemory) {
+  sim::Simulator s;
+  Machine m(&s, "f1", 2, 1.0, 1.0e9);
+  TaskId id = m.StartTask(100.0, nullptr, 900e6);
+  m.StartTask(100.0, nullptr, 900e6);
+  EXPECT_LT(m.thrash_factor(), 1.0);
+  ASSERT_TRUE(m.RemoveTask(id).ok());
+  EXPECT_DOUBLE_EQ(m.thrash_factor(), 1.0);
+  EXPECT_NEAR(m.resident_bytes(), 900e6, 1.0);
+}
+
+TEST(MachineTest, UtilizationAccountsDelivery) {
+  sim::Simulator s;
+  Machine m(&s, "f1", 2, 1.0);
+  m.StartTask(100.0, nullptr);
+  m.StartTask(100.0, nullptr);
+  s.Run();
+  // 200 CPU-s delivered over 100 s on 2 CPUs: 100% busy.
+  EXPECT_NEAR(m.AverageUtilization(0.0), 1.0, 1e-6);
+  EXPECT_NEAR(m.total_cpu_seconds(), 200.0, 1e-3);
+}
+
+TEST(MachineTest, HalfUtilization) {
+  sim::Simulator s;
+  Machine m(&s, "f1", 2, 1.0);
+  m.StartTask(100.0, nullptr);
+  s.Run();
+  EXPECT_NEAR(m.AverageUtilization(0.0), 0.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace ff

@@ -1,0 +1,226 @@
+#include "cluster/ps_resource.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace ff {
+namespace cluster {
+namespace {
+
+TEST(PsResourceTest, SingleJobRunsAtCappedRate) {
+  sim::Simulator s;
+  PsResource r(&s, "node", /*capacity=*/2.0, /*max_per_job=*/1.0);
+  double done_at = -1.0;
+  r.Add(100.0, [&] { done_at = s.now(); });
+  s.Run();
+  // 1 job on 2 CPUs is capped at 1 CPU: 100 s of work takes 100 s.
+  EXPECT_NEAR(done_at, 100.0, 1e-6);
+}
+
+TEST(PsResourceTest, TwoJobsTwoCpusNoSlowdown) {
+  sim::Simulator s;
+  PsResource r(&s, "node", 2.0, 1.0);
+  std::vector<double> done(2, -1.0);
+  r.Add(100.0, [&] { done[0] = s.now(); });
+  r.Add(100.0, [&] { done[1] = s.now(); });
+  s.Run();
+  EXPECT_NEAR(done[0], 100.0, 1e-6);
+  EXPECT_NEAR(done[1], 100.0, 1e-6);
+}
+
+TEST(PsResourceTest, ThreeJobsTwoCpusGetTwoThirdsEach) {
+  // The paper's worked example: three forecasts on a dual-CPU node each
+  // receive 2/3 of a CPU.
+  sim::Simulator s;
+  PsResource r(&s, "node", 2.0, 1.0);
+  std::vector<double> done(3, -1.0);
+  for (int i = 0; i < 3; ++i) {
+    r.Add(100.0, [&, i] { done[i] = s.now(); });
+  }
+  EXPECT_NEAR(r.CurrentRatePerJob(), 2.0 / 3.0, 1e-12);
+  s.Run();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(done[i], 150.0, 1e-6);  // 100 / (2/3)
+  }
+}
+
+TEST(PsResourceTest, DepartureSpeedsUpSurvivors) {
+  sim::Simulator s;
+  PsResource r(&s, "node", 1.0, 1.0);
+  double short_done = -1.0, long_done = -1.0;
+  r.Add(50.0, [&] { short_done = s.now(); });
+  r.Add(100.0, [&] { long_done = s.now(); });
+  s.Run();
+  // Both run at 1/2 until the short job finishes at t=100 (50/0.5); the
+  // long job then has 50 left at rate 1 -> done at 150.
+  EXPECT_NEAR(short_done, 100.0, 1e-6);
+  EXPECT_NEAR(long_done, 150.0, 1e-6);
+}
+
+TEST(PsResourceTest, LateArrivalSharesFairly) {
+  sim::Simulator s;
+  PsResource r(&s, "node", 1.0, 1.0);
+  double first_done = -1.0;
+  r.Add(100.0, [&] { first_done = s.now(); });
+  s.ScheduleAt(50.0, [&] { r.Add(1000.0, nullptr); });
+  s.Run();
+  // First job: 50 done alone, then shares at 1/2 -> 50 more work takes
+  // 100 s -> completes at 150.
+  EXPECT_NEAR(first_done, 150.0, 1e-6);
+}
+
+TEST(PsResourceTest, RemoveReturnsRemainingWork) {
+  sim::Simulator s;
+  PsResource r(&s, "node", 1.0, 1.0);
+  JobId id = r.Add(100.0, nullptr);
+  s.RunUntil(30.0);
+  auto remaining = r.Remove(id);
+  ASSERT_TRUE(remaining.ok());
+  EXPECT_NEAR(*remaining, 70.0, 1e-6);
+  EXPECT_EQ(r.active_jobs(), 0u);
+}
+
+TEST(PsResourceTest, RemoveUnknownJobFails) {
+  sim::Simulator s;
+  PsResource r(&s, "node", 1.0, 1.0);
+  EXPECT_TRUE(r.Remove(12345).status().IsNotFound());
+}
+
+TEST(PsResourceTest, RemainingWorkTracksProgress) {
+  sim::Simulator s;
+  PsResource r(&s, "node", 1.0, 1.0);
+  JobId id = r.Add(100.0, nullptr);
+  s.RunUntil(25.0);
+  EXPECT_NEAR(*r.RemainingWork(id), 75.0, 1e-6);
+  s.RunUntil(99.0);
+  EXPECT_NEAR(*r.RemainingWork(id), 1.0, 1e-6);
+}
+
+TEST(PsResourceTest, SpeedFactorScalesService) {
+  sim::Simulator s;
+  PsResource r(&s, "node", 1.0, 1.0);
+  double done_at = -1.0;
+  r.Add(100.0, [&] { done_at = s.now(); });
+  r.SetSpeedFactor(0.5);
+  s.Run();
+  EXPECT_NEAR(done_at, 200.0, 1e-6);
+}
+
+TEST(PsResourceTest, ZeroSpeedStallsWithoutLosingWork) {
+  sim::Simulator s;
+  PsResource r(&s, "node", 1.0, 1.0);
+  double done_at = -1.0;
+  JobId id = r.Add(100.0, [&] { done_at = s.now(); });
+  s.RunUntil(40.0);
+  r.SetSpeedFactor(0.0);  // node down
+  s.RunUntil(500.0);
+  EXPECT_EQ(done_at, -1.0);
+  EXPECT_NEAR(*r.RemainingWork(id), 60.0, 1e-6);
+  r.SetSpeedFactor(1.0);  // node back up
+  s.Run();
+  EXPECT_NEAR(done_at, 560.0, 1e-6);
+}
+
+TEST(PsResourceTest, CongestionFactorSlowsEveryone) {
+  sim::Simulator s;
+  PsResource r(&s, "node", 2.0, 1.0);
+  double done_at = -1.0;
+  r.Add(100.0, [&] { done_at = s.now(); });
+  r.SetCongestionFactor(0.5);
+  s.Run();
+  EXPECT_NEAR(done_at, 200.0, 1e-6);
+}
+
+TEST(PsResourceTest, ZeroWorkCompletesImmediatelyViaQueue) {
+  sim::Simulator s;
+  PsResource r(&s, "node", 1.0, 1.0);
+  double done_at = -1.0;
+  bool synchronous = true;
+  r.Add(0.0, [&] { done_at = s.now(); });
+  // Completion must be deferred through the event queue.
+  EXPECT_EQ(done_at, -1.0);
+  synchronous = false;
+  s.Run();
+  EXPECT_DOUBLE_EQ(done_at, 0.0);
+  EXPECT_FALSE(synchronous);
+}
+
+TEST(PsResourceTest, TinyResidualWorkDoesNotWedgeTheClock) {
+  // Regression: residual work smaller than the per-tick resolution of
+  // double virtual time used to re-fire the completion event at an
+  // identical timestamp forever.
+  sim::Simulator s;
+  PsResource r(&s, "link", 12.5e6, 12.5e6);  // fast link
+  double done = -1.0;
+  r.Add(1.0e9 + 1e-8, [&] { done = s.now(); });
+  s.Run();
+  EXPECT_NEAR(done, 80.0, 1e-3);
+  EXPECT_LT(s.events_processed(), 100u);
+}
+
+TEST(PsResourceTest, WorkConservation) {
+  // Total delivered work equals total completed work demand.
+  sim::Simulator s;
+  PsResource r(&s, "node", 2.0, 1.0);
+  double total = 0.0;
+  for (int i = 1; i <= 10; ++i) {
+    double w = i * 13.0;
+    total += w;
+    s.ScheduleAt(i * 5.0, [&r, w] { r.Add(w, nullptr); });
+  }
+  s.Run();
+  EXPECT_NEAR(r.total_delivered(), total, 1e-3);
+}
+
+TEST(PsResourceTest, UtilizationIntegralBounded) {
+  sim::Simulator s;
+  PsResource r(&s, "node", 2.0, 1.0);
+  for (int i = 0; i < 4; ++i) r.Add(100.0, nullptr);
+  s.Run();
+  // 400 work on 2 CPUs: finishes at t=200, busy integral = 400.
+  EXPECT_NEAR(r.busy_capacity_integral(), 400.0, 1e-3);
+  EXPECT_NEAR(s.now(), 200.0, 1e-6);
+}
+
+// Property sweep: N identical jobs on C CPUs finish simultaneously at
+// work * max(1, N/C) (speed 1), the paper's sharing model.
+struct ShareCase {
+  int jobs;
+  int cpus;
+};
+
+class PsShareSweep : public ::testing::TestWithParam<ShareCase> {};
+
+TEST_P(PsShareSweep, IdenticalJobsFinishTogetherAtPredictedTime) {
+  const auto& p = GetParam();
+  sim::Simulator s;
+  PsResource r(&s, "node", p.cpus, 1.0);
+  std::vector<double> done(static_cast<size_t>(p.jobs), -1.0);
+  constexpr double kWork = 120.0;
+  for (int i = 0; i < p.jobs; ++i) {
+    r.Add(kWork, [&, i] { done[static_cast<size_t>(i)] = s.now(); });
+  }
+  s.Run();
+  double expected =
+      kWork * std::max(1.0, static_cast<double>(p.jobs) / p.cpus);
+  for (double d : done) EXPECT_NEAR(d, expected, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    JobsByCpus, PsShareSweep,
+    ::testing::Values(ShareCase{1, 1}, ShareCase{1, 2}, ShareCase{2, 2},
+                      ShareCase{3, 2}, ShareCase{4, 2}, ShareCase{5, 2},
+                      ShareCase{8, 2}, ShareCase{3, 4}, ShareCase{7, 4},
+                      ShareCase{16, 8}),
+    [](const ::testing::TestParamInfo<ShareCase>& info) {
+      return std::to_string(info.param.jobs) + "jobs_" +
+             std::to_string(info.param.cpus) + "cpus";
+    });
+
+}  // namespace
+}  // namespace cluster
+}  // namespace ff

@@ -1,0 +1,158 @@
+#include "core/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "logdata/loader.h"
+
+namespace ff {
+namespace core {
+namespace {
+
+workload::ForecastSpec Spec(int64_t timesteps = 5760,
+                            int64_t mesh = 20000) {
+  workload::ForecastSpec s;
+  s.name = "forecast-x";
+  s.timesteps = timesteps;
+  s.mesh_sides = mesh;
+  return s;
+}
+
+logdata::LogRecord Rec(int day, double walltime, int64_t timesteps = 5760,
+                       int64_t mesh = 20000, const char* node = "f1",
+                       logdata::RunStatus status =
+                           logdata::RunStatus::kCompleted) {
+  logdata::LogRecord r;
+  r.forecast = "forecast-x";
+  r.day = day;
+  r.node = node;
+  r.code_version = "v1";
+  r.mesh_sides = mesh;
+  r.timesteps = timesteps;
+  r.walltime = walltime;
+  r.status = status;
+  return r;
+}
+
+TEST(EstimatorTest, FallsBackToCostModelWithoutDb) {
+  RunTimeEstimator est(nullptr, workload::CostModel{});
+  auto e = est.EstimateWork(Spec());
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE(e->from_history);
+  EXPECT_GT(e->cpu_seconds, 0.0);
+}
+
+TEST(EstimatorTest, FallsBackWhenNoHistoryForForecast) {
+  statsdb::Database db;
+  ASSERT_TRUE(logdata::LoadRuns(&db, {}).ok());
+  RunTimeEstimator est(&db, workload::CostModel{});
+  auto e = est.EstimateWork(Spec());
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE(e->from_history);
+}
+
+TEST(EstimatorTest, MedianOfRecentRuns) {
+  statsdb::Database db;
+  std::vector<logdata::LogRecord> records;
+  for (int day = 1; day <= 5; ++day) {
+    records.push_back(Rec(day, 40000.0 + day * 100.0));
+  }
+  ASSERT_TRUE(logdata::LoadRuns(&db, records).ok());
+  RunTimeEstimator est(&db, workload::CostModel{});
+  auto e = est.EstimateWork(Spec());
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e->from_history);
+  EXPECT_EQ(e->history_samples, 5);
+  EXPECT_NEAR(e->cpu_seconds, 40300.0, 1.0);  // median of 40100..40500
+}
+
+TEST(EstimatorTest, MedianRobustToContentionHump) {
+  // Fig. 8's hump days must not poison the estimate.
+  statsdb::Database db;
+  std::vector<logdata::LogRecord> records;
+  for (int day = 1; day <= 6; ++day) records.push_back(Rec(day, 40000.0));
+  records.push_back(Rec(7, 120000.0));  // hump day
+  ASSERT_TRUE(logdata::LoadRuns(&db, records).ok());
+  RunTimeEstimator est(&db, workload::CostModel{});
+  auto e = est.EstimateWork(Spec());
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e->cpu_seconds, 40000.0, 1.0);
+}
+
+TEST(EstimatorTest, TimestepScalingLaw) {
+  // §4.3.2: after a timestep change, query earlier runs and "scale the
+  // running time accordingly".
+  statsdb::Database db;
+  ASSERT_TRUE(
+      logdata::LoadRuns(&db, {Rec(1, 40000.0, /*timesteps=*/5760)}).ok());
+  RunTimeEstimator est(&db, workload::CostModel{});
+  auto e = est.EstimateWork(Spec(/*timesteps=*/11520));
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e->cpu_seconds, 80000.0, 1.0);
+}
+
+TEST(EstimatorTest, MeshScalingLaw) {
+  statsdb::Database db;
+  ASSERT_TRUE(
+      logdata::LoadRuns(&db, {Rec(1, 40000.0, 5760, /*mesh=*/20000)}).ok());
+  RunTimeEstimator est(&db, workload::CostModel{});
+  auto e = est.EstimateWork(Spec(5760, /*mesh=*/30000));
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e->cpu_seconds, 60000.0, 1.0);
+}
+
+TEST(EstimatorTest, NodeSpeedNormalization) {
+  // Walltime logged on a 2x-speed node represents 2x the reference work.
+  statsdb::Database db;
+  ASSERT_TRUE(logdata::LoadRuns(
+                  &db, {Rec(1, 20000.0, 5760, 20000, "fast")})
+                  .ok());
+  EstimatorConfig cfg;
+  cfg.node_speeds["fast"] = 2.0;
+  RunTimeEstimator est(&db, workload::CostModel{}, cfg);
+  auto e = est.EstimateWork(Spec());
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e->cpu_seconds, 40000.0, 1.0);
+}
+
+TEST(EstimatorTest, IgnoresIncompleteRuns) {
+  statsdb::Database db;
+  std::vector<logdata::LogRecord> records{
+      Rec(1, 40000.0),
+      Rec(2, 0.0, 5760, 20000, "f1", logdata::RunStatus::kRunning)};
+  ASSERT_TRUE(logdata::LoadRuns(&db, records).ok());
+  RunTimeEstimator est(&db, workload::CostModel{});
+  auto e = est.EstimateWork(Spec());
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->history_samples, 1);
+  EXPECT_NEAR(e->cpu_seconds, 40000.0, 1.0);
+}
+
+TEST(EstimatorTest, HistoryWindowLimitsSamples) {
+  statsdb::Database db;
+  std::vector<logdata::LogRecord> records;
+  // Old slow days, recent fast days.
+  for (int day = 1; day <= 10; ++day) records.push_back(Rec(day, 80000.0));
+  for (int day = 11; day <= 13; ++day) records.push_back(Rec(day, 40000.0));
+  ASSERT_TRUE(logdata::LoadRuns(&db, records).ok());
+  EstimatorConfig cfg;
+  cfg.history_window = 3;
+  RunTimeEstimator est(&db, workload::CostModel{}, cfg);
+  auto e = est.EstimateWork(Spec());
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->history_samples, 3);
+  EXPECT_NEAR(e->cpu_seconds, 40000.0, 1.0);
+}
+
+TEST(EstimatorTest, UserAdjustmentAppliedAndCleared) {
+  statsdb::Database db;
+  ASSERT_TRUE(logdata::LoadRuns(&db, {Rec(1, 40000.0)}).ok());
+  RunTimeEstimator est(&db, workload::CostModel{});
+  est.SetUserAdjustment("forecast-x", 1.1);
+  EXPECT_NEAR(est.EstimateWork(Spec())->cpu_seconds, 44000.0, 1.0);
+  est.ClearUserAdjustment("forecast-x");
+  EXPECT_NEAR(est.EstimateWork(Spec())->cpu_seconds, 40000.0, 1.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ff

@@ -1,0 +1,153 @@
+// Focused tests for the ForeMan presentation layers: the Gantt renderer
+// (Figure 3's monitoring pane) and the script-generating back end.
+
+#include <gtest/gtest.h>
+
+#include "core/gantt.h"
+#include "core/script_gen.h"
+
+namespace ff {
+namespace core {
+namespace {
+
+DayPlan TwoNodePlan() {
+  DayPlan plan;
+  PlannedRun a;
+  a.name = "forecast-a";
+  a.node = "f1";
+  a.work = 20000.0;
+  a.start_time = 3600.0;
+  a.deadline = 86400.0;
+  a.predicted_completion = 23600.0;
+  PlannedRun b;
+  b.name = "forecast-b";
+  b.node = "f1";
+  b.work = 30000.0;
+  b.start_time = 3600.0;
+  b.deadline = 86400.0;
+  b.predicted_completion = 33600.0;
+  PlannedRun c;
+  c.name = "forecast-c";
+  c.node = "f2";
+  c.work = 10000.0;
+  c.start_time = 7200.0;
+  c.deadline = 86400.0;
+  c.predicted_completion = 17200.0;
+  plan.runs = {a, b, c};
+  plan.makespan = 33600.0;
+  return plan;
+}
+
+TEST(GanttTest, RendersNodesRunsAndLegend) {
+  GanttOptions options;
+  std::string out = RenderGantt(TwoNodePlan(), options);
+  EXPECT_NE(out.find("f1"), std::string::npos);
+  EXPECT_NE(out.find("f2"), std::string::npos);
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+  EXPECT_NE(out.find("A=forecast-a"), std::string::npos);
+  EXPECT_NE(out.find("C=forecast-c"), std::string::npos);
+}
+
+TEST(GanttTest, ConcurrentRunsStackIntoSubRows) {
+  GanttOptions options;
+  std::string out = RenderGantt(TwoNodePlan(), options);
+  // forecast-a and forecast-b overlap on f1 -> at least 4 content lines
+  // (axis + 2 sub-rows for f1 + 1 for f2).
+  int lines = 0;
+  for (char ch : out) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_GE(lines, 5);
+  // Both letters appear.
+  EXPECT_NE(out.find('A'), std::string::npos);
+  EXPECT_NE(out.find('B'), std::string::npos);
+}
+
+TEST(GanttTest, NowMarkerShadesThePast) {
+  GanttOptions options;
+  options.now = 12.0 * 3600.0;
+  std::string out = RenderGantt(TwoNodePlan(), options);
+  EXPECT_NE(out.find('|'), std::string::npos);
+  EXPECT_NE(out.find('.'), std::string::npos);  // completed portions
+}
+
+TEST(GanttTest, DroppedRunsOnlyInLegend) {
+  DayPlan plan = TwoNodePlan();
+  plan.runs[2].dropped = true;
+  plan.runs[2].node.clear();
+  GanttOptions options;
+  std::string out = RenderGantt(plan, options);
+  EXPECT_NE(out.find("forecast-c(dropped)"), std::string::npos);
+  // No f2 row content (the run was the only one there).
+  EXPECT_EQ(out.find("f2"), std::string::npos);
+}
+
+TEST(GanttTest, InvalidWindowHandled) {
+  GanttOptions options;
+  options.t_begin = 100.0;
+  options.t_end = 50.0;
+  EXPECT_NE(RenderGantt(TwoNodePlan(), options).find("invalid"),
+            std::string::npos);
+}
+
+TEST(PlanTableTest, FlagsRendered) {
+  DayPlan plan = TwoNodePlan();
+  plan.runs[0].predicted_completion = plan.runs[0].deadline + 100.0;
+  plan.runs[1].delayed = true;
+  plan.runs[2].dropped = true;
+  std::string out = RenderPlanTable(plan);
+  EXPECT_NE(out.find("MISS"), std::string::npos);
+  EXPECT_NE(out.find("delayed"), std::string::npos);
+  EXPECT_NE(out.find("DROPPED"), std::string::npos);
+  EXPECT_NE(out.find("makespan"), std::string::npos);
+}
+
+TEST(ScriptGenTest, ShellScriptsGroupByNode) {
+  auto scripts = GenerateScripts(TwoNodePlan(), ScriptBackend::kShell);
+  ASSERT_EQ(scripts.size(), 2u);
+  EXPECT_NE(scripts.at("f1").find("launch    forecast-a"),
+            std::string::npos);
+  EXPECT_NE(scripts.at("f1").find("launch    forecast-b"),
+            std::string::npos);
+  EXPECT_NE(scripts.at("f2").find("launch    forecast-c"),
+            std::string::npos);
+  EXPECT_EQ(scripts.at("f2").find("forecast-a"), std::string::npos);
+  // Stage-in/stage-out per run (the paper's script responsibilities).
+  EXPECT_NE(scripts.at("f1").find("stage_in"), std::string::npos);
+  EXPECT_NE(scripts.at("f1").find("rsync_bg"), std::string::npos);
+}
+
+TEST(ScriptGenTest, DroppedRunsOmitted) {
+  DayPlan plan = TwoNodePlan();
+  plan.runs[2].dropped = true;
+  auto scripts = GenerateScripts(plan, ScriptBackend::kShell);
+  EXPECT_EQ(scripts.count("f2"), 0u);
+}
+
+TEST(ScriptGenTest, DelayedRunsGetStartGuard) {
+  DayPlan plan = TwoNodePlan();
+  plan.runs[1].delayed = true;
+  plan.runs[1].start_time = 4 * 3600.0;
+  auto scripts = GenerateScripts(plan, ScriptBackend::kShell);
+  EXPECT_NE(scripts.at("f1").find("sleep_until 04:00:00"),
+            std::string::npos);
+}
+
+TEST(ScriptGenTest, TorqueBackendEmitsPbsDirectives) {
+  auto scripts = GenerateScripts(TwoNodePlan(),
+                                 ScriptBackend::kTorqueMaui);
+  const std::string& f1 = scripts.at("f1");
+  EXPECT_NE(f1.find("#PBS -N forecast-a"), std::string::npos);
+  EXPECT_NE(f1.find("qsub"), std::string::npos);
+  EXPECT_NE(f1.find("walltime="), std::string::npos);
+}
+
+TEST(ScriptGenTest, BackendNames) {
+  EXPECT_STREQ(ScriptBackendName(ScriptBackend::kShell), "shell");
+  EXPECT_STREQ(ScriptBackendName(ScriptBackend::kTorqueMaui),
+               "torque-maui");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ff

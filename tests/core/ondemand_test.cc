@@ -1,0 +1,183 @@
+#include "core/ondemand.h"
+
+#include <gtest/gtest.h>
+
+namespace ff {
+namespace core {
+namespace {
+
+std::vector<NodeInfo> TwoNodes() {
+  return {NodeInfo{"f1", 2, 1.0}, NodeInfo{"f2", 2, 1.0}};
+}
+
+DayPlan StockPlan(double work_per_run, double deadline) {
+  Planner planner(TwoNodes(), PlannerConfig{});
+  std::vector<RunRequest> reqs;
+  for (int i = 0; i < 2; ++i) {
+    RunRequest r;
+    r.name = "stock" + std::to_string(i);
+    r.work = work_per_run;
+    r.earliest_start = 3600.0;
+    r.deadline = deadline;
+    reqs.push_back(r);
+  }
+  auto plan = planner.Plan(reqs);
+  EXPECT_TRUE(plan.ok());
+  return *plan;
+}
+
+OnDemandRequest Req(const std::string& id, double arrival, double work,
+                    double deadline) {
+  OnDemandRequest r;
+  r.id = id;
+  r.arrival = arrival;
+  r.cpu_seconds = work;
+  r.deadline = deadline;
+  return r;
+}
+
+TEST(OnDemandTest, AcceptsIntoIdleCapacity) {
+  // 2 stock runs of 20 ks on 2 dual-CPU nodes: plenty of idle CPU.
+  OnDemandScheduler sched(TwoNodes(), StockPlan(20000.0, 86400.0));
+  auto placement = sched.Admit(Req("r1", 7200.0, 10000.0, 40000.0));
+  ASSERT_TRUE(placement.ok());
+  EXPECT_EQ(placement->outcome, AdmissionOutcome::kAccepted);
+  EXPECT_FALSE(placement->node.empty());
+  EXPECT_LE(placement->predicted_completion, 40000.0);
+  EXPECT_EQ(sched.accepted(), 1);
+}
+
+TEST(OnDemandTest, RejectsWhenOwnDeadlineImpossible) {
+  OnDemandScheduler sched(TwoNodes(), StockPlan(20000.0, 86400.0));
+  // 10 ks of work due 1 ks after arrival.
+  auto placement = sched.Admit(Req("r1", 7200.0, 10000.0, 8200.0));
+  ASSERT_TRUE(placement.ok());
+  EXPECT_EQ(placement->outcome, AdmissionOutcome::kRejectedOwnDeadline);
+  EXPECT_EQ(sched.accepted(), 0);
+  EXPECT_EQ(sched.rejected(), 1);
+}
+
+std::vector<NodeInfo> TwoSingleCpuNodes() {
+  return {NodeInfo{"f1", 1, 1.0}, NodeInfo{"f2", 1, 1.0}};
+}
+
+DayPlan SingleCpuStockPlan(double work_per_run, double deadline) {
+  Planner planner(TwoSingleCpuNodes(), PlannerConfig{});
+  std::vector<RunRequest> reqs;
+  for (int i = 0; i < 2; ++i) {
+    RunRequest r;
+    r.name = "stock" + std::to_string(i);
+    r.work = work_per_run;
+    r.earliest_start = 3600.0;
+    r.deadline = deadline;
+    reqs.push_back(r);
+  }
+  auto plan = planner.Plan(reqs);
+  EXPECT_TRUE(plan.ok());
+  return *plan;
+}
+
+TEST(OnDemandTest, RejectsWhenStockRunWouldMiss) {
+  // Single-CPU nodes, each running one stock forecast that finishes with
+  // only 2.4 ks of deadline slack: any concurrent request steals cycles
+  // and pushes the stock run past its deadline.
+  OnDemandScheduler sched(TwoSingleCpuNodes(),
+                          SingleCpuStockPlan(40000.0, 46000.0));
+  // Servable for ITSELF by end of day on either node, but sharing would
+  // delay a stock run beyond its tight deadline.
+  auto placement = sched.Admit(Req("r1", 5000.0, 30000.0, 86400.0));
+  ASSERT_TRUE(placement.ok());
+  EXPECT_EQ(placement->outcome, AdmissionOutcome::kRejectedInterference);
+}
+
+TEST(OnDemandTest, NewspaperEffectLateRequestsEasier) {
+  // The same request arriving after the stock runs finish is accepted;
+  // arriving mid-production it is rejected (idle capacity exists later
+  // in the day but not when the presses are busy).
+  auto plan = SingleCpuStockPlan(40000.0, 46000.0);
+  OnDemandScheduler early(TwoSingleCpuNodes(), plan);
+  auto during = early.Admit(Req("r", 5000.0, 30000.0, 86400.0));
+  ASSERT_TRUE(during.ok());
+  EXPECT_NE(during->outcome, AdmissionOutcome::kAccepted);
+
+  OnDemandScheduler late(TwoSingleCpuNodes(), plan);
+  auto after = late.Admit(Req("r", 50000.0, 30000.0, 86400.0));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->outcome, AdmissionOutcome::kAccepted);
+}
+
+TEST(OnDemandTest, AcceptedRequestsOccupyCapacity) {
+  OnDemandScheduler sched(TwoNodes(), StockPlan(10000.0, 86400.0));
+  // Fill both nodes' spare CPUs with long on-demand jobs (each
+  // completes at 3600 + 60000 = 63,600 s, within its 65 ks deadline)...
+  for (int i = 0; i < 2; ++i) {
+    auto p = sched.Admit(
+        Req("big" + std::to_string(i), 3600.0, 60000.0, 65000.0));
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(p->outcome, AdmissionOutcome::kAccepted) << i;
+  }
+  // ...then a third job: three-way sharing would push an accepted big
+  // job past 65 ks on either node, so it must be rejected.
+  auto p = sched.Admit(Req("straw", 3600.0, 60000.0, 65000.0));
+  ASSERT_TRUE(p.ok());
+  EXPECT_NE(p->outcome, AdmissionOutcome::kAccepted);
+  EXPECT_EQ(sched.accepted(), 2);
+}
+
+TEST(OnDemandTest, PicksFastestFeasibleNode) {
+  std::vector<NodeInfo> nodes{{"slow", 2, 0.5}, {"fast", 2, 2.0}};
+  Planner planner(nodes, PlannerConfig{});
+  auto plan = planner.Plan({});
+  ASSERT_TRUE(plan.ok());
+  OnDemandScheduler sched(nodes, *plan);
+  auto p = sched.Admit(Req("r", 0.0, 10000.0, 86400.0));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->outcome, AdmissionOutcome::kAccepted);
+  EXPECT_EQ(p->node, "fast");
+  EXPECT_NEAR(p->predicted_completion, 5000.0, 1.0);
+}
+
+TEST(OnDemandTest, BaselineMissesNotChargedToRequests) {
+  // The stock plan already misses (impossible deadline); requests must
+  // still be admissible on the other node.
+  PlannerConfig cfg;
+  cfg.allow_move = false;
+  cfg.allow_delay = false;
+  cfg.allow_drop = false;
+  Planner planner(TwoNodes(), cfg);
+  RunRequest stock;
+  stock.name = "doomed";
+  stock.work = 90000.0;
+  stock.earliest_start = 0.0;
+  stock.deadline = 10000.0;  // hopeless
+  auto plan = planner.Plan({stock});
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->deadline_misses, 1);
+  OnDemandScheduler sched(TwoNodes(), *plan);
+  auto p = sched.Admit(Req("r", 0.0, 5000.0, 86400.0));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->outcome, AdmissionOutcome::kAccepted);
+}
+
+TEST(OnDemandTest, ValidatesInput) {
+  OnDemandScheduler sched(TwoNodes(), StockPlan(10000.0, 86400.0));
+  EXPECT_FALSE(sched.Admit(Req("bad", 0.0, -5.0, 100.0)).ok());
+  ASSERT_TRUE(sched.Admit(Req("a", 5000.0, 10.0, 86400.0)).ok());
+  // Out-of-order arrival rejected.
+  EXPECT_FALSE(sched.Admit(Req("b", 1000.0, 10.0, 86400.0)).ok());
+}
+
+TEST(OnDemandTest, OutcomeNames) {
+  EXPECT_STREQ(AdmissionOutcomeName(AdmissionOutcome::kAccepted),
+               "accepted");
+  EXPECT_STREQ(
+      AdmissionOutcomeName(AdmissionOutcome::kRejectedOwnDeadline),
+      "rejected-own-deadline");
+  EXPECT_STREQ(
+      AdmissionOutcomeName(AdmissionOutcome::kRejectedInterference),
+      "rejected-interference");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ff

@@ -1,0 +1,137 @@
+#include "core/rescheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace ff {
+namespace core {
+namespace {
+
+class ReschedulerTest : public ::testing::Test {
+ protected:
+  ReschedulerTest()
+      : planner_({NodeInfo{"f1", 2, 1.0}, NodeInfo{"f2", 2, 1.0},
+                  NodeInfo{"f3", 2, 1.0}},
+                 PlannerConfig{}) {}
+
+  std::vector<RunRequest> MakeRequests() {
+    std::vector<RunRequest> reqs;
+    for (int i = 0; i < 6; ++i) {
+      RunRequest r;
+      r.name = "r" + std::to_string(i);
+      r.work = 30000.0;
+      r.priority = i % 3 + 1;
+      r.earliest_start = 3600.0;
+      r.deadline = 86400.0;
+      reqs.push_back(r);
+    }
+    return reqs;
+  }
+
+  DayPlan MakePlan(const std::vector<RunRequest>& reqs) {
+    auto plan = planner_.Plan(reqs);
+    EXPECT_TRUE(plan.ok());
+    return *plan;
+  }
+
+  Planner planner_;
+};
+
+TEST_F(ReschedulerTest, MinimalMovesOnlyDisplacedRuns) {
+  auto reqs = MakeRequests();
+  DayPlan plan = MakePlan(reqs);
+  std::string failed = plan.runs[0].node;
+  int on_failed = 0;
+  for (const auto& r : plan.runs) {
+    if (r.node == failed) ++on_failed;
+  }
+  auto result = RescheduleAfterFailure(planner_, plan, reqs, failed,
+                                       /*failure_time=*/7200.0,
+                                       ReschedulePolicy::kMinimal);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->runs_moved, on_failed);
+  EXPECT_EQ(result->runs_waiting, 0);
+  for (const auto& r : result->plan.runs) {
+    EXPECT_NE(r.node, failed) << r.name;
+  }
+  // Untouched runs keep their nodes.
+  for (const auto& r : plan.runs) {
+    if (r.node == failed) continue;
+    EXPECT_EQ(result->plan.Find(r.name)->node, r.node);
+  }
+}
+
+TEST_F(ReschedulerTest, NonePolicyLeavesRunsWaiting) {
+  auto reqs = MakeRequests();
+  DayPlan plan = MakePlan(reqs);
+  std::string failed = plan.runs[0].node;
+  auto result = RescheduleAfterFailure(planner_, plan, reqs, failed, 7200.0,
+                                       ReschedulePolicy::kNone);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->runs_moved, 0);
+  EXPECT_GT(result->runs_waiting, 0);
+  // The waiting runs surface as deadline misses.
+  EXPECT_GT(result->plan.deadline_misses, 0);
+}
+
+TEST_F(ReschedulerTest, FullReplanUsesOnlyHealthyNodes) {
+  auto reqs = MakeRequests();
+  DayPlan plan = MakePlan(reqs);
+  auto result = RescheduleAfterFailure(planner_, plan, reqs, "f2", 7200.0,
+                                       ReschedulePolicy::kFullReplan);
+  ASSERT_TRUE(result.ok());
+  for (const auto& r : result->plan.runs) {
+    if (!r.dropped) {
+      EXPECT_NE(r.node, "f2") << r.name;
+    }
+  }
+}
+
+TEST_F(ReschedulerTest, CascadingNoWorseThanMinimal) {
+  auto reqs = MakeRequests();
+  DayPlan plan = MakePlan(reqs);
+  std::string failed = plan.runs[0].node;
+  auto minimal = RescheduleAfterFailure(planner_, plan, reqs, failed,
+                                        7200.0, ReschedulePolicy::kMinimal);
+  auto cascading = RescheduleAfterFailure(
+      planner_, plan, reqs, failed, 7200.0, ReschedulePolicy::kCascading);
+  ASSERT_TRUE(minimal.ok());
+  ASSERT_TRUE(cascading.ok());
+  EXPECT_LE(cascading->plan.deadline_misses,
+            minimal->plan.deadline_misses);
+  EXPECT_GE(cascading->runs_moved, minimal->runs_moved);
+}
+
+TEST_F(ReschedulerTest, UnknownNodeRejected) {
+  auto reqs = MakeRequests();
+  DayPlan plan = MakePlan(reqs);
+  EXPECT_TRUE(RescheduleAfterFailure(planner_, plan, reqs, "ghost", 0.0,
+                                     ReschedulePolicy::kMinimal)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(ReschedulerTest, PolicyNames) {
+  EXPECT_STREQ(ReschedulePolicyName(ReschedulePolicy::kNone), "none");
+  EXPECT_STREQ(ReschedulePolicyName(ReschedulePolicy::kMinimal),
+               "minimal");
+  EXPECT_STREQ(ReschedulePolicyName(ReschedulePolicy::kCascading),
+               "cascading");
+  EXPECT_STREQ(ReschedulePolicyName(ReschedulePolicy::kFullReplan),
+               "full-replan");
+}
+
+TEST(ReschedulerSingleNodeTest, NoHealthyNodesFails) {
+  Planner planner({NodeInfo{"f1", 2, 1.0}}, PlannerConfig{});
+  RunRequest r;
+  r.name = "a";
+  r.work = 1000.0;
+  auto plan = planner.Plan({r});
+  ASSERT_TRUE(plan.ok());
+  auto result = RescheduleAfterFailure(planner, *plan, {r}, "f1", 0.0,
+                                       ReschedulePolicy::kMinimal);
+  EXPECT_TRUE(result.status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ff

@@ -1,0 +1,137 @@
+#include "core/share_model.h"
+
+#include <gtest/gtest.h>
+
+namespace ff {
+namespace core {
+namespace {
+
+std::vector<NodeInfo> OneNode(int cpus = 2, double speed = 1.0) {
+  return {NodeInfo{"f1", cpus, speed}};
+}
+
+TEST(ShareModelTest, SingleJobTakesItsWork) {
+  auto pred = PredictCompletions(OneNode(), {{"a", "f1", 0.0, 100.0}});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_NEAR(pred->completion.at("a"), 100.0, 1e-9);
+  EXPECT_NEAR(pred->makespan, 100.0, 1e-9);
+}
+
+TEST(ShareModelTest, PaperExampleTwoThirdsCpuEach) {
+  auto pred = PredictCompletions(OneNode(), {{"a", "f1", 0.0, 100.0},
+                                             {"b", "f1", 0.0, 100.0},
+                                             {"c", "f1", 0.0, 100.0}});
+  ASSERT_TRUE(pred.ok());
+  for (const char* id : {"a", "b", "c"}) {
+    EXPECT_NEAR(pred->completion.at(id), 150.0, 1e-9) << id;
+  }
+}
+
+TEST(ShareModelTest, TwoJobsTwoCpusNoInterference) {
+  auto pred = PredictCompletions(OneNode(), {{"a", "f1", 0.0, 100.0},
+                                             {"b", "f1", 0.0, 50.0}});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_NEAR(pred->completion.at("a"), 100.0, 1e-9);
+  EXPECT_NEAR(pred->completion.at("b"), 50.0, 1e-9);
+}
+
+TEST(ShareModelTest, DepartureAccelerates) {
+  auto pred = PredictCompletions(
+      OneNode(1), {{"short", "f1", 0.0, 50.0}, {"long", "f1", 0.0, 100.0}});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_NEAR(pred->completion.at("short"), 100.0, 1e-9);
+  EXPECT_NEAR(pred->completion.at("long"), 150.0, 1e-9);
+}
+
+TEST(ShareModelTest, StaggeredStarts) {
+  auto pred = PredictCompletions(
+      OneNode(1), {{"a", "f1", 0.0, 100.0}, {"b", "f1", 50.0, 1000.0}});
+  ASSERT_TRUE(pred.ok());
+  // a: 50 alone, then shares -> completes at 150.
+  EXPECT_NEAR(pred->completion.at("a"), 150.0, 1e-9);
+}
+
+TEST(ShareModelTest, IdleGapBetweenJobs) {
+  auto pred = PredictCompletions(
+      OneNode(), {{"a", "f1", 0.0, 10.0}, {"b", "f1", 100.0, 10.0}});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_NEAR(pred->completion.at("a"), 10.0, 1e-9);
+  EXPECT_NEAR(pred->completion.at("b"), 110.0, 1e-9);
+}
+
+TEST(ShareModelTest, NodeSpeedScalesCompletion) {
+  auto pred = PredictCompletions({NodeInfo{"fast", 2, 2.0}},
+                                 {{"a", "fast", 0.0, 100.0}});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_NEAR(pred->completion.at("a"), 50.0, 1e-9);
+}
+
+TEST(ShareModelTest, MultipleNodesIndependent) {
+  std::vector<NodeInfo> nodes{{"f1", 2, 1.0}, {"f2", 2, 1.0}};
+  auto pred = PredictCompletions(nodes, {{"a", "f1", 0.0, 100.0},
+                                         {"b", "f1", 0.0, 100.0},
+                                         {"c", "f1", 0.0, 100.0},
+                                         {"d", "f2", 0.0, 100.0}});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_NEAR(pred->completion.at("d"), 100.0, 1e-9);
+  EXPECT_NEAR(pred->completion.at("a"), 150.0, 1e-9);
+  EXPECT_NEAR(pred->node_makespan.at("f1"), 150.0, 1e-9);
+  EXPECT_NEAR(pred->node_makespan.at("f2"), 100.0, 1e-9);
+  EXPECT_NEAR(pred->makespan, 150.0, 1e-9);
+}
+
+TEST(ShareModelTest, ZeroWorkCompletesAtStart) {
+  auto pred = PredictCompletions(OneNode(), {{"a", "f1", 42.0, 0.0}});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_NEAR(pred->completion.at("a"), 42.0, 1e-9);
+}
+
+TEST(ShareModelTest, Validation) {
+  EXPECT_FALSE(
+      PredictCompletions(OneNode(), {{"a", "ghost", 0.0, 10.0}}).ok());
+  EXPECT_FALSE(
+      PredictCompletions(OneNode(), {{"a", "f1", 0.0, -5.0}}).ok());
+  EXPECT_FALSE(PredictCompletions({NodeInfo{"f1", 0, 1.0}}, {}).ok());
+  EXPECT_FALSE(PredictCompletions({NodeInfo{"f1", 2, 0.0}}, {}).ok());
+  EXPECT_FALSE(PredictCompletions({NodeInfo{"f1", 2, 1.0},
+                                   NodeInfo{"f1", 2, 1.0}},
+                                  {})
+                   .ok());
+}
+
+TEST(ShareModelTest, EmptyJobsOk) {
+  auto pred = PredictCompletions(OneNode(), {});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_DOUBLE_EQ(pred->makespan, 0.0);
+}
+
+// Property sweep: total completion-weighted work is conserved — the sum
+// of work equals capacity-delivery integral; additionally every job's
+// completion is at least start + work/min(1, cpus)/speed (serial bound).
+class ShareSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShareSweep, SerialLowerBoundHolds) {
+  int n = GetParam();
+  std::vector<ShareJob> jobs;
+  for (int i = 0; i < n; ++i) {
+    jobs.push_back(ShareJob{"j" + std::to_string(i), "f1", i * 10.0,
+                            50.0 + i * 20.0});
+  }
+  auto pred = PredictCompletions(OneNode(2, 1.0), jobs);
+  ASSERT_TRUE(pred.ok());
+  for (const auto& j : jobs) {
+    double c = pred->completion.at(j.id);
+    EXPECT_GE(c + 1e-9, j.start_time + j.work) << j.id;  // <=1 CPU each
+  }
+  // Makespan lower bound: total work / capacity.
+  double total = 0.0;
+  for (const auto& j : jobs) total += j.work;
+  EXPECT_GE(pred->makespan + 1e-9, total / 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fleet, ShareSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace core
+}  // namespace ff

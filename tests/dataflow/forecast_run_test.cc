@@ -1,0 +1,221 @@
+#include "dataflow/forecast_run.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+#include "workload/fleet.h"
+
+namespace ff {
+namespace dataflow {
+namespace {
+
+struct TestPlant {
+  sim::Simulator sim;
+  cluster::Cluster plant{&sim, 2, 2.6 / 2.8, 1.0e9};
+  sim::SeriesRecorder recorder;
+
+  TestPlant() {
+    cluster::NodeSpec spec;
+    spec.name = "client";
+    spec.num_cpus = 2;
+    spec.ram_bytes = 1.0e9;
+    FF_CHECK(plant.AddNode(spec).ok());
+  }
+
+  std::unique_ptr<ForecastRun> MakeRun(const workload::ForecastSpec& spec,
+                                       RunConfig cfg) {
+    return std::make_unique<ForecastRun>(
+        &sim, *plant.node("client"), *plant.uplink("client"),
+        plant.server(), &recorder, spec, cfg);
+  }
+};
+
+// A tiny forecast that runs fast in both architectures.
+workload::ForecastSpec TinySpec() {
+  workload::ForecastSpec spec = workload::MakeElcircEstuaryForecast();
+  spec.name = "tiny";
+  spec.mesh_sides = 700;  // ~1100 CPU-s of simulation
+  spec.increments = 12;
+  for (auto& f : spec.output_files) f.total_bytes /= 10;
+  for (auto& p : spec.products) {
+    p.cpu_per_increment = 4.0;
+    p.bytes_per_increment /= 10;
+  }
+  return spec;
+}
+
+TEST(ForecastRunTest, CompletesInBothArchitectures) {
+  for (Architecture arch : {Architecture::kProductsAtNode,
+                            Architecture::kProductsAtServer}) {
+    TestPlant tp;
+    RunConfig cfg;
+    cfg.arch = arch;
+    auto run = tp.MakeRun(TinySpec(), cfg);
+    bool completed = false;
+    run->set_on_complete([&] { completed = true; });
+    run->Start();
+    tp.sim.Run();
+    EXPECT_TRUE(run->done()) << ArchitectureName(arch);
+    EXPECT_TRUE(completed);
+    EXPECT_GT(run->finish_time(), 0.0);
+    EXPECT_GE(run->finish_time(), run->sim_finish_time());
+  }
+}
+
+TEST(ForecastRunTest, AllBytesReachServer) {
+  TestPlant tp;
+  RunConfig cfg;
+  cfg.arch = Architecture::kProductsAtNode;
+  auto spec = TinySpec();
+  auto run = tp.MakeRun(spec, cfg);
+  run->Start();
+  tp.sim.Run();
+  ASSERT_TRUE(run->done());
+  // Every tracked entity reaches fraction 1.0 at the server.
+  for (const auto& f : spec.output_files) {
+    auto last = tp.recorder.LastValue(f.name);
+    ASSERT_TRUE(last.ok()) << f.name;
+    EXPECT_NEAR(*last, 1.0, 1e-6) << f.name;
+  }
+  for (const auto& p : spec.products) {
+    auto last = tp.recorder.LastValue(p.name);
+    ASSERT_TRUE(last.ok()) << p.name;
+    EXPECT_NEAR(*last, 1.0, 1e-6) << p.name;
+  }
+}
+
+TEST(ForecastRunTest, Arch1TransfersModelPlusProducts) {
+  TestPlant tp;
+  RunConfig cfg;
+  cfg.arch = Architecture::kProductsAtNode;
+  auto spec = TinySpec();
+  auto run = tp.MakeRun(spec, cfg);
+  run->Start();
+  tp.sim.Run();
+  ASSERT_TRUE(run->done());
+  EXPECT_NEAR(run->bytes_transferred(),
+              spec.TotalModelBytes() + spec.TotalProductBytes(),
+              spec.TotalModelBytes() * 0.01);
+}
+
+TEST(ForecastRunTest, Arch2TransfersOnlyModelBytes) {
+  TestPlant tp;
+  RunConfig cfg;
+  cfg.arch = Architecture::kProductsAtServer;
+  auto spec = TinySpec();
+  auto run = tp.MakeRun(spec, cfg);
+  run->Start();
+  tp.sim.Run();
+  ASSERT_TRUE(run->done());
+  EXPECT_NEAR(run->bytes_transferred(), spec.TotalModelBytes(),
+              spec.TotalModelBytes() * 0.01);
+  EXPECT_NEAR(run->product_bytes_generated(), spec.TotalProductBytes(),
+              1.0);
+}
+
+TEST(ForecastRunTest, Arch2SimIsFasterThanArch1) {
+  // The headline §4.2 result: separating product generation from the
+  // simulation node shortens the end-to-end time.
+  double finish[2];
+  for (int i = 0; i < 2; ++i) {
+    TestPlant tp;
+    RunConfig cfg;
+    cfg.arch = i == 0 ? Architecture::kProductsAtNode
+                      : Architecture::kProductsAtServer;
+    auto run = tp.MakeRun(TinySpec(), cfg);
+    run->Start();
+    tp.sim.Run();
+    EXPECT_TRUE(run->done());
+    finish[i] = run->finish_time();
+  }
+  EXPECT_LT(finish[1], finish[0]);
+}
+
+TEST(ForecastRunTest, IncrementalDeliveryBeforeCompletion) {
+  // §1: "it is normal to move forecasts and products incrementally" —
+  // half the day-1 salinity file must be at the server well before the
+  // run finishes.
+  TestPlant tp;
+  RunConfig cfg;
+  cfg.arch = Architecture::kProductsAtServer;
+  auto spec = TinySpec();
+  auto run = tp.MakeRun(spec, cfg);
+  run->Start();
+  tp.sim.Run();
+  ASSERT_TRUE(run->done());
+  auto t_half = tp.recorder.FirstTimeAtLeast("1_salt.63", 0.5);
+  ASSERT_TRUE(t_half.ok());
+  EXPECT_LT(*t_half, run->finish_time() * 0.5);
+}
+
+TEST(ForecastRunTest, Day1FileCompletesBeforeDay2File) {
+  TestPlant tp;
+  RunConfig cfg;
+  cfg.arch = Architecture::kProductsAtServer;
+  auto run = tp.MakeRun(TinySpec(), cfg);
+  run->Start();
+  tp.sim.Run();
+  auto t1 = tp.recorder.FirstTimeAtLeast("1_salt.63", 0.999);
+  auto t2 = tp.recorder.FirstTimeAtLeast("2_salt.63", 0.999);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_LT(*t1, *t2);
+}
+
+TEST(ForecastRunTest, SeriesFractionsMonotonic) {
+  TestPlant tp;
+  RunConfig cfg;
+  cfg.arch = Architecture::kProductsAtNode;
+  auto run = tp.MakeRun(TinySpec(), cfg);
+  run->Start();
+  tp.sim.Run();
+  for (const auto& name : tp.recorder.SeriesNames()) {
+    auto pts = tp.recorder.Get(name);
+    ASSERT_TRUE(pts.ok());
+    double prev = -1.0;
+    for (const auto& p : *pts) {
+      EXPECT_GE(p.value, prev) << name;
+      EXPECT_LE(p.value, 1.0 + 1e-9) << name;
+      prev = p.value;
+    }
+  }
+}
+
+TEST(ForecastRunTest, SeriesPrefixApplied) {
+  TestPlant tp;
+  RunConfig cfg;
+  cfg.arch = Architecture::kProductsAtServer;
+  cfg.series_prefix = "tiny/";
+  auto run = tp.MakeRun(TinySpec(), cfg);
+  run->Start();
+  tp.sim.Run();
+  EXPECT_TRUE(tp.recorder.Has("tiny/1_salt.63"));
+  EXPECT_FALSE(tp.recorder.Has("1_salt.63"));
+}
+
+TEST(ForecastRunTest, NoSeriesWhenDisabled) {
+  TestPlant tp;
+  RunConfig cfg;
+  cfg.record_series = false;
+  auto run = tp.MakeRun(TinySpec(), cfg);
+  run->Start();
+  tp.sim.Run();
+  EXPECT_TRUE(tp.recorder.SeriesNames().empty());
+}
+
+TEST(ForecastRunTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    TestPlant tp;
+    RunConfig cfg;
+    cfg.arch = Architecture::kProductsAtNode;
+    auto run = tp.MakeRun(TinySpec(), cfg);
+    run->Start();
+    tp.sim.Run();
+    return run->finish_time();
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace dataflow
+}  // namespace ff

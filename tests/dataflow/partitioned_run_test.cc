@@ -1,0 +1,172 @@
+#include "dataflow/partitioned_run.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "util/logging.h"
+#include "workload/fleet.h"
+
+namespace ff {
+namespace dataflow {
+namespace {
+
+// A plant with one primary, K secondary hosts and explicit down/up links.
+struct PartitionedPlant {
+  sim::Simulator sim;
+  cluster::Machine primary{&sim, "primary", 2, 1.0, 1.0e9};
+  cluster::Link primary_uplink{&sim, "primary->server", 12.5e6};
+  std::vector<std::unique_ptr<cluster::Machine>> machines;
+  std::vector<std::unique_ptr<cluster::Link>> links;
+  std::vector<SecondaryHost> secondaries;
+  sim::SeriesRecorder recorder;
+
+  explicit PartitionedPlant(int k, double bps = 12.5e6) {
+    for (int i = 0; i < k; ++i) {
+      machines.push_back(std::make_unique<cluster::Machine>(
+          &sim, "sec" + std::to_string(i), 2, 1.0, 1.0e9));
+      links.push_back(std::make_unique<cluster::Link>(
+          &sim, "down" + std::to_string(i), bps));
+      links.push_back(std::make_unique<cluster::Link>(
+          &sim, "up" + std::to_string(i), bps));
+      SecondaryHost host;
+      host.machine = machines.back().get();
+      host.downlink = links[links.size() - 2].get();
+      host.uplink = links.back().get();
+      secondaries.push_back(host);
+    }
+  }
+};
+
+workload::ForecastSpec TinySpec() {
+  workload::ForecastSpec spec = workload::MakeElcircEstuaryForecast();
+  spec.name = "tiny";
+  spec.mesh_sides = 700;
+  spec.increments = 12;
+  for (auto& f : spec.output_files) f.total_bytes /= 10;
+  for (auto& p : spec.products) {
+    p.cpu_per_increment = 4.0;
+    p.bytes_per_increment /= 10;
+  }
+  return spec;
+}
+
+std::vector<int> RoundRobinPartition(size_t n_products, int hosts) {
+  std::vector<int> out;
+  for (size_t i = 0; i < n_products; ++i) {
+    out.push_back(static_cast<int>(i) % hosts);
+  }
+  return out;
+}
+
+TEST(PartitionedRunTest, CompletesWithOneSecondary) {
+  PartitionedPlant plant(1);
+  auto spec = TinySpec();
+  PartitionedRun run(&plant.sim, &plant.primary, &plant.primary_uplink,
+                     plant.secondaries,
+                     RoundRobinPartition(spec.products.size(), 1),
+                     &plant.recorder, spec, PartitionedConfig{});
+  bool completed = false;
+  run.set_on_complete([&] { completed = true; });
+  run.Start();
+  plant.sim.Run();
+  EXPECT_TRUE(run.done());
+  EXPECT_TRUE(completed);
+  EXPECT_GE(run.finish_time(), run.sim_finish_time());
+}
+
+TEST(PartitionedRunTest, CompletesWithThreeSecondaries) {
+  PartitionedPlant plant(3);
+  auto spec = TinySpec();
+  PartitionedRun run(&plant.sim, &plant.primary, &plant.primary_uplink,
+                     plant.secondaries,
+                     RoundRobinPartition(spec.products.size(), 3),
+                     &plant.recorder, spec, PartitionedConfig{});
+  run.Start();
+  plant.sim.Run();
+  ASSERT_TRUE(run.done());
+  // Every product directory fully lands at the server.
+  for (const auto& p : spec.products) {
+    auto last = plant.recorder.LastValue(p.name);
+    ASSERT_TRUE(last.ok()) << p.name;
+    EXPECT_NEAR(*last, 1.0, 1e-6) << p.name;
+  }
+}
+
+TEST(PartitionedRunTest, TransferOverheadExceedsArchitecture2) {
+  // The §2.2 concern: replication to secondaries + product push-back
+  // means more bytes on the wire than model outputs alone.
+  PartitionedPlant plant(2);
+  auto spec = TinySpec();
+  PartitionedRun run(&plant.sim, &plant.primary, &plant.primary_uplink,
+                     plant.secondaries,
+                     RoundRobinPartition(spec.products.size(), 2),
+                     &plant.recorder, spec, PartitionedConfig{});
+  run.Start();
+  plant.sim.Run();
+  ASSERT_TRUE(run.done());
+  EXPECT_GT(run.bytes_transferred(),
+            spec.TotalModelBytes() + spec.TotalProductBytes());
+}
+
+TEST(PartitionedRunTest, SimulationUnperturbedByProducts) {
+  // The primary runs nothing but the simulation: its finish time matches
+  // the serial CPU demand.
+  PartitionedPlant plant(2);
+  auto spec = TinySpec();
+  PartitionedConfig cfg;
+  PartitionedRun run(&plant.sim, &plant.primary, &plant.primary_uplink,
+                     plant.secondaries,
+                     RoundRobinPartition(spec.products.size(), 2),
+                     &plant.recorder, spec, cfg);
+  run.Start();
+  plant.sim.Run();
+  ASSERT_TRUE(run.done());
+  EXPECT_NEAR(run.sim_finish_time(),
+              cfg.cost_model.SimulationCpuSeconds(spec), 1.0);
+}
+
+TEST(PartitionedRunTest, SlowDownlinkDelaysCompletion) {
+  double fast_finish, slow_finish;
+  {
+    PartitionedPlant plant(1, /*bps=*/12.5e6);
+    auto spec = TinySpec();
+    PartitionedRun run(&plant.sim, &plant.primary, &plant.primary_uplink,
+                       plant.secondaries,
+                       RoundRobinPartition(spec.products.size(), 1),
+                       &plant.recorder, spec, PartitionedConfig{});
+    run.Start();
+    plant.sim.Run();
+    ASSERT_TRUE(run.done());
+    fast_finish = run.finish_time();
+  }
+  {
+    PartitionedPlant plant(1, /*bps=*/0.05e6);  // ~0.4 Mb/s replication
+    auto spec = TinySpec();
+    PartitionedRun run(&plant.sim, &plant.primary, &plant.primary_uplink,
+                       plant.secondaries,
+                       RoundRobinPartition(spec.products.size(), 1),
+                       &plant.recorder, spec, PartitionedConfig{});
+    run.Start();
+    plant.sim.Run();
+    ASSERT_TRUE(run.done());
+    slow_finish = run.finish_time();
+  }
+  EXPECT_GT(slow_finish, fast_finish * 1.2);
+}
+
+TEST(PartitionedRunTest, ValidatesPartitionVector) {
+  PartitionedPlant plant(1);
+  auto spec = TinySpec();
+  EXPECT_DEATH(
+      {
+        PartitionedRun run(&plant.sim, &plant.primary,
+                           &plant.primary_uplink, plant.secondaries,
+                           RoundRobinPartition(spec.products.size(), 3),
+                           &plant.recorder, spec, PartitionedConfig{});
+      },
+      "bad partition entry");
+}
+
+}  // namespace
+}  // namespace dataflow
+}  // namespace ff

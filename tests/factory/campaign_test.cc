@@ -1,0 +1,362 @@
+#include "factory/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "logdata/log_store.h"
+#include "workload/fleet.h"
+
+namespace ff {
+namespace factory {
+namespace {
+
+workload::ForecastSpec SmallSpec(const std::string& name,
+                                 int64_t mesh = 10000) {
+  workload::ForecastSpec s = workload::MakeTillamookForecast();
+  s.name = name;
+  s.mesh_sides = mesh;  // ~16k CPU-s simulation
+  return s;
+}
+
+TEST(CampaignTest, CompletedRunsHaveStableWalltime) {
+  CampaignConfig cfg;
+  cfg.num_days = 5;
+  cfg.noise_sigma = 0.0;
+  Campaign c(cfg);
+  ASSERT_TRUE(c.AddNode("f1").ok());
+  ASSERT_TRUE(c.AddForecast(SmallSpec("a"), "f1").ok());
+  auto result = c.Run();
+  ASSERT_TRUE(result.ok());
+  const auto& samples = result->walltimes.at("a");
+  ASSERT_EQ(samples.size(), 5u);
+  workload::CostModel model;
+  double expected = model.TotalCpuSeconds(SmallSpec("a"));
+  for (const auto& s : samples) {
+    EXPECT_NEAR(s.walltime, expected, 1.0) << "day " << s.day;
+  }
+}
+
+TEST(CampaignTest, TwoForecastsOnDualCpuNodeDontInterfere) {
+  CampaignConfig cfg;
+  cfg.num_days = 3;
+  cfg.noise_sigma = 0.0;
+  Campaign c(cfg);
+  ASSERT_TRUE(c.AddNode("f1", 2).ok());
+  ASSERT_TRUE(c.AddForecast(SmallSpec("a"), "f1").ok());
+  ASSERT_TRUE(c.AddForecast(SmallSpec("b"), "f1").ok());
+  auto result = c.Run();
+  ASSERT_TRUE(result.ok());
+  workload::CostModel model;
+  double expected = model.TotalCpuSeconds(SmallSpec("a"));
+  EXPECT_NEAR(result->walltimes.at("a")[0].walltime, expected, 1.0);
+  EXPECT_NEAR(result->walltimes.at("b")[0].walltime, expected, 1.0);
+}
+
+TEST(CampaignTest, ThirdForecastCausesSharing) {
+  CampaignConfig cfg;
+  cfg.num_days = 1;
+  cfg.noise_sigma = 0.0;
+  Campaign c(cfg);
+  ASSERT_TRUE(c.AddNode("f1", 2).ok());
+  for (const char* n : {"a", "b", "c"}) {
+    ASSERT_TRUE(c.AddForecast(SmallSpec(n), "f1").ok());
+  }
+  auto result = c.Run();
+  ASSERT_TRUE(result.ok());
+  workload::CostModel model;
+  double solo = model.TotalCpuSeconds(SmallSpec("a"));
+  // 3 identical runs, 2 CPUs -> each takes 1.5x its solo time.
+  EXPECT_NEAR(result->walltimes.at("a")[0].walltime, 1.5 * solo,
+              solo * 0.01);
+}
+
+TEST(CampaignTest, TimestepEventChangesWalltime) {
+  CampaignConfig cfg;
+  cfg.num_days = 4;
+  cfg.noise_sigma = 0.0;
+  Campaign c(cfg);
+  ASSERT_TRUE(c.AddNode("f1").ok());
+  ASSERT_TRUE(c.AddForecast(SmallSpec("a"), "f1").ok());
+  ChangeEvent ev;
+  ev.day = 2;
+  ev.kind = ChangeEvent::Kind::kSetTimesteps;
+  ev.forecast = "a";
+  ev.int_value = SmallSpec("a").timesteps * 2;
+  c.AddEvent(ev);
+  auto result = c.Run();
+  ASSERT_TRUE(result.ok());
+  const auto& ws = result->walltimes.at("a");
+  ASSERT_EQ(ws.size(), 4u);
+  // Products don't double, so the ratio is a bit under 2.
+  EXPECT_GT(ws[2].walltime / ws[0].walltime, 1.8);
+  EXPECT_NEAR(ws[3].walltime, ws[2].walltime, 1.0);
+}
+
+TEST(CampaignTest, CodeVersionEventAppearsInLogs) {
+  CampaignConfig cfg;
+  cfg.num_days = 3;
+  Campaign c(cfg);
+  ASSERT_TRUE(c.AddNode("f1").ok());
+  ASSERT_TRUE(c.AddForecast(SmallSpec("a"), "f1").ok());
+  ChangeEvent ev;
+  ev.day = 1;
+  ev.kind = ChangeEvent::Kind::kSetCodeVersion;
+  ev.forecast = "a";
+  ev.str_value = "v2";
+  ev.factor = 0.5;
+  c.AddEvent(ev);
+  auto result = c.Run();
+  ASSERT_TRUE(result.ok());
+  int v2_count = 0;
+  for (const auto& rec : result->records) {
+    if (rec.code_version == "v2") ++v2_count;
+  }
+  EXPECT_EQ(v2_count, 2);
+  // Faster code halves the simulation part.
+  const auto& ws = result->walltimes.at("a");
+  EXPECT_LT(ws[1].walltime, ws[0].walltime * 0.7);
+}
+
+TEST(CampaignTest, AddAndRemoveForecastEvents) {
+  CampaignConfig cfg;
+  cfg.num_days = 6;
+  Campaign c(cfg);
+  ASSERT_TRUE(c.AddNode("f1").ok());
+  ASSERT_TRUE(c.AddNode("f2").ok());
+  ASSERT_TRUE(c.AddForecast(SmallSpec("a"), "f1").ok());
+  ChangeEvent add;
+  add.day = 2;
+  add.kind = ChangeEvent::Kind::kAddForecast;
+  add.new_forecast = SmallSpec("b");
+  add.str_value = "f2";
+  c.AddEvent(add);
+  ChangeEvent remove;
+  remove.day = 4;
+  remove.kind = ChangeEvent::Kind::kRemoveForecast;
+  remove.forecast = "a";
+  c.AddEvent(remove);
+  auto result = c.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->walltimes.at("a").size(), 4u);  // days 0-3
+  EXPECT_EQ(result->walltimes.at("b").size(), 4u);  // days 2-5
+}
+
+TEST(CampaignTest, WipCarryoverCascades) {
+  // A run longer than a day forces overlap with its successor, inflating
+  // successive walltimes — the Fig. 8 mechanism.
+  CampaignConfig cfg;
+  cfg.num_days = 4;
+  cfg.noise_sigma = 0.0;
+  workload::ForecastSpec big = SmallSpec("big", 60000);  // ~96k CPU-s > day
+  auto result = [&] {
+    Campaign camp(cfg);
+    camp.AddNode("f1", 1).ok();
+    camp.AddForecast(big, "f1").ok();
+    return camp.Run();
+  }();
+  ASSERT_TRUE(result.ok());
+  const auto& ws = result->walltimes.at("big");
+  ASSERT_GE(ws.size(), 3u);
+  EXPECT_GT(ws[1].walltime, ws[0].walltime);
+  EXPECT_GT(ws[2].walltime, ws[1].walltime);
+}
+
+TEST(CampaignTest, ForemanRebalanceBreaksCascade) {
+  auto run_campaign = [](bool rebalance) {
+    CampaignConfig cfg;
+    cfg.num_days = 14;
+    cfg.noise_sigma = 0.0;
+    cfg.foreman_rebalance = rebalance;
+    cfg.rebalance_patience = 2;
+    Campaign c(cfg);
+    c.AddNode("f1").ok();
+    c.AddNode("f2").ok();
+    // Three sizable forecasts pinned to f1; f2 idle.
+    for (const char* n : {"a", "b", "c"}) {
+      c.AddForecast(SmallSpec(n, 35000), "f1").ok();
+    }
+    auto result = c.Run();
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value();
+  };
+  auto with = run_campaign(true);
+  auto without = run_campaign(false);
+  double with_last = with.walltimes.at("a").back().walltime;
+  double without_last = without.walltimes.at("a").back().walltime;
+  EXPECT_LT(with_last, without_last);
+  EXPECT_GT(with.foreman_moves, 0);
+  EXPECT_EQ(without.foreman_moves, 0);
+}
+
+TEST(CampaignTest, NodeFailureMigratesWithMinimalPolicy) {
+  CampaignConfig cfg;
+  cfg.num_days = 4;
+  cfg.failure_policy = core::ReschedulePolicy::kMinimal;
+  Campaign c(cfg);
+  ASSERT_TRUE(c.AddNode("f1").ok());
+  ASSERT_TRUE(c.AddNode("f2").ok());
+  ASSERT_TRUE(c.AddForecast(SmallSpec("a"), "f1").ok());
+  ChangeEvent down;
+  down.day = 1;
+  down.kind = ChangeEvent::Kind::kNodeDown;
+  down.str_value = "f1";
+  c.AddEvent(down);
+  auto result = c.Run();
+  ASSERT_TRUE(result.ok());
+  // All four days complete despite the failure.
+  EXPECT_EQ(result->walltimes.at("a").size(), 4u);
+  // Days 1+ run on f2.
+  for (const auto& rec : result->records) {
+    if (rec.day >= cfg.first_day + 1) {
+      EXPECT_EQ(rec.node, "f2");
+    }
+  }
+}
+
+TEST(CampaignTest, NodeFailureWithNonePolicyStallsRuns) {
+  CampaignConfig cfg;
+  cfg.num_days = 3;
+  cfg.failure_policy = core::ReschedulePolicy::kNone;
+  Campaign c(cfg);
+  ASSERT_TRUE(c.AddNode("f1").ok());
+  ASSERT_TRUE(c.AddNode("f2").ok());
+  ASSERT_TRUE(c.AddForecast(SmallSpec("a"), "f1").ok());
+  ChangeEvent down;
+  down.day = 1;
+  down.kind = ChangeEvent::Kind::kNodeDown;
+  down.str_value = "f1";
+  c.AddEvent(down);
+  auto result = c.Run();
+  ASSERT_TRUE(result.ok());
+  // Day 0 completed; later runs stalled on the dead node and are
+  // reported as running.
+  int running = 0;
+  for (const auto& rec : result->records) {
+    if (rec.status == logdata::RunStatus::kRunning) ++running;
+  }
+  EXPECT_GT(running, 0);
+}
+
+TEST(CampaignTest, GuestLoadInflatesOneDay) {
+  CampaignConfig cfg;
+  cfg.num_days = 3;
+  cfg.noise_sigma = 0.0;
+  Campaign c(cfg);
+  ASSERT_TRUE(c.AddNode("f1", 1).ok());
+  ASSERT_TRUE(c.AddForecast(SmallSpec("a"), "f1").ok());
+  ChangeEvent guest;
+  guest.day = 1;
+  guest.kind = ChangeEvent::Kind::kGuestLoad;
+  guest.str_value = "f1";
+  guest.factor = 10000.0;
+  c.AddEvent(guest);
+  auto result = c.Run();
+  ASSERT_TRUE(result.ok());
+  const auto& ws = result->walltimes.at("a");
+  EXPECT_GT(ws[1].walltime, ws[0].walltime + 5000.0);
+  EXPECT_NEAR(ws[2].walltime, ws[0].walltime, 100.0);
+}
+
+TEST(CampaignTest, WritesLogDirectoryTree) {
+  namespace fs = std::filesystem;
+  fs::path root = fs::temp_directory_path() / "ff_campaign_logs_test";
+  fs::remove_all(root);
+  CampaignConfig cfg;
+  cfg.num_days = 2;
+  cfg.log_dir = root.string();
+  Campaign c(cfg);
+  ASSERT_TRUE(c.AddNode("f1").ok());
+  ASSERT_TRUE(c.AddForecast(SmallSpec("a"), "f1").ok());
+  auto result = c.Run();
+  ASSERT_TRUE(result.ok());
+  logdata::Crawler crawler(root.string());
+  auto records = crawler.CrawlAll();
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 2u);
+  fs::remove_all(root);
+}
+
+TEST(CampaignTest, LiveDbTracksRunningThenCompleted) {
+  // §4.3.2: run scripts update the database directly — a row exists with
+  // status 'running' while the run executes and is patched on completion.
+  statsdb::Database db;
+  CampaignConfig cfg;
+  cfg.num_days = 3;
+  cfg.live_db = &db;
+  Campaign c(cfg);
+  ASSERT_TRUE(c.AddNode("f1").ok());
+  ASSERT_TRUE(c.AddForecast(SmallSpec("a"), "f1").ok());
+  auto result = c.Run();
+  ASSERT_TRUE(result.ok());
+  // After the campaign every row is completed, one per day, with
+  // walltimes patched in.
+  auto rs = db.Sql(
+      "SELECT COUNT(*) AS n FROM runs WHERE status = 'completed' AND "
+      "walltime IS NOT NULL");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->Scalar()->int64_value(), 3);
+  auto running = db.Sql(
+      "SELECT COUNT(*) AS n FROM runs WHERE status = 'running'");
+  ASSERT_TRUE(running.ok());
+  EXPECT_EQ(running->Scalar()->int64_value(), 0);
+}
+
+TEST(CampaignTest, LiveDbKeepsStalledRunAsRunning) {
+  statsdb::Database db;
+  CampaignConfig cfg;
+  cfg.num_days = 2;
+  cfg.live_db = &db;
+  cfg.failure_policy = core::ReschedulePolicy::kNone;
+  Campaign c(cfg);
+  ASSERT_TRUE(c.AddNode("f1").ok());
+  ASSERT_TRUE(c.AddForecast(SmallSpec("a"), "f1").ok());
+  ChangeEvent down;
+  down.day = 1;
+  down.kind = ChangeEvent::Kind::kNodeDown;
+  down.str_value = "f1";
+  c.AddEvent(down);
+  auto result = c.Run();
+  ASSERT_TRUE(result.ok());
+  auto running = db.Sql(
+      "SELECT day FROM runs WHERE status = 'running'");
+  ASSERT_TRUE(running.ok());
+  ASSERT_EQ(running->rows.size(), 1u);
+  EXPECT_EQ(running->rows[0][0].int64_value(), 2);  // the stalled day
+}
+
+TEST(CampaignTest, DeterministicGivenSeed) {
+  auto run_once = [] {
+    CampaignConfig cfg;
+    cfg.num_days = 5;
+    cfg.seed = 77;
+    Campaign c(cfg);
+    c.AddNode("f1").ok();
+    c.AddForecast(SmallSpec("a"), "f1").ok();
+    auto result = c.Run();
+    EXPECT_TRUE(result.ok());
+    std::vector<double> ws;
+    for (const auto& s : result->walltimes.at("a")) {
+      ws.push_back(s.walltime);
+    }
+    return ws;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(CampaignTest, Validation) {
+  CampaignConfig cfg;
+  Campaign c(cfg);
+  EXPECT_TRUE(c.Run().status().IsFailedPrecondition());  // no nodes
+  Campaign c2(cfg);
+  ASSERT_TRUE(c2.AddNode("f1").ok());
+  EXPECT_TRUE(c2.AddNode("f1").IsAlreadyExists());
+  EXPECT_TRUE(
+      c2.AddForecast(SmallSpec("a"), "ghost").IsNotFound());
+  ASSERT_TRUE(c2.AddForecast(SmallSpec("a"), "f1").ok());
+  EXPECT_TRUE(c2.AddForecast(SmallSpec("a"), "f1").IsAlreadyExists());
+}
+
+}  // namespace
+}  // namespace factory
+}  // namespace ff

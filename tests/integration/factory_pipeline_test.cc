@@ -1,0 +1,185 @@
+// End-to-end pipeline test: run a multi-day campaign that writes real
+// run.log directories, crawl them back, load the statistics database,
+// answer the paper's queries, detect the documented anomalies, and feed
+// the history into ForeMan to plan (and re-plan around a failure) —
+// the complete §4 loop of the paper in one test.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "core/foreman.h"
+#include "factory/campaign.h"
+#include "logdata/loader.h"
+#include "logdata/log_store.h"
+#include "logdata/timeseries.h"
+#include "workload/fleet.h"
+
+namespace ff {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FactoryPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            (std::string("ff_integration_") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+             "_" + std::to_string(::getpid()));
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+  fs::path root_;
+};
+
+TEST_F(FactoryPipelineTest, CampaignLogsCrawlDbForemanLoop) {
+  // --- 1. Run a 30-day campaign with a timestep change at day 15. ---
+  factory::CampaignConfig cfg;
+  cfg.num_days = 30;
+  cfg.log_dir = root_.string();
+  cfg.noise_sigma = 0.01;
+  factory::Campaign campaign(cfg);
+  for (int i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(campaign.AddNode("f" + std::to_string(i)).ok());
+  }
+  auto till = workload::MakeTillamookForecast();
+  till.mesh_sides = 23400;
+  ASSERT_TRUE(campaign.AddForecast(till, "f1").ok());
+  util::Rng rng(3);
+  auto fleet = workload::MakeCorieFleet(4, &rng);
+  for (auto& f : fleet) f.name += "-b";  // avoid tillamook name collision
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        campaign.AddForecast(fleet[i], "f" + std::to_string(i % 3 + 1))
+            .ok());
+  }
+  factory::ChangeEvent ev;
+  ev.day = 15;
+  ev.kind = factory::ChangeEvent::Kind::kSetTimesteps;
+  ev.forecast = till.name;
+  ev.int_value = till.timesteps * 2;
+  campaign.AddEvent(ev);
+  auto result = campaign.Run();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->walltimes.at(till.name).size(), 30u);
+
+  // --- 2. Crawl the real directories the campaign wrote. ---
+  logdata::Crawler crawler(root_.string());
+  auto records = crawler.CrawlAll();
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), result->records.size());
+  EXPECT_EQ(crawler.files_skipped(), 0u);
+
+  // --- 3. Load the statistics database; ask the paper's queries. ---
+  statsdb::Database db;
+  ASSERT_TRUE(logdata::LoadRuns(&db, *records).ok());
+  auto rs = db.Sql(
+      "SELECT COUNT(*) AS n FROM runs WHERE forecast = '" + till.name +
+      "' AND timesteps = 11520");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->Scalar()->int64_value(), 15);
+
+  auto versions = db.Sql(
+      "SELECT DISTINCT forecast FROM runs WHERE code_version = "
+      "'elcirc-5.01' ORDER BY forecast");
+  ASSERT_TRUE(versions.ok());
+  EXPECT_GE(versions->rows.size(), 1u);
+
+  // --- 4. Time-series analysis finds the documented level shift. ---
+  std::vector<double> walltimes;
+  for (const auto& s : result->walltimes.at(till.name)) {
+    walltimes.push_back(s.walltime);
+  }
+  auto cps = logdata::DetectChangePoints(walltimes, 5, 10000.0);
+  ASSERT_TRUE(cps.ok());
+  ASSERT_EQ(cps->size(), 1u);
+  EXPECT_NEAR(static_cast<double>((*cps)[0].index), 15.0, 2.0);
+  EXPECT_NEAR((*cps)[0].level_after / (*cps)[0].level_before, 2.0, 0.3);
+
+  // --- 5. ForeMan plans tomorrow from the harvested history. ---
+  std::vector<core::NodeInfo> nodes;
+  for (int i = 1; i <= 3; ++i) {
+    nodes.push_back(core::NodeInfo{"f" + std::to_string(i), 2, 1.0});
+  }
+  statsdb::Database db2;
+  ASSERT_TRUE(logdata::LoadRuns(&db2, *records).ok());
+  core::ForeMan foreman(nodes, &db2);
+  std::vector<workload::ForecastSpec> tomorrow = fleet;
+  auto till_now = till;
+  till_now.timesteps = 11520;  // current configuration
+  tomorrow.push_back(till_now);
+  auto plan = foreman.PlanDay(tomorrow);
+  ASSERT_TRUE(plan.ok());
+  // Estimates for tillamook must reflect the doubled timesteps (~80 ks),
+  // not the pre-change 40 ks.
+  const core::PlannedRun* till_run = plan->Find(till.name);
+  ASSERT_NE(till_run, nullptr);
+  EXPECT_GT(till_run->work, 70000.0);
+  EXPECT_LT(till_run->work, 95000.0);
+
+  // --- 6. A node fails; ForeMan reschedules everything off it. ---
+  auto failover = foreman.HandleNodeFailure(
+      *plan, till_run->node, 7200.0, core::ReschedulePolicy::kCascading);
+  ASSERT_TRUE(failover.ok());
+  for (const auto& r : failover->plan.runs) {
+    if (!r.dropped) {
+      EXPECT_NE(r.node, till_run->node);
+    }
+  }
+
+  // --- 7. Accept: scripts reference every placed run. ---
+  auto scripts = foreman.Accept(failover->plan);
+  size_t mentions = 0;
+  for (const auto& [node, text] : scripts) {
+    for (const auto& r : failover->plan.runs) {
+      if (!r.dropped && text.find(r.name) != std::string::npos) {
+        ++mentions;
+      }
+    }
+  }
+  EXPECT_GE(mentions, tomorrow.size());
+}
+
+TEST_F(FactoryPipelineTest, IncrementalDbRefreshMatchesFullCrawl) {
+  // The paper contrasts periodic crawling with run-script-driven updates;
+  // both must agree.
+  factory::CampaignConfig cfg;
+  cfg.num_days = 10;
+  cfg.log_dir = root_.string();
+  factory::Campaign campaign(cfg);
+  ASSERT_TRUE(campaign.AddNode("f1").ok());
+  auto spec = workload::MakeTillamookForecast();
+  spec.mesh_sides = 9000;
+  ASSERT_TRUE(campaign.AddForecast(spec, "f1").ok());
+  auto result = campaign.Run();
+  ASSERT_TRUE(result.ok());
+
+  // Full crawl path.
+  logdata::Crawler crawler(root_.string());
+  auto records = crawler.CrawlAll();
+  ASSERT_TRUE(records.ok());
+  statsdb::Database crawled;
+  ASSERT_TRUE(logdata::LoadRuns(&crawled, *records).ok());
+
+  // Incremental path: append records one at a time.
+  statsdb::Database incremental;
+  auto table = logdata::LoadRuns(&incremental, {});
+  ASSERT_TRUE(table.ok());
+  for (const auto& rec : result->records) {
+    ASSERT_TRUE(logdata::AppendRun(*table, rec).ok());
+  }
+
+  auto q = "SELECT COUNT(*) AS n, AVG(walltime) AS w FROM runs";
+  auto a = crawled.Sql(q);
+  auto b = incremental.Sql(q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->rows[0][0].int64_value(), b->rows[0][0].int64_value());
+  EXPECT_NEAR(a->rows[0][1].double_value(), b->rows[0][1].double_value(),
+              0.01);
+}
+
+}  // namespace
+}  // namespace ff

@@ -1,0 +1,117 @@
+#include "logdata/loader.h"
+
+#include <gtest/gtest.h>
+
+namespace ff {
+namespace logdata {
+namespace {
+
+std::vector<LogRecord> SampleRecords() {
+  std::vector<LogRecord> out;
+  for (int day = 1; day <= 5; ++day) {
+    LogRecord r;
+    r.forecast = day % 2 ? "till" : "dev";
+    r.region = day % 2 ? "tillamook" : "columbia";
+    r.day = day;
+    r.node = day % 2 ? "f1" : "f2";
+    r.code_version = "v1";
+    r.mesh_sides = 23400;
+    r.timesteps = 5760;
+    r.start_time = day * 86400.0;
+    r.end_time = r.start_time + 40000.0;
+    r.walltime = 40000.0 + day;
+    r.status = RunStatus::kCompleted;
+    out.push_back(r);
+  }
+  LogRecord running;
+  running.forecast = "till";
+  running.day = 6;
+  running.node = "f1";
+  running.status = RunStatus::kRunning;
+  out.push_back(running);
+  return out;
+}
+
+TEST(LoaderTest, LoadRunsCreatesIndexedTable) {
+  statsdb::Database db;
+  auto table = LoadRuns(&db, SampleRecords());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 6u);
+  EXPECT_TRUE((*table)->HasIndex("forecast"));
+  EXPECT_TRUE((*table)->HasIndex("code_version"));
+  EXPECT_TRUE((*table)->HasIndex("node"));
+}
+
+TEST(LoaderTest, RunningRunsHaveNullCompletion) {
+  statsdb::Database db;
+  ASSERT_TRUE(LoadRuns(&db, SampleRecords()).ok());
+  auto rs = db.Sql("SELECT walltime, end_time FROM runs WHERE day = 6");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_TRUE(rs->rows[0][0].is_null());
+  EXPECT_TRUE(rs->rows[0][1].is_null());
+}
+
+TEST(LoaderTest, LoadReplacesExistingTable) {
+  statsdb::Database db;
+  ASSERT_TRUE(LoadRuns(&db, SampleRecords()).ok());
+  ASSERT_TRUE(LoadRuns(&db, {}).ok());
+  auto rs = db.Sql("SELECT COUNT(*) AS n FROM runs");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0][0].int64_value(), 0);
+}
+
+TEST(LoaderTest, PaperQueriesWork) {
+  statsdb::Database db;
+  ASSERT_TRUE(LoadRuns(&db, SampleRecords()).ok());
+  auto rs = db.Sql(
+      "SELECT forecast, AVG(walltime) AS w FROM runs "
+      "WHERE status = 'completed' GROUP BY forecast ORDER BY forecast");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 2u);
+  EXPECT_EQ(rs->rows[0][0].string_value(), "dev");
+  EXPECT_EQ(rs->rows[1][0].string_value(), "till");
+}
+
+TEST(LoaderTest, AppendRun) {
+  statsdb::Database db;
+  auto table = LoadRuns(&db, {});
+  ASSERT_TRUE(table.ok());
+  LogRecord r;
+  r.forecast = "x";
+  r.day = 1;
+  r.walltime = 5.0;
+  r.status = RunStatus::kCompleted;
+  ASSERT_TRUE(AppendRun(*table, r).ok());
+  EXPECT_EQ((*table)->num_rows(), 1u);
+}
+
+TEST(LoaderTest, RowToRecordRoundTrip) {
+  statsdb::Database db;
+  auto records = SampleRecords();
+  auto table = LoadRuns(&db, records);
+  ASSERT_TRUE(table.ok());
+  for (size_t i = 0; i < (*table)->num_rows(); ++i) {
+    auto rec = RowToRecord((*table)->schema(), (*table)->row(i));
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(rec->forecast, records[i].forecast);
+    EXPECT_EQ(rec->day, records[i].day);
+    EXPECT_EQ(rec->status, records[i].status);
+    if (records[i].status == RunStatus::kCompleted) {
+      EXPECT_NEAR(rec->walltime, records[i].walltime, 1e-9);
+    }
+  }
+}
+
+TEST(LoaderTest, SchemaHasDocumentedColumns) {
+  statsdb::Schema s = RunsSchema();
+  for (const char* col :
+       {"forecast", "region", "day", "node", "code_version", "mesh_sides",
+        "timesteps", "start_time", "end_time", "walltime", "status"}) {
+    EXPECT_TRUE(s.Has(col)) << col;
+  }
+}
+
+}  // namespace
+}  // namespace logdata
+}  // namespace ff

@@ -1,0 +1,176 @@
+#include "logdata/log_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace ff {
+namespace logdata {
+namespace {
+
+namespace fs = std::filesystem;
+
+class LogStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("ff_logs_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  LogRecord SampleRecord() {
+    LogRecord r;
+    r.forecast = "forecast-tillamook";
+    r.region = "tillamook";
+    r.day = 21;
+    r.node = "f1";
+    r.code_version = "elcirc-5.01";
+    r.mesh_sides = 23400;
+    r.timesteps = 11520;
+    r.start_time = 21 * 86400.0 + 3600.0;
+    r.end_time = r.start_time + 80000.0;
+    r.walltime = 80000.0;
+    r.status = RunStatus::kCompleted;
+    return r;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(LogStoreTest, FormatParseRoundTrip) {
+  LogRecord r = SampleRecord();
+  auto parsed = ParseRunLog(FormatRunLog(r));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->forecast, r.forecast);
+  EXPECT_EQ(parsed->region, r.region);
+  EXPECT_EQ(parsed->day, r.day);
+  EXPECT_EQ(parsed->node, r.node);
+  EXPECT_EQ(parsed->code_version, r.code_version);
+  EXPECT_EQ(parsed->mesh_sides, r.mesh_sides);
+  EXPECT_EQ(parsed->timesteps, r.timesteps);
+  EXPECT_NEAR(parsed->walltime, r.walltime, 1e-3);
+  EXPECT_EQ(parsed->status, RunStatus::kCompleted);
+}
+
+TEST_F(LogStoreTest, ParseIgnoresNoiseAndComments) {
+  std::string text =
+      "# produced by run script\n"
+      "forecast: dev\n"
+      "day: 160\n"
+      "random diagnostics without colon format --\n"
+      "custom_key: ignored\n"
+      "status: running\n";
+  auto parsed = ParseRunLog(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->forecast, "dev");
+  EXPECT_EQ(parsed->day, 160);
+  EXPECT_EQ(parsed->status, RunStatus::kRunning);
+}
+
+TEST_F(LogStoreTest, ParseRequiresForecastKey) {
+  EXPECT_FALSE(ParseRunLog("day: 3\n").ok());
+}
+
+TEST_F(LogStoreTest, ParseRejectsMalformedNumbers) {
+  EXPECT_FALSE(ParseRunLog("forecast: x\nday: twenty\n").ok());
+  EXPECT_FALSE(ParseRunLog("forecast: x\nwalltime: fast\n").ok());
+  EXPECT_FALSE(ParseRunLog("forecast: x\nstatus: bogus\n").ok());
+}
+
+TEST_F(LogStoreTest, WriteCreatesPaperLayout) {
+  LogStore store(root_.string());
+  ASSERT_TRUE(store.Write(SampleRecord()).ok());
+  EXPECT_TRUE(
+      fs::exists(root_ / "forecast-tillamook" / "day021" / "run.log"));
+}
+
+TEST_F(LogStoreTest, WriteOverwritesForUpdatedStatus) {
+  LogStore store(root_.string());
+  LogRecord r = SampleRecord();
+  r.status = RunStatus::kRunning;
+  r.walltime = 0.0;
+  ASSERT_TRUE(store.Write(r).ok());
+  r.status = RunStatus::kCompleted;
+  r.walltime = 80000.0;
+  ASSERT_TRUE(store.Write(r).ok());
+  Crawler crawler(root_.string());
+  auto records = crawler.CrawlAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].status, RunStatus::kCompleted);
+}
+
+TEST_F(LogStoreTest, WriteRejectsEmptyForecast) {
+  LogStore store(root_.string());
+  LogRecord r;
+  EXPECT_TRUE(store.Write(r).IsInvalidArgument());
+}
+
+TEST_F(LogStoreTest, CrawlerFindsAllRecordsSorted) {
+  LogStore store(root_.string());
+  for (int day : {3, 1, 2}) {
+    LogRecord r = SampleRecord();
+    r.day = day;
+    ASSERT_TRUE(store.Write(r).ok());
+  }
+  LogRecord dev = SampleRecord();
+  dev.forecast = "dev";
+  dev.day = 5;
+  ASSERT_TRUE(store.Write(dev).ok());
+
+  Crawler crawler(root_.string());
+  auto records = crawler.CrawlAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 4u);
+  EXPECT_EQ((*records)[0].forecast, "dev");
+  EXPECT_EQ((*records)[1].day, 1);
+  EXPECT_EQ((*records)[2].day, 2);
+  EXPECT_EQ((*records)[3].day, 3);
+  EXPECT_EQ(crawler.files_seen(), 4u);
+  EXPECT_EQ(crawler.files_skipped(), 0u);
+}
+
+TEST_F(LogStoreTest, CrawlerSkipsMalformedFiles) {
+  LogStore store(root_.string());
+  ASSERT_TRUE(store.Write(SampleRecord()).ok());
+  fs::create_directories(root_ / "broken" / "day001");
+  std::ofstream(root_ / "broken" / "day001" / "run.log")
+      << "day: not_a_number\n";
+  Crawler crawler(root_.string());
+  auto records = crawler.CrawlAll();
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 1u);
+  EXPECT_EQ(crawler.files_seen(), 2u);
+  EXPECT_EQ(crawler.files_skipped(), 1u);
+}
+
+TEST_F(LogStoreTest, CrawlerIgnoresOtherFiles) {
+  LogStore store(root_.string());
+  ASSERT_TRUE(store.Write(SampleRecord()).ok());
+  std::ofstream(root_ / "forecast-tillamook" / "day021" / "outputs.dat")
+      << "binary-ish";
+  Crawler crawler(root_.string());
+  auto records = crawler.CrawlAll();
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 1u);
+}
+
+TEST_F(LogStoreTest, CrawlerMissingRootFails) {
+  Crawler crawler((root_ / "nope").string());
+  EXPECT_TRUE(crawler.CrawlAll().status().IsNotFound());
+}
+
+TEST_F(LogStoreTest, StatusNamesRoundTrip) {
+  EXPECT_STREQ(RunStatusName(RunStatus::kCompleted), "completed");
+  EXPECT_STREQ(RunStatusName(RunStatus::kRunning), "running");
+  EXPECT_STREQ(RunStatusName(RunStatus::kDropped), "dropped");
+  EXPECT_STREQ(RunStatusName(RunStatus::kFailed), "failed");
+}
+
+}  // namespace
+}  // namespace logdata
+}  // namespace ff

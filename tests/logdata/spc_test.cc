@@ -1,0 +1,151 @@
+#include "logdata/spc.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ff {
+namespace logdata {
+namespace {
+
+// Baseline resembling a stable forecast: 40 ks with bounded +/- 800 s
+// jitter. Bounded noise keeps an in-control process deterministically
+// inside the 3-sigma limits (sigma estimate ~470 s, so UCL-center
+// ~1400 s > the 800 s maximum deviation).
+std::vector<double> StableBaseline(size_t n, uint64_t seed = 3) {
+  util::Rng rng(seed);
+  std::vector<double> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(40000.0 + rng.Uniform(-800.0, 800.0));
+  }
+  return out;
+}
+
+TEST(ControlChartTest, FitComputesSaneLimits) {
+  auto chart = FitControlChart(StableBaseline(20));
+  ASSERT_TRUE(chart.ok());
+  EXPECT_NEAR(chart->center, 40000.0, 500.0);
+  EXPECT_GT(chart->sigma, 100.0);
+  EXPECT_LT(chart->sigma, 1500.0);
+  EXPECT_NEAR(chart->ucl, chart->center + 3.0 * chart->sigma, 1e-9);
+  EXPECT_NEAR(chart->lcl, chart->center - 3.0 * chart->sigma, 1e-9);
+}
+
+TEST(ControlChartTest, RequiresFiveSamples) {
+  EXPECT_FALSE(FitControlChart({1, 2, 3, 4}).ok());
+  EXPECT_TRUE(FitControlChart({1, 2, 3, 4, 5}).ok());
+}
+
+TEST(ControlChartTest, LclClampedAtZero) {
+  // Huge variability around a small mean.
+  auto chart = FitControlChart({100, 900, 50, 950, 100, 900});
+  ASSERT_TRUE(chart.ok());
+  EXPECT_DOUBLE_EQ(chart->lcl, 0.0);
+}
+
+TEST(ControlChartTest, ConstantBaselineDegenerate) {
+  auto chart = FitControlChart(std::vector<double>(10, 40000.0));
+  ASSERT_TRUE(chart.ok());
+  EXPECT_DOUBLE_EQ(chart->sigma, 0.0);
+  EXPECT_TRUE(chart->InControl(40000.0));
+  EXPECT_FALSE(chart->InControl(40000.1));
+}
+
+TEST(SpcMonitorTest, InControlProcessHasNoLimitViolations) {
+  // Run rules (4 and 2) can legitimately fire on random drift; the hard
+  // 3-sigma rule must stay silent for an in-control process.
+  auto chart = FitControlChart(StableBaseline(20, 3));
+  ASSERT_TRUE(chart.ok());
+  auto signals = Monitor(*chart, StableBaseline(30, 4));
+  for (const auto& s : signals) {
+    EXPECT_NE(s.rule, SpcRule::kBeyondLimits) << s.index;
+  }
+}
+
+TEST(SpcMonitorTest, Rule1CatchesContentionSpike) {
+  auto chart = FitControlChart(StableBaseline(20));
+  ASSERT_TRUE(chart.ok());
+  auto samples = StableBaseline(10, 5);
+  samples[4] = 120000.0;  // Fig. 9-style contention day
+  auto signals = Monitor(*chart, samples);
+  ASSERT_FALSE(signals.empty());
+  EXPECT_EQ(signals[0].index, 4u);
+  EXPECT_EQ(signals[0].rule, SpcRule::kBeyondLimits);
+  EXPECT_TRUE(signals[0].above);
+}
+
+TEST(SpcMonitorTest, Rule1CatchesLowSide) {
+  auto chart = FitControlChart(StableBaseline(20));
+  ASSERT_TRUE(chart.ok());
+  std::vector<double> samples{40000.0, 10000.0};
+  auto signals = Monitor(*chart, samples);
+  ASSERT_EQ(signals.size(), 1u);
+  EXPECT_FALSE(signals[0].above);
+}
+
+TEST(SpcMonitorTest, Rule4CatchesSustainedShift) {
+  // A level shift too small for rule 1 but persistent: the Fig. 9 day-150
+  // kind of change (center 40000, shift +1200 with sigma ~600).
+  auto chart = FitControlChart(StableBaseline(25));
+  ASSERT_TRUE(chart.ok());
+  std::vector<double> samples(12, chart->center + 1.2 * chart->sigma);
+  auto signals = Monitor(*chart, samples);
+  bool run_signal = false;
+  for (const auto& s : signals) {
+    if (s.rule == SpcRule::kRunOfEight) {
+      run_signal = true;
+      EXPECT_EQ(s.index, 7u);  // the 8th consecutive sample
+      EXPECT_TRUE(s.above);
+    }
+  }
+  EXPECT_TRUE(run_signal);
+}
+
+TEST(SpcMonitorTest, Rule2TwoOfThreeBeyondTwoSigma) {
+  auto chart = FitControlChart(StableBaseline(25));
+  ASSERT_TRUE(chart.ok());
+  double warn = chart->center + 2.5 * chart->sigma;  // between 2 and 3
+  std::vector<double> samples{chart->center, warn, chart->center, warn};
+  auto signals = Monitor(*chart, samples);
+  bool rule2 = false;
+  for (const auto& s : signals) {
+    if (s.rule == SpcRule::kTwoOfThreeBeyond2Sigma) {
+      rule2 = true;
+      EXPECT_EQ(s.index, 3u);
+    }
+    EXPECT_NE(s.rule, SpcRule::kBeyondLimits);
+  }
+  EXPECT_TRUE(rule2);
+}
+
+TEST(SpcReportTest, EndToEnd) {
+  auto series = StableBaseline(40);
+  series[30] = 90000.0;
+  auto report = SpcReport(series, /*baseline_n=*/20, /*first_day=*/100);
+  ASSERT_TRUE(report.ok());
+  // Sample 30 = day 130.
+  EXPECT_NE(report->find("day 130"), std::string::npos) << *report;
+  EXPECT_NE(report->find("beyond-3-sigma"), std::string::npos);
+}
+
+TEST(SpcReportTest, CleanProcessReported) {
+  auto report = SpcReport(StableBaseline(40), 20, 1);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("in control"), std::string::npos);
+}
+
+TEST(SpcReportTest, BaselineTooLargeRejected) {
+  EXPECT_FALSE(SpcReport(StableBaseline(10), 10, 1).ok());
+  EXPECT_FALSE(SpcReport(StableBaseline(10), 20, 1).ok());
+}
+
+TEST(SpcRuleTest, Names) {
+  EXPECT_STREQ(SpcRuleName(SpcRule::kBeyondLimits), "beyond-3-sigma");
+  EXPECT_STREQ(SpcRuleName(SpcRule::kRunOfEight), "run-of-8");
+  EXPECT_STREQ(SpcRuleName(SpcRule::kTwoOfThreeBeyond2Sigma),
+               "2-of-3-beyond-2-sigma");
+}
+
+}  // namespace
+}  // namespace logdata
+}  // namespace ff

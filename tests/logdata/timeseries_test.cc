@@ -1,0 +1,148 @@
+#include "logdata/timeseries.h"
+
+#include <gtest/gtest.h>
+
+namespace ff {
+namespace logdata {
+namespace {
+
+// A Fig. 8-like series: level 40k, step to 80k at index 20, spike at 35.
+std::vector<double> Fig8Like() {
+  std::vector<double> xs;
+  for (int i = 0; i < 50; ++i) {
+    double v = i < 20 ? 40000.0 : 80000.0;
+    v += (i % 5) * 100.0;  // small noise
+    xs.push_back(v);
+  }
+  xs[35] = 120000.0;  // contention spike
+  return xs;
+}
+
+TEST(MovingAverageTest, SmoothsConstantSeries) {
+  auto ma = MovingAverage(std::vector<double>(10, 5.0), 3);
+  ASSERT_TRUE(ma.ok());
+  for (double v : *ma) EXPECT_DOUBLE_EQ(v, 5.0);
+}
+
+TEST(MovingAverageTest, WindowOneIsIdentity) {
+  std::vector<double> xs{1, 2, 3};
+  auto ma = MovingAverage(xs, 1);
+  ASSERT_TRUE(ma.ok());
+  EXPECT_EQ(*ma, xs);
+}
+
+TEST(MovingAverageTest, EdgesUseAvailableSamples) {
+  auto ma = MovingAverage({0, 10, 20}, 3);
+  ASSERT_TRUE(ma.ok());
+  EXPECT_DOUBLE_EQ((*ma)[0], 5.0);   // mean of {0,10}
+  EXPECT_DOUBLE_EQ((*ma)[1], 10.0);  // mean of all
+  EXPECT_DOUBLE_EQ((*ma)[2], 15.0);  // mean of {10,20}
+}
+
+TEST(MovingAverageTest, Errors) {
+  EXPECT_FALSE(MovingAverage({}, 3).ok());
+  EXPECT_FALSE(MovingAverage({1.0}, 0).ok());
+}
+
+TEST(ChangePointTest, DetectsTimestepDoubling) {
+  auto cps = DetectChangePoints(Fig8Like(), 5, 10000.0);
+  ASSERT_TRUE(cps.ok());
+  ASSERT_GE(cps->size(), 1u);
+  const ChangePoint& cp = (*cps)[0];
+  EXPECT_NEAR(static_cast<double>(cp.index), 20.0, 2.0);
+  EXPECT_NEAR(cp.level_before, 40000.0, 1500.0);
+  EXPECT_NEAR(cp.level_after, 80000.0, 1500.0);
+  EXPECT_GT(cp.shift(), 35000.0);
+}
+
+TEST(ChangePointTest, NoFalsePositivesOnFlatNoise) {
+  std::vector<double> xs;
+  for (int i = 0; i < 60; ++i) xs.push_back(50000.0 + (i % 7) * 300.0);
+  auto cps = DetectChangePoints(xs, 5, 5000.0);
+  ASSERT_TRUE(cps.ok());
+  EXPECT_TRUE(cps->empty());
+}
+
+TEST(ChangePointTest, DetectsDecrease) {
+  std::vector<double> xs(40, 60000.0);
+  for (int i = 20; i < 40; ++i) xs[static_cast<size_t>(i)] = 53000.0;
+  auto cps = DetectChangePoints(xs, 5, 5000.0);
+  ASSERT_TRUE(cps.ok());
+  ASSERT_EQ(cps->size(), 1u);
+  EXPECT_LT((*cps)[0].shift(), -5000.0);
+}
+
+TEST(ChangePointTest, MultipleShiftsFig9Style) {
+  // Fig. 9: -5k at 10, +26k at 20, -7k at 40 (indices shifted).
+  std::vector<double> xs;
+  auto level = [](int i) {
+    if (i < 10) return 60000.0;
+    if (i < 20) return 55000.0;
+    if (i < 40) return 81000.0;
+    return 74000.0;
+  };
+  for (int i = 0; i < 60; ++i) xs.push_back(level(i));
+  auto cps = DetectChangePoints(xs, 5, 4000.0);
+  ASSERT_TRUE(cps.ok());
+  ASSERT_EQ(cps->size(), 3u);
+  EXPECT_NEAR((*cps)[0].shift(), -5000.0, 500.0);
+  EXPECT_NEAR((*cps)[1].shift(), 26000.0, 500.0);
+  EXPECT_NEAR((*cps)[2].shift(), -7000.0, 500.0);
+}
+
+TEST(ChangePointTest, ShortSeriesEmpty) {
+  auto cps = DetectChangePoints({1, 2, 3}, 5, 1.0);
+  ASSERT_TRUE(cps.ok());
+  EXPECT_TRUE(cps->empty());
+}
+
+TEST(ChangePointTest, ParameterValidation) {
+  EXPECT_FALSE(DetectChangePoints({1, 2}, 1, 1.0).ok());
+  EXPECT_FALSE(DetectChangePoints({1, 2}, 5, 0.0).ok());
+}
+
+TEST(SpikeTest, DetectsContentionSpike) {
+  auto spikes = DetectSpikes(Fig8Like(), 7, 5.0);
+  ASSERT_TRUE(spikes.ok());
+  ASSERT_EQ(spikes->size(), 1u);
+  EXPECT_EQ((*spikes)[0].index, 35u);
+  EXPECT_NEAR((*spikes)[0].value, 120000.0, 1.0);
+  EXPECT_GT((*spikes)[0].z, 5.0);
+}
+
+TEST(SpikeTest, LevelShiftIsNotASpike) {
+  std::vector<double> xs(20, 40000.0);
+  for (int i = 10; i < 20; ++i) xs[static_cast<size_t>(i)] = 80000.0;
+  auto spikes = DetectSpikes(xs, 5, 4.0);
+  ASSERT_TRUE(spikes.ok());
+  EXPECT_TRUE(spikes->empty());
+}
+
+TEST(SpikeTest, TwoSpikesFig9Days172And192) {
+  std::vector<double> xs(60, 80000.0);
+  for (size_t i = 0; i < xs.size(); ++i) xs[i] += (i % 3) * 200.0;
+  xs[32] = 108000.0;  // "day 172"
+  xs[52] = 104000.0;  // "day 192"
+  auto spikes = DetectSpikes(xs, 7, 5.0);
+  ASSERT_TRUE(spikes.ok());
+  ASSERT_EQ(spikes->size(), 2u);
+  EXPECT_EQ((*spikes)[0].index, 32u);
+  EXPECT_EQ((*spikes)[1].index, 52u);
+}
+
+TEST(SpikeTest, ParameterValidation) {
+  EXPECT_FALSE(DetectSpikes({1, 2, 3}, 2, 3.0).ok());
+  EXPECT_FALSE(DetectSpikes({1, 2, 3}, 5, 0.0).ok());
+}
+
+TEST(AnalyzeSeriesTest, ReportsShiftsAndSpikesWithDayLabels) {
+  std::string report = AnalyzeSeries(Fig8Like(), /*first_day=*/1, 5,
+                                     10000.0, 5.0);
+  EXPECT_NE(report.find("level shift at day 21"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("spike at day 36"), std::string::npos) << report;
+}
+
+}  // namespace
+}  // namespace logdata
+}  // namespace ff

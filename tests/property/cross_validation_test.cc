@@ -1,0 +1,160 @@
+// Property tests cross-validating the three independent implementations
+// of the paper's CPU-sharing semantics:
+//   1. cluster::Machine (discrete-event execution),
+//   2. core::PredictCompletions (ForeMan's analytic model),
+//   3. first principles (work conservation, serial bounds).
+// Randomized workloads, deterministic seeds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "cluster/machine.h"
+#include "core/share_model.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace ff {
+namespace {
+
+struct RandomWorkload {
+  std::vector<core::ShareJob> jobs;
+  double total_work = 0.0;
+};
+
+RandomWorkload MakeWorkload(uint64_t seed, int n_jobs) {
+  util::Rng rng(seed);
+  RandomWorkload out;
+  for (int i = 0; i < n_jobs; ++i) {
+    core::ShareJob job;
+    job.id = "j" + std::to_string(i);
+    job.node = "m";
+    job.start_time = rng.Uniform(0.0, 20000.0);
+    job.work = rng.Uniform(100.0, 50000.0);
+    out.total_work += job.work;
+    out.jobs.push_back(std::move(job));
+  }
+  return out;
+}
+
+class CrossValidationSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, uint64_t>> {};
+
+TEST_P(CrossValidationSweep, AnalyticModelMatchesDiscreteEvent) {
+  auto [n_jobs, cpus, seed] = GetParam();
+  RandomWorkload wl = MakeWorkload(seed, n_jobs);
+
+  // Analytic prediction.
+  auto pred = core::PredictCompletions(
+      {core::NodeInfo{"m", cpus, 1.0}}, wl.jobs);
+  ASSERT_TRUE(pred.ok());
+
+  // Discrete-event execution.
+  sim::Simulator sim;
+  cluster::Machine machine(&sim, "m", cpus, 1.0);
+  std::map<std::string, double> actual;
+  for (const auto& job : wl.jobs) {
+    sim.ScheduleAt(job.start_time, [&, job] {
+      machine.StartTask(job.work,
+                        [&, id = job.id] { actual[id] = sim.now(); });
+    });
+  }
+  sim.Run();
+
+  ASSERT_EQ(actual.size(), wl.jobs.size());
+  for (const auto& job : wl.jobs) {
+    double predicted = pred->completion.at(job.id);
+    double executed = actual.at(job.id);
+    EXPECT_NEAR(predicted, executed, 1e-3 + executed * 1e-9) << job.id;
+    // First principles: a serial job can never beat start + work.
+    EXPECT_GE(executed + 1e-6, job.start_time + job.work) << job.id;
+  }
+
+  // Work conservation: the machine delivered exactly the demanded work.
+  EXPECT_NEAR(machine.total_cpu_seconds(), wl.total_work,
+              wl.total_work * 1e-9 + 1e-3);
+
+  // Makespan lower bounds: total/capacity and the longest single chain.
+  double longest = 0.0;
+  for (const auto& job : wl.jobs) {
+    longest = std::max(longest, job.start_time + job.work);
+  }
+  EXPECT_GE(pred->makespan + 1e-6,
+            std::max(wl.total_work / cpus, longest - 20000.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWorkloads, CrossValidationSweep,
+    ::testing::Combine(::testing::Values(1, 3, 7, 15),
+                       ::testing::Values(1, 2, 4),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int, uint64_t>>&
+           info) {
+      return std::to_string(std::get<0>(info.param)) + "jobs_" +
+             std::to_string(std::get<1>(info.param)) + "cpus_seed" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// Interruption equivalence: pausing a machine (node down/up) must shift
+// every completion by exactly the outage, never lose work.
+TEST(CrossValidationTest, OutageShiftsCompletionsExactly) {
+  for (uint64_t seed : {7u, 8u, 9u}) {
+    RandomWorkload wl = MakeWorkload(seed, 6);
+    auto run = [&](bool with_outage) {
+      sim::Simulator sim;
+      cluster::Machine machine(&sim, "m", 2, 1.0);
+      std::map<std::string, double> done;
+      for (const auto& job : wl.jobs) {
+        sim.ScheduleAt(job.start_time, [&, job] {
+          machine.StartTask(job.work,
+                            [&, id = job.id] { done[id] = sim.now(); });
+        });
+      }
+      if (with_outage) {
+        // Outage strictly after every arrival, before any completion can
+        // drain: [25,000, 35,000).
+        sim.ScheduleAt(25000.0, [&] { machine.SetUp(false); });
+        sim.ScheduleAt(35000.0, [&] { machine.SetUp(true); });
+      }
+      sim.Run();
+      return done;
+    };
+    auto base = run(false);
+    auto outage = run(true);
+    for (const auto& [id, t] : base) {
+      if (t <= 25000.0) {
+        EXPECT_NEAR(outage.at(id), t, 1e-6) << id;
+      } else {
+        EXPECT_NEAR(outage.at(id), t + 10000.0, 1e-3) << id;
+      }
+    }
+  }
+}
+
+// Migration equivalence: removing a task and restarting its remaining
+// work elsewhere conserves total work.
+TEST(CrossValidationTest, MigrationConservesWork) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    sim::Simulator sim;
+    cluster::Machine a(&sim, "a", 2, 1.0);
+    cluster::Machine b(&sim, "b", 2, 1.0);
+    double work = rng.Uniform(5000.0, 50000.0);
+    double migrate_at = rng.Uniform(100.0, work * 0.9);
+    double done_at = -1.0;
+    cluster::TaskId id = a.StartTask(work, nullptr);
+    sim.ScheduleAt(migrate_at, [&] {
+      auto remaining = a.RemoveTask(id);
+      ASSERT_TRUE(remaining.ok());
+      // Task alone on a 2-CPU machine runs at rate 1.
+      EXPECT_NEAR(*remaining, work - migrate_at, 1e-6);
+      b.StartTask(*remaining, [&] { done_at = sim.now(); });
+    });
+    sim.Run();
+    EXPECT_NEAR(done_at, work, 1e-6) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace ff

@@ -1,0 +1,93 @@
+#include "sim/series.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ff {
+namespace sim {
+namespace {
+
+TEST(SeriesRecorderTest, RecordAndGet) {
+  SeriesRecorder rec;
+  rec.Record("a", 0.0, 1.0);
+  rec.Record("a", 10.0, 2.0);
+  rec.Record("b", 5.0, -1.0);
+  EXPECT_TRUE(rec.Has("a"));
+  EXPECT_FALSE(rec.Has("c"));
+  auto a = rec.Get("a");
+  ASSERT_TRUE(a.ok());
+  ASSERT_EQ(a->size(), 2u);
+  EXPECT_DOUBLE_EQ((*a)[1].time, 10.0);
+  EXPECT_DOUBLE_EQ((*a)[1].value, 2.0);
+  EXPECT_EQ(rec.SeriesNames(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(SeriesRecorderTest, GetUnknownFails) {
+  SeriesRecorder rec;
+  EXPECT_TRUE(rec.Get("nope").status().IsNotFound());
+  EXPECT_TRUE(rec.LastValue("nope").status().IsNotFound());
+}
+
+TEST(SeriesRecorderTest, LastValue) {
+  SeriesRecorder rec;
+  rec.Record("x", 1.0, 0.25);
+  rec.Record("x", 2.0, 0.75);
+  EXPECT_DOUBLE_EQ(*rec.LastValue("x"), 0.75);
+}
+
+TEST(SeriesRecorderTest, FirstTimeAtLeastInterpolates) {
+  SeriesRecorder rec;
+  rec.Record("f", 0.0, 0.0);
+  rec.Record("f", 100.0, 0.5);
+  rec.Record("f", 200.0, 1.0);
+  EXPECT_DOUBLE_EQ(*rec.FirstTimeAtLeast("f", 0.5), 100.0);
+  // 0.75 is halfway between samples at t=100 and t=200.
+  EXPECT_DOUBLE_EQ(*rec.FirstTimeAtLeast("f", 0.75), 150.0);
+  EXPECT_DOUBLE_EQ(*rec.FirstTimeAtLeast("f", 0.0), 0.0);
+}
+
+TEST(SeriesRecorderTest, FirstTimeAtLeastNeverReached) {
+  SeriesRecorder rec;
+  rec.Record("f", 0.0, 0.2);
+  EXPECT_TRUE(rec.FirstTimeAtLeast("f", 0.9).status().IsNotFound());
+}
+
+TEST(SeriesRecorderTest, WriteCsvLongFormat) {
+  SeriesRecorder rec;
+  rec.Record("s", 1.5, 0.5);
+  std::ostringstream os;
+  rec.WriteCsv(&os);
+  EXPECT_EQ(os.str(), "series,time,value\ns,1.500,0.5\n");
+}
+
+TEST(SeriesRecorderTest, WriteCsvGridStepInterpolation) {
+  SeriesRecorder rec;
+  rec.Record("a", 0.0, 1.0);
+  rec.Record("a", 10.0, 2.0);
+  rec.Record("b", 5.0, 7.0);
+  std::ostringstream os;
+  rec.WriteCsvGrid(&os, 10.0, 5.0);
+  // t=0: a=1, b=0 (not yet); t=5: a=1, b=7; t=10: a=2, b=7.
+  EXPECT_EQ(os.str(),
+            "time,a,b\n0.000,1,0\n5.000,1,7\n10.000,2,7\n");
+}
+
+TEST(SeriesRecorderTest, ClearRemovesAll) {
+  SeriesRecorder rec;
+  rec.Record("a", 0.0, 1.0);
+  rec.Clear();
+  EXPECT_FALSE(rec.Has("a"));
+  EXPECT_TRUE(rec.SeriesNames().empty());
+}
+
+TEST(SeriesRecorderDeathTest, MonotonicTimeWithinSeriesEnforced) {
+  SeriesRecorder rec;
+  rec.Record("a", 10.0, 1.0);
+  rec.Record("a", 10.0, 2.0);  // equal time OK
+  EXPECT_DEATH(rec.Record("a", 9.0, 3.0), "out of order");
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace ff

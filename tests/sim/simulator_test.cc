@@ -1,0 +1,153 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ff {
+namespace sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator s;
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+  EXPECT_EQ(s.events_processed(), 0u);
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.ScheduleAt(30.0, [&] { order.push_back(3); });
+  s.ScheduleAt(10.0, [&] { order.push_back(1); });
+  s.ScheduleAt(20.0, [&] { order.push_back(2); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 30.0);
+  EXPECT_EQ(s.events_processed(), 3u);
+}
+
+TEST(SimulatorTest, TiesBreakByPriorityThenInsertion) {
+  Simulator s;
+  std::vector<int> order;
+  s.ScheduleAt(5.0, [&] { order.push_back(1); }, /*priority=*/1);
+  s.ScheduleAt(5.0, [&] { order.push_back(2); }, /*priority=*/0);
+  s.ScheduleAt(5.0, [&] { order.push_back(3); }, /*priority=*/0);
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator s;
+  double fired_at = -1.0;
+  s.ScheduleAt(100.0, [&] {
+    s.ScheduleAfter(50.0, [&] { fired_at = s.now(); });
+  });
+  s.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 150.0);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator s;
+  bool fired = false;
+  EventHandle h = s.ScheduleAt(10.0, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  EXPECT_TRUE(s.Cancel(h));
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(s.Cancel(h));  // double-cancel fails
+  s.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, HandleNotPendingAfterFiring) {
+  Simulator s;
+  EventHandle h = s.ScheduleAt(1.0, [] {});
+  s.Run();
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(s.Cancel(h));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator s;
+  std::vector<double> fired;
+  for (double t : {10.0, 20.0, 30.0, 40.0}) {
+    s.ScheduleAt(t, [&fired, &s] { fired.push_back(s.now()); });
+  }
+  s.RunUntil(25.0);
+  EXPECT_EQ(fired, (std::vector<double>{10.0, 20.0}));
+  EXPECT_DOUBLE_EQ(s.now(), 25.0);
+  s.Run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator s;
+  s.RunUntil(500.0);
+  EXPECT_DOUBLE_EQ(s.now(), 500.0);
+}
+
+TEST(SimulatorTest, StopEndsRun) {
+  Simulator s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.ScheduleAt(i, [&] {
+      ++count;
+      if (count == 3) s.Stop();
+    });
+  }
+  s.Run();
+  EXPECT_EQ(count, 3);
+  s.Run();  // resumes
+  EXPECT_EQ(count, 10);
+}
+
+TEST(SimulatorTest, StepProcessesExactlyOne) {
+  Simulator s;
+  int count = 0;
+  s.ScheduleAt(1.0, [&] { ++count; });
+  s.ScheduleAt(2.0, [&] { ++count; });
+  EXPECT_TRUE(s.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.Step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(s.Step());
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunAreProcessed) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) s.ScheduleAfter(1.0, chain);
+  };
+  s.ScheduleAt(0.0, chain);
+  s.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(s.now(), 99.0);
+}
+
+TEST(SimulatorTest, ZeroDelayEventFiresAtSameTime) {
+  Simulator s;
+  double t = -1.0;
+  s.ScheduleAt(5.0, [&] { s.ScheduleAfter(0.0, [&] { t = s.now(); }); });
+  s.Run();
+  EXPECT_DOUBLE_EQ(t, 5.0);
+}
+
+TEST(SimulatorTest, DeterministicEventCount) {
+  auto run_once = [] {
+    Simulator s;
+    uint64_t sum = 0;
+    for (int i = 0; i < 50; ++i) {
+      s.ScheduleAt(i * 2.0, [&sum, &s, i] {
+        sum += static_cast<uint64_t>(s.now()) * i;
+        if (i % 3 == 0) s.ScheduleAfter(1.0, [&sum] { sum += 1; });
+      });
+    }
+    s.Run();
+    return std::make_pair(sum, s.events_processed());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace ff

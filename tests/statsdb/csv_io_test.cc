@@ -1,0 +1,77 @@
+#include "statsdb/csv_io.h"
+
+#include <gtest/gtest.h>
+
+namespace ff {
+namespace statsdb {
+namespace {
+
+Schema RunsSchema() {
+  return Schema({{"forecast", DataType::kString},
+                 {"day", DataType::kInt64},
+                 {"walltime", DataType::kDouble}});
+}
+
+TEST(CsvIoTest, ExportThenImportRoundTrips) {
+  Database db;
+  Table* t = *db.CreateTable("runs", RunsSchema());
+  ASSERT_TRUE(t->Insert({Value::String("till"), Value::Int64(21),
+                         Value::Double(40000.0)})
+                  .ok());
+  ASSERT_TRUE(t->Insert({Value::String("dev"), Value::Int64(160),
+                         Value::Null()})
+                  .ok());
+  std::string csv = TableToCsv(*t);
+  EXPECT_EQ(csv, "forecast,day,walltime\ntill,21,40000\ndev,160,\n");
+
+  Database db2;
+  auto t2 = TableFromCsv(&db2, "runs", RunsSchema(), csv);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ((*t2)->num_rows(), 2u);
+  EXPECT_TRUE((*t2)->row(1)[2].is_null());
+  EXPECT_EQ((*t2)->row(0)[1].int64_value(), 21);
+}
+
+TEST(CsvIoTest, HeaderMismatchRejected) {
+  Database db;
+  auto t = TableFromCsv(&db, "runs", RunsSchema(),
+                        "forecast,dia,walltime\na,1,2\n");
+  EXPECT_FALSE(t.ok());
+  EXPECT_FALSE(db.HasTable("runs"));  // rollback
+}
+
+TEST(CsvIoTest, WidthMismatchRejectedAndRolledBack) {
+  Database db;
+  auto t = TableFromCsv(&db, "runs", RunsSchema(),
+                        "forecast,day,walltime\na,1\n");
+  EXPECT_FALSE(t.ok());
+  EXPECT_FALSE(db.HasTable("runs"));
+}
+
+TEST(CsvIoTest, BadCellValueRejected) {
+  Database db;
+  auto t = TableFromCsv(&db, "runs", RunsSchema(),
+                        "forecast,day,walltime\na,notanint,3\n");
+  EXPECT_FALSE(t.ok());
+}
+
+TEST(CsvIoTest, AppendCsv) {
+  Database db;
+  Table* t = *db.CreateTable("runs", RunsSchema());
+  ASSERT_TRUE(
+      AppendCsv(t, "forecast,day,walltime\na,1,10\nb,2,20\n").ok());
+  ASSERT_TRUE(AppendCsv(t, "forecast,day,walltime\nc,3,30\n").ok());
+  EXPECT_EQ(t->num_rows(), 3u);
+}
+
+TEST(CsvIoTest, QuotedFieldsSurvive) {
+  Database db;
+  Schema s({{"name", DataType::kString}, {"v", DataType::kInt64}});
+  auto t = TableFromCsv(&db, "t", s, "name,v\n\"a,b\",3\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->row(0)[0].string_value(), "a,b");
+}
+
+}  // namespace
+}  // namespace statsdb
+}  // namespace ff

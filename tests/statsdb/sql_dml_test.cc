@@ -1,0 +1,155 @@
+// Tests for the DML extensions (UPDATE / DELETE) and predicate sugar
+// (IN / BETWEEN), motivated by the paper's §4.3.2 database maintenance:
+// patching the incomplete statistics of in-flight forecasts.
+
+#include <gtest/gtest.h>
+
+#include "statsdb/database.h"
+
+namespace ff {
+namespace statsdb {
+namespace {
+
+class SqlDmlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Sql("CREATE TABLE runs (forecast TEXT, day INT, "
+                        "walltime DOUBLE, status TEXT)")
+                    .ok());
+    ASSERT_TRUE(db_.Sql("INSERT INTO runs VALUES "
+                        "('till', 1, 40000.0, 'completed'), "
+                        "('till', 2, 41000.0, 'completed'), "
+                        "('till', 3, NULL, 'running'), "
+                        "('dev', 1, 60000.0, 'completed'), "
+                        "('dev', 2, NULL, 'running'), "
+                        "('coos', 5, 20000.0, 'completed')")
+                    .ok());
+  }
+
+  int64_t Count(const std::string& where) {
+    auto rs = db_.Sql("SELECT COUNT(*) AS n FROM runs WHERE " + where);
+    EXPECT_TRUE(rs.ok()) << rs.status();
+    return rs.ok() ? rs->Scalar()->int64_value() : -1;
+  }
+
+  Database db_;
+};
+
+TEST_F(SqlDmlTest, UpdatePatchesInFlightRun) {
+  // The §4.3.2 maintenance path: the run script completes and patches
+  // its own row.
+  auto rs = db_.Sql(
+      "UPDATE runs SET walltime = 42500.0, status = 'completed' "
+      "WHERE forecast = 'till' AND day = 3");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0][0].int64_value(), 1);  // rows_updated
+  EXPECT_EQ(Count("status = 'running'"), 1);   // only dev day 2 left
+  auto check = db_.Sql(
+      "SELECT walltime FROM runs WHERE forecast = 'till' AND day = 3");
+  ASSERT_TRUE(check.ok());
+  EXPECT_DOUBLE_EQ(check->rows[0][0].double_value(), 42500.0);
+}
+
+TEST_F(SqlDmlTest, UpdateWithComputedExpression) {
+  // Walltimes rescaled in place (e.g. correcting a node-speed error).
+  auto rs = db_.Sql(
+      "UPDATE runs SET walltime = walltime * 2 WHERE forecast = 'till' "
+      "AND walltime IS NOT NULL");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0][0].int64_value(), 2);
+  auto check = db_.Sql(
+      "SELECT SUM(walltime) AS s FROM runs WHERE forecast = 'till'");
+  ASSERT_TRUE(check.ok());
+  EXPECT_DOUBLE_EQ(check->rows[0][0].double_value(), 162000.0);
+}
+
+TEST_F(SqlDmlTest, UpdateWithoutWhereTouchesAllRows) {
+  auto rs = db_.Sql("UPDATE runs SET status = 'archived'");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0][0].int64_value(), 6);
+  EXPECT_EQ(Count("status = 'archived'"), 6);
+}
+
+TEST_F(SqlDmlTest, UpdateUnknownColumnFails) {
+  EXPECT_FALSE(db_.Sql("UPDATE runs SET ghost = 1").ok());
+  EXPECT_FALSE(db_.Sql("UPDATE runs SET walltime = 'text'").ok());
+}
+
+TEST_F(SqlDmlTest, DeleteWithPredicate) {
+  auto rs = db_.Sql("DELETE FROM runs WHERE status = 'running'");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0][0].int64_value(), 2);  // rows_deleted
+  EXPECT_EQ(Count("day > 0"), 4);
+}
+
+TEST_F(SqlDmlTest, DeleteAllRows) {
+  auto rs = db_.Sql("DELETE FROM runs");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0][0].int64_value(), 6);
+  auto all = db_.Sql("SELECT * FROM runs");
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(all->rows.empty());
+}
+
+TEST_F(SqlDmlTest, DeleteMaintainsIndexes) {
+  auto table = db_.table("runs");
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE((*table)->CreateIndex("forecast").ok());
+  ASSERT_TRUE(db_.Sql("DELETE FROM runs WHERE day = 1").ok());
+  auto rows = (*table)->Lookup("forecast", Value::String("till"));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);  // days 2 and 3 remain
+  for (size_t i : *rows) {
+    EXPECT_EQ((*table)->row(i)[0].string_value(), "till");
+  }
+}
+
+TEST_F(SqlDmlTest, InPredicate) {
+  EXPECT_EQ(Count("forecast IN ('till', 'coos')"), 4);
+  EXPECT_EQ(Count("day IN (1, 5)"), 3);
+  EXPECT_EQ(Count("forecast NOT IN ('till', 'coos')"), 2);
+}
+
+TEST_F(SqlDmlTest, BetweenPredicate) {
+  EXPECT_EQ(Count("day BETWEEN 1 AND 2"), 4);
+  EXPECT_EQ(Count("day NOT BETWEEN 1 AND 2"), 2);
+  EXPECT_EQ(Count("walltime BETWEEN 30000 AND 50000"), 2);
+}
+
+TEST_F(SqlDmlTest, BetweenBindsTighterThanAnd) {
+  // day BETWEEN 1 AND 2 AND forecast = 'till' must parse as
+  // (day BETWEEN 1 AND 2) AND (forecast = 'till').
+  EXPECT_EQ(Count("day BETWEEN 1 AND 2 AND forecast = 'till'"), 2);
+}
+
+TEST_F(SqlDmlTest, InWithExpressionCandidates) {
+  EXPECT_EQ(Count("day IN (1 + 1, 10 / 2)"), 3);  // days 2 and 5
+}
+
+TEST_F(SqlDmlTest, DeleteWithInAndBetween) {
+  auto rs = db_.Sql(
+      "DELETE FROM runs WHERE forecast IN ('dev') AND day BETWEEN 1 AND "
+      "1");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0][0].int64_value(), 1);
+  EXPECT_EQ(Count("forecast = 'dev'"), 1);
+}
+
+TEST_F(SqlDmlTest, ParseErrors) {
+  EXPECT_FALSE(db_.Sql("UPDATE runs").ok());
+  EXPECT_FALSE(db_.Sql("UPDATE runs SET").ok());
+  EXPECT_FALSE(db_.Sql("DELETE runs").ok());
+  EXPECT_FALSE(db_.Sql("SELECT * FROM runs WHERE day NOT 3").ok());
+  EXPECT_FALSE(db_.Sql("SELECT * FROM runs WHERE day IN ()").ok());
+  EXPECT_FALSE(
+      db_.Sql("SELECT * FROM runs WHERE day BETWEEN 1").ok());
+}
+
+TEST_F(SqlDmlTest, UpdateUnknownTableNotFound) {
+  EXPECT_TRUE(db_.Sql("UPDATE ghost SET x = 1").status().IsNotFound());
+  EXPECT_TRUE(db_.Sql("DELETE FROM ghost").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace statsdb
+}  // namespace ff

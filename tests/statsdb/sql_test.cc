@@ -1,0 +1,222 @@
+#include "statsdb/sql.h"
+
+#include <gtest/gtest.h>
+
+#include "statsdb/database.h"
+
+namespace ff {
+namespace statsdb {
+namespace {
+
+class SqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Sql("CREATE TABLE runs (forecast TEXT, day INT, "
+                        "node TEXT, code_version TEXT, walltime DOUBLE)")
+                    .ok());
+    ASSERT_TRUE(
+        db_.Sql("INSERT INTO runs VALUES "
+                "('till', 1, 'f1', 'v1', 40000.0), "
+                "('till', 2, 'f1', 'v1', 41000.0), "
+                "('till', 3, 'f2', 'v2', 80000.0), "
+                "('dev', 1, 'f2', 'v2', 60000.0), "
+                "('dev', 2, 'f3', 'v2', NULL), "
+                "('coos', 1, 'f3', 'v1', 20000.0)")
+            .ok());
+  }
+
+  ResultSet Run(const std::string& sql) {
+    auto rs = db_.Sql(sql);
+    EXPECT_TRUE(rs.ok()) << sql << " -> " << rs.status();
+    return rs.ok() ? *rs : ResultSet{};
+  }
+
+  Database db_;
+};
+
+TEST_F(SqlTest, SelectStar) {
+  auto rs = Run("SELECT * FROM runs");
+  EXPECT_EQ(rs.rows.size(), 6u);
+  EXPECT_EQ(rs.schema.num_columns(), 5u);
+}
+
+TEST_F(SqlTest, PaperQueryFindForecastsByCodeVersion) {
+  // §4.3.2: "find all forecasts that use code version X".
+  auto rs = Run(
+      "SELECT DISTINCT forecast FROM runs WHERE code_version = 'v2' "
+      "ORDER BY forecast");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0].string_value(), "dev");
+  EXPECT_EQ(rs.rows[1][0].string_value(), "till");
+}
+
+TEST_F(SqlTest, WhereWithAndOrParens) {
+  auto rs = Run(
+      "SELECT forecast, day FROM runs WHERE (forecast = 'till' AND day > 1)"
+      " OR walltime < 30000");
+  EXPECT_EQ(rs.rows.size(), 3u);
+}
+
+TEST_F(SqlTest, ComparisonOperators) {
+  EXPECT_EQ(Run("SELECT * FROM runs WHERE day <> 1").rows.size(), 3u);
+  EXPECT_EQ(Run("SELECT * FROM runs WHERE day != 1").rows.size(), 3u);
+  EXPECT_EQ(Run("SELECT * FROM runs WHERE day >= 2").rows.size(), 3u);
+  EXPECT_EQ(Run("SELECT * FROM runs WHERE day <= 1").rows.size(), 3u);
+}
+
+TEST_F(SqlTest, ArithmeticInSelectAndWhere) {
+  auto rs = Run(
+      "SELECT forecast, walltime / 3600.0 AS hours FROM runs "
+      "WHERE walltime / 3600.0 > 16 ORDER BY hours DESC");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.schema.column(1).name, "hours");
+  EXPECT_NEAR(rs.rows[0][1].double_value(), 80000.0 / 3600.0, 1e-9);
+}
+
+TEST_F(SqlTest, LikePattern) {
+  auto rs = Run("SELECT * FROM runs WHERE forecast LIKE 't%'");
+  EXPECT_EQ(rs.rows.size(), 3u);
+}
+
+TEST_F(SqlTest, IsNullAndIsNotNull) {
+  EXPECT_EQ(Run("SELECT * FROM runs WHERE walltime IS NULL").rows.size(),
+            1u);
+  EXPECT_EQ(
+      Run("SELECT * FROM runs WHERE walltime IS NOT NULL").rows.size(),
+      5u);
+}
+
+TEST_F(SqlTest, AggregatesGlobal) {
+  auto rs = Run("SELECT COUNT(*) AS n, AVG(walltime) AS avg_w, "
+                "MIN(day) AS lo, MAX(day) AS hi FROM runs");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].int64_value(), 6);
+  EXPECT_NEAR(rs.rows[0][1].double_value(), 241000.0 / 5, 1e-9);
+  EXPECT_EQ(rs.rows[0][2].int64_value(), 1);
+  EXPECT_EQ(rs.rows[0][3].int64_value(), 3);
+}
+
+TEST_F(SqlTest, PaperEstimationQuery) {
+  // §4.1: average walltime of past runs of a forecast on a node.
+  auto rs = Run(
+      "SELECT AVG(walltime) AS avg_w FROM runs "
+      "WHERE forecast = 'till' AND node = 'f1'");
+  EXPECT_NEAR(rs.rows[0][0].double_value(), 40500.0, 1e-9);
+}
+
+TEST_F(SqlTest, GroupByWithHaving) {
+  auto rs = Run(
+      "SELECT forecast, COUNT(*) AS n FROM runs GROUP BY forecast "
+      "HAVING n > 1 ORDER BY forecast");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0].string_value(), "dev");
+  EXPECT_EQ(rs.rows[0][1].int64_value(), 2);
+  EXPECT_EQ(rs.rows[1][0].string_value(), "till");
+  EXPECT_EQ(rs.rows[1][1].int64_value(), 3);
+}
+
+TEST_F(SqlTest, GroupByRequiresAggregatesOrGroupCols) {
+  EXPECT_FALSE(db_.Sql("SELECT walltime FROM runs GROUP BY forecast").ok());
+  EXPECT_FALSE(db_.Sql("SELECT * FROM runs GROUP BY forecast").ok());
+}
+
+TEST_F(SqlTest, HavingWithoutGroupByRejected) {
+  EXPECT_FALSE(db_.Sql("SELECT forecast FROM runs HAVING day > 1").ok());
+}
+
+TEST_F(SqlTest, OrderByLimitOffset) {
+  auto rs = Run("SELECT day FROM runs ORDER BY day DESC, forecast ASC "
+                "LIMIT 2 OFFSET 1");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0].int64_value(), 2);
+}
+
+TEST_F(SqlTest, JoinOn) {
+  ASSERT_TRUE(
+      db_.Sql("CREATE TABLE nodes (name TEXT, speed DOUBLE)").ok());
+  ASSERT_TRUE(db_.Sql("INSERT INTO nodes VALUES ('f1', 1.0), ('f2', 1.2)")
+                  .ok());
+  auto rs = Run(
+      "SELECT forecast, speed FROM runs JOIN nodes ON node = name "
+      "WHERE day = 1 ORDER BY forecast");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0].string_value(), "dev");
+  EXPECT_DOUBLE_EQ(rs.rows[0][1].double_value(), 1.2);
+}
+
+TEST_F(SqlTest, InsertReportsRowCount) {
+  auto rs = Run("INSERT INTO runs VALUES ('new', 9, 'f1', 'v3', 100.0)");
+  EXPECT_EQ(rs.rows[0][0].int64_value(), 1);
+  EXPECT_EQ(Run("SELECT * FROM runs").rows.size(), 7u);
+}
+
+TEST_F(SqlTest, InsertNegativeNumbers) {
+  ASSERT_TRUE(db_.Sql("CREATE TABLE t (x INT, y DOUBLE)").ok());
+  ASSERT_TRUE(db_.Sql("INSERT INTO t VALUES (-5, -2.5)").ok());
+  auto rs = Run("SELECT x, y FROM t");
+  EXPECT_EQ(rs.rows[0][0].int64_value(), -5);
+  EXPECT_DOUBLE_EQ(rs.rows[0][1].double_value(), -2.5);
+}
+
+TEST_F(SqlTest, StringLiteralEscaping) {
+  ASSERT_TRUE(db_.Sql("CREATE TABLE s (v TEXT)").ok());
+  ASSERT_TRUE(db_.Sql("INSERT INTO s VALUES ('it''s')").ok());
+  auto rs = Run("SELECT v FROM s");
+  EXPECT_EQ(rs.rows[0][0].string_value(), "it's");
+}
+
+TEST_F(SqlTest, CommentsIgnored) {
+  auto rs = Run("SELECT COUNT(*) AS n FROM runs -- trailing comment");
+  EXPECT_EQ(rs.rows[0][0].int64_value(), 6);
+}
+
+TEST_F(SqlTest, CaseInsensitiveKeywords) {
+  auto rs = Run("select forecast from runs where day = 3");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].string_value(), "till");
+}
+
+TEST_F(SqlTest, ErrorsAreParseErrors) {
+  EXPECT_TRUE(db_.Sql("").status().IsParseError());
+  EXPECT_TRUE(db_.Sql("SELEC * FROM runs").status().IsParseError());
+  EXPECT_TRUE(db_.Sql("SELECT FROM runs").status().IsParseError());
+  EXPECT_TRUE(db_.Sql("SELECT * FROM runs WHERE").status().IsParseError());
+  EXPECT_TRUE(db_.Sql("SELECT * FROM runs extra").status().IsParseError());
+  EXPECT_TRUE(db_.Sql("SELECT * FROM runs LIMIT -1").status().IsParseError());
+  EXPECT_TRUE(db_.Sql("DROP TABLE runs").status().IsParseError());
+  EXPECT_TRUE(
+      db_.Sql("SELECT * FROM runs WHERE forecast = 'unterminated")
+          .status()
+          .IsParseError());
+}
+
+TEST_F(SqlTest, UnknownTableAndColumnErrors) {
+  EXPECT_TRUE(db_.Sql("SELECT * FROM ghost").status().IsNotFound());
+  EXPECT_FALSE(db_.Sql("SELECT ghost_col FROM runs").ok());
+}
+
+TEST_F(SqlTest, CreateDuplicateTableFails) {
+  EXPECT_TRUE(
+      db_.Sql("CREATE TABLE runs (x INT)").status().IsAlreadyExists());
+}
+
+TEST_F(SqlTest, CreateWithBadTypeFails) {
+  EXPECT_TRUE(
+      db_.Sql("CREATE TABLE t (x BLOB)").status().IsParseError());
+}
+
+TEST_F(SqlTest, CountDistinctViaSubsetIdioms) {
+  // COUNT of non-null column vs COUNT(*).
+  auto rs = Run("SELECT COUNT(walltime) AS n FROM runs");
+  EXPECT_EQ(rs.rows[0][0].int64_value(), 5);
+}
+
+TEST_F(SqlTest, SumIntStaysInt) {
+  auto rs = Run("SELECT SUM(day) AS s FROM runs");
+  EXPECT_EQ(rs.rows[0][0].type(), DataType::kInt64);
+  EXPECT_EQ(rs.rows[0][0].int64_value(), 10);
+}
+
+}  // namespace
+}  // namespace statsdb
+}  // namespace ff

@@ -1,0 +1,122 @@
+#include "statsdb/value.h"
+
+#include <gtest/gtest.h>
+
+namespace ff {
+namespace statsdb {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kNull);
+  EXPECT_EQ(v.ToString(), "");
+}
+
+TEST(ValueTest, TypedConstructorsAndAccessors) {
+  EXPECT_EQ(Value::Bool(true).bool_value(), true);
+  EXPECT_EQ(Value::Int64(-5).int64_value(), -5);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("x").string_value(), "x");
+  EXPECT_EQ(Value::Int64(1).type(), DataType::kInt64);
+  EXPECT_EQ(Value::Double(1).type(), DataType::kDouble);
+  EXPECT_EQ(Value::String("").type(), DataType::kString);
+  EXPECT_EQ(Value::Bool(false).type(), DataType::kBool);
+}
+
+TEST(ValueTest, AsDoubleWidensNumerics) {
+  EXPECT_DOUBLE_EQ(*Value::Int64(7).AsDouble(), 7.0);
+  EXPECT_DOUBLE_EQ(*Value::Double(7.5).AsDouble(), 7.5);
+  EXPECT_FALSE(Value::String("7").AsDouble().ok());
+  EXPECT_FALSE(Value::Null().AsDouble().ok());
+  EXPECT_FALSE(Value::Bool(true).AsDouble().ok());
+}
+
+TEST(ValueTest, CompareSameType) {
+  EXPECT_LT(Value::Int64(1).Compare(Value::Int64(2)), 0);
+  EXPECT_EQ(Value::Int64(2).Compare(Value::Int64(2)), 0);
+  EXPECT_GT(Value::String("b").Compare(Value::String("a")), 0);
+  EXPECT_LT(Value::Bool(false).Compare(Value::Bool(true)), 0);
+}
+
+TEST(ValueTest, CompareMixedNumerics) {
+  EXPECT_EQ(Value::Int64(3).Compare(Value::Double(3.0)), 0);
+  EXPECT_LT(Value::Int64(3).Compare(Value::Double(3.5)), 0);
+  EXPECT_GT(Value::Double(4.5).Compare(Value::Int64(4)), 0);
+}
+
+TEST(ValueTest, TotalOrderAcrossTypes) {
+  // NULL < bool < numeric < string.
+  EXPECT_LT(Value::Null().Compare(Value::Bool(false)), 0);
+  EXPECT_LT(Value::Bool(true).Compare(Value::Int64(0)), 0);
+  EXPECT_LT(Value::Int64(999).Compare(Value::String("")), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, OperatorsDelegateToCompare) {
+  EXPECT_TRUE(Value::Int64(3) == Value::Double(3.0));
+  EXPECT_TRUE(Value::Int64(3) != Value::Int64(4));
+  EXPECT_TRUE(Value::Int64(3) < Value::Int64(4));
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Int64(42).ToString(), "42");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::String("hi").ToString(), "hi");
+}
+
+TEST(ValueTest, ParseRoundTrip) {
+  auto check = [](const Value& v) {
+    auto parsed = Value::Parse(v.ToString(), v.type());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->Compare(v), 0) << v.ToString();
+  };
+  check(Value::Bool(true));
+  check(Value::Int64(-17));
+  check(Value::Double(3.25));
+  check(Value::String("forecast-tillamook"));
+}
+
+TEST(ValueTest, ParseEmptyAsNull) {
+  for (DataType t : {DataType::kBool, DataType::kInt64, DataType::kDouble,
+                     DataType::kString}) {
+    auto v = Value::Parse("", t);
+    ASSERT_TRUE(v.ok());
+    EXPECT_TRUE(v->is_null());
+  }
+}
+
+TEST(ValueTest, ParseErrors) {
+  EXPECT_FALSE(Value::Parse("maybe", DataType::kBool).ok());
+  EXPECT_FALSE(Value::Parse("1.5", DataType::kInt64).ok());
+  EXPECT_FALSE(Value::Parse("abc", DataType::kDouble).ok());
+}
+
+TEST(ValueTest, HashConsistentWithCompare) {
+  EXPECT_EQ(Value::Int64(3).Hash(), Value::Double(3.0).Hash());
+  EXPECT_EQ(Value::String("x").Hash(), Value::String("x").Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(DataTypeName(DataType::kInt64), "INT64");
+  EXPECT_STREQ(DataTypeName(DataType::kString), "STRING");
+}
+
+TEST(DataTypeTest, ParseAliases) {
+  EXPECT_EQ(*ParseDataType("INT"), DataType::kInt64);
+  EXPECT_EQ(*ParseDataType("integer"), DataType::kInt64);
+  EXPECT_EQ(*ParseDataType("BIGINT"), DataType::kInt64);
+  EXPECT_EQ(*ParseDataType("double"), DataType::kDouble);
+  EXPECT_EQ(*ParseDataType("REAL"), DataType::kDouble);
+  EXPECT_EQ(*ParseDataType("Text"), DataType::kString);
+  EXPECT_EQ(*ParseDataType("VARCHAR"), DataType::kString);
+  EXPECT_EQ(*ParseDataType("bool"), DataType::kBool);
+  EXPECT_FALSE(ParseDataType("BLOB").ok());
+}
+
+}  // namespace
+}  // namespace statsdb
+}  // namespace ff

@@ -1,0 +1,115 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ff {
+namespace util {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldsUnchanged) {
+  EXPECT_EQ(CsvEscape("abc"), "abc");
+  EXPECT_EQ(CsvEscape(""), "");
+  EXPECT_EQ(CsvEscape("3.14"), "3.14");
+}
+
+TEST(CsvEscapeTest, QuotesWhenNeeded) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvRowTest, JoinsEscaped) {
+  EXPECT_EQ(CsvRow({"a", "b,c", "d"}), "a,\"b,c\",d");
+  EXPECT_EQ(CsvRow({}), "");
+}
+
+TEST(ParseCsvTest, HeaderAndRows) {
+  auto doc = ParseCsv("name,day\ntillamook,21\ndev,160\n", true);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->header, (std::vector<std::string>{"name", "day"}));
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[0], (std::vector<std::string>{"tillamook", "21"}));
+  EXPECT_EQ(doc->rows[1], (std::vector<std::string>{"dev", "160"}));
+}
+
+TEST(ParseCsvTest, NoHeader) {
+  auto doc = ParseCsv("1,2\n3,4\n", false);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->header.empty());
+  EXPECT_EQ(doc->rows.size(), 2u);
+}
+
+TEST(ParseCsvTest, QuotedFieldsWithCommasAndNewlines) {
+  auto doc = ParseCsv("a,\"x,y\"\n\"line\nbreak\",b\n", false);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[0][1], "x,y");
+  EXPECT_EQ(doc->rows[1][0], "line\nbreak");
+}
+
+TEST(ParseCsvTest, DoubledQuotes) {
+  auto doc = ParseCsv("\"he said \"\"ok\"\"\"\n", false);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0][0], "he said \"ok\"");
+}
+
+TEST(ParseCsvTest, CrLfHandled) {
+  auto doc = ParseCsv("a,b\r\nc,d\r\n", false);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ParseCsvTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsv("\"open", false).ok());
+}
+
+TEST(ParseCsvTest, EmptyInput) {
+  auto doc = ParseCsv("", true);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->header.empty());
+  EXPECT_TRUE(doc->rows.empty());
+}
+
+TEST(ParseCsvLineTest, SingleRecord) {
+  auto rec = ParseCsvLine("x,y,z");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(*rec, (std::vector<std::string>{"x", "y", "z"}));
+}
+
+TEST(CsvRoundTripTest, EscapeThenParse) {
+  std::vector<std::string> fields{"plain", "a,b", "q\"q", "multi\nline",
+                                  ""};
+  auto parsed = ParseCsvLine(CsvRow(fields));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, fields);
+}
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter w(&os, {"a", "b"});
+  ASSERT_TRUE(w.WriteRow({"1", "2"}).ok());
+  ASSERT_TRUE(w.WriteRow({"3", "4"}).ok());
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+TEST(CsvWriterTest, RejectsWidthMismatch) {
+  std::ostringstream os;
+  CsvWriter w(&os, {"a", "b"});
+  EXPECT_FALSE(w.WriteRow({"1"}).ok());
+  EXPECT_TRUE(w.WriteRow({"1", "2"}).ok());
+}
+
+TEST(CsvWriterTest, HeaderlessFixesWidthFromFirstRow) {
+  std::ostringstream os;
+  CsvWriter w(&os, {});
+  ASSERT_TRUE(w.WriteRow({"1", "2", "3"}).ok());
+  EXPECT_FALSE(w.WriteRow({"1"}).ok());
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace ff

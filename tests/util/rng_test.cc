@@ -1,0 +1,157 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace ff {
+namespace util {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (a.Next() != b.Next()) ++differences;
+  }
+  EXPECT_GT(differences, 15);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01MeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.Uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(-3.0, 7.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 7.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(13);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all of {2,3,4,5} appear
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.UniformInt(9, 9), 9);
+  }
+}
+
+TEST(RngTest, NormalMomentsRoughlyCorrect) {
+  Rng rng(19);
+  constexpr int kN = 100000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    double x = rng.Normal(10.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  double mean = sum / kN;
+  double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(23);
+  constexpr int kN = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    double x = rng.Exponential(0.5);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 2.0, 0.05);
+}
+
+TEST(RngTest, LogNormalMedianIsMedian) {
+  Rng rng(29);
+  constexpr int kN = 20001;
+  std::vector<double> xs;
+  xs.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    xs.push_back(rng.LogNormalMedian(40000.0, 0.1));
+  }
+  std::nth_element(xs.begin(), xs.begin() + kN / 2, xs.end());
+  EXPECT_NEAR(xs[kN / 2] / 40000.0, 1.0, 0.02);
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(31);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(37);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(RngTest, IndexInBounds) {
+  Rng rng(41);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Index(10), 10u);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(43);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ForkIndependentButDeterministic) {
+  Rng a(99);
+  Rng child_a = a.Fork();
+  Rng b(99);
+  Rng child_b = b.Fork();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(child_a.Next(), child_b.Next());
+  }
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace ff

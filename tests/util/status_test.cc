@@ -1,0 +1,128 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/statusor.h"
+
+namespace ff {
+namespace util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::CapacityExceeded("x").IsCapacityExceeded());
+  EXPECT_TRUE(Status::DeadlineMissed("x").IsDeadlineMissed());
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status s = Status::NotFound("table runs");
+  EXPECT_EQ(s.ToString(), "NotFound: table runs");
+}
+
+TEST(StatusTest, WithContextPrependsForErrors) {
+  Status s = Status::IoError("open failed").WithContext("crawling /logs");
+  EXPECT_EQ(s.message(), "crawling /logs: open failed");
+  EXPECT_TRUE(s.IsIoError());
+}
+
+TEST(StatusTest, WithContextPassesOkThrough) {
+  Status s = Status::OK().WithContext("ignored");
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.message(), "");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_NE(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_NE(Status::NotFound("a"), Status::Internal("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, CopyIsCheapAndShared) {
+  Status a = Status::Internal("boom");
+  Status b = a;  // shared rep
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.message(), "boom");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto f = [](bool fail) -> Status {
+    FF_RETURN_NOT_OK(fail ? Status::Internal("inner") : Status::OK());
+    return Status::NotFound("after");
+  };
+  EXPECT_TRUE(f(true).IsInternal());
+  EXPECT_TRUE(f(false).IsNotFound());
+}
+
+TEST(StatusCodeTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineMissed),
+               "DeadlineMissed");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  ASSERT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsNotFound());
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, ValueOrReturnsValueWhenOk) {
+  StatusOr<std::string> v = std::string("hello");
+  EXPECT_EQ(v.value_or("fallback"), "hello");
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> p = std::move(v).value();
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> StatusOr<int> {
+    if (fail) return Status::OutOfRange("bad");
+    return 10;
+  };
+  auto outer = [&](bool fail) -> StatusOr<int> {
+    FF_ASSIGN_OR_RETURN(int x, inner(fail));
+    return x * 2;
+  };
+  ASSERT_TRUE(outer(false).ok());
+  EXPECT_EQ(*outer(false), 20);
+  EXPECT_TRUE(outer(true).status().IsOutOfRange());
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v = std::string("abc");
+  EXPECT_EQ(v->size(), 3u);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace ff

@@ -1,0 +1,126 @@
+#include "util/summary_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ff {
+namespace util {
+namespace {
+
+TEST(SummaryStatsTest, EmptyIsZero) {
+  SummaryStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(SummaryStatsTest, BasicMoments) {
+  SummaryStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Sample variance of this classic set: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(SummaryStatsTest, SingleValue) {
+  SummaryStats s;
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(SummaryStatsTest, MergeMatchesSequential) {
+  SummaryStats all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    double x = i * 0.7 - 3.0;
+    all.Add(x);
+    (i % 2 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SummaryStatsTest, MergeWithEmpty) {
+  SummaryStats a, empty;
+  a.Add(1.0);
+  a.Add(2.0);
+  SummaryStats a_copy = a;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), a_copy.mean());
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(FitLinearTest, ExactLine) {
+  auto fit = FitLinear({1, 2, 3, 4}, {3, 5, 7, 9});  // y = 2x + 1
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit->intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit->Predict(10.0), 21.0, 1e-12);
+}
+
+TEST(FitLinearTest, NoisyLineHighR2) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(5.0 * i + 100.0 + ((i % 3) - 1) * 0.5);
+  }
+  auto fit = FitLinear(xs, ys);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 5.0, 0.01);
+  EXPECT_GT(fit->r_squared, 0.999);
+}
+
+TEST(FitLinearTest, ErrorsOnBadInput) {
+  EXPECT_FALSE(FitLinear({1.0}, {2.0}).ok());
+  EXPECT_FALSE(FitLinear({1, 2}, {1, 2, 3}).ok());
+  EXPECT_FALSE(FitLinear({3, 3, 3}, {1, 2, 3}).ok());  // constant x
+}
+
+TEST(FitLinearTest, ConstantYPerfectFit) {
+  auto fit = FitLinear({1, 2, 3}, {4, 4, 4});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit->r_squared, 1.0);
+}
+
+TEST(PercentileTest, KnownQuartiles) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(*Percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(*Percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(*Percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(*Percentile(xs, 25), 2.0);
+  EXPECT_DOUBLE_EQ(*Percentile(xs, 12.5), 1.5);  // interpolated
+}
+
+TEST(PercentileTest, Errors) {
+  EXPECT_FALSE(Percentile({}, 50).ok());
+  EXPECT_FALSE(Percentile({1.0}, -1).ok());
+  EXPECT_FALSE(Percentile({1.0}, 101).ok());
+  EXPECT_DOUBLE_EQ(*Percentile({7.0}, 99), 7.0);
+}
+
+TEST(MadTest, RobustToOutlier) {
+  // Median 3, deviations {2,1,0,1,2} -> MAD 1 regardless of the outlier.
+  EXPECT_DOUBLE_EQ(*MedianAbsDeviation({1, 2, 3, 4, 1000}), 1.0);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace ff

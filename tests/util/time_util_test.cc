@@ -1,0 +1,59 @@
+#include "util/time_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ff {
+namespace util {
+namespace {
+
+TEST(TimeUtilTest, DayOfTime) {
+  EXPECT_EQ(DayOfTime(0.0), 0);
+  EXPECT_EQ(DayOfTime(86399.9), 0);
+  EXPECT_EQ(DayOfTime(86400.0), 1);
+  EXPECT_EQ(DayOfTime(86400.0 * 50 + 10), 50);
+  EXPECT_EQ(DayOfTime(-5.0), 0);
+}
+
+TEST(TimeUtilTest, TimeOfDay) {
+  EXPECT_DOUBLE_EQ(TimeOfDay(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(TimeOfDay(3600.0), 3600.0);
+  EXPECT_DOUBLE_EQ(TimeOfDay(86400.0 + 7200.0), 7200.0);
+}
+
+TEST(TimeUtilTest, StartOfDayAndMakeTime) {
+  EXPECT_DOUBLE_EQ(StartOfDay(2), 172800.0);
+  EXPECT_DOUBLE_EQ(MakeTime(1, 1, 30, 15.0), 86400.0 + 5415.0);
+  EXPECT_DOUBLE_EQ(MakeTime(0, 0), 0.0);
+}
+
+TEST(TimeUtilTest, RoundTripDayAndTimeOfDay) {
+  for (int64_t day : {0, 1, 21, 50, 365}) {
+    double t = MakeTime(day, 13, 45, 30.0);
+    EXPECT_EQ(DayOfTime(t), day);
+    EXPECT_NEAR(TimeOfDay(t), 13 * 3600.0 + 45 * 60.0 + 30.0, 1e-6);
+  }
+}
+
+TEST(TimeUtilTest, FormatTime) {
+  EXPECT_EQ(FormatTime(MakeTime(21, 1, 0, 0.0)), "d021 01:00:00");
+  EXPECT_EQ(FormatTime(0.0), "d000 00:00:00");
+  EXPECT_EQ(FormatTime(MakeTime(5, 23, 59, 59.0)), "d005 23:59:59");
+}
+
+TEST(TimeUtilTest, FormatDuration) {
+  EXPECT_EQ(FormatDuration(0.0), "00:00:00");
+  EXPECT_EQ(FormatDuration(3661.0), "01:01:01");
+  EXPECT_EQ(FormatDuration(-60.0), "-00:01:00");
+  // 40,000 s forecast walltime = 11h06m40s.
+  EXPECT_EQ(FormatDuration(40000.0), "11:06:40");
+}
+
+TEST(TimeUtilTest, Constants) {
+  EXPECT_DOUBLE_EQ(kSecondsPerDay, 86400.0);
+  EXPECT_DOUBLE_EQ(kSecondsPerHour, 3600.0);
+  EXPECT_DOUBLE_EQ(kSecondsPerMinute, 60.0);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace ff

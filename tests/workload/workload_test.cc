@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "workload/cost_model.h"
+#include "workload/fleet.h"
+
+namespace ff {
+namespace workload {
+namespace {
+
+TEST(CostModelTest, LinearInTimesteps) {
+  CostModel m;
+  ForecastSpec a = MakeTillamookForecast();
+  ForecastSpec b = a;
+  b.timesteps = a.timesteps * 2;
+  EXPECT_NEAR(m.SimulationCpuSeconds(b),
+              2.0 * m.SimulationCpuSeconds(a), 1e-9);
+}
+
+TEST(CostModelTest, LinearInMeshSides) {
+  CostModel m;
+  ForecastSpec a = MakeTillamookForecast();
+  ForecastSpec b = a;
+  b.mesh_sides = a.mesh_sides * 3;
+  EXPECT_NEAR(m.SimulationCpuSeconds(b),
+              3.0 * m.SimulationCpuSeconds(a), 1e-9);
+}
+
+TEST(CostModelTest, CodeFactorScales) {
+  CostModel m;
+  ForecastSpec a = MakeTillamookForecast();
+  ForecastSpec b = a;
+  b.code_factor = 1.5;
+  EXPECT_NEAR(m.SimulationCpuSeconds(b),
+              1.5 * m.SimulationCpuSeconds(a), 1e-9);
+}
+
+TEST(CostModelTest, TillamookCalibration) {
+  // Fig. 8 pre-change level: ~40,000 s at 5760 timesteps.
+  CostModel m;
+  ForecastSpec till = MakeTillamookForecast();
+  EXPECT_NEAR(m.SimulationCpuSeconds(till), 40000.0, 2000.0);
+}
+
+TEST(CostModelTest, TotalIncludesProducts) {
+  CostModel m;
+  ForecastSpec till = MakeTillamookForecast();
+  EXPECT_GT(m.TotalCpuSeconds(till), m.SimulationCpuSeconds(till));
+  EXPECT_NEAR(m.TotalCpuSeconds(till) - m.SimulationCpuSeconds(till),
+              till.TotalProductCpuSeconds(), 1e-9);
+}
+
+TEST(ForecastSpecTest, ByteAccounting) {
+  ForecastSpec f = MakeElcircEstuaryForecast();
+  EXPECT_NEAR(f.TotalModelBytes(), 1700e6, 1e3);
+  double products = f.TotalProductBytes();
+  // §4.2: "data products account for as much as 20% of all data".
+  double fraction = products / (products + f.TotalModelBytes());
+  EXPECT_GT(fraction, 0.15);
+  EXPECT_LT(fraction, 0.25);
+}
+
+TEST(ForecastSpecTest, ElcircHasPaperSeries) {
+  ForecastSpec f = MakeElcircEstuaryForecast();
+  std::vector<std::string> file_names;
+  for (const auto& file : f.output_files) file_names.push_back(file.name);
+  EXPECT_NE(std::find(file_names.begin(), file_names.end(), "1_salt.63"),
+            file_names.end());
+  EXPECT_NE(std::find(file_names.begin(), file_names.end(), "2_salt.63"),
+            file_names.end());
+  std::vector<std::string> product_names;
+  for (const auto& p : f.products) product_names.push_back(p.name);
+  for (const char* expected :
+       {"isosal_far_surface", "isosal_near_surface", "process"}) {
+    EXPECT_NE(std::find(product_names.begin(), product_names.end(),
+                        expected),
+              product_names.end())
+        << expected;
+  }
+}
+
+TEST(ForecastSpecTest, Day2FilesGrowInSecondHalf) {
+  ForecastSpec f = MakeElcircEstuaryForecast();
+  for (const auto& file : f.output_files) {
+    if (file.name[0] == '1') {
+      EXPECT_DOUBLE_EQ(file.start_progress, 0.0);
+      EXPECT_DOUBLE_EQ(file.end_progress, 0.5);
+    } else {
+      EXPECT_DOUBLE_EQ(file.start_progress, 0.5);
+      EXPECT_DOUBLE_EQ(file.end_progress, 1.0);
+    }
+  }
+}
+
+TEST(ForecastSpecTest, ProductInputIndicesValid) {
+  for (const ForecastSpec& f :
+       {MakeElcircEstuaryForecast(), MakeTillamookForecast(),
+        MakeDevForecast()}) {
+    for (const auto& p : f.products) {
+      EXPECT_FALSE(p.input_files.empty()) << p.name;
+      for (int idx : p.input_files) {
+        EXPECT_GE(idx, 0);
+        EXPECT_LT(idx, static_cast<int>(f.output_files.size()));
+      }
+    }
+  }
+}
+
+TEST(ProductClassTest, AllFigure2ClassesRepresented) {
+  auto products = MakeStandardProducts();
+  std::set<ProductClass> classes;
+  for (const auto& p : products) classes.insert(p.product_class);
+  EXPECT_EQ(classes.size(), 5u);  // isolines, transects, cross, anim, plots
+  EXPECT_STREQ(ProductClassName(ProductClass::kIsolines), "isolines");
+  EXPECT_STREQ(ProductClassName(ProductClass::kAnimations), "animations");
+}
+
+TEST(FleetTest, DeterministicGivenSeed) {
+  util::Rng r1(5), r2(5);
+  auto a = MakeCorieFleet(10, &r1);
+  auto b = MakeCorieFleet(10, &r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].timesteps, b[i].timesteps);
+    EXPECT_EQ(a[i].mesh_sides, b[i].mesh_sides);
+    EXPECT_EQ(a[i].priority, b[i].priority);
+  }
+}
+
+TEST(FleetTest, UniqueNamesAtScale) {
+  // The paper expects 50-100 forecasts; names must stay unique.
+  util::Rng rng(5);
+  auto fleet = MakeCorieFleet(100, &rng);
+  std::set<std::string> names;
+  for (const auto& f : fleet) names.insert(f.name);
+  EXPECT_EQ(names.size(), 100u);
+}
+
+TEST(FleetTest, ParametersWithinDocumentedRanges) {
+  util::Rng rng(11);
+  auto fleet = MakeCorieFleet(50, &rng);
+  for (const auto& f : fleet) {
+    EXPECT_TRUE(f.timesteps == 5760 || f.timesteps == 2880) << f.name;
+    EXPECT_GE(f.mesh_sides, 5000);
+    EXPECT_LE(f.mesh_sides, 30000);
+    EXPECT_GE(f.priority, 1);
+    EXPECT_LE(f.priority, 3);
+    EXPECT_GE(f.deadline, f.earliest_start);
+    EXPECT_FALSE(f.products.empty());
+    EXPECT_FALSE(f.output_files.empty());
+  }
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace ff
