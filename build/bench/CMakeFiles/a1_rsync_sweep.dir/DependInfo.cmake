@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/a1_rsync_sweep.cc" "bench/CMakeFiles/a1_rsync_sweep.dir/a1_rsync_sweep.cc.o" "gcc" "bench/CMakeFiles/a1_rsync_sweep.dir/a1_rsync_sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/factory/CMakeFiles/ff_factory.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/ff_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/logdata/CMakeFiles/ff_logdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ff_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ff_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/statsdb/CMakeFiles/ff_statsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ff_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a1_rsync_sweep.dir/a1_rsync_sweep.cc.o"
+  "CMakeFiles/a1_rsync_sweep.dir/a1_rsync_sweep.cc.o.d"
+  "a1_rsync_sweep"
+  "a1_rsync_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a1_rsync_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

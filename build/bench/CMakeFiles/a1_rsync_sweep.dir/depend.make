@@ -1,0 +1,2 @@
+# Empty dependencies file for a1_rsync_sweep.
+# This may be replaced when dependencies are built.

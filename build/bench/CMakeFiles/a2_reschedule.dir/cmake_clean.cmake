@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a2_reschedule.dir/a2_reschedule.cc.o"
+  "CMakeFiles/a2_reschedule.dir/a2_reschedule.cc.o.d"
+  "a2_reschedule"
+  "a2_reschedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a2_reschedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for a2_reschedule.
+# This may be replaced when dependencies are built.

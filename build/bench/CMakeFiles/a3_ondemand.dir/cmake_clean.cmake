@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a3_ondemand.dir/a3_ondemand.cc.o"
+  "CMakeFiles/a3_ondemand.dir/a3_ondemand.cc.o.d"
+  "a3_ondemand"
+  "a3_ondemand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a3_ondemand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a4_partitioned.dir/a4_partitioned.cc.o"
+  "CMakeFiles/a4_partitioned.dir/a4_partitioned.cc.o.d"
+  "a4_partitioned"
+  "a4_partitioned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a4_partitioned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

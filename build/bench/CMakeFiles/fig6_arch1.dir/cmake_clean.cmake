@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_arch1.dir/fig6_arch1.cc.o"
+  "CMakeFiles/fig6_arch1.dir/fig6_arch1.cc.o.d"
+  "fig6_arch1"
+  "fig6_arch1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_arch1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

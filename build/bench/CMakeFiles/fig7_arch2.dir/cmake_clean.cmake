@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_arch2.dir/fig7_arch2.cc.o"
+  "CMakeFiles/fig7_arch2.dir/fig7_arch2.cc.o.d"
+  "fig7_arch2"
+  "fig7_arch2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_arch2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

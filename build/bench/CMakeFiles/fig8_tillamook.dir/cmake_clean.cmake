@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_tillamook.dir/fig8_tillamook.cc.o"
+  "CMakeFiles/fig8_tillamook.dir/fig8_tillamook.cc.o.d"
+  "fig8_tillamook"
+  "fig8_tillamook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_tillamook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_dev.dir/fig9_dev.cc.o"
+  "CMakeFiles/fig9_dev.dir/fig9_dev.cc.o.d"
+  "fig9_dev"
+  "fig9_dev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_dev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

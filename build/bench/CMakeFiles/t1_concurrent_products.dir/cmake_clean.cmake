@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t1_concurrent_products.dir/t1_concurrent_products.cc.o"
+  "CMakeFiles/t1_concurrent_products.dir/t1_concurrent_products.cc.o.d"
+  "t1_concurrent_products"
+  "t1_concurrent_products.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t1_concurrent_products.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t2_bandwidth.dir/t2_bandwidth.cc.o"
+  "CMakeFiles/t2_bandwidth.dir/t2_bandwidth.cc.o.d"
+  "t2_bandwidth"
+  "t2_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t2_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t3_share_model.dir/t3_share_model.cc.o"
+  "CMakeFiles/t3_share_model.dir/t3_share_model.cc.o.d"
+  "t3_share_model"
+  "t3_share_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t3_share_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

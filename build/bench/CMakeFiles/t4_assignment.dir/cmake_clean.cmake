@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t4_assignment.dir/t4_assignment.cc.o"
+  "CMakeFiles/t4_assignment.dir/t4_assignment.cc.o.d"
+  "t4_assignment"
+  "t4_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t4_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t5_estimation.dir/t5_estimation.cc.o"
+  "CMakeFiles/t5_estimation.dir/t5_estimation.cc.o.d"
+  "t5_estimation"
+  "t5_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t5_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t6_statsdb.dir/t6_statsdb.cc.o"
+  "CMakeFiles/t6_statsdb.dir/t6_statsdb.cc.o.d"
+  "t6_statsdb"
+  "t6_statsdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t6_statsdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for t6_statsdb.
+# This may be replaced when dependencies are built.

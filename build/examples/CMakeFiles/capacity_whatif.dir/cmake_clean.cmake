@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_whatif.dir/capacity_whatif.cpp.o"
+  "CMakeFiles/capacity_whatif.dir/capacity_whatif.cpp.o.d"
+  "capacity_whatif"
+  "capacity_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

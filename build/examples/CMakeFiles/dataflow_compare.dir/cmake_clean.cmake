@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataflow_compare.dir/dataflow_compare.cpp.o"
+  "CMakeFiles/dataflow_compare.dir/dataflow_compare.cpp.o.d"
+  "dataflow_compare"
+  "dataflow_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataflow_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

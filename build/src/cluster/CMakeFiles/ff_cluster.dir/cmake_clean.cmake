@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_cluster.dir/cluster.cc.o"
+  "CMakeFiles/ff_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/ff_cluster.dir/link.cc.o"
+  "CMakeFiles/ff_cluster.dir/link.cc.o.d"
+  "CMakeFiles/ff_cluster.dir/machine.cc.o"
+  "CMakeFiles/ff_cluster.dir/machine.cc.o.d"
+  "CMakeFiles/ff_cluster.dir/ps_resource.cc.o"
+  "CMakeFiles/ff_cluster.dir/ps_resource.cc.o.d"
+  "libff_cluster.a"
+  "libff_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

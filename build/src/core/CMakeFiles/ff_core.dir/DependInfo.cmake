@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/binpack.cc" "src/core/CMakeFiles/ff_core.dir/binpack.cc.o" "gcc" "src/core/CMakeFiles/ff_core.dir/binpack.cc.o.d"
+  "/root/repo/src/core/estimator.cc" "src/core/CMakeFiles/ff_core.dir/estimator.cc.o" "gcc" "src/core/CMakeFiles/ff_core.dir/estimator.cc.o.d"
+  "/root/repo/src/core/foreman.cc" "src/core/CMakeFiles/ff_core.dir/foreman.cc.o" "gcc" "src/core/CMakeFiles/ff_core.dir/foreman.cc.o.d"
+  "/root/repo/src/core/gantt.cc" "src/core/CMakeFiles/ff_core.dir/gantt.cc.o" "gcc" "src/core/CMakeFiles/ff_core.dir/gantt.cc.o.d"
+  "/root/repo/src/core/ondemand.cc" "src/core/CMakeFiles/ff_core.dir/ondemand.cc.o" "gcc" "src/core/CMakeFiles/ff_core.dir/ondemand.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/core/CMakeFiles/ff_core.dir/planner.cc.o" "gcc" "src/core/CMakeFiles/ff_core.dir/planner.cc.o.d"
+  "/root/repo/src/core/rescheduler.cc" "src/core/CMakeFiles/ff_core.dir/rescheduler.cc.o" "gcc" "src/core/CMakeFiles/ff_core.dir/rescheduler.cc.o.d"
+  "/root/repo/src/core/script_gen.cc" "src/core/CMakeFiles/ff_core.dir/script_gen.cc.o" "gcc" "src/core/CMakeFiles/ff_core.dir/script_gen.cc.o.d"
+  "/root/repo/src/core/share_model.cc" "src/core/CMakeFiles/ff_core.dir/share_model.cc.o" "gcc" "src/core/CMakeFiles/ff_core.dir/share_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/statsdb/CMakeFiles/ff_statsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ff_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

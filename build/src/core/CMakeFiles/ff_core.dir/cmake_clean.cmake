@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_core.dir/binpack.cc.o"
+  "CMakeFiles/ff_core.dir/binpack.cc.o.d"
+  "CMakeFiles/ff_core.dir/estimator.cc.o"
+  "CMakeFiles/ff_core.dir/estimator.cc.o.d"
+  "CMakeFiles/ff_core.dir/foreman.cc.o"
+  "CMakeFiles/ff_core.dir/foreman.cc.o.d"
+  "CMakeFiles/ff_core.dir/gantt.cc.o"
+  "CMakeFiles/ff_core.dir/gantt.cc.o.d"
+  "CMakeFiles/ff_core.dir/ondemand.cc.o"
+  "CMakeFiles/ff_core.dir/ondemand.cc.o.d"
+  "CMakeFiles/ff_core.dir/planner.cc.o"
+  "CMakeFiles/ff_core.dir/planner.cc.o.d"
+  "CMakeFiles/ff_core.dir/rescheduler.cc.o"
+  "CMakeFiles/ff_core.dir/rescheduler.cc.o.d"
+  "CMakeFiles/ff_core.dir/script_gen.cc.o"
+  "CMakeFiles/ff_core.dir/script_gen.cc.o.d"
+  "CMakeFiles/ff_core.dir/share_model.cc.o"
+  "CMakeFiles/ff_core.dir/share_model.cc.o.d"
+  "libff_core.a"
+  "libff_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/forecast_run.cc" "src/dataflow/CMakeFiles/ff_dataflow.dir/forecast_run.cc.o" "gcc" "src/dataflow/CMakeFiles/ff_dataflow.dir/forecast_run.cc.o.d"
+  "/root/repo/src/dataflow/partitioned_run.cc" "src/dataflow/CMakeFiles/ff_dataflow.dir/partitioned_run.cc.o" "gcc" "src/dataflow/CMakeFiles/ff_dataflow.dir/partitioned_run.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/ff_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ff_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ff_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_dataflow.dir/forecast_run.cc.o"
+  "CMakeFiles/ff_dataflow.dir/forecast_run.cc.o.d"
+  "CMakeFiles/ff_dataflow.dir/partitioned_run.cc.o"
+  "CMakeFiles/ff_dataflow.dir/partitioned_run.cc.o.d"
+  "libff_dataflow.a"
+  "libff_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

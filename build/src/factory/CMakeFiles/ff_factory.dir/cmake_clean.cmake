@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_factory.dir/campaign.cc.o"
+  "CMakeFiles/ff_factory.dir/campaign.cc.o.d"
+  "libff_factory.a"
+  "libff_factory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_factory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logdata/loader.cc" "src/logdata/CMakeFiles/ff_logdata.dir/loader.cc.o" "gcc" "src/logdata/CMakeFiles/ff_logdata.dir/loader.cc.o.d"
+  "/root/repo/src/logdata/log_store.cc" "src/logdata/CMakeFiles/ff_logdata.dir/log_store.cc.o" "gcc" "src/logdata/CMakeFiles/ff_logdata.dir/log_store.cc.o.d"
+  "/root/repo/src/logdata/spc.cc" "src/logdata/CMakeFiles/ff_logdata.dir/spc.cc.o" "gcc" "src/logdata/CMakeFiles/ff_logdata.dir/spc.cc.o.d"
+  "/root/repo/src/logdata/timeseries.cc" "src/logdata/CMakeFiles/ff_logdata.dir/timeseries.cc.o" "gcc" "src/logdata/CMakeFiles/ff_logdata.dir/timeseries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/statsdb/CMakeFiles/ff_statsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

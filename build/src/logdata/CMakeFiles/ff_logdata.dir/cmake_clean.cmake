@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_logdata.dir/loader.cc.o"
+  "CMakeFiles/ff_logdata.dir/loader.cc.o.d"
+  "CMakeFiles/ff_logdata.dir/log_store.cc.o"
+  "CMakeFiles/ff_logdata.dir/log_store.cc.o.d"
+  "CMakeFiles/ff_logdata.dir/spc.cc.o"
+  "CMakeFiles/ff_logdata.dir/spc.cc.o.d"
+  "CMakeFiles/ff_logdata.dir/timeseries.cc.o"
+  "CMakeFiles/ff_logdata.dir/timeseries.cc.o.d"
+  "libff_logdata.a"
+  "libff_logdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_logdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/statsdb/csv_io.cc" "src/statsdb/CMakeFiles/ff_statsdb.dir/csv_io.cc.o" "gcc" "src/statsdb/CMakeFiles/ff_statsdb.dir/csv_io.cc.o.d"
+  "/root/repo/src/statsdb/database.cc" "src/statsdb/CMakeFiles/ff_statsdb.dir/database.cc.o" "gcc" "src/statsdb/CMakeFiles/ff_statsdb.dir/database.cc.o.d"
+  "/root/repo/src/statsdb/expr.cc" "src/statsdb/CMakeFiles/ff_statsdb.dir/expr.cc.o" "gcc" "src/statsdb/CMakeFiles/ff_statsdb.dir/expr.cc.o.d"
+  "/root/repo/src/statsdb/query.cc" "src/statsdb/CMakeFiles/ff_statsdb.dir/query.cc.o" "gcc" "src/statsdb/CMakeFiles/ff_statsdb.dir/query.cc.o.d"
+  "/root/repo/src/statsdb/schema.cc" "src/statsdb/CMakeFiles/ff_statsdb.dir/schema.cc.o" "gcc" "src/statsdb/CMakeFiles/ff_statsdb.dir/schema.cc.o.d"
+  "/root/repo/src/statsdb/sql.cc" "src/statsdb/CMakeFiles/ff_statsdb.dir/sql.cc.o" "gcc" "src/statsdb/CMakeFiles/ff_statsdb.dir/sql.cc.o.d"
+  "/root/repo/src/statsdb/table.cc" "src/statsdb/CMakeFiles/ff_statsdb.dir/table.cc.o" "gcc" "src/statsdb/CMakeFiles/ff_statsdb.dir/table.cc.o.d"
+  "/root/repo/src/statsdb/value.cc" "src/statsdb/CMakeFiles/ff_statsdb.dir/value.cc.o" "gcc" "src/statsdb/CMakeFiles/ff_statsdb.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_statsdb.dir/csv_io.cc.o"
+  "CMakeFiles/ff_statsdb.dir/csv_io.cc.o.d"
+  "CMakeFiles/ff_statsdb.dir/database.cc.o"
+  "CMakeFiles/ff_statsdb.dir/database.cc.o.d"
+  "CMakeFiles/ff_statsdb.dir/expr.cc.o"
+  "CMakeFiles/ff_statsdb.dir/expr.cc.o.d"
+  "CMakeFiles/ff_statsdb.dir/query.cc.o"
+  "CMakeFiles/ff_statsdb.dir/query.cc.o.d"
+  "CMakeFiles/ff_statsdb.dir/schema.cc.o"
+  "CMakeFiles/ff_statsdb.dir/schema.cc.o.d"
+  "CMakeFiles/ff_statsdb.dir/sql.cc.o"
+  "CMakeFiles/ff_statsdb.dir/sql.cc.o.d"
+  "CMakeFiles/ff_statsdb.dir/table.cc.o"
+  "CMakeFiles/ff_statsdb.dir/table.cc.o.d"
+  "CMakeFiles/ff_statsdb.dir/value.cc.o"
+  "CMakeFiles/ff_statsdb.dir/value.cc.o.d"
+  "libff_statsdb.a"
+  "libff_statsdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_statsdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

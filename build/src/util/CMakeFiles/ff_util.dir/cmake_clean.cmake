@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_util.dir/csv.cc.o"
+  "CMakeFiles/ff_util.dir/csv.cc.o.d"
+  "CMakeFiles/ff_util.dir/logging.cc.o"
+  "CMakeFiles/ff_util.dir/logging.cc.o.d"
+  "CMakeFiles/ff_util.dir/rng.cc.o"
+  "CMakeFiles/ff_util.dir/rng.cc.o.d"
+  "CMakeFiles/ff_util.dir/status.cc.o"
+  "CMakeFiles/ff_util.dir/status.cc.o.d"
+  "CMakeFiles/ff_util.dir/strings.cc.o"
+  "CMakeFiles/ff_util.dir/strings.cc.o.d"
+  "CMakeFiles/ff_util.dir/summary_stats.cc.o"
+  "CMakeFiles/ff_util.dir/summary_stats.cc.o.d"
+  "CMakeFiles/ff_util.dir/time_util.cc.o"
+  "CMakeFiles/ff_util.dir/time_util.cc.o.d"
+  "libff_util.a"
+  "libff_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_workload.dir/cost_model.cc.o"
+  "CMakeFiles/ff_workload.dir/cost_model.cc.o.d"
+  "CMakeFiles/ff_workload.dir/fleet.cc.o"
+  "CMakeFiles/ff_workload.dir/fleet.cc.o.d"
+  "CMakeFiles/ff_workload.dir/forecast_spec.cc.o"
+  "CMakeFiles/ff_workload.dir/forecast_spec.cc.o.d"
+  "libff_workload.a"
+  "libff_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/binpack_test.cc.o"
+  "CMakeFiles/core_test.dir/core/binpack_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/estimator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/estimator_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/foreman_test.cc.o"
+  "CMakeFiles/core_test.dir/core/foreman_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/gantt_script_test.cc.o"
+  "CMakeFiles/core_test.dir/core/gantt_script_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/ondemand_test.cc.o"
+  "CMakeFiles/core_test.dir/core/ondemand_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/planner_test.cc.o"
+  "CMakeFiles/core_test.dir/core/planner_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/rescheduler_test.cc.o"
+  "CMakeFiles/core_test.dir/core/rescheduler_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/share_model_test.cc.o"
+  "CMakeFiles/core_test.dir/core/share_model_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

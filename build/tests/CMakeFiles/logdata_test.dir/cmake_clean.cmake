@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logdata_test.dir/logdata/loader_test.cc.o"
+  "CMakeFiles/logdata_test.dir/logdata/loader_test.cc.o.d"
+  "CMakeFiles/logdata_test.dir/logdata/log_store_test.cc.o"
+  "CMakeFiles/logdata_test.dir/logdata/log_store_test.cc.o.d"
+  "CMakeFiles/logdata_test.dir/logdata/spc_test.cc.o"
+  "CMakeFiles/logdata_test.dir/logdata/spc_test.cc.o.d"
+  "CMakeFiles/logdata_test.dir/logdata/timeseries_test.cc.o"
+  "CMakeFiles/logdata_test.dir/logdata/timeseries_test.cc.o.d"
+  "logdata_test"
+  "logdata_test.pdb"
+  "logdata_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logdata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

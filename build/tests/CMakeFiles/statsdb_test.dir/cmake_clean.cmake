@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statsdb_test.dir/statsdb/csv_io_test.cc.o"
+  "CMakeFiles/statsdb_test.dir/statsdb/csv_io_test.cc.o.d"
+  "CMakeFiles/statsdb_test.dir/statsdb/expr_test.cc.o"
+  "CMakeFiles/statsdb_test.dir/statsdb/expr_test.cc.o.d"
+  "CMakeFiles/statsdb_test.dir/statsdb/query_test.cc.o"
+  "CMakeFiles/statsdb_test.dir/statsdb/query_test.cc.o.d"
+  "CMakeFiles/statsdb_test.dir/statsdb/sql_dml_test.cc.o"
+  "CMakeFiles/statsdb_test.dir/statsdb/sql_dml_test.cc.o.d"
+  "CMakeFiles/statsdb_test.dir/statsdb/sql_test.cc.o"
+  "CMakeFiles/statsdb_test.dir/statsdb/sql_test.cc.o.d"
+  "CMakeFiles/statsdb_test.dir/statsdb/table_test.cc.o"
+  "CMakeFiles/statsdb_test.dir/statsdb/table_test.cc.o.d"
+  "CMakeFiles/statsdb_test.dir/statsdb/value_test.cc.o"
+  "CMakeFiles/statsdb_test.dir/statsdb/value_test.cc.o.d"
+  "statsdb_test"
+  "statsdb_test.pdb"
+  "statsdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statsdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
