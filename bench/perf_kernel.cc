@@ -1,0 +1,365 @@
+// Kernel scale sweep — events/sec and wall time for the DES hot paths.
+//
+// Motivation: the paper's factory runs ~10 concurrent forecasts, but §5
+// targets 50–100 and the ROADMAP wants thousands. Every layer sits on
+// sim::Simulator + cluster::PsResource, so their per-event cost bounds the
+// whole factory. This bench measures both on two workloads:
+//
+//   replenish — N resident jobs; every completion admits a fresh job, for
+//               a fixed number of completions. Steady-state service.
+//   churn     — N resident jobs; a driver interleaves Add / Remove /
+//               SetSpeedFactor / SetCongestionFactor ops. Every op used to
+//               pay an O(N) sweep, so fleets went quadratic.
+//
+// Each workload also runs against `NaiveKernel`, a faithful replica of the
+// pre-virtual-time seed algorithm (per-job `remaining -= rate*dt` sweep +
+// O(N) min-scan, std::priority_queue with copied std::function payloads),
+// so the speedup is measured in-process and stays meaningful on any host.
+//
+// Output: labelled CSV on stdout and BENCH_kernel.json (path = argv[1] or
+// ./BENCH_kernel.json) recording events/sec, wall ms and speedup per point.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "cluster/ps_resource.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace ff {
+namespace {
+
+// ---------------------------------------------------------------------------
+// NaiveKernel: the seed algorithm, kept verbatim as the comparison baseline.
+// Simulator with std::priority_queue (top() copies the event payload) and a
+// processor-sharing resource that sweeps all K jobs on every Advance and
+// min-scans them on every Reschedule.
+class NaiveKernel {
+ public:
+  using Clock = double;
+
+  NaiveKernel(double capacity, double max_per_job)
+      : capacity_(capacity), max_per_job_(max_per_job) {}
+
+  uint64_t Add(double work, std::function<void()> on_done) {
+    Advance();
+    uint64_t id = next_id_++;
+    jobs_.emplace(id, Job{std::max(work, 0.0), std::move(on_done)});
+    Reschedule();
+    return id;
+  }
+
+  bool Remove(uint64_t id) {
+    Advance();
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    jobs_.erase(it);
+    Reschedule();
+    return true;
+  }
+
+  void SetSpeedFactor(double f) {
+    Advance();
+    speed_ = f;
+    Reschedule();
+  }
+
+  void SetCongestionFactor(double f) {
+    Advance();
+    congestion_ = f;
+    Reschedule();
+  }
+
+  void Run() {
+    while (!queue_.empty()) {
+      Event ev = queue_.top();  // the copy the seed kernel paid per event
+      queue_.pop();
+      if (ev.seq != live_completion_seq_) continue;  // cancelled
+      now_ = ev.time;
+      ++events_;
+      OnCompletion();
+    }
+  }
+
+  uint64_t events() const { return events_; }
+  double now() const { return now_; }
+  size_t active_jobs() const { return jobs_.size(); }
+
+ private:
+  struct Job {
+    double remaining;
+    std::function<void()> on_done;
+  };
+  struct Event {
+    double time;
+    uint64_t seq;
+    // Payload mimicking the seed QueuedEvent footprint.
+    std::function<void()> fn;
+  };
+  struct LaterEv {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double RatePerJob() const {
+    if (jobs_.empty() || speed_ <= 0.0 || congestion_ <= 0.0) return 0.0;
+    double share = capacity_ / static_cast<double>(jobs_.size());
+    return speed_ * congestion_ * std::min(max_per_job_, share);
+  }
+
+  void Advance() {
+    double dt = now_ - last_update_;
+    if (dt > 0.0) {
+      double rate = RatePerJob();
+      if (rate > 0.0) {
+        for (auto& [id, job] : jobs_) job.remaining -= rate * dt;
+      }
+    }
+    last_update_ = now_;
+  }
+
+  void Reschedule() {
+    live_completion_seq_ = next_seq_++;
+    double rate = RatePerJob();
+    if (jobs_.empty() || rate <= 0.0) return;
+    double min_remaining = std::numeric_limits<double>::infinity();
+    for (const auto& [id, job] : jobs_) {
+      min_remaining = std::min(min_remaining, job.remaining);
+    }
+    queue_.push(Event{now_ + std::max(0.0, min_remaining) / rate,
+                      live_completion_seq_, [] {}});
+  }
+
+  void OnCompletion() {
+    Advance();
+    double threshold = std::max(1e-9, RatePerJob() * 1e-6);
+    std::vector<std::function<void()>> done;
+    for (auto it = jobs_.begin(); it != jobs_.end();) {
+      if (it->second.remaining <= threshold) {
+        done.push_back(std::move(it->second.on_done));
+        it = jobs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    Reschedule();
+    for (auto& fn : done) {
+      if (fn) fn();
+    }
+  }
+
+  double capacity_;
+  double max_per_job_;
+  double speed_ = 1.0;
+  double congestion_ = 1.0;
+  std::map<uint64_t, Job> jobs_;
+  std::priority_queue<Event, std::vector<Event>, LaterEv> queue_;
+  uint64_t next_id_ = 1;
+  uint64_t next_seq_ = 1;
+  uint64_t live_completion_seq_ = 0;
+  double now_ = 0.0;
+  double last_update_ = 0.0;
+  uint64_t events_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+double WallMs(std::function<void()> fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+struct Result {
+  std::string workload;
+  std::string kernel;
+  int n_jobs = 0;
+  uint64_t events = 0;
+  double wall_ms = 0.0;
+  double events_per_sec() const {
+    return wall_ms > 0.0 ? 1000.0 * static_cast<double>(events) / wall_ms
+                         : 0.0;
+  }
+};
+
+// Steady-state: N resident jobs, every completion admits a replacement
+// until `completions` jobs have finished.
+Result RunReplenishCurrent(int n, int completions) {
+  sim::Simulator sim;
+  cluster::PsResource res(&sim, "bench", n / 2.0 + 1.0, 1.0);
+  util::Rng rng(0xb0b0 + static_cast<uint64_t>(n));
+  int remaining = completions;
+  std::function<void()> refill = [&] {
+    if (remaining-- > 0) res.Add(rng.Uniform(50.0, 150.0), refill);
+  };
+  Result r{"replenish", "virtual_time", n, 0, 0.0};
+  r.wall_ms = WallMs([&] {
+    for (int i = 0; i < n; ++i) res.Add(rng.Uniform(50.0, 150.0), refill);
+    sim.Run();
+  });
+  r.events = sim.events_processed();
+  return r;
+}
+
+Result RunReplenishNaive(int n, int completions) {
+  NaiveKernel k(n / 2.0 + 1.0, 1.0);
+  util::Rng rng(0xb0b0 + static_cast<uint64_t>(n));
+  int remaining = completions;
+  std::function<void()> refill = [&] {
+    if (remaining-- > 0) k.Add(rng.Uniform(50.0, 150.0), refill);
+  };
+  Result r{"replenish", "naive", n, 0, 0.0};
+  r.wall_ms = WallMs([&] {
+    for (int i = 0; i < n; ++i) k.Add(rng.Uniform(50.0, 150.0), refill);
+    k.Run();
+  });
+  r.events = k.events();
+  return r;
+}
+
+// Churn: N resident jobs; `ops` interleaved Add/Remove/SetSpeedFactor/
+// SetCongestionFactor calls, the management pattern of a large fleet
+// (arrivals, cancellations, failure injection, thrash updates).
+template <typename AddFn, typename RemoveFn, typename SpeedFn, typename CongFn>
+uint64_t DriveChurn(int n, int ops, util::Rng* rng, AddFn add, RemoveFn remove,
+                    SpeedFn set_speed, CongFn set_congestion) {
+  std::vector<uint64_t> live;
+  live.reserve(static_cast<size_t>(n) + 8);
+  for (int i = 0; i < n; ++i) {
+    live.push_back(add(rng->Uniform(1e5, 2e5)));
+  }
+  uint64_t applied = 0;
+  for (int i = 0; i < ops; ++i) {
+    double p = rng->Uniform01();
+    if (p < 0.4) {
+      live.push_back(add(rng->Uniform(1e5, 2e5)));
+    } else if (p < 0.8 && !live.empty()) {
+      size_t idx = rng->Index(live.size());
+      std::swap(live[idx], live.back());
+      remove(live.back());
+      live.pop_back();
+    } else if (p < 0.9) {
+      set_speed(rng->Uniform(0.5, 2.0));
+    } else {
+      set_congestion(rng->Uniform(0.3, 1.0));
+    }
+    ++applied;
+  }
+  return applied;
+}
+
+Result RunChurnCurrent(int n, int ops) {
+  sim::Simulator sim;
+  cluster::PsResource res(&sim, "bench", n / 2.0 + 1.0, 1.0);
+  util::Rng rng(0xc0de + static_cast<uint64_t>(n));
+  Result r{"churn", "virtual_time", n, 0, 0.0};
+  uint64_t applied = 0;
+  r.wall_ms = WallMs([&] {
+    applied = DriveChurn(
+        n, ops, &rng,
+        [&](double w) { return res.Add(w, nullptr); },
+        [&](uint64_t id) { (void)res.Remove(id); },
+        [&](double f) { res.SetSpeedFactor(f); },
+        [&](double f) { res.SetCongestionFactor(f); });
+    sim.Run();
+  });
+  r.events = applied + sim.events_processed();
+  return r;
+}
+
+Result RunChurnNaive(int n, int ops) {
+  NaiveKernel k(n / 2.0 + 1.0, 1.0);
+  util::Rng rng(0xc0de + static_cast<uint64_t>(n));
+  Result r{"churn", "naive", n, 0, 0.0};
+  uint64_t applied = 0;
+  r.wall_ms = WallMs([&] {
+    applied = DriveChurn(
+        n, ops, &rng, [&](double w) { return k.Add(w, nullptr); },
+        [&](uint64_t id) { k.Remove(id); },
+        [&](double f) { k.SetSpeedFactor(f); },
+        [&](double f) { k.SetCongestionFactor(f); });
+    k.Run();
+  });
+  r.events = applied + k.events();
+  return r;
+}
+
+void AppendJson(std::string* out, const Result& r, double speedup) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "    {\"workload\": \"%s\", \"kernel\": \"%s\", "
+                "\"n_jobs\": %d, \"events\": %llu, \"wall_ms\": %.3f, "
+                "\"events_per_sec\": %.0f, \"speedup_vs_naive\": %.2f}",
+                r.workload.c_str(), r.kernel.c_str(), r.n_jobs,
+                static_cast<unsigned long long>(r.events), r.wall_ms,
+                r.events_per_sec(), speedup);
+  if (!out->empty()) *out += ",\n";
+  *out += buf;
+}
+
+}  // namespace
+}  // namespace ff
+
+int main(int argc, char** argv) {
+  using namespace ff;
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_kernel.json";
+  const std::vector<int> kScales = {10, 100, 1000, 5000};
+  const int kCompletions = 20000;  // replenish: fixed completions per point
+  const int kOps = 20000;          // churn: fixed management ops per point
+
+  std::printf("workload,kernel,n_jobs,events,wall_ms,events_per_sec,"
+              "speedup_vs_naive\n");
+  std::string json_rows;
+  double churn_1000_speedup = 0.0;
+  for (int n : kScales) {
+    // Warm-up pass so allocator state does not favour either kernel.
+    RunReplenishCurrent(n, 1000);
+
+    Result naive_r = RunReplenishNaive(n, kCompletions);
+    Result cur_r = RunReplenishCurrent(n, kCompletions);
+    double sp_r = cur_r.wall_ms > 0.0 ? naive_r.wall_ms / cur_r.wall_ms : 0.0;
+
+    Result naive_c = RunChurnNaive(n, kOps);
+    Result cur_c = RunChurnCurrent(n, kOps);
+    double sp_c = cur_c.wall_ms > 0.0 ? naive_c.wall_ms / cur_c.wall_ms : 0.0;
+    if (n == 1000) churn_1000_speedup = sp_c;
+
+    for (const auto& [r, sp] :
+         std::vector<std::pair<Result, double>>{{naive_r, 1.0},
+                                                {cur_r, sp_r},
+                                                {naive_c, 1.0},
+                                                {cur_c, sp_c}}) {
+      std::printf("%s,%s,%d,%llu,%.3f,%.0f,%.2f\n", r.workload.c_str(),
+                  r.kernel.c_str(), r.n_jobs,
+                  static_cast<unsigned long long>(r.events), r.wall_ms,
+                  r.events_per_sec(), sp);
+      AppendJson(&json_rows, r, sp);
+    }
+  }
+
+  std::FILE* f = std::fopen(json_path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"perf_kernel\",\n"
+               "  \"naive\": \"seed O(K)-sweep kernel (in-process replica)\","
+               "\n  \"results\": [\n%s\n  ],\n"
+               "  \"churn_1000_speedup_vs_naive\": %.2f\n}\n",
+               json_rows.c_str(), churn_1000_speedup);
+  std::fclose(f);
+  std::printf("# wrote %s (churn@1000 speedup %.1fx)\n", json_path,
+              churn_1000_speedup);
+  return 0;
+}

@@ -75,7 +75,16 @@ double Machine::AverageUtilization(sim::Time t0) const {
   // busy_capacity_integral counts reference-speed work; normalize by the
   // machine's own deliverable capacity.
   double deliverable = speed_ * static_cast<double>(num_cpus_) * elapsed;
-  return std::min(1.0, res_.busy_capacity_integral() / deliverable);
+  double utilization = res_.busy_capacity_integral() / deliverable;
+  // A value above 1 (beyond accumulated rounding) means the capacity
+  // accounting delivered more work than the machine can physically serve —
+  // a kernel bug that the former std::min(1.0, ...) clamp silently hid.
+  FF_DCHECK(utilization <= 1.0 + kUtilizationSlack)
+      << name() << ": utilization " << utilization
+      << " exceeds deliverable capacity (integral="
+      << res_.busy_capacity_integral() << " deliverable=" << deliverable
+      << ")";
+  return utilization;
 }
 
 }  // namespace cluster

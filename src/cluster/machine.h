@@ -70,9 +70,16 @@ class Machine {
   /// Total reference-speed CPU-seconds delivered.
   double total_cpu_seconds() const { return res_.total_delivered(); }
 
-  /// Average utilization in [0,1] since the machine was created (pass the
-  /// creation time as t0).
+  /// Average utilization since the machine was created (pass the creation
+  /// time as t0). Mathematically bounded by 1; the value is returned
+  /// unclamped and checked against `kUtilizationSlack` so capacity-
+  /// accounting drift surfaces as a failed invariant instead of being
+  /// silently truncated.
   double AverageUtilization(sim::Time t0) const;
+
+  /// Tolerance on the utilization <= 1 invariant (floating-point
+  /// accumulation over long simulations).
+  static constexpr double kUtilizationSlack = 1e-6;
 
  private:
   void UpdateCongestion();

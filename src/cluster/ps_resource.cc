@@ -1,8 +1,7 @@
 #include "cluster/ps_resource.h"
 
 #include <algorithm>
-#include <limits>
-#include <vector>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -28,30 +27,60 @@ double PsResource::CurrentRatePerJob() const {
   return speed_factor_ * congestion_ * std::min(max_per_job_, share);
 }
 
+double PsResource::VirtualTimeNow() const {
+  double dt = sim_->now() - last_update_;
+  return virtual_time_ + CurrentRatePerJob() * dt;
+}
+
 void PsResource::Advance() {
   sim::Time now = sim_->now();
   double dt = now - last_update_;
   if (dt > 0.0) {
     double rate = CurrentRatePerJob();
     if (rate > 0.0) {
-      for (auto& [id, job] : jobs_) {
-        job.remaining -= rate * dt;
-        total_delivered_ += rate * dt;
-      }
-      busy_integral_ += rate * static_cast<double>(jobs_.size()) * dt;
+      double delivered = rate * static_cast<double>(jobs_.size()) * dt;
+      virtual_time_ += rate * dt;
+      total_delivered_ += delivered;
+      busy_integral_ += delivered;
     }
   }
   last_update_ = now;
 }
 
+void PsResource::PruneHeapTop() {
+  while (!heap_.empty() && jobs_.find(heap_.front().id) == jobs_.end()) {
+    std::pop_heap(heap_.begin(), heap_.end(), CreditLater{});
+    heap_.pop_back();
+    --stale_entries_;
+  }
+}
+
+void PsResource::MaybeCompactHeap() {
+  if (stale_entries_ * 2 <= heap_.size()) return;
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const HeapEntry& e) {
+                               return jobs_.find(e.id) == jobs_.end();
+                             }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), CreditLater{});
+  stale_entries_ = 0;
+}
+
 void PsResource::Reschedule() {
   if (pending_.pending()) sim_->Cancel(pending_);
-  double rate = CurrentRatePerJob();
-  if (jobs_.empty() || rate <= 0.0) return;
-  double min_remaining = std::numeric_limits<double>::infinity();
-  for (const auto& [id, job] : jobs_) {
-    min_remaining = std::min(min_remaining, job.remaining);
+  if (jobs_.empty()) {
+    // Idle: rebase the accumulator so credits never grow without bound
+    // over a long simulation (precision hygiene).
+    heap_.clear();
+    stale_entries_ = 0;
+    virtual_time_ = 0.0;
+    return;
   }
+  double rate = CurrentRatePerJob();
+  if (rate <= 0.0) return;
+  PruneHeapTop();
+  FF_CHECK(!heap_.empty()) << name_ << ": live jobs missing from heap";
+  double min_remaining = heap_.front().credit - virtual_time_;
   double delay = std::max(0.0, min_remaining) / rate;
   pending_ = sim_->ScheduleAfter(delay, [this] { OnCompletionEvent(); });
 }
@@ -64,17 +93,27 @@ void PsResource::OnCompletionEvent() {
   // active would re-fire this event at an identical timestamp forever.
   double threshold =
       std::max(kWorkEpsilon, CurrentRatePerJob() * kTimeEpsilon);
-  std::vector<std::function<void()>> done;
-  for (auto it = jobs_.begin(); it != jobs_.end();) {
-    if (it->second.remaining <= threshold) {
-      done.push_back(std::move(it->second.on_done));
-      it = jobs_.erase(it);
-    } else {
-      ++it;
+  std::vector<std::pair<JobId, std::function<void()>>> done;
+  while (!heap_.empty()) {
+    auto it = jobs_.find(heap_.front().id);
+    if (it == jobs_.end()) {  // removed earlier; lazy deletion
+      std::pop_heap(heap_.begin(), heap_.end(), CreditLater{});
+      heap_.pop_back();
+      --stale_entries_;
+      continue;
     }
+    if (heap_.front().credit - virtual_time_ > threshold) break;
+    done.emplace_back(it->first, std::move(it->second.on_done));
+    jobs_.erase(it);
+    std::pop_heap(heap_.begin(), heap_.end(), CreditLater{});
+    heap_.pop_back();
   }
+  // Fire in ascending job id, matching the historical completion order for
+  // jobs finishing at the same instant (the map sweep this replaces).
+  std::sort(done.begin(), done.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   Reschedule();
-  for (auto& fn : done) {
+  for (auto& [id, fn] : done) {
     if (fn) fn();
   }
 }
@@ -82,7 +121,10 @@ void PsResource::OnCompletionEvent() {
 JobId PsResource::Add(double work, std::function<void()> on_done) {
   Advance();
   JobId id = next_id_++;
-  jobs_.emplace(id, Job{std::max(work, 0.0), std::move(on_done)});
+  double credit = virtual_time_ + std::max(work, 0.0);
+  jobs_.emplace(id, Job{credit, std::move(on_done)});
+  heap_.push_back(HeapEntry{credit, id});
+  std::push_heap(heap_.begin(), heap_.end(), CreditLater{});
   Reschedule();
   return id;
 }
@@ -93,8 +135,10 @@ util::StatusOr<double> PsResource::Remove(JobId id) {
   if (it == jobs_.end()) {
     return util::Status::NotFound(name_ + ": job " + std::to_string(id));
   }
-  double remaining = std::max(0.0, it->second.remaining);
+  double remaining = std::max(0.0, it->second.finish_credit - virtual_time_);
   jobs_.erase(it);
+  ++stale_entries_;
+  MaybeCompactHeap();
   Reschedule();
   return remaining;
 }
@@ -120,9 +164,7 @@ util::StatusOr<double> PsResource::RemainingWork(JobId id) const {
     return util::Status::NotFound(name_ + ": job " + std::to_string(id));
   }
   // Account for progress since last_update_ without mutating state.
-  double dt = sim_->now() - last_update_;
-  double rate = CurrentRatePerJob();
-  return std::max(0.0, it->second.remaining - rate * dt);
+  return std::max(0.0, it->second.finish_credit - VirtualTimeNow());
 }
 
 double PsResource::total_delivered() const {

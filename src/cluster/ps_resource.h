@@ -7,6 +7,20 @@
 // transfers). K active jobs each progress at
 //     rate = speed_factor * min(max_per_job, capacity / K).
 // Completion events are recomputed whenever membership or speed changes.
+//
+// Internally the resource uses a *virtual-time* formulation: because the
+// sharing is egalitarian, every resident job receives service at the same
+// instantaneous rate, so a single accumulator V(t) — cumulative per-job
+// service since the last idle period — advances for all of them at once. A
+// job admitted with work `w` when the accumulator reads `v0` completes at
+// the fixed virtual credit `v0 + w`; its remaining work at any later
+// instant is `credit - V(t)`. Membership and speed changes only alter how
+// fast V advances, never the credits, so the completion order is a static
+// min-heap over credits with lazy deletion for removed jobs. This makes
+// Advance O(1) and Add/Remove/completion O(log K) — versus the former
+// O(K) sweep per event — and eliminates the per-job floating-point drift
+// of repeatedly subtracting `rate * dt` from each job. V rebases to zero
+// whenever the resource drains, bounding accumulator growth.
 
 #ifndef FF_CLUSTER_PS_RESOURCE_H_
 #define FF_CLUSTER_PS_RESOURCE_H_
@@ -15,6 +29,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "sim/simulator.h"
 #include "util/statusor.h"
@@ -76,16 +91,35 @@ class PsResource {
 
  private:
   struct Job {
-    double remaining;
+    double finish_credit;  // virtual time at which the job completes
     std::function<void()> on_done;
   };
+  struct HeapEntry {
+    double credit;
+    JobId id;
+  };
+  // Min-heap on (credit, id) under std::push_heap's max-heap convention.
+  struct CreditLater {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.credit != b.credit) return a.credit > b.credit;
+      return a.id > b.id;
+    }
+  };
 
-  // Advances all jobs' remaining work to sim_->now().
+  // Advances the virtual-time accumulator (and the delivered-work
+  // integrals) to sim_->now(). O(1).
   void Advance();
-  // Cancels and reschedules the next-completion event.
+  // Cancels and reschedules the next-completion event; rebases the
+  // accumulator when the resource has drained.
   void Reschedule();
   // Fires completions due at the current instant.
   void OnCompletionEvent();
+  // Pops heap entries whose jobs were removed (lazy deletion).
+  void PruneHeapTop();
+  // Rebuilds the heap without stale entries once they outnumber live jobs.
+  void MaybeCompactHeap();
+  // Per-job virtual service extrapolated to sim_->now() without mutating.
+  double VirtualTimeNow() const;
 
   sim::Simulator* sim_;
   std::string name_;
@@ -94,6 +128,9 @@ class PsResource {
   double speed_factor_ = 1.0;
   double congestion_ = 1.0;
   std::map<JobId, Job> jobs_;
+  std::vector<HeapEntry> heap_;
+  size_t stale_entries_ = 0;
+  double virtual_time_ = 0.0;
   JobId next_id_ = 1;
   sim::Time last_update_;
   sim::EventHandle pending_;

@@ -3,15 +3,34 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
+
+#include "util/logging.h"
 
 namespace ff {
 namespace core {
 
 namespace {
 
+// The predictor mirrors cluster::PsResource's virtual-time formulation so
+// the analytic model and the discrete-event execution stay bit-for-bit
+// mirror images (experiment T3 relies on ~0 error): a single accumulator V
+// of cumulative per-job service advances at the shared rate, and a job
+// admitted at V0 with work w completes at the fixed credit V0 + w. The
+// next completion is always the minimum credit — a static min-heap —
+// making the per-node prediction O(n log n) instead of the former O(n^2)
+// sweep-and-min-scan.
 struct ActiveJob {
+  double credit;      // virtual time at which the job completes
+  size_t order;       // admission index, for deterministic tie-break
   const ShareJob* job;
-  double remaining;
+};
+
+struct CreditLater {
+  bool operator()(const ActiveJob& a, const ActiveJob& b) const {
+    if (a.credit != b.credit) return a.credit > b.credit;
+    return a.order > b.order;
+  }
 };
 
 // Predicts one node's jobs; appends into `out`.
@@ -26,9 +45,10 @@ util::Status PredictNode(const NodeInfo& node,
               return a->id < b->id;
             });
 
-  std::vector<ActiveJob> active;
+  std::vector<ActiveJob> active;  // min-heap on (credit, order)
   size_t next_arrival = 0;
   double now = jobs.empty() ? 0.0 : jobs[0]->start_time;
+  double virtual_time = 0.0;
   double node_makespan = 0.0;
   const double capacity = static_cast<double>(node.num_cpus);
 
@@ -36,39 +56,38 @@ util::Status PredictNode(const NodeInfo& node,
     // Admit everything due now.
     while (next_arrival < jobs.size() &&
            jobs[next_arrival]->start_time <= now + 1e-9) {
-      active.push_back(ActiveJob{jobs[next_arrival],
-                                 std::max(0.0, jobs[next_arrival]->work)});
+      const ShareJob* job = jobs[next_arrival];
+      active.push_back(ActiveJob{
+          virtual_time + std::max(0.0, job->work), next_arrival, job});
+      std::push_heap(active.begin(), active.end(), CreditLater{});
       ++next_arrival;
     }
     if (active.empty()) {
+      // Idle gap: rebase the accumulator, as PsResource does on drain.
+      virtual_time = 0.0;
       now = jobs[next_arrival]->start_time;
       continue;
     }
     double k = static_cast<double>(active.size());
     double rate = node.speed * std::min(1.0, capacity / k);
     // Next event: earliest completion at this rate, or next arrival.
-    double min_remaining = std::numeric_limits<double>::infinity();
-    for (const auto& a : active) {
-      min_remaining = std::min(min_remaining, a.remaining);
-    }
-    double t_complete = now + min_remaining / rate;
+    double min_remaining = active.front().credit - virtual_time;
+    double t_complete = now + std::max(0.0, min_remaining) / rate;
     double t_arrival = next_arrival < jobs.size()
                            ? jobs[next_arrival]->start_time
                            : std::numeric_limits<double>::infinity();
     double t_next = std::min(t_complete, t_arrival);
     double dt = t_next - now;
-    for (auto& a : active) a.remaining -= rate * dt;
+    virtual_time += rate * dt;
     now = t_next;
     // Retire everything that finished (numerical slack scaled to rate).
     double eps = std::max(1e-9, rate * 1e-9);
-    for (auto it = active.begin(); it != active.end();) {
-      if (it->remaining <= eps) {
-        out->completion[it->job->id] = now;
-        node_makespan = std::max(node_makespan, now);
-        it = active.erase(it);
-      } else {
-        ++it;
-      }
+    while (!active.empty() &&
+           active.front().credit - virtual_time <= eps) {
+      out->completion[active.front().job->id] = now;
+      node_makespan = std::max(node_makespan, now);
+      std::pop_heap(active.begin(), active.end(), CreditLater{});
+      active.pop_back();
     }
   }
   out->node_makespan[node.name] = node_makespan;

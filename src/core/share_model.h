@@ -5,9 +5,11 @@
 // cycles". A run is serial (uses at most one CPU); the available cycles
 // divide evenly among concurrent runs.
 //
-// The maths mirrors cluster::PsResource exactly, so prediction error
-// against the discrete-event execution is ~0 absent disturbances
-// (validated by experiment T3).
+// The maths mirrors cluster::PsResource exactly — including its
+// virtual-time formulation (a single cumulative-service accumulator and
+// fixed per-job completion credits in a min-heap, O(n log n) per node) —
+// so prediction error against the discrete-event execution is ~0 absent
+// disturbances (validated by experiment T3).
 
 #ifndef FF_CORE_SHARE_MODEL_H_
 #define FF_CORE_SHARE_MODEL_H_

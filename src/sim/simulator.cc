@@ -1,9 +1,16 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace ff {
 namespace sim {
+
+namespace {
+// Below this size a compaction pass costs more than skipping tombstones.
+constexpr size_t kMinCompactSize = 64;
+}  // namespace
 
 bool EventHandle::pending() const {
   return state_ && !state_->cancelled && !state_->fired;
@@ -15,8 +22,9 @@ EventHandle Simulator::ScheduleAt(Time t, std::function<void()> fn,
                       << " now=" << now_;
   EventHandle handle;
   handle.state_ = std::make_shared<EventHandle::State>();
-  queue_.push(QueuedEvent{t, priority, next_seq_++, std::move(fn),
-                          handle.state_});
+  queue_.push_back(QueuedEvent{t, priority, next_seq_++, std::move(fn),
+                               handle.state_});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
   return handle;
 }
 
@@ -29,14 +37,39 @@ EventHandle Simulator::ScheduleAfter(Time delay, std::function<void()> fn,
 bool Simulator::Cancel(EventHandle& handle) {
   if (!handle.pending()) return false;
   handle.state_->cancelled = true;
+  ++cancelled_in_queue_;
+  MaybeCompact();
   return true;
+}
+
+Simulator::QueuedEvent Simulator::PopTop() {
+  std::pop_heap(queue_.begin(), queue_.end(), Later{});
+  QueuedEvent ev = std::move(queue_.back());
+  queue_.pop_back();
+  return ev;
+}
+
+void Simulator::MaybeCompact() {
+  if (queue_.size() < kMinCompactSize ||
+      cancelled_in_queue_ * 2 <= queue_.size()) {
+    return;
+  }
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [](const QueuedEvent& ev) {
+                                return ev.state->cancelled;
+                              }),
+               queue_.end());
+  std::make_heap(queue_.begin(), queue_.end(), Later{});
+  cancelled_in_queue_ = 0;
 }
 
 bool Simulator::Step() {
   while (!queue_.empty()) {
-    QueuedEvent ev = queue_.top();
-    queue_.pop();
-    if (ev.state->cancelled) continue;  // tombstone
+    QueuedEvent ev = PopTop();
+    if (ev.state->cancelled) {  // tombstone
+      --cancelled_in_queue_;
+      continue;
+    }
     FF_CHECK(ev.time >= now_) << "event queue time went backwards";
     now_ = ev.time;
     ev.state->fired = true;
@@ -57,9 +90,12 @@ void Simulator::RunUntil(Time t_end) {
   stopped_ = false;
   while (!stopped_) {
     // Peek past tombstones without dispatching.
-    while (!queue_.empty() && queue_.top().state->cancelled) queue_.pop();
+    while (!queue_.empty() && queue_.front().state->cancelled) {
+      PopTop();
+      --cancelled_in_queue_;
+    }
     if (queue_.empty()) break;
-    if (queue_.top().time > t_end) break;
+    if (queue_.front().time > t_end) break;
     Step();
   }
   if (now_ < t_end) now_ = t_end;

@@ -5,6 +5,15 @@
 // produce byte-identical traces. All higher layers (cluster machines,
 // network links, data-flow processes, the factory campaign) are built as
 // event callbacks on this kernel.
+//
+// The queue is an owned binary heap (std::vector + std::push_heap /
+// std::pop_heap) rather than std::priority_queue: events are *moved* out at
+// dispatch, so popping never copies the std::function payload or touches
+// the handle-state refcount. Cancelled events stay in the heap as
+// tombstones and are skipped at dispatch; when tombstones outnumber live
+// events the heap is compacted in one O(n) pass, keeping amortized
+// per-event cost at O(log n) even under heavy cancellation (every
+// PsResource reschedule cancels an event).
 
 #ifndef FF_SIM_SIMULATOR_H_
 #define FF_SIM_SIMULATOR_H_
@@ -12,7 +21,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "util/status.h"
@@ -80,7 +88,8 @@ class Simulator {
   /// Number of events dispatched so far (diagnostics / determinism tests).
   uint64_t events_processed() const { return events_processed_; }
 
-  /// Number of events currently queued (including cancelled tombstones).
+  /// Number of events currently queued, including cancelled tombstones not
+  /// yet skipped or compacted away.
   size_t queue_size() const { return queue_.size(); }
 
  private:
@@ -99,7 +108,13 @@ class Simulator {
     }
   };
 
-  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later> queue_;
+  // Pops the heap top (which must exist) into a movable value.
+  QueuedEvent PopTop();
+  // Rebuilds the heap without tombstones once they exceed half the queue.
+  void MaybeCompact();
+
+  std::vector<QueuedEvent> queue_;
+  size_t cancelled_in_queue_ = 0;
   Time now_ = 0.0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;

@@ -125,6 +125,36 @@ TEST(MachineTest, HalfUtilization) {
   EXPECT_NEAR(m.AverageUtilization(0.0), 0.5, 1e-6);
 }
 
+// Regression for the former std::min(1.0, ...) clamp: utilization is now
+// returned unclamped with an FF_DCHECK'd <= 1 + slack invariant, so
+// capacity-accounting drift fails loudly instead of being truncated. A
+// long churn-heavy saturated run must stay inside the tolerance band
+// (above 1 - eps because the machine is saturated throughout; below
+// 1 + kUtilizationSlack or the DCHECK inside would have fired).
+TEST(MachineTest, UtilizationInvariantSurvivesChurnUnclamped) {
+  sim::Simulator s;
+  Machine m(&s, "f1", 2, /*speed=*/1.3);
+  // Keep >= 4 tasks resident so both CPUs stay busy while speed changes
+  // force frequent accounting segments.
+  for (int i = 0; i < 6; ++i) m.StartTask(5000.0, nullptr);
+  for (int i = 1; i <= 400; ++i) {
+    s.ScheduleAt(i * 3.0, [&m, i] {
+      m.StartTask(40.0 + (i % 7), nullptr);
+    });
+  }
+  s.Run();
+  double u = m.AverageUtilization(0.0);
+  EXPECT_GE(u, 1.0 - 1e-9);
+  EXPECT_LE(u, 1.0 + Machine::kUtilizationSlack);
+}
+
+TEST(MachineTest, UtilizationIdleMachineIsZero) {
+  sim::Simulator s;
+  Machine m(&s, "f1", 2, 1.0);
+  s.RunUntil(100.0);
+  EXPECT_DOUBLE_EQ(m.AverageUtilization(0.0), 0.0);
+}
+
 }  // namespace
 }  // namespace cluster
 }  // namespace ff
