@@ -10,11 +10,16 @@ Link::Link(sim::Simulator* sim, std::string name, double bytes_per_second)
            /*max_per_job=*/bytes_per_second),
       bps_(bytes_per_second) {
   FF_CHECK(bytes_per_second > 0.0) << "link bandwidth must be positive";
+  res_.set_trace_category(obs::SpanCategory::kTransfer);
 }
 
-TransferId Link::StartTransfer(double bytes,
-                               std::function<void()> on_done) {
-  return res_.Add(bytes, std::move(on_done));
+TransferId Link::StartTransfer(double bytes, std::function<void()> on_done,
+                               std::string_view label, obs::SpanId parent) {
+  if (obs::MetricsRegistry* m = obs::ActiveMetrics()) {
+    bytes_counter_.Get(m, "link.transfer_bytes")
+        ->Add(static_cast<uint64_t>(bytes > 0.0 ? bytes : 0.0));
+  }
+  return res_.AddTraced(bytes, std::move(on_done), label, parent);
 }
 
 util::StatusOr<double> Link::CancelTransfer(TransferId id) {

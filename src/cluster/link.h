@@ -7,8 +7,10 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 
 #include "cluster/ps_resource.h"
+#include "obs/metrics.h"
 
 namespace ff {
 namespace cluster {
@@ -22,7 +24,15 @@ class Link {
   Link(sim::Simulator* sim, std::string name, double bytes_per_second);
 
   /// Starts transferring `bytes`; `on_done` fires when the last byte lands.
-  TransferId StartTransfer(double bytes, std::function<void()> on_done);
+  /// With a recorder active the transfer gets a kTransfer span on this
+  /// link's track (`label` names it, `parent` ties it to the owning run),
+  /// and the "link.transfer_bytes" counter advances by `bytes`.
+  TransferId StartTransfer(double bytes, std::function<void()> on_done,
+                           std::string_view label = {},
+                           obs::SpanId parent = 0);
+
+  /// Span of an in-flight transfer (0 when untraced).
+  obs::SpanId TransferSpan(TransferId id) const { return res_.span_of(id); }
 
   /// Aborts a transfer; returns bytes still unsent.
   util::StatusOr<double> CancelTransfer(TransferId id);
@@ -38,6 +48,7 @@ class Link {
 
  private:
   PsResource res_;
+  obs::CachedCounter bytes_counter_;
   double bps_;
   bool up_ = true;
 };

@@ -31,14 +31,16 @@ void Machine::UpdateCongestion() {
 }
 
 TaskId Machine::StartTask(double cpu_seconds, std::function<void()> on_done,
-                          double mem_bytes) {
+                          double mem_bytes, std::string_view label,
+                          obs::SpanId parent) {
   FF_CHECK(mem_bytes >= 0.0) << "negative task memory";
   // Completion fires through the event queue, strictly after Add returns,
   // so the id holder is always populated by the time the wrapper runs.
   auto id_holder = std::make_shared<TaskId>(0);
   resident_bytes_ += mem_bytes;
-  TaskId id = res_.Add(
-      cpu_seconds, [this, id_holder, cb = std::move(on_done)]() {
+  TaskId id = res_.AddTraced(
+      cpu_seconds,
+      [this, id_holder, cb = std::move(on_done)]() {
         auto it = task_mem_.find(*id_holder);
         if (it != task_mem_.end()) {
           resident_bytes_ -= it->second;
@@ -46,7 +48,8 @@ TaskId Machine::StartTask(double cpu_seconds, std::function<void()> on_done,
           UpdateCongestion();
         }
         if (cb) cb();
-      });
+      },
+      label, parent);
   *id_holder = id;
   task_mem_[id] = mem_bytes;
   UpdateCongestion();

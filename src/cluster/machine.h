@@ -37,9 +37,15 @@ class Machine {
 
   /// Starts a serial task needing `cpu_seconds` of reference-speed CPU
   /// time and holding `mem_bytes` of resident memory while it runs.
-  /// `on_done` fires at completion.
+  /// `on_done` fires at completion. When a trace recorder is active the
+  /// task gets a kTask span on this machine's track, named `label` and
+  /// parented under `parent` (e.g. the owning run's span).
   TaskId StartTask(double cpu_seconds, std::function<void()> on_done,
-                   double mem_bytes = 0.0);
+                   double mem_bytes = 0.0, std::string_view label = {},
+                   obs::SpanId parent = 0);
+
+  /// Span of an active task (0 when untraced).
+  obs::SpanId TaskSpan(TaskId id) const { return res_.span_of(id); }
 
   /// Kills or migrates a task; returns remaining reference-speed
   /// CPU-seconds.

@@ -79,7 +79,7 @@ void PsResource::Reschedule() {
   double rate = CurrentRatePerJob();
   if (rate <= 0.0) return;
   PruneHeapTop();
-  FF_CHECK(!heap_.empty()) << name_ << ": live jobs missing from heap";
+  FF_DCHECK(!heap_.empty()) << name_ << ": live jobs missing from heap";
   double min_remaining = heap_.front().credit - virtual_time_;
   double delay = std::max(0.0, min_remaining) / rate;
   pending_ = sim_->ScheduleAfter(delay, [this] { OnCompletionEvent(); });
@@ -103,6 +103,11 @@ void PsResource::OnCompletionEvent() {
       continue;
     }
     if (heap_.front().credit - virtual_time_ > threshold) break;
+    if (it->second.span != 0) {
+      if (obs::TraceRecorder* tr = obs::ActiveTrace()) {
+        tr->EndSpan(it->second.span, sim_->now());
+      }
+    }
     done.emplace_back(it->first, std::move(it->second.on_done));
     jobs_.erase(it);
     std::pop_heap(heap_.begin(), heap_.end(), CreditLater{});
@@ -118,11 +123,26 @@ void PsResource::OnCompletionEvent() {
   }
 }
 
-JobId PsResource::Add(double work, std::function<void()> on_done) {
+JobId PsResource::AddTraced(double work, std::function<void()> on_done,
+                            std::string_view label, obs::SpanId parent) {
   Advance();
   JobId id = next_id_++;
   double credit = virtual_time_ + std::max(work, 0.0);
-  jobs_.emplace(id, Job{credit, std::move(on_done)});
+  obs::SpanId span = 0;
+  if (obs::TraceRecorder* tr = obs::ActiveTrace()) {
+    uint64_t e = obs::ObsEpoch();
+    if (e != trace_.epoch) {
+      trace_.epoch = e;
+      trace_.track = tr->Intern(name_);
+      trace_.default_name = tr->Intern(obs::SpanCategoryName(trace_category_));
+      trace_.work_key = tr->Intern("work");
+    }
+    obs::StrId span_name =
+        label.empty() ? trace_.default_name : tr->Intern(label);
+    span = tr->BeginSpan(sim_->now(), trace_category_, span_name,
+                         trace_.track, parent, trace_.work_key, work);
+  }
+  jobs_.emplace(id, Job{credit, std::move(on_done), span});
   heap_.push_back(HeapEntry{credit, id});
   std::push_heap(heap_.begin(), heap_.end(), CreditLater{});
   Reschedule();
@@ -136,6 +156,11 @@ util::StatusOr<double> PsResource::Remove(JobId id) {
     return util::Status::NotFound(name_ + ": job " + std::to_string(id));
   }
   double remaining = std::max(0.0, it->second.finish_credit - virtual_time_);
+  if (it->second.span != 0) {
+    if (obs::TraceRecorder* tr = obs::ActiveTrace()) {
+      tr->EndSpanRemoved(it->second.span, sim_->now());
+    }
+  }
   jobs_.erase(it);
   ++stale_entries_;
   MaybeCompactHeap();
@@ -156,6 +181,11 @@ void PsResource::SetCongestionFactor(double factor) {
   Advance();
   congestion_ = factor;
   Reschedule();
+}
+
+obs::SpanId PsResource::span_of(JobId id) const {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? 0 : it->second.span;
 }
 
 util::StatusOr<double> PsResource::RemainingWork(JobId id) const {

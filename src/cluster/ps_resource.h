@@ -29,8 +29,10 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "util/statusor.h"
 
@@ -55,7 +57,16 @@ class PsResource {
   /// CPU-seconds for machines, bytes for links). `on_done` fires exactly
   /// once, at the simulated completion instant. Zero/negative work
   /// completes at the current time (event still dispatched via the queue).
-  JobId Add(double work, std::function<void()> on_done);
+  JobId Add(double work, std::function<void()> on_done) {
+    return AddTraced(work, std::move(on_done), {}, 0);
+  }
+
+  /// Add plus an observability span covering the job's residency, on this
+  /// resource's track, named `label` (the category's name when empty) and
+  /// parented under `parent`. When no recorder is active this is exactly
+  /// Add.
+  JobId AddTraced(double work, std::function<void()> on_done,
+                  std::string_view label, obs::SpanId parent);
 
   /// Removes a job before completion; returns its remaining work.
   /// NotFound if the job is unknown or already completed.
@@ -82,6 +93,13 @@ class PsResource {
   /// Per-job service rate right now (0 when idle or down).
   double CurrentRatePerJob() const;
 
+  /// Span category for jobs on this resource (kTask for machines,
+  /// kTransfer for links). Default kTask.
+  void set_trace_category(obs::SpanCategory cat) { trace_category_ = cat; }
+
+  /// Span of an active job (0 when untraced or unknown).
+  obs::SpanId span_of(JobId id) const;
+
   /// Total work units delivered so far (for utilization accounting).
   double total_delivered() const;
 
@@ -93,6 +111,7 @@ class PsResource {
   struct Job {
     double finish_credit;  // virtual time at which the job completes
     std::function<void()> on_done;
+    obs::SpanId span = 0;  // open while the job is resident; 0 = untraced
   };
   struct HeapEntry {
     double credit;
@@ -121,10 +140,21 @@ class PsResource {
   // Per-job virtual service extrapolated to sim_->now() without mutating.
   double VirtualTimeNow() const;
 
+  // Interned ids for this resource's track, resolved once per
+  // observability install (epoch compare per traced Add).
+  struct TraceCache {
+    uint64_t epoch = 0;
+    obs::StrId track = 0;
+    obs::StrId default_name = 0;
+    obs::StrId work_key = 0;
+  };
+
   sim::Simulator* sim_;
   std::string name_;
   double capacity_;
   double max_per_job_;
+  obs::SpanCategory trace_category_ = obs::SpanCategory::kTask;
+  TraceCache trace_;
   double speed_factor_ = 1.0;
   double congestion_ = 1.0;
   std::map<JobId, Job> jobs_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace ff {
 namespace core {
 
@@ -45,8 +47,15 @@ util::StatusOr<std::vector<RunRequest>> ForeMan::BuildRequests(
 util::StatusOr<DayPlan> ForeMan::PlanDay(
     const std::vector<workload::ForecastSpec>& fleet,
     const std::map<std::string, std::string>* previous) {
+  obs::Span span(obs::SpanCategory::kPlan, "foreman.plan_day", "planner");
+  span.Arg("fleet", static_cast<double>(fleet.size()));
   FF_ASSIGN_OR_RETURN(last_requests_, BuildRequests(fleet));
-  return planner_.Plan(last_requests_, previous);
+  util::StatusOr<DayPlan> plan = planner_.Plan(last_requests_, previous);
+  if (plan.ok()) {
+    span.Arg("makespan", plan->makespan);
+    span.Arg("dropped", static_cast<double>(plan->dropped));
+  }
+  return plan;
 }
 
 util::StatusOr<DayPlan> ForeMan::MoveRun(const DayPlan& plan,

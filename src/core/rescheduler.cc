@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace ff {
@@ -49,6 +50,9 @@ util::StatusOr<RescheduleResult> RescheduleAfterFailure(
     const Planner& planner, const DayPlan& current,
     const std::vector<RunRequest>& requests, const std::string& failed_node,
     double failure_time, ReschedulePolicy policy) {
+  obs::Span span(obs::SpanCategory::kPlan, "reschedule", "planner");
+  span.Arg("policy", ReschedulePolicyName(policy));
+  span.Arg("failed_node", failed_node);
   bool known = false;
   for (const auto& n : planner.nodes()) {
     if (n.name == failed_node) known = true;
@@ -92,6 +96,7 @@ util::StatusOr<RescheduleResult> RescheduleAfterFailure(
         ++result.runs_moved;
       }
     }
+    span.Arg("runs_moved", static_cast<double>(result.runs_moved));
     return result;
   }
 
@@ -166,6 +171,8 @@ util::StatusOr<RescheduleResult> RescheduleAfterFailure(
   }
 
   result.plan = std::move(plan);
+  span.Arg("runs_moved", static_cast<double>(result.runs_moved));
+  span.Arg("runs_waiting", static_cast<double>(result.runs_waiting));
   return result;
 }
 

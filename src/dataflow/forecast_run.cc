@@ -78,6 +78,14 @@ void ForecastRun::Start() {
   FF_CHECK(!started_) << spec_.name << ": started twice";
   started_ = true;
   start_time_ = sim_->now();
+  if (obs::TraceRecorder* tr = obs::ActiveTrace()) {
+    span_ = tr->BeginSpan(sim_->now(), obs::SpanCategory::kRun, spec_.name,
+                          "runs");
+    tr->SpanArg(span_, "arch", ArchitectureName(cfg_.arch));
+    tr->SpanArg(span_, "node", node_->name());
+    tr->SpanArg(span_, "increments",
+                static_cast<double>(spec_.increments));
+  }
   StartSimIncrement(1);
   // Kick off the rsync and master-process cycles.
   rsync_scheduled_ = true;
@@ -86,9 +94,11 @@ void ForecastRun::Start() {
 }
 
 void ForecastRun::StartSimIncrement(int index) {
+  std::string label;
+  if (span_ != 0) label = spec_.name + ":sim";
   node_->StartTask(
       SimWorkPerIncrement(), [this, index] { OnSimIncrementDone(index); },
-      cfg_.sim_mem_bytes);
+      cfg_.sim_mem_bytes, label, span_);
 }
 
 void ForecastRun::OnSimIncrementDone(int index) {
@@ -146,9 +156,11 @@ void ForecastRun::TryLaunchProducts() {
           increments_done_ < spec_.increments) {
         work *= cfg_.colocated_io_penalty;
       }
+      std::string label;
+      if (span_ != 0) label = spec_.name + ":" + ps.spec->name;
       host->StartTask(
           work, [this, pi] { OnProductTaskDone(pi); },
-          cfg_.product_mem_bytes);
+          cfg_.product_mem_bytes, label, span_);
     }
   }
 }
@@ -200,11 +212,15 @@ void ForecastRun::RsyncCycle() {
     }
     if (total > 0.0) {
       transfer_in_flight_ = true;
+      std::string label;
+      if (span_ != 0) label = spec_.name + ":rsync";
       uplink_->StartTransfer(
-          total, [this, fa = std::move(file_amounts),
-                  pa = std::move(product_amounts)]() mutable {
+          total,
+          [this, fa = std::move(file_amounts),
+           pa = std::move(product_amounts)]() mutable {
             OnTransferDone(std::move(fa), std::move(pa));
-          });
+          },
+          label, span_);
     }
   }
   sim_->ScheduleAfter(cfg_.rsync_interval, [this] { RsyncCycle(); });
@@ -278,6 +294,12 @@ void ForecastRun::CheckDone() {
   }
   done_ = true;
   finish_time_ = sim_->now();
+  if (span_ != 0) {
+    if (obs::TraceRecorder* tr = obs::ActiveTrace()) {
+      tr->SpanArg(span_, "bytes_transferred", bytes_transferred_);
+      tr->EndSpan(span_, sim_->now());
+    }
+  }
   if (on_complete_) on_complete_();
 }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "obs/trace.h"
 #include "sim/series.h"
 #include "workload/cost_model.h"
 #include "workload/forecast_spec.h"
@@ -105,6 +106,10 @@ class ForecastRun {
 
   const workload::ForecastSpec& spec() const { return spec_; }
 
+  /// The run's kRun span while a recorder is active (0 otherwise). Child
+  /// task/transfer spans hang off it.
+  obs::SpanId span() const { return span_; }
+
  private:
   struct FileState {
     const workload::OutputFileSpec* spec;
@@ -149,6 +154,7 @@ class ForecastRun {
   std::vector<FileState> files_;
   std::vector<ProductState> products_;
 
+  obs::SpanId span_ = 0;
   bool started_ = false;
   bool done_ = false;
   int increments_done_ = 0;

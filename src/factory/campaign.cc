@@ -121,6 +121,10 @@ void Campaign::ApplyEvents(int day_index) {
       }
       case ChangeEvent::Kind::kNodeDown: {
         if (machines_.count(ev.str_value)) {
+          if (obs::TraceRecorder* tr = obs::ActiveTrace()) {
+            tr->Instant(sim_.now(), obs::SpanCategory::kPlan,
+                        "node_down:" + ev.str_value, "campaign");
+          }
           MachineOrDie(ev.str_value)->SetUp(false);
           HandleNodeDown(ev.str_value);
         }
@@ -128,6 +132,10 @@ void Campaign::ApplyEvents(int day_index) {
       }
       case ChangeEvent::Kind::kNodeUp: {
         if (machines_.count(ev.str_value)) {
+          if (obs::TraceRecorder* tr = obs::ActiveTrace()) {
+            tr->Instant(sim_.now(), obs::SpanCategory::kPlan,
+                        "node_up:" + ev.str_value, "campaign");
+          }
           MachineOrDie(ev.str_value)->SetUp(true);
         }
         break;
@@ -174,14 +182,24 @@ void Campaign::HandleNodeDown(const std::string& node) {
       rec.start_time = run.start_time;
       rec.status = logdata::RunStatus::kFailed;
       result_.records.push_back(rec);
+      if (run.span != 0) {
+        if (obs::TraceRecorder* tr = obs::ActiveTrace()) {
+          tr->SpanArg(run.span, "failed", 1.0);
+          tr->EndSpan(run.span, sim_.now());
+        }
+      }
       continue;
     }
     size_t index = static_cast<size_t>(&run - active_runs_.data());
     run.node = target;
     pending_work_[target] += *remaining;
     run.task = MachineOrDie(target)->StartTask(
-        *remaining, [this, index] { OnRunComplete(index); });
+        *remaining, [this, index] { OnRunComplete(index); }, 0.0,
+        run.forecast, run.span);
     ++result_.failure_migrations;
+    if (obs::MetricsRegistry* m = obs::ActiveMetrics()) {
+      m->counter("campaign.failure_migrations")->Increment();
+    }
   }
   // Reassign the forecasts themselves so tomorrow's launches avoid the
   // dead node.
@@ -280,6 +298,13 @@ void Campaign::RebalanceIfNeeded(int day_index) {
       victim->node = target;
       victim->overload_streak = 0;
       ++result_.foreman_moves;
+      if (obs::TraceRecorder* tr = obs::ActiveTrace()) {
+        tr->Instant(sim_.now(), obs::SpanCategory::kPlan,
+                    "foreman.move:" + victim->spec.name, "campaign");
+      }
+      if (obs::MetricsRegistry* m = obs::ActiveMetrics()) {
+        m->counter("campaign.foreman_moves")->Increment();
+      }
       acted = true;
     }
   }
@@ -329,11 +354,20 @@ void Campaign::LaunchRun(ForecastEntry* entry, int day_index) {
   run.node = entry->node;
   run.start_time = sim_.now();
   run.work = work;
+  if (obs::TraceRecorder* tr = obs::ActiveTrace()) {
+    run.span = tr->BeginSpan(sim_.now(), obs::SpanCategory::kRun,
+                             run.forecast, "runs");
+    tr->SpanArg(run.span, "day",
+                static_cast<double>(config_.first_day + day_index));
+    tr->SpanArg(run.span, "node", entry->node);
+    tr->SpanArg(run.span, "work", work);
+  }
   size_t index = active_runs_.size();
   pending_work_[entry->node] += work;
   active_runs_.push_back(run);
   active_runs_[index].task = MachineOrDie(entry->node)->StartTask(
-      work, [this, index] { OnRunComplete(index); });
+      work, [this, index] { OnRunComplete(index); }, 0.0, run.forecast,
+      run.span);
   LiveDbUpsert(MakeRecord(active_runs_[index], logdata::RunStatus::kRunning));
 }
 
@@ -345,10 +379,95 @@ void Campaign::OnRunComplete(size_t run_index) {
   int day = config_.first_day + run.day_index;
   result_.walltimes[run.forecast].push_back(DaySample{day, walltime});
 
+  if (run.span != 0) {
+    if (obs::TraceRecorder* tr = obs::ActiveTrace()) {
+      tr->EndSpan(run.span, sim_.now());
+    }
+  }
+  if (obs::MetricsRegistry* m = obs::ActiveMetrics()) {
+    m->counter("campaign.runs_completed")->Increment();
+    m->histogram("campaign.walltime",
+                 {3600.0, 7200.0, 14400.0, 28800.0, 43200.0, 86400.0,
+                  172800.0})
+        ->Observe(walltime);
+    m->Record(sim_.now(), "campaign.walltime." + run.forecast, walltime);
+  }
+  SpcCheck(run.forecast, walltime);
+
   logdata::LogRecord rec =
       MakeRecord(run, logdata::RunStatus::kCompleted);
   LiveDbUpsert(rec);
   result_.records.push_back(std::move(rec));
+}
+
+void Campaign::SpcCheck(const std::string& forecast, double walltime) {
+  if (!config_.spc_replan) return;
+  SpcState& st = spc_[forecast];
+  st.history.push_back(walltime);
+  if (!st.fitted) {
+    if (st.history.size() >=
+        static_cast<size_t>(std::max(config_.spc_baseline_days, 5))) {
+      auto chart = logdata::FitControlChart(st.history);
+      if (chart.ok()) {
+        st.chart = *chart;
+        st.fitted = true;
+        st.history.clear();
+      }
+    }
+    return;
+  }
+  // Only the newest sample can fire; earlier signals were already seen.
+  bool fire = false;
+  for (const auto& s : logdata::Monitor(st.chart, st.history)) {
+    if (s.index == st.history.size() - 1 && s.above) {
+      fire = true;
+      break;
+    }
+  }
+  if (!fire) return;
+  ++result_.spc_signals;
+  if (obs::MetricsRegistry* m = obs::ActiveMetrics()) {
+    m->counter("campaign.spc_signals")->Increment();
+  }
+  if (obs::TraceRecorder* tr = obs::ActiveTrace()) {
+    tr->Instant(sim_.now(), obs::SpanCategory::kSpc,
+                "spc.signal:" + forecast, "spc");
+  }
+  // Re-plan: move the forecast to the least-loaded node and refit the
+  // chart under the new placement (old limits no longer apply).
+  auto it = forecasts_.find(forecast);
+  if (it == forecasts_.end()) return;
+  std::string target = LeastLoadedNode(it->second.node);
+  st.fitted = false;
+  st.history.clear();
+  if (target.empty() || target == it->second.node) return;
+  it->second.node = target;
+  ++result_.spc_replans;
+  if (obs::MetricsRegistry* m = obs::ActiveMetrics()) {
+    m->counter("campaign.spc_replans")->Increment();
+  }
+  if (obs::TraceRecorder* tr = obs::ActiveTrace()) {
+    tr->Instant(sim_.now(), obs::SpanCategory::kPlan,
+                "spc.replan:" + forecast + "->" + target, "campaign");
+  }
+}
+
+void Campaign::MetricsTick(double period, double t_end) {
+  obs::MetricsRegistry* m = obs::ActiveMetrics();
+  if (m == nullptr) return;
+  for (const auto& name : node_order_) {
+    const auto& mach = machines_.at(name);
+    m->gauge("node.util." + name)->Set(mach->AverageUtilization(0.0));
+    m->gauge("node.tasks." + name)
+        ->Set(static_cast<double>(mach->active_tasks()));
+  }
+  m->SampleAll(sim_.now());
+  double next = sim_.now() + period;
+  if (next <= t_end) {
+    sim_.ScheduleAt(next, [this, period, t_end] {
+      MetricsTick(period, t_end);
+    });
+  }
 }
 
 void Campaign::LaunchDay(int day_index) {
@@ -371,7 +490,24 @@ util::StatusOr<CampaignResult> Campaign::Run() {
     return util::Status::FailedPrecondition("no nodes");
   }
   for (int d = 0; d < config_.num_days; ++d) ScheduleDay(d);
+  obs::TraceRecorder* tr = obs::ActiveTrace();
+  if (tr != nullptr) {
+    tr->SetClock([this] { return sim_.now(); });
+  }
+  if (obs::ActiveMetrics() != nullptr && config_.metrics_sample_period > 0) {
+    double t_end = config_.num_days * kDay;
+    double first = std::min(config_.metrics_sample_period, t_end);
+    sim_.ScheduleAt(first, [this, t_end] {
+      MetricsTick(config_.metrics_sample_period, t_end);
+    });
+  }
   sim_.Run();
+  if (obs::MetricsRegistry* m = obs::ActiveMetrics()) {
+    m->SampleAll(sim_.now());
+  }
+  // Drop the clock before the campaign (and its simulator) can outlive
+  // this call's caller-owned recorder usage.
+  if (tr != nullptr) tr->SetClock(nullptr);
 
   // Anything still active stalled on a dead node: record as running.
   for (const auto& run : active_runs_) {

@@ -21,6 +21,9 @@
 #include "cluster/machine.h"
 #include "core/rescheduler.h"
 #include "logdata/log_record.h"
+#include "logdata/spc.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "statsdb/database.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
@@ -78,6 +81,19 @@ struct CampaignConfig {
   /// "insert commands into the run scripts to update the database"
   /// alternative to periodic crawling. The table is created when absent.
   statsdb::Database* live_db = nullptr;
+
+  /// Virtual-time period of the metrics ticker (per-node utilization and
+  /// task-count gauges plus a SampleAll snapshot). Only runs while a
+  /// MetricsRegistry is installed; 0 disables it.
+  double metrics_sample_period = 3600.0;
+
+  /// SPC monitor -> replan loop (§1: control charts on run times). Per
+  /// forecast, the first `spc_baseline_days` completed walltimes fit an
+  /// X-mR chart; a subsequent out-of-control signal above the center line
+  /// moves the forecast to the least-loaded node and refits the chart
+  /// under the new placement.
+  bool spc_replan = false;
+  int spc_baseline_days = 14;
 };
 
 /// One walltime sample.
@@ -94,6 +110,9 @@ struct CampaignResult {
   std::vector<logdata::LogRecord> records;
   int foreman_moves = 0;
   int failure_migrations = 0;
+  /// SPC monitor outcomes (only when CampaignConfig::spc_replan).
+  int spc_signals = 0;
+  int spc_replans = 0;
 };
 
 /// The campaign driver.
@@ -132,6 +151,12 @@ class Campaign {
     cluster::TaskId task;
     double start_time;
     double work;
+    obs::SpanId span = 0;  // kRun span; open until completion
+  };
+  struct SpcState {
+    std::vector<double> history;  // pre-fit baseline, then monitored tail
+    logdata::ControlChart chart;
+    bool fitted = false;
   };
 
   void ScheduleDay(int day_index);
@@ -144,6 +169,8 @@ class Campaign {
                                 logdata::RunStatus status) const;
   void OnRunComplete(size_t run_index);
   void HandleNodeDown(const std::string& node);
+  void MetricsTick(double period, double t_end);
+  void SpcCheck(const std::string& forecast, double walltime);
   cluster::Machine* MachineOrDie(const std::string& name);
   std::string LeastLoadedNode(const std::string& excluded) const;
 
@@ -156,6 +183,7 @@ class Campaign {
   std::vector<ChangeEvent> events_;
   std::vector<ActiveRun> active_runs_;  // stable storage; entries retire
   std::map<std::string, double> pending_work_;  // node -> queued+running
+  std::map<std::string, SpcState> spc_;
   CampaignResult result_;
   bool ran_ = false;
 };

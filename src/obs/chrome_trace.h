@@ -1,0 +1,62 @@
+// Exporters for the recorded telemetry:
+//   - Chrome trace_event JSON, loadable in Perfetto / chrome://tracing
+//     (spans as complete "X" events on one lane per track, instants as
+//     "i" events, metric samples as "C" counter events);
+//   - flat CSV (spans / metric samples) for spreadsheets and statsdb
+//     ingestion via csv_io.
+//
+// Output is byte-deterministic for a given recorder state: lanes are
+// numbered in first-use order, events are emitted in record order, and
+// every floating-point field is formatted with a fixed printf format —
+// a fixed-seed simulation therefore exports a byte-identical trace
+// (golden-tested in tests/obs/trace_test.cc).
+
+#ifndef FF_OBS_CHROME_TRACE_H_
+#define FF_OBS_CHROME_TRACE_H_
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace ff {
+namespace obs {
+
+struct ChromeTraceOptions {
+  /// The "process_name" metadata shown by the viewer.
+  std::string process_name = "forecast-factory";
+  /// Include "C" counter events from the metrics sample series.
+  bool include_counters = true;
+};
+
+/// Writes the Chrome trace_event JSON document. `metrics` may be null.
+/// Virtual seconds map to trace microseconds (1 s = 1e6 us), so lanes are
+/// labelled in wall-ish units inside the viewer.
+void WriteChromeTrace(const TraceRecorder& trace,
+                      const MetricsRegistry* metrics, std::ostream* out,
+                      const ChromeTraceOptions& options = {});
+
+std::string ChromeTraceJson(const TraceRecorder& trace,
+                            const MetricsRegistry* metrics = nullptr,
+                            const ChromeTraceOptions& options = {});
+
+/// Writes the JSON to `path`; IO errors become util::Status.
+util::Status WriteChromeTraceFile(const std::string& path,
+                                  const TraceRecorder& trace,
+                                  const MetricsRegistry* metrics = nullptr,
+                                  const ChromeTraceOptions& options = {});
+
+/// CSV: span_id,parent_id,category,name,track,start_s,end_s,duration_s.
+/// Open spans export with end_s == start_s.
+void WriteSpansCsv(const TraceRecorder& trace, std::ostream* out);
+
+/// CSV: time_s,metric,value.
+void WriteMetricSamplesCsv(const MetricsRegistry& metrics,
+                           std::ostream* out);
+
+}  // namespace obs
+}  // namespace ff
+
+#endif  // FF_OBS_CHROME_TRACE_H_

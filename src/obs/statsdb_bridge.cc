@@ -1,0 +1,101 @@
+#include "obs/statsdb_bridge.h"
+
+#include <utility>
+
+namespace ff {
+namespace obs {
+
+namespace {
+
+using statsdb::Column;
+using statsdb::DataType;
+using statsdb::Row;
+using statsdb::Schema;
+using statsdb::Table;
+using statsdb::Value;
+
+util::StatusOr<Table*> FreshTable(statsdb::Database* db,
+                                  const std::string& name, Schema schema) {
+  if (db->HasTable(name)) {
+    FF_RETURN_NOT_OK(db->DropTable(name));
+  }
+  return db->CreateTable(name, std::move(schema));
+}
+
+}  // namespace
+
+util::StatusOr<Table*> LoadSpans(const TraceRecorder& trace,
+                                 statsdb::Database* db,
+                                 const std::string& table_name) {
+  FF_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Create({Column{"span_id", DataType::kInt64},
+                      Column{"parent_id", DataType::kInt64},
+                      Column{"category", DataType::kString},
+                      Column{"name", DataType::kString},
+                      Column{"track", DataType::kString},
+                      Column{"start_s", DataType::kDouble},
+                      Column{"end_s", DataType::kDouble},
+                      Column{"duration_s", DataType::kDouble}}));
+  FF_ASSIGN_OR_RETURN(Table * table,
+                      FreshTable(db, table_name, std::move(schema)));
+  for (size_t i = 0; i < trace.spans().size(); ++i) {
+    const SpanRecord& s = trace.spans()[i];
+    double end = s.end < 0.0 ? s.start : s.end;
+    Row row{Value::Int64(static_cast<int64_t>(i + 1)),
+            Value::Int64(static_cast<int64_t>(s.parent)),
+            Value::String(SpanCategoryName(s.category)),
+            Value::String(trace.str(s.name)),
+            Value::String(trace.str(s.track)),
+            Value::Double(s.start),
+            Value::Double(end),
+            Value::Double(end - s.start)};
+    FF_RETURN_NOT_OK(table->Insert(std::move(row)));
+  }
+  FF_RETURN_NOT_OK(table->CreateIndex("category"));
+  return table;
+}
+
+util::StatusOr<Table*> LoadInstants(const TraceRecorder& trace,
+                                    statsdb::Database* db,
+                                    const std::string& table_name) {
+  FF_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Create({Column{"time_s", DataType::kDouble},
+                      Column{"category", DataType::kString},
+                      Column{"name", DataType::kString},
+                      Column{"track", DataType::kString}}));
+  FF_ASSIGN_OR_RETURN(Table * table,
+                      FreshTable(db, table_name, std::move(schema)));
+  for (const auto& ev : trace.instants()) {
+    Row row{Value::Double(ev.time),
+            Value::String(SpanCategoryName(ev.category)),
+            Value::String(trace.str(ev.name)),
+            Value::String(trace.str(ev.track))};
+    FF_RETURN_NOT_OK(table->Insert(std::move(row)));
+  }
+  return table;
+}
+
+util::StatusOr<Table*> LoadMetricSamples(const MetricsRegistry& metrics,
+                                         statsdb::Database* db,
+                                         const std::string& table_name) {
+  FF_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Create({Column{"time_s", DataType::kDouble},
+                      Column{"metric", DataType::kString},
+                      Column{"value", DataType::kDouble}}));
+  FF_ASSIGN_OR_RETURN(Table * table,
+                      FreshTable(db, table_name, std::move(schema)));
+  for (const auto& s : metrics.samples()) {
+    Row row{Value::Double(s.time),
+            Value::String(metrics.metric_name(s.metric)),
+            Value::Double(s.value)};
+    FF_RETURN_NOT_OK(table->Insert(std::move(row)));
+  }
+  FF_RETURN_NOT_OK(table->CreateIndex("metric"));
+  return table;
+}
+
+}  // namespace obs
+}  // namespace ff

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace ff {
@@ -16,10 +18,17 @@ bool EventHandle::pending() const {
   return state_ && !state_->cancelled && !state_->fired;
 }
 
+void Simulator::RefreshMetricsCache(obs::MetricsRegistry* m) {
+  metrics_.epoch = obs::ObsEpoch();
+  metrics_.events = m->counter("sim.events_dispatched");
+  metrics_.compactions = m->counter("sim.queue_compactions");
+  metrics_.queue_depth = m->gauge("sim.queue_depth");
+}
+
 EventHandle Simulator::ScheduleAt(Time t, std::function<void()> fn,
                                   int priority) {
-  FF_CHECK(t >= now_) << "ScheduleAt in the past: t=" << t
-                      << " now=" << now_;
+  FF_DCHECK(t >= now_) << "ScheduleAt in the past: t=" << t
+                       << " now=" << now_;
   EventHandle handle;
   handle.state_ = std::make_shared<EventHandle::State>();
   queue_.push_back(QueuedEvent{t, priority, next_seq_++, std::move(fn),
@@ -30,7 +39,7 @@ EventHandle Simulator::ScheduleAt(Time t, std::function<void()> fn,
 
 EventHandle Simulator::ScheduleAfter(Time delay, std::function<void()> fn,
                                      int priority) {
-  FF_CHECK(delay >= 0.0) << "negative delay " << delay;
+  FF_DCHECK(delay >= 0.0) << "negative delay " << delay;
   return ScheduleAt(now_ + delay, std::move(fn), priority);
 }
 
@@ -61,6 +70,10 @@ void Simulator::MaybeCompact() {
                queue_.end());
   std::make_heap(queue_.begin(), queue_.end(), Later{});
   cancelled_in_queue_ = 0;
+  if (obs::MetricsRegistry* m = obs::ActiveMetrics()) {
+    if (obs::ObsEpoch() != metrics_.epoch) RefreshMetricsCache(m);
+    metrics_.compactions->Increment();
+  }
 }
 
 bool Simulator::Step() {
@@ -70,10 +83,15 @@ bool Simulator::Step() {
       --cancelled_in_queue_;
       continue;
     }
-    FF_CHECK(ev.time >= now_) << "event queue time went backwards";
+    FF_DCHECK(ev.time >= now_) << "event queue time went backwards";
     now_ = ev.time;
     ev.state->fired = true;
     ++events_processed_;
+    if (obs::MetricsRegistry* m = obs::ActiveMetrics()) {
+      if (obs::ObsEpoch() != metrics_.epoch) RefreshMetricsCache(m);
+      metrics_.events->Increment();
+      metrics_.queue_depth->Set(static_cast<double>(queue_.size()));
+    }
     ev.fn();
     return true;
   }

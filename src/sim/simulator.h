@@ -26,6 +26,12 @@
 #include "util/status.h"
 
 namespace ff {
+namespace obs {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+}  // namespace obs
+
 namespace sim {
 
 /// Simulated time in seconds since the scenario epoch.
@@ -113,7 +119,20 @@ class Simulator {
   // Rebuilds the heap without tombstones once they exceed half the queue.
   void MaybeCompact();
 
+  // Kernel metrics (events dispatched, tombstone compactions, queue
+  // depth), resolved once per observability install (epoch) and then one
+  // integer compare per event; dead code entirely when no registry is
+  // installed.
+  struct MetricsCache {
+    uint64_t epoch = 0;
+    obs::Counter* events = nullptr;
+    obs::Counter* compactions = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+  };
+  void RefreshMetricsCache(obs::MetricsRegistry* m);
+
   std::vector<QueuedEvent> queue_;
+  MetricsCache metrics_;
   size_t cancelled_in_queue_ = 0;
   Time now_ = 0.0;
   uint64_t next_seq_ = 0;

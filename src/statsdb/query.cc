@@ -8,6 +8,7 @@
 #include "util/csv.h"
 #include "util/logging.h"
 #include "util/strings.h"
+#include "util/summary_stats.h"
 
 namespace ff {
 namespace statsdb {
@@ -26,6 +27,8 @@ const char* AggFuncName(AggFunc f) {
       return "MIN";
     case AggFunc::kMax:
       return "MAX";
+    case AggFunc::kP95:
+      return "P95";
   }
   return "?";
 }
@@ -191,8 +194,10 @@ struct AggState {
   size_t count = 0;
   double sum = 0.0;
   bool sum_is_double = false;
+  bool keep_values = false;  // only order statistics (P95) pay for this
   Value min_v;
   Value max_v;
+  std::vector<double> values;
 
   void Add(const Value& v) {
     if (v.is_null()) return;
@@ -200,6 +205,7 @@ struct AggState {
     if (v.type() == DataType::kInt64 || v.type() == DataType::kDouble) {
       sum += *v.AsDouble();
       if (v.type() == DataType::kDouble) sum_is_double = true;
+      if (keep_values) values.push_back(*v.AsDouble());
     }
     if (min_v.is_null() || v.Compare(min_v) < 0) min_v = v;
     if (max_v.is_null() || v.Compare(max_v) > 0) max_v = v;
@@ -251,6 +257,15 @@ class AggregateNode : public PlanNode {
           t = at == DataType::kNull ? DataType::kString : at;
           break;
         }
+        case AggFunc::kP95: {
+          FF_ASSIGN_OR_RETURN(DataType at, a.arg->ResultType(in.schema));
+          if (at != DataType::kInt64 && at != DataType::kDouble &&
+              at != DataType::kNull) {
+            return util::Status::InvalidArgument("P95 requires numeric");
+          }
+          t = DataType::kDouble;
+          break;
+        }
       }
       std::string name = a.alias;
       if (name.empty()) {
@@ -299,7 +314,7 @@ class AggregateNode : public PlanNode {
       for (size_t i : key_cols) key.push_back(row[i]);
       auto [it, inserted] = group_index.try_emplace(key, groups.size());
       if (inserted) {
-        groups.push_back(Group{key, std::vector<AggState>(aggs_.size())});
+        groups.push_back(Group{key, NewStates()});
       }
       Group& g = groups[it->second];
       for (size_t a = 0; a < aggs_.size(); ++a) {
@@ -314,7 +329,7 @@ class AggregateNode : public PlanNode {
 
     // Global aggregate over an empty input still yields one row.
     if (groups.empty() && key_cols.empty()) {
-      groups.push_back(Group{{}, std::vector<AggState>(aggs_.size())});
+      groups.push_back(Group{{}, NewStates()});
     }
 
     ResultSet out{Schema(std::move(out_cols)), {}};
@@ -351,6 +366,15 @@ class AggregateNode : public PlanNode {
           case AggFunc::kMax:
             row.push_back(st.max_v);
             break;
+          case AggFunc::kP95: {
+            if (st.values.empty()) {
+              row.push_back(Value::Null());
+              break;
+            }
+            auto p = util::Percentile(st.values, 95.0);
+            row.push_back(p.ok() ? Value::Double(*p) : Value::Null());
+            break;
+          }
         }
       }
       out.rows.push_back(std::move(row));
@@ -369,6 +393,15 @@ class AggregateNode : public PlanNode {
   }
 
  private:
+  // Fresh per-group accumulators; only P95 states buffer raw values.
+  std::vector<AggState> NewStates() const {
+    std::vector<AggState> states(aggs_.size());
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      if (aggs_[a].func == AggFunc::kP95) states[a].keep_values = true;
+    }
+    return states;
+  }
+
   PlanPtr input_;
   std::vector<std::string> group_by_;
   std::vector<AggSpec> aggs_;

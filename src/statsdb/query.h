@@ -43,6 +43,7 @@ enum class AggFunc {
   kAvg,
   kMin,
   kMax,
+  kP95,  // 95th percentile of a numeric column (telemetry analytics)
 };
 
 const char* AggFuncName(AggFunc f);

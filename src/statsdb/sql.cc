@@ -439,6 +439,7 @@ class Parser {
     if (util::EqualsIgnoreCase(name, "AVG")) return AggFunc::kAvg;
     if (util::EqualsIgnoreCase(name, "MIN")) return AggFunc::kMin;
     if (util::EqualsIgnoreCase(name, "MAX")) return AggFunc::kMax;
+    if (util::EqualsIgnoreCase(name, "P95")) return AggFunc::kP95;
     return std::nullopt;
   }
 

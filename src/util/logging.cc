@@ -1,6 +1,9 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
 
 namespace ff {
@@ -8,6 +11,19 @@ namespace util {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+LogSink g_sink;  // single-threaded; guarded only by the library contract
+
+// "2026-08-06 14:03:07.123" in local time.
+std::string WallClockStamp() {
+  struct timespec ts;
+  clock_gettime(CLOCK_REALTIME, &ts);
+  struct tm tm_buf;
+  localtime_r(&ts.tv_sec, &tm_buf);
+  char buf[32];
+  size_t n = strftime(buf, sizeof(buf), "%Y-%m-%d %H:%M:%S", &tm_buf);
+  snprintf(buf + n, sizeof(buf) - n, ".%03ld", ts.tv_nsec / 1000000L);
+  return buf;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -34,15 +50,22 @@ LogLevel GetMinLogLevel() {
   return static_cast<LogLevel>(g_min_level.load());
 }
 
+void SetLogSink(LogSink sink) { g_sink = std::move(sink); }
+
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+  stream_ << "[" << WallClockStamp() << " " << LevelName(level) << " "
+          << file << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
   if (static_cast<int>(level_) >= g_min_level.load() ||
       level_ == LogLevel::kFatal) {
-    std::cerr << stream_.str() << std::endl;
+    if (g_sink) {
+      g_sink(level_, stream_.str());
+    } else {
+      std::cerr << stream_.str() << std::endl;
+    }
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

@@ -7,6 +7,7 @@
 #define FF_UTIL_LOGGING_H_
 
 #include <cstdlib>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -25,6 +26,14 @@ enum class LogLevel : int {
 /// library internals stay quiet in tests and benches).
 void SetMinLogLevel(LogLevel level);
 LogLevel GetMinLogLevel();
+
+/// Receives every emitted message (already formatted, no trailing
+/// newline). Installing a sink replaces the default std::cerr output;
+/// pass nullptr to restore it. Fatal messages still abort after the sink
+/// returns. Single-threaded like the rest of the library; meant for test
+/// capture and log redirection.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void SetLogSink(LogSink sink);
 
 /// Internal: one log statement. Emits on destruction; aborts for kFatal.
 class LogMessage {
@@ -72,6 +81,16 @@ class LogMessageVoidify {
          : ::ff::util::LogMessageVoidify() &           \
                FF_LOG(FATAL) << "Check failed: " #cond " "
 
+/// Debug-only check: compiled out in optimized builds (NDEBUG) so hot-path
+/// invariants (event-queue ordering, PS-heap consistency) cost nothing in
+/// production; define FF_FORCE_DCHECK to keep them on regardless (the test
+/// suite does). The `true || (cond)` form keeps `cond` parsed and its
+/// variables "used" while the short-circuit makes the whole statement —
+/// including the streamed message — dead code.
+#if defined(NDEBUG) && !defined(FF_FORCE_DCHECK)
+#define FF_DCHECK(cond) FF_CHECK(true || (cond))
+#else
 #define FF_DCHECK(cond) FF_CHECK(cond)
+#endif
 
 #endif  // FF_UTIL_LOGGING_H_

@@ -1,0 +1,89 @@
+#include "obs/statsdb_bridge.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "statsdb/database.h"
+
+namespace ff {
+namespace obs {
+namespace {
+
+class StatsdbBridgeTest : public ::testing::Test {
+ protected:
+  statsdb::ResultSet Sql(const std::string& q) {
+    auto rs = db_.Sql(q);
+    EXPECT_TRUE(rs.ok()) << q << " -> " << rs.status();
+    return rs.ok() ? *rs : statsdb::ResultSet{};
+  }
+
+  statsdb::Database db_;
+};
+
+TEST_F(StatsdbBridgeTest, LoadSpansAnswersP95PerTrack) {
+  TraceRecorder tr;
+  StrId name = tr.Intern("sim");
+  // 20 task spans on f1 with durations 1..20s, and one transfer span that
+  // the category filter must exclude.
+  for (int i = 1; i <= 20; ++i) {
+    SpanId s = tr.BeginSpan(100.0 * i, SpanCategory::kTask, name,
+                            tr.Intern("f1"));
+    tr.EndSpan(s, 100.0 * i + i);
+  }
+  SpanId xfer =
+      tr.BeginSpan(0.0, SpanCategory::kTransfer, "rsync", "uplink");
+  tr.EndSpan(xfer, 999.0);
+
+  ASSERT_TRUE(LoadSpans(tr, &db_).ok());
+  auto rs = Sql(
+      "SELECT track, COUNT(*) AS n, P95(duration_s) AS p95_s FROM spans "
+      "WHERE category = 'task' GROUP BY track ORDER BY track");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].string_value(), "f1");
+  EXPECT_EQ(rs.rows[0][1].int64_value(), 20);
+  // Percentile with linear interpolation: 0.95*(20-1) = 18.05 -> 19.05.
+  EXPECT_NEAR(*rs.rows[0][2].AsDouble(), 19.05, 1e-9);
+}
+
+TEST_F(StatsdbBridgeTest, LoadSpansReplacesExistingTable) {
+  TraceRecorder tr;
+  SpanId s = tr.BeginSpan(0.0, SpanCategory::kRun, "r", "runs");
+  tr.EndSpan(s, 1.0);
+  ASSERT_TRUE(LoadSpans(tr, &db_).ok());
+  ASSERT_TRUE(LoadSpans(tr, &db_).ok());  // reload must not duplicate
+  auto rs = Sql("SELECT COUNT(*) AS n FROM spans");
+  EXPECT_EQ(rs.rows[0][0].int64_value(), 1);
+}
+
+TEST_F(StatsdbBridgeTest, LoadInstantsAndMetricSamples) {
+  TraceRecorder tr;
+  tr.Instant(50.0, SpanCategory::kSpc, "spc.signal:tide", "spc");
+  ASSERT_TRUE(LoadInstants(tr, &db_).ok());
+  auto events = Sql("SELECT name FROM trace_events WHERE category = 'spc'");
+  ASSERT_EQ(events.rows.size(), 1u);
+  EXPECT_EQ(events.rows[0][0].string_value(), "spc.signal:tide");
+
+  MetricsRegistry m;
+  m.counter("runs")->Add(3);
+  m.SampleAll(60.0);
+  m.SampleAll(120.0);
+  ASSERT_TRUE(LoadMetricSamples(m, &db_).ok());
+  auto samples = Sql(
+      "SELECT COUNT(*) AS n, MAX(time_s) AS t FROM metric_samples "
+      "WHERE metric = 'runs'");
+  EXPECT_EQ(samples.rows[0][0].int64_value(), 2);
+  EXPECT_DOUBLE_EQ(*samples.rows[0][1].AsDouble(), 120.0);
+}
+
+TEST_F(StatsdbBridgeTest, P95OfEmptyGroupIsNull) {
+  ASSERT_TRUE(db_.Sql("CREATE TABLE t (x DOUBLE)").ok());
+  ASSERT_TRUE(db_.Sql("INSERT INTO t VALUES (NULL)").ok());
+  auto rs = Sql("SELECT P95(x) AS p FROM t");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_TRUE(rs.rows[0][0].is_null());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ff

@@ -1,0 +1,88 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <string>
+#include <vector>
+
+namespace ff {
+namespace util {
+namespace {
+
+struct Captured {
+  LogLevel level;
+  std::string text;
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prev_level_ = GetMinLogLevel();
+    SetMinLogLevel(LogLevel::kDebug);
+    SetLogSink([this](LogLevel level, const std::string& text) {
+      captured_.push_back({level, text});
+    });
+  }
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetMinLogLevel(prev_level_);
+  }
+
+  std::vector<Captured> captured_;
+  LogLevel prev_level_;
+};
+
+TEST_F(LoggingTest, SinkReceivesFormattedMessage) {
+  FF_LOG(WARNING) << "disk " << 42 << " full";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].level, LogLevel::kWarning);
+  EXPECT_NE(captured_[0].text.find("disk 42 full"), std::string::npos);
+  EXPECT_NE(captured_[0].text.find("logging_test.cc"), std::string::npos);
+}
+
+TEST_F(LoggingTest, PrefixHasTimestampSeverityAndLocation) {
+  FF_LOG(INFO) << "hello";
+  ASSERT_EQ(captured_.size(), 1u);
+  // [YYYY-MM-DD hh:mm:ss.mmm LEVEL file:line] message
+  std::regex prefix(
+      R"(^\[\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2}\.\d{3} INFO )"
+      R"(\S*logging_test\.cc:\d+\] hello$)");
+  EXPECT_TRUE(std::regex_match(captured_[0].text, prefix))
+      << captured_[0].text;
+}
+
+TEST_F(LoggingTest, MinLevelFiltersBelowThreshold) {
+  SetMinLogLevel(LogLevel::kError);
+  FF_LOG(DEBUG) << "quiet";
+  FF_LOG(WARNING) << "also quiet";
+  FF_LOG(ERROR) << "loud";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].level, LogLevel::kError);
+}
+
+TEST_F(LoggingTest, CheckPassesWithoutEmitting) {
+  FF_CHECK(1 + 1 == 2) << "never streamed";
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LoggingTest, DcheckActiveUnderForcedDebugChecks) {
+  // The test suite compiles with FF_FORCE_DCHECK, so FF_DCHECK evaluates
+  // its condition even in optimized builds.
+  int evaluations = 0;
+  auto count = [&] {
+    ++evaluations;
+    return true;
+  };
+  FF_DCHECK(count());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LoggingDeathTest, FatalAborts) {
+  EXPECT_DEATH(FF_LOG(FATAL) << "boom", "boom");
+  EXPECT_DEATH(FF_CHECK(false) << "invariant", "Check failed");
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace ff
