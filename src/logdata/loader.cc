@@ -54,8 +54,30 @@ util::StatusOr<Table*> LoadRuns(statsdb::Database* db,
   }
   FF_ASSIGN_OR_RETURN(Table * table, db->CreateTable(kRunsTable,
                                                      RunsSchema()));
-  for (const auto& r : records) {
-    FF_RETURN_NOT_OK(table->Insert(RecordToRow(r)));
+  {
+    // Bulk columnar append: cells go straight into the typed column
+    // vectors, skipping per-row Row construction and validation.
+    Table::BulkAppender app(table);
+    app.Reserve(records.size());
+    for (const auto& r : records) {
+      bool finished = r.status == RunStatus::kCompleted;
+      app.String(r.forecast)
+          .String(r.region)
+          .Int64(r.day)
+          .String(r.node)
+          .String(r.code_version)
+          .Int64(r.mesh_sides)
+          .Int64(r.timesteps)
+          .Double(r.start_time);
+      if (finished) {
+        app.Double(r.end_time).Double(r.walltime);
+      } else {
+        app.Null().Null();
+      }
+      app.String(RunStatusName(r.status));
+      FF_RETURN_NOT_OK(app.EndRow());
+    }
+    FF_RETURN_NOT_OK(app.Finish());
   }
   FF_RETURN_NOT_OK(table->CreateIndex("forecast"));
   FF_RETURN_NOT_OK(table->CreateIndex("code_version"));

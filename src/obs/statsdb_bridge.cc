@@ -39,19 +39,22 @@ util::StatusOr<Table*> LoadSpans(const TraceRecorder& trace,
                       Column{"duration_s", DataType::kDouble}}));
   FF_ASSIGN_OR_RETURN(Table * table,
                       FreshTable(db, table_name, std::move(schema)));
+  Table::BulkAppender app(table);
+  app.Reserve(trace.spans().size());
   for (size_t i = 0; i < trace.spans().size(); ++i) {
     const SpanRecord& s = trace.spans()[i];
     double end = s.end < 0.0 ? s.start : s.end;
-    Row row{Value::Int64(static_cast<int64_t>(i + 1)),
-            Value::Int64(static_cast<int64_t>(s.parent)),
-            Value::String(SpanCategoryName(s.category)),
-            Value::String(trace.str(s.name)),
-            Value::String(trace.str(s.track)),
-            Value::Double(s.start),
-            Value::Double(end),
-            Value::Double(end - s.start)};
-    FF_RETURN_NOT_OK(table->Insert(std::move(row)));
+    app.Int64(static_cast<int64_t>(i + 1))
+        .Int64(static_cast<int64_t>(s.parent))
+        .String(SpanCategoryName(s.category))
+        .String(trace.str(s.name))
+        .String(trace.str(s.track))
+        .Double(s.start)
+        .Double(end)
+        .Double(end - s.start);
+    FF_RETURN_NOT_OK(app.EndRow());
   }
+  FF_RETURN_NOT_OK(app.Finish());
   FF_RETURN_NOT_OK(table->CreateIndex("category"));
   return table;
 }
@@ -67,13 +70,16 @@ util::StatusOr<Table*> LoadInstants(const TraceRecorder& trace,
                       Column{"track", DataType::kString}}));
   FF_ASSIGN_OR_RETURN(Table * table,
                       FreshTable(db, table_name, std::move(schema)));
+  Table::BulkAppender app(table);
+  app.Reserve(trace.instants().size());
   for (const auto& ev : trace.instants()) {
-    Row row{Value::Double(ev.time),
-            Value::String(SpanCategoryName(ev.category)),
-            Value::String(trace.str(ev.name)),
-            Value::String(trace.str(ev.track))};
-    FF_RETURN_NOT_OK(table->Insert(std::move(row)));
+    app.Double(ev.time)
+        .String(SpanCategoryName(ev.category))
+        .String(trace.str(ev.name))
+        .String(trace.str(ev.track));
+    FF_RETURN_NOT_OK(app.EndRow());
   }
+  FF_RETURN_NOT_OK(app.Finish());
   return table;
 }
 
@@ -87,12 +93,15 @@ util::StatusOr<Table*> LoadMetricSamples(const MetricsRegistry& metrics,
                       Column{"value", DataType::kDouble}}));
   FF_ASSIGN_OR_RETURN(Table * table,
                       FreshTable(db, table_name, std::move(schema)));
+  Table::BulkAppender app(table);
+  app.Reserve(metrics.samples().size());
   for (const auto& s : metrics.samples()) {
-    Row row{Value::Double(s.time),
-            Value::String(metrics.metric_name(s.metric)),
-            Value::Double(s.value)};
-    FF_RETURN_NOT_OK(table->Insert(std::move(row)));
+    app.Double(s.time)
+        .String(metrics.metric_name(s.metric))
+        .Double(s.value);
+    FF_RETURN_NOT_OK(app.EndRow());
   }
+  FF_RETURN_NOT_OK(app.Finish());
   FF_RETURN_NOT_OK(table->CreateIndex("metric"));
   return table;
 }

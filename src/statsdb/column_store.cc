@@ -1,0 +1,308 @@
+#include "statsdb/column_store.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ff {
+namespace statsdb {
+
+uint32_t Dictionary::Intern(std::string_view s) {
+  auto it = map_.find(s);
+  if (it != map_.end()) return it->second;
+  uint32_t code = static_cast<uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  map_.emplace(std::string_view(strings_.back()), code);
+  return code;
+}
+
+std::optional<uint32_t> Dictionary::Find(std::string_view s) const {
+  auto it = map_.find(s);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+ColumnStore::ColumnStore(const Schema* schema) : schema_(schema) {
+  cols_.resize(schema_->num_columns());
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    cols_[i].type = schema_->column(i).type;
+  }
+}
+
+void ColumnStore::Reserve(size_t rows) {
+  for (auto& c : cols_) {
+    switch (c.type) {
+      case DataType::kBool:
+        c.bools.reserve(rows);
+        break;
+      case DataType::kInt64:
+        c.ints.reserve(rows);
+        break;
+      case DataType::kDouble:
+        c.doubles.reserve(rows);
+        break;
+      case DataType::kString:
+        c.codes.reserve(rows);
+        break;
+      case DataType::kNull:
+        break;
+    }
+    c.null_words.reserve((rows >> 6) + 1);
+  }
+}
+
+void ColumnStore::SetNullBit(ColumnData* c, size_t row) {
+  size_t word = row >> 6;
+  if (word >= c->null_words.size()) c->null_words.resize(word + 1, 0);
+  c->null_words[word] |= uint64_t{1} << (row & 63);
+  ++c->null_count;
+}
+
+void ColumnStore::AppendToZone(size_t col, const Value& v) {
+  ColumnData& c = cols_[col];
+  size_t chunk = num_rows_ / kChunkRows;
+  if (chunk >= c.zones.size()) c.zones.resize(chunk + 1);
+  ZoneMap& z = c.zones[chunk];
+  if (v.is_null()) {
+    ++z.null_count;
+    return;
+  }
+  if (z.min_v.is_null() || v.Compare(z.min_v) < 0) z.min_v = v;
+  if (z.max_v.is_null() || v.Compare(z.max_v) > 0) z.max_v = v;
+}
+
+void ColumnStore::AppendNull(size_t col) {
+  ColumnData& c = cols_[col];
+  size_t row_index =
+      c.type == DataType::kBool
+          ? c.bools.size()
+          : c.type == DataType::kInt64
+                ? c.ints.size()
+                : c.type == DataType::kDouble ? c.doubles.size()
+                                              : c.codes.size();
+  SetNullBit(&c, row_index);
+  switch (c.type) {
+    case DataType::kBool:
+      c.bools.push_back(0);
+      break;
+    case DataType::kInt64:
+      c.ints.push_back(0);
+      break;
+    case DataType::kDouble:
+      c.doubles.push_back(0.0);
+      break;
+    case DataType::kString:
+      c.codes.push_back(0);
+      break;
+    case DataType::kNull:
+      break;
+  }
+  size_t chunk = row_index / kChunkRows;
+  if (chunk >= c.zones.size()) c.zones.resize(chunk + 1);
+  ++c.zones[chunk].null_count;
+}
+
+void ColumnStore::AppendInt64(size_t col, int64_t v) {
+  ColumnData& c = cols_[col];
+  if (c.type == DataType::kDouble) {
+    AppendDouble(col, static_cast<double>(v));
+    return;
+  }
+  FF_DCHECK(c.type == DataType::kInt64);
+  size_t chunk = c.ints.size() / kChunkRows;
+  c.ints.push_back(v);
+  if (chunk >= c.zones.size()) c.zones.resize(chunk + 1);
+  ZoneMap& z = c.zones[chunk];
+  if (z.min_v.is_null() || v < z.min_v.int64_value()) {
+    z.min_v = Value::Int64(v);
+  }
+  if (z.max_v.is_null() || v > z.max_v.int64_value()) {
+    z.max_v = Value::Int64(v);
+  }
+}
+
+void ColumnStore::AppendDouble(size_t col, double v) {
+  ColumnData& c = cols_[col];
+  FF_DCHECK(c.type == DataType::kDouble);
+  size_t chunk = c.doubles.size() / kChunkRows;
+  c.doubles.push_back(v);
+  if (chunk >= c.zones.size()) c.zones.resize(chunk + 1);
+  ZoneMap& z = c.zones[chunk];
+  if (z.min_v.is_null() || v < z.min_v.double_value()) {
+    z.min_v = Value::Double(v);
+  }
+  if (z.max_v.is_null() || v > z.max_v.double_value()) {
+    z.max_v = Value::Double(v);
+  }
+}
+
+void ColumnStore::AppendBool(size_t col, bool v) {
+  ColumnData& c = cols_[col];
+  FF_DCHECK(c.type == DataType::kBool);
+  size_t chunk = c.bools.size() / kChunkRows;
+  c.bools.push_back(v ? 1 : 0);
+  if (chunk >= c.zones.size()) c.zones.resize(chunk + 1);
+  ZoneMap& z = c.zones[chunk];
+  Value vv = Value::Bool(v);
+  if (z.min_v.is_null() || vv.Compare(z.min_v) < 0) z.min_v = vv;
+  if (z.max_v.is_null() || vv.Compare(z.max_v) > 0) z.max_v = vv;
+}
+
+void ColumnStore::AppendString(size_t col, std::string_view v) {
+  ColumnData& c = cols_[col];
+  FF_DCHECK(c.type == DataType::kString);
+  size_t chunk = c.codes.size() / kChunkRows;
+  c.codes.push_back(c.dict.Intern(v));
+  if (chunk >= c.zones.size()) c.zones.resize(chunk + 1);
+  ZoneMap& z = c.zones[chunk];
+  if (z.min_v.is_null() || v < z.min_v.string_value()) {
+    z.min_v = Value::String(std::string(v));
+  }
+  if (z.max_v.is_null() || v > z.max_v.string_value()) {
+    z.max_v = Value::String(std::string(v));
+  }
+}
+
+void ColumnStore::AppendCell(size_t col, const Value& v) {
+  if (v.is_null()) {
+    AppendNull(col);
+    return;
+  }
+  switch (v.type()) {
+    case DataType::kBool:
+      AppendBool(col, v.bool_value());
+      break;
+    case DataType::kInt64:
+      AppendInt64(col, v.int64_value());
+      break;
+    case DataType::kDouble:
+      AppendDouble(col, v.double_value());
+      break;
+    case DataType::kString:
+      AppendString(col, v.string_value());
+      break;
+    case DataType::kNull:
+      AppendNull(col);
+      break;
+  }
+}
+
+void ColumnStore::EndRow() {
+  ++num_rows_;
+#ifndef NDEBUG
+  for (const auto& c : cols_) {
+    size_t len = c.type == DataType::kBool
+                     ? c.bools.size()
+                     : c.type == DataType::kInt64
+                           ? c.ints.size()
+                           : c.type == DataType::kDouble ? c.doubles.size()
+                                                         : c.codes.size();
+    FF_DCHECK(len == num_rows_) << "ragged bulk append";
+  }
+#endif
+}
+
+void ColumnStore::Append(const Row& row) {
+  FF_DCHECK(row.size() == cols_.size());
+  for (size_t i = 0; i < row.size(); ++i) AppendCell(i, row[i]);
+  ++num_rows_;
+}
+
+void ColumnStore::Set(size_t row, size_t col, const Value& v) {
+  ColumnData& c = cols_[col];
+  bool was_null = c.IsNull(row);
+  if (was_null && !v.is_null()) {
+    c.null_words[row >> 6] &= ~(uint64_t{1} << (row & 63));
+    --c.null_count;
+  } else if (!was_null && v.is_null()) {
+    SetNullBit(&c, row);
+  }
+  switch (c.type) {
+    case DataType::kBool:
+      c.bools[row] = !v.is_null() && v.bool_value() ? 1 : 0;
+      break;
+    case DataType::kInt64:
+      c.ints[row] = v.is_null() ? 0 : v.int64_value();
+      break;
+    case DataType::kDouble:
+      c.doubles[row] = v.is_null() ? 0.0 : v.double_value();
+      break;
+    case DataType::kString:
+      c.codes[row] = v.is_null() ? 0 : c.dict.Intern(v.string_value());
+      break;
+    case DataType::kNull:
+      break;
+  }
+  size_t chunk = row / kChunkRows;
+  if (chunk < c.zones.size()) c.zones[chunk].dirty = true;
+  zones_dirty_ = true;
+}
+
+Value ColumnStore::GetValue(size_t row, size_t col) const {
+  const ColumnData& c = cols_[col];
+  if (c.null_count > 0 && c.IsNull(row)) return Value::Null();
+  switch (c.type) {
+    case DataType::kBool:
+      return Value::Bool(c.bools[row] != 0);
+    case DataType::kInt64:
+      return Value::Int64(c.ints[row]);
+    case DataType::kDouble:
+      return Value::Double(c.doubles[row]);
+    case DataType::kString:
+      return Value::String(c.dict.at(c.codes[row]));
+    case DataType::kNull:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+void ColumnStore::EnsureZones() const {
+  if (!zones_dirty_) return;
+  auto* self = const_cast<ColumnStore*>(this);
+  for (size_t col = 0; col < cols_.size(); ++col) {
+    ColumnData& c = self->cols_[col];
+    for (size_t chunk = 0; chunk < c.zones.size(); ++chunk) {
+      if (!c.zones[chunk].dirty) continue;
+      ZoneMap z;
+      size_t lo = chunk * kChunkRows;
+      size_t hi = std::min(lo + kChunkRows, num_rows_);
+      for (size_t row = lo; row < hi; ++row) {
+        Value v = GetValue(row, col);
+        if (v.is_null()) {
+          ++z.null_count;
+          continue;
+        }
+        if (z.min_v.is_null() || v.Compare(z.min_v) < 0) z.min_v = v;
+        if (z.max_v.is_null() || v.Compare(z.max_v) > 0) z.max_v = v;
+      }
+      c.zones[chunk] = std::move(z);
+    }
+  }
+  self->zones_dirty_ = false;
+}
+
+void ColumnStore::EnsureScanReady() const {
+  EnsureZones();
+  auto* self = const_cast<ColumnStore*>(this);
+  size_t words = (num_rows_ + 63) / 64;
+  for (auto& c : self->cols_) {
+    if (c.null_count > 0 && c.null_words.size() < words) {
+      c.null_words.resize(words, 0);
+    }
+  }
+}
+
+void ColumnStore::Rebuild(const std::vector<Row>& rows) {
+  for (auto& c : cols_) {
+    DataType t = c.type;
+    c = ColumnData();
+    c.type = t;
+  }
+  num_rows_ = 0;
+  zones_dirty_ = false;
+  Reserve(rows.size());
+  for (const auto& row : rows) Append(row);
+}
+
+}  // namespace statsdb
+}  // namespace ff

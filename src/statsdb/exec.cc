@@ -1,0 +1,804 @@
+#include "statsdb/exec.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "statsdb/database.h"
+#include "statsdb/plan.h"
+#include "statsdb/planner.h"
+#include "util/logging.h"
+
+namespace ff {
+namespace statsdb {
+namespace {
+
+using IterPtr = std::unique_ptr<BatchIterator>;
+
+/// ANDs a predicate result (dense, aligned to the full chunk) into a
+/// per-row keep mask, with WHERE semantics (NULL does not pass). Matches
+/// how the reference engine consumes Expr::Eval results.
+void ApplyBoolMask(const ColumnVector& v, size_t n,
+                   std::vector<uint8_t>* keep) {
+  for (size_t k = 0; k < n; ++k) {
+    if (!(*keep)[k]) continue;
+    bool pass;
+    if (v.vals != nullptr) {
+      const Value& x = v.vals[k];
+      pass = !x.is_null() && x.bool_value();
+    } else if (v.type == DataType::kBool) {
+      pass = !v.IsNull(k) && v.b8[k] != 0;
+    } else {
+      pass = false;  // all-NULL result
+    }
+    if (!pass) (*keep)[k] = 0;
+  }
+}
+
+/// Selection-aligned variant: marks surviving positions of `sel` (length
+/// n) in `sel_keep`.
+void ApplyBoolMaskSel(const ColumnVector& v, size_t n,
+                      std::vector<uint8_t>* sel_keep) {
+  for (size_t k = 0; k < n; ++k) {
+    if (!(*sel_keep)[k]) continue;
+    bool pass;
+    if (v.vals != nullptr) {
+      const Value& x = v.vals[k];
+      pass = !x.is_null() && x.bool_value();
+    } else if (v.type == DataType::kBool) {
+      pass = !v.IsNull(k) && v.b8[k] != 0;
+    } else {
+      pass = false;
+    }
+    if (!pass) (*sel_keep)[k] = 0;
+  }
+}
+
+util::Status CheckBoolPredicate(const ExprPtr& pred, const Schema& schema) {
+  FF_ASSIGN_OR_RETURN(DataType t, pred->ResultType(schema));
+  if (t != DataType::kBool && t != DataType::kNull) {
+    return util::Status::InvalidArgument(
+        "WHERE predicate must be boolean: " + pred->ToString());
+  }
+  return util::Status::OK();
+}
+
+// ------------------------------------------------------------------ scan
+
+class ScanIterator : public BatchIterator {
+ public:
+  ScanIterator(const ScanNode& node, const Database& db)
+      : node_(node), db_(db) {}
+
+  util::Status Init() {
+    FF_ASSIGN_OR_RETURN(table_, db_.table(node_.table));
+    store_ = &table_->store();  // zone maps current, bitmaps padded
+    if (node_.predicate != nullptr) {
+      FF_RETURN_NOT_OK(CheckBoolPredicate(node_.predicate, table_->schema()));
+      SplitConjuncts(node_.predicate, &conjuncts_);
+      for (const auto& c : conjuncts_) {
+        auto sp = MatchSimplePredicate(*c);
+        if (!sp.has_value()) continue;
+        auto idx = table_->schema().IndexOf(sp->column);
+        if (!idx.ok()) continue;
+        // Pruning compares the literal against zone min/max; only sound
+        // when that comparison cannot itself be a runtime type error.
+        DataType ct = table_->schema().column(*idx).type;
+        DataType lt = sp->literal.type();
+        bool comparable =
+            lt == DataType::kNull || ct == lt ||
+            ((ct == DataType::kInt64 || ct == DataType::kDouble) &&
+             (lt == DataType::kInt64 || lt == DataType::kDouble));
+        if (comparable) zone_preds_.emplace_back(*idx, *sp);
+      }
+    }
+    if (!node_.index_column.empty()) {
+      FF_ASSIGN_OR_RETURN(
+          index_rows_, table_->Lookup(node_.index_column, node_.index_value));
+      use_index_ = true;
+    }
+    return util::Status::OK();
+  }
+
+  const Schema& schema() const override { return table_->schema(); }
+
+  util::StatusOr<const Batch*> Next() override {
+    const Schema& schema = table_->schema();
+    size_t num_rows = store_->num_rows();
+    while (chunk_ * kChunkRows < num_rows) {
+      size_t chunk = chunk_++;
+      size_t lo = chunk * kChunkRows;
+      size_t hi = std::min(lo + kChunkRows, num_rows);
+      size_t span = hi - lo;
+
+      // Index access path: collect this chunk's matching rows first so
+      // chunks without matches are skipped outright.
+      std::vector<uint32_t> sel0;
+      if (use_index_) {
+        while (index_pos_ < index_rows_.size() &&
+               index_rows_[index_pos_] < hi) {
+          sel0.push_back(static_cast<uint32_t>(index_rows_[index_pos_] - lo));
+          ++index_pos_;
+        }
+        if (sel0.empty()) continue;
+      }
+
+      if (ChunkPruned(chunk, span)) continue;
+
+      // Zero-copy chunk views.
+      out_ = Batch();
+      out_.num_rows = span;
+      out_.cols.reserve(schema.num_columns());
+      for (size_t c = 0; c < schema.num_columns(); ++c) {
+        const ColumnStore::ColumnData& cd = store_->column(c);
+        ColumnVector v;
+        v.type = cd.type;
+        v.length = span;
+        switch (cd.type) {
+          case DataType::kBool:
+            v.b8 = cd.bools.data() + lo;
+            break;
+          case DataType::kInt64:
+            v.i64 = cd.ints.data() + lo;
+            break;
+          case DataType::kDouble:
+            v.f64 = cd.doubles.data() + lo;
+            break;
+          case DataType::kString:
+            v.codes = cd.codes.data() + lo;
+            v.dict = &cd.dict;
+            break;
+          case DataType::kNull:
+            break;
+        }
+        // kChunkRows is a multiple of 64, so chunks start word-aligned.
+        if (cd.null_count > 0) v.null_words = cd.null_words.data() + lo / 64;
+        out_.cols.push_back(std::move(v));
+      }
+
+      if (use_index_) {
+        // Evaluate conjuncts over the index-selected rows only.
+        std::vector<uint32_t> sel = std::move(sel0);
+        for (const auto& c : conjuncts_) {
+          if (sel.empty()) break;
+          FF_ASSIGN_OR_RETURN(
+              ColumnVector v,
+              EvalBatch(*c, out_, schema, sel.data(), sel.size()));
+          std::vector<uint8_t> keep(sel.size(), 1);
+          ApplyBoolMaskSel(v, sel.size(), &keep);
+          std::vector<uint32_t> refined;
+          refined.reserve(sel.size());
+          for (size_t k = 0; k < sel.size(); ++k) {
+            if (keep[k]) refined.push_back(sel[k]);
+          }
+          sel = std::move(refined);
+        }
+        if (sel.empty()) continue;
+        out_.has_sel = true;
+        out_.sel = std::move(sel);
+        return &out_;
+      }
+
+      if (conjuncts_.empty()) return &out_;
+
+      // Each conjunct is evaluated over every row of the chunk (matching
+      // the reference engine, whose AND evaluates both sides always);
+      // the masks are then intersected.
+      std::vector<uint8_t> keep(span, 1);
+      for (const auto& c : conjuncts_) {
+        FF_ASSIGN_OR_RETURN(ColumnVector v,
+                            EvalBatch(*c, out_, schema, nullptr, span));
+        ApplyBoolMask(v, span, &keep);
+      }
+      std::vector<uint32_t> sel;
+      for (size_t k = 0; k < span; ++k) {
+        if (keep[k]) sel.push_back(static_cast<uint32_t>(k));
+      }
+      if (sel.empty()) continue;
+      if (sel.size() < span) {
+        out_.has_sel = true;
+        out_.sel = std::move(sel);
+      }
+      return &out_;
+    }
+    return nullptr;
+  }
+
+ private:
+  /// True when a zone map proves no row of the chunk can satisfy some
+  /// conjunct (so the whole chunk is skipped).
+  bool ChunkPruned(size_t chunk, size_t span) const {
+    for (const auto& [col, sp] : zone_preds_) {
+      const ColumnStore::ColumnData& cd = store_->column(col);
+      if (chunk >= cd.zones.size()) continue;
+      const ZoneMap& z = cd.zones[chunk];
+      // `col op NULL` is NULL for every row; an all-NULL chunk likewise.
+      if (sp.literal.is_null() || z.null_count >= span) return true;
+      if (z.min_v.is_null() || z.max_v.is_null()) continue;
+      const Value& lit = sp.literal;
+      switch (sp.op) {
+        case BinaryOp::kEq:
+          if (lit.Compare(z.min_v) < 0 || lit.Compare(z.max_v) > 0) {
+            return true;
+          }
+          break;
+        case BinaryOp::kNe:
+          if (z.min_v.Compare(lit) == 0 && z.max_v.Compare(lit) == 0) {
+            return true;
+          }
+          break;
+        case BinaryOp::kLt:
+          if (z.min_v.Compare(lit) >= 0) return true;
+          break;
+        case BinaryOp::kLe:
+          if (z.min_v.Compare(lit) > 0) return true;
+          break;
+        case BinaryOp::kGt:
+          if (z.max_v.Compare(lit) <= 0) return true;
+          break;
+        case BinaryOp::kGe:
+          if (z.max_v.Compare(lit) < 0) return true;
+          break;
+        default:
+          break;
+      }
+    }
+    return false;
+  }
+
+  const ScanNode& node_;
+  const Database& db_;
+  const Table* table_ = nullptr;
+  const ColumnStore* store_ = nullptr;
+  std::vector<ExprPtr> conjuncts_;
+  std::vector<std::pair<size_t, SimplePredicate>> zone_preds_;
+  bool use_index_ = false;
+  std::vector<size_t> index_rows_;
+  size_t index_pos_ = 0;
+  size_t chunk_ = 0;
+  Batch out_;
+};
+
+// ---------------------------------------------------------------- filter
+
+class FilterIterator : public BatchIterator {
+ public:
+  FilterIterator(const FilterNode& node, IterPtr input)
+      : node_(node), input_(std::move(input)) {}
+
+  util::Status Init() {
+    return CheckBoolPredicate(node_.predicate, input_->schema());
+  }
+
+  const Schema& schema() const override { return input_->schema(); }
+
+  util::StatusOr<const Batch*> Next() override {
+    for (;;) {
+      FF_ASSIGN_OR_RETURN(const Batch* in, input_->Next());
+      if (in == nullptr) return nullptr;
+      size_t n = in->ActiveRows();
+      const uint32_t* sel = in->has_sel ? in->sel.data() : nullptr;
+      FF_ASSIGN_OR_RETURN(
+          ColumnVector v,
+          EvalBatch(*node_.predicate, *in, input_->schema(), sel, n));
+      std::vector<uint8_t> keep(n, 1);
+      ApplyBoolMaskSel(v, n, &keep);
+      std::vector<uint32_t> refined;
+      for (size_t k = 0; k < n; ++k) {
+        if (keep[k]) refined.push_back(static_cast<uint32_t>(in->RowAt(k)));
+      }
+      if (refined.empty()) continue;
+      out_ = Batch::ViewOf(*in);
+      out_.has_sel = true;
+      out_.sel = std::move(refined);
+      return &out_;
+    }
+  }
+
+ private:
+  const FilterNode& node_;
+  IterPtr input_;
+  Batch out_;
+};
+
+// --------------------------------------------------------------- project
+
+class ProjectIterator : public BatchIterator {
+ public:
+  ProjectIterator(const ProjectNode& node, IterPtr input)
+      : node_(node), input_(std::move(input)) {}
+
+  util::Status Init() {
+    const Schema& in = input_->schema();
+    std::vector<Column> cols;
+    for (const auto& item : node_.items) {
+      FF_ASSIGN_OR_RETURN(DataType t, item.expr->ResultType(in));
+      std::string name =
+          item.alias.empty() ? item.expr->ToString() : item.alias;
+      cols.push_back(
+          Column{name, t == DataType::kNull ? DataType::kString : t});
+    }
+    out_schema_ = Schema(std::move(cols));
+    return util::Status::OK();
+  }
+
+  const Schema& schema() const override { return out_schema_; }
+
+  util::StatusOr<const Batch*> Next() override {
+    for (;;) {
+      FF_ASSIGN_OR_RETURN(const Batch* in, input_->Next());
+      if (in == nullptr) return nullptr;
+      size_t n = in->ActiveRows();
+      if (n == 0) continue;
+      const uint32_t* sel = in->has_sel ? in->sel.data() : nullptr;
+      out_ = Batch();
+      out_.num_rows = n;
+      out_.cols.reserve(node_.items.size());
+      for (const auto& item : node_.items) {
+        // Bare columns with no selection come back as zero-copy views.
+        FF_ASSIGN_OR_RETURN(
+            ColumnVector v,
+            EvalBatch(*item.expr, *in, input_->schema(), sel, n));
+        out_.cols.push_back(std::move(v));
+      }
+      return &out_;
+    }
+  }
+
+ private:
+  const ProjectNode& node_;
+  IterPtr input_;
+  Schema out_schema_;
+  Batch out_;
+};
+
+// ------------------------------------------------------------- aggregate
+
+class AggregateIterator : public BatchIterator {
+ public:
+  AggregateIterator(const AggregateNode& node, IterPtr input)
+      : node_(node), input_(std::move(input)) {}
+
+  util::Status Init() {
+    FF_ASSIGN_OR_RETURN(
+        out_schema_,
+        AggOutputSchema(input_->schema(), node_.group_by, node_.aggs,
+                        &key_cols_));
+    return util::Status::OK();
+  }
+
+  const Schema& schema() const override { return out_schema_; }
+
+  util::StatusOr<const Batch*> Next() override {
+    if (done_) return nullptr;
+    done_ = true;
+
+    struct Group {
+      Row key;
+      std::vector<AggState> states;
+    };
+    std::unordered_map<Row, size_t, RowHash, RowEq> group_index;
+    std::vector<Group> groups;
+    const Schema& in_schema = input_->schema();
+
+    for (;;) {
+      FF_ASSIGN_OR_RETURN(const Batch* in, input_->Next());
+      if (in == nullptr) break;
+      size_t n = in->ActiveRows();
+      const uint32_t* sel = in->has_sel ? in->sel.data() : nullptr;
+
+      // One vectorized evaluation per aggregate per batch.
+      std::vector<ColumnVector> argv(node_.aggs.size());
+      for (size_t a = 0; a < node_.aggs.size(); ++a) {
+        if (node_.aggs[a].func == AggFunc::kCountStar) continue;
+        FF_ASSIGN_OR_RETURN(
+            argv[a],
+            EvalBatch(*node_.aggs[a].arg, *in, in_schema, sel, n));
+      }
+
+      Row key;
+      for (size_t k = 0; k < n; ++k) {
+        size_t r = in->RowAt(k);
+        key.clear();
+        for (size_t i : key_cols_) key.push_back(in->CellValue(r, i));
+        auto [it, inserted] = group_index.try_emplace(key, groups.size());
+        if (inserted) groups.push_back(Group{key, NewAggStates(node_.aggs)});
+        Group& g = groups[it->second];
+        for (size_t a = 0; a < node_.aggs.size(); ++a) {
+          AggState& st = g.states[a];
+          if (node_.aggs[a].func == AggFunc::kCountStar) {
+            ++st.count;
+            continue;
+          }
+          const ColumnVector& v = argv[a];
+          if (v.vals != nullptr) {
+            st.Add(v.vals[k]);
+          } else if (v.IsNull(k)) {
+            // NULL contributes nothing.
+          } else if (v.type == DataType::kInt64) {
+            st.AddInt64(v.i64[k]);
+          } else if (v.type == DataType::kDouble) {
+            st.AddDouble(v.f64[k]);
+          } else {
+            st.Add(v.GetValue(k));
+          }
+        }
+      }
+    }
+
+    if (groups.empty() && key_cols_.empty()) {
+      groups.push_back(Group{{}, NewAggStates(node_.aggs)});
+    }
+    if (groups.empty()) return nullptr;
+
+    out_ = Batch();
+    out_.row_mode = true;
+    out_.num_rows = groups.size();
+    out_.own_rows.reserve(groups.size());
+    for (const auto& g : groups) {
+      out_.own_rows.push_back(
+          FinalizeAggRow(g.key, g.states, node_.aggs, out_schema_));
+    }
+    return &out_;
+  }
+
+ private:
+  const AggregateNode& node_;
+  IterPtr input_;
+  Schema out_schema_;
+  std::vector<size_t> key_cols_;
+  bool done_ = false;
+  Batch out_;
+};
+
+// ------------------------------------------------------------------ sort
+
+class SortIterator : public BatchIterator {
+ public:
+  SortIterator(const SortNode& node, IterPtr input)
+      : node_(node), input_(std::move(input)) {}
+
+  util::Status Init() {
+    for (const auto& k : node_.keys) {
+      FF_ASSIGN_OR_RETURN(size_t i, input_->schema().IndexOf(k.column));
+      cols_.push_back(i);
+    }
+    return util::Status::OK();
+  }
+
+  const Schema& schema() const override { return input_->schema(); }
+
+  util::StatusOr<const Batch*> Next() override {
+    if (done_) return nullptr;
+    done_ = true;
+    size_t width = input_->schema().num_columns();
+
+    // Strict weak order: sort keys, then arrival order (which makes the
+    // heap-based top-k reproduce std::stable_sort's output exactly).
+    struct Entry {
+      Row row;
+      size_t seq;
+    };
+    auto before = [this](const Entry& a, const Entry& b) {
+      for (size_t k = 0; k < cols_.size(); ++k) {
+        int c = a.row[cols_[k]].Compare(b.row[cols_[k]]);
+        if (c != 0) return node_.keys[k].ascending ? c < 0 : c > 0;
+      }
+      return a.seq < b.seq;
+    };
+
+    std::vector<Row> rows;
+    if (node_.limit_hint == 0) {
+      for (;;) {
+        FF_ASSIGN_OR_RETURN(const Batch* in, input_->Next());
+        if (in == nullptr) break;
+        for (size_t k = 0; k < in->ActiveRows(); ++k) {
+          rows.push_back(in->MaterializeRow(in->RowAt(k), width));
+        }
+      }
+      std::stable_sort(rows.begin(), rows.end(),
+                       [&](const Row& a, const Row& b) {
+                         for (size_t k = 0; k < cols_.size(); ++k) {
+                           int c = a[cols_[k]].Compare(b[cols_[k]]);
+                           if (c != 0) {
+                             return node_.keys[k].ascending ? c < 0 : c > 0;
+                           }
+                         }
+                         return false;
+                       });
+    } else {
+      // Top-k: keep the k first rows of the sorted order in a max-heap
+      // (the heap's top is the worst retained row).
+      std::priority_queue<Entry, std::vector<Entry>, decltype(before)> heap(
+          before);
+      size_t seq = 0;
+      for (;;) {
+        FF_ASSIGN_OR_RETURN(const Batch* in, input_->Next());
+        if (in == nullptr) break;
+        for (size_t k = 0; k < in->ActiveRows(); ++k) {
+          heap.push(
+              Entry{in->MaterializeRow(in->RowAt(k), width), seq++});
+          if (heap.size() > node_.limit_hint) heap.pop();
+        }
+      }
+      rows.resize(heap.size());
+      for (size_t i = heap.size(); i-- > 0;) {
+        rows[i] = std::move(const_cast<Entry&>(heap.top()).row);
+        heap.pop();
+      }
+    }
+
+    if (rows.empty()) return nullptr;
+    out_ = Batch();
+    out_.row_mode = true;
+    out_.num_rows = rows.size();
+    out_.own_rows = std::move(rows);
+    return &out_;
+  }
+
+ private:
+  const SortNode& node_;
+  IterPtr input_;
+  std::vector<size_t> cols_;
+  bool done_ = false;
+  Batch out_;
+};
+
+// -------------------------------------------------------------- distinct
+
+class DistinctIterator : public BatchIterator {
+ public:
+  explicit DistinctIterator(IterPtr input) : input_(std::move(input)) {}
+
+  util::Status Init() { return util::Status::OK(); }
+
+  const Schema& schema() const override { return input_->schema(); }
+
+  util::StatusOr<const Batch*> Next() override {
+    size_t width = input_->schema().num_columns();
+    for (;;) {
+      FF_ASSIGN_OR_RETURN(const Batch* in, input_->Next());
+      if (in == nullptr) return nullptr;
+      out_ = Batch();
+      out_.row_mode = true;
+
+      // Single dictionary-encoded column: distinct codes are distinct
+      // strings, so dedup is an array lookup instead of a row-hash probe.
+      if (width == 1 && in->columnar() && in->cols[0].vals == nullptr &&
+          in->cols[0].type == DataType::kString) {
+        const ColumnVector& v = in->cols[0];
+        for (size_t k = 0; k < in->ActiveRows(); ++k) {
+          size_t r = in->RowAt(k);
+          if (v.IsNull(r)) {
+            if (!seen_null_) {
+              seen_null_ = true;
+              out_.own_rows.push_back(Row{Value::Null()});
+            }
+            continue;
+          }
+          uint32_t code = v.codes[r];
+          if (code >= seen_codes_.size()) seen_codes_.resize(code + 1, 0);
+          if (!seen_codes_[code]) {
+            seen_codes_[code] = 1;
+            out_.own_rows.push_back(Row{Value::String(v.dict->at(code))});
+          }
+        }
+      } else {
+        for (size_t k = 0; k < in->ActiveRows(); ++k) {
+          Row row = in->MaterializeRow(in->RowAt(k), width);
+          if (seen_.insert(row).second) out_.own_rows.push_back(std::move(row));
+        }
+      }
+
+      if (out_.own_rows.empty()) continue;
+      out_.num_rows = out_.own_rows.size();
+      return &out_;
+    }
+  }
+
+ private:
+  IterPtr input_;
+  std::unordered_set<Row, RowHash, RowEq> seen_;
+  std::vector<uint8_t> seen_codes_;
+  bool seen_null_ = false;
+  Batch out_;
+};
+
+// ------------------------------------------------------------- hash join
+
+class HashJoinIterator : public BatchIterator {
+ public:
+  HashJoinIterator(const HashJoinNode& node, IterPtr left, IterPtr right)
+      : node_(node), left_(std::move(left)), right_(std::move(right)) {}
+
+  util::Status Init() {
+    FF_ASSIGN_OR_RETURN(lc_, left_->schema().IndexOf(node_.left_col));
+    FF_ASSIGN_OR_RETURN(rc_, right_->schema().IndexOf(node_.right_col));
+    out_schema_ = JoinOutputSchema(left_->schema(), right_->schema());
+    return util::Status::OK();
+  }
+
+  const Schema& schema() const override { return out_schema_; }
+
+  util::StatusOr<const Batch*> Next() override {
+    if (!built_) {
+      built_ = true;
+      size_t rwidth = right_->schema().num_columns();
+      for (;;) {
+        FF_ASSIGN_OR_RETURN(const Batch* in, right_->Next());
+        if (in == nullptr) break;
+        for (size_t k = 0; k < in->ActiveRows(); ++k) {
+          Row row = in->MaterializeRow(in->RowAt(k), rwidth);
+          if (!row[rc_].is_null()) {  // NULL never joins
+            build_[row[rc_]].push_back(right_rows_.size());
+          }
+          right_rows_.push_back(std::move(row));
+        }
+      }
+    }
+    size_t lwidth = left_->schema().num_columns();
+    for (;;) {
+      FF_ASSIGN_OR_RETURN(const Batch* in, left_->Next());
+      if (in == nullptr) return nullptr;
+      out_ = Batch();
+      out_.row_mode = true;
+      for (size_t k = 0; k < in->ActiveRows(); ++k) {
+        Row lrow = in->MaterializeRow(in->RowAt(k), lwidth);
+        if (lrow[lc_].is_null()) continue;
+        auto it = build_.find(lrow[lc_]);
+        if (it == build_.end()) continue;
+        for (size_t ri : it->second) {
+          Row joined = lrow;
+          const Row& rrow = right_rows_[ri];
+          joined.insert(joined.end(), rrow.begin(), rrow.end());
+          out_.own_rows.push_back(std::move(joined));
+        }
+      }
+      if (out_.own_rows.empty()) continue;
+      out_.num_rows = out_.own_rows.size();
+      return &out_;
+    }
+  }
+
+ private:
+  struct ValueHash {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+  struct ValueEq {
+    bool operator()(const Value& a, const Value& b) const {
+      return a.Compare(b) == 0;
+    }
+  };
+
+  const HashJoinNode& node_;
+  IterPtr left_;
+  IterPtr right_;
+  size_t lc_ = 0, rc_ = 0;
+  Schema out_schema_;
+  bool built_ = false;
+  std::vector<Row> right_rows_;
+  std::unordered_map<Value, std::vector<size_t>, ValueHash, ValueEq> build_;
+  Batch out_;
+};
+
+// ----------------------------------------------------------------- limit
+
+class LimitIterator : public BatchIterator {
+ public:
+  LimitIterator(const LimitNode& node, IterPtr input)
+      : node_(node), input_(std::move(input)) {}
+
+  util::Status Init() { return util::Status::OK(); }
+
+  const Schema& schema() const override { return input_->schema(); }
+
+  util::StatusOr<const Batch*> Next() override {
+    // Early exit: once the quota is met the input is never pulled again.
+    while (emitted_ < node_.limit) {
+      FF_ASSIGN_OR_RETURN(const Batch* in, input_->Next());
+      if (in == nullptr) return nullptr;
+      std::vector<uint32_t> sel;
+      for (size_t k = 0; k < in->ActiveRows(); ++k) {
+        if (skipped_ < node_.offset) {
+          ++skipped_;
+          continue;
+        }
+        if (emitted_ == node_.limit) break;
+        sel.push_back(static_cast<uint32_t>(in->RowAt(k)));
+        ++emitted_;
+      }
+      if (sel.empty()) continue;
+      out_ = Batch::ViewOf(*in);
+      out_.has_sel = true;
+      out_.sel = std::move(sel);
+      return &out_;
+    }
+    return nullptr;
+  }
+
+ private:
+  const LimitNode& node_;
+  IterPtr input_;
+  size_t skipped_ = 0;
+  size_t emitted_ = 0;
+  Batch out_;
+};
+
+template <typename T, typename... Args>
+util::StatusOr<IterPtr> MakeIter(Args&&... args) {
+  auto it = std::make_unique<T>(std::forward<Args>(args)...);
+  FF_RETURN_NOT_OK(it->Init());
+  return IterPtr(std::move(it));
+}
+
+}  // namespace
+
+util::StatusOr<IterPtr> BuildIterator(const PlanNode& plan,
+                                      const Database& db) {
+  switch (plan.kind()) {
+    case PlanKind::kScan:
+      return MakeIter<ScanIterator>(static_cast<const ScanNode&>(plan), db);
+    case PlanKind::kFilter: {
+      const auto& n = static_cast<const FilterNode&>(plan);
+      FF_ASSIGN_OR_RETURN(IterPtr in, BuildIterator(*n.input, db));
+      return MakeIter<FilterIterator>(n, std::move(in));
+    }
+    case PlanKind::kProject: {
+      const auto& n = static_cast<const ProjectNode&>(plan);
+      FF_ASSIGN_OR_RETURN(IterPtr in, BuildIterator(*n.input, db));
+      return MakeIter<ProjectIterator>(n, std::move(in));
+    }
+    case PlanKind::kAggregate: {
+      const auto& n = static_cast<const AggregateNode&>(plan);
+      FF_ASSIGN_OR_RETURN(IterPtr in, BuildIterator(*n.input, db));
+      return MakeIter<AggregateIterator>(n, std::move(in));
+    }
+    case PlanKind::kSort: {
+      const auto& n = static_cast<const SortNode&>(plan);
+      FF_ASSIGN_OR_RETURN(IterPtr in, BuildIterator(*n.input, db));
+      return MakeIter<SortIterator>(n, std::move(in));
+    }
+    case PlanKind::kLimit: {
+      const auto& n = static_cast<const LimitNode&>(plan);
+      FF_ASSIGN_OR_RETURN(IterPtr in, BuildIterator(*n.input, db));
+      return MakeIter<LimitIterator>(n, std::move(in));
+    }
+    case PlanKind::kDistinct: {
+      const auto& n = static_cast<const DistinctNode&>(plan);
+      FF_ASSIGN_OR_RETURN(IterPtr in, BuildIterator(*n.input, db));
+      return MakeIter<DistinctIterator>(std::move(in));
+    }
+    case PlanKind::kHashJoin: {
+      const auto& n = static_cast<const HashJoinNode&>(plan);
+      FF_ASSIGN_OR_RETURN(IterPtr l, BuildIterator(*n.left, db));
+      FF_ASSIGN_OR_RETURN(IterPtr r, BuildIterator(*n.right, db));
+      return MakeIter<HashJoinIterator>(n, std::move(l), std::move(r));
+    }
+  }
+  return util::Status::Internal("unhandled plan kind");
+}
+
+util::StatusOr<ResultSet> ExecuteColumnar(const PlanNode& plan,
+                                          const Database& db) {
+  FF_ASSIGN_OR_RETURN(IterPtr it, BuildIterator(plan, db));
+  ResultSet rs{it->schema(), {}};
+  size_t width = rs.schema.num_columns();
+  for (;;) {
+    FF_ASSIGN_OR_RETURN(const Batch* batch, it->Next());
+    if (batch == nullptr) break;
+    for (size_t k = 0; k < batch->ActiveRows(); ++k) {
+      rs.rows.push_back(batch->MaterializeRow(batch->RowAt(k), width));
+    }
+  }
+  return rs;
+}
+
+util::StatusOr<ResultSet> ExecutePlan(const PlanPtr& plan,
+                                      const Database& db) {
+  PlanPtr optimized = OptimizePlan(plan, db);
+  return ExecuteColumnar(*optimized, db);
+}
+
+}  // namespace statsdb
+}  // namespace ff

@@ -1,0 +1,50 @@
+// Vectorized executor: plan nodes stream column batches (batch.h) instead
+// of materializing whole ResultSets. Scans slice ColumnStore chunks into
+// zero-copy batches (pruning chunks via zone maps and serving equality
+// predicates from hash indexes), filters refine selection vectors, and
+// pipeline breakers (aggregate, sort, join, distinct) emit row-mode
+// batches. Results match the row-at-a-time reference engine
+// (PlanNode::Execute) row for row; plans coming from Query/SQL run here
+// after the planner pass (planner.h).
+
+#ifndef FF_STATSDB_EXEC_H_
+#define FF_STATSDB_EXEC_H_
+
+#include <memory>
+
+#include "statsdb/batch.h"
+#include "statsdb/query.h"
+
+namespace ff {
+namespace statsdb {
+
+class Database;
+
+/// Pull-based batch stream. Next() returns nullptr at end of stream; the
+/// returned batch stays valid until the next call.
+class BatchIterator {
+ public:
+  virtual ~BatchIterator() = default;
+  virtual const Schema& schema() const = 0;
+  virtual util::StatusOr<const Batch*> Next() = 0;
+};
+
+/// Builds the iterator tree for `plan`. The plan must outlive the
+/// iterator.
+util::StatusOr<std::unique_ptr<BatchIterator>> BuildIterator(
+    const PlanNode& plan, const Database& db);
+
+/// Runs `plan` through the vectorized engine as-is (no planner pass) and
+/// materializes the result.
+util::StatusOr<ResultSet> ExecuteColumnar(const PlanNode& plan,
+                                          const Database& db);
+
+/// Production entry point: optimizes `plan` (predicate pushdown, index
+/// selection, top-k) and executes it through the vectorized engine.
+util::StatusOr<ResultSet> ExecutePlan(const PlanPtr& plan,
+                                      const Database& db);
+
+}  // namespace statsdb
+}  // namespace ff
+
+#endif  // FF_STATSDB_EXEC_H_

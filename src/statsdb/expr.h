@@ -5,7 +5,9 @@
 #ifndef FF_STATSDB_EXPR_H_
 #define FF_STATSDB_EXPR_H_
 
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -48,6 +50,8 @@ const char* BinaryOpName(BinaryOp op);
 /// Immutable expression node.
 class Expr {
  public:
+  enum class Kind { kLiteral, kColumn, kUnary, kBinary };
+
   virtual ~Expr() = default;
 
   /// Evaluates against a row. Columns are resolved by position using the
@@ -61,6 +65,20 @@ class Expr {
 
   /// SQL-ish rendering, for error messages and plan display.
   virtual std::string ToString() const = 0;
+
+  /// Structural introspection, used by the planner (predicate pushdown)
+  /// and the vectorized evaluator to dispatch without RTTI.
+  virtual Kind kind() const = 0;
+  /// Literal value; non-null only for kLiteral.
+  virtual const Value* literal() const { return nullptr; }
+  /// Column name; non-null only for kColumn.
+  virtual const std::string* column() const { return nullptr; }
+  /// Children: operand for kUnary, lhs (0) / rhs (1) for kBinary.
+  virtual ExprPtr child(size_t) const { return nullptr; }
+  virtual size_t num_children() const { return 0; }
+  /// Operator; meaningful only for the matching kind.
+  virtual BinaryOp binary_op() const { return BinaryOp::kEq; }
+  virtual UnaryOp unary_op() const { return UnaryOp::kNot; }
 };
 
 /// Constructors.
@@ -98,6 +116,31 @@ ExprPtr Between(ExprPtr a, ExprPtr lo, ExprPtr hi);
 
 /// SQL LIKE with % (any run) and _ (any char); case-sensitive.
 bool LikeMatch(const std::string& text, const std::string& pattern);
+
+/// Flattens nested top-level ANDs into a conjunct list (appends to *out).
+/// A non-AND expression yields itself.
+void SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out);
+
+/// Left-associative AND of `conjuncts` (null for an empty list).
+ExprPtr AndFold(const std::vector<ExprPtr>& conjuncts);
+
+/// Appends every column name referenced by `e` to *out (with duplicates).
+void CollectColumns(const Expr& e, std::vector<std::string>* out);
+
+/// Rebuilds `e` with every column reference renamed through `rename`.
+ExprPtr RewriteColumns(const ExprPtr& e,
+                       const std::function<std::string(const std::string&)>&
+                           rename);
+
+/// A predicate of the shape `column op literal` (or the mirrored
+/// `literal op column`, normalized so the column is on the left).
+/// Only comparison operators qualify.
+struct SimplePredicate {
+  std::string column;
+  BinaryOp op;
+  Value literal;
+};
+std::optional<SimplePredicate> MatchSimplePredicate(const Expr& e);
 
 }  // namespace statsdb
 }  // namespace ff

@@ -1,0 +1,217 @@
+// Concrete plan-node classes, shared between the row-at-a-time reference
+// engine (PlanNode::Execute), the predicate-pushdown planner (planner.h),
+// and the vectorized executor (exec.h). Members are public so the planner
+// can rewrite trees and the executor can dispatch on PlanKind without
+// RTTI.
+
+#ifndef FF_STATSDB_PLAN_H_
+#define FF_STATSDB_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "statsdb/query.h"
+
+namespace ff {
+namespace statsdb {
+
+/// Table scan. The planner may attach a pushed-down predicate (a
+/// conjunction evaluated with WHERE semantics), and may annotate one
+/// equality conjunct as servable by a hash index. Pushed conjuncts of the
+/// shape `column op literal` also drive zone-map chunk pruning in the
+/// vectorized executor; the annotations are reflected in ToString().
+class ScanNode : public PlanNode {
+ public:
+  explicit ScanNode(std::string table_in) : table(std::move(table_in)) {}
+  ScanNode(std::string table_in, ExprPtr predicate_in,
+           std::string index_column_in, Value index_value_in)
+      : table(std::move(table_in)),
+        predicate(std::move(predicate_in)),
+        index_column(std::move(index_column_in)),
+        index_value(std::move(index_value_in)) {}
+
+  util::StatusOr<ResultSet> Execute(const Database& db) const override;
+  std::string ToString() const override;
+  PlanKind kind() const override { return PlanKind::kScan; }
+
+  std::string table;
+  ExprPtr predicate;         // null => unfiltered scan
+  std::string index_column;  // empty => no index lookup
+  Value index_value;
+};
+
+class FilterNode : public PlanNode {
+ public:
+  FilterNode(PlanPtr input_in, ExprPtr predicate_in)
+      : input(std::move(input_in)), predicate(std::move(predicate_in)) {}
+
+  util::StatusOr<ResultSet> Execute(const Database& db) const override;
+  std::string ToString() const override;
+  PlanKind kind() const override { return PlanKind::kFilter; }
+
+  PlanPtr input;
+  ExprPtr predicate;
+};
+
+class ProjectNode : public PlanNode {
+ public:
+  ProjectNode(PlanPtr input_in, std::vector<ProjectItem> items_in)
+      : input(std::move(input_in)), items(std::move(items_in)) {}
+
+  util::StatusOr<ResultSet> Execute(const Database& db) const override;
+  std::string ToString() const override;
+  PlanKind kind() const override { return PlanKind::kProject; }
+
+  PlanPtr input;
+  std::vector<ProjectItem> items;
+};
+
+class AggregateNode : public PlanNode {
+ public:
+  AggregateNode(PlanPtr input_in, std::vector<std::string> group_by_in,
+                std::vector<AggSpec> aggs_in)
+      : input(std::move(input_in)),
+        group_by(std::move(group_by_in)),
+        aggs(std::move(aggs_in)) {}
+
+  util::StatusOr<ResultSet> Execute(const Database& db) const override;
+  std::string ToString() const override;
+  PlanKind kind() const override { return PlanKind::kAggregate; }
+
+  PlanPtr input;
+  std::vector<std::string> group_by;
+  std::vector<AggSpec> aggs;
+};
+
+class SortNode : public PlanNode {
+ public:
+  SortNode(PlanPtr input_in, std::vector<SortKey> keys_in,
+           size_t limit_hint_in = 0)
+      : input(std::move(input_in)),
+        keys(std::move(keys_in)),
+        limit_hint(limit_hint_in) {}
+
+  util::StatusOr<ResultSet> Execute(const Database& db) const override;
+  std::string ToString() const override;
+  PlanKind kind() const override { return PlanKind::kSort; }
+
+  PlanPtr input;
+  std::vector<SortKey> keys;
+  /// Planner hint: only the first `limit_hint` rows of the sorted output
+  /// are consumed (a Limit above), so the vectorized executor may run a
+  /// top-k heap instead of a full sort. 0 means no hint.
+  size_t limit_hint;
+};
+
+class LimitNode : public PlanNode {
+ public:
+  LimitNode(PlanPtr input_in, size_t limit_in, size_t offset_in)
+      : input(std::move(input_in)), limit(limit_in), offset(offset_in) {}
+
+  util::StatusOr<ResultSet> Execute(const Database& db) const override;
+  std::string ToString() const override;
+  PlanKind kind() const override { return PlanKind::kLimit; }
+
+  PlanPtr input;
+  size_t limit;
+  size_t offset;
+};
+
+class DistinctNode : public PlanNode {
+ public:
+  explicit DistinctNode(PlanPtr input_in) : input(std::move(input_in)) {}
+
+  util::StatusOr<ResultSet> Execute(const Database& db) const override;
+  std::string ToString() const override;
+  PlanKind kind() const override { return PlanKind::kDistinct; }
+
+  PlanPtr input;
+};
+
+class HashJoinNode : public PlanNode {
+ public:
+  HashJoinNode(PlanPtr left_in, PlanPtr right_in, std::string left_col_in,
+               std::string right_col_in)
+      : left(std::move(left_in)),
+        right(std::move(right_in)),
+        left_col(std::move(left_col_in)),
+        right_col(std::move(right_col_in)) {}
+
+  util::StatusOr<ResultSet> Execute(const Database& db) const override;
+  std::string ToString() const override;
+  PlanKind kind() const override { return PlanKind::kHashJoin; }
+
+  PlanPtr left;
+  PlanPtr right;
+  std::string left_col;
+  std::string right_col;
+};
+
+// ------------------------------------------------------- shared helpers
+//
+// Both engines execute aggregation, join naming, and row hashing through
+// these, so their observable results are identical by construction.
+
+/// Accumulator for one aggregate within one group.
+struct AggState {
+  size_t count = 0;
+  double sum = 0.0;
+  bool sum_is_double = false;
+  bool keep_values = false;  // only order statistics (P95) pay for this
+  Value min_v;
+  Value max_v;
+  std::vector<double> values;
+
+  void Add(const Value& v);
+  /// Typed adds for single-typed column vectors; same observable
+  /// semantics as Add(Value::Int64(v)) / Add(Value::Double(v)).
+  void AddInt64(int64_t v);
+  void AddDouble(double v);
+};
+
+/// Fresh per-group accumulators; only P95 states buffer raw values.
+std::vector<AggState> NewAggStates(const std::vector<AggSpec>& aggs);
+
+/// Resolves group-by columns (appended to *key_cols) and builds the
+/// aggregate output schema, validating aggregate argument types.
+util::StatusOr<Schema> AggOutputSchema(const Schema& in,
+                                       const std::vector<std::string>& group_by,
+                                       const std::vector<AggSpec>& aggs,
+                                       std::vector<size_t>* key_cols);
+
+/// Finalizes one output row (group key columns then aggregate results).
+Row FinalizeAggRow(const Row& key, const std::vector<AggState>& states,
+                   const std::vector<AggSpec>& aggs,
+                   const Schema& out_schema);
+
+/// Join output schema: left columns then right columns; on (case-
+/// insensitive) name clash the right column is suffixed "_r".
+Schema JoinOutputSchema(const Schema& l, const Schema& r);
+
+/// Hash/equality over whole rows with Value::Compare semantics (mixed
+/// numerics compare equal when numerically equal).
+struct RowHash {
+  size_t operator()(const Row& key) const {
+    size_t h = 0x9e3779b9;
+    for (const auto& v : key) h = h * 1315423911u + v.Hash();
+    return h;
+  }
+};
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].Compare(b[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+/// Output schema of `plan` without executing it (resolves tables through
+/// `db`). Errors mirror what execution would report for schema problems.
+util::StatusOr<Schema> InferSchema(const PlanNode& plan, const Database& db);
+
+}  // namespace statsdb
+}  // namespace ff
+
+#endif  // FF_STATSDB_PLAN_H_

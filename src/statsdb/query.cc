@@ -1,5 +1,7 @@
 #include "statsdb/query.h"
 
+#include "statsdb/exec.h"
+
 #include <algorithm>
 #include <sstream>
 #include <unordered_map>
@@ -100,514 +102,6 @@ util::StatusOr<std::vector<Value>> ResultSet::ColumnValues(
   return out;
 }
 
-namespace {
-
-class ScanNode : public PlanNode {
- public:
-  explicit ScanNode(std::string table) : table_(std::move(table)) {}
-
-  util::StatusOr<ResultSet> Execute(const Database& db) const override {
-    FF_ASSIGN_OR_RETURN(const Table* t, db.table(table_));
-    return ResultSet{t->schema(), t->rows()};
-  }
-  std::string ToString() const override { return "Scan(" + table_ + ")"; }
-
- private:
-  std::string table_;
-};
-
-class FilterNode : public PlanNode {
- public:
-  FilterNode(PlanPtr input, ExprPtr predicate)
-      : input_(std::move(input)), predicate_(std::move(predicate)) {}
-
-  util::StatusOr<ResultSet> Execute(const Database& db) const override {
-    FF_ASSIGN_OR_RETURN(ResultSet in, input_->Execute(db));
-    FF_ASSIGN_OR_RETURN(DataType t, predicate_->ResultType(in.schema));
-    if (t != DataType::kBool && t != DataType::kNull) {
-      return util::Status::InvalidArgument(
-          "WHERE predicate must be boolean: " + predicate_->ToString());
-    }
-    ResultSet out{in.schema, {}};
-    for (auto& row : in.rows) {
-      FF_ASSIGN_OR_RETURN(Value v, predicate_->Eval(row, in.schema));
-      if (!v.is_null() && v.bool_value()) out.rows.push_back(std::move(row));
-    }
-    return out;
-  }
-  std::string ToString() const override {
-    return "Filter(" + predicate_->ToString() + ", " + input_->ToString() +
-           ")";
-  }
-
- private:
-  PlanPtr input_;
-  ExprPtr predicate_;
-};
-
-class ProjectNode : public PlanNode {
- public:
-  ProjectNode(PlanPtr input, std::vector<ProjectItem> items)
-      : input_(std::move(input)), items_(std::move(items)) {}
-
-  util::StatusOr<ResultSet> Execute(const Database& db) const override {
-    FF_ASSIGN_OR_RETURN(ResultSet in, input_->Execute(db));
-    std::vector<Column> cols;
-    for (const auto& item : items_) {
-      FF_ASSIGN_OR_RETURN(DataType t, item.expr->ResultType(in.schema));
-      std::string name =
-          item.alias.empty() ? item.expr->ToString() : item.alias;
-      // NULL-typed output columns (e.g. literal NULL) degrade to string.
-      cols.push_back(
-          Column{name, t == DataType::kNull ? DataType::kString : t});
-    }
-    ResultSet out{Schema(std::move(cols)), {}};
-    out.rows.reserve(in.rows.size());
-    for (const auto& row : in.rows) {
-      Row projected;
-      projected.reserve(items_.size());
-      for (const auto& item : items_) {
-        FF_ASSIGN_OR_RETURN(Value v, item.expr->Eval(row, in.schema));
-        projected.push_back(std::move(v));
-      }
-      out.rows.push_back(std::move(projected));
-    }
-    return out;
-  }
-  std::string ToString() const override {
-    std::vector<std::string> parts;
-    for (const auto& item : items_) {
-      parts.push_back(item.expr->ToString() +
-                      (item.alias.empty() ? "" : " AS " + item.alias));
-    }
-    return "Project([" + util::Join(parts, ", ") + "], " +
-           input_->ToString() + ")";
-  }
-
- private:
-  PlanPtr input_;
-  std::vector<ProjectItem> items_;
-};
-
-// Accumulator for one aggregate within one group.
-struct AggState {
-  size_t count = 0;
-  double sum = 0.0;
-  bool sum_is_double = false;
-  bool keep_values = false;  // only order statistics (P95) pay for this
-  Value min_v;
-  Value max_v;
-  std::vector<double> values;
-
-  void Add(const Value& v) {
-    if (v.is_null()) return;
-    ++count;
-    if (v.type() == DataType::kInt64 || v.type() == DataType::kDouble) {
-      sum += *v.AsDouble();
-      if (v.type() == DataType::kDouble) sum_is_double = true;
-      if (keep_values) values.push_back(*v.AsDouble());
-    }
-    if (min_v.is_null() || v.Compare(min_v) < 0) min_v = v;
-    if (max_v.is_null() || v.Compare(max_v) > 0) max_v = v;
-  }
-};
-
-class AggregateNode : public PlanNode {
- public:
-  AggregateNode(PlanPtr input, std::vector<std::string> group_by,
-                std::vector<AggSpec> aggs)
-      : input_(std::move(input)),
-        group_by_(std::move(group_by)),
-        aggs_(std::move(aggs)) {}
-
-  util::StatusOr<ResultSet> Execute(const Database& db) const override {
-    FF_ASSIGN_OR_RETURN(ResultSet in, input_->Execute(db));
-
-    std::vector<size_t> key_cols;
-    for (const auto& g : group_by_) {
-      FF_ASSIGN_OR_RETURN(size_t i, in.schema.IndexOf(g));
-      key_cols.push_back(i);
-    }
-
-    // Output schema: group-by columns, then aggregates.
-    std::vector<Column> out_cols;
-    for (size_t i : key_cols) out_cols.push_back(in.schema.column(i));
-    for (const auto& a : aggs_) {
-      DataType t = DataType::kNull;
-      switch (a.func) {
-        case AggFunc::kCountStar:
-        case AggFunc::kCount:
-          t = DataType::kInt64;
-          break;
-        case AggFunc::kAvg:
-          t = DataType::kDouble;
-          break;
-        case AggFunc::kSum: {
-          FF_ASSIGN_OR_RETURN(DataType at, a.arg->ResultType(in.schema));
-          if (at != DataType::kInt64 && at != DataType::kDouble &&
-              at != DataType::kNull) {
-            return util::Status::InvalidArgument("SUM requires numeric");
-          }
-          t = at == DataType::kInt64 ? DataType::kInt64 : DataType::kDouble;
-          break;
-        }
-        case AggFunc::kMin:
-        case AggFunc::kMax: {
-          FF_ASSIGN_OR_RETURN(DataType at, a.arg->ResultType(in.schema));
-          t = at == DataType::kNull ? DataType::kString : at;
-          break;
-        }
-        case AggFunc::kP95: {
-          FF_ASSIGN_OR_RETURN(DataType at, a.arg->ResultType(in.schema));
-          if (at != DataType::kInt64 && at != DataType::kDouble &&
-              at != DataType::kNull) {
-            return util::Status::InvalidArgument("P95 requires numeric");
-          }
-          t = DataType::kDouble;
-          break;
-        }
-      }
-      std::string name = a.alias;
-      if (name.empty()) {
-        name = a.func == AggFunc::kCountStar
-                   ? "count"
-                   : util::ToLower(AggFuncName(a.func)) + "_" +
-                         a.arg->ToString();
-      }
-      out_cols.push_back(Column{name, t});
-      if (a.func == AggFunc::kAvg) {
-        FF_ASSIGN_OR_RETURN(DataType at, a.arg->ResultType(in.schema));
-        if (at != DataType::kInt64 && at != DataType::kDouble &&
-            at != DataType::kNull) {
-          return util::Status::InvalidArgument("AVG requires numeric");
-        }
-      }
-    }
-
-    // Group.
-    struct Group {
-      Row key;
-      std::vector<AggState> states;
-    };
-    struct KeyHash {
-      size_t operator()(const Row& key) const {
-        size_t h = 0x9e3779b9;
-        for (const auto& v : key) h = h * 1315423911u + v.Hash();
-        return h;
-      }
-    };
-    struct KeyEq {
-      bool operator()(const Row& a, const Row& b) const {
-        if (a.size() != b.size()) return false;
-        for (size_t i = 0; i < a.size(); ++i) {
-          if (a[i].Compare(b[i]) != 0) return false;
-        }
-        return true;
-      }
-    };
-    std::unordered_map<Row, size_t, KeyHash, KeyEq> group_index;
-    std::vector<Group> groups;
-
-    for (const auto& row : in.rows) {
-      Row key;
-      key.reserve(key_cols.size());
-      for (size_t i : key_cols) key.push_back(row[i]);
-      auto [it, inserted] = group_index.try_emplace(key, groups.size());
-      if (inserted) {
-        groups.push_back(Group{key, NewStates()});
-      }
-      Group& g = groups[it->second];
-      for (size_t a = 0; a < aggs_.size(); ++a) {
-        if (aggs_[a].func == AggFunc::kCountStar) {
-          ++g.states[a].count;
-        } else {
-          FF_ASSIGN_OR_RETURN(Value v, aggs_[a].arg->Eval(row, in.schema));
-          g.states[a].Add(v);
-        }
-      }
-    }
-
-    // Global aggregate over an empty input still yields one row.
-    if (groups.empty() && key_cols.empty()) {
-      groups.push_back(Group{{}, NewStates()});
-    }
-
-    ResultSet out{Schema(std::move(out_cols)), {}};
-    for (const auto& g : groups) {
-      Row row = g.key;
-      for (size_t a = 0; a < aggs_.size(); ++a) {
-        const AggState& st = g.states[a];
-        switch (aggs_[a].func) {
-          case AggFunc::kCountStar:
-          case AggFunc::kCount:
-            row.push_back(Value::Int64(static_cast<int64_t>(st.count)));
-            break;
-          case AggFunc::kSum:
-            if (st.count == 0) {
-              row.push_back(Value::Null());
-            } else if (st.sum_is_double ||
-                       out.schema.column(row.size()).type ==
-                           DataType::kDouble) {
-              row.push_back(Value::Double(st.sum));
-            } else {
-              row.push_back(
-                  Value::Int64(static_cast<int64_t>(st.sum)));
-            }
-            break;
-          case AggFunc::kAvg:
-            row.push_back(st.count == 0
-                              ? Value::Null()
-                              : Value::Double(st.sum /
-                                              static_cast<double>(st.count)));
-            break;
-          case AggFunc::kMin:
-            row.push_back(st.min_v);
-            break;
-          case AggFunc::kMax:
-            row.push_back(st.max_v);
-            break;
-          case AggFunc::kP95: {
-            if (st.values.empty()) {
-              row.push_back(Value::Null());
-              break;
-            }
-            auto p = util::Percentile(st.values, 95.0);
-            row.push_back(p.ok() ? Value::Double(*p) : Value::Null());
-            break;
-          }
-        }
-      }
-      out.rows.push_back(std::move(row));
-    }
-    return out;
-  }
-
-  std::string ToString() const override {
-    std::vector<std::string> parts;
-    for (const auto& a : aggs_) {
-      parts.push_back(std::string(AggFuncName(a.func)) +
-                      (a.arg ? "(" + a.arg->ToString() + ")" : ""));
-    }
-    return "Aggregate(by=[" + util::Join(group_by_, ", ") + "], aggs=[" +
-           util::Join(parts, ", ") + "], " + input_->ToString() + ")";
-  }
-
- private:
-  // Fresh per-group accumulators; only P95 states buffer raw values.
-  std::vector<AggState> NewStates() const {
-    std::vector<AggState> states(aggs_.size());
-    for (size_t a = 0; a < aggs_.size(); ++a) {
-      if (aggs_[a].func == AggFunc::kP95) states[a].keep_values = true;
-    }
-    return states;
-  }
-
-  PlanPtr input_;
-  std::vector<std::string> group_by_;
-  std::vector<AggSpec> aggs_;
-};
-
-class SortNode : public PlanNode {
- public:
-  SortNode(PlanPtr input, std::vector<SortKey> keys)
-      : input_(std::move(input)), keys_(std::move(keys)) {}
-
-  util::StatusOr<ResultSet> Execute(const Database& db) const override {
-    FF_ASSIGN_OR_RETURN(ResultSet in, input_->Execute(db));
-    std::vector<size_t> cols;
-    for (const auto& k : keys_) {
-      FF_ASSIGN_OR_RETURN(size_t i, in.schema.IndexOf(k.column));
-      cols.push_back(i);
-    }
-    std::stable_sort(in.rows.begin(), in.rows.end(),
-                     [&](const Row& a, const Row& b) {
-                       for (size_t k = 0; k < cols.size(); ++k) {
-                         int c = a[cols[k]].Compare(b[cols[k]]);
-                         if (c != 0) {
-                           return keys_[k].ascending ? c < 0 : c > 0;
-                         }
-                       }
-                       return false;
-                     });
-    return in;
-  }
-  std::string ToString() const override {
-    std::vector<std::string> parts;
-    for (const auto& k : keys_) {
-      parts.push_back(k.column + (k.ascending ? " ASC" : " DESC"));
-    }
-    return "Sort([" + util::Join(parts, ", ") + "], " + input_->ToString() +
-           ")";
-  }
-
- private:
-  PlanPtr input_;
-  std::vector<SortKey> keys_;
-};
-
-class LimitNode : public PlanNode {
- public:
-  LimitNode(PlanPtr input, size_t limit, size_t offset)
-      : input_(std::move(input)), limit_(limit), offset_(offset) {}
-
-  util::StatusOr<ResultSet> Execute(const Database& db) const override {
-    FF_ASSIGN_OR_RETURN(ResultSet in, input_->Execute(db));
-    ResultSet out{in.schema, {}};
-    for (size_t i = offset_; i < in.rows.size() && out.rows.size() < limit_;
-         ++i) {
-      out.rows.push_back(std::move(in.rows[i]));
-    }
-    return out;
-  }
-  std::string ToString() const override {
-    return util::StrFormat("Limit(%zu, offset=%zu, ", limit_, offset_) +
-           input_->ToString() + ")";
-  }
-
- private:
-  PlanPtr input_;
-  size_t limit_;
-  size_t offset_;
-};
-
-class DistinctNode : public PlanNode {
- public:
-  explicit DistinctNode(PlanPtr input) : input_(std::move(input)) {}
-
-  util::StatusOr<ResultSet> Execute(const Database& db) const override {
-    FF_ASSIGN_OR_RETURN(ResultSet in, input_->Execute(db));
-    ResultSet out{in.schema, {}};
-    for (auto& row : in.rows) {
-      bool dup = false;
-      for (const auto& seen : out.rows) {
-        bool equal = true;
-        for (size_t i = 0; i < row.size(); ++i) {
-          if (row[i].Compare(seen[i]) != 0) {
-            equal = false;
-            break;
-          }
-        }
-        if (equal) {
-          dup = true;
-          break;
-        }
-      }
-      if (!dup) out.rows.push_back(std::move(row));
-    }
-    return out;
-  }
-  std::string ToString() const override {
-    return "Distinct(" + input_->ToString() + ")";
-  }
-
- private:
-  PlanPtr input_;
-};
-
-class HashJoinNode : public PlanNode {
- public:
-  HashJoinNode(PlanPtr left, PlanPtr right, std::string left_col,
-               std::string right_col)
-      : left_(std::move(left)),
-        right_(std::move(right)),
-        left_col_(std::move(left_col)),
-        right_col_(std::move(right_col)) {}
-
-  util::StatusOr<ResultSet> Execute(const Database& db) const override {
-    FF_ASSIGN_OR_RETURN(ResultSet l, left_->Execute(db));
-    FF_ASSIGN_OR_RETURN(ResultSet r, right_->Execute(db));
-    FF_ASSIGN_OR_RETURN(size_t lc, l.schema.IndexOf(left_col_));
-    FF_ASSIGN_OR_RETURN(size_t rc, r.schema.IndexOf(right_col_));
-
-    // Output schema: left columns then right columns; on name clash the
-    // right column is suffixed "_r".
-    std::vector<Column> cols = l.schema.columns();
-    for (const auto& c : r.schema.columns()) {
-      std::string name = c.name;
-      bool clash = false;
-      for (const auto& existing : cols) {
-        if (util::EqualsIgnoreCase(existing.name, name)) {
-          clash = true;
-          break;
-        }
-      }
-      cols.push_back(Column{clash ? name + "_r" : name, c.type});
-    }
-
-    struct ValueHash {
-      size_t operator()(const Value& v) const { return v.Hash(); }
-    };
-    struct ValueEq {
-      bool operator()(const Value& a, const Value& b) const {
-        return a.Compare(b) == 0;
-      }
-    };
-    std::unordered_map<Value, std::vector<size_t>, ValueHash, ValueEq>
-        build;
-    for (size_t i = 0; i < r.rows.size(); ++i) {
-      if (r.rows[i][rc].is_null()) continue;  // NULL never joins
-      build[r.rows[i][rc]].push_back(i);
-    }
-
-    ResultSet out{Schema(std::move(cols)), {}};
-    for (const auto& lrow : l.rows) {
-      if (lrow[lc].is_null()) continue;
-      auto it = build.find(lrow[lc]);
-      if (it == build.end()) continue;
-      for (size_t ri : it->second) {
-        Row joined = lrow;
-        joined.insert(joined.end(), r.rows[ri].begin(), r.rows[ri].end());
-        out.rows.push_back(std::move(joined));
-      }
-    }
-    return out;
-  }
-  std::string ToString() const override {
-    return "HashJoin(" + left_col_ + " = " + right_col_ + ", " +
-           left_->ToString() + ", " + right_->ToString() + ")";
-  }
-
- private:
-  PlanPtr left_;
-  PlanPtr right_;
-  std::string left_col_;
-  std::string right_col_;
-};
-
-}  // namespace
-
-PlanPtr MakeScan(std::string table) {
-  return std::make_shared<ScanNode>(std::move(table));
-}
-PlanPtr MakeFilter(PlanPtr input, ExprPtr predicate) {
-  return std::make_shared<FilterNode>(std::move(input),
-                                      std::move(predicate));
-}
-PlanPtr MakeProject(PlanPtr input, std::vector<ProjectItem> items) {
-  return std::make_shared<ProjectNode>(std::move(input), std::move(items));
-}
-PlanPtr MakeAggregate(PlanPtr input, std::vector<std::string> group_by,
-                      std::vector<AggSpec> aggs) {
-  return std::make_shared<AggregateNode>(std::move(input),
-                                         std::move(group_by),
-                                         std::move(aggs));
-}
-PlanPtr MakeSort(PlanPtr input, std::vector<SortKey> keys) {
-  return std::make_shared<SortNode>(std::move(input), std::move(keys));
-}
-PlanPtr MakeLimit(PlanPtr input, size_t limit, size_t offset) {
-  return std::make_shared<LimitNode>(std::move(input), limit, offset);
-}
-PlanPtr MakeDistinct(PlanPtr input) {
-  return std::make_shared<DistinctNode>(std::move(input));
-}
-PlanPtr MakeHashJoin(PlanPtr left, PlanPtr right, std::string left_col,
-                     std::string right_col) {
-  return std::make_shared<HashJoinNode>(std::move(left), std::move(right),
-                                        std::move(left_col),
-                                        std::move(right_col));
-}
-
 Query::Query(const Database* db, std::string table)
     : db_(db), plan_(MakeScan(std::move(table))) {}
 
@@ -649,7 +143,9 @@ Query& Query::Join(std::string right_table, std::string left_col,
   return *this;
 }
 
-util::StatusOr<ResultSet> Query::Run() const { return plan_->Execute(*db_); }
+util::StatusOr<ResultSet> Query::Run() const {
+  return ExecutePlan(plan_, *db_);
+}
 
 }  // namespace statsdb
 }  // namespace ff

@@ -67,12 +67,29 @@ struct SortKey {
   bool ascending = true;
 };
 
-/// Base class of logical plan nodes; Execute materializes the result.
+/// Concrete node types, used by the planner and the vectorized executor
+/// to dispatch without RTTI (see plan.h for the node classes).
+enum class PlanKind {
+  kScan,
+  kFilter,
+  kProject,
+  kAggregate,
+  kSort,
+  kLimit,
+  kDistinct,
+  kHashJoin,
+};
+
+/// Base class of logical plan nodes. Execute is the row-at-a-time
+/// reference engine (materializes whole intermediates); production
+/// queries run through ExecutePlan (exec.h), which optimizes the plan and
+/// streams column batches.
 class PlanNode {
  public:
   virtual ~PlanNode() = default;
   virtual util::StatusOr<ResultSet> Execute(const Database& db) const = 0;
   virtual std::string ToString() const = 0;
+  virtual PlanKind kind() const = 0;
 };
 
 using PlanPtr = std::shared_ptr<const PlanNode>;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "statsdb/database.h"
+#include "statsdb/exec.h"
 #include "util/strings.h"
 
 namespace ff {
@@ -740,7 +741,7 @@ class Parser {
 
 // --------------------------------------------------------------- binder --
 
-util::StatusOr<ResultSet> RunSelect(Database* db, const SelectStmt& stmt) {
+util::StatusOr<PlanPtr> BuildSelectPlan(const SelectStmt& stmt) {
   PlanPtr plan = MakeScan(stmt.table);
   if (!stmt.join_table.empty()) {
     plan = MakeHashJoin(plan, MakeScan(stmt.join_table), stmt.join_left_col,
@@ -827,7 +828,7 @@ util::StatusOr<ResultSet> RunSelect(Database* db, const SelectStmt& stmt) {
     }
     if (stmt.distinct) plan = MakeDistinct(plan);
     if (stmt.limit) plan = MakeLimit(plan, *stmt.limit, stmt.offset);
-    return plan->Execute(*db);
+    return plan;
   } else if (stmt.having) {
     return util::Status::InvalidArgument("HAVING requires GROUP BY");
   }
@@ -835,7 +836,7 @@ util::StatusOr<ResultSet> RunSelect(Database* db, const SelectStmt& stmt) {
   if (stmt.distinct) plan = MakeDistinct(plan);
   if (!stmt.order_by.empty()) plan = MakeSort(plan, stmt.order_by);
   if (stmt.limit) plan = MakeLimit(plan, *stmt.limit, stmt.offset);
-  return plan->Execute(*db);
+  return plan;
 }
 
 }  // namespace
@@ -850,7 +851,8 @@ util::StatusOr<ResultSet> ExecuteSql(Database* db,
   Parser parser(std::move(toks));
   if (parser.PeekKeyword("SELECT")) {
     FF_ASSIGN_OR_RETURN(SelectStmt stmt, parser.ParseSelect());
-    return RunSelect(db, stmt);
+    FF_ASSIGN_OR_RETURN(PlanPtr plan, BuildSelectPlan(stmt));
+    return ExecutePlan(plan, *db);
   }
   if (parser.PeekKeyword("CREATE")) {
     FF_ASSIGN_OR_RETURN(CreateStmt stmt, parser.ParseCreate());
@@ -927,6 +929,20 @@ util::StatusOr<ResultSet> ExecuteSql(Database* db,
   return util::Status::ParseError(
       "statement must start with SELECT, INSERT, UPDATE, DELETE or "
       "CREATE");
+}
+
+util::StatusOr<PlanPtr> PlanSql(const std::string& statement) {
+  Lexer lexer(statement);
+  FF_ASSIGN_OR_RETURN(std::vector<Token> toks, lexer.Tokenize());
+  if (toks.empty() || toks[0].kind == TokKind::kEnd) {
+    return util::Status::ParseError("empty statement");
+  }
+  Parser parser(std::move(toks));
+  if (!parser.PeekKeyword("SELECT")) {
+    return util::Status::ParseError("PlanSql only accepts SELECT");
+  }
+  FF_ASSIGN_OR_RETURN(SelectStmt stmt, parser.ParseSelect());
+  return BuildSelectPlan(stmt);
 }
 
 }  // namespace statsdb

@@ -39,6 +39,12 @@ class Database;
 util::StatusOr<ResultSet> ExecuteSql(Database* db,
                                      const std::string& statement);
 
+/// Parses a SELECT statement into its logical plan without executing it.
+/// Table/column binding happens at execution time, so no database is
+/// needed here. Used to run the same query through both the reference
+/// engine (PlanNode::Execute) and the vectorized one (exec.h).
+util::StatusOr<PlanPtr> PlanSql(const std::string& statement);
+
 }  // namespace statsdb
 }  // namespace ff
 

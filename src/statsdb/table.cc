@@ -3,12 +3,40 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/strings.h"
 
 namespace ff {
 namespace statsdb {
 
 Table::Table(std::string name, Schema schema)
-    : name_(std::move(name)), schema_(std::move(schema)) {}
+    : name_(std::move(name)), schema_(std::move(schema)), store_(&schema_) {}
+
+void Table::MaterializeRows() const {
+  size_t n = store_.num_rows();
+  size_t width = schema_.num_columns();
+  row_cache_.reserve(n);
+  for (size_t i = row_cache_.size(); i < n; ++i) {
+    Row row;
+    row.reserve(width);
+    for (size_t c = 0; c < width; ++c) row.push_back(store_.GetValue(i, c));
+    row_cache_.push_back(std::move(row));
+  }
+}
+
+const std::vector<Row>& Table::rows() const {
+  MaterializeRows();
+  return row_cache_;
+}
+
+const Row& Table::row(size_t i) const {
+  MaterializeRows();
+  return row_cache_[i];
+}
+
+const ColumnStore& Table::store() const {
+  store_.EnsureScanReady();
+  return store_;
+}
 
 util::Status Table::Insert(Row row) {
   FF_RETURN_NOT_OK(ValidateRow(schema_, row).WithContext(name_));
@@ -20,16 +48,18 @@ util::Status Table::Insert(Row row) {
       row[i] = Value::Double(static_cast<double>(row[i].int64_value()));
     }
   }
-  size_t row_index = rows_.size();
+  size_t row_index = store_.num_rows();
   for (auto& [col, index] : indexes_) {
     index[row[col]].push_back(row_index);
   }
-  rows_.push_back(std::move(row));
+  store_.Append(row);
+  // Keep a fully-materialized row cache warm instead of throwing it away.
+  if (row_cache_.size() == row_index) row_cache_.push_back(std::move(row));
   return util::Status::OK();
 }
 
 util::Status Table::UpdateCell(size_t row_index, size_t col_index, Value v) {
-  if (row_index >= rows_.size()) {
+  if (row_index >= store_.num_rows()) {
     return util::Status::OutOfRange("row index " + std::to_string(row_index));
   }
   if (col_index >= schema_.num_columns()) {
@@ -49,13 +79,16 @@ util::Status Table::UpdateCell(size_t row_index, size_t col_index, Value v) {
   auto idx_it = indexes_.find(col_index);
   if (idx_it != indexes_.end()) {
     auto& index = idx_it->second;
-    auto& old_bucket = index[rows_[row_index][col_index]];
+    auto& old_bucket = index[store_.GetValue(row_index, col_index)];
     old_bucket.erase(
         std::remove(old_bucket.begin(), old_bucket.end(), row_index),
         old_bucket.end());
     index[v].push_back(row_index);
   }
-  rows_[row_index][col_index] = std::move(v);
+  if (row_index < row_cache_.size()) {
+    row_cache_[row_index][col_index] = v;
+  }
+  store_.Set(row_index, col_index, v);
   return util::Status::OK();
 }
 
@@ -64,30 +97,35 @@ util::Status Table::DeleteRows(std::vector<size_t> row_indices) {
   row_indices.erase(
       std::unique(row_indices.begin(), row_indices.end()),
       row_indices.end());
-  if (!row_indices.empty() && row_indices.back() >= rows_.size()) {
+  if (!row_indices.empty() && row_indices.back() >= store_.num_rows()) {
     return util::Status::OutOfRange(
         "row index " + std::to_string(row_indices.back()));
   }
+  MaterializeRows();
   // Erase from the back so earlier indices stay valid.
   for (auto it = row_indices.rbegin(); it != row_indices.rend(); ++it) {
-    rows_.erase(rows_.begin() + static_cast<ptrdiff_t>(*it));
+    row_cache_.erase(row_cache_.begin() + static_cast<ptrdiff_t>(*it));
   }
-  // Row indices shifted; rebuild every index.
+  store_.Rebuild(row_cache_);
+  RebuildIndexes();
+  return util::Status::OK();
+}
+
+void Table::RebuildIndexes() {
   for (auto& [col, index] : indexes_) {
     index.clear();
-    for (size_t i = 0; i < rows_.size(); ++i) {
-      index[rows_[i][col]].push_back(i);
+    for (size_t i = 0; i < store_.num_rows(); ++i) {
+      index[store_.GetValue(i, col)].push_back(i);
     }
   }
-  return util::Status::OK();
 }
 
 util::Status Table::CreateIndex(const std::string& column) {
   FF_ASSIGN_OR_RETURN(size_t col, schema_.IndexOf(column));
   if (indexes_.count(col)) return util::Status::OK();
   HashIndex index;
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    index[rows_[i][col]].push_back(i);
+  for (size_t i = 0; i < store_.num_rows(); ++i) {
+    index[store_.GetValue(i, col)].push_back(i);
   }
   indexes_.emplace(col, std::move(index));
   return util::Status::OK();
@@ -110,10 +148,116 @@ util::StatusOr<std::vector<size_t>> Table::Lookup(const std::string& column,
     return sorted;
   }
   std::vector<size_t> out;
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    if (rows_[i][col].Compare(v) == 0) out.push_back(i);
+  for (size_t i = 0; i < store_.num_rows(); ++i) {
+    if (store_.GetValue(i, col).Compare(v) == 0) out.push_back(i);
   }
   return out;
+}
+
+// ------------------------------------------------------------ BulkAppender
+
+Table::BulkAppender::BulkAppender(Table* table)
+    : table_(table), first_row_(table->store_.num_rows()) {}
+
+Table::BulkAppender::~BulkAppender() {
+  if (!finished_) Finish().ok();
+}
+
+Table::BulkAppender& Table::BulkAppender::Null() {
+  if (!error_.ok()) return *this;
+  if (col_ >= table_->schema_.num_columns()) {
+    error_ = util::Status::InvalidArgument("row wider than schema");
+    return *this;
+  }
+  table_->store_.AppendNull(col_++);
+  return *this;
+}
+
+Table::BulkAppender& Table::BulkAppender::Cell(const Value& v) {
+  if (!error_.ok()) return *this;
+  if (v.is_null()) return Null();
+  switch (v.type()) {
+    case DataType::kBool:
+      return Bool(v.bool_value());
+    case DataType::kInt64:
+      return Int64(v.int64_value());
+    case DataType::kDouble:
+      return Double(v.double_value());
+    case DataType::kString:
+      return String(v.string_value());
+    case DataType::kNull:
+      return Null();
+  }
+  return *this;
+}
+
+#define FF_BULK_CHECK_(want_ok)                                           \
+  if (!error_.ok()) return *this;                                         \
+  if (col_ >= table_->schema_.num_columns()) {                            \
+    error_ = util::Status::InvalidArgument("row wider than schema");      \
+    return *this;                                                         \
+  }                                                                       \
+  DataType want = table_->schema_.column(col_).type;                      \
+  if (!(want_ok)) {                                                       \
+    error_ = util::Status::InvalidArgument(                               \
+        "type mismatch appending column " +                               \
+        table_->schema_.column(col_).name);                               \
+    return *this;                                                         \
+  }
+
+Table::BulkAppender& Table::BulkAppender::Bool(bool v) {
+  FF_BULK_CHECK_(want == DataType::kBool);
+  table_->store_.AppendBool(col_++, v);
+  return *this;
+}
+
+Table::BulkAppender& Table::BulkAppender::Int64(int64_t v) {
+  FF_BULK_CHECK_(want == DataType::kInt64 || want == DataType::kDouble);
+  table_->store_.AppendInt64(col_++, v);  // widens into double columns
+  return *this;
+}
+
+Table::BulkAppender& Table::BulkAppender::Double(double v) {
+  FF_BULK_CHECK_(want == DataType::kDouble);
+  table_->store_.AppendDouble(col_++, v);
+  return *this;
+}
+
+Table::BulkAppender& Table::BulkAppender::String(std::string_view v) {
+  FF_BULK_CHECK_(want == DataType::kString);
+  table_->store_.AppendString(col_++, v);
+  return *this;
+}
+
+#undef FF_BULK_CHECK_
+
+util::Status Table::BulkAppender::EndRow() {
+  if (!error_.ok()) return error_;
+  if (col_ != table_->schema_.num_columns()) {
+    error_ = util::Status::InvalidArgument(util::StrFormat(
+        "row width %zu != schema width %zu", col_,
+        table_->schema_.num_columns()));
+    return error_;
+  }
+  table_->store_.EndRow();
+  col_ = 0;
+  return util::Status::OK();
+}
+
+util::Status Table::BulkAppender::Finish() {
+  if (finished_) return error_;
+  finished_ = true;
+  if (!error_.ok()) return error_;
+  if (col_ != 0) {
+    error_ = util::Status::InvalidArgument("Finish() mid-row");
+    return error_;
+  }
+  for (auto& [col, index] : table_->indexes_) {
+    for (size_t i = first_row_; i < table_->store_.num_rows(); ++i) {
+      index[table_->store_.GetValue(i, col)].push_back(i);
+    }
+  }
+  return util::Status::OK();
 }
 
 }  // namespace statsdb

@@ -1,31 +1,43 @@
-// Row-store table with optional hash indexes. Small and simple by design:
-// the paper notes the run-statistics database stays small ("tuples for
-// each run execution ... rather than for each task execution"), so a
-// scan-oriented row store with per-column hash indexes is the right size.
+// Columnar table with optional hash indexes. Storage is column-oriented
+// (see column_store.h): contiguous typed vectors, dictionary-encoded
+// strings, packed null bitmaps, and per-chunk zone maps — the paper's
+// run-statistics workload is scan/aggregate-heavy, and at fleet scale
+// (thousands of runs x per-task spans) row-at-a-time scans became the
+// bottleneck. The original row-view accessors (`rows()`, `row(i)`) are
+// preserved for compatibility and materialize lazily from the columns.
 
 #ifndef FF_STATSDB_TABLE_H_
 #define FF_STATSDB_TABLE_H_
 
 #include <map>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "statsdb/column_store.h"
 #include "statsdb/schema.h"
 
 namespace ff {
 namespace statsdb {
 
-/// A named table: schema + rows + optional per-column hash indexes.
+/// A named table: schema + columnar storage + optional hash indexes.
 class Table {
  public:
   Table(std::string name, Schema schema);
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
-  size_t num_rows() const { return rows_.size(); }
-  const std::vector<Row>& rows() const { return rows_; }
-  const Row& row(size_t i) const { return rows_[i]; }
+  size_t num_rows() const { return store_.num_rows(); }
+
+  /// Row views, materialized lazily from the column store. The reference
+  /// stays valid until the next mutation (as with the old row store, a
+  /// mutation may reallocate).
+  const std::vector<Row>& rows() const;
+  const Row& row(size_t i) const;
+
+  /// The columnar storage (zone maps guaranteed current on return).
+  const ColumnStore& store() const;
 
   /// Validates, widens int64 into double columns, appends, maintains
   /// indexes.
@@ -46,11 +58,54 @@ class Table {
   bool HasIndex(const std::string& column) const;
 
   /// Row indices where `column` == `v` (uses index when present, else
-  /// scans). NotFound for unknown columns.
+  /// scans the column). NotFound for unknown columns.
   util::StatusOr<std::vector<size_t>> Lookup(const std::string& column,
                                              const Value& v) const;
 
+  /// Bulk columnar ingest: cells are appended directly into the typed
+  /// column vectors in schema order, skipping per-row Row/Value
+  /// construction. Indexes are updated once in Finish().
+  ///
+  ///   Table::BulkAppender app(table);
+  ///   for (...) {
+  ///     app.String(r.forecast).Int64(r.day).Double(r.walltime);
+  ///     FF_RETURN_NOT_OK(app.EndRow());
+  ///   }
+  ///   FF_RETURN_NOT_OK(app.Finish());
+  class BulkAppender {
+   public:
+    explicit BulkAppender(Table* table);
+    ~BulkAppender();  // calls Finish() if the caller did not
+
+    BulkAppender& Null();
+    BulkAppender& Bool(bool v);
+    BulkAppender& Int64(int64_t v);
+    BulkAppender& Double(double v);
+    BulkAppender& String(std::string_view v);
+    /// Generic cell append (validates + widens like Insert).
+    BulkAppender& Cell(const Value& v);
+
+    /// Commits the current row; InvalidArgument on width/type mismatch
+    /// (the offending cells were recorded before the error surfaced, so
+    /// the append stops being usable — callers should abort the load).
+    util::Status EndRow();
+
+    /// Updates indexes for all appended rows. Idempotent.
+    util::Status Finish();
+
+    void Reserve(size_t rows) { table_->store_.Reserve(rows); }
+
+   private:
+    Table* table_;
+    size_t col_ = 0;
+    size_t first_row_;
+    util::Status error_ = util::Status::OK();
+    bool finished_ = false;
+  };
+
  private:
+  friend class BulkAppender;
+
   struct ValueHash {
     size_t operator()(const Value& v) const { return v.Hash(); }
   };
@@ -62,9 +117,14 @@ class Table {
   using HashIndex =
       std::unordered_map<Value, std::vector<size_t>, ValueHash, ValueEq>;
 
+  /// Extends the lazy row cache to cover all rows.
+  void MaterializeRows() const;
+  void RebuildIndexes();
+
   std::string name_;
   Schema schema_;
-  std::vector<Row> rows_;
+  ColumnStore store_;
+  mutable std::vector<Row> row_cache_;  // first N rows, N <= num_rows()
   std::map<size_t, HashIndex> indexes_;  // column index -> hash index
 };
 

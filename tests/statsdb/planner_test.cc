@@ -1,0 +1,272 @@
+// Plan-rewrite tests: predicate pushdown, index selection and top-k
+// annotation. Shapes are checked structurally (PlanKind casts) and via
+// ToString(), which must reflect pushed predicates, prunable columns and
+// index annotations.
+
+#include "statsdb/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "statsdb/database.h"
+#include "statsdb/exec.h"
+#include "statsdb/plan.h"
+#include "statsdb/table.h"
+
+namespace ff {
+namespace statsdb {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema runs({{"forecast", DataType::kString},
+                 {"day", DataType::kInt64},
+                 {"node", DataType::kString},
+                 {"walltime", DataType::kDouble}});
+    Table* t = *db_.CreateTable("runs", runs);
+    ASSERT_TRUE(t->Insert({Value::String("till"), Value::Int64(1),
+                           Value::String("f1"), Value::Double(10.0)})
+                    .ok());
+    ASSERT_TRUE(t->CreateIndex("forecast").ok());
+
+    Schema nodes({{"node", DataType::kString},
+                  {"speed", DataType::kDouble}});
+    Table* n = *db_.CreateTable("nodes", nodes);
+    ASSERT_TRUE(n->Insert({Value::String("f1"), Value::Double(1.0)}).ok());
+  }
+
+  Database db_;
+};
+
+TEST_F(PlannerTest, FilterMergesIntoScan) {
+  PlanPtr plan = OptimizePlan(
+      MakeFilter(MakeScan("runs"), Gt(Col("day"), LitInt(3))), db_);
+  ASSERT_EQ(plan->kind(), PlanKind::kScan);
+  const auto& scan = static_cast<const ScanNode&>(*plan);
+  EXPECT_NE(scan.predicate, nullptr);
+  EXPECT_NE(plan->ToString().find("pred="), std::string::npos);
+  EXPECT_NE(plan->ToString().find("prune=[day]"), std::string::npos);
+}
+
+TEST_F(PlannerTest, StackedFiltersKeepEvaluationOrder) {
+  // Inner (deeper) filter evaluates first in the reference engine, so it
+  // must come first in the folded conjunction.
+  PlanPtr plan = OptimizePlan(
+      MakeFilter(MakeFilter(MakeScan("runs"), Gt(Col("day"), LitInt(1))),
+                 Lt(Col("day"), LitInt(9))),
+      db_);
+  ASSERT_EQ(plan->kind(), PlanKind::kScan);
+  const auto& scan = static_cast<const ScanNode&>(*plan);
+  std::string pred = scan.predicate->ToString();
+  EXPECT_LT(pred.find("> 1"), pred.find("< 9")) << pred;
+}
+
+TEST_F(PlannerTest, IndexSelectedForEqualityOnIndexedColumn) {
+  PlanPtr plan = OptimizePlan(
+      MakeFilter(MakeScan("runs"), Eq(Col("forecast"), LitString("till"))),
+      db_);
+  ASSERT_EQ(plan->kind(), PlanKind::kScan);
+  const auto& scan = static_cast<const ScanNode&>(*plan);
+  EXPECT_EQ(scan.index_column, "forecast");
+  EXPECT_NE(plan->ToString().find("index=forecast"), std::string::npos);
+  // The conjunct stays in the predicate as a residual check.
+  EXPECT_NE(scan.predicate, nullptr);
+}
+
+TEST_F(PlannerTest, NoIndexForNonEqualityOrUnindexedColumn) {
+  PlanPtr p1 = OptimizePlan(
+      MakeFilter(MakeScan("runs"), Gt(Col("forecast"), LitString("a"))),
+      db_);
+  EXPECT_TRUE(static_cast<const ScanNode&>(*p1).index_column.empty());
+  PlanPtr p2 = OptimizePlan(
+      MakeFilter(MakeScan("runs"), Eq(Col("node"), LitString("f1"))), db_);
+  EXPECT_TRUE(static_cast<const ScanNode&>(*p2).index_column.empty());
+}
+
+TEST_F(PlannerTest, NoIndexForIncomparableLiteral) {
+  // forecast = 5 errors on every row, so the filter fails type analysis
+  // and is left intact above an unannotated scan — the index path may
+  // not skip the erroring rows.
+  PlanPtr plan = OptimizePlan(
+      MakeFilter(MakeScan("runs"), Eq(Col("forecast"), LitInt(5))), db_);
+  ASSERT_EQ(plan->kind(), PlanKind::kFilter);
+  const auto& f = static_cast<const FilterNode&>(*plan);
+  ASSERT_EQ(f.input->kind(), PlanKind::kScan);
+  EXPECT_TRUE(static_cast<const ScanNode&>(*f.input).index_column.empty());
+}
+
+TEST_F(PlannerTest, PushesThroughSortAndDistinct) {
+  PlanPtr plan = OptimizePlan(
+      MakeFilter(MakeDistinct(MakeSort(MakeScan("runs"), {{"day", true}})),
+                 Gt(Col("day"), LitInt(0))),
+      db_);
+  ASSERT_EQ(plan->kind(), PlanKind::kDistinct);
+  const auto& d = static_cast<const DistinctNode&>(*plan);
+  ASSERT_EQ(d.input->kind(), PlanKind::kSort);
+  const auto& s = static_cast<const SortNode&>(*d.input);
+  ASSERT_EQ(s.input->kind(), PlanKind::kScan);
+  EXPECT_NE(static_cast<const ScanNode&>(*s.input).predicate, nullptr);
+}
+
+TEST_F(PlannerTest, PushesThroughPassThroughProject) {
+  PlanPtr plan = OptimizePlan(
+      MakeFilter(MakeProject(MakeScan("runs"), {{Col("forecast"), "f"},
+                                                {Col("day"), "d"}}),
+                 Gt(Col("d"), LitInt(2))),
+      db_);
+  ASSERT_EQ(plan->kind(), PlanKind::kProject);
+  const auto& p = static_cast<const ProjectNode&>(*plan);
+  ASSERT_EQ(p.input->kind(), PlanKind::kScan);
+  // Pushed conjunct is rewritten to the input column name.
+  EXPECT_NE(static_cast<const ScanNode&>(*p.input)
+                .predicate->ToString()
+                .find("day"),
+            std::string::npos);
+}
+
+TEST_F(PlannerTest, DoesNotPushThroughComputedProjectColumn) {
+  PlanPtr plan = OptimizePlan(
+      MakeFilter(MakeProject(MakeScan("runs"),
+                             {{Div(Col("walltime"), LitDouble(3600.0)),
+                               "hours"}}),
+                 Gt(Col("hours"), LitDouble(1.0))),
+      db_);
+  // Filter must stay above the project.
+  ASSERT_EQ(plan->kind(), PlanKind::kFilter);
+  EXPECT_EQ(static_cast<const FilterNode&>(*plan).input->kind(),
+            PlanKind::kProject);
+}
+
+TEST_F(PlannerTest, PushesGroupKeyPredicateBelowAggregate) {
+  PlanPtr agg = MakeAggregate(MakeScan("runs"), {"forecast"},
+                              {{AggFunc::kAvg, Col("walltime"), "avg_w"}});
+  PlanPtr plan = OptimizePlan(
+      MakeFilter(agg, Eq(Col("forecast"), LitString("till"))), db_);
+  ASSERT_EQ(plan->kind(), PlanKind::kAggregate);
+  const auto& a = static_cast<const AggregateNode&>(*plan);
+  ASSERT_EQ(a.input->kind(), PlanKind::kScan);
+  EXPECT_EQ(static_cast<const ScanNode&>(*a.input).index_column,
+            "forecast");
+}
+
+TEST_F(PlannerTest, KeepsAggregateOutputPredicateAbove) {
+  PlanPtr agg = MakeAggregate(MakeScan("runs"), {"forecast"},
+                              {{AggFunc::kAvg, Col("walltime"), "avg_w"}});
+  PlanPtr plan = OptimizePlan(
+      MakeFilter(agg, Gt(Col("avg_w"), LitDouble(5.0))), db_);
+  ASSERT_EQ(plan->kind(), PlanKind::kFilter);
+}
+
+TEST_F(PlannerTest, SplitsConjunctsAcrossJoinSides) {
+  PlanPtr join = MakeHashJoin(MakeScan("runs"), MakeScan("nodes"), "node",
+                              "node");
+  PlanPtr plan = OptimizePlan(
+      MakeFilter(join, And(And(Gt(Col("day"), LitInt(0)),
+                               Gt(Col("speed"), LitDouble(0.5))),
+                           Eq(Col("node_r"), LitString("f1")))),
+      db_);
+  ASSERT_EQ(plan->kind(), PlanKind::kHashJoin);
+  const auto& j = static_cast<const HashJoinNode&>(*plan);
+  ASSERT_EQ(j.left->kind(), PlanKind::kScan);
+  ASSERT_EQ(j.right->kind(), PlanKind::kScan);
+  const auto& l = static_cast<const ScanNode&>(*j.left);
+  const auto& r = static_cast<const ScanNode&>(*j.right);
+  EXPECT_NE(l.predicate->ToString().find("day"), std::string::npos);
+  // Right-side conjuncts get the "_r" clash rename undone.
+  EXPECT_NE(r.predicate->ToString().find("speed"), std::string::npos);
+  EXPECT_NE(r.predicate->ToString().find("node"), std::string::npos);
+  EXPECT_EQ(r.predicate->ToString().find("node_r"), std::string::npos);
+}
+
+TEST_F(PlannerTest, KeepsCrossSideConjunctAboveJoin) {
+  PlanPtr join = MakeHashJoin(MakeScan("runs"), MakeScan("nodes"), "node",
+                              "node");
+  PlanPtr plan = OptimizePlan(
+      MakeFilter(join, Gt(Col("walltime"), Col("speed"))), db_);
+  ASSERT_EQ(plan->kind(), PlanKind::kFilter);
+  EXPECT_EQ(static_cast<const FilterNode&>(*plan).input->kind(),
+            PlanKind::kHashJoin);
+}
+
+TEST_F(PlannerTest, NeverPushesThroughLimit) {
+  PlanPtr plan = OptimizePlan(
+      MakeFilter(MakeLimit(MakeScan("runs"), 5, 0),
+                 Gt(Col("day"), LitInt(0))),
+      db_);
+  ASSERT_EQ(plan->kind(), PlanKind::kFilter);
+  EXPECT_EQ(static_cast<const FilterNode&>(*plan).input->kind(),
+            PlanKind::kLimit);
+}
+
+TEST_F(PlannerTest, TopKAnnotation) {
+  PlanPtr plan = OptimizePlan(
+      MakeLimit(MakeSort(MakeScan("runs"), {{"day", true}}), 7, 3), db_);
+  ASSERT_EQ(plan->kind(), PlanKind::kLimit);
+  const auto& lim = static_cast<const LimitNode&>(*plan);
+  ASSERT_EQ(lim.input->kind(), PlanKind::kSort);
+  EXPECT_EQ(static_cast<const SortNode&>(*lim.input).limit_hint, 10u);
+  EXPECT_NE(plan->ToString().find("top=10"), std::string::npos);
+}
+
+TEST_F(PlannerTest, TopKReachesSortThroughProject) {
+  PlanPtr plan = OptimizePlan(
+      MakeLimit(MakeProject(MakeSort(MakeScan("runs"), {{"day", true}}),
+                            {{Col("day"), "d"}}),
+                4, 0),
+      db_);
+  const auto& lim = static_cast<const LimitNode&>(*plan);
+  const auto& proj = static_cast<const ProjectNode&>(*lim.input);
+  EXPECT_EQ(static_cast<const SortNode&>(*proj.input).limit_hint, 4u);
+}
+
+TEST_F(PlannerTest, TopKDoesNotCrossDistinct) {
+  // Distinct consumes rows, so truncating the sort below it would be
+  // wrong.
+  PlanPtr plan = OptimizePlan(
+      MakeLimit(MakeDistinct(MakeSort(MakeScan("runs"), {{"day", true}})),
+                4, 0),
+      db_);
+  const auto& lim = static_cast<const LimitNode&>(*plan);
+  const auto& d = static_cast<const DistinctNode&>(*lim.input);
+  EXPECT_EQ(static_cast<const SortNode&>(*d.input).limit_hint, 0u);
+}
+
+TEST_F(PlannerTest, IllTypedFilterLeftIntact) {
+  // A non-boolean predicate must not be dismantled: execution has to
+  // report the reference error.
+  PlanPtr bad = MakeFilter(MakeScan("runs"), Add(Col("day"), LitInt(1)));
+  PlanPtr plan = OptimizePlan(bad, db_);
+  ASSERT_EQ(plan->kind(), PlanKind::kFilter);
+  auto ref = bad->Execute(db_);
+  auto opt = ExecutePlan(bad, db_);
+  ASSERT_FALSE(ref.ok());
+  ASSERT_FALSE(opt.ok());
+  EXPECT_EQ(ref.status().message(), opt.status().message());
+}
+
+TEST_F(PlannerTest, UnknownTableDegradesGracefully) {
+  PlanPtr plan = OptimizePlan(
+      MakeFilter(MakeScan("ghost"), Gt(Col("day"), LitInt(0))), db_);
+  EXPECT_TRUE(ExecutePlan(plan, db_).status().IsNotFound());
+}
+
+TEST_F(PlannerTest, OptimizedPlanStillExecutesOnReferenceEngine) {
+  // Annotations (index, top-k) are hints: the reference engine ignores
+  // them and must still produce correct results.
+  PlanPtr plan = OptimizePlan(
+      MakeLimit(
+          MakeSort(MakeFilter(MakeScan("runs"),
+                              Eq(Col("forecast"), LitString("till"))),
+                   {{"day", true}}),
+          3, 0),
+      db_);
+  auto rs = plan->Execute(db_);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace statsdb
+}  // namespace ff
