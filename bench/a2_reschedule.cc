@@ -10,9 +10,11 @@
 // displaced forecasts.
 
 #include <algorithm>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "factory/campaign.h"
+#include "parallel/sweep.h"
 #include "util/strings.h"
 
 using namespace ff;
@@ -88,13 +90,27 @@ int main() {
   std::printf(
       "\npolicy,completed_runs,stalled_runs,migrations,mean_walltime_s,"
       "worst_walltime_s\n");
-  for (core::ReschedulePolicy policy :
-       {core::ReschedulePolicy::kNone, core::ReschedulePolicy::kMinimal,
-        core::ReschedulePolicy::kFullReplan}) {
-    Outcome o = RunPolicy(policy);
+  // One policy per sweep replica: each campaign is self-seeded, so the
+  // ablation fans out across cores and the outcomes land in policy order
+  // regardless of which worker finished first. Recording stays off —
+  // this table must match the seed output byte for byte, and a live
+  // metrics registry would add sampling ticks to the event stream.
+  const std::vector<core::ReschedulePolicy> kPolicies = {
+      core::ReschedulePolicy::kNone, core::ReschedulePolicy::kMinimal,
+      core::ReschedulePolicy::kFullReplan};
+  std::vector<Outcome> outcomes(kPolicies.size());
+  parallel::SweepOptions sweep_opt;
+  sweep_opt.record_traces = false;
+  sweep_opt.record_metrics = false;
+  parallel::SweepRunner runner(sweep_opt);
+  runner.Run(kPolicies.size(), [&](parallel::ReplicaContext& ctx) {
+    outcomes[ctx.replica] = RunPolicy(kPolicies[ctx.replica]);
+  });
+  for (size_t i = 0; i < kPolicies.size(); ++i) {
+    const Outcome& o = outcomes[i];
     std::printf("%s,%d,%d,%d,%.0f,%.0f\n",
-                core::ReschedulePolicyName(policy), o.completed, o.stalled,
-                o.migrations, o.mean_walltime, o.worst_walltime);
+                core::ReschedulePolicyName(kPolicies[i]), o.completed,
+                o.stalled, o.migrations, o.mean_walltime, o.worst_walltime);
   }
 
   std::printf("\nSummary:\n");

@@ -4,8 +4,12 @@
 #ifndef FF_BENCH_BENCH_COMMON_H_
 #define FF_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "cluster/cluster.h"
 #include "dataflow/forecast_run.h"
@@ -47,6 +51,47 @@ inline std::unique_ptr<dataflow::ForecastRun> RunDataflow(
   run->Start();
   tb->sim.Run();
   return run;
+}
+
+/// Wall-clock milliseconds of one call.
+inline double WallMs(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// One variant's wall time over interleaved reps.
+struct RepTiming {
+  double wall_ms = 1e300;    // min over reps: the least-disturbed rep
+  double wall_ms_max = 0.0;  // max over reps: spread diagnostic
+  /// Run-to-run spread as a percentage of the best rep — the noise floor
+  /// any cross-variant comparison must beat to be meaningful.
+  double noise_pct() const {
+    return wall_ms > 0.0 && wall_ms < 1e300
+               ? 100.0 * (wall_ms_max - wall_ms) / wall_ms
+               : 0.0;
+  }
+};
+
+/// The perf benches' shared timing harness: every variant is timed once
+/// per round, rounds repeated `reps` times (v0, v1, ..., v0, v1, ...), so
+/// slow drift in machine load hits every variant equally instead of
+/// whichever happened to run last. Each variant reports the min and max
+/// over its reps. A variant measures itself and returns wall ms — usually
+/// `return WallMs([...]);` — which lets it exclude setup it does not want
+/// timed (recorder reservation, table construction).
+inline std::vector<RepTiming> MeasureInterleaved(
+    const std::vector<std::function<double()>>& variants, int reps) {
+  std::vector<RepTiming> out(variants.size());
+  for (int rep = 0; rep < reps; ++rep) {
+    for (size_t v = 0; v < variants.size(); ++v) {
+      double ms = variants[v]();
+      out[v].wall_ms = std::min(out[v].wall_ms, ms);
+      out[v].wall_ms_max = std::max(out[v].wall_ms_max, ms);
+    }
+  }
+  return out;
 }
 
 inline void PrintHeader(const std::string& id, const std::string& title) {

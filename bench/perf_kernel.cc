@@ -16,11 +16,15 @@
 // O(N) min-scan, std::priority_queue with copied std::function payloads),
 // so the speedup is measured in-process and stays meaningful on any host.
 //
+// Each (workload, kernel, n) point is the min over kReps reps, reps
+// interleaved round-robin across the four variants (bench_common.h's
+// MeasureInterleaved), so load drift cannot systematically favour either
+// kernel.
+//
 // Output: labelled CSV on stdout and BENCH_kernel.json (path = argv[1] or
 // ./BENCH_kernel.json) recording events/sec, wall ms and speedup per point.
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <limits>
@@ -29,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "cluster/ps_resource.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
@@ -173,12 +178,7 @@ class NaiveKernel {
 
 // ---------------------------------------------------------------------------
 
-double WallMs(std::function<void()> fn) {
-  auto t0 = std::chrono::steady_clock::now();
-  fn();
-  auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::milli>(t1 - t0).count();
-}
+using bench::WallMs;
 
 struct Result {
   std::string workload;
@@ -316,6 +316,7 @@ int main(int argc, char** argv) {
   const std::vector<int> kScales = {10, 100, 1000, 5000};
   const int kCompletions = 20000;  // replenish: fixed completions per point
   const int kOps = 20000;          // churn: fixed management ops per point
+  const int kReps = 3;  // the naive kernel dominates cost; 3 reps ~ 20 s
 
   std::printf("workload,kernel,n_jobs,events,wall_ms,events_per_sec,"
               "speedup_vs_naive\n");
@@ -325,12 +326,20 @@ int main(int argc, char** argv) {
     // Warm-up pass so allocator state does not favour either kernel.
     RunReplenishCurrent(n, 1000);
 
-    Result naive_r = RunReplenishNaive(n, kCompletions);
-    Result cur_r = RunReplenishCurrent(n, kCompletions);
+    Result naive_r, cur_r, naive_c, cur_c;
+    auto timings = bench::MeasureInterleaved(
+        {[&] { naive_r = RunReplenishNaive(n, kCompletions);
+               return naive_r.wall_ms; },
+         [&] { cur_r = RunReplenishCurrent(n, kCompletions);
+               return cur_r.wall_ms; },
+         [&] { naive_c = RunChurnNaive(n, kOps); return naive_c.wall_ms; },
+         [&] { cur_c = RunChurnCurrent(n, kOps); return cur_c.wall_ms; }},
+        kReps);
+    naive_r.wall_ms = timings[0].wall_ms;
+    cur_r.wall_ms = timings[1].wall_ms;
+    naive_c.wall_ms = timings[2].wall_ms;
+    cur_c.wall_ms = timings[3].wall_ms;
     double sp_r = cur_r.wall_ms > 0.0 ? naive_r.wall_ms / cur_r.wall_ms : 0.0;
-
-    Result naive_c = RunChurnNaive(n, kOps);
-    Result cur_c = RunChurnCurrent(n, kOps);
     double sp_c = cur_c.wall_ms > 0.0 ? naive_c.wall_ms / cur_c.wall_ms : 0.0;
     if (n == 1000) churn_1000_speedup = sp_c;
 

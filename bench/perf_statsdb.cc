@@ -35,13 +35,13 @@
 // Output: labelled CSV on stdout, BENCH_statsdb.json (default path).
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "logdata/loader.h"
 #include "statsdb/database.h"
 #include "statsdb/exec.h"
@@ -53,12 +53,7 @@
 namespace ff {
 namespace {
 
-double WallMs(const std::function<void()>& fn) {
-  auto t0 = std::chrono::steady_clock::now();
-  fn();
-  auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::milli>(t1 - t0).count();
-}
+using bench::WallMs;
 
 // Fleet-scale runs table, loaded day-outer: all forecasts for day 1, then
 // day 2, ... Chunks therefore hold a narrow day range and a single
@@ -183,16 +178,22 @@ int main(int argc, char** argv) {
     Point pt;
     pt.name = c.name;
     pt.result_rows = ref_rs->rows.size();
-    for (int rep = 0; rep < kReps; ++rep) {
-      pt.ref_ms = std::min(pt.ref_ms, WallMs([&] {
-                             auto rs = (*plan)->Execute(db);
-                             if (!rs.ok()) std::abort();
-                           }));
-      pt.vec_ms = std::min(pt.vec_ms, WallMs([&] {
-                             auto rs = statsdb::ExecutePlan(*plan, db);
-                             if (!rs.ok()) std::abort();
-                           }));
-    }
+    auto timings = bench::MeasureInterleaved(
+        {[&] {
+           return WallMs([&] {
+             auto rs = (*plan)->Execute(db);
+             if (!rs.ok()) std::abort();
+           });
+         },
+         [&] {
+           return WallMs([&] {
+             auto rs = statsdb::ExecutePlan(*plan, db);
+             if (!rs.ok()) std::abort();
+           });
+         }},
+        kReps);
+    pt.ref_ms = timings[0].wall_ms;
+    pt.vec_ms = timings[1].wall_ms;
     std::printf("%s,%zu,%.3f,%.3f,%.1f\n", pt.name.c_str(),
                 pt.result_rows, pt.ref_ms, pt.vec_ms, pt.speedup());
     bool is_checked = std::find(checked.begin(), checked.end(), pt.name) !=

@@ -21,12 +21,12 @@
 // and BENCH_trace.json (path = argv[1] or ./BENCH_trace.json).
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "cluster/ps_resource.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -38,12 +38,7 @@ namespace {
 
 constexpr int kReps = 5;
 
-double WallMs(const std::function<void()>& fn) {
-  auto t0 = std::chrono::steady_clock::now();
-  fn();
-  auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::milli>(t1 - t0).count();
-}
+using bench::WallMs;
 
 struct Point {
   std::string workload;
@@ -138,29 +133,32 @@ std::pair<uint64_t, double> MeasureRep(const std::string& workload,
                                  : ChurnOnce(n, budget);
 }
 
-// Measures all three modes with reps interleaved round-robin, so slow
-// drift in machine load hits every mode equally instead of whichever
-// mode happened to run last. Returns points in {off, metrics, full}
-// order with min/max over reps filled in.
+// Measures all three modes through the shared interleaved-reps harness
+// (bench_common.h), so slow drift in machine load hits every mode
+// equally instead of whichever mode happened to run last. Returns points
+// in {off, metrics, full} order with min/max over reps filled in.
 std::vector<Point> MeasureAllModes(const std::string& workload, int n,
                                    int budget) {
   const Mode kModes[] = {Mode::kOff, Mode::kMetrics, Mode::kFull};
   std::vector<Point> pts;
-  for (Mode mode : kModes) {
+  std::vector<std::function<double()>> variants;
+  for (size_t m = 0; m < 3; ++m) {
     Point pt;
     pt.workload = workload;
-    pt.mode = ModeName(mode);
+    pt.mode = ModeName(kModes[m]);
     pt.n_jobs = n;
-    pt.wall_ms = 1e300;
     pts.push_back(pt);
-  }
-  for (int rep = 0; rep < kReps; ++rep) {
-    for (size_t m = 0; m < 3; ++m) {
+    variants.push_back([&pts, &kModes, workload, n, budget, m] {
       auto [events, ms] = MeasureRep(workload, kModes[m], n, budget);
       pts[m].events = events;
-      pts[m].wall_ms = std::min(pts[m].wall_ms, ms);
-      pts[m].wall_ms_max = std::max(pts[m].wall_ms_max, ms);
-    }
+      return ms;
+    });
+  }
+  std::vector<bench::RepTiming> timings =
+      bench::MeasureInterleaved(variants, kReps);
+  for (size_t m = 0; m < 3; ++m) {
+    pts[m].wall_ms = timings[m].wall_ms;
+    pts[m].wall_ms_max = timings[m].wall_ms_max;
   }
   return pts;
 }

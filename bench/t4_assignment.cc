@@ -10,10 +10,12 @@
 // deadline misses. Also reports the priority policy (delay/drop) under
 // an induced capacity crunch.
 
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "core/planner.h"
+#include "parallel/sweep.h"
 #include "util/strings.h"
 
 using namespace ff;
@@ -70,61 +72,115 @@ int main() {
   std::printf(
       "\nfleet,nodes,heuristic,makespan_s,deadline_misses,dropped,"
       "max_rel_load\n");
+  // The 21-cell grid (3 scales x 7 heuristics) fans out one cell per
+  // sweep replica: every cell rebuilds its fleet from its own fixed seed,
+  // so the rows come back in grid order whatever the worker schedule.
+  // Recording is off — this table is byte-compared against the seed.
+  struct GridCase {
+    int n_runs;
+    int n_nodes;
+    core::PackHeuristic h;
+  };
+  struct GridResult {
+    bool ok = false;
+    std::string error;
+    double makespan = 0.0;
+    int misses = 0;
+    int dropped = 0;
+    double max_rel_load = 0.0;
+  };
+  std::vector<GridCase> cases;
   for (auto [n_runs, n_nodes] :
        {std::pair<int, int>{10, 6}, {50, 15}, {100, 30}}) {
-    auto reqs = Fleet(n_runs, static_cast<uint64_t>(n_runs));
-    auto manual = ManualLayout(reqs, n_nodes);
     for (core::PackHeuristic h :
          {core::PackHeuristic::kPreviousDay, core::PackHeuristic::kRandom,
           core::PackHeuristic::kRoundRobin, core::PackHeuristic::kFirstFit,
           core::PackHeuristic::kFirstFitDecreasing,
           core::PackHeuristic::kBestFitDecreasing,
           core::PackHeuristic::kLpt}) {
-      core::PlannerConfig cfg;
-      cfg.heuristic = h;
-      // The baselines report the raw packing without ForeMan's repair
-      // loop, matching the manual world they stand in for.
-      bool baseline = h == core::PackHeuristic::kPreviousDay ||
-                      h == core::PackHeuristic::kRandom ||
-                      h == core::PackHeuristic::kRoundRobin;
-      if (baseline) {
-        cfg.allow_move = false;
-        cfg.allow_delay = false;
-        cfg.allow_drop = false;
-      }
-      core::Planner planner(Plant(n_nodes), cfg);
-      util::Rng rng(17);
-      auto plan = planner.Plan(
-          reqs, h == core::PackHeuristic::kPreviousDay ? &manual : nullptr,
-          &rng);
-      if (!plan.ok()) {
-        std::printf("ERROR: %s\n", plan.status().ToString().c_str());
-        return 1;
-      }
-      std::printf("%d,%d,%s,%.0f,%d,%d,%.2f\n", n_runs, n_nodes,
-                  core::PackHeuristicName(h), plan->makespan,
-                  plan->deadline_misses, plan->dropped,
-                  plan->max_relative_load);
+      cases.push_back(GridCase{n_runs, n_nodes, h});
     }
   }
+  std::vector<GridResult> results(cases.size());
+  parallel::SweepOptions sweep_opt;
+  sweep_opt.record_traces = false;
+  sweep_opt.record_metrics = false;
+  parallel::SweepRunner runner(sweep_opt);
+  runner.Run(cases.size(), [&](parallel::ReplicaContext& ctx) {
+    const GridCase& c = cases[ctx.replica];
+    auto reqs = Fleet(c.n_runs, static_cast<uint64_t>(c.n_runs));
+    auto manual = ManualLayout(reqs, c.n_nodes);
+    core::PlannerConfig cfg;
+    cfg.heuristic = c.h;
+    // The baselines report the raw packing without ForeMan's repair
+    // loop, matching the manual world they stand in for.
+    bool baseline = c.h == core::PackHeuristic::kPreviousDay ||
+                    c.h == core::PackHeuristic::kRandom ||
+                    c.h == core::PackHeuristic::kRoundRobin;
+    if (baseline) {
+      cfg.allow_move = false;
+      cfg.allow_delay = false;
+      cfg.allow_drop = false;
+    }
+    core::Planner planner(Plant(c.n_nodes), cfg);
+    util::Rng rng(17);
+    auto plan = planner.Plan(
+        reqs, c.h == core::PackHeuristic::kPreviousDay ? &manual : nullptr,
+        &rng);
+    GridResult& r = results[ctx.replica];
+    if (!plan.ok()) {
+      r.error = plan.status().ToString();
+      return;
+    }
+    r.ok = true;
+    r.makespan = plan->makespan;
+    r.misses = plan->deadline_misses;
+    r.dropped = plan->dropped;
+    r.max_rel_load = plan->max_relative_load;
+  });
+  for (size_t i = 0; i < cases.size(); ++i) {
+    if (!results[i].ok) {
+      std::printf("ERROR: %s\n", results[i].error.c_str());
+      return 1;
+    }
+    std::printf("%d,%d,%s,%.0f,%d,%d,%.2f\n", cases[i].n_runs,
+                cases[i].n_nodes, core::PackHeuristicName(cases[i].h),
+                results[i].makespan, results[i].misses, results[i].dropped,
+                results[i].max_rel_load);
+  }
 
-  // Priority policy under a capacity crunch: 12 runs on 2 nodes.
+  // Priority policy under a capacity crunch: 12 runs on 2 nodes, one
+  // escalation mode per replica.
   std::printf("\npriority policy under capacity crunch (12 runs, 2 nodes):\n");
   std::printf("policy,makespan_s,misses,dropped,delayed\n");
-  auto crunch = Fleet(12, 5);
-  for (int mode = 0; mode < 3; ++mode) {
+  struct CrunchResult {
+    bool ok = false;
+    double makespan = 0.0;
+    int misses = 0;
+    int dropped = 0;
+    int delayed = 0;
+  };
+  std::vector<CrunchResult> crunch_results(3);
+  runner.Run(crunch_results.size(), [&](parallel::ReplicaContext& ctx) {
+    int mode = static_cast<int>(ctx.replica);
     core::PlannerConfig cfg;
     cfg.allow_move = true;
     cfg.allow_delay = mode >= 1;
     cfg.allow_drop = mode >= 2;
     core::Planner planner(Plant(2), cfg);
-    auto plan = planner.Plan(crunch);
-    if (!plan.ok()) return 1;
+    auto plan = planner.Plan(Fleet(12, 5));
+    if (!plan.ok()) return;
+    crunch_results[ctx.replica] =
+        CrunchResult{true, plan->makespan, plan->deadline_misses,
+                     plan->dropped, plan->delayed};
+  });
+  for (int mode = 0; mode < 3; ++mode) {
+    const CrunchResult& r = crunch_results[static_cast<size_t>(mode)];
+    if (!r.ok) return 1;
     std::printf("%s,%.0f,%d,%d,%d\n",
                 mode == 0 ? "move-only"
                           : (mode == 1 ? "move+delay" : "move+delay+drop"),
-                plan->makespan, plan->deadline_misses, plan->dropped,
-                plan->delayed);
+                r.makespan, r.misses, r.dropped, r.delayed);
   }
 
   std::printf("\nSummary:\n");

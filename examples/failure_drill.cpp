@@ -13,6 +13,7 @@
 #include "logdata/spc.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/sweep.h"
 #include "workload/fleet.h"
 
 using namespace ff;
@@ -53,25 +54,40 @@ int main() {
                 result->plan.deadline_misses);
   }
 
-  // --- Executed view: the campaign's day with the failure injected. ---
+  // --- Executed view: the campaign's day with the failure injected.
+  //     One policy per sweep replica (parallel/sweep.h); outcomes print
+  //     in policy order whatever the worker schedule. Recording stays
+  //     off so the event stream matches a bare campaign. ---
   std::printf("\nexecuted outcome over 5 days (failure day 2, recovery "
               "day 4):\n");
   std::printf("%-12s %10s %10s %14s\n", "policy", "completed", "stalled",
               "worst_walltime");
-  for (auto policy :
-       {core::ReschedulePolicy::kNone, core::ReschedulePolicy::kMinimal,
-        core::ReschedulePolicy::kFullReplan}) {
+  const std::vector<core::ReschedulePolicy> kExecPolicies = {
+      core::ReschedulePolicy::kNone, core::ReschedulePolicy::kMinimal,
+      core::ReschedulePolicy::kFullReplan};
+  struct ExecOutcome {
+    bool ok = false;
+    std::string error;
+    int completed = 0;
+    int stalled = 0;
+    double worst = 0.0;
+  };
+  std::vector<ExecOutcome> exec(kExecPolicies.size());
+  parallel::SweepOptions exec_opt;
+  exec_opt.record_traces = false;
+  exec_opt.record_metrics = false;
+  parallel::SweepRunner exec_runner(exec_opt);
+  exec_runner.Run(kExecPolicies.size(), [&](parallel::ReplicaContext& ctx) {
+    ExecOutcome& out = exec[ctx.replica];
     factory::CampaignConfig cfg;
     cfg.num_days = 5;
-    cfg.failure_policy = policy;
+    cfg.failure_policy = kExecPolicies[ctx.replica];
     factory::Campaign campaign(cfg);
     for (const auto& n : nodes) {
-      if (!campaign.AddNode(n.name, n.num_cpus, n.speed).ok()) return 1;
+      if (!campaign.AddNode(n.name, n.num_cpus, n.speed).ok()) return;
     }
     for (size_t i = 0; i < fleet.size(); ++i) {
-      if (!campaign.AddForecast(fleet[i], nodes[i % 4].name).ok()) {
-        return 1;
-      }
+      if (!campaign.AddForecast(fleet[i], nodes[i % 4].name).ok()) return;
     }
     factory::ChangeEvent down;
     down.day = 2;
@@ -85,22 +101,27 @@ int main() {
     campaign.AddEvent(up);
     auto result = campaign.Run();
     if (!result.ok()) {
-      std::cerr << result.status() << "\n";
-      return 1;
+      out.error = result.status().ToString();
+      return;
     }
-    int completed = 0, stalled = 0;
-    double worst = 0.0;
     for (const auto& rec : result->records) {
       if (rec.status == logdata::RunStatus::kCompleted) {
-        ++completed;
-        worst = std::max(worst, rec.walltime);
+        ++out.completed;
+        out.worst = std::max(out.worst, rec.walltime);
       } else if (rec.status == logdata::RunStatus::kRunning) {
-        ++stalled;
+        ++out.stalled;
       }
     }
+    out.ok = true;
+  });
+  for (size_t i = 0; i < kExecPolicies.size(); ++i) {
+    if (!exec[i].ok) {
+      std::cerr << exec[i].error << "\n";
+      return 1;
+    }
     std::printf("%-12s %10d %10d %13.0fs\n",
-                core::ReschedulePolicyName(policy), completed, stalled,
-                worst);
+                core::ReschedulePolicyName(kExecPolicies[i]),
+                exec[i].completed, exec[i].stalled, exec[i].worst);
   }
 
   // --- SPC drill: the monitor->replan loop over live telemetry. A guest
@@ -109,21 +130,37 @@ int main() {
   //     signalling forecast to the least-loaded node. ---
   std::printf("\nspc drill: guest load on f1 from day 10 (28 days, "
               "baseline 7)\n");
-  for (bool replan : {false, true}) {
-    obs::MetricsRegistry metrics;
-    obs::ScopedObservability scope(nullptr, &metrics);
+  // Monitor-only and replan-enabled variants run as two sweep replicas.
+  // The runner hands each its own metrics registry (same install the
+  // hand-rolled loop did), and the replan chart reads replica 1's
+  // registry from the sweep outputs after the barrier.
+  struct SpcOutcome {
+    bool ok = false;
+    std::string error;
+    int signals = 0;
+    int replans = 0;
+    double mean_tail = 0.0;
+    int first_day = 0;
+  };
+  std::vector<SpcOutcome> spc(2);
+  parallel::SweepOptions spc_opt;
+  spc_opt.record_traces = false;
+  spc_opt.record_metrics = true;
+  parallel::SweepRunner spc_runner(spc_opt);
+  auto spc_out = spc_runner.Run(2, [&](parallel::ReplicaContext& ctx) {
+    SpcOutcome& out = spc[ctx.replica];
+    bool replan = ctx.replica == 1;
     factory::CampaignConfig cfg;
     cfg.num_days = 28;
     cfg.spc_replan = replan;
     cfg.spc_baseline_days = 7;
+    out.first_day = cfg.first_day;
     factory::Campaign campaign(cfg);
     for (const auto& n : nodes) {
-      if (!campaign.AddNode(n.name, n.num_cpus, n.speed).ok()) return 1;
+      if (!campaign.AddNode(n.name, n.num_cpus, n.speed).ok()) return;
     }
     for (size_t i = 0; i < fleet.size(); ++i) {
-      if (!campaign.AddForecast(fleet[i], nodes[i % 4].name).ok()) {
-        return 1;
-      }
+      if (!campaign.AddForecast(fleet[i], nodes[i % 4].name).ok()) return;
     }
     for (int day = 10; day < 28; ++day) {
       factory::ChangeEvent guest;
@@ -135,8 +172,8 @@ int main() {
     }
     auto result = campaign.Run();
     if (!result.ok()) {
-      std::cerr << result.status() << "\n";
-      return 1;
+      out.error = result.status().ToString();
+      return;
     }
     // Mean walltime over the contended tail, averaged across forecasts.
     double tail_sum = 0.0;
@@ -149,17 +186,28 @@ int main() {
         }
       }
     }
+    out.signals = result->spc_signals;
+    out.replans = result->spc_replans;
+    out.mean_tail = tail_n > 0 ? tail_sum / tail_n : 0.0;
+    out.ok = true;
+  });
+  for (size_t i = 0; i < spc.size(); ++i) {
+    if (!spc[i].ok) {
+      std::cerr << spc[i].error << "\n";
+      return 1;
+    }
+    bool replan = i == 1;
     std::printf("  %-14s signals=%d replans=%d mean_tail_walltime=%.0fs\n",
-                replan ? "spc_replan=on" : "monitor-only", result->spc_signals,
-                result->spc_replans,
-                tail_n > 0 ? tail_sum / tail_n : 0.0);
+                replan ? "spc_replan=on" : "monitor-only", spc[i].signals,
+                spc[i].replans, spc[i].mean_tail);
     if (replan) {
       // Post-hoc chart over the same telemetry the monitor saw, for one
       // forecast that lived on the contended node.
       const std::string series_name =
           "campaign.walltime." + fleet[0].name;
-      auto report = logdata::SpcReport(metrics.SeriesValues(series_name), 7,
-                                       cfg.first_day);
+      auto report = logdata::SpcReport(
+          spc_out.replica_metrics[i]->SeriesValues(series_name), 7,
+          spc[i].first_day);
       if (report.ok()) {
         std::printf("\n%s chart (fit on days 1-7):\n%s", fleet[0].name.c_str(),
                     report->c_str());

@@ -1,0 +1,303 @@
+#include "obs/merge.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace ff {
+namespace obs {
+
+namespace {
+
+std::string LaneTrack(const MergeOptions& options, size_t replica,
+                      const std::string& track) {
+  return options.lane_prefix + std::to_string(replica) + "/" + track;
+}
+
+/// Sorts `order`, which arrives as a concatenation of per-replica runs
+/// (run r occupies [starts[r], starts[r+1]) after the sentinel push).
+/// Replica streams are recorded in virtual-time order, so each run is
+/// normally already sorted: pairwise-merging runs costs O(n log k)
+/// sequential passes instead of an O(n log n) comparison re-sort, which
+/// is the difference between the merge being noise and being the Amdahl
+/// bottleneck of a parallel sweep. Any unsorted run (a recorder fed
+/// out-of-order timestamps) falls back to std::sort — same total order
+/// either way, since (time, replica, index) has no duplicate keys.
+template <typename Ref>
+void SortRunConcatenation(std::vector<Ref>* order,
+                          std::vector<size_t> starts) {
+  starts.push_back(order->size());
+  for (size_t r = 0; r + 1 < starts.size(); ++r) {
+    if (!std::is_sorted(order->begin() + static_cast<ptrdiff_t>(starts[r]),
+                        order->begin() + static_cast<ptrdiff_t>(starts[r + 1]))) {
+      std::sort(order->begin(), order->end());
+      return;
+    }
+  }
+  std::vector<Ref> scratch(order->size());
+  std::vector<Ref>* src = order;
+  std::vector<Ref>* dst = &scratch;
+  while (starts.size() > 2) {
+    std::vector<size_t> next;
+    next.reserve(starts.size() / 2 + 2);
+    size_t b = 0;
+    for (; b + 2 < starts.size(); b += 2) {
+      next.push_back(starts[b]);
+      std::merge(src->begin() + static_cast<ptrdiff_t>(starts[b]),
+                 src->begin() + static_cast<ptrdiff_t>(starts[b + 1]),
+                 src->begin() + static_cast<ptrdiff_t>(starts[b + 1]),
+                 src->begin() + static_cast<ptrdiff_t>(starts[b + 2]),
+                 dst->begin() + static_cast<ptrdiff_t>(starts[b]));
+    }
+    if (b + 2 == starts.size()) {
+      // Odd run count: the last run rides along unmerged this pass.
+      next.push_back(starts[b]);
+      std::copy(src->begin() + static_cast<ptrdiff_t>(starts[b]),
+                src->begin() + static_cast<ptrdiff_t>(starts[b + 1]),
+                dst->begin() + static_cast<ptrdiff_t>(starts[b]));
+    }
+    next.push_back(starts.back());
+    starts = std::move(next);
+    std::swap(src, dst);
+  }
+  if (src != order) *order = std::move(*src);
+}
+
+}  // namespace
+
+void MergeTraces(const std::vector<const TraceRecorder*>& replicas,
+                 TraceRecorder* out, const MergeOptions& options) {
+  FF_CHECK(out->spans().empty() && out->instants().empty())
+      << "MergeTraces target must be freshly constructed";
+
+  // Global order: (start time, replica, per-replica span sequence). A
+  // span's parent is recorded before it in the same replica and starts no
+  // later, so parents always sort (and get their new ids) first.
+  // Sort keys are materialized into the refs so the sort touches one
+  // contiguous array instead of chasing per-replica span storage on
+  // every compare — at fleet scale the comparator dominates otherwise.
+  struct Ref {
+    double time;
+    uint32_t replica;
+    uint32_t index;  // into replicas[replica]->spans()
+    bool operator<(const Ref& o) const {
+      if (time != o.time) return time < o.time;
+      if (replica != o.replica) return replica < o.replica;
+      return index < o.index;
+    }
+  };
+  std::vector<Ref> order;
+  size_t total = 0;
+  for (const auto* r : replicas) {
+    if (r != nullptr) total += r->spans().size();
+  }
+  order.reserve(total);
+  out->ReserveSpans(total);
+  std::vector<size_t> starts;
+  for (size_t ri = 0; ri < replicas.size(); ++ri) {
+    if (replicas[ri] == nullptr) continue;
+    starts.push_back(order.size());
+    const auto& spans = replicas[ri]->spans();
+    for (size_t si = 0; si < spans.size(); ++si) {
+      order.push_back(Ref{spans[si].start, static_cast<uint32_t>(ri),
+                          static_cast<uint32_t>(si)});
+    }
+  }
+  SortRunConcatenation(&order, std::move(starts));
+
+  // Pass 1: emit spans in merged order and record old-id -> new-id per
+  // replica. Interned strings are re-interned into `out`; track names
+  // gain the replica lane prefix.
+  // Per-replica old-id -> new-id. Span ids are dense (1-based record
+  // indexes), so a flat vector replaces a hash map on the per-span path.
+  std::vector<std::vector<SpanId>> id_map(replicas.size());
+  for (size_t ri = 0; ri < replicas.size(); ++ri) {
+    if (replicas[ri] != nullptr) id_map[ri].assign(replicas[ri]->spans().size(), 0);
+  }
+  std::vector<std::unordered_map<StrId, StrId>> track_map(replicas.size());
+  // Plain (non-lane) re-intern cache, per replica: span names and arg
+  // keys repeat constantly, so pay the string hash once per distinct id.
+  std::vector<std::unordered_map<StrId, StrId>> str_map(replicas.size());
+  auto reintern = [&](size_t replica, StrId id) {
+    auto [it, fresh] = str_map[replica].try_emplace(id, 0);
+    if (fresh) it->second = out->Intern(replicas[replica]->str(id));
+    return it->second;
+  };
+  for (const Ref& ref : order) {
+    const TraceRecorder& src = *replicas[ref.replica];
+    const SpanRecord& s = src.spans()[ref.index];
+    StrId name = reintern(ref.replica, s.name);
+    auto [tit, tnew] = track_map[ref.replica].try_emplace(s.track, 0);
+    if (tnew) {
+      tit->second =
+          out->Intern(LaneTrack(options, ref.replica, src.str(s.track)));
+    }
+    StrId arg_key = s.arg_key == 0 ? 0 : reintern(ref.replica, s.arg_key);
+    SpanId new_id = out->BeginSpan(s.start, s.category, name, tit->second,
+                                   /*parent=*/0, arg_key, s.arg_value);
+    if (s.end >= 0.0) {
+      if (s.flags & kSpanFlagRemoved) {
+        out->EndSpanRemoved(new_id, s.end);
+      } else {
+        out->EndSpan(new_id, s.end);
+      }
+    }
+    id_map[ref.replica][ref.index] = new_id;
+  }
+
+  // Pass 2: parents (the complete id map now exists, so a parent links
+  // correctly wherever it sorted). A parent id with no mapping — caller
+  // passed a dangling id — degrades to "no parent" rather than aborting.
+  {
+    // spans() is immutable from outside; remap via the merged records'
+    // positions. BeginSpan appended in `order` sequence, so merged span k
+    // corresponds to order[k].
+    for (size_t k = 0; k < order.size(); ++k) {
+      const Ref& ref = order[k];
+      const SpanRecord& s = replicas[ref.replica]->spans()[ref.index];
+      if (s.parent == 0 || s.parent > id_map[ref.replica].size()) continue;
+      SpanId mapped = id_map[ref.replica][s.parent - 1];
+      if (mapped != 0) out->SetParent(static_cast<SpanId>(k + 1), mapped);
+    }
+  }
+
+  // Pass 3: span arguments, in merged-span order (and original record
+  // order within a span), so the merged arg streams are deterministic.
+  {
+    // Dense per-span arg index lists (span ids are 1-based record
+    // indexes); args pointing at id 0 or past the span table are dropped.
+    std::vector<std::vector<std::vector<size_t>>> num_by_span(replicas.size());
+    std::vector<std::vector<std::vector<size_t>>> str_by_span(replicas.size());
+    for (size_t ri = 0; ri < replicas.size(); ++ri) {
+      if (replicas[ri] == nullptr) continue;
+      size_t num_spans = replicas[ri]->spans().size();
+      num_by_span[ri].resize(num_spans);
+      str_by_span[ri].resize(num_spans);
+      const auto& na = replicas[ri]->num_args();
+      for (size_t i = 0; i < na.size(); ++i) {
+        if (na[i].span == 0 || na[i].span > num_spans) continue;
+        num_by_span[ri][na[i].span - 1].push_back(i);
+      }
+      const auto& sa = replicas[ri]->str_args();
+      for (size_t i = 0; i < sa.size(); ++i) {
+        if (sa[i].span == 0 || sa[i].span > num_spans) continue;
+        str_by_span[ri][sa[i].span - 1].push_back(i);
+      }
+    }
+    for (size_t k = 0; k < order.size(); ++k) {
+      const Ref& ref = order[k];
+      const TraceRecorder& src = *replicas[ref.replica];
+      SpanId new_id = static_cast<SpanId>(k + 1);
+      for (size_t i : num_by_span[ref.replica][ref.index]) {
+        const NumArgRecord& a = src.num_args()[i];
+        out->SpanArg(new_id, reintern(ref.replica, a.key), a.value);
+      }
+      for (size_t i : str_by_span[ref.replica][ref.index]) {
+        const StrArgRecord& a = src.str_args()[i];
+        out->SpanArg(new_id, src.str(a.key), src.str(a.value));
+      }
+    }
+  }
+
+  // Instants: (time, replica, sequence) order, lane-prefixed tracks.
+  std::vector<Ref> iorder;
+  std::vector<size_t> istarts;
+  for (size_t ri = 0; ri < replicas.size(); ++ri) {
+    if (replicas[ri] == nullptr) continue;
+    istarts.push_back(iorder.size());
+    const auto& instants = replicas[ri]->instants();
+    for (size_t ii = 0; ii < instants.size(); ++ii) {
+      iorder.push_back(Ref{instants[ii].time, static_cast<uint32_t>(ri),
+                           static_cast<uint32_t>(ii)});
+    }
+  }
+  SortRunConcatenation(&iorder, std::move(istarts));
+  for (const Ref& ref : iorder) {
+    const TraceRecorder& src = *replicas[ref.replica];
+    const InstantRecord& in = src.instants()[ref.index];
+    out->Instant(in.time, in.category, src.str(in.name),
+                 LaneTrack(options, ref.replica, src.str(in.track)));
+  }
+}
+
+void MergeMetrics(const std::vector<const MetricsRegistry*>& replicas,
+                  MetricsRegistry* out, const MergeOptions& options) {
+  FF_CHECK(out->samples().empty() && out->CounterNames().empty() &&
+           out->GaugeNames().empty() && out->HistogramNames().empty())
+      << "MergeMetrics target must be freshly constructed";
+
+  for (size_t ri = 0; ri < replicas.size(); ++ri) {
+    const MetricsRegistry* src = replicas[ri];
+    if (src == nullptr) continue;
+    for (const auto& name : src->CounterNames()) {
+      out->counter(name)->Add(src->FindCounter(name)->value());
+    }
+    for (const auto& name : src->GaugeNames()) {
+      out->gauge(options.lane_prefix + std::to_string(ri) + "/" + name)
+          ->Set(src->FindGauge(name)->value());
+    }
+    for (const auto& name : src->HistogramNames()) {
+      const Histogram* h = src->FindHistogram(name);
+      Histogram* merged = out->histogram(name, h->upper_bounds());
+      if (!merged->MergeFrom(*h)) {
+        // Bucket layouts disagree across replicas: keep the replica's
+        // observations under its lane instead of dropping them.
+        out->histogram(
+               options.lane_prefix + std::to_string(ri) + "/" + name,
+               h->upper_bounds())
+            ->MergeFrom(*h);
+      }
+    }
+  }
+
+  // Sample series: union by name, one global stream ordered by (time,
+  // replica, recording sequence). Names are resolved to merged ids once
+  // per (replica, series) — the per-sample cost is then an array index,
+  // which matters at fleet scale (hundreds of thousands of samples).
+  // Materialized sort keys (see MergeTraces): the (time, replica, index)
+  // triple lives in the ref itself, so std::sort never dereferences the
+  // source registries.
+  struct Ref {
+    double time;
+    uint32_t replica;
+    uint32_t index;
+    bool operator<(const Ref& o) const {
+      if (time != o.time) return time < o.time;
+      if (replica != o.replica) return replica < o.replica;
+      return index < o.index;
+    }
+  };
+  std::vector<std::vector<uint32_t>> id_map(replicas.size());
+  std::vector<Ref> order;
+  size_t total = 0;
+  for (const auto* r : replicas) {
+    if (r != nullptr) total += r->samples().size();
+  }
+  order.reserve(total);
+  out->ReserveSamples(total);
+  std::vector<size_t> starts;
+  for (size_t ri = 0; ri < replicas.size(); ++ri) {
+    if (replicas[ri] == nullptr) continue;
+    starts.push_back(order.size());
+    id_map[ri].reserve(replicas[ri]->num_metric_names());
+    for (size_t n = 0; n < replicas[ri]->num_metric_names(); ++n) {
+      id_map[ri].push_back(out->series_id(
+          replicas[ri]->metric_name(static_cast<uint32_t>(n))));
+    }
+    const auto& samples = replicas[ri]->samples();
+    for (size_t si = 0; si < samples.size(); ++si) {
+      order.push_back(Ref{samples[si].time, static_cast<uint32_t>(ri),
+                          static_cast<uint32_t>(si)});
+    }
+  }
+  SortRunConcatenation(&order, std::move(starts));
+  for (const Ref& ref : order) {
+    const MetricSample& s = replicas[ref.replica]->samples()[ref.index];
+    out->RecordById(s.time, id_map[ref.replica][s.metric], s.value);
+  }
+}
+
+}  // namespace obs
+}  // namespace ff

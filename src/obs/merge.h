@@ -1,0 +1,54 @@
+// Deterministic merge of per-replica telemetry — the post-barrier half of
+// a parallel sweep (parallel/sweep.h). Each campaign replica records into
+// its own TraceRecorder/MetricsRegistry on its worker thread; afterwards
+// the recordings are folded into one timeline with per-replica lanes.
+//
+// Determinism is the contract: the merge consumes replicas strictly in
+// replica-index order and orders events by (virtual time, replica, record
+// sequence), never by wall-clock completion or worker assignment, so the
+// merged output is byte-identical whether the sweep ran on 1, 4 or 16
+// threads (tested in tests/parallel/sweep_test.cc).
+
+#ifndef FF_OBS_MERGE_H_
+#define FF_OBS_MERGE_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ff {
+namespace obs {
+
+struct MergeOptions {
+  /// Lane prefix: replica i's track `t` becomes `<prefix><i>/<t>` in the
+  /// merged recorder (one group of lanes per replica in the Chrome view).
+  std::string lane_prefix = "r";
+};
+
+/// Merges `replicas` (index order = replica order) into `out`, which must
+/// be freshly constructed. Spans are ordered by (start time, replica,
+/// span sequence) and instants by (time, replica, sequence); parent links
+/// and span arguments are remapped; tracks gain per-replica lane
+/// prefixes. Null entries are skipped (a replica with tracing disabled).
+void MergeTraces(const std::vector<const TraceRecorder*>& replicas,
+                 TraceRecorder* out, const MergeOptions& options = {});
+
+/// Union-merges `replicas` into `out` (freshly constructed):
+///   - counters: summed under their original names (commutative, so the
+///     result is independent of replica completion order);
+///   - histograms: bucket-wise sums under the original name when every
+///     replica agrees on the bucket layout, lane-prefixed otherwise;
+///   - gauges: lane-prefixed (`<prefix><i>/<name>`) — point-in-time
+///     values from different replicas cannot be meaningfully combined;
+///   - sample series: union of series names; samples of a series from
+///     all replicas appear in one stream ordered by (time, replica,
+///     recording sequence).
+void MergeMetrics(const std::vector<const MetricsRegistry*>& replicas,
+                  MetricsRegistry* out, const MergeOptions& options = {});
+
+}  // namespace obs
+}  // namespace ff
+
+#endif  // FF_OBS_MERGE_H_

@@ -45,6 +45,14 @@ double Histogram::Quantile(double q) const {
   return bounds_.back();
 }
 
+bool Histogram::MergeFrom(const Histogram& other) {
+  if (bounds_ != other.bounds_) return false;
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  return true;
+}
+
 Counter* MetricsRegistry::counter(const std::string& name) {
   FF_CHECK(!gauges_.count(name) && !histograms_.count(name))
       << "metric " << name << " already registered with another kind";

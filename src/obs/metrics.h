@@ -65,6 +65,12 @@ class Histogram {
   /// empty.
   double Quantile(double q) const;
 
+  /// Adds `other`'s observations bucket-wise (sweep merge path). Returns
+  /// false — and leaves this histogram untouched — when the bucket
+  /// layouts differ; bucket-wise addition is commutative, so a merged
+  /// histogram is independent of replica completion order.
+  bool MergeFrom(const Histogram& other);
+
  private:
   std::vector<double> bounds_;
   std::vector<uint64_t> counts_;
@@ -106,6 +112,14 @@ class MetricsRegistry {
   /// Appends an explicit sample (e.g. a per-run walltime the moment it
   /// completes) without touching any instrument.
   void Record(double t, const std::string& series, double value);
+
+  /// Bulk-append path (sweep merge): resolve a series name to its id
+  /// once, then append samples by id — skips the per-sample name lookup.
+  uint32_t series_id(const std::string& series) { return InternName(series); }
+  void RecordById(double t, uint32_t series_id, double value) {
+    samples_.push_back(MetricSample{t, series_id, value});
+  }
+  void ReserveSamples(size_t n) { samples_.reserve(n); }
 
   const std::vector<MetricSample>& samples() const { return samples_; }
   const std::string& metric_name(uint32_t id) const { return names_[id]; }

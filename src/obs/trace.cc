@@ -78,9 +78,9 @@ size_t TraceRecorder::OpenSpans() const {
 
 #if !defined(FF_TRACING_DISABLED)
 namespace internal {
-TraceRecorder* g_trace = nullptr;
-MetricsRegistry* g_metrics = nullptr;
-uint64_t g_epoch = 1;
+thread_local TraceRecorder* g_trace = nullptr;
+thread_local MetricsRegistry* g_metrics = nullptr;
+thread_local uint64_t g_epoch = 1;
 }  // namespace internal
 #endif
 

@@ -16,8 +16,10 @@
 //     allocation; one numeric arg rides inline, the rest live in cold
 //     side tables.
 //
-// The recorder is installed process-wide with ScopedObservability (the
-// simulation is single-threaded, matching sim::Simulator's contract).
+// The recorder is installed per-thread with ScopedObservability: each
+// sim::Simulator is single-threaded, and a parallel sweep runs one
+// simulator (and one recorder) per worker thread, merging the recordings
+// afterwards (obs/merge.h).
 
 #ifndef FF_OBS_TRACE_H_
 #define FF_OBS_TRACE_H_
@@ -133,6 +135,13 @@ class TraceRecorder {
     s.flags |= kSpanFlagRemoved;
   }
 
+  /// Rewrites a span's parent link. Used by the sweep merge (obs/merge.cc)
+  /// to remap parents onto merged ids; ignored for id 0.
+  void SetParent(SpanId id, SpanId parent) {
+    if (id == 0) return;
+    spans_[id - 1].parent = parent;
+  }
+
   void Instant(double t, SpanCategory cat, std::string_view name,
                std::string_view track) {
     instants_.push_back(InstantRecord{t, Intern(name), Intern(track), cat});
@@ -186,15 +195,20 @@ constexpr MetricsRegistry* ActiveMetrics() { return nullptr; }
 constexpr uint64_t ObsEpoch() { return 0; }
 #else
 namespace internal {
-extern TraceRecorder* g_trace;
-extern MetricsRegistry* g_metrics;
-extern uint64_t g_epoch;
+// Thread-local, not process-global: a parallel sweep installs one
+// recorder per worker thread (each campaign replica records into its
+// own), and a thread-local active pointer keeps the instrumentation
+// sites lock-free and race-free. Single-threaded use is unchanged —
+// the main thread's slot behaves exactly like the old global.
+extern thread_local TraceRecorder* g_trace;
+extern thread_local MetricsRegistry* g_metrics;
+extern thread_local uint64_t g_epoch;
 }  // namespace internal
 inline TraceRecorder* ActiveTrace() { return internal::g_trace; }
 inline MetricsRegistry* ActiveMetrics() { return internal::g_metrics; }
-/// Bumped on every ScopedObservability install/uninstall. Hot paths cache
-/// interned ids / instrument pointers against this, not the recorder
-/// address (a new recorder can reuse a freed one's address).
+/// Bumped on every ScopedObservability install/uninstall (per thread).
+/// Hot paths cache interned ids / instrument pointers against this, not
+/// the recorder address (a new recorder can reuse a freed one's address).
 inline uint64_t ObsEpoch() { return internal::g_epoch; }
 #endif
 

@@ -1,0 +1,121 @@
+// SweepRunner: fan N independent campaign/scenario replicas across a
+// work-stealing pool (parallel/thread_pool.h) and fold their outputs into
+// one deterministic result — the "run the factory a thousand times
+// tonight" workflow the paper's operators needed for what-if studies.
+//
+// Each replica gets its own sim::Simulator (built by the caller's replica
+// function), its own util::Rng stream (Rng(base_seed).Split(i): a pure
+// function of seed and replica index, independent of draw order and
+// worker count), and its own thread-locally installed TraceRecorder /
+// MetricsRegistry. After the barrier the per-replica recordings are
+// merged by (virtual time, replica, sequence) with per-replica lanes
+// (obs/merge.h) and log records are concatenated in replica order.
+//
+// Determinism contract: every merged output — Chrome trace JSON, metrics
+// CSV, the statsdb table LoadSweepRuns builds — is byte-identical whether
+// the sweep ran on 1, 4 or 16 worker threads, and across repeated runs
+// (tests/parallel/sweep_test.cc).
+
+#ifndef FF_PARALLEL_SWEEP_H_
+#define FF_PARALLEL_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "logdata/log_record.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "statsdb/database.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ff {
+namespace parallel {
+
+struct SweepOptions {
+  /// Worker threads. 0 = hardware concurrency; 1 = run replicas inline on
+  /// the calling thread (no pool) — the serial baseline the determinism
+  /// tests compare against.
+  size_t num_workers = 0;
+  /// Seed of the sweep; replica i draws from Rng(base_seed).Split(i).
+  uint64_t base_seed = 42;
+  /// Give each replica a TraceRecorder / MetricsRegistry (installed
+  /// thread-locally for the replica function) and build merged views.
+  bool record_traces = true;
+  bool record_metrics = true;
+  /// Replica i's tracks appear as "<lane_prefix><i>/<track>" when merged.
+  std::string lane_prefix = "r";
+};
+
+/// Everything a replica function gets to work with.
+struct ReplicaContext {
+  size_t replica = 0;
+  size_t num_replicas = 0;
+  /// This replica's private stream; deterministic in (base_seed, replica).
+  util::Rng rng;
+  /// This replica's recorders; null when disabled in SweepOptions. They
+  /// are also installed as the thread's active observability, so code
+  /// using obs::ActiveTrace()/ActiveMetrics() (Campaign, Machine, ...)
+  /// records into them without being passed a handle.
+  obs::TraceRecorder* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Log records the replica wants in the merged statsdb ingest.
+  std::vector<logdata::LogRecord>* records = nullptr;
+};
+
+/// Per-replica outputs plus the deterministic merged views.
+struct SweepOutputs {
+  size_t num_replicas = 0;
+  size_t num_workers = 0;  // as resolved (0 option -> hardware count)
+  uint64_t steals = 0;     // successful deque steals during the sweep
+
+  /// Indexed by replica. Entries are null when recording was disabled.
+  std::vector<std::unique_ptr<obs::TraceRecorder>> replica_traces;
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> replica_metrics;
+  std::vector<std::vector<logdata::LogRecord>> replica_records;
+
+  /// Merged views (null when the corresponding recording was disabled).
+  std::unique_ptr<obs::TraceRecorder> merged_trace;
+  std::unique_ptr<obs::MetricsRegistry> merged_metrics;
+  /// All replica records, concatenated in replica order.
+  std::vector<logdata::LogRecord> merged_records;
+};
+
+/// Runs replica functions across a private thread pool and merges.
+class SweepRunner {
+ public:
+  using ReplicaFn = std::function<void(ReplicaContext&)>;
+
+  explicit SweepRunner(SweepOptions options = {}) : options_(options) {}
+
+  /// Runs fn once per replica (any replica on any worker, work-stealing
+  /// balance) and returns per-replica plus merged outputs. The replica
+  /// function must confine itself to its ReplicaContext — replicas share
+  /// nothing, which is what makes the sweep embarrassingly parallel.
+  SweepOutputs Run(size_t num_replicas, const ReplicaFn& fn);
+
+  const SweepOptions& options() const { return options_; }
+
+ private:
+  SweepOptions options_;
+};
+
+/// Name of the table LoadSweepRuns creates: RunsSchema plus a leading
+/// `replica` column.
+inline constexpr char kSweepRunsTable[] = "sweep_runs";
+
+/// Bulk-loads every replica's log records into `db` under a single writer
+/// (statsdb is single-writer by design; the sweep's parallelism ends at
+/// the merge barrier). Replaces any existing sweep_runs table. Rows are
+/// appended in (replica, record) order via Table::BulkAppender, so the
+/// table contents are deterministic.
+util::StatusOr<statsdb::Table*> LoadSweepRuns(statsdb::Database* db,
+                                              const SweepOutputs& outputs);
+
+}  // namespace parallel
+}  // namespace ff
+
+#endif  // FF_PARALLEL_SWEEP_H_

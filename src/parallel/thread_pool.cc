@@ -1,0 +1,242 @@
+#include "parallel/thread_pool.h"
+
+#include "util/logging.h"
+
+namespace ff {
+namespace parallel {
+
+namespace {
+// Which pool (if any) owns the current thread; lets Submit route a
+// worker's own submissions onto its deque instead of the bounded queue.
+thread_local ThreadPool* tl_pool = nullptr;
+thread_local size_t tl_worker = 0;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TaskDeque — Chase & Lev's circular deque, C11 orderings per Le et al.
+
+TaskDeque::TaskDeque() : array_(new RingArray(64)) {}
+
+TaskDeque::~TaskDeque() {
+  // By now no thief is running; drain anything never executed.
+  RingArray* a = array_.load(std::memory_order_relaxed);
+  int64_t t = top_.load(std::memory_order_relaxed);
+  int64_t b = bottom_.load(std::memory_order_relaxed);
+  for (int64_t i = t; i < b; ++i) delete a->Get(i);
+  delete a;
+}
+
+void TaskDeque::PushBottom(Task* task) {
+  int64_t b = bottom_.load(std::memory_order_relaxed);
+  int64_t t = top_.load(std::memory_order_acquire);
+  RingArray* a = array_.load(std::memory_order_relaxed);
+  if (b - t > static_cast<int64_t>(a->capacity) - 1) {
+    a = Grow(a, t, b);
+  }
+  a->Put(b, task);
+  std::atomic_thread_fence(std::memory_order_release);
+  bottom_.store(b + 1, std::memory_order_relaxed);
+}
+
+TaskDeque::Task* TaskDeque::PopBottom() {
+  int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  RingArray* a = array_.load(std::memory_order_relaxed);
+  bottom_.store(b, std::memory_order_relaxed);
+  // The fence orders the bottom_ publication against the top_ read below;
+  // this is the owner's half of the owner/thief race on the last element.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  int64_t t = top_.load(std::memory_order_relaxed);
+  Task* task = nullptr;
+  if (t <= b) {
+    task = a->Get(b);
+    if (t == b) {
+      // One element left: race thieves for it via the top_ CAS.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        task = nullptr;  // a thief got there first
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+  } else {
+    bottom_.store(b + 1, std::memory_order_relaxed);  // was empty
+  }
+  return task;
+}
+
+TaskDeque::Task* TaskDeque::StealTop() {
+  int64_t t = top_.load(std::memory_order_acquire);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  int64_t b = bottom_.load(std::memory_order_acquire);
+  if (t >= b) return nullptr;
+  RingArray* a = array_.load(std::memory_order_acquire);
+  Task* task = a->Get(t);
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed)) {
+    return nullptr;  // owner's pop or another thief won index t
+  }
+  return task;
+}
+
+size_t TaskDeque::ApproxSize() const {
+  int64_t b = bottom_.load(std::memory_order_relaxed);
+  int64_t t = top_.load(std::memory_order_relaxed);
+  return b > t ? static_cast<size_t>(b - t) : 0;
+}
+
+TaskDeque::RingArray* TaskDeque::Grow(RingArray* array, int64_t top,
+                                      int64_t bottom) {
+  auto* bigger = new RingArray(array->capacity * 2);
+  for (int64_t i = top; i < bottom; ++i) bigger->Put(i, array->Get(i));
+  array_.store(bigger, std::memory_order_release);
+  retired_.emplace_back(array);  // thieves may still hold a pointer
+  return bigger;
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+size_t ThreadPool::DefaultThreads() {
+  size_t n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+ThreadPool::ThreadPool() : ThreadPool(Options{}) {}
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : ThreadPool(Options{num_threads, 1024}) {}
+
+ThreadPool::ThreadPool(Options options) : options_(options) {
+  size_t n = options_.num_threads == 0 ? DefaultThreads()
+                                       : options_.num_threads;
+  FF_CHECK(options_.max_queue > 0) << "thread pool needs a non-empty queue";
+  deques_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    deques_.push_back(std::make_unique<TaskDeque>());
+  }
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  not_full_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  auto* task = new std::function<void()>(std::move(fn));
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  if (tl_pool == this) {
+    // Worker-spawned task: lock-free push onto the worker's own deque;
+    // the bounded queue (and its backpressure) is for external producers.
+    deques_[tl_worker]->PushBottom(task);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++work_signal_;
+    work_cv_.notify_one();
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_cv_.wait(lock, [&] {
+    return global_.size() < options_.max_queue || stop_;
+  });
+  FF_CHECK(!stop_) << "Submit on a stopping ThreadPool";
+  global_.push_back(task);
+  ++work_signal_;
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) {
+  FF_CHECK(tl_pool != this) << "ParallelFor from a pool worker would "
+                               "deadlock in Wait";
+  if (n == 0) return;
+  // Fan out from inside a worker: a single root task submits the rest,
+  // which lands them on that worker's own deque — the calling thread
+  // would otherwise funnel everything through the bounded global queue
+  // and the work-stealing deques would sit idle. The root runs index 0
+  // itself while the other workers steal. References are safe to
+  // capture: Wait() holds this frame alive until every task finished.
+  Submit([this, n, &fn] {
+    for (size_t i = 1; i < n; ++i) {
+      Submit([&fn, i] { fn(i); });
+    }
+    fn(0);
+  });
+  Wait();
+}
+
+std::function<void()>* ThreadPool::FindWork(size_t index) {
+  if (auto* task = deques_[index]->PopBottom()) return task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!global_.empty()) {
+      auto* task = global_.front();
+      global_.pop_front();
+      not_full_cv_.notify_one();
+      return task;
+    }
+  }
+  size_t n = deques_.size();
+  for (size_t k = 1; k < n; ++k) {
+    if (auto* task = deques_[(index + k) % n]->StealTop()) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+void ThreadPool::RunTask(std::function<void()>* task) {
+  (*task)();
+  delete task;
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last pending task: wake Wait(). Lock so the notify cannot slip
+    // between a waiter's predicate check and its wait.
+    std::lock_guard<std::mutex> lock(mu_);
+    idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  tl_pool = this;
+  tl_worker = index;
+  for (;;) {
+    if (auto* task = FindWork(index)) {
+      RunTask(task);
+      continue;
+    }
+    uint64_t sig;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) return;
+      sig = work_signal_;
+    }
+    // A task enqueued after the failed scan above bumps work_signal_, so
+    // re-scanning once with the pre-scan signal in hand closes the
+    // missed-wakeup window.
+    if (auto* task = FindWork(index)) {
+      RunTask(task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    work_cv_.wait(lock, [&] { return stop_ || work_signal_ != sig; });
+    if (stop_) return;
+  }
+}
+
+}  // namespace parallel
+}  // namespace ff

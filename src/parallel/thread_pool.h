@@ -1,0 +1,150 @@
+// Work-stealing thread pool for campaign sweeps (parallel/sweep.h).
+//
+// Topology: one Chase–Lev deque per worker plus one bounded global
+// submission queue. A worker services its own deque LIFO (PopBottom: hot
+// caches, no contention), falls back to the global queue, then steals
+// FIFO from other workers' deques (StealTop: the oldest — usually
+// largest — piece of work moves, amortising the steal). External threads
+// submit through the global queue and block when it is full
+// (backpressure); tasks spawned *by* a worker go straight onto its own
+// deque and are only visible to thieves, never to the bounded queue.
+//
+// The deque is the C11 formulation of Chase & Lev's dynamic circular
+// work-stealing deque (Le et al., PPoPP'13): owner pushes/pops at the
+// bottom with plain loads plus fences, thieves CAS the top index. The
+// ring array grows geometrically; retired arrays stay alive until the
+// deque dies because a thief may still hold a pointer into one.
+//
+// Scheduling is intentionally non-deterministic (whichever worker is
+// idle steals); determinism of sweep *results* is the merge layer's job
+// (obs/merge.h), which orders by replica index, never by completion.
+
+#ifndef FF_PARALLEL_THREAD_POOL_H_
+#define FF_PARALLEL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ff {
+namespace parallel {
+
+/// Growable single-owner / multi-thief deque of heap-allocated closures.
+/// Owner: PushBottom / PopBottom. Any thread: StealTop.
+class TaskDeque {
+ public:
+  using Task = std::function<void()>;
+
+  TaskDeque();
+  ~TaskDeque();
+
+  TaskDeque(const TaskDeque&) = delete;
+  TaskDeque& operator=(const TaskDeque&) = delete;
+
+  /// Owner only. Takes ownership of `task`.
+  void PushBottom(Task* task);
+  /// Owner only. Null when empty (or lost the race for the last task).
+  Task* PopBottom();
+  /// Any thread. Null when empty or when a concurrent steal won the CAS.
+  Task* StealTop();
+
+  /// Approximate (racy) size; for tests and heuristics only.
+  size_t ApproxSize() const;
+
+ private:
+  struct RingArray {
+    explicit RingArray(size_t cap)
+        : capacity(cap), mask(cap - 1),
+          slots(std::make_unique<std::atomic<Task*>[]>(cap)) {}
+    Task* Get(int64_t i) const {
+      return slots[static_cast<size_t>(i) & mask].load(
+          std::memory_order_acquire);
+    }
+    void Put(int64_t i, Task* t) {
+      slots[static_cast<size_t>(i) & mask].store(t,
+                                                 std::memory_order_release);
+    }
+    const size_t capacity;
+    const size_t mask;
+    std::unique_ptr<std::atomic<Task*>[]> slots;
+  };
+
+  RingArray* Grow(RingArray* array, int64_t top, int64_t bottom);
+
+  std::atomic<int64_t> top_{0};
+  std::atomic<int64_t> bottom_{0};
+  std::atomic<RingArray*> array_;
+  // Arrays replaced by Grow; owner-only. Kept alive for the deque's
+  // lifetime so a thief holding a stale array pointer reads valid memory.
+  std::vector<std::unique_ptr<RingArray>> retired_;
+};
+
+/// Fixed-size pool of work-stealing workers.
+class ThreadPool {
+ public:
+  struct Options {
+    /// 0 = std::thread::hardware_concurrency() (min 1).
+    size_t num_threads = 0;
+    /// Bound on the external submission queue; Submit blocks when full.
+    size_t max_queue = 1024;
+  };
+
+  ThreadPool();  // Options defaults: hardware threads, queue bound 1024
+  explicit ThreadPool(Options options);
+  explicit ThreadPool(size_t num_threads);
+  /// Waits for pending tasks, then stops and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. From a pool worker: pushed onto that worker's own
+  /// deque (never blocks). From outside: appended to the bounded global
+  /// queue, blocking while it is full.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every task submitted so far has finished executing.
+  void Wait();
+
+  /// Runs fn(0..n-1) across the pool and waits for all of them. Safe to
+  /// call from a non-worker thread only.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+  /// Total successful steals since construction (observability/tests).
+  uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop(size_t index);
+  /// One scan for work: own deque, global queue, then every other deque.
+  std::function<void()>* FindWork(size_t index);
+  void RunTask(std::function<void()>* task);
+
+  Options options_;
+  std::vector<std::unique_ptr<TaskDeque>> deques_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;      // workers park here
+  std::condition_variable not_full_cv_;  // producers park here
+  std::condition_variable idle_cv_;      // Wait() parks here
+  std::deque<std::function<void()>*> global_;  // bounded by max_queue
+  uint64_t work_signal_ = 0;  // bumped on every enqueue (missed-wake guard)
+  bool stop_ = false;
+
+  std::atomic<size_t> pending_{0};
+  std::atomic<uint64_t> steals_{0};
+};
+
+}  // namespace parallel
+}  // namespace ff
+
+#endif  // FF_PARALLEL_THREAD_POOL_H_

@@ -1,6 +1,7 @@
 #include "statsdb/plan.h"
 
 #include <algorithm>
+#include <queue>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -343,8 +344,37 @@ util::StatusOr<ResultSet> SortNode::Execute(const Database& db) const {
     FF_ASSIGN_OR_RETURN(size_t i, in.schema.IndexOf(k.column));
     cols.push_back(i);
   }
-  // limit_hint is deliberately ignored here: the reference engine always
-  // sorts fully; the hint only changes the vectorized algorithm.
+  // With a planner top-k hint (ORDER BY under LIMIT), keep a bounded
+  // heap of the first `limit_hint` rows in sort order instead of sorting
+  // everything: O(n log k) and k rows of output. Ties break by original
+  // row index, so the result is exactly the stable_sort prefix and the
+  // reference and vectorized engines stay bit-for-bit comparable.
+  if (limit_hint > 0 && limit_hint < in.rows.size()) {
+    auto before = [&](size_t a, size_t b) {
+      for (size_t k = 0; k < cols.size(); ++k) {
+        int c = in.rows[a][cols[k]].Compare(in.rows[b][cols[k]]);
+        if (c != 0) return keys[k].ascending ? c < 0 : c > 0;
+      }
+      return a < b;
+    };
+    // Max-heap under `before`: the top is the worst survivor, evicted
+    // whenever a row that sorts earlier arrives.
+    std::priority_queue<size_t, std::vector<size_t>, decltype(before)> heap(
+        before);
+    for (size_t i = 0; i < in.rows.size(); ++i) {
+      heap.push(i);
+      if (heap.size() > limit_hint) heap.pop();
+    }
+    std::vector<size_t> order(heap.size());
+    for (size_t j = order.size(); j-- > 0;) {
+      order[j] = heap.top();
+      heap.pop();
+    }
+    ResultSet out{in.schema, {}};
+    out.rows.reserve(order.size());
+    for (size_t i : order) out.rows.push_back(std::move(in.rows[i]));
+    return out;
+  }
   std::stable_sort(in.rows.begin(), in.rows.end(),
                    [&](const Row& a, const Row& b) {
                      for (size_t k = 0; k < cols.size(); ++k) {

@@ -106,5 +106,44 @@ size_t Rng::Index(size_t n) {
 
 Rng Rng::Fork() { return Rng(Next() ^ 0x9e3779b97f4a7c15ULL); }
 
+Rng Rng::Split(uint64_t i) const {
+  // Absorb the four state words and the child index into a splitmix64
+  // chain (the same expander Rng(seed) uses), then let the Rng(seed)
+  // constructor expand the digest into the child's state. The state is
+  // read, never advanced, so Split is draw-order independent.
+  uint64_t h = 0x243f6a8885a308d3ULL;  // pi, an arbitrary non-zero phase
+  for (uint64_t word : s_) {
+    uint64_t t = h ^ word;
+    h = SplitMix64(&t);
+  }
+  uint64_t t = h ^ i;
+  return Rng(SplitMix64(&t));
+}
+
+void Rng::Jump() {
+  // Canonical xoshiro256** jump constants (Blackman & Vigna): advances
+  // the state by 2^128 steps of Next().
+  static constexpr uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      Next();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+  have_cached_normal_ = false;
+}
+
 }  // namespace util
 }  // namespace ff

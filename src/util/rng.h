@@ -62,8 +62,23 @@ class Rng {
 
   /// Forks a child generator whose stream is independent of (but fully
   /// determined by) this one — used to give each forecast its own stream so
-  /// adding a forecast does not perturb the others' noise.
+  /// adding a forecast does not perturb the others' noise. Consumes one
+  /// draw of this stream (the children of successive Fork() calls differ).
   Rng Fork();
+
+  /// Child stream `i`: a pure function of the current state and `i` that
+  /// does NOT consume any of this stream's draws. Split(0), Split(1), ...
+  /// are therefore mutually independent and — unlike Fork() — unaffected
+  /// by how many children are taken or in what order, which is what makes
+  /// per-replica seeds reproducible regardless of sweep worker count
+  /// (parallel::SweepRunner hands replica i the stream Split(i)).
+  Rng Split(uint64_t i) const;
+
+  /// Advances this generator by 2^128 Next() steps in O(1) time (the
+  /// canonical xoshiro256** jump polynomial) — an alternative way to
+  /// partition one seed into non-overlapping substreams of length 2^128.
+  /// Any cached Normal() half-sample is discarded.
+  void Jump();
 
  private:
   uint64_t s_[4];

@@ -1,0 +1,268 @@
+#include "parallel/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.h"
+#include "obs/merge.h"
+#include "statsdb/database.h"
+#include "statsdb/exec.h"
+#include "statsdb/sql.h"
+
+namespace ff {
+namespace parallel {
+namespace {
+
+// Synthetic replica with everything the merge has to order: spans with
+// parents and args, exact virtual-time ties across replicas, metric
+// samples, counters/gauges/histograms, and log records. Values are drawn
+// from ctx.rng, so a worker-count leak into seeding would show up in the
+// bytes immediately.
+void SyntheticReplica(ReplicaContext& ctx) {
+  double jitter = static_cast<double>(ctx.replica % 3) * 0.25;
+  obs::SpanId day = ctx.trace->BeginSpan(jitter, obs::SpanCategory::kRun,
+                                         "day", "campaign");
+  for (int k = 0; k < 8; ++k) {
+    double start = static_cast<double>(k) + jitter;
+    obs::SpanId run = ctx.trace->BeginSpan(
+        start, obs::SpanCategory::kTask, "run", "node", day);
+    ctx.trace->SpanArg(run, "work", ctx.rng.Uniform(10.0, 20.0));
+    ctx.trace->SpanArg(run, "forecast",
+                       std::string("fc" + std::to_string(k % 4)));
+    double wall = ctx.rng.Uniform(1.0, 2.0);
+    ctx.trace->EndSpan(run, start + wall);
+    ctx.metrics->counter("runs.completed")->Increment();
+    ctx.metrics->gauge("queue.depth")->Set(static_cast<double>(k));
+    ctx.metrics->histogram("walltime", {1.0, 1.5, 2.0})->Observe(wall);
+    ctx.metrics->Record(start + wall, "campaign.walltime", wall);
+
+    logdata::LogRecord rec;
+    rec.forecast = "fc" + std::to_string(k % 4);
+    rec.region = "estuary";
+    rec.day = k;
+    rec.node = "f" + std::to_string(ctx.replica % 4 + 1);
+    rec.code_version = "v1";
+    rec.mesh_sides = 4;
+    rec.timesteps = 100;
+    rec.start_time = start;
+    rec.end_time = start + wall;
+    rec.walltime = wall;
+    rec.status = logdata::RunStatus::kCompleted;
+    ctx.records->push_back(rec);
+  }
+  ctx.trace->EndSpan(day, 10.0 + jitter);
+  ctx.trace->Instant(jitter + 0.5, obs::SpanCategory::kPlan, "replan",
+                     "planner");
+}
+
+struct Artifacts {
+  std::string chrome_json;
+  std::string metrics_csv;
+  std::string query_csv;
+};
+
+Artifacts MakeArtifacts(const SweepOutputs& outputs) {
+  Artifacts a;
+  a.chrome_json = obs::ChromeTraceJson(*outputs.merged_trace,
+                                       outputs.merged_metrics.get());
+  std::ostringstream csv;
+  obs::WriteMetricSamplesCsv(*outputs.merged_metrics, &csv);
+  a.metrics_csv = csv.str();
+
+  statsdb::Database db;
+  auto table = LoadSweepRuns(&db, outputs);
+  EXPECT_TRUE(table.ok()) << table.status().ToString();
+  auto plan = statsdb::PlanSql(
+      "SELECT replica, node, COUNT(*) AS n, AVG(walltime) AS avg_w "
+      "FROM sweep_runs GROUP BY replica, node ORDER BY replica, node");
+  EXPECT_TRUE(plan.ok());
+  auto rs = statsdb::ExecutePlan(*plan, db);
+  EXPECT_TRUE(rs.ok());
+  a.query_csv = rs->ToCsv();
+  return a;
+}
+
+Artifacts RunSweep(size_t workers, size_t replicas = 24) {
+  SweepOptions opt;
+  opt.num_workers = workers;
+  opt.base_seed = 99;
+  SweepRunner runner(opt);
+  SweepOutputs outputs = runner.Run(replicas, SyntheticReplica);
+  EXPECT_EQ(outputs.num_replicas, replicas);
+  EXPECT_EQ(outputs.num_workers, workers);
+  return MakeArtifacts(outputs);
+}
+
+// The contract the whole subsystem hangs on: merged artifacts are
+// byte-identical on 1, 4 and 16 workers, and across repeated runs.
+TEST(SweepDeterminismTest, MergedArtifactsByteIdenticalAcrossWorkerCounts) {
+  Artifacts serial = RunSweep(1);
+  EXPECT_FALSE(serial.chrome_json.empty());
+  EXPECT_FALSE(serial.metrics_csv.empty());
+  EXPECT_FALSE(serial.query_csv.empty());
+  for (size_t workers : {4, 16}) {
+    Artifacts parallel = RunSweep(workers);
+    EXPECT_EQ(parallel.chrome_json, serial.chrome_json)
+        << "chrome trace diverged at " << workers << " workers";
+    EXPECT_EQ(parallel.metrics_csv, serial.metrics_csv)
+        << "metrics csv diverged at " << workers << " workers";
+    EXPECT_EQ(parallel.query_csv, serial.query_csv)
+        << "statsdb query diverged at " << workers << " workers";
+  }
+}
+
+TEST(SweepDeterminismTest, RepeatedRunsAreByteIdentical) {
+  Artifacts first = RunSweep(4);
+  Artifacts second = RunSweep(4);
+  EXPECT_EQ(first.chrome_json, second.chrome_json);
+  EXPECT_EQ(first.metrics_csv, second.metrics_csv);
+  EXPECT_EQ(first.query_csv, second.query_csv);
+}
+
+TEST(SweepRunnerTest, ReplicaStreamsAreIndependentOfReplicaCount) {
+  // Replica i's RNG stream is Split(i) of the base seed: adding replicas
+  // must not perturb the existing ones' draws.
+  SweepOptions opt;
+  opt.num_workers = 1;
+  opt.base_seed = 7;
+  SweepRunner runner(opt);
+  std::vector<uint64_t> small(4), large(8);
+  runner.Run(4, [&](ReplicaContext& ctx) {
+    small[ctx.replica] = ctx.rng.Next();
+  });
+  runner.Run(8, [&](ReplicaContext& ctx) {
+    large[ctx.replica] = ctx.rng.Next();
+  });
+  for (size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(small[i], large[i]) << "replica " << i;
+  }
+}
+
+TEST(SweepRunnerTest, RecordingTogglesLeaveArtifactsNull) {
+  SweepOptions opt;
+  opt.num_workers = 2;
+  opt.record_traces = false;
+  opt.record_metrics = false;
+  SweepRunner runner(opt);
+  SweepOutputs outputs = runner.Run(3, [](ReplicaContext& ctx) {
+    EXPECT_EQ(ctx.trace, nullptr);
+    EXPECT_EQ(ctx.metrics, nullptr);
+    logdata::LogRecord rec;
+    rec.forecast = "fc" + std::to_string(ctx.replica);
+    ctx.records->push_back(rec);
+  });
+  EXPECT_EQ(outputs.merged_trace, nullptr);
+  EXPECT_EQ(outputs.merged_metrics, nullptr);
+  ASSERT_EQ(outputs.merged_records.size(), 3u);
+  // Records concatenate in replica order, not completion order.
+  EXPECT_EQ(outputs.merged_records[0].forecast, "fc0");
+  EXPECT_EQ(outputs.merged_records[2].forecast, "fc2");
+}
+
+TEST(SweepRunnerTest, EmptySweepProducesEmptyMergedArtifacts) {
+  SweepOptions opt;
+  opt.num_workers = 1;
+  SweepRunner runner(opt);
+  SweepOutputs outputs =
+      runner.Run(0, [](ReplicaContext&) { FAIL() << "no replicas"; });
+  ASSERT_NE(outputs.merged_trace, nullptr);
+  EXPECT_TRUE(outputs.merged_trace->spans().empty());
+  ASSERT_NE(outputs.merged_metrics, nullptr);
+  EXPECT_TRUE(outputs.merged_metrics->samples().empty());
+  EXPECT_TRUE(outputs.merged_records.empty());
+}
+
+TEST(SweepRunnerTest, LoadSweepRunsIsRerunnableAndIndexed) {
+  SweepOptions opt;
+  opt.num_workers = 1;
+  opt.record_traces = false;
+  opt.record_metrics = false;
+  SweepRunner runner(opt);
+  SweepOutputs outputs = runner.Run(5, [](ReplicaContext& ctx) {
+    for (int k = 0; k < 8; ++k) {
+      logdata::LogRecord rec;
+      rec.forecast = "fc" + std::to_string(k % 4);
+      rec.node = "f" + std::to_string(ctx.replica % 4 + 1);
+      rec.day = k;
+      rec.walltime = ctx.rng.Uniform(1.0, 2.0);
+      ctx.records->push_back(rec);
+    }
+  });
+
+  statsdb::Database db;
+  auto first = LoadSweepRuns(&db, outputs);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  // Re-loading drops and rebuilds the table instead of erroring.
+  auto second = LoadSweepRuns(&db, outputs);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ((*second)->num_rows(), 5u * 8u);
+
+  auto plan = statsdb::PlanSql(
+      "SELECT COUNT(*) AS n FROM sweep_runs WHERE replica = 3");
+  ASSERT_TRUE(plan.ok());
+  auto rs = statsdb::ExecutePlan(*plan, db);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0][0].int64_value(), 8);
+}
+
+// Hand-checkable merge: two replicas, three spans, one exact tie. The
+// merged ids, lane tracks and remapped parent are all pinned.
+TEST(MergeTracesTest, OrdersByTimeThenReplicaAndRemapsParents) {
+  obs::TraceRecorder r0, r1;
+  obs::SpanId a = r0.BeginSpan(1.0, obs::SpanCategory::kRun, "A", "x");
+  obs::SpanId b = r0.BeginSpan(2.0, obs::SpanCategory::kTask, "B", "x", a);
+  r0.EndSpan(b, 3.0);
+  r0.EndSpan(a, 4.0);
+  obs::SpanId c = r1.BeginSpan(1.0, obs::SpanCategory::kRun, "C", "x");
+  r1.EndSpan(c, 2.5);
+
+  obs::TraceRecorder merged;
+  obs::MergeTraces({&r0, &r1}, &merged);
+  ASSERT_EQ(merged.spans().size(), 3u);
+  // t=1.0 tie: replica 0's A precedes replica 1's C.
+  EXPECT_EQ(merged.str(merged.spans()[0].name), "A");
+  EXPECT_EQ(merged.str(merged.spans()[1].name), "C");
+  EXPECT_EQ(merged.str(merged.spans()[2].name), "B");
+  EXPECT_EQ(merged.str(merged.spans()[0].track), "r0/x");
+  EXPECT_EQ(merged.str(merged.spans()[1].track), "r1/x");
+  EXPECT_EQ(merged.str(merged.spans()[2].track), "r0/x");
+  // B's parent followed A to its merged id (span 1).
+  EXPECT_EQ(merged.spans()[2].parent, 1u);
+  EXPECT_EQ(merged.spans()[0].parent, 0u);
+  EXPECT_EQ(merged.spans()[1].parent, 0u);
+}
+
+TEST(MergeMetricsTest, UnionsSeriesAndAggregatesInstruments) {
+  obs::MetricsRegistry r0, r1;
+  r0.counter("runs")->Add(3);
+  r1.counter("runs")->Add(4);
+  r0.gauge("depth")->Set(2.0);
+  r1.gauge("depth")->Set(5.0);
+  r0.Record(1.0, "wall", 10.0);
+  r0.Record(3.0, "wall", 30.0);
+  r1.Record(2.0, "wall", 20.0);
+  r1.Record(3.0, "wall", 31.0);  // exact tie: replica 0's sample first
+
+  obs::MetricsRegistry merged;
+  obs::MergeMetrics({&r0, &r1}, &merged);
+  EXPECT_EQ(merged.FindCounter("runs")->value(), 7u);
+  // Gauges cannot sum meaningfully; they live under replica lanes.
+  ASSERT_NE(merged.FindGauge("r0/depth"), nullptr);
+  ASSERT_NE(merged.FindGauge("r1/depth"), nullptr);
+  EXPECT_DOUBLE_EQ(merged.FindGauge("r1/depth")->value(), 5.0);
+
+  auto wall = merged.SeriesValues("wall");
+  ASSERT_EQ(wall.size(), 4u);
+  EXPECT_DOUBLE_EQ(wall[0], 10.0);
+  EXPECT_DOUBLE_EQ(wall[1], 20.0);
+  EXPECT_DOUBLE_EQ(wall[2], 30.0);
+  EXPECT_DOUBLE_EQ(wall[3], 31.0);
+}
+
+}  // namespace
+}  // namespace parallel
+}  // namespace ff

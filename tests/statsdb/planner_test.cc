@@ -210,6 +210,44 @@ TEST_F(PlannerTest, TopKAnnotation) {
   EXPECT_NE(plan->ToString().find("top=10"), std::string::npos);
 }
 
+TEST_F(PlannerTest, RowModeTopKMatchesFullSortPrefix) {
+  // The reference engine honours the top-k hint with a bounded heap; the
+  // result must be exactly the stable_sort prefix — same rows, same
+  // order, ties resolved by insertion order.
+  Table* t = *db_.table("runs");
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(t->Insert({Value::String("f" + std::to_string(i)),
+                           Value::Int64(i % 7),  // many duplicate keys
+                           Value::String("n"), Value::Double(1.0 * i)})
+                    .ok());
+  }
+  PlanPtr naive =
+      MakeLimit(MakeSort(MakeScan("runs"), {{"day", true}}), 6, 2);
+  PlanPtr optimized = OptimizePlan(naive, db_);
+  ASSERT_EQ(optimized->kind(), PlanKind::kLimit);
+  EXPECT_EQ(static_cast<const SortNode&>(
+                *static_cast<const LimitNode&>(*optimized).input)
+                .limit_hint,
+            8u);
+
+  auto want = naive->Execute(db_);   // full sort, hint 0
+  auto got = optimized->Execute(db_);  // bounded heap
+  auto vec = ExecutePlan(optimized, db_);
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(vec.ok());
+  ASSERT_EQ(got->rows.size(), want->rows.size());
+  ASSERT_EQ(vec->rows.size(), want->rows.size());
+  for (size_t r = 0; r < want->rows.size(); ++r) {
+    for (size_t c = 0; c < want->rows[r].size(); ++c) {
+      EXPECT_EQ(got->rows[r][c].Compare(want->rows[r][c]), 0)
+          << "row " << r << " col " << c;
+      EXPECT_EQ(vec->rows[r][c].Compare(want->rows[r][c]), 0)
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
 TEST_F(PlannerTest, TopKReachesSortThroughProject) {
   PlanPtr plan = OptimizePlan(
       MakeLimit(MakeProject(MakeSort(MakeScan("runs"), {{"day", true}}),
