@@ -1,0 +1,228 @@
+// Chaos sweep — delivery SLO vs fault intensity, per retry policy.
+//
+// Fans a fault-intensity x policy grid through fault::RunChaosSweep: each
+// cell runs R independent replicas of a 2-node plant staging the §4.2
+// forecast to the public server while a generated FaultPlan crashes
+// nodes, cuts and degrades uplinks, kills tasks and corrupts transfers.
+// Cells are scored with the delivery-SLO metrics (on-time fraction, exact
+// P95 time-until-data-at-server, wasted CPU-hours, retries per run) and
+// written to BENCH_chaos.json — the on-time-vs-intensity curve per
+// policy is the payoff chart.
+//
+// Determinism gate: the whole grid is run at 1, 4 and 16 workers; the
+// per-cell scores, the chaos_runs statsdb query, the merged Chrome trace
+// and the merged metrics CSV must be byte-identical across worker counts
+// (same discipline as perf_sweep, now under fault injection).
+//
+// Usage: chaos_sweep [--smoke] [json_path]
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/chaos.h"
+#include "obs/chrome_trace.h"
+#include "statsdb/database.h"
+#include "statsdb/exec.h"
+#include "statsdb/sql.h"
+#include "util/strings.h"
+#include "workload/fleet.h"
+
+namespace ff {
+namespace {
+
+fault::ChaosSweepConfig MakeConfig(bool smoke) {
+  fault::ChaosSweepConfig cfg;
+  cfg.spec = workload::MakeElcircEstuaryForecast();
+  cfg.num_nodes = 2;
+  cfg.arch = dataflow::Architecture::kProductsAtNode;
+  cfg.horizon = 86400.0;
+  cfg.slo_seconds = 6.0 * 3600.0;
+  cfg.base_seed = 20060406;  // ICDE'06 vintage
+  cfg.replicas_per_cell = smoke ? 2 : 4;
+  cfg.intensities = smoke ? std::vector<double>{0.0, 1.0}
+                          : std::vector<double>{0.0, 0.5, 1.0, 2.0};
+
+  // Fault pressure at intensity 1.0 (events per target per day).
+  cfg.faults.node_crash_rate = 0.5;
+  cfg.faults.node_repair_median = 1800.0;
+  cfg.faults.link_outage_rate = 2.0;
+  cfg.faults.link_outage_median = 600.0;
+  cfg.faults.link_degrade_rate = 2.0;
+  cfg.faults.link_degrade_median = 1800.0;
+  cfg.faults.task_transient_rate = 4.0;
+  cfg.faults.task_kill_probability = 0.5;
+  cfg.faults.transfer_corrupt_rate = 2.0;
+
+  fault::ChaosPolicy none;
+  none.retry.max_attempts = 1;
+  none.retry.transfer_timeout = 0.0;
+  fault::ChaosPolicy retry;
+  retry.retry.max_attempts = 6;
+  retry.retry.base_backoff = 120.0;
+  retry.retry.backoff_multiplier = 2.0;
+  retry.retry.max_backoff = 1800.0;
+  retry.retry.jitter = 0.25;
+  retry.retry.transfer_timeout = 1800.0;
+  cfg.policies = {none, retry};
+  return cfg;
+}
+
+struct Artifacts {
+  std::string cells_csv;
+  std::string query_csv;
+  std::string chrome_json;
+  std::string metrics_csv;
+};
+
+std::string CellsCsv(const fault::ChaosSweepResult& result) {
+  std::string out =
+      "intensity,policy,runs,delivered,abandoned,on_time_fraction,"
+      "p95_delivery_s,wasted_cpu_h,retries_per_run,faults\n";
+  for (const auto& c : result.cells) {
+    out += util::StrFormat(
+        "%.2f,%s,%lld,%lld,%lld,%.4f,%.1f,%.3f,%.3f,%lld\n", c.intensity,
+        c.policy.c_str(), static_cast<long long>(c.runs),
+        static_cast<long long>(c.delivered),
+        static_cast<long long>(c.abandoned), c.on_time_fraction,
+        c.p95_delivery_seconds, c.wasted_cpu_hours, c.retries_per_run,
+        static_cast<long long>(c.faults_injected));
+  }
+  return out;
+}
+
+Artifacts MakeArtifacts(const fault::ChaosSweepResult& result) {
+  Artifacts a;
+  a.cells_csv = CellsCsv(result);
+
+  statsdb::Database db;
+  auto table = fault::LoadChaosRuns(&db, result);
+  if (!table.ok()) std::abort();
+  auto plan = statsdb::PlanSql(
+      "SELECT policy, intensity, COUNT(*) AS n, SUM(delivered) AS ok, "
+      "SUM(retries) AS retries FROM chaos_runs "
+      "GROUP BY policy, intensity ORDER BY policy, intensity");
+  if (!plan.ok()) std::abort();
+  auto rs = statsdb::ExecutePlan(*plan, db);
+  if (!rs.ok()) std::abort();
+  a.query_csv = rs->ToCsv();
+
+  a.chrome_json = obs::ChromeTraceJson(*result.outputs.merged_trace,
+                                       result.outputs.merged_metrics.get());
+  std::ostringstream csv;
+  obs::WriteMetricSamplesCsv(*result.outputs.merged_metrics, &csv);
+  a.metrics_csv = csv.str();
+  return a;
+}
+
+}  // namespace
+}  // namespace ff
+
+int main(int argc, char** argv) {
+  using namespace ff;
+  bool smoke = false;
+  const char* json_path = "BENCH_chaos.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+
+  const std::vector<size_t> kWorkers = {1, 4, 16};
+  std::vector<Artifacts> artifacts;
+  fault::ChaosSweepResult scored;  // the 1-worker run feeds the JSON
+  for (size_t w : kWorkers) {
+    fault::ChaosSweepConfig cfg = MakeConfig(smoke);
+    cfg.num_workers = w;
+    fault::ChaosSweepResult result = fault::RunChaosSweep(cfg);
+    artifacts.push_back(MakeArtifacts(result));
+    if (w == 1) scored = std::move(result);
+  }
+
+  bool deterministic = true;
+  for (size_t w = 1; w < kWorkers.size(); ++w) {
+    bool same = artifacts[w].cells_csv == artifacts[0].cells_csv &&
+                artifacts[w].query_csv == artifacts[0].query_csv &&
+                artifacts[w].chrome_json == artifacts[0].chrome_json &&
+                artifacts[w].metrics_csv == artifacts[0].metrics_csv;
+    if (!same) {
+      std::fprintf(
+          stderr,
+          "workers=%zu: chaos artifacts differ from serial "
+          "(cells %s, query %s, trace %s, metrics %s)\n",
+          kWorkers[w],
+          artifacts[w].cells_csv == artifacts[0].cells_csv ? "ok" : "DIFF",
+          artifacts[w].query_csv == artifacts[0].query_csv ? "ok" : "DIFF",
+          artifacts[w].chrome_json == artifacts[0].chrome_json ? "ok"
+                                                               : "DIFF",
+          artifacts[w].metrics_csv == artifacts[0].metrics_csv ? "ok"
+                                                               : "DIFF");
+      deterministic = false;
+    }
+  }
+
+  std::printf("%s", artifacts[0].cells_csv.c_str());
+  std::printf("# determinism across workers {1,4,16}: %s\n",
+              deterministic ? "yes" : "NO");
+
+  // The no-fault control must deliver everything on time under every
+  // policy, and retries must help (never hurt) delivery at the highest
+  // intensity.
+  bool ok = deterministic;
+  double best_on_time_no_retry = -1.0, best_on_time_retry = -1.0;
+  for (const auto& c : scored.cells) {
+    if (c.intensity == 0.0 && c.on_time_fraction < 1.0) {
+      std::fprintf(stderr, "control cell (%s) missed the SLO\n",
+                   c.policy.c_str());
+      ok = false;
+    }
+    if (c.intensity == scored.cells.back().intensity) {
+      if (c.policy == "no-retry") best_on_time_no_retry = c.on_time_fraction;
+      else best_on_time_retry = c.on_time_fraction;
+    }
+  }
+  if (best_on_time_retry >= 0.0 && best_on_time_no_retry >= 0.0 &&
+      best_on_time_retry + 1e-9 < best_on_time_no_retry) {
+    std::fprintf(stderr,
+                 "retry policy underperforms no-retry at max intensity "
+                 "(%.3f < %.3f)\n",
+                 best_on_time_retry, best_on_time_no_retry);
+    ok = false;
+  }
+
+  std::string json_rows;
+  for (const auto& c : scored.cells) {
+    if (!json_rows.empty()) json_rows += ",\n";
+    json_rows += util::StrFormat(
+        "    {\"intensity\": %.2f, \"policy\": \"%s\", \"runs\": %lld, "
+        "\"delivered\": %lld, \"abandoned\": %lld, "
+        "\"on_time_fraction\": %.4f, \"p95_delivery_s\": %.1f, "
+        "\"wasted_cpu_h\": %.3f, \"retries_per_run\": %.3f, "
+        "\"faults\": %lld}",
+        c.intensity, c.policy.c_str(), static_cast<long long>(c.runs),
+        static_cast<long long>(c.delivered),
+        static_cast<long long>(c.abandoned), c.on_time_fraction,
+        c.p95_delivery_seconds, c.wasted_cpu_hours, c.retries_per_run,
+        static_cast<long long>(c.faults_injected));
+  }
+  std::FILE* f = std::fopen(json_path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"chaos_sweep\",\n"
+               "  \"smoke\": %s,\n"
+               "  \"slo_seconds\": 21600,\n"
+               "  \"deterministic_workers_1_4_16\": %s,\n"
+               "  \"cells\": [\n%s\n  ]\n}\n",
+               smoke ? "true" : "false", deterministic ? "true" : "false",
+               json_rows.c_str());
+  std::fclose(f);
+  std::printf("# wrote %s%s\n", json_path, smoke ? " (smoke)" : "");
+  return ok ? 0 : 1;
+}

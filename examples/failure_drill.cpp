@@ -10,6 +10,7 @@
 
 #include "core/foreman.h"
 #include "factory/campaign.h"
+#include "fault/fault_plan.h"
 #include "logdata/spc.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -57,7 +58,12 @@ int main() {
   // --- Executed view: the campaign's day with the failure injected.
   //     One policy per sweep replica (parallel/sweep.h); outcomes print
   //     in policy order whatever the worker schedule. Recording stays
-  //     off so the event stream matches a bare campaign. ---
+  //     off so the event stream matches a bare campaign. The failure is
+  //     a scripted FaultPlan (fault/fault_plan.h): one kNodeCrash at the
+  //     day-2 launch instant whose repair window ends at the day-4
+  //     launch — the injector fires at priority -1, so the crash lands
+  //     just before the day's launches, exactly where a kNodeDown
+  //     change event would. ---
   std::printf("\nexecuted outcome over 5 days (failure day 2, recovery "
               "day 4):\n");
   std::printf("%-12s %10s %10s %14s\n", "policy", "completed", "stalled",
@@ -82,6 +88,12 @@ int main() {
     factory::CampaignConfig cfg;
     cfg.num_days = 5;
     cfg.failure_policy = kExecPolicies[ctx.replica];
+    fault::FaultEvent crash;
+    crash.time = 2 * 86400.0 + cfg.start_hour * 3600.0;  // day-2 launch
+    crash.kind = fault::FaultKind::kNodeCrash;
+    crash.target = "f1";
+    crash.duration = 2 * 86400.0;  // repaired at the day-4 launch
+    cfg.fault_plan.Add(crash);
     factory::Campaign campaign(cfg);
     for (const auto& n : nodes) {
       if (!campaign.AddNode(n.name, n.num_cpus, n.speed).ok()) return;
@@ -89,16 +101,6 @@ int main() {
     for (size_t i = 0; i < fleet.size(); ++i) {
       if (!campaign.AddForecast(fleet[i], nodes[i % 4].name).ok()) return;
     }
-    factory::ChangeEvent down;
-    down.day = 2;
-    down.kind = factory::ChangeEvent::Kind::kNodeDown;
-    down.str_value = "f1";
-    campaign.AddEvent(down);
-    factory::ChangeEvent up;
-    up.day = 4;
-    up.kind = factory::ChangeEvent::Kind::kNodeUp;
-    up.str_value = "f1";
-    campaign.AddEvent(up);
     auto result = campaign.Run();
     if (!result.ok()) {
       out.error = result.status().ToString();

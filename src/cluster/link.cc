@@ -26,9 +26,24 @@ util::StatusOr<double> Link::CancelTransfer(TransferId id) {
   return res_.Remove(id);
 }
 
+void Link::ApplySpeed() {
+  // The PS resource's speed factor is the single source of truth for
+  // progress; down always wins, and recovery restores the degraded rate
+  // rather than blindly the nominal one (the pre-degradation bug was
+  // SetUp(true) resetting the factor to 1.0).
+  res_.SetSpeedFactor(up_ ? degrade_ : 0.0);
+}
+
 void Link::SetUp(bool up) {
   up_ = up;
-  res_.SetSpeedFactor(up ? 1.0 : 0.0);
+  ApplySpeed();
+}
+
+void Link::SetDegrade(double factor) {
+  FF_CHECK(factor > 0.0 && factor <= 1.0)
+      << name() << ": degrade factor must be in (0,1], got " << factor;
+  degrade_ = factor;
+  ApplySpeed();
 }
 
 }  // namespace cluster

@@ -37,19 +37,43 @@ class Link {
   /// Aborts a transfer; returns bytes still unsent.
   util::StatusOr<double> CancelTransfer(TransferId id);
 
-  /// Failure injection (link down => transfers stall, no loss).
+  /// Failure injection. Contract (stall, no loss): while the link is down
+  /// every in-flight transfer keeps its delivered-byte progress but makes
+  /// none — its completion event is withheld, not cancelled. SetUp(true)
+  /// resumes each transfer from exactly the bytes it had delivered when
+  /// the outage began; no byte is re-sent and none is counted twice in
+  /// total_bytes_transferred(). A transfer straddling an outage therefore
+  /// completes after exactly `bytes / effective_rate` seconds of *up*
+  /// time, regardless of how many outages interrupt it
+  /// (tests/cluster/cluster_test.cc: TransferStraddlingOutage...). New
+  /// transfers may start while down; they queue at zero progress.
   void SetUp(bool up);
   bool up() const { return up_; }
+
+  /// Bandwidth degradation in (0, 1]: the link stays up but delivers
+  /// `factor` of its nominal rate (flaky rsync links, half-duplex
+  /// fallback). Orthogonal to SetUp — an outage during a degraded period
+  /// resumes degraded. 1.0 restores the full rate.
+  void SetDegrade(double factor);
+  double degrade() const { return degrade_; }
 
   const std::string& name() const { return res_.name(); }
   double bytes_per_second() const { return bps_; }
   size_t active_transfers() const { return res_.active_jobs(); }
   double total_bytes_transferred() const { return res_.total_delivered(); }
 
+  /// Remaining bytes of an in-flight transfer (NotFound once delivered).
+  util::StatusOr<double> RemainingBytes(TransferId id) const {
+    return res_.RemainingWork(id);
+  }
+
  private:
+  void ApplySpeed();
+
   PsResource res_;
   obs::CachedCounter bytes_counter_;
   double bps_;
+  double degrade_ = 1.0;
   bool up_ = true;
 };
 

@@ -53,7 +53,7 @@ util::Status Planner::Predict(DayPlan* plan) const {
 }
 
 util::Status Planner::RepairDeadlines(DayPlan* plan) const {
-  FF_RETURN_NOT_OK(Predict(plan));
+  FF_RETURN_IF_ERROR(Predict(plan));
   // Severity = sum of positive deadline overruns; a repair step is kept
   // only when it reduces (misses, severity) lexicographically, otherwise
   // it is reverted and the next lever is pulled. This keeps the loop from
@@ -125,12 +125,12 @@ util::Status Planner::RepairDeadlines(DayPlan* plan) const {
       if (!best_node.empty()) {
         std::string old_node = victim->node;
         victim->node = best_node;
-        FF_RETURN_NOT_OK(Predict(plan));
+        FF_RETURN_IF_ERROR(Predict(plan));
         if (improved(misses_before, severity_before)) {
           changed = true;
         } else {
           victim->node = old_node;
-          FF_RETURN_NOT_OK(Predict(plan));
+          FF_RETURN_IF_ERROR(Predict(plan));
         }
       }
     }
@@ -140,19 +140,19 @@ util::Status Planner::RepairDeadlines(DayPlan* plan) const {
       double old_start = victim->start_time;
       victim->start_time = std::max(victim->start_time, worst_deadline);
       victim->delayed = true;
-      FF_RETURN_NOT_OK(Predict(plan));
+      FF_RETURN_IF_ERROR(Predict(plan));
       if (improved(misses_before, severity_before)) {
         changed = true;
       } else {
         victim->start_time = old_start;
         victim->delayed = false;
-        FF_RETURN_NOT_OK(Predict(plan));
+        FF_RETURN_IF_ERROR(Predict(plan));
       }
     }
     if (!changed && config_.allow_drop && !victim->dropped) {
       victim->dropped = true;
       victim->node.clear();
-      FF_RETURN_NOT_OK(Predict(plan));
+      FF_RETURN_IF_ERROR(Predict(plan));
       changed = true;
     }
     if (!changed) break;  // no lever left
@@ -185,7 +185,7 @@ util::StatusOr<DayPlan> Planner::Plan(
     pr.deadline = r.deadline;
     plan.runs.push_back(std::move(pr));
   }
-  FF_RETURN_NOT_OK(RepairDeadlines(&plan));
+  FF_RETURN_IF_ERROR(RepairDeadlines(&plan));
   return plan;
 }
 
@@ -224,7 +224,7 @@ util::StatusOr<DayPlan> Planner::Evaluate(
     horizon_load_max = std::max(horizon_load_max, rel);
   }
   plan.max_relative_load = horizon_load_max;
-  FF_RETURN_NOT_OK(Predict(&plan));
+  FF_RETURN_IF_ERROR(Predict(&plan));
   return plan;
 }
 

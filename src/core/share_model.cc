@@ -123,7 +123,7 @@ util::StatusOr<SharePrediction> PredictCompletions(
   }
   SharePrediction out;
   for (const auto& n : nodes) {
-    FF_RETURN_NOT_OK(PredictNode(n, by_node[n.name], &out));
+    FF_RETURN_IF_ERROR(PredictNode(n, by_node[n.name], &out));
   }
   return out;
 }

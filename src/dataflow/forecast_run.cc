@@ -78,6 +78,12 @@ void ForecastRun::Start() {
   FF_CHECK(!started_) << spec_.name << ": started twice";
   started_ = true;
   start_time_ = sim_->now();
+  if (cfg_.injector != nullptr) {
+    FF_CHECK(cfg_.rng != nullptr)
+        << spec_.name << ": fault-aware run needs an RNG stream";
+    cfg_.injector->AddListener(
+        [this](const fault::FaultNotice& n) { OnFault(n); });
+  }
   if (obs::TraceRecorder* tr = obs::ActiveTrace()) {
     span_ = tr->BeginSpan(sim_->now(), obs::SpanCategory::kRun, spec_.name,
                           "runs");
@@ -96,12 +102,16 @@ void ForecastRun::Start() {
 void ForecastRun::StartSimIncrement(int index) {
   std::string label;
   if (span_ != 0) label = spec_.name + ":sim";
-  node_->StartTask(
+  sim_task_ = node_->StartTask(
       SimWorkPerIncrement(), [this, index] { OnSimIncrementDone(index); },
       cfg_.sim_mem_bytes, label, span_);
+  sim_task_running_ = true;
 }
 
 void ForecastRun::OnSimIncrementDone(int index) {
+  sim_task_running_ = false;
+  sim_task_ = 0;
+  sim_failures_ = 0;
   increments_done_ = index;
   for (auto& fs : files_) {
     fs.generated = fs.cum[static_cast<size_t>(index)];
@@ -120,7 +130,7 @@ void ForecastRun::OnSimIncrementDone(int index) {
 }
 
 void ForecastRun::PollProducts() {
-  if (done_) return;
+  if (done_ || failed_) return;
   TryLaunchProducts();
   bool more_work = false;
   for (const auto& ps : products_) {
@@ -131,14 +141,17 @@ void ForecastRun::PollProducts() {
   }
 }
 
+cluster::Machine* ForecastRun::ProductHost() const {
+  return cfg_.arch == Architecture::kProductsAtNode ? node_ : server_;
+}
+
 void ForecastRun::TryLaunchProducts() {
-  if (done_) return;
-  cluster::Machine* host = cfg_.arch == Architecture::kProductsAtNode
-                               ? node_
-                               : server_;
+  if (done_ || failed_) return;
+  cluster::Machine* host = ProductHost();
   bool at_server = cfg_.arch == Architecture::kProductsAtServer;
   for (size_t pi = 0; pi < products_.size(); ++pi) {
     ProductState& ps = products_[pi];
+    if (sim_->now() + 1e-9 < ps.backoff_until) continue;
     while (running_products_total_ < cfg_.max_concurrent_products &&
            ps.launched < ps.ready && ps.running == 0) {
       if (at_server && cfg_.server_admission_control &&
@@ -158,7 +171,8 @@ void ForecastRun::TryLaunchProducts() {
       }
       std::string label;
       if (span_ != 0) label = spec_.name + ":" + ps.spec->name;
-      host->StartTask(
+      ps.work = work;
+      ps.task = host->StartTask(
           work, [this, pi] { OnProductTaskDone(pi); },
           cfg_.product_mem_bytes, label, span_);
     }
@@ -167,6 +181,8 @@ void ForecastRun::TryLaunchProducts() {
 
 void ForecastRun::OnProductTaskDone(size_t product_index) {
   ProductState& ps = products_[product_index];
+  ps.task = 0;
+  ps.failures = 0;
   --ps.running;
   --running_products_total_;
   ++ps.processed;
@@ -183,7 +199,7 @@ void ForecastRun::OnProductTaskDone(size_t product_index) {
 }
 
 void ForecastRun::RsyncCycle() {
-  if (done_) {
+  if (done_ || failed_) {
     rsync_scheduled_ = false;
     return;
   }
@@ -212,23 +228,35 @@ void ForecastRun::RsyncCycle() {
     }
     if (total > 0.0) {
       transfer_in_flight_ = true;
-      std::string label;
-      if (span_ != 0) label = spec_.name + ":rsync";
-      uplink_->StartTransfer(
-          total,
-          [this, fa = std::move(file_amounts),
-           pa = std::move(product_amounts)]() mutable {
-            OnTransferDone(std::move(fa), std::move(pa));
-          },
-          label, span_);
+      tx_file_amounts_ = std::move(file_amounts);
+      tx_product_amounts_ = std::move(product_amounts);
+      tx_failures_ = 0;
+      IssueTransfer(total);
     }
   }
   sim_->ScheduleAfter(cfg_.rsync_interval, [this] { RsyncCycle(); });
 }
 
-void ForecastRun::OnTransferDone(std::vector<double> file_amounts,
-                                 std::vector<double> product_amounts) {
+void ForecastRun::IssueTransfer(double wire_bytes) {
+  tx_wire_total_ = wire_bytes;
+  std::string label;
+  if (span_ != 0) label = spec_.name + ":rsync";
+  tx_id_ = uplink_->StartTransfer(wire_bytes, [this] { OnTransferDone(); },
+                                  label, span_);
+  if (cfg_.retry.transfer_timeout > 0.0) {
+    tx_watchdog_ = sim_->ScheduleAfter(cfg_.retry.transfer_timeout,
+                                       [this] { OnTransferTimeout(); });
+  }
+}
+
+void ForecastRun::OnTransferDone() {
+  if (tx_watchdog_.pending()) sim_->Cancel(tx_watchdog_);
   transfer_in_flight_ = false;
+  tx_id_ = 0;
+  std::vector<double> file_amounts = std::move(tx_file_amounts_);
+  std::vector<double> product_amounts = std::move(tx_product_amounts_);
+  tx_file_amounts_.clear();
+  tx_product_amounts_.clear();
   for (size_t i = 0; i < files_.size(); ++i) {
     if (file_amounts[i] <= 0.0) continue;
     files_[i].at_server += file_amounts[i];
@@ -281,7 +309,7 @@ void ForecastRun::RecordEntity(const std::string& name, double at,
 }
 
 void ForecastRun::CheckDone() {
-  if (done_) return;
+  if (done_ || failed_) return;
   if (increments_done_ < spec_.increments) return;
   for (const auto& fs : files_) {
     if (fs.at_server + kByteEpsilon < fs.spec->total_bytes) return;
@@ -301,6 +329,156 @@ void ForecastRun::CheckDone() {
     }
   }
   if (on_complete_) on_complete_();
+}
+
+void ForecastRun::OnFault(const fault::FaultNotice& notice) {
+  if (notice.repair || !started_ || done_ || failed_) return;
+  const fault::FaultEvent& ev = *notice.event;
+  switch (ev.kind) {
+    case fault::FaultKind::kTaskTransient: {
+      // Each of this run's tasks on the faulted machine dies with
+      // probability `magnitude`; decisions draw from the run's stream in
+      // a fixed order (sim task, then products by index).
+      if (sim_task_running_ && ev.target == node_->name() &&
+          cfg_.rng->Bernoulli(ev.magnitude)) {
+        KillSimTask();
+      }
+      if (failed_) return;
+      if (ev.target == ProductHost()->name()) {
+        for (size_t pi = 0; pi < products_.size(); ++pi) {
+          if (products_[pi].task != 0 &&
+              cfg_.rng->Bernoulli(ev.magnitude)) {
+            KillProductTask(pi);
+            if (failed_) return;
+          }
+        }
+      }
+      break;
+    }
+    case fault::FaultKind::kTransferCorruption:
+      if (transfer_in_flight_ && tx_id_ != 0 &&
+          ev.target == uplink_->name()) {
+        HandleCorruption(ev.magnitude);
+      }
+      break;
+    default:
+      // Crashes/outages are mechanical (machine/link state); the PS
+      // resources stall without losing progress, so no reaction needed.
+      break;
+  }
+}
+
+void ForecastRun::KillSimTask() {
+  auto remaining = node_->RemoveTask(sim_task_);
+  FF_CHECK(remaining.ok()) << spec_.name << ": killing unknown sim task";
+  sim_task_ = 0;
+  sim_task_running_ = false;
+  wasted_cpu_seconds_ += SimWorkPerIncrement() - *remaining;
+  ++sim_failures_;
+  if (!cfg_.retry.AllowsRetry(sim_failures_)) {
+    Fail("sim increment exhausted retries");
+    return;
+  }
+  ++retries_;
+  int index = increments_done_ + 1;
+  double delay = cfg_.retry.NextDelay(sim_failures_, cfg_.rng);
+  sim_->ScheduleAfter(delay, [this, index] {
+    if (done_ || failed_ || sim_task_running_) return;
+    if (increments_done_ < index) StartSimIncrement(index);
+  });
+}
+
+void ForecastRun::KillProductTask(size_t product_index) {
+  ProductState& ps = products_[product_index];
+  auto remaining = ProductHost()->RemoveTask(ps.task);
+  FF_CHECK(remaining.ok())
+      << spec_.name << ": killing unknown product task";
+  ps.task = 0;
+  --ps.running;
+  --running_products_total_;
+  --ps.launched;  // the increment re-launches after backoff
+  wasted_cpu_seconds_ += ps.work - *remaining;
+  ++ps.failures;
+  if (!cfg_.retry.AllowsRetry(ps.failures)) {
+    Fail("product " + ps.spec->name + " exhausted retries");
+    return;
+  }
+  ++retries_;
+  double delay = cfg_.retry.NextDelay(ps.failures, cfg_.rng);
+  ps.backoff_until = sim_->now() + delay;
+  sim_->ScheduleAfter(delay, [this] { TryLaunchProducts(); });
+}
+
+void ForecastRun::HandleCorruption(double fraction) {
+  // rsync's checksum pass rejects `fraction` of the bytes delivered so
+  // far; the transfer resumes from its acked bytes minus the rejected
+  // portion — a partial re-send, never a full restart.
+  auto remaining = uplink_->RemainingBytes(tx_id_);
+  FF_CHECK(remaining.ok()) << spec_.name << ": corrupting unknown transfer";
+  double delivered = tx_wire_total_ - *remaining;
+  if (delivered <= 0.0) return;  // nothing on the wire yet to corrupt
+  auto unsent = uplink_->CancelTransfer(tx_id_);
+  FF_CHECK(unsent.ok());
+  if (tx_watchdog_.pending()) sim_->Cancel(tx_watchdog_);
+  tx_id_ = 0;
+  ++retries_;
+  IssueTransfer(*unsent + fraction * delivered);
+}
+
+void ForecastRun::OnTransferTimeout() {
+  if (!transfer_in_flight_ || tx_id_ == 0 || done_ || failed_) return;
+  auto unsent = uplink_->CancelTransfer(tx_id_);
+  FF_CHECK(unsent.ok()) << spec_.name << ": timing out unknown transfer";
+  tx_id_ = 0;
+  ++tx_failures_;
+  if (!cfg_.retry.AllowsRetry(tx_failures_)) {
+    Fail("rsync transfer exhausted retries");
+    return;
+  }
+  ++retries_;
+  double delay = cfg_.retry.NextDelay(tx_failures_, cfg_.rng);
+  sim_->ScheduleAfter(delay, [this, remaining = *unsent] {
+    if (done_ || failed_) return;
+    IssueTransfer(remaining);  // resume from acked bytes
+  });
+}
+
+void ForecastRun::Fail(const std::string& reason) {
+  if (done_ || failed_) return;
+  failed_ = true;
+  if (tx_id_ != 0) {
+    uplink_->CancelTransfer(tx_id_).ok();
+    tx_id_ = 0;
+  }
+  if (tx_watchdog_.pending()) sim_->Cancel(tx_watchdog_);
+  transfer_in_flight_ = false;
+  if (sim_task_running_) {
+    auto remaining = node_->RemoveTask(sim_task_);
+    if (remaining.ok()) {
+      wasted_cpu_seconds_ += SimWorkPerIncrement() - *remaining;
+    }
+    sim_task_ = 0;
+    sim_task_running_ = false;
+  }
+  for (auto& ps : products_) {
+    if (ps.task == 0) continue;
+    auto remaining = ProductHost()->RemoveTask(ps.task);
+    if (remaining.ok()) wasted_cpu_seconds_ += ps.work - *remaining;
+    ps.task = 0;
+    --ps.running;
+    --running_products_total_;
+  }
+  if (obs::TraceRecorder* tr = obs::ActiveTrace()) {
+    tr->Instant(sim_->now(), obs::SpanCategory::kRun,
+                "run_failed:" + spec_.name, "runs");
+    if (span_ != 0) {
+      tr->SpanArg(span_, "failed", reason);
+      tr->EndSpan(span_, sim_->now());
+    }
+  }
+  if (obs::MetricsRegistry* m = obs::ActiveMetrics()) {
+    m->counter("run.failed")->Increment();
+  }
 }
 
 double ForecastRun::model_bytes_generated() const {

@@ -20,8 +20,11 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "fault/injector.h"
+#include "fault/retry.h"
 #include "obs/trace.h"
 #include "sim/series.h"
+#include "util/rng.h"
 #include "workload/cost_model.h"
 #include "workload/forecast_spec.h"
 
@@ -70,6 +73,19 @@ struct RunConfig {
   /// "<series_prefix><entity>" (empty prefix = raw entity names).
   std::string series_prefix;
   bool record_series = true;
+
+  /// Fault handling. When `injector` is set the run subscribes to
+  /// kTaskTransient faults on its hosts and kTransferCorruption faults on
+  /// its uplink; `retry` governs backoff and attempt budgets, and `rng`
+  /// (required then) supplies kill decisions and backoff jitter from the
+  /// run's own stream. retry.transfer_timeout > 0 additionally arms a
+  /// watchdog that cancels and re-sends a stuck rsync transfer from its
+  /// acked bytes. With injector == nullptr and transfer_timeout == 0 the
+  /// run schedules no extra events and draws nothing — behavior is
+  /// byte-identical to a fault-unaware configuration.
+  fault::RetryPolicy retry;
+  util::Rng* rng = nullptr;
+  fault::FaultInjector* injector = nullptr;
 };
 
 /// One forecast run in flight.
@@ -94,6 +110,15 @@ class ForecastRun {
   bool started() const { return started_; }
   bool done() const { return done_; }
   bool sim_done() const { return increments_done_ == spec_.increments; }
+
+  /// True once a task or transfer exhausted its retry budget: the run is
+  /// abandoned, done() stays false, and on_complete never fires.
+  bool failed() const { return failed_; }
+
+  /// Retries performed (task restarts, transfer re-sends, corruption
+  /// re-sends) and reference-speed CPU-seconds burned by killed attempts.
+  int retries() const { return retries_; }
+  double wasted_cpu_seconds() const { return wasted_cpu_seconds_; }
 
   sim::Time start_time() const { return start_time_; }
   sim::Time sim_finish_time() const { return sim_finish_time_; }
@@ -127,6 +152,10 @@ class ForecastRun {
     double generated = 0.0;  // bytes produced (at node for arch 1)
     double sent = 0.0;
     double at_server = 0.0;
+    cluster::TaskId task = 0;    // in-flight task (0 when none)
+    double work = 0.0;           // CPU-seconds assigned to that task
+    int failures = 0;            // transient kills of the current increment
+    double backoff_until = 0.0;  // no relaunch before this instant
   };
 
   void StartSimIncrement(int index);
@@ -135,11 +164,20 @@ class ForecastRun {
   void TryLaunchProducts();
   void OnProductTaskDone(size_t product_index);
   void RsyncCycle();
-  void OnTransferDone(std::vector<double> file_amounts,
-                      std::vector<double> product_amounts);
+  void IssueTransfer(double wire_bytes);
+  void OnTransferDone();
+  void OnTransferTimeout();
   void UpdateServerSideReadiness();
   void RecordEntity(const std::string& name, double at, double total);
   void CheckDone();
+
+  // Fault-reaction path (active only when cfg_.injector is set).
+  void OnFault(const fault::FaultNotice& notice);
+  void KillSimTask();
+  void KillProductTask(size_t product_index);
+  void HandleCorruption(double fraction);
+  void Fail(const std::string& reason);
+  cluster::Machine* ProductHost() const;
 
   double SimWorkPerIncrement() const;
 
@@ -157,11 +195,29 @@ class ForecastRun {
   obs::SpanId span_ = 0;
   bool started_ = false;
   bool done_ = false;
+  bool failed_ = false;
   int increments_done_ = 0;
   int running_products_total_ = 0;
   bool transfer_in_flight_ = false;
   bool rsync_scheduled_ = false;
   double bytes_transferred_ = 0.0;
+
+  // Simulation-task bookkeeping for transient kills.
+  cluster::TaskId sim_task_ = 0;
+  bool sim_task_running_ = false;
+  int sim_failures_ = 0;
+
+  // In-flight rsync transfer; amounts are credited when the (possibly
+  // re-issued) wire transfer finally completes.
+  std::vector<double> tx_file_amounts_;
+  std::vector<double> tx_product_amounts_;
+  double tx_wire_total_ = 0.0;
+  cluster::TransferId tx_id_ = 0;
+  int tx_failures_ = 0;
+  sim::EventHandle tx_watchdog_;
+
+  int retries_ = 0;
+  double wasted_cpu_seconds_ = 0.0;
 
   sim::Time start_time_ = 0.0;
   sim::Time sim_finish_time_ = 0.0;

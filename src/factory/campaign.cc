@@ -1,6 +1,7 @@
 #include "factory/campaign.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/share_model.h"
 #include "logdata/loader.h"
@@ -156,50 +157,45 @@ void Campaign::ApplyEvents(int day_index) {
   }
 }
 
+void Campaign::DisplaceRun(size_t run_index, const std::string& node) {
+  ActiveRun& run = active_runs_[run_index];
+  auto remaining = MachineOrDie(node)->RemoveTask(run.task);
+  if (!remaining.ok()) return;
+  pending_work_[node] -= *remaining;
+  std::string target = LeastLoadedNode(node);
+  if (target.empty()) {
+    // Nowhere to go; record as failed.
+    run.task = 0;
+    run.retired = true;
+    result_.records.push_back(MakeRecord(run, logdata::RunStatus::kFailed));
+    if (run.span != 0) {
+      if (obs::TraceRecorder* tr = obs::ActiveTrace()) {
+        tr->SpanArg(run.span, "failed", 1.0);
+        tr->EndSpan(run.span, sim_.now());
+      }
+    }
+    return;
+  }
+  run.node = target;
+  pending_work_[target] += *remaining;
+  run.task = MachineOrDie(target)->StartTask(
+      *remaining, [this, run_index] { OnRunComplete(run_index); }, 0.0,
+      run.forecast, run.span);
+  ++result_.failure_migrations;
+  if (obs::MetricsRegistry* m = obs::ActiveMetrics()) {
+    m->counter("campaign.failure_migrations")->Increment();
+  }
+}
+
 void Campaign::HandleNodeDown(const std::string& node) {
   using core::ReschedulePolicy;
   if (config_.failure_policy == ReschedulePolicy::kNone) return;
 
   // Displace the failed node's in-flight runs.
-  for (auto& run : active_runs_) {
+  for (size_t i = 0; i < active_runs_.size(); ++i) {
+    ActiveRun& run = active_runs_[i];
     if (run.task == 0 || run.node != node) continue;
-    auto remaining = MachineOrDie(node)->RemoveTask(run.task);
-    if (!remaining.ok()) continue;
-    pending_work_[node] -= *remaining;
-    std::string target = LeastLoadedNode(node);
-    if (target.empty()) {
-      // Nowhere to go; record as failed.
-      run.task = 0;
-      logdata::LogRecord rec;
-      auto& entry = forecasts_.at(run.forecast);
-      rec.forecast = run.forecast;
-      rec.region = entry.spec.region;
-      rec.day = config_.first_day + run.day_index;
-      rec.node = node;
-      rec.code_version = entry.spec.code_version;
-      rec.mesh_sides = entry.spec.mesh_sides;
-      rec.timesteps = entry.spec.timesteps;
-      rec.start_time = run.start_time;
-      rec.status = logdata::RunStatus::kFailed;
-      result_.records.push_back(rec);
-      if (run.span != 0) {
-        if (obs::TraceRecorder* tr = obs::ActiveTrace()) {
-          tr->SpanArg(run.span, "failed", 1.0);
-          tr->EndSpan(run.span, sim_.now());
-        }
-      }
-      continue;
-    }
-    size_t index = static_cast<size_t>(&run - active_runs_.data());
-    run.node = target;
-    pending_work_[target] += *remaining;
-    run.task = MachineOrDie(target)->StartTask(
-        *remaining, [this, index] { OnRunComplete(index); }, 0.0,
-        run.forecast, run.span);
-    ++result_.failure_migrations;
-    if (obs::MetricsRegistry* m = obs::ActiveMetrics()) {
-      m->counter("campaign.failure_migrations")->Increment();
-    }
+    DisplaceRun(i, node);
   }
   // Reassign the forecasts themselves so tomorrow's launches avoid the
   // dead node.
@@ -235,6 +231,140 @@ void Campaign::HandleNodeDown(const std::string& node) {
       forecasts_.at(name).node = best;
       load[best] += w;
     }
+  }
+}
+
+void Campaign::RetireRun(size_t run_index, logdata::RunStatus status) {
+  ActiveRun& run = active_runs_[run_index];
+  run.task = 0;
+  run.retired = true;
+  result_.records.push_back(MakeRecord(run, status));
+  if (run.span != 0) {
+    if (obs::TraceRecorder* tr = obs::ActiveTrace()) {
+      tr->SpanArg(run.span,
+                  status == logdata::RunStatus::kDropped ? "dropped"
+                                                         : "failed",
+                  1.0);
+      tr->EndSpan(run.span, sim_.now());
+    }
+  }
+}
+
+void Campaign::OnFault(const fault::FaultNotice& notice) {
+  if (notice.repair) return;  // the injector already restored the machine
+  const fault::FaultEvent& ev = *notice.event;
+  switch (ev.kind) {
+    case fault::FaultKind::kNodeCrash:
+      HandleNodeCrash(ev);
+      break;
+    case fault::FaultKind::kTaskTransient:
+      HandleTaskTransient(ev);
+      break;
+    default:
+      FF_CHECK(false) << "campaign fault plans support machine faults "
+                         "only, got "
+                      << fault::FaultKindName(ev.kind);
+  }
+}
+
+void Campaign::HandleNodeCrash(const fault::FaultEvent& ev) {
+  const std::string& node = ev.target;
+  if (!config_.graceful_degradation) {
+    // Plain path: exactly what a kNodeDown change event does after
+    // SetUp(false) (which the injector already applied).
+    HandleNodeDown(node);
+    return;
+  }
+  cluster::Machine* machine = MachineOrDie(node);
+  const double repair_eta = sim_.now() + ev.duration;
+  for (size_t i = 0; i < active_runs_.size(); ++i) {
+    ActiveRun& run = active_runs_[i];
+    if (run.task == 0 || run.retired || run.node != node) continue;
+    const ForecastEntry& entry = forecasts_.at(run.forecast);
+    auto remaining = machine->RemainingWork(run.task);
+    if (!remaining.ok()) continue;
+    // Optimistic post-repair finish: the run alone on one CPU.
+    double finish_eta = repair_eta + *remaining / machine->speed();
+    double deadline = run.day_index * kDay + entry.spec.deadline +
+                      config_.degrade_deadline_slack;
+    if (finish_eta <= deadline) {
+      // Delay rung: ride out the outage in place (the machine keeps the
+      // task's progress; §2.1's "willing to wait").
+      ++result_.runs_delayed;
+      if (obs::TraceRecorder* tr = obs::ActiveTrace()) {
+        tr->Instant(sim_.now(), obs::SpanCategory::kPlan,
+                    "degrade.delay:" + run.forecast, "campaign");
+      }
+      if (obs::MetricsRegistry* m = obs::ActiveMetrics()) {
+        m->counter("campaign.runs_delayed")->Increment();
+      }
+      continue;
+    }
+    if (entry.spec.priority >= config_.drop_priority_threshold) {
+      // Drop rung: shed the low-priority run outright.
+      auto removed = machine->RemoveTask(run.task);
+      if (removed.ok()) pending_work_[node] -= *removed;
+      ++result_.runs_dropped;
+      if (obs::TraceRecorder* tr = obs::ActiveTrace()) {
+        tr->Instant(sim_.now(), obs::SpanCategory::kPlan,
+                    "degrade.drop:" + run.forecast, "campaign");
+      }
+      if (obs::MetricsRegistry* m = obs::ActiveMetrics()) {
+        m->counter("campaign.runs_dropped")->Increment();
+      }
+      RetireRun(i, logdata::RunStatus::kDropped);
+      continue;
+    }
+    // Migrate rung: the run is important and waiting blows the deadline.
+    if (config_.failure_policy != core::ReschedulePolicy::kNone) {
+      DisplaceRun(i, node);
+    }
+  }
+  // Tomorrow's launches avoid the node only when the repair estimate says
+  // it will still be down then (unlike HandleNodeDown, which reassigns
+  // unconditionally because a change-event outage has no repair ETA).
+  double next_launch =
+      (std::floor((sim_.now() - config_.start_hour * 3600.0) / kDay) +
+       1.0) *
+          kDay +
+      config_.start_hour * 3600.0;
+  if (repair_eta > next_launch) {
+    for (auto& [name, entry] : forecasts_) {
+      if (entry.node == node) {
+        std::string target = LeastLoadedNode(node);
+        if (!target.empty()) entry.node = target;
+      }
+    }
+  }
+}
+
+void Campaign::HandleTaskTransient(const fault::FaultEvent& ev) {
+  cluster::Machine* machine = MachineOrDie(ev.target);
+  for (size_t i = 0; i < active_runs_.size(); ++i) {
+    ActiveRun& run = active_runs_[i];
+    if (run.task == 0 || run.retired || run.node != ev.target) continue;
+    if (!rng_.Bernoulli(ev.magnitude)) continue;
+    auto remaining = machine->RemoveTask(run.task);
+    if (!remaining.ok()) continue;
+    run.task = 0;
+    ++run.failures;
+    if (!config_.task_retry.AllowsRetry(run.failures)) {
+      pending_work_[run.node] -= run.work;
+      RetireRun(i, logdata::RunStatus::kFailed);
+      continue;
+    }
+    ++result_.task_retries;
+    if (obs::MetricsRegistry* m = obs::ActiveMetrics()) {
+      m->counter("campaign.task_retries")->Increment();
+    }
+    double delay = config_.task_retry.NextDelay(run.failures, &rng_);
+    // Restart from the checkpoint (remaining work) after the backoff.
+    sim_.ScheduleAfter(delay, [this, i, rem = *remaining] {
+      ActiveRun& r = active_runs_[i];
+      if (r.retired || r.task != 0) return;
+      r.task = MachineOrDie(r.node)->StartTask(
+          rem, [this, i] { OnRunComplete(i); }, 0.0, r.forecast, r.span);
+    });
   }
 }
 
@@ -374,6 +504,7 @@ void Campaign::LaunchRun(ForecastEntry* entry, int day_index) {
 void Campaign::OnRunComplete(size_t run_index) {
   ActiveRun& run = active_runs_[run_index];
   run.task = 0;
+  run.retired = true;
   pending_work_[run.node] -= run.work;
   double walltime = sim_.now() - run.start_time;
   int day = config_.first_day + run.day_index;
@@ -489,6 +620,17 @@ util::StatusOr<CampaignResult> Campaign::Run() {
   if (machines_.empty()) {
     return util::Status::FailedPrecondition("no nodes");
   }
+  if (!config_.fault_plan.empty()) {
+    injector_ =
+        std::make_unique<fault::FaultInjector>(&sim_, config_.fault_plan);
+    for (const auto& name : node_order_) {
+      injector_->RegisterMachine(machines_.at(name).get());
+    }
+    injector_->AddListener(
+        [this](const fault::FaultNotice& n) { OnFault(n); });
+    // Priority -1: a crash at a launch instant lands before LaunchDay.
+    injector_->Arm(/*priority=*/-1);
+  }
   for (int d = 0; d < config_.num_days; ++d) ScheduleDay(d);
   obs::TraceRecorder* tr = obs::ActiveTrace();
   if (tr != nullptr) {
@@ -502,6 +644,9 @@ util::StatusOr<CampaignResult> Campaign::Run() {
     });
   }
   sim_.Run();
+  if (injector_ != nullptr) {
+    result_.faults_injected = injector_->faults_injected();
+  }
   if (obs::MetricsRegistry* m = obs::ActiveMetrics()) {
     m->SampleAll(sim_.now());
   }
@@ -542,7 +687,7 @@ util::StatusOr<CampaignResult> Campaign::Run() {
   if (!config_.log_dir.empty()) {
     logdata::LogStore store(config_.log_dir);
     for (const auto& rec : result_.records) {
-      FF_RETURN_NOT_OK(store.Write(rec));
+      FF_RETURN_IF_ERROR(store.Write(rec));
     }
   }
   return std::move(result_);

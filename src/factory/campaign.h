@@ -20,6 +20,9 @@
 
 #include "cluster/machine.h"
 #include "core/rescheduler.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
+#include "fault/retry.h"
 #include "logdata/log_record.h"
 #include "logdata/spc.h"
 #include "obs/metrics.h"
@@ -94,6 +97,32 @@ struct CampaignConfig {
   /// under the new placement.
   bool spc_replan = false;
   int spc_baseline_days = 14;
+
+  /// Machine faults to inject (kNodeCrash with repair, kTaskTransient;
+  /// link faults are not valid here — campaign runs model no transfers).
+  /// Armed at simulator priority -1, so a fault at a launch instant lands
+  /// before that day's launches.
+  fault::FaultPlan fault_plan;
+
+  /// Graceful degradation for crashed nodes (§2.1: a degraded plant is
+  /// worth waiting for — up to a point). Off: every crash takes the plain
+  /// failure_policy path (HandleNodeDown), exactly as a kNodeDown change
+  /// event would. On, per displaced run the ladder is:
+  ///   delay — if finishing after the estimated repair still meets the
+  ///           forecast's deadline (+ slack), the run stays put and rides
+  ///           out the outage;
+  ///   drop  — else, if the forecast's priority is at or beyond
+  ///           drop_priority_threshold (higher = less important), the run
+  ///           is shed with a kDropped record;
+  ///   migrate — else it moves per failure_policy.
+  bool graceful_degradation = false;
+  int drop_priority_threshold = std::numeric_limits<int>::max();
+  double degrade_deadline_slack = 0.0;
+
+  /// Retry/backoff for runs killed by kTaskTransient faults: the run
+  /// restarts from its checkpoint (remaining work) after a backoff drawn
+  /// from the campaign RNG; exhausting the budget records kFailed.
+  fault::RetryPolicy task_retry;
 };
 
 /// One walltime sample.
@@ -113,6 +142,11 @@ struct CampaignResult {
   /// SPC monitor outcomes (only when CampaignConfig::spc_replan).
   int spc_signals = 0;
   int spc_replans = 0;
+  /// Fault-plan outcomes (only when CampaignConfig::fault_plan is set).
+  int runs_delayed = 0;   // rode out a crash in place (degradation ladder)
+  int runs_dropped = 0;   // shed by the ladder's drop rung
+  int task_retries = 0;   // transient-fault restarts
+  uint64_t faults_injected = 0;
 };
 
 /// The campaign driver.
@@ -152,6 +186,8 @@ class Campaign {
     double start_time;
     double work;
     obs::SpanId span = 0;  // kRun span; open until completion
+    int failures = 0;      // transient-fault kills of this run
+    bool retired = false;  // completed, dropped or failed — never restart
   };
   struct SpcState {
     std::vector<double> history;  // pre-fit baseline, then monitored tail
@@ -169,6 +205,11 @@ class Campaign {
                                 logdata::RunStatus status) const;
   void OnRunComplete(size_t run_index);
   void HandleNodeDown(const std::string& node);
+  void DisplaceRun(size_t run_index, const std::string& node);
+  void RetireRun(size_t run_index, logdata::RunStatus status);
+  void OnFault(const fault::FaultNotice& notice);
+  void HandleNodeCrash(const fault::FaultEvent& event);
+  void HandleTaskTransient(const fault::FaultEvent& event);
   void MetricsTick(double period, double t_end);
   void SpcCheck(const std::string& forecast, double walltime);
   cluster::Machine* MachineOrDie(const std::string& name);
@@ -177,6 +218,7 @@ class Campaign {
   CampaignConfig config_;
   sim::Simulator sim_;
   util::Rng rng_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   std::map<std::string, std::unique_ptr<cluster::Machine>> machines_;
   std::vector<std::string> node_order_;
   std::map<std::string, ForecastEntry> forecasts_;

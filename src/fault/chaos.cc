@@ -1,0 +1,265 @@
+#include "fault/chaos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "cluster/cluster.h"
+#include "fault/injector.h"
+#include "util/logging.h"
+
+namespace ff {
+namespace fault {
+
+namespace {
+
+// Substream index for the replica's fault timeline; run j draws from
+// Split(j), and num_nodes stays far below this, so the two families never
+// collide and fault generation never perturbs run-level draws.
+constexpr uint64_t kFaultStreamIndex = 1u << 30;
+
+struct ReplicaOutcome {
+  std::vector<ChaosRunRecord> runs;
+};
+
+// `pair_rng` is a pure function of (base_seed, intensity index, replica-
+// within-cell) — NOT of the policy — so every policy at a given intensity
+// faces byte-identical fault timelines and kill draws (common random
+// numbers: policy curves differ only by the policy).
+void RunReplica(const ChaosSweepConfig& cfg, size_t cell_index,
+                double intensity, const ChaosPolicy& policy,
+                util::Rng pair_rng, parallel::ReplicaContext& ctx,
+                ReplicaOutcome* out) {
+  sim::Simulator sim;
+  cluster::Cluster plant(&sim, /*server_cpus=*/2,
+                         /*server_speed=*/2.6 / 2.8,
+                         /*server_ram_bytes=*/1.0e9);
+  std::vector<std::string> machine_names;
+  std::vector<std::string> link_names;
+  for (int n = 0; n < cfg.num_nodes; ++n) {
+    cluster::NodeSpec spec;
+    spec.name = "n" + std::to_string(n + 1);
+    FF_CHECK(plant.AddNode(spec).ok());
+    machine_names.push_back(spec.name);
+    link_names.push_back(spec.name + "->server");
+  }
+  // The server hosts Architecture-2 product tasks, so it is a transient-
+  // fault target too.
+  machine_names.push_back(plant.server()->name());
+
+  ChaosConfig fault_cfg = cfg.faults;
+  fault_cfg.intensity = intensity;
+  fault_cfg.horizon = cfg.horizon;
+  util::Rng fault_rng = pair_rng.Split(kFaultStreamIndex);
+  FaultInjector injector(
+      &sim, FaultPlan::Generate(fault_cfg, machine_names, link_names,
+                                fault_rng));
+  for (const auto& name : machine_names) {
+    if (name == plant.server()->name()) {
+      injector.RegisterMachine(plant.server());
+    } else {
+      injector.RegisterMachine(*plant.node(name));
+    }
+  }
+  for (const auto& name : machine_names) {
+    if (name == plant.server()->name()) continue;
+    injector.RegisterLink(*plant.uplink(name));
+  }
+
+  std::vector<util::Rng> run_rngs;
+  run_rngs.reserve(static_cast<size_t>(cfg.num_nodes));
+  std::vector<std::unique_ptr<dataflow::ForecastRun>> runs;
+  for (int n = 0; n < cfg.num_nodes; ++n) {
+    run_rngs.push_back(pair_rng.Split(static_cast<uint64_t>(n)));
+  }
+  for (int n = 0; n < cfg.num_nodes; ++n) {
+    const std::string& node = machine_names[static_cast<size_t>(n)];
+    workload::ForecastSpec spec = cfg.spec;
+    spec.name = spec.name + "@" + node;
+    dataflow::RunConfig rc;
+    rc.arch = cfg.arch;
+    rc.record_series = false;
+    rc.retry = policy.retry;
+    rc.rng = &run_rngs[static_cast<size_t>(n)];
+    rc.injector = &injector;
+    runs.push_back(std::make_unique<dataflow::ForecastRun>(
+        &sim, *plant.node(node), *plant.uplink(node), plant.server(),
+        /*recorder=*/nullptr, spec, rc));
+  }
+
+  if (ctx.trace != nullptr) {
+    ctx.trace->SetClock([&sim] { return sim.now(); });
+  }
+  injector.Arm();
+  for (auto& run : runs) run->Start();
+  sim.RunUntil(cfg.horizon);
+  if (ctx.metrics != nullptr) ctx.metrics->SampleAll(sim.now());
+  if (ctx.trace != nullptr) ctx.trace->SetClock(nullptr);
+
+  out->runs.reserve(runs.size());
+  for (size_t j = 0; j < runs.size(); ++j) {
+    const auto& run = *runs[j];
+    ChaosRunRecord rec;
+    rec.replica = static_cast<int64_t>(ctx.replica);
+    rec.cell = static_cast<int64_t>(cell_index);
+    rec.intensity = intensity;
+    rec.policy = policy.name;
+    rec.forecast = run.spec().name;
+    rec.node = machine_names[j];
+    rec.delivered = run.done();
+    rec.abandoned = run.failed();
+    rec.delivery_seconds =
+        run.done() ? run.finish_time() - run.start_time() : cfg.horizon;
+    rec.retries = run.retries();
+    rec.wasted_cpu_seconds = run.wasted_cpu_seconds();
+    rec.faults_injected =
+        static_cast<int64_t>(injector.faults_injected());
+    out->runs.push_back(std::move(rec));
+  }
+}
+
+double ExactP95(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  size_t rank = static_cast<size_t>(
+      std::ceil(0.95 * static_cast<double>(values.size())));
+  if (rank == 0) rank = 1;
+  return values[rank - 1];
+}
+
+}  // namespace
+
+ChaosSweepResult RunChaosSweep(const ChaosSweepConfig& cfg) {
+  FF_CHECK(!cfg.intensities.empty()) << "chaos sweep needs intensities";
+  FF_CHECK(!cfg.policies.empty()) << "chaos sweep needs policies";
+  FF_CHECK(cfg.replicas_per_cell > 0);
+  FF_CHECK(cfg.num_nodes > 0);
+
+  std::vector<ChaosPolicy> policies = cfg.policies;
+  for (auto& p : policies) {
+    if (p.name.empty()) p.name = RetryPolicyLabel(p.retry);
+  }
+
+  const size_t num_cells = cfg.intensities.size() * policies.size();
+  const size_t total_replicas = num_cells * cfg.replicas_per_cell;
+
+  parallel::SweepOptions opt;
+  opt.num_workers = cfg.num_workers;
+  opt.base_seed = cfg.base_seed;
+  opt.record_traces = cfg.record;
+  opt.record_metrics = cfg.record;
+
+  std::vector<ReplicaOutcome> outcomes(total_replicas);
+  parallel::SweepRunner runner(opt);
+  ChaosSweepResult result;
+  result.outputs = runner.Run(
+      total_replicas, [&](parallel::ReplicaContext& ctx) {
+        size_t cell = ctx.replica / cfg.replicas_per_cell;
+        size_t ii = cell / policies.size();
+        size_t pi = cell % policies.size();
+        size_t in_cell = ctx.replica % cfg.replicas_per_cell;
+        util::Rng pair_rng = util::Rng(cfg.base_seed)
+                                 .Split(ii * cfg.replicas_per_cell + in_cell);
+        RunReplica(cfg, cell, cfg.intensities[ii], policies[pi], pair_rng,
+                   ctx, &outcomes[ctx.replica]);
+      });
+
+  // Fold per-replica outcomes in replica order (deterministic regardless
+  // of which worker ran what), then score each cell.
+  for (auto& o : outcomes) {
+    for (auto& r : o.runs) result.runs.push_back(std::move(r));
+  }
+  result.cells.reserve(num_cells);
+  for (size_t cell = 0; cell < num_cells; ++cell) {
+    size_t ii = cell / policies.size();
+    size_t pi = cell % policies.size();
+    ChaosCellScore score;
+    score.intensity = cfg.intensities[ii];
+    score.policy = policies[pi].name;
+    std::vector<double> delivery;
+    double wasted = 0.0;
+    int64_t retries = 0;
+    for (size_t r = cell * cfg.replicas_per_cell;
+         r < (cell + 1) * cfg.replicas_per_cell; ++r) {
+      const ReplicaOutcome& o = outcomes[r];
+      if (!o.runs.empty()) {
+        // faults_injected is replica-wide; count it once per replica.
+        score.faults_injected += o.runs.front().faults_injected;
+      }
+      for (const ChaosRunRecord& rec : o.runs) {
+        ++score.runs;
+        if (rec.delivered) ++score.delivered;
+        if (rec.abandoned) ++score.abandoned;
+        if (rec.delivered && rec.delivery_seconds <= cfg.slo_seconds) {
+          score.on_time_fraction += 1.0;
+        }
+        delivery.push_back(rec.delivery_seconds);
+        wasted += rec.wasted_cpu_seconds;
+        retries += rec.retries;
+      }
+    }
+    if (score.runs > 0) {
+      score.on_time_fraction /= static_cast<double>(score.runs);
+      score.retries_per_run =
+          static_cast<double>(retries) / static_cast<double>(score.runs);
+    }
+    score.p95_delivery_seconds = ExactP95(std::move(delivery));
+    score.wasted_cpu_hours = wasted / 3600.0;
+    result.cells.push_back(std::move(score));
+  }
+  return result;
+}
+
+util::StatusOr<statsdb::Table*> LoadChaosRuns(
+    statsdb::Database* db, const ChaosSweepResult& result) {
+  using statsdb::DataType;
+  using statsdb::Schema;
+  using statsdb::Table;
+
+  if (db->HasTable(kChaosRunsTable)) {
+    FF_RETURN_IF_ERROR(db->DropTable(kChaosRunsTable));
+  }
+  Schema schema({
+      {"replica", DataType::kInt64},
+      {"cell", DataType::kInt64},
+      {"intensity", DataType::kDouble},
+      {"policy", DataType::kString},
+      {"forecast", DataType::kString},
+      {"node", DataType::kString},
+      {"delivered", DataType::kInt64},
+      {"abandoned", DataType::kInt64},
+      {"delivery_seconds", DataType::kDouble},
+      {"retries", DataType::kInt64},
+      {"wasted_cpu_seconds", DataType::kDouble},
+      {"faults_injected", DataType::kInt64},
+  });
+  FF_ASSIGN_OR_RETURN(Table * table,
+                      db->CreateTable(kChaosRunsTable, schema));
+  {
+    Table::BulkAppender app(table);
+    app.Reserve(result.runs.size());
+    for (const ChaosRunRecord& r : result.runs) {
+      app.Int64(r.replica)
+          .Int64(r.cell)
+          .Double(r.intensity)
+          .String(r.policy)
+          .String(r.forecast)
+          .String(r.node)
+          .Int64(r.delivered ? 1 : 0)
+          .Int64(r.abandoned ? 1 : 0)
+          .Double(r.delivery_seconds)
+          .Int64(r.retries)
+          .Double(r.wasted_cpu_seconds)
+          .Int64(r.faults_injected);
+      FF_RETURN_IF_ERROR(app.EndRow());
+    }
+    FF_RETURN_IF_ERROR(app.Finish());
+  }
+  FF_RETURN_IF_ERROR(table->CreateIndex("cell"));
+  FF_RETURN_IF_ERROR(table->CreateIndex("policy"));
+  return table;
+}
+
+}  // namespace fault
+}  // namespace ff

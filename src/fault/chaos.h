@@ -1,0 +1,122 @@
+// ChaosSweep: the "how much failure can the factory absorb" study. Fans a
+// fault-intensity x retry-policy grid across parallel::SweepRunner —
+// every grid cell runs R independent replicas, each a private plant
+// (N compute nodes staging one forecast each to the public server) with a
+// FaultPlan generated at that cell's intensity — and scores each cell
+// with delivery-SLO metrics: on-time fraction, P95 time-until-data-at-
+// server, wasted CPU-hours, retries per run.
+//
+// Determinism: replica i (in grid order) draws everything from
+// Rng(base_seed).Split(i) — the fault timeline from one substream, each
+// run's retry jitter and kill decisions from another — so every artifact
+// (per-run table rows, cell scores, the merged Chrome trace and metrics
+// CSV) is byte-identical on 1, 4 or 16 workers.
+
+#ifndef FF_FAULT_CHAOS_H_
+#define FF_FAULT_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataflow/forecast_run.h"
+#include "fault/fault_plan.h"
+#include "fault/retry.h"
+#include "parallel/sweep.h"
+#include "statsdb/database.h"
+#include "util/statusor.h"
+#include "workload/forecast_spec.h"
+
+namespace ff {
+namespace fault {
+
+/// One policy column of the chaos grid.
+struct ChaosPolicy {
+  std::string name;  // cell label; defaults to RetryPolicyLabel(retry)
+  RetryPolicy retry;
+};
+
+/// The grid and the per-replica scenario.
+struct ChaosSweepConfig {
+  /// Fault-process rates; `intensity` and `horizon` are overridden per
+  /// cell from `intensities` / `horizon` below.
+  ChaosConfig faults;
+  /// Grid x-axis (0.0 = no-fault control cell) and curves.
+  std::vector<double> intensities;
+  std::vector<ChaosPolicy> policies;
+  size_t replicas_per_cell = 4;
+
+  uint64_t base_seed = 4242;
+  size_t num_workers = 0;  // SweepOptions::num_workers
+  bool record = true;      // per-replica tracing/metrics + merged views
+
+  /// Per-replica plant: `num_nodes` §4.2 testbed nodes, one forecast
+  /// each, staging to the shared public server.
+  int num_nodes = 2;
+  dataflow::Architecture arch = dataflow::Architecture::kProductsAtNode;
+  workload::ForecastSpec spec;  // per-node forecast (set by caller)
+  /// Simulated window; runs not done by then are censored at the horizon.
+  double horizon = 86400.0;
+  /// Delivery SLO: a run is on time when every byte reached the server
+  /// within this many seconds of launch.
+  double slo_seconds = 6.0 * 3600.0;
+};
+
+/// One forecast run's outcome (one statsdb `chaos_runs` row).
+struct ChaosRunRecord {
+  int64_t replica = 0;       // global replica index (grid order)
+  int64_t cell = 0;          // cell index = replica / replicas_per_cell
+  double intensity = 0.0;
+  std::string policy;
+  std::string forecast;
+  std::string node;
+  bool delivered = false;    // all data at server within the horizon
+  bool abandoned = false;    // retry budget exhausted (ForecastRun::failed)
+  double delivery_seconds = 0.0;  // finish time; horizon when undelivered
+  int64_t retries = 0;
+  double wasted_cpu_seconds = 0.0;
+  int64_t faults_injected = 0;    // replica-wide injection count
+};
+
+/// One cell's delivery-SLO score.
+struct ChaosCellScore {
+  double intensity = 0.0;
+  std::string policy;
+  int64_t runs = 0;
+  int64_t delivered = 0;
+  int64_t abandoned = 0;
+  double on_time_fraction = 0.0;
+  /// Exact (sorted, no interpolation) P95 of delivery_seconds, with
+  /// undelivered runs censored at the horizon.
+  double p95_delivery_seconds = 0.0;
+  double wasted_cpu_hours = 0.0;
+  double retries_per_run = 0.0;
+  int64_t faults_injected = 0;
+};
+
+/// Sweep outputs: per-run rows in replica order, per-cell scores in grid
+/// order (intensity-major, then policy), plus the merged observability.
+struct ChaosSweepResult {
+  std::vector<ChaosRunRecord> runs;
+  std::vector<ChaosCellScore> cells;
+  parallel::SweepOutputs outputs;
+};
+
+/// Runs the whole grid. Cell (i, p) covers replicas
+/// [(i * num_policies + p) * R, ...R) and every replica is independent,
+/// so the sweep parallelizes replica-by-replica.
+ChaosSweepResult RunChaosSweep(const ChaosSweepConfig& cfg);
+
+/// Name of the table LoadChaosRuns creates.
+inline constexpr char kChaosRunsTable[] = "chaos_runs";
+
+/// Bulk-loads result.runs into `db` (drop + recreate, rows in replica
+/// order, indexed by policy and cell) — same single-writer discipline as
+/// parallel::LoadSweepRuns.
+util::StatusOr<statsdb::Table*> LoadChaosRuns(statsdb::Database* db,
+                                              const ChaosSweepResult& result);
+
+}  // namespace fault
+}  // namespace ff
+
+#endif  // FF_FAULT_CHAOS_H_

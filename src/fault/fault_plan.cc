@@ -1,0 +1,124 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/logging.h"
+
+namespace ff {
+namespace fault {
+
+const char* FaultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNodeCrash:
+      return "node_crash";
+    case FaultKind::kLinkOutage:
+      return "link_outage";
+    case FaultKind::kLinkDegrade:
+      return "link_degrade";
+    case FaultKind::kTaskTransient:
+      return "task_transient";
+    case FaultKind::kTransferCorruption:
+      return "transfer_corruption";
+  }
+  return "?";
+}
+
+void FaultPlan::Add(FaultEvent event) {
+  FF_CHECK(event.time >= 0.0) << "fault time must be non-negative";
+  events_.push_back(std::move(event));
+  sorted_ = events_.size() <= 1;
+}
+
+const std::vector<FaultEvent>& FaultPlan::events() const {
+  if (!sorted_) {
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                       return std::tie(a.time, a.kind, a.target) <
+                              std::tie(b.time, b.kind, b.target);
+                     });
+    sorted_ = true;
+  }
+  return events_;
+}
+
+namespace {
+
+// Poisson arrivals for one (kind, target) pair on its own substream.
+// Every draw needed to describe an event is taken from the same stream in
+// a fixed order, so the timeline is a pure function of (seed, cfg).
+void GenerateProcess(const ChaosConfig& cfg, FaultKind kind,
+                     const std::string& target, double rate_per_day,
+                     util::Rng rng, FaultPlan* plan) {
+  double rate = rate_per_day * cfg.intensity / 86400.0;  // events per sec
+  if (rate <= 0.0 || cfg.horizon <= 0.0) return;
+  double t = rng.Exponential(rate);
+  while (t < cfg.horizon) {
+    FaultEvent ev;
+    ev.time = t;
+    ev.kind = kind;
+    ev.target = target;
+    switch (kind) {
+      case FaultKind::kNodeCrash:
+        ev.duration =
+            rng.LogNormalMedian(cfg.node_repair_median, cfg.node_repair_sigma);
+        break;
+      case FaultKind::kLinkOutage:
+        ev.duration =
+            rng.LogNormalMedian(cfg.link_outage_median, cfg.link_outage_sigma);
+        break;
+      case FaultKind::kLinkDegrade:
+        ev.duration = rng.LogNormalMedian(cfg.link_degrade_median,
+                                          cfg.link_degrade_sigma);
+        ev.magnitude =
+            rng.Uniform(cfg.link_degrade_floor, cfg.link_degrade_ceil);
+        break;
+      case FaultKind::kTaskTransient:
+        ev.magnitude = cfg.task_kill_probability;
+        break;
+      case FaultKind::kTransferCorruption:
+        ev.magnitude =
+            rng.Uniform(cfg.corrupt_fraction_floor, cfg.corrupt_fraction_ceil);
+        break;
+    }
+    plan->Add(std::move(ev));
+    t += rng.Exponential(rate);
+  }
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::Generate(const ChaosConfig& cfg,
+                              const std::vector<std::string>& machines,
+                              const std::vector<std::string>& links,
+                              const util::Rng& rng) {
+  FaultPlan plan;
+  auto stream = [&rng](FaultKind kind, size_t index) {
+    return rng.Split(static_cast<uint64_t>(kind) * 4096 +
+                     static_cast<uint64_t>(index));
+  };
+  for (size_t i = 0; i < machines.size(); ++i) {
+    GenerateProcess(cfg, FaultKind::kNodeCrash, machines[i],
+                    cfg.node_crash_rate,
+                    stream(FaultKind::kNodeCrash, i), &plan);
+    GenerateProcess(cfg, FaultKind::kTaskTransient, machines[i],
+                    cfg.task_transient_rate,
+                    stream(FaultKind::kTaskTransient, i), &plan);
+  }
+  for (size_t i = 0; i < links.size(); ++i) {
+    GenerateProcess(cfg, FaultKind::kLinkOutage, links[i],
+                    cfg.link_outage_rate,
+                    stream(FaultKind::kLinkOutage, i), &plan);
+    GenerateProcess(cfg, FaultKind::kLinkDegrade, links[i],
+                    cfg.link_degrade_rate,
+                    stream(FaultKind::kLinkDegrade, i), &plan);
+    GenerateProcess(cfg, FaultKind::kTransferCorruption, links[i],
+                    cfg.transfer_corrupt_rate,
+                    stream(FaultKind::kTransferCorruption, i), &plan);
+  }
+  plan.events();  // sort eagerly; Generate output is canonical
+  return plan;
+}
+
+}  // namespace fault
+}  // namespace ff

@@ -1,0 +1,116 @@
+// FaultPlan: a reproducible schedule of fault events against named plant
+// targets (machines and links). The paper's operational reality — nodes
+// failing mid-forecast, flaky staging links, users choosing between
+// waiting and dropping (§2.1, §4.3) — becomes a first-class workload:
+// a plan is either scripted event by event or generated stochastically
+// from a ChaosConfig, and in both cases is a pure function of its inputs.
+//
+// Seed discipline: generation draws from a *dedicated* RNG stream passed
+// in by the caller (chaos sweeps hand each replica Split(i) of the sweep
+// seed; per-(kind, target) substreams are split off that), so the same
+// seed yields a byte-identical fault timeline on 1, 4 or 16 sweep
+// workers, and a zero-rate config draws nothing — leaving the no-fault
+// baseline's RNG consumption untouched.
+
+#ifndef FF_FAULT_FAULT_PLAN_H_
+#define FF_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ff {
+namespace fault {
+
+/// Taxonomy of injectable faults (EXPERIMENTS.md §F).
+enum class FaultKind : uint8_t {
+  kNodeCrash = 0,        // machine down; repaired after `duration`
+  kLinkOutage,           // link down (transfers stall, no loss); `duration`
+  kLinkDegrade,          // link at `magnitude` of nominal bandwidth for
+                         // `duration` seconds
+  kTaskTransient,        // each retryable task on the machine dies with
+                         // probability `magnitude` (owner decides, using
+                         // its own RNG stream)
+  kTransferCorruption,   // fraction `magnitude` of each in-flight
+                         // transfer's delivered bytes must be re-sent
+};
+inline constexpr int kNumFaultKinds = 5;
+
+const char* FaultKindName(FaultKind k);
+
+/// One fault occurrence against one target.
+struct FaultEvent {
+  double time = 0.0;       // injection instant (simulation seconds)
+  FaultKind kind = FaultKind::kNodeCrash;
+  std::string target;      // machine or link name
+  double duration = 0.0;   // repair / outage / degrade window length
+  double magnitude = 1.0;  // degrade factor, kill probability, or corrupt
+                           // fraction, per kind
+};
+
+/// Stochastic fault-process parameters. All rates are events per target
+/// per day, scaled by `intensity` — sweeping intensity from 0 upward is
+/// the x-axis of the chaos curves. A rate of 0 disables that fault class
+/// (and draws nothing from its substream).
+struct ChaosConfig {
+  double horizon = 86400.0;  // generate events in [0, horizon)
+  double intensity = 1.0;    // global multiplier on every rate
+
+  double node_crash_rate = 0.0;
+  double node_repair_median = 2.0 * 3600.0;  // lognormal repair time
+  double node_repair_sigma = 0.5;
+
+  double link_outage_rate = 0.0;
+  double link_outage_median = 900.0;
+  double link_outage_sigma = 0.5;
+
+  double link_degrade_rate = 0.0;
+  double link_degrade_median = 1800.0;
+  double link_degrade_sigma = 0.5;
+  double link_degrade_floor = 0.1;  // factor drawn uniform in
+  double link_degrade_ceil = 0.5;   // [floor, ceil]
+
+  double task_transient_rate = 0.0;
+  double task_kill_probability = 1.0;
+
+  double transfer_corrupt_rate = 0.0;
+  double corrupt_fraction_floor = 0.1;  // fraction drawn uniform in
+  double corrupt_fraction_ceil = 0.5;   // [floor, ceil]
+};
+
+/// An ordered, reproducible fault schedule.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Appends a scripted event (any order; events() sorts).
+  void Add(FaultEvent event);
+
+  /// Generates Poisson arrivals per (fault kind, target) from `cfg`.
+  /// Each (kind, target) pair draws from rng->Split(kind * 4096 + index),
+  /// so adding a target or enabling another fault class never perturbs
+  /// the existing substreams. `rng` is not advanced.
+  static FaultPlan Generate(const ChaosConfig& cfg,
+                            const std::vector<std::string>& machines,
+                            const std::vector<std::string>& links,
+                            const util::Rng& rng);
+
+  /// Events sorted by (time, kind, target), ties broken by insertion
+  /// order (stable sort) — a total order, so two plans built from the
+  /// same inputs are byte-identical.
+  const std::vector<FaultEvent>& events() const;
+
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+
+ private:
+  mutable std::vector<FaultEvent> events_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace fault
+}  // namespace ff
+
+#endif  // FF_FAULT_FAULT_PLAN_H_

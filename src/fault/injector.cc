@@ -1,0 +1,162 @@
+#include "fault/injector.h"
+
+#include <string>
+#include <utility>
+
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace ff {
+namespace fault {
+
+FaultInjector::FaultInjector(sim::Simulator* sim, FaultPlan plan)
+    : sim_(sim), plan_(std::move(plan)) {
+  FF_CHECK(sim_ != nullptr);
+}
+
+void FaultInjector::RegisterMachine(cluster::Machine* machine) {
+  FF_CHECK(machine != nullptr);
+  FF_CHECK(!armed_) << "register targets before Arm()";
+  auto [it, inserted] = machines_.emplace(machine->name(), machine);
+  FF_CHECK(inserted) << "duplicate machine " << machine->name();
+}
+
+void FaultInjector::RegisterLink(cluster::Link* link) {
+  FF_CHECK(link != nullptr);
+  FF_CHECK(!armed_) << "register targets before Arm()";
+  auto [it, inserted] = links_.emplace(link->name(), link);
+  FF_CHECK(inserted) << "duplicate link " << link->name();
+}
+
+void FaultInjector::AddListener(
+    std::function<void(const FaultNotice&)> listener) {
+  FF_CHECK(listener != nullptr);
+  listeners_.push_back(std::move(listener));
+}
+
+void FaultInjector::Arm(int priority) {
+  FF_CHECK(!armed_) << "Arm() called twice";
+  armed_ = true;
+  for (const FaultEvent& ev : plan_.events()) {
+    switch (ev.kind) {
+      case FaultKind::kNodeCrash:
+      case FaultKind::kTaskTransient:
+        FF_CHECK(machines_.count(ev.target))
+            << FaultKindName(ev.kind) << " targets unregistered machine "
+            << ev.target;
+        break;
+      case FaultKind::kLinkOutage:
+      case FaultKind::kLinkDegrade:
+      case FaultKind::kTransferCorruption:
+        FF_CHECK(links_.count(ev.target))
+            << FaultKindName(ev.kind) << " targets unregistered link "
+            << ev.target;
+        break;
+    }
+    FF_CHECK(ev.time >= sim_->now())
+        << "fault at t=" << ev.time << " is in the past";
+    sim_->ScheduleAt(ev.time, [this, &ev] { Inject(ev); }, priority);
+    if ((ev.kind == FaultKind::kNodeCrash ||
+         ev.kind == FaultKind::kLinkOutage ||
+         ev.kind == FaultKind::kLinkDegrade) &&
+        ev.duration > 0.0) {
+      sim_->ScheduleAt(ev.time + ev.duration, [this, &ev] { Repair(ev); },
+                       priority);
+    }
+  }
+}
+
+void FaultInjector::Inject(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kNodeCrash:
+      if (++machine_down_depth_[event.target] == 1) {
+        machines_.at(event.target)->SetUp(false);
+      }
+      break;
+    case FaultKind::kLinkOutage:
+      if (++link_down_depth_[event.target] == 1) {
+        links_.at(event.target)->SetUp(false);
+      }
+      break;
+    case FaultKind::kLinkDegrade:
+      active_degrades_[event.target].push_back(&event);
+      ApplyLinkDegrade(event.target);
+      break;
+    case FaultKind::kTaskTransient:
+    case FaultKind::kTransferCorruption:
+      // Pure notifications: the owning run decides which of its tasks die
+      // or which delivered bytes must be re-sent, on its own RNG stream.
+      break;
+  }
+  ++total_injected_;
+  ++injected_by_kind_[static_cast<size_t>(event.kind)];
+  Observe(event, /*repair=*/false);
+  Notify(event, /*repair=*/false);
+}
+
+void FaultInjector::Repair(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kNodeCrash:
+      if (--machine_down_depth_[event.target] == 0) {
+        machines_.at(event.target)->SetUp(true);
+      }
+      break;
+    case FaultKind::kLinkOutage:
+      if (--link_down_depth_[event.target] == 0) {
+        links_.at(event.target)->SetUp(true);
+      }
+      break;
+    case FaultKind::kLinkDegrade: {
+      auto& active = active_degrades_[event.target];
+      for (auto it = active.begin(); it != active.end(); ++it) {
+        if (*it == &event) {
+          active.erase(it);
+          break;
+        }
+      }
+      ApplyLinkDegrade(event.target);
+      break;
+    }
+    case FaultKind::kTaskTransient:
+    case FaultKind::kTransferCorruption:
+      FF_CHECK(false) << "instantaneous faults have no repair edge";
+  }
+  Observe(event, /*repair=*/true);
+  Notify(event, /*repair=*/true);
+}
+
+void FaultInjector::ApplyLinkDegrade(const std::string& target) {
+  double factor = 1.0;
+  for (const FaultEvent* ev : active_degrades_[target]) {
+    factor *= ev->magnitude;
+  }
+  links_.at(target)->SetDegrade(factor);
+}
+
+void FaultInjector::Observe(const FaultEvent& event, bool repair) {
+  if (auto* tr = obs::ActiveTrace()) {
+    std::string name = repair ? "repair." : "fault.";
+    name += FaultKindName(event.kind);
+    name += ':';
+    name += event.target;
+    tr->Instant(sim_->now(), obs::SpanCategory::kPlan, name, "faults");
+  }
+  if (auto* m = obs::ActiveMetrics()) {
+    if (!repair) {
+      std::string name = "fault.";
+      name += FaultKindName(event.kind);
+      m->counter(name)->Increment();
+      m->counter("fault.injected")->Increment();
+    }
+  }
+}
+
+void FaultInjector::Notify(const FaultEvent& event, bool repair) {
+  FaultNotice notice;
+  notice.event = &event;
+  notice.repair = repair;
+  for (const auto& listener : listeners_) listener(notice);
+}
+
+}  // namespace fault
+}  // namespace ff

@@ -1,0 +1,106 @@
+// FaultInjector: binds a FaultPlan to a running simulation. It owns the
+// mechanical half of every fault — flipping machines and links down and
+// scheduling their repairs, stacking concurrent outages and bandwidth
+// degradations — and broadcasts every injection and repair edge to
+// listeners, which own the semantic half (killing and retrying their own
+// tasks, re-sending corrupted transfer bytes, invoking reschedule
+// policies). Splitting it this way keeps the injector generic: it never
+// needs to know what a ForecastRun or a Campaign is.
+//
+// Observability: every injection and repair emits a kPlan instant on the
+// "faults" track ("fault.node_crash:f1", "repair.node_crash:f1") and
+// advances a per-kind counter ("fault.node_crash", ...), so chaos traces
+// show fault edges aligned with the stalls they cause.
+//
+// Determinism: Arm() schedules plan events at a caller-chosen priority
+// (default -1, i.e. before same-instant default-priority events such as
+// campaign day launches); all ordering is inherited from the plan's total
+// order plus the kernel's (time, priority, seq) order. The injector draws
+// no randomness at all — stochastic choices live in the plan (timeline)
+// and in the listeners (reactions, on the owner's stream).
+
+#ifndef FF_FAULT_INJECTOR_H_
+#define FF_FAULT_INJECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/link.h"
+#include "cluster/machine.h"
+#include "fault/fault_plan.h"
+#include "sim/simulator.h"
+
+namespace ff {
+namespace fault {
+
+/// What listeners receive: the plan event plus which edge this is.
+struct FaultNotice {
+  const FaultEvent* event = nullptr;
+  bool repair = false;  // false = injection edge, true = repair edge
+};
+
+/// Schedules and applies a FaultPlan against registered targets.
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulator* sim, FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Registers targets (before Arm). Machine faults address machines by
+  /// Machine::name(), link faults address links by Link::name().
+  void RegisterMachine(cluster::Machine* machine);
+  void RegisterLink(cluster::Link* link);
+
+  /// Registers a listener invoked on every injection and repair edge,
+  /// after the injector applied the mechanical state change. Listeners
+  /// fire in registration order.
+  void AddListener(std::function<void(const FaultNotice&)> listener);
+
+  /// Schedules every plan event on the simulator. Call exactly once,
+  /// before the simulation runs. Every event's target must be registered
+  /// (checked). kNodeCrash/kLinkOutage also schedule their repair edge at
+  /// time + duration. Overlapping down windows nest: a target comes back
+  /// up only when its last overlapping window ends. Overlapping degrades
+  /// multiply.
+  void Arm(int priority = -1);
+
+  /// Total injection edges fired so far (repairs not counted).
+  uint64_t faults_injected() const { return total_injected_; }
+
+  /// Injection edges fired so far, by kind.
+  const std::array<uint64_t, kNumFaultKinds>& injected_by_kind() const {
+    return injected_by_kind_;
+  }
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  void Inject(const FaultEvent& event);
+  void Repair(const FaultEvent& event);
+  void Notify(const FaultEvent& event, bool repair);
+  void Observe(const FaultEvent& event, bool repair);
+  void ApplyLinkDegrade(const std::string& target);
+
+  sim::Simulator* sim_;
+  FaultPlan plan_;
+  std::map<std::string, cluster::Machine*> machines_;
+  std::map<std::string, cluster::Link*> links_;
+  std::vector<std::function<void(const FaultNotice&)>> listeners_;
+  std::map<std::string, int> machine_down_depth_;
+  std::map<std::string, int> link_down_depth_;
+  // Active degrade factors per link, in injection order.
+  std::map<std::string, std::vector<const FaultEvent*>> active_degrades_;
+  std::array<uint64_t, kNumFaultKinds> injected_by_kind_{};
+  uint64_t total_injected_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace fault
+}  // namespace ff
+
+#endif  // FF_FAULT_INJECTOR_H_

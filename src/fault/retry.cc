@@ -1,0 +1,34 @@
+#include "fault/retry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace ff {
+namespace fault {
+
+double RetryPolicy::NextDelay(int retry, util::Rng* rng) const {
+  FF_CHECK(retry >= 1) << "retry numbers are 1-based";
+  double delay =
+      base_backoff * std::pow(backoff_multiplier,
+                              static_cast<double>(retry - 1));
+  delay = std::min(delay, max_backoff);
+  if (jitter > 0.0) {
+    FF_CHECK(rng != nullptr) << "jittered retry needs an RNG stream";
+    delay *= rng->Uniform(1.0 - jitter, 1.0 + jitter);
+  }
+  return std::max(0.0, delay);
+}
+
+std::string RetryPolicyLabel(const RetryPolicy& p) {
+  if (p.max_attempts <= 1) return "no-retry";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%dx@%.0fs*%.3g", p.max_attempts,
+                p.base_backoff, p.backoff_multiplier);
+  return buf;
+}
+
+}  // namespace fault
+}  // namespace ff

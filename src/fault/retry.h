@@ -1,0 +1,63 @@
+// RetryPolicy: how a component reacts to a transient failure of one of
+// its tasks or transfers (§2.1: users "may be willing to wait" for a
+// degraded plant, §4.3: staging via rsync must survive flaky links).
+//
+// The policy is purely declarative — backoff delays are computed from the
+// *owning run's* RNG stream, never from a global one, so a retry in one
+// run cannot perturb the noise draws of another (the same discipline
+// util::Rng::Split gives sweep replicas). With jitter = 0 the schedule is
+// a deterministic exponential ladder.
+
+#ifndef FF_FAULT_RETRY_H_
+#define FF_FAULT_RETRY_H_
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace ff {
+namespace fault {
+
+/// Retry/backoff semantics for retryable work (product tasks, rsync
+/// transfers, campaign runs knocked out by a transient fault).
+struct RetryPolicy {
+  /// Total attempts including the first; 1 = never retry. After the last
+  /// attempt fails the work is abandoned and the owner reports it undone.
+  int max_attempts = 4;
+
+  /// Delay before the first retry, in seconds.
+  double base_backoff = 60.0;
+
+  /// Multiplier applied per subsequent retry (exponential backoff).
+  double backoff_multiplier = 2.0;
+
+  /// Upper bound on any single backoff delay.
+  double max_backoff = 3600.0;
+
+  /// Uniform jitter amplitude in [0, 1): the delay is scaled by a factor
+  /// drawn uniformly from [1 - jitter, 1 + jitter] using the run's RNG
+  /// stream. 0 disables jitter (and draws nothing from the stream).
+  double jitter = 0.25;
+
+  /// Watchdog on a single transfer: when > 0, a transfer still in flight
+  /// after this many seconds is cancelled and re-sent from its acked
+  /// bytes (counting one attempt). 0 disables the watchdog — a stalled
+  /// link then simply delays completion (stall-no-loss).
+  double transfer_timeout = 0.0;
+
+  /// Backoff before retry number `retry` (1-based: retry 1 follows the
+  /// first failure). `rng` supplies jitter; may be null when jitter == 0.
+  double NextDelay(int retry, util::Rng* rng) const;
+
+  /// True when `retry` (1-based) is still allowed under max_attempts.
+  bool AllowsRetry(int retry) const { return retry < max_attempts; }
+};
+
+/// Compact human-readable label, e.g. "4x@60s*2" or "no-retry" — used by
+/// chaos-sweep cell names and bench output.
+std::string RetryPolicyLabel(const RetryPolicy& p);
+
+}  // namespace fault
+}  // namespace ff
+
+#endif  // FF_FAULT_RETRY_H_

@@ -50,7 +50,7 @@ Row RecordToRow(const LogRecord& r) {
 util::StatusOr<Table*> LoadRuns(statsdb::Database* db,
                                 const std::vector<LogRecord>& records) {
   if (db->HasTable(kRunsTable)) {
-    FF_RETURN_NOT_OK(db->DropTable(kRunsTable));
+    FF_RETURN_IF_ERROR(db->DropTable(kRunsTable));
   }
   FF_ASSIGN_OR_RETURN(Table * table, db->CreateTable(kRunsTable,
                                                      RunsSchema()));
@@ -75,13 +75,13 @@ util::StatusOr<Table*> LoadRuns(statsdb::Database* db,
         app.Null().Null();
       }
       app.String(RunStatusName(r.status));
-      FF_RETURN_NOT_OK(app.EndRow());
+      FF_RETURN_IF_ERROR(app.EndRow());
     }
-    FF_RETURN_NOT_OK(app.Finish());
+    FF_RETURN_IF_ERROR(app.Finish());
   }
-  FF_RETURN_NOT_OK(table->CreateIndex("forecast"));
-  FF_RETURN_NOT_OK(table->CreateIndex("code_version"));
-  FF_RETURN_NOT_OK(table->CreateIndex("node"));
+  FF_RETURN_IF_ERROR(table->CreateIndex("forecast"));
+  FF_RETURN_IF_ERROR(table->CreateIndex("code_version"));
+  FF_RETURN_IF_ERROR(table->CreateIndex("node"));
   return table;
 }
 
@@ -100,7 +100,7 @@ util::Status UpsertRun(Table* table, const LogRecord& record) {
     if (!row[day_col].is_null() &&
         row[day_col].int64_value() == record.day) {
       for (size_t c = 0; c < replacement.size(); ++c) {
-        FF_RETURN_NOT_OK(table->UpdateCell(i, c, replacement[c]));
+        FF_RETURN_IF_ERROR(table->UpdateCell(i, c, replacement[c]));
       }
       return util::Status::OK();
     }

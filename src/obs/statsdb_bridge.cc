@@ -17,7 +17,7 @@ using statsdb::Value;
 util::StatusOr<Table*> FreshTable(statsdb::Database* db,
                                   const std::string& name, Schema schema) {
   if (db->HasTable(name)) {
-    FF_RETURN_NOT_OK(db->DropTable(name));
+    FF_RETURN_IF_ERROR(db->DropTable(name));
   }
   return db->CreateTable(name, std::move(schema));
 }
@@ -52,10 +52,10 @@ util::StatusOr<Table*> LoadSpans(const TraceRecorder& trace,
         .Double(s.start)
         .Double(end)
         .Double(end - s.start);
-    FF_RETURN_NOT_OK(app.EndRow());
+    FF_RETURN_IF_ERROR(app.EndRow());
   }
-  FF_RETURN_NOT_OK(app.Finish());
-  FF_RETURN_NOT_OK(table->CreateIndex("category"));
+  FF_RETURN_IF_ERROR(app.Finish());
+  FF_RETURN_IF_ERROR(table->CreateIndex("category"));
   return table;
 }
 
@@ -77,9 +77,9 @@ util::StatusOr<Table*> LoadInstants(const TraceRecorder& trace,
         .String(SpanCategoryName(ev.category))
         .String(trace.str(ev.name))
         .String(trace.str(ev.track));
-    FF_RETURN_NOT_OK(app.EndRow());
+    FF_RETURN_IF_ERROR(app.EndRow());
   }
-  FF_RETURN_NOT_OK(app.Finish());
+  FF_RETURN_IF_ERROR(app.Finish());
   return table;
 }
 
@@ -99,10 +99,10 @@ util::StatusOr<Table*> LoadMetricSamples(const MetricsRegistry& metrics,
     app.Double(s.time)
         .String(metrics.metric_name(s.metric))
         .Double(s.value);
-    FF_RETURN_NOT_OK(app.EndRow());
+    FF_RETURN_IF_ERROR(app.EndRow());
   }
-  FF_RETURN_NOT_OK(app.Finish());
-  FF_RETURN_NOT_OK(table->CreateIndex("metric"));
+  FF_RETURN_IF_ERROR(app.Finish());
+  FF_RETURN_IF_ERROR(table->CreateIndex("metric"));
   return table;
 }
 

@@ -96,7 +96,7 @@ util::StatusOr<statsdb::Table*> LoadSweepRuns(statsdb::Database* db,
   using statsdb::Table;
 
   if (db->HasTable(kSweepRunsTable)) {
-    FF_RETURN_NOT_OK(db->DropTable(kSweepRunsTable));
+    FF_RETURN_IF_ERROR(db->DropTable(kSweepRunsTable));
   }
   Schema runs_schema = logdata::RunsSchema();
   std::vector<statsdb::Column> columns;
@@ -127,14 +127,14 @@ util::StatusOr<statsdb::Table*> LoadSweepRuns(statsdb::Database* db,
           app.Null().Null();
         }
         app.String(logdata::RunStatusName(r.status));
-        FF_RETURN_NOT_OK(app.EndRow());
+        FF_RETURN_IF_ERROR(app.EndRow());
       }
     }
-    FF_RETURN_NOT_OK(app.Finish());
+    FF_RETURN_IF_ERROR(app.Finish());
   }
-  FF_RETURN_NOT_OK(table->CreateIndex("replica"));
-  FF_RETURN_NOT_OK(table->CreateIndex("forecast"));
-  FF_RETURN_NOT_OK(table->CreateIndex("node"));
+  FF_RETURN_IF_ERROR(table->CreateIndex("replica"));
+  FF_RETURN_IF_ERROR(table->CreateIndex("forecast"));
+  FF_RETURN_IF_ERROR(table->CreateIndex("node"));
   return table;
 }
 

@@ -57,7 +57,7 @@ util::Status InsertCsvRows(Table* table, const util::CsvDocument& doc) {
                           Value::Parse(fields[i], schema.column(i).type));
       row.push_back(std::move(v));
     }
-    FF_RETURN_NOT_OK(table->Insert(std::move(row)));
+    FF_RETURN_IF_ERROR(table->Insert(std::move(row)));
   }
   return util::Status::OK();
 }
@@ -69,7 +69,7 @@ util::StatusOr<Table*> TableFromCsv(Database* db, const std::string& name,
                                     const std::string& csv_text) {
   FF_ASSIGN_OR_RETURN(util::CsvDocument doc,
                       util::ParseCsv(csv_text, /*has_header=*/true));
-  FF_RETURN_NOT_OK(CheckHeader(schema, doc.header));
+  FF_RETURN_IF_ERROR(CheckHeader(schema, doc.header));
   FF_ASSIGN_OR_RETURN(Table * table, db->CreateTable(name, schema));
   util::Status st = InsertCsvRows(table, doc);
   if (!st.ok()) {
@@ -82,7 +82,7 @@ util::StatusOr<Table*> TableFromCsv(Database* db, const std::string& name,
 util::Status AppendCsv(Table* table, const std::string& csv_text) {
   FF_ASSIGN_OR_RETURN(util::CsvDocument doc,
                       util::ParseCsv(csv_text, /*has_header=*/true));
-  FF_RETURN_NOT_OK(CheckHeader(table->schema(), doc.header));
+  FF_RETURN_IF_ERROR(CheckHeader(table->schema(), doc.header));
   return InsertCsvRows(table, doc);
 }
 

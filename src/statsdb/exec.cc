@@ -75,7 +75,7 @@ class ScanIterator : public BatchIterator {
     FF_ASSIGN_OR_RETURN(table_, db_.table(node_.table));
     store_ = &table_->store();  // zone maps current, bitmaps padded
     if (node_.predicate != nullptr) {
-      FF_RETURN_NOT_OK(CheckBoolPredicate(node_.predicate, table_->schema()));
+      FF_RETURN_IF_ERROR(CheckBoolPredicate(node_.predicate, table_->schema()));
       SplitConjuncts(node_.predicate, &conjuncts_);
       for (const auto& c : conjuncts_) {
         auto sp = MatchSimplePredicate(*c);
@@ -728,7 +728,7 @@ class LimitIterator : public BatchIterator {
 template <typename T, typename... Args>
 util::StatusOr<IterPtr> MakeIter(Args&&... args) {
   auto it = std::make_unique<T>(std::forward<Args>(args)...);
-  FF_RETURN_NOT_OK(it->Init());
+  FF_RETURN_IF_ERROR(it->Init());
   return IterPtr(std::move(it));
 }
 

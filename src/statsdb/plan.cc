@@ -212,7 +212,7 @@ util::StatusOr<ResultSet> ScanNode::Execute(const Database& db) const {
   ResultSet rs{t->schema(), t->rows()};
   // The index annotation is a pure access-path hint: its conjunct stays
   // in the predicate, so applying the predicate alone is exact.
-  if (predicate != nullptr) FF_RETURN_NOT_OK(FilterRows(predicate, &rs));
+  if (predicate != nullptr) FF_RETURN_IF_ERROR(FilterRows(predicate, &rs));
   return rs;
 }
 
@@ -240,7 +240,7 @@ std::string ScanNode::ToString() const {
 
 util::StatusOr<ResultSet> FilterNode::Execute(const Database& db) const {
   FF_ASSIGN_OR_RETURN(ResultSet in, input->Execute(db));
-  FF_RETURN_NOT_OK(FilterRows(predicate, &in));
+  FF_RETURN_IF_ERROR(FilterRows(predicate, &in));
   return in;
 }
 

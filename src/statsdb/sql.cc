@@ -191,7 +191,7 @@ class Parser {
   explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
 
   util::StatusOr<SelectStmt> ParseSelect() {
-    FF_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    FF_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
     SelectStmt stmt;
     if (PeekKeyword("DISTINCT")) {
       Advance();
@@ -207,14 +207,14 @@ class Parser {
         Advance();
       }
     }
-    FF_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    FF_RETURN_IF_ERROR(ExpectKeyword("FROM"));
     FF_ASSIGN_OR_RETURN(stmt.table, ExpectIdent());
     if (PeekKeyword("JOIN")) {
       Advance();
       FF_ASSIGN_OR_RETURN(stmt.join_table, ExpectIdent());
-      FF_RETURN_NOT_OK(ExpectKeyword("ON"));
+      FF_RETURN_IF_ERROR(ExpectKeyword("ON"));
       FF_ASSIGN_OR_RETURN(stmt.join_left_col, ExpectIdent());
-      FF_RETURN_NOT_OK(ExpectSymbol("="));
+      FF_RETURN_IF_ERROR(ExpectSymbol("="));
       FF_ASSIGN_OR_RETURN(stmt.join_right_col, ExpectIdent());
     }
     if (PeekKeyword("WHERE")) {
@@ -223,7 +223,7 @@ class Parser {
     }
     if (PeekKeyword("GROUP")) {
       Advance();
-      FF_RETURN_NOT_OK(ExpectKeyword("BY"));
+      FF_RETURN_IF_ERROR(ExpectKeyword("BY"));
       while (true) {
         FF_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
         stmt.group_by.push_back(std::move(col));
@@ -237,7 +237,7 @@ class Parser {
     }
     if (PeekKeyword("ORDER")) {
       Advance();
-      FF_RETURN_NOT_OK(ExpectKeyword("BY"));
+      FF_RETURN_IF_ERROR(ExpectKeyword("BY"));
       while (true) {
         SortKey key;
         FF_ASSIGN_OR_RETURN(key.column, ExpectIdent());
@@ -264,16 +264,16 @@ class Parser {
         stmt.offset = static_cast<size_t>(off);
       }
     }
-    FF_RETURN_NOT_OK(ExpectEnd());
+    FF_RETURN_IF_ERROR(ExpectEnd());
     return stmt;
   }
 
   util::StatusOr<CreateStmt> ParseCreate() {
-    FF_RETURN_NOT_OK(ExpectKeyword("CREATE"));
-    FF_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+    FF_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    FF_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
     CreateStmt stmt;
     FF_ASSIGN_OR_RETURN(stmt.table, ExpectIdent());
-    FF_RETURN_NOT_OK(ExpectSymbol("("));
+    FF_RETURN_IF_ERROR(ExpectSymbol("("));
     while (true) {
       Column col;
       FF_ASSIGN_OR_RETURN(col.name, ExpectIdent());
@@ -286,19 +286,19 @@ class Parser {
       }
       break;
     }
-    FF_RETURN_NOT_OK(ExpectSymbol(")"));
-    FF_RETURN_NOT_OK(ExpectEnd());
+    FF_RETURN_IF_ERROR(ExpectSymbol(")"));
+    FF_RETURN_IF_ERROR(ExpectEnd());
     return stmt;
   }
 
   util::StatusOr<InsertStmt> ParseInsert() {
-    FF_RETURN_NOT_OK(ExpectKeyword("INSERT"));
-    FF_RETURN_NOT_OK(ExpectKeyword("INTO"));
+    FF_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+    FF_RETURN_IF_ERROR(ExpectKeyword("INTO"));
     InsertStmt stmt;
     FF_ASSIGN_OR_RETURN(stmt.table, ExpectIdent());
-    FF_RETURN_NOT_OK(ExpectKeyword("VALUES"));
+    FF_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
     while (true) {
-      FF_RETURN_NOT_OK(ExpectSymbol("("));
+      FF_RETURN_IF_ERROR(ExpectSymbol("("));
       Row row;
       while (true) {
         FF_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
@@ -309,7 +309,7 @@ class Parser {
         }
         break;
       }
-      FF_RETURN_NOT_OK(ExpectSymbol(")"));
+      FF_RETURN_IF_ERROR(ExpectSymbol(")"));
       stmt.rows.push_back(std::move(row));
       if (PeekSymbol(",")) {
         Advance();
@@ -317,18 +317,18 @@ class Parser {
       }
       break;
     }
-    FF_RETURN_NOT_OK(ExpectEnd());
+    FF_RETURN_IF_ERROR(ExpectEnd());
     return stmt;
   }
 
   util::StatusOr<UpdateStmt> ParseUpdate() {
-    FF_RETURN_NOT_OK(ExpectKeyword("UPDATE"));
+    FF_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
     UpdateStmt stmt;
     FF_ASSIGN_OR_RETURN(stmt.table, ExpectIdent());
-    FF_RETURN_NOT_OK(ExpectKeyword("SET"));
+    FF_RETURN_IF_ERROR(ExpectKeyword("SET"));
     while (true) {
       FF_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
-      FF_RETURN_NOT_OK(ExpectSymbol("="));
+      FF_RETURN_IF_ERROR(ExpectSymbol("="));
       FF_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
       stmt.assignments.emplace_back(std::move(col), std::move(value));
       if (!PeekSymbol(",")) break;
@@ -338,20 +338,20 @@ class Parser {
       Advance();
       FF_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
     }
-    FF_RETURN_NOT_OK(ExpectEnd());
+    FF_RETURN_IF_ERROR(ExpectEnd());
     return stmt;
   }
 
   util::StatusOr<DeleteStmt> ParseDelete() {
-    FF_RETURN_NOT_OK(ExpectKeyword("DELETE"));
-    FF_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    FF_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+    FF_RETURN_IF_ERROR(ExpectKeyword("FROM"));
     DeleteStmt stmt;
     FF_ASSIGN_OR_RETURN(stmt.table, ExpectIdent());
     if (PeekKeyword("WHERE")) {
       Advance();
       FF_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
     }
-    FF_RETURN_NOT_OK(ExpectEnd());
+    FF_RETURN_IF_ERROR(ExpectEnd());
     return stmt;
   }
 
@@ -515,7 +515,7 @@ class Parser {
           FF_ASSIGN_OR_RETURN(item.agg_arg, ParseExpr());
           item.agg = agg;
         }
-        FF_RETURN_NOT_OK(ExpectSymbol(")"));
+        FF_RETURN_IF_ERROR(ExpectSymbol(")"));
         if (PeekKeyword("AS")) {
           Advance();
           FF_ASSIGN_OR_RETURN(item.alias, ExpectIdent());
@@ -606,7 +606,7 @@ class Parser {
     }
     if (PeekKeyword("IN")) {
       Advance();
-      FF_RETURN_NOT_OK(ExpectSymbol("("));
+      FF_RETURN_IF_ERROR(ExpectSymbol("("));
       std::vector<ExprPtr> candidates;
       while (true) {
         FF_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
@@ -614,14 +614,14 @@ class Parser {
         if (!PeekSymbol(",")) break;
         Advance();
       }
-      FF_RETURN_NOT_OK(ExpectSymbol(")"));
+      FF_RETURN_IF_ERROR(ExpectSymbol(")"));
       ExprPtr membership = In(lhs, std::move(candidates));
       return negated_membership ? Not(std::move(membership)) : membership;
     }
     if (PeekKeyword("BETWEEN")) {
       Advance();
       FF_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
-      FF_RETURN_NOT_OK(ExpectKeyword("AND"));
+      FF_RETURN_IF_ERROR(ExpectKeyword("AND"));
       FF_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
       ExprPtr membership = Between(lhs, std::move(lo), std::move(hi));
       return negated_membership ? Not(std::move(membership)) : membership;
@@ -724,7 +724,7 @@ class Parser {
         if (t.text == "(") {
           Advance();
           FF_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
-          FF_RETURN_NOT_OK(ExpectSymbol(")"));
+          FF_RETURN_IF_ERROR(ExpectSymbol(")"));
           return e;
         }
         return util::Status::ParseError("unexpected symbol '" + t.text +
@@ -857,14 +857,14 @@ util::StatusOr<ResultSet> ExecuteSql(Database* db,
   if (parser.PeekKeyword("CREATE")) {
     FF_ASSIGN_OR_RETURN(CreateStmt stmt, parser.ParseCreate());
     FF_ASSIGN_OR_RETURN(Schema schema, Schema::Create(stmt.columns));
-    FF_RETURN_NOT_OK(db->CreateTable(stmt.table, schema).status());
+    FF_RETURN_IF_ERROR(db->CreateTable(stmt.table, schema).status());
     return ResultSet{Schema(), {}};
   }
   if (parser.PeekKeyword("INSERT")) {
     FF_ASSIGN_OR_RETURN(InsertStmt stmt, parser.ParseInsert());
     FF_ASSIGN_OR_RETURN(Table * t, db->table(stmt.table));
     for (const auto& row : stmt.rows) {
-      FF_RETURN_NOT_OK(t->Insert(row));
+      FF_RETURN_IF_ERROR(t->Insert(row));
     }
     ResultSet rs;
     rs.schema = Schema({Column{"rows_inserted", DataType::kInt64}});
@@ -896,7 +896,7 @@ util::StatusOr<ResultSet> ExecuteSql(Database* db,
         new_values.push_back(std::move(v));
       }
       for (size_t a = 0; a < target_cols.size(); ++a) {
-        FF_RETURN_NOT_OK(
+        FF_RETURN_IF_ERROR(
             t->UpdateCell(i, target_cols[a], std::move(new_values[a])));
       }
       ++updated;
@@ -919,7 +919,7 @@ util::StatusOr<ResultSet> ExecuteSql(Database* db,
       }
       victims.push_back(i);
     }
-    FF_RETURN_NOT_OK(t->DeleteRows(victims));
+    FF_RETURN_IF_ERROR(t->DeleteRows(victims));
     ResultSet rs;
     rs.schema = Schema({Column{"rows_deleted", DataType::kInt64}});
     rs.rows.push_back(

@@ -39,7 +39,7 @@ const ColumnStore& Table::store() const {
 }
 
 util::Status Table::Insert(Row row) {
-  FF_RETURN_NOT_OK(ValidateRow(schema_, row).WithContext(name_));
+  FF_RETURN_IF_ERROR(ValidateRow(schema_, row).WithContext(name_));
   // Widen int64 values stored into double columns so the storage type is
   // uniform per column.
   for (size_t i = 0; i < row.size(); ++i) {

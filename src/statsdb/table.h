@@ -69,9 +69,9 @@ class Table {
   ///   Table::BulkAppender app(table);
   ///   for (...) {
   ///     app.String(r.forecast).Int64(r.day).Double(r.walltime);
-  ///     FF_RETURN_NOT_OK(app.EndRow());
+  ///     FF_RETURN_IF_ERROR(app.EndRow());
   ///   }
-  ///   FF_RETURN_NOT_OK(app.Finish());
+  ///   FF_RETURN_IF_ERROR(app.Finish());
   class BulkAppender {
    public:
     explicit BulkAppender(Table* table);

@@ -135,11 +135,26 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 }  // namespace util
 }  // namespace ff
 
-/// Propagates a non-OK Status to the caller.
-#define FF_RETURN_NOT_OK(expr)                  \
+/// Propagates a non-OK Status to the caller; `expr` is evaluated exactly
+/// once. Replaces hand-rolled `if (!s.ok()) return s;` chains.
+#define FF_RETURN_IF_ERROR(expr)                \
   do {                                          \
     ::ff::util::Status _st = (expr);            \
     if (!_st.ok()) return _st;                  \
   } while (0)
+
+/// Assigns the value of a StatusOr expression to `lhs`, or propagates the
+/// error. Usage: FF_ASSIGN_OR_RETURN(auto x, ComputeX());
+#define FF_ASSIGN_OR_RETURN(lhs, expr)                       \
+  FF_ASSIGN_OR_RETURN_IMPL_(                                 \
+      FF_STATUS_CONCAT_(_statusor_, __LINE__), lhs, expr)
+
+#define FF_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define FF_STATUS_CONCAT_(a, b) FF_STATUS_CONCAT_IMPL_(a, b)
+#define FF_STATUS_CONCAT_IMPL_(a, b) a##b
 
 #endif  // FF_UTIL_STATUS_H_

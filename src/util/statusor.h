@@ -66,18 +66,6 @@ class StatusOr {
 }  // namespace util
 }  // namespace ff
 
-/// Assigns the value of a StatusOr expression to `lhs`, or propagates the
-/// error. Usage: FF_ASSIGN_OR_RETURN(auto x, ComputeX());
-#define FF_ASSIGN_OR_RETURN(lhs, expr)                       \
-  FF_ASSIGN_OR_RETURN_IMPL_(                                 \
-      FF_STATUSOR_CONCAT_(_statusor_, __LINE__), lhs, expr)
-
-#define FF_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
-  auto tmp = (expr);                              \
-  if (!tmp.ok()) return tmp.status();             \
-  lhs = std::move(tmp).value()
-
-#define FF_STATUSOR_CONCAT_(a, b) FF_STATUSOR_CONCAT_IMPL_(a, b)
-#define FF_STATUSOR_CONCAT_IMPL_(a, b) a##b
+// FF_ASSIGN_OR_RETURN / FF_RETURN_IF_ERROR live in util/status.h.
 
 #endif  // FF_UTIL_STATUSOR_H_

@@ -53,6 +53,63 @@ TEST(LinkTest, DownLinkStallsTransfers) {
   EXPECT_NEAR(done, 110.0, 1e-6);
 }
 
+// The stall-no-loss contract from link.h: a transfer that straddles an
+// outage keeps its delivered-byte progress (no loss) and makes none while
+// down (no free progress), so it completes after exactly bytes/rate
+// seconds of *up* time — and total_bytes_transferred() counts each byte
+// once.
+TEST(LinkTest, TransferStraddlingOutageKeepsProgressWithoutDoubleCount) {
+  sim::Simulator s;
+  Link link(&s, "lan", 10.0);
+  double done = -1.0;
+  TransferId id = link.StartTransfer(100.0, [&] { done = s.now(); });
+
+  // 4 s of service -> 40 bytes delivered, 60 remain.
+  s.RunUntil(4.0);
+  ASSERT_TRUE(link.RemainingBytes(id).ok());
+  EXPECT_NEAR(*link.RemainingBytes(id), 60.0, 1e-6);
+
+  // Outage for 50 s: no progress is made and none is lost.
+  link.SetUp(false);
+  s.RunUntil(54.0);
+  EXPECT_EQ(done, -1.0);
+  EXPECT_NEAR(*link.RemainingBytes(id), 60.0, 1e-6);
+
+  // A second outage inside the first must not reset progress either.
+  link.SetUp(true);
+  s.RunUntil(57.0);  // 3 more up-seconds -> 30 remain
+  EXPECT_NEAR(*link.RemainingBytes(id), 30.0, 1e-6);
+  link.SetUp(false);
+  s.RunUntil(60.0);
+  EXPECT_NEAR(*link.RemainingBytes(id), 30.0, 1e-6);
+  link.SetUp(true);
+
+  s.Run();
+  // 10 s of total up time (4 + 3 + 3) at 10 B/s delivers the 100 bytes;
+  // outages add 50 + 3 = 53 stalled seconds.
+  EXPECT_NEAR(done, 63.0, 1e-6);
+  // Each byte counted exactly once despite two resumes.
+  EXPECT_NEAR(link.total_bytes_transferred(), 100.0, 1e-6);
+  EXPECT_TRUE(link.RemainingBytes(id).status().IsNotFound());
+}
+
+TEST(LinkTest, DegradeScalesRateAndComposesWithOutage) {
+  sim::Simulator s;
+  Link link(&s, "lan", 10.0);
+  double done = -1.0;
+  link.StartTransfer(100.0, [&] { done = s.now(); });
+  link.SetDegrade(0.5);  // 5 B/s
+  s.RunUntil(10.0);      // 50 bytes delivered
+  link.SetUp(false);     // outage during the degraded period
+  s.RunUntil(20.0);
+  link.SetUp(true);      // resumes *degraded*, per the link.h contract
+  s.RunUntil(25.0);      // +25 bytes
+  link.SetDegrade(1.0);  // full rate for the last 25 bytes
+  s.Run();
+  EXPECT_NEAR(done, 27.5, 1e-6);
+  EXPECT_NEAR(link.total_bytes_transferred(), 100.0, 1e-6);
+}
+
 TEST(ClusterTest, AddAndLookupNodes) {
   sim::Simulator s;
   Cluster c(&s);

@@ -1,0 +1,129 @@
+#include "fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ff {
+namespace fault {
+namespace {
+
+bool SameEvent(const FaultEvent& a, const FaultEvent& b) {
+  return a.time == b.time && a.kind == b.kind && a.target == b.target &&
+         a.duration == b.duration && a.magnitude == b.magnitude;
+}
+
+ChaosConfig AllKindsConfig() {
+  ChaosConfig cfg;
+  cfg.horizon = 86400.0;
+  cfg.node_crash_rate = 1.0;
+  cfg.link_outage_rate = 2.0;
+  cfg.link_degrade_rate = 1.5;
+  cfg.task_transient_rate = 3.0;
+  cfg.transfer_corrupt_rate = 2.0;
+  return cfg;
+}
+
+TEST(FaultPlanTest, ScriptedEventsSortByTimeKindTarget) {
+  FaultPlan plan;
+  plan.Add({300.0, FaultKind::kLinkOutage, "l1", 60.0, 1.0});
+  plan.Add({100.0, FaultKind::kNodeCrash, "n2", 10.0, 1.0});
+  plan.Add({100.0, FaultKind::kNodeCrash, "n1", 10.0, 1.0});
+  plan.Add({100.0, FaultKind::kLinkOutage, "l1", 10.0, 1.0});
+  const auto& ev = plan.events();
+  ASSERT_EQ(ev.size(), 4u);
+  EXPECT_EQ(ev[0].target, "n1");  // (100, crash, n1)
+  EXPECT_EQ(ev[1].target, "n2");  // (100, crash, n2)
+  EXPECT_EQ(ev[2].kind, FaultKind::kLinkOutage);  // (100, outage, l1)
+  EXPECT_EQ(ev[3].time, 300.0);
+}
+
+TEST(FaultPlanTest, GenerateIsAPureFunctionOfItsInputs) {
+  ChaosConfig cfg = AllKindsConfig();
+  std::vector<std::string> machines = {"n1", "n2"};
+  std::vector<std::string> links = {"n1->server", "n2->server"};
+  util::Rng rng(7);
+  FaultPlan a = FaultPlan::Generate(cfg, machines, links, rng);
+  FaultPlan b = FaultPlan::Generate(cfg, machines, links, rng);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(SameEvent(a.events()[i], b.events()[i])) << "event " << i;
+  }
+}
+
+TEST(FaultPlanTest, ZeroIntensityDrawsNothing) {
+  ChaosConfig cfg = AllKindsConfig();
+  cfg.intensity = 0.0;
+  FaultPlan plan = FaultPlan::Generate(cfg, {"n1"}, {"n1->server"},
+                                       util::Rng(7));
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlanTest, ZeroRatesDrawNothing) {
+  ChaosConfig cfg;  // all rates default to 0
+  FaultPlan plan = FaultPlan::Generate(cfg, {"n1"}, {"n1->server"},
+                                       util::Rng(7));
+  EXPECT_TRUE(plan.empty());
+}
+
+// The per-(kind, target) substream discipline: enabling another fault
+// class, or adding a target, must not perturb the events an existing
+// (kind, target) pair generates.
+TEST(FaultPlanTest, SubstreamsAreDisjointAcrossKindsAndTargets) {
+  ChaosConfig crash_only;
+  crash_only.node_crash_rate = 1.0;
+  std::vector<std::string> machines = {"n1", "n2"};
+  std::vector<std::string> links = {"n1->server", "n2->server"};
+  util::Rng rng(42);
+  FaultPlan base = FaultPlan::Generate(crash_only, machines, links, rng);
+  ASSERT_FALSE(base.empty());
+
+  ChaosConfig all = AllKindsConfig();
+  all.node_crash_rate = crash_only.node_crash_rate;
+  FaultPlan wide = FaultPlan::Generate(all, machines, links, rng);
+
+  FaultPlan more_targets = FaultPlan::Generate(
+      crash_only, {"n1", "n2", "n3"}, links, rng);
+
+  std::vector<FaultEvent> wide_crashes;
+  for (const auto& ev : wide.events()) {
+    if (ev.kind == FaultKind::kNodeCrash) wide_crashes.push_back(ev);
+  }
+  std::vector<FaultEvent> subset_crashes;
+  for (const auto& ev : more_targets.events()) {
+    if (ev.target != "n3") subset_crashes.push_back(ev);
+  }
+  ASSERT_EQ(wide_crashes.size(), base.size());
+  ASSERT_EQ(subset_crashes.size(), base.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_TRUE(SameEvent(base.events()[i], wide_crashes[i])) << i;
+    EXPECT_TRUE(SameEvent(base.events()[i], subset_crashes[i])) << i;
+  }
+}
+
+TEST(FaultPlanTest, EventsStayInsideHorizon) {
+  ChaosConfig cfg = AllKindsConfig();
+  cfg.horizon = 3600.0;
+  FaultPlan plan = FaultPlan::Generate(cfg, {"n1", "n2"},
+                                       {"n1->server", "n2->server"},
+                                       util::Rng(3));
+  for (const auto& ev : plan.events()) {
+    EXPECT_GE(ev.time, 0.0);
+    EXPECT_LT(ev.time, cfg.horizon);
+  }
+}
+
+TEST(FaultPlanTest, KindNamesAreStable) {
+  EXPECT_STREQ(FaultKindName(FaultKind::kNodeCrash), "node_crash");
+  EXPECT_STREQ(FaultKindName(FaultKind::kLinkOutage), "link_outage");
+  EXPECT_STREQ(FaultKindName(FaultKind::kLinkDegrade), "link_degrade");
+  EXPECT_STREQ(FaultKindName(FaultKind::kTaskTransient), "task_transient");
+  EXPECT_STREQ(FaultKindName(FaultKind::kTransferCorruption),
+               "transfer_corruption");
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace ff

@@ -1,0 +1,123 @@
+#include "fault/injector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/link.h"
+#include "cluster/machine.h"
+#include "fault/fault_plan.h"
+#include "sim/simulator.h"
+
+namespace ff {
+namespace fault {
+namespace {
+
+TEST(FaultInjectorTest, NodeCrashFlipsMachineDownThenRepairs) {
+  sim::Simulator sim;
+  cluster::Machine m(&sim, "n1", 1);
+  FaultPlan plan;
+  plan.Add({100.0, FaultKind::kNodeCrash, "n1", 50.0, 1.0});
+  FaultInjector inj(&sim, std::move(plan));
+  inj.RegisterMachine(&m);
+  inj.Arm();
+
+  sim.RunUntil(120.0);
+  EXPECT_FALSE(m.up());
+  sim.RunUntil(200.0);
+  EXPECT_TRUE(m.up());
+  EXPECT_EQ(inj.faults_injected(), 1u);
+  EXPECT_EQ(inj.injected_by_kind()[static_cast<int>(FaultKind::kNodeCrash)],
+            1u);
+}
+
+// Overlapping down windows nest: the target comes back only when the
+// *last* overlapping window ends.
+TEST(FaultInjectorTest, OverlappingOutagesNest) {
+  sim::Simulator sim;
+  cluster::Link link(&sim, "l1", 10.0);
+  FaultPlan plan;
+  plan.Add({100.0, FaultKind::kLinkOutage, "l1", 100.0, 1.0});  // ends 200
+  plan.Add({150.0, FaultKind::kLinkOutage, "l1", 100.0, 1.0});  // ends 250
+  FaultInjector inj(&sim, std::move(plan));
+  inj.RegisterLink(&link);
+  inj.Arm();
+
+  sim.RunUntil(120.0);
+  EXPECT_FALSE(link.up());
+  sim.RunUntil(220.0);  // first repair fired, second window still open
+  EXPECT_FALSE(link.up());
+  sim.RunUntil(260.0);
+  EXPECT_TRUE(link.up());
+}
+
+// Overlapping degrades multiply while both are active.
+TEST(FaultInjectorTest, OverlappingDegradesMultiply) {
+  sim::Simulator sim;
+  cluster::Link link(&sim, "l1", 10.0);
+  FaultPlan plan;
+  plan.Add({0.0, FaultKind::kLinkDegrade, "l1", 100.0, 0.5});   // ends 100
+  plan.Add({50.0, FaultKind::kLinkDegrade, "l1", 100.0, 0.5});  // ends 150
+  FaultInjector inj(&sim, std::move(plan));
+  inj.RegisterLink(&link);
+  inj.Arm();
+
+  sim.RunUntil(60.0);
+  EXPECT_DOUBLE_EQ(link.degrade(), 0.25);
+  sim.RunUntil(120.0);
+  EXPECT_DOUBLE_EQ(link.degrade(), 0.5);
+  sim.RunUntil(160.0);
+  EXPECT_DOUBLE_EQ(link.degrade(), 1.0);
+}
+
+// Transient and corruption faults are notify-only: the injector changes
+// no plant state and listeners see injection edges (no repair edge —
+// these faults have no window).
+TEST(FaultInjectorTest, TransientFaultsNotifyListenersOnly) {
+  sim::Simulator sim;
+  cluster::Machine m(&sim, "n1", 1);
+  cluster::Link link(&sim, "l1", 10.0);
+  FaultPlan plan;
+  plan.Add({10.0, FaultKind::kTaskTransient, "n1", 0.0, 0.5});
+  plan.Add({20.0, FaultKind::kTransferCorruption, "l1", 0.0, 0.3});
+  FaultInjector inj(&sim, std::move(plan));
+  inj.RegisterMachine(&m);
+  inj.RegisterLink(&link);
+  std::vector<FaultNotice> seen;
+  inj.AddListener([&](const FaultNotice& n) { seen.push_back(n); });
+  inj.Arm();
+  sim.Run();
+
+  EXPECT_TRUE(m.up());
+  EXPECT_TRUE(link.up());
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].event->kind, FaultKind::kTaskTransient);
+  EXPECT_FALSE(seen[0].repair);
+  EXPECT_EQ(seen[1].event->kind, FaultKind::kTransferCorruption);
+  EXPECT_FALSE(seen[1].repair);
+  EXPECT_EQ(inj.faults_injected(), 2u);
+}
+
+// Repair edges are broadcast (with repair = true) but not counted as
+// injections.
+TEST(FaultInjectorTest, RepairEdgesNotifyButDoNotCount) {
+  sim::Simulator sim;
+  cluster::Machine m(&sim, "n1", 1);
+  FaultPlan plan;
+  plan.Add({10.0, FaultKind::kNodeCrash, "n1", 5.0, 1.0});
+  FaultInjector inj(&sim, std::move(plan));
+  inj.RegisterMachine(&m);
+  int injections = 0, repairs = 0;
+  inj.AddListener([&](const FaultNotice& n) {
+    (n.repair ? repairs : injections)++;
+  });
+  inj.Arm();
+  sim.Run();
+  EXPECT_EQ(injections, 1);
+  EXPECT_EQ(repairs, 1);
+  EXPECT_EQ(inj.faults_injected(), 1u);
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace ff

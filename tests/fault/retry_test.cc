@@ -1,0 +1,61 @@
+#include "fault/retry.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ff {
+namespace fault {
+namespace {
+
+TEST(RetryPolicyTest, AllowsRetryCountsAttemptsIncludingTheFirst) {
+  RetryPolicy p;
+  p.max_attempts = 3;
+  EXPECT_TRUE(p.AllowsRetry(1));
+  EXPECT_TRUE(p.AllowsRetry(2));
+  EXPECT_FALSE(p.AllowsRetry(3));
+  p.max_attempts = 1;  // never retry
+  EXPECT_FALSE(p.AllowsRetry(1));
+}
+
+TEST(RetryPolicyTest, JitterlessDelayIsAnExponentialLadderWithCap) {
+  RetryPolicy p;
+  p.base_backoff = 60.0;
+  p.backoff_multiplier = 2.0;
+  p.max_backoff = 200.0;
+  p.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(p.NextDelay(1, nullptr), 60.0);
+  EXPECT_DOUBLE_EQ(p.NextDelay(2, nullptr), 120.0);
+  EXPECT_DOUBLE_EQ(p.NextDelay(3, nullptr), 200.0);  // capped, not 240
+  EXPECT_DOUBLE_EQ(p.NextDelay(4, nullptr), 200.0);
+}
+
+TEST(RetryPolicyTest, JitterStaysInsideTheBandAndIsDeterministic) {
+  RetryPolicy p;
+  p.base_backoff = 100.0;
+  p.backoff_multiplier = 1.0;
+  p.jitter = 0.25;
+  util::Rng rng(11);
+  for (int i = 1; i <= 50; ++i) {
+    double d = p.NextDelay(i, &rng);
+    EXPECT_GE(d, 75.0);
+    EXPECT_LE(d, 125.0);
+  }
+  util::Rng a(11), b(11);
+  EXPECT_DOUBLE_EQ(p.NextDelay(1, &a), p.NextDelay(1, &b));
+}
+
+TEST(RetryPolicyTest, LabelIsCompactAndNamesNoRetry) {
+  RetryPolicy none;
+  none.max_attempts = 1;
+  EXPECT_EQ(RetryPolicyLabel(none), "no-retry");
+  RetryPolicy p;
+  p.max_attempts = 6;
+  p.base_backoff = 120.0;
+  p.backoff_multiplier = 2.0;
+  EXPECT_EQ(RetryPolicyLabel(p), "6x@120s*2");
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace ff

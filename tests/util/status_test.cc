@@ -63,7 +63,7 @@ TEST(StatusTest, CopyIsCheapAndShared) {
 
 TEST(StatusTest, ReturnNotOkMacroPropagates) {
   auto f = [](bool fail) -> Status {
-    FF_RETURN_NOT_OK(fail ? Status::Internal("inner") : Status::OK());
+    FF_RETURN_IF_ERROR(fail ? Status::Internal("inner") : Status::OK());
     return Status::NotFound("after");
   };
   EXPECT_TRUE(f(true).IsInternal());
