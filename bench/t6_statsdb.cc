@@ -15,8 +15,12 @@
 #include "logdata/loader.h"
 #include "obs/statsdb_bridge.h"
 #include "obs/trace.h"
+#include "parallel/thread_pool.h"
 #include "statsdb/csv_io.h"
 #include "statsdb/database.h"
+#include "statsdb/parallel_exec.h"
+#include "statsdb/planner.h"
+#include "statsdb/sql.h"
 #include "util/rng.h"
 
 namespace {
@@ -256,6 +260,71 @@ void BM_Spans_P95PerTrack(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Spans_P95PerTrack);
+
+// ------------------------------------------- morsel-parallel executor
+// Arg = worker threads; the 1-thread point is the serial fallback, so
+// the curve shows fan-out cost and scaling on one chart. Outputs are
+// byte-identical to serial at every point (the executor's contract;
+// enforced in tests/property and perf_statsdb, not re-checked here).
+
+void BM_Fleet_GroupByNodeParallel(benchmark::State& state) {
+  auto* db = FleetDb();
+  size_t threads = static_cast<size_t>(state.range(0));
+  parallel::ThreadPool pool(threads);
+  statsdb::ParallelConfig cfg;
+  cfg.max_threads = threads;
+  cfg.pool = threads > 1 ? &pool : nullptr;
+  cfg.min_chunks = 2;
+  auto plan = statsdb::PlanSql(
+      "SELECT node, COUNT(*) AS n, AVG(walltime) AS w FROM runs "
+      "GROUP BY node");
+  if (!plan.ok()) std::abort();
+  statsdb::PlanPtr optimized = statsdb::OptimizePlan(*plan, *db);
+  for (auto _ : state) {
+    auto rs = statsdb::ExecuteParallel(optimized, *db, cfg);
+    if (!rs.ok()) std::abort();
+    benchmark::DoNotOptimize(rs->rows.size());
+  }
+}
+BENCHMARK(BM_Fleet_GroupByNodeParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Fleet_TopKWalltimeParallel(benchmark::State& state) {
+  auto* db = FleetDb();
+  size_t threads = static_cast<size_t>(state.range(0));
+  parallel::ThreadPool pool(threads);
+  statsdb::ParallelConfig cfg;
+  cfg.max_threads = threads;
+  cfg.pool = threads > 1 ? &pool : nullptr;
+  cfg.min_chunks = 2;
+  auto plan = statsdb::PlanSql(
+      "SELECT forecast, day, walltime FROM runs "
+      "ORDER BY walltime DESC LIMIT 20");
+  if (!plan.ok()) std::abort();
+  statsdb::PlanPtr optimized = statsdb::OptimizePlan(*plan, *db);
+  for (auto _ : state) {
+    auto rs = statsdb::ExecuteParallel(optimized, *db, cfg);
+    if (!rs.ok()) std::abort();
+    benchmark::DoNotOptimize(rs->rows.size());
+  }
+}
+BENCHMARK(BM_Fleet_TopKWalltimeParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Parallel bulk ingest: record-to-row conversion fans out over slices,
+// the BulkAppender drains them in order (loader.h). 365k records.
+void BM_LoadRunsParallel(benchmark::State& state) {
+  auto records = MakeRecords(1000, 365);
+  size_t threads = static_cast<size_t>(state.range(0));
+  parallel::ThreadPool pool(threads);
+  for (auto _ : state) {
+    statsdb::Database db;
+    auto table =
+        logdata::LoadRuns(&db, records, threads > 1 ? &pool : nullptr);
+    benchmark::DoNotOptimize(table.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(records.size()));
+}
+BENCHMARK(BM_LoadRunsParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_Spans_SlowTasks(benchmark::State& state) {
   auto* db = SpansDb();

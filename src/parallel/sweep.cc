@@ -67,8 +67,10 @@ SweepOutputs SweepRunner::Run(size_t num_replicas, const ReplicaFn& fn) {
     }
   };
 
-  size_t workers = options_.num_workers == 0 ? ThreadPool::DefaultThreads()
-                                             : options_.num_workers;
+  size_t workers = options_.pool != nullptr
+                       ? options_.pool->num_threads()
+                       : options_.num_workers == 0 ? ThreadPool::DefaultThreads()
+                                                   : options_.num_workers;
   out.num_workers = workers;
   if (workers <= 1 || num_replicas <= 1) {
     for (size_t i = 0; i < num_replicas; ++i) run_replica(i);
@@ -76,15 +78,28 @@ SweepOutputs SweepRunner::Run(size_t num_replicas, const ReplicaFn& fn) {
     if (options_.record_metrics) merge_metrics();
     merge_records();
   } else {
-    ThreadPool pool(ThreadPool::Options{workers, /*max_queue=*/1024});
-    pool.ParallelFor(num_replicas, run_replica);
+    std::unique_ptr<ThreadPool> owned;
+    ThreadPool* pool = options_.pool;
+    if (pool == nullptr) {
+      owned = std::make_unique<ThreadPool>(
+          ThreadPool::Options{workers, /*max_queue=*/1024});
+      pool = owned.get();
+    }
+    // Waits are scoped to this sweep's own tasks (TaskGroup, not
+    // pool-wide Wait), so concurrent users of a shared pool — another
+    // sweep, a parallel statsdb query — neither block us nor get
+    // blocked, and the sweep itself may run from inside a pool task.
+    uint64_t steals_before = pool->steals();
+    TaskGroup replicas(pool);
+    replicas.ParallelFor(num_replicas, run_replica);
     // The merge passes share no state with each other, so they overlap
     // on the pool — halving the serial tail that bounds sweep speedup.
-    if (options_.record_traces) pool.Submit(merge_traces);
-    if (options_.record_metrics) pool.Submit(merge_metrics);
+    TaskGroup merges(pool);
+    if (options_.record_traces) merges.Submit(merge_traces);
+    if (options_.record_metrics) merges.Submit(merge_metrics);
     merge_records();
-    pool.Wait();
-    out.steals = pool.steals();
+    merges.Wait();
+    out.steals = pool->steals() - steals_before;
   }
   return out;
 }

@@ -35,6 +35,8 @@
 namespace ff {
 namespace parallel {
 
+class ThreadPool;
+
 struct SweepOptions {
   /// Worker threads. 0 = hardware concurrency; 1 = run replicas inline on
   /// the calling thread (no pool) — the serial baseline the determinism
@@ -48,6 +50,12 @@ struct SweepOptions {
   bool record_metrics = true;
   /// Replica i's tracks appear as "<lane_prefix><i>/<track>" when merged.
   std::string lane_prefix = "r";
+  /// External pool to run on (not owned). Null = the sweep creates a
+  /// private pool of num_workers threads. Sharing one pool lets a sweep
+  /// coexist with other parallel work — notably morsel-parallel statsdb
+  /// queries issued from inside replicas, which then nest on the same
+  /// workers via TaskGroup instead of oversubscribing the machine.
+  ThreadPool* pool = nullptr;
 };
 
 /// Everything a replica function gets to work with.

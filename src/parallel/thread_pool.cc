@@ -211,6 +211,10 @@ void ThreadPool::RunTask(std::function<void()>* task) {
   }
 }
 
+size_t ThreadPool::CallerWorkerIndex() const {
+  return tl_pool == this ? tl_worker : static_cast<size_t>(-1);
+}
+
 void ThreadPool::WorkerLoop(size_t index) {
   tl_pool = this;
   tl_worker = index;
@@ -236,6 +240,106 @@ void ThreadPool::WorkerLoop(size_t index) {
     work_cv_.wait(lock, [&] { return stop_ || work_signal_ != sig; });
     if (stop_) return;
   }
+}
+
+// ---------------------------------------------------------------------------
+// TaskGroup
+
+void TaskGroup::Submit(std::function<void()> fn) {
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  // The wrapper must not read this->pool_ after the group-section below:
+  // once outstanding_ hits zero a concurrent Wait() may return and the
+  // group may be destroyed, so the pool pointer is captured by value.
+  ThreadPool* pool = pool_;
+  pool_->Submit([this, pool, fn = std::move(fn)] {
+    fn();
+    bool last;
+    {
+      // Decrement under mu_ so a waiter that observes zero and then
+      // takes mu_ cannot destroy the group while this section runs.
+      std::lock_guard<std::mutex> lock(mu_);
+      last = outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1;
+      if (last) done_cv_.notify_all();
+    }
+    if (last) {
+      // Wake helpers parked on the pool's work signal (they wait for
+      // "new work OR group done"; group completion enqueues nothing, so
+      // bump the signal the same way an enqueue would).
+      std::lock_guard<std::mutex> lock(pool->mu_);
+      ++pool->work_signal_;
+      pool->work_cv_.notify_all();
+    }
+  });
+}
+
+void TaskGroup::Wait() {
+  auto done = [&] {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  };
+  // Handshake with the final task's decrement section: after observing
+  // zero, take mu_ once so we cannot return (and let the group die)
+  // while that task is still between its decrement and its notify.
+  auto sync_and_return = [&] { std::lock_guard<std::mutex> lock(mu_); };
+  size_t idx = pool_->CallerWorkerIndex();
+  if (idx == static_cast<size_t>(-1)) {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, done);
+    return;
+  }
+  // Worker of the owning pool: help-first. Run any findable pool task
+  // (our tasks, other groups', unrelated ones — all drain the pool and
+  // so make progress toward this group's completion) and only park when
+  // the whole pool has nothing runnable, using WorkerLoop's
+  // signal-snapshot pattern to close the missed-wake window against
+  // both new enqueues and the group-completion bump in Submit.
+  for (;;) {
+    if (done()) return sync_and_return();
+    if (auto* task = pool_->FindWork(idx)) {
+      pool_->RunTask(task);
+      continue;
+    }
+    uint64_t sig;
+    {
+      std::lock_guard<std::mutex> lock(pool_->mu_);
+      sig = pool_->work_signal_;
+    }
+    if (done()) return sync_and_return();
+    if (auto* task = pool_->FindWork(idx)) {
+      pool_->RunTask(task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(pool_->mu_);
+    pool_->work_cv_.wait(lock, [&] {
+      return pool_->work_signal_ != sig || done();
+    });
+  }
+}
+
+void TaskGroup::ParallelFor(size_t n,
+                            const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  // References are safe to capture: Wait() holds this frame alive until
+  // every task has finished.
+  if (pool_->CallerWorkerIndex() != static_cast<size_t>(-1)) {
+    // Already on a worker: submissions land lock-free on its own deque
+    // and are visible to thieves; run index 0 inline.
+    for (size_t i = 1; i < n; ++i) {
+      Submit([&fn, i] { fn(i); });
+    }
+    fn(0);
+    Wait();
+    return;
+  }
+  // External thread: a single root task fans out from inside the pool
+  // (same trick as ThreadPool::ParallelFor) so the per-worker deques see
+  // the work instead of the bounded global queue.
+  Submit([this, n, &fn] {
+    for (size_t i = 1; i < n; ++i) {
+      Submit([&fn, i] { fn(i); });
+    }
+    fn(0);
+  });
+  Wait();
 }
 
 }  // namespace parallel

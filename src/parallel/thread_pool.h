@@ -86,6 +86,21 @@ class TaskDeque {
 };
 
 /// Fixed-size pool of work-stealing workers.
+///
+/// Nested submission / wait contract
+/// ---------------------------------
+/// Pool-wide Wait() and ParallelFor() may only be called from OUTSIDE
+/// the pool: a worker blocking on pending_ == 0 would wait for its own
+/// unfinished task and deadlock. Code that runs *inside* a pool task and
+/// needs to fan out (a sweep replica issuing a morsel-parallel statsdb
+/// query, a query recursively parallelising a sub-plan) must use a
+/// TaskGroup instead. TaskGroup::Wait() on a worker thread never blocks
+/// while the pool has runnable tasks: it help-first executes work from
+/// its own deque, the global queue, and other workers' deques (stealing)
+/// until the group's outstanding count reaches zero, parking on the
+/// pool's work signal only when no work is findable anywhere. This makes
+/// arbitrarily nested ParallelFor-inside-a-pool-task safe: the waiting
+/// worker keeps the pool moving instead of occupying a thread slot.
 class ThreadPool {
  public:
   struct Options {
@@ -123,10 +138,15 @@ class ThreadPool {
   static size_t DefaultThreads();
 
  private:
+  friend class TaskGroup;
+
   void WorkerLoop(size_t index);
   /// One scan for work: own deque, global queue, then every other deque.
   std::function<void()>* FindWork(size_t index);
   void RunTask(std::function<void()>* task);
+  /// Worker index of the calling thread, or npos if it is not a worker
+  /// of this pool.
+  size_t CallerWorkerIndex() const;
 
   Options options_;
   std::vector<std::unique_ptr<TaskDeque>> deques_;
@@ -142,6 +162,51 @@ class ThreadPool {
 
   std::atomic<size_t> pending_{0};
   std::atomic<uint64_t> steals_{0};
+};
+
+/// A countable subset of a pool's tasks that can be waited on from
+/// anywhere — including from inside another task of the same pool (see
+/// the nested-submission/wait contract on ThreadPool). Unlike
+/// ThreadPool::Wait(), which waits for *every* pending task, a TaskGroup
+/// waits only for the tasks submitted through it, so independent groups
+/// (e.g. concurrent sweep replicas each fanning out query morsels) do
+/// not serialize on each other.
+///
+///   TaskGroup group(&pool);
+///   for (...) group.Submit([&] { ... });
+///   group.Wait();  // steals/helps if called from a pool worker
+///
+/// Not thread-safe for concurrent Submit/Wait from multiple threads on
+/// the *same* group object beyond the obvious: Submit may race with
+/// other Submits, but Wait must be called after all Submits that should
+/// be covered have been issued (by the same thread or synchronized-with
+/// it). The group must outlive its tasks.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues `fn` on the pool, counted against this group.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every task submitted to this group has finished. From
+  /// a worker of the owning pool this runs other pool tasks (help-first:
+  /// own deque, global queue, steal) instead of blocking, so nested
+  /// waits cannot deadlock the pool.
+  void Wait();
+
+  /// Runs fn(0..n-1) via this group and waits. Unlike
+  /// ThreadPool::ParallelFor this is safe from inside a pool task.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  ThreadPool* pool_;
+  std::atomic<size_t> outstanding_{0};
+  std::mutex mu_;
+  std::condition_variable done_cv_;  // external (non-worker) waiters
 };
 
 }  // namespace parallel

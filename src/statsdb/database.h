@@ -8,18 +8,25 @@
 #include <string>
 #include <vector>
 
+#include "statsdb/parallel_exec.h"
 #include "statsdb/query.h"
 #include "statsdb/table.h"
 
 namespace ff {
+namespace parallel {
+class ThreadPool;
+}  // namespace parallel
+
 namespace statsdb {
 
 /// A named collection of tables. Not thread-safe (the factory drives it
 /// from the single-threaded simulation loop, as the paper's daily Perl
-/// crawl did).
+/// crawl did); parallel query execution fans out internally but the
+/// coordinating call still comes from one thread at a time.
 class Database {
  public:
-  Database() = default;
+  Database();
+  ~Database();
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -39,8 +46,23 @@ class Database {
   /// "rows_inserted" column).
   util::StatusOr<ResultSet> Sql(const std::string& statement);
 
+  /// Morsel-parallel execution knobs (seeded from FF_STATSDB_PARALLEL;
+  /// see parallel_exec.h). Queries issued through ExecutePlan/Sql
+  /// consult this config.
+  const ParallelConfig& parallel_config() const { return parallel_config_; }
+  void set_parallel_config(ParallelConfig config) {
+    parallel_config_ = std::move(config);
+  }
+
+  /// The pool parallel queries run on when the config names no external
+  /// one: lazily created at the requested size, recreated when the size
+  /// changes, and never created at all while queries stay serial.
+  parallel::ThreadPool* parallel_pool(size_t threads) const;
+
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  ParallelConfig parallel_config_;
+  mutable std::unique_ptr<parallel::ThreadPool> query_pool_;
 };
 
 }  // namespace statsdb

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "statsdb/database.h"
+#include "statsdb/parallel_exec.h"
 #include "statsdb/plan.h"
 #include "statsdb/planner.h"
 #include "util/logging.h"
@@ -66,72 +67,105 @@ util::Status CheckBoolPredicate(const ExprPtr& pred, const Schema& schema) {
 
 // ------------------------------------------------------------------ scan
 
+/// True when a zone map proves no row of the chunk can satisfy some
+/// conjunct (so the whole chunk is skipped).
+bool ChunkPruned(const ScanSetup& s, size_t chunk, size_t span) {
+  for (const auto& [col, sp] : s.zone_preds) {
+    const ColumnStore::ColumnData& cd = s.store->column(col);
+    if (chunk >= cd.zones.size()) continue;
+    const ZoneMap& z = cd.zones[chunk];
+    // `col op NULL` is NULL for every row; an all-NULL chunk likewise.
+    if (sp.literal.is_null() || z.null_count >= span) return true;
+    if (z.min_v.is_null() || z.max_v.is_null()) continue;
+    const Value& lit = sp.literal;
+    switch (sp.op) {
+      case BinaryOp::kEq:
+        if (lit.Compare(z.min_v) < 0 || lit.Compare(z.max_v) > 0) {
+          return true;
+        }
+        break;
+      case BinaryOp::kNe:
+        if (z.min_v.Compare(lit) == 0 && z.max_v.Compare(lit) == 0) {
+          return true;
+        }
+        break;
+      case BinaryOp::kLt:
+        if (z.min_v.Compare(lit) >= 0) return true;
+        break;
+      case BinaryOp::kLe:
+        if (z.min_v.Compare(lit) > 0) return true;
+        break;
+      case BinaryOp::kGt:
+        if (z.max_v.Compare(lit) <= 0) return true;
+        break;
+      case BinaryOp::kGe:
+        if (z.max_v.Compare(lit) < 0) return true;
+        break;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
 class ScanIterator : public BatchIterator {
  public:
   ScanIterator(const ScanNode& node, const Database& db)
-      : node_(node), db_(db) {}
+      : node_(&node), db_(&db) {}
+  /// Chunk-restricted scan reusing a shared coordinator-built setup
+  /// (parallel morsels). `chunks` is an ascending subsequence of
+  /// SurveyScanChunks(*setup).
+  ScanIterator(const ScanSetup* setup, std::vector<size_t> chunks)
+      : setup_(setup), chunks_(std::move(chunks)), restricted_(true) {}
 
   util::Status Init() {
-    FF_ASSIGN_OR_RETURN(table_, db_.table(node_.table));
-    store_ = &table_->store();  // zone maps current, bitmaps padded
-    if (node_.predicate != nullptr) {
-      FF_RETURN_IF_ERROR(CheckBoolPredicate(node_.predicate, table_->schema()));
-      SplitConjuncts(node_.predicate, &conjuncts_);
-      for (const auto& c : conjuncts_) {
-        auto sp = MatchSimplePredicate(*c);
-        if (!sp.has_value()) continue;
-        auto idx = table_->schema().IndexOf(sp->column);
-        if (!idx.ok()) continue;
-        // Pruning compares the literal against zone min/max; only sound
-        // when that comparison cannot itself be a runtime type error.
-        DataType ct = table_->schema().column(*idx).type;
-        DataType lt = sp->literal.type();
-        bool comparable =
-            lt == DataType::kNull || ct == lt ||
-            ((ct == DataType::kInt64 || ct == DataType::kDouble) &&
-             (lt == DataType::kInt64 || lt == DataType::kDouble));
-        if (comparable) zone_preds_.emplace_back(*idx, *sp);
-      }
-    }
-    if (!node_.index_column.empty()) {
-      FF_ASSIGN_OR_RETURN(
-          index_rows_, table_->Lookup(node_.index_column, node_.index_value));
-      use_index_ = true;
+    if (setup_ == nullptr) {
+      FF_ASSIGN_OR_RETURN(own_setup_, PrepareScan(*node_, *db_));
+      setup_ = &own_setup_;
     }
     return util::Status::OK();
   }
 
-  const Schema& schema() const override { return table_->schema(); }
+  const Schema& schema() const override { return setup_->table->schema(); }
 
   util::StatusOr<const Batch*> Next() override {
-    const Schema& schema = table_->schema();
-    size_t num_rows = store_->num_rows();
-    while (chunk_ * kChunkRows < num_rows) {
-      size_t chunk = chunk_++;
+    const Schema& schema = setup_->table->schema();
+    size_t num_rows = setup_->store->num_rows();
+    for (;;) {
+      size_t chunk;
+      if (restricted_) {
+        if (chunk_pos_ == chunks_.size()) break;
+        chunk = chunks_[chunk_pos_++];
+      } else {
+        if (chunk_ * kChunkRows >= num_rows) break;
+        chunk = chunk_++;
+      }
       size_t lo = chunk * kChunkRows;
       size_t hi = std::min(lo + kChunkRows, num_rows);
       size_t span = hi - lo;
 
       // Index access path: collect this chunk's matching rows first so
-      // chunks without matches are skipped outright.
+      // chunks without matches are skipped outright. A restricted scan
+      // may have skipped chunks, so first drop matches below `lo`.
       std::vector<uint32_t> sel0;
-      if (use_index_) {
-        while (index_pos_ < index_rows_.size() &&
-               index_rows_[index_pos_] < hi) {
-          sel0.push_back(static_cast<uint32_t>(index_rows_[index_pos_] - lo));
+      if (setup_->use_index) {
+        const std::vector<size_t>& ir = setup_->index_rows;
+        while (index_pos_ < ir.size() && ir[index_pos_] < lo) ++index_pos_;
+        while (index_pos_ < ir.size() && ir[index_pos_] < hi) {
+          sel0.push_back(static_cast<uint32_t>(ir[index_pos_] - lo));
           ++index_pos_;
         }
         if (sel0.empty()) continue;
       }
 
-      if (ChunkPruned(chunk, span)) continue;
+      if (ChunkPruned(*setup_, chunk, span)) continue;
 
       // Zero-copy chunk views.
       out_ = Batch();
       out_.num_rows = span;
       out_.cols.reserve(schema.num_columns());
       for (size_t c = 0; c < schema.num_columns(); ++c) {
-        const ColumnStore::ColumnData& cd = store_->column(c);
+        const ColumnStore::ColumnData& cd = setup_->store->column(c);
         ColumnVector v;
         v.type = cd.type;
         v.length = span;
@@ -157,10 +191,10 @@ class ScanIterator : public BatchIterator {
         out_.cols.push_back(std::move(v));
       }
 
-      if (use_index_) {
+      if (setup_->use_index) {
         // Evaluate conjuncts over the index-selected rows only.
         std::vector<uint32_t> sel = std::move(sel0);
-        for (const auto& c : conjuncts_) {
+        for (const auto& c : setup_->conjuncts) {
           if (sel.empty()) break;
           FF_ASSIGN_OR_RETURN(
               ColumnVector v,
@@ -180,13 +214,13 @@ class ScanIterator : public BatchIterator {
         return &out_;
       }
 
-      if (conjuncts_.empty()) return &out_;
+      if (setup_->conjuncts.empty()) return &out_;
 
       // Each conjunct is evaluated over every row of the chunk (matching
       // the reference engine, whose AND evaluates both sides always);
       // the masks are then intersected.
       std::vector<uint8_t> keep(span, 1);
-      for (const auto& c : conjuncts_) {
+      for (const auto& c : setup_->conjuncts) {
         FF_ASSIGN_OR_RETURN(ColumnVector v,
                             EvalBatch(*c, out_, schema, nullptr, span));
         ApplyBoolMask(v, span, &keep);
@@ -206,55 +240,13 @@ class ScanIterator : public BatchIterator {
   }
 
  private:
-  /// True when a zone map proves no row of the chunk can satisfy some
-  /// conjunct (so the whole chunk is skipped).
-  bool ChunkPruned(size_t chunk, size_t span) const {
-    for (const auto& [col, sp] : zone_preds_) {
-      const ColumnStore::ColumnData& cd = store_->column(col);
-      if (chunk >= cd.zones.size()) continue;
-      const ZoneMap& z = cd.zones[chunk];
-      // `col op NULL` is NULL for every row; an all-NULL chunk likewise.
-      if (sp.literal.is_null() || z.null_count >= span) return true;
-      if (z.min_v.is_null() || z.max_v.is_null()) continue;
-      const Value& lit = sp.literal;
-      switch (sp.op) {
-        case BinaryOp::kEq:
-          if (lit.Compare(z.min_v) < 0 || lit.Compare(z.max_v) > 0) {
-            return true;
-          }
-          break;
-        case BinaryOp::kNe:
-          if (z.min_v.Compare(lit) == 0 && z.max_v.Compare(lit) == 0) {
-            return true;
-          }
-          break;
-        case BinaryOp::kLt:
-          if (z.min_v.Compare(lit) >= 0) return true;
-          break;
-        case BinaryOp::kLe:
-          if (z.min_v.Compare(lit) > 0) return true;
-          break;
-        case BinaryOp::kGt:
-          if (z.max_v.Compare(lit) <= 0) return true;
-          break;
-        case BinaryOp::kGe:
-          if (z.max_v.Compare(lit) < 0) return true;
-          break;
-        default:
-          break;
-      }
-    }
-    return false;
-  }
-
-  const ScanNode& node_;
-  const Database& db_;
-  const Table* table_ = nullptr;
-  const ColumnStore* store_ = nullptr;
-  std::vector<ExprPtr> conjuncts_;
-  std::vector<std::pair<size_t, SimplePredicate>> zone_preds_;
-  bool use_index_ = false;
-  std::vector<size_t> index_rows_;
+  const ScanNode* node_ = nullptr;   // unrestricted mode only
+  const Database* db_ = nullptr;     // unrestricted mode only
+  ScanSetup own_setup_;              // unrestricted mode only
+  const ScanSetup* setup_ = nullptr;
+  std::vector<size_t> chunks_;       // restricted mode only
+  bool restricted_ = false;
+  size_t chunk_pos_ = 0;             // cursor into chunks_
   size_t index_pos_ = 0;
   size_t chunk_ = 0;
   Batch out_;
@@ -725,6 +717,32 @@ class LimitIterator : public BatchIterator {
   Batch out_;
 };
 
+// ---------------------------------------------------------- materialized
+
+class MaterializedIterator : public BatchIterator {
+ public:
+  explicit MaterializedIterator(const MaterializedNode& node) : node_(node) {}
+
+  util::Status Init() { return util::Status::OK(); }
+
+  const Schema& schema() const override { return node_.schema; }
+
+  util::StatusOr<const Batch*> Next() override {
+    if (done_ || node_.rows->empty()) return nullptr;
+    done_ = true;
+    out_ = Batch();
+    out_.row_mode = true;
+    out_.num_rows = node_.rows->size();
+    out_.ext_rows = node_.rows.get();  // zero-copy borrow
+    return &out_;
+  }
+
+ private:
+  const MaterializedNode& node_;
+  bool done_ = false;
+  Batch out_;
+};
+
 template <typename T, typename... Args>
 util::StatusOr<IterPtr> MakeIter(Args&&... args) {
   auto it = std::make_unique<T>(std::forward<Args>(args)...);
@@ -733,6 +751,82 @@ util::StatusOr<IterPtr> MakeIter(Args&&... args) {
 }
 
 }  // namespace
+
+util::StatusOr<ScanSetup> PrepareScan(const ScanNode& node,
+                                      const Database& db) {
+  ScanSetup s;
+  FF_ASSIGN_OR_RETURN(s.table, db.table(node.table));
+  s.store = &s.table->store();  // zone maps current, bitmaps padded
+  if (node.predicate != nullptr) {
+    FF_RETURN_IF_ERROR(CheckBoolPredicate(node.predicate, s.table->schema()));
+    SplitConjuncts(node.predicate, &s.conjuncts);
+    for (const auto& c : s.conjuncts) {
+      auto sp = MatchSimplePredicate(*c);
+      if (!sp.has_value()) continue;
+      auto idx = s.table->schema().IndexOf(sp->column);
+      if (!idx.ok()) continue;
+      // Pruning compares the literal against zone min/max; only sound
+      // when that comparison cannot itself be a runtime type error.
+      DataType ct = s.table->schema().column(*idx).type;
+      DataType lt = sp->literal.type();
+      bool comparable =
+          lt == DataType::kNull || ct == lt ||
+          ((ct == DataType::kInt64 || ct == DataType::kDouble) &&
+           (lt == DataType::kInt64 || lt == DataType::kDouble));
+      if (comparable) s.zone_preds.emplace_back(*idx, *sp);
+    }
+  }
+  if (!node.index_column.empty()) {
+    FF_ASSIGN_OR_RETURN(s.index_rows,
+                        s.table->Lookup(node.index_column, node.index_value));
+    s.use_index = true;
+  }
+  return s;
+}
+
+std::vector<size_t> SurveyScanChunks(const ScanSetup& setup) {
+  std::vector<size_t> out;
+  size_t num_rows = setup.store->num_rows();
+  size_t pos = 0;  // cursor into index_rows (ascending)
+  for (size_t chunk = 0; chunk * kChunkRows < num_rows; ++chunk) {
+    size_t lo = chunk * kChunkRows;
+    size_t hi = std::min(lo + kChunkRows, num_rows);
+    if (setup.use_index) {
+      bool any = pos < setup.index_rows.size() && setup.index_rows[pos] < hi;
+      while (pos < setup.index_rows.size() && setup.index_rows[pos] < hi) {
+        ++pos;
+      }
+      if (!any) continue;
+    }
+    if (ChunkPruned(setup, chunk, hi - lo)) continue;
+    out.push_back(chunk);
+  }
+  return out;
+}
+
+util::StatusOr<IterPtr> BuildChainIterator(const PlanNode& plan,
+                                           const ScanSetup* setup,
+                                           std::vector<size_t> chunks) {
+  switch (plan.kind()) {
+    case PlanKind::kScan:
+      return MakeIter<ScanIterator>(setup, std::move(chunks));
+    case PlanKind::kFilter: {
+      const auto& n = static_cast<const FilterNode&>(plan);
+      FF_ASSIGN_OR_RETURN(
+          IterPtr in, BuildChainIterator(*n.input, setup, std::move(chunks)));
+      return MakeIter<FilterIterator>(n, std::move(in));
+    }
+    case PlanKind::kProject: {
+      const auto& n = static_cast<const ProjectNode&>(plan);
+      FF_ASSIGN_OR_RETURN(
+          IterPtr in, BuildChainIterator(*n.input, setup, std::move(chunks)));
+      return MakeIter<ProjectIterator>(n, std::move(in));
+    }
+    default:
+      return util::Status::Internal("BuildChainIterator: not a scan chain: " +
+                                    plan.ToString());
+  }
+}
 
 util::StatusOr<IterPtr> BuildIterator(const PlanNode& plan,
                                       const Database& db) {
@@ -775,6 +869,9 @@ util::StatusOr<IterPtr> BuildIterator(const PlanNode& plan,
       FF_ASSIGN_OR_RETURN(IterPtr r, BuildIterator(*n.right, db));
       return MakeIter<HashJoinIterator>(n, std::move(l), std::move(r));
     }
+    case PlanKind::kMaterialized:
+      return MakeIter<MaterializedIterator>(
+          static_cast<const MaterializedNode&>(plan));
   }
   return util::Status::Internal("unhandled plan kind");
 }
@@ -797,7 +894,10 @@ util::StatusOr<ResultSet> ExecuteColumnar(const PlanNode& plan,
 util::StatusOr<ResultSet> ExecutePlan(const PlanPtr& plan,
                                       const Database& db) {
   PlanPtr optimized = OptimizePlan(plan, db);
-  return ExecuteColumnar(*optimized, db);
+  // Dispatches to the morsel-parallel executor when the database's
+  // parallel config (and the hardware) allow it; byte-identical results
+  // either way, with a zero-overhead serial path otherwise.
+  return ExecuteParallel(optimized, db);
 }
 
 }  // namespace statsdb

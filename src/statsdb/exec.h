@@ -11,6 +11,8 @@
 #define FF_STATSDB_EXEC_H_
 
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "statsdb/batch.h"
 #include "statsdb/query.h"
@@ -18,7 +20,10 @@
 namespace ff {
 namespace statsdb {
 
+class ColumnStore;
 class Database;
+class ScanNode;
+class Table;
 
 /// Pull-based batch stream. Next() returns nullptr at end of stream; the
 /// returned batch stays valid until the next call.
@@ -33,6 +38,38 @@ class BatchIterator {
 /// iterator.
 util::StatusOr<std::unique_ptr<BatchIterator>> BuildIterator(
     const PlanNode& plan, const Database& db);
+
+/// Coordinator-side scan preparation, shared across morsels by the
+/// parallel executor (parallel_exec.h). Building one performs all the
+/// lazily-mutating and allocation-heavy work a scan needs — table
+/// lookup, zone-map refresh (table->store()), predicate analysis, the
+/// hash-index Lookup — exactly once; afterwards the setup is immutable
+/// and safe to read from any number of threads.
+struct ScanSetup {
+  const Table* table = nullptr;
+  const ColumnStore* store = nullptr;
+  std::vector<ExprPtr> conjuncts;
+  std::vector<std::pair<size_t, SimplePredicate>> zone_preds;
+  bool use_index = false;
+  std::vector<size_t> index_rows;  // ascending row ids, index path only
+};
+
+util::StatusOr<ScanSetup> PrepareScan(const ScanNode& node,
+                                      const Database& db);
+
+/// Chunk indices (ascending) that survive zone-map pruning and — on the
+/// index path — contain at least one index match. The parallel executor
+/// partitions this list into morsels; chunks absent from it are provably
+/// empty for the scan.
+std::vector<size_t> SurveyScanChunks(const ScanSetup& setup);
+
+/// Builds the iterator tree for `plan`, which must be a chain of
+/// Filter/Project nodes over one Scan leaf; the leaf is replaced by a
+/// scan over `chunks` (an ascending subsequence of SurveyScanChunks)
+/// reusing the shared `setup`. Both must outlive the iterator.
+util::StatusOr<std::unique_ptr<BatchIterator>> BuildChainIterator(
+    const PlanNode& plan, const ScanSetup* setup,
+    std::vector<size_t> chunks);
 
 /// Runs `plan` through the vectorized engine as-is (no planner pass) and
 /// materializes the result.

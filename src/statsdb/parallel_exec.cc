@@ -1,0 +1,577 @@
+#include "statsdb/parallel_exec.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "parallel/thread_pool.h"
+#include "statsdb/database.h"
+#include "statsdb/exec.h"
+#include "statsdb/plan.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace ff {
+namespace statsdb {
+namespace {
+
+using IterPtr = std::unique_ptr<BatchIterator>;
+
+// ----------------------------------------------------------- chain shape
+
+/// A chain is a pipeline the executor can split by chunk: Filter/Project
+/// operators over exactly one Scan leaf. Chains have no cross-row state,
+/// so running one per morsel and concatenating in morsel order is
+/// byte-identical to one serial pass.
+bool IsChain(const PlanNode& n) {
+  switch (n.kind()) {
+    case PlanKind::kScan:
+      return true;
+    case PlanKind::kFilter:
+      return IsChain(*static_cast<const FilterNode&>(n).input);
+    case PlanKind::kProject:
+      return IsChain(*static_cast<const ProjectNode&>(n).input);
+    default:
+      return false;
+  }
+}
+
+const ScanNode& ChainLeaf(const PlanNode& n) {
+  switch (n.kind()) {
+    case PlanKind::kFilter:
+      return ChainLeaf(*static_cast<const FilterNode&>(n).input);
+    case PlanKind::kProject:
+      return ChainLeaf(*static_cast<const ProjectNode&>(n).input);
+    default:
+      return static_cast<const ScanNode&>(n);
+  }
+}
+
+// -------------------------------------------------------- morsel fan-out
+
+struct RewriteCtx {
+  const Database& db;
+  const ParallelConfig& cfg;
+  parallel::ThreadPool* pool;
+};
+
+struct MorselPlan {
+  ScanSetup setup;
+  std::vector<std::vector<size_t>> morsels;  // consecutive chunk groups
+};
+
+/// Prepares the scan once on the coordinator and partitions the
+/// surviving chunks into morsels. False = not worth parallelizing.
+util::StatusOr<bool> PlanMorsels(const PlanNode& chain, RewriteCtx& ctx,
+                                 MorselPlan* out) {
+  FF_ASSIGN_OR_RETURN(out->setup, PrepareScan(ChainLeaf(chain), ctx.db));
+  std::vector<size_t> chunks = SurveyScanChunks(out->setup);
+  size_t min_chunks = std::max<size_t>(2, ctx.cfg.min_chunks);
+  if (chunks.size() < min_chunks) return false;
+  size_t per = std::max<size_t>(1, ctx.cfg.morsel_chunks);
+  for (size_t i = 0; i < chunks.size(); i += per) {
+    size_t end = std::min(i + per, chunks.size());
+    out->morsels.emplace_back(chunks.begin() + i, chunks.begin() + end);
+  }
+  return out->morsels.size() > 1;
+}
+
+/// Runs fn(morsel, stat) for every morsel on the pool and returns the
+/// error of the lowest-indexed failing morsel — which is exactly the
+/// error the serial engine would hit first: chunk-level errors are
+/// deterministic and position-independent, so the earliest failing chunk
+/// lives in the lowest failing morsel, whose own first failure it is.
+util::Status RunMorsels(
+    RewriteCtx& ctx, const MorselPlan& mp, const char* op,
+    const std::function<util::Status(size_t, MorselStat*)>& fn) {
+  size_t m = mp.morsels.size();
+  std::vector<util::Status> errs(m, util::Status::OK());
+  std::vector<MorselStat> stats(m);
+  parallel::TaskGroup group(ctx.pool);
+  group.ParallelFor(m, [&](size_t i) {
+    auto t0 = std::chrono::steady_clock::now();
+    stats[i].morsel = i;
+    stats[i].first_chunk = mp.morsels[i].front();
+    stats[i].chunks = mp.morsels[i].size();
+    errs[i] = fn(i, &stats[i]);
+    stats[i].wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+  });
+  for (size_t i = 0; i < m; ++i) {
+    if (!errs[i].ok()) return errs[i];
+  }
+  if (ctx.cfg.morsel_hook) ctx.cfg.morsel_hook(op, stats);
+  return util::Status::OK();
+}
+
+util::Status DrainToRows(BatchIterator& it, size_t width,
+                         std::vector<Row>* out) {
+  for (;;) {
+    FF_ASSIGN_OR_RETURN(const Batch* b, it.Next());
+    if (b == nullptr) return util::Status::OK();
+    for (size_t k = 0; k < b->ActiveRows(); ++k) {
+      out->push_back(b->MaterializeRow(b->RowAt(k), width));
+    }
+  }
+}
+
+PlanPtr Materialize(Schema schema, std::vector<Row> rows) {
+  return std::make_shared<MaterializedNode>(
+      std::move(schema),
+      std::make_shared<const std::vector<Row>>(std::move(rows)));
+}
+
+// ------------------------------------------------------- parallel units
+//
+// Each unit returns nullptr when the chain is too small to parallelize
+// (the caller keeps the serial node).
+
+/// scan -> filter -> project, full output consumed: drain each morsel
+/// into rows, concatenate in morsel order.
+util::StatusOr<PlanPtr> CollectChain(const PlanPtr& chain, RewriteCtx& ctx) {
+  MorselPlan mp;
+  FF_ASSIGN_OR_RETURN(bool eligible, PlanMorsels(*chain, ctx, &mp));
+  if (!eligible) return PlanPtr(nullptr);
+  FF_ASSIGN_OR_RETURN(Schema schema, InferSchema(*chain, ctx.db));
+  size_t width = schema.num_columns();
+
+  std::vector<std::vector<Row>> slots(mp.morsels.size());
+  FF_RETURN_IF_ERROR(RunMorsels(
+      ctx, mp, "collect", [&](size_t i, MorselStat* st) -> util::Status {
+        FF_ASSIGN_OR_RETURN(
+            IterPtr it, BuildChainIterator(*chain, &mp.setup, mp.morsels[i]));
+        FF_RETURN_IF_ERROR(DrainToRows(*it, width, &slots[i]));
+        st->rows = slots[i].size();
+        return util::Status::OK();
+      }));
+
+  size_t total = 0;
+  for (const auto& s : slots) total += s.size();
+  std::vector<Row> rows;
+  rows.reserve(total);
+  for (auto& s : slots) {
+    for (auto& r : s) rows.push_back(std::move(r));
+  }
+  return Materialize(std::move(schema), std::move(rows));
+}
+
+/// Aggregate over a chain: each morsel accumulates per-group partial
+/// streams; the merge replays them through AggState in morsel order, so
+/// order-sensitive folds (FP sums, first-wins min/max ties, P95 value
+/// order) reproduce the serial engine bit for bit.
+util::StatusOr<PlanPtr> AggregateChain(const AggregateNode& agg,
+                                       RewriteCtx& ctx) {
+  MorselPlan mp;
+  FF_ASSIGN_OR_RETURN(bool eligible, PlanMorsels(*agg.input, ctx, &mp));
+  if (!eligible) return PlanPtr(nullptr);
+  FF_ASSIGN_OR_RETURN(Schema in_schema, InferSchema(*agg.input, ctx.db));
+  std::vector<size_t> key_cols;
+  FF_ASSIGN_OR_RETURN(
+      Schema out_schema,
+      AggOutputSchema(in_schema, agg.group_by, agg.aggs, &key_cols));
+
+  // Per-morsel, per-group, per-aggregate partial: the non-null argument
+  // values in arrival order (kCountStar needs only the count).
+  struct PartialGroup {
+    Row key;
+    std::vector<size_t> star_counts;
+    std::vector<std::vector<Value>> streams;
+  };
+  struct MorselOut {
+    std::unordered_map<Row, size_t, RowHash, RowEq> index;
+    std::vector<PartialGroup> groups;
+  };
+  std::vector<MorselOut> slots(mp.morsels.size());
+  size_t num_aggs = agg.aggs.size();
+
+  FF_RETURN_IF_ERROR(RunMorsels(
+      ctx, mp, "aggregate", [&](size_t mi, MorselStat* st) -> util::Status {
+        FF_ASSIGN_OR_RETURN(
+            IterPtr it,
+            BuildChainIterator(*agg.input, &mp.setup, mp.morsels[mi]));
+        MorselOut& out = slots[mi];
+        Row key;
+        for (;;) {
+          FF_ASSIGN_OR_RETURN(const Batch* in, it->Next());
+          if (in == nullptr) break;
+          size_t n = in->ActiveRows();
+          st->rows += n;
+          const uint32_t* sel = in->has_sel ? in->sel.data() : nullptr;
+          // Mirrors AggregateIterator: one vectorized evaluation per
+          // aggregate per batch.
+          std::vector<ColumnVector> argv(num_aggs);
+          for (size_t a = 0; a < num_aggs; ++a) {
+            if (agg.aggs[a].func == AggFunc::kCountStar) continue;
+            FF_ASSIGN_OR_RETURN(
+                argv[a],
+                EvalBatch(*agg.aggs[a].arg, *in, in_schema, sel, n));
+          }
+          for (size_t k = 0; k < n; ++k) {
+            size_t r = in->RowAt(k);
+            key.clear();
+            for (size_t i : key_cols) key.push_back(in->CellValue(r, i));
+            auto [pos, inserted] = out.index.try_emplace(key,
+                                                         out.groups.size());
+            if (inserted) {
+              out.groups.push_back(PartialGroup{
+                  key, std::vector<size_t>(num_aggs, 0),
+                  std::vector<std::vector<Value>>(num_aggs)});
+            }
+            PartialGroup& g = out.groups[pos->second];
+            for (size_t a = 0; a < num_aggs; ++a) {
+              if (agg.aggs[a].func == AggFunc::kCountStar) {
+                ++g.star_counts[a];
+                continue;
+              }
+              const ColumnVector& v = argv[a];
+              // AggState::Add ignores NULL entirely, so NULLs can be
+              // dropped from the stream without changing the replay.
+              if (v.vals != nullptr) {
+                if (!v.vals[k].is_null()) g.streams[a].push_back(v.vals[k]);
+              } else if (v.IsNull(k)) {
+                // skip
+              } else if (v.type == DataType::kInt64) {
+                g.streams[a].push_back(Value::Int64(v.i64[k]));
+              } else if (v.type == DataType::kDouble) {
+                g.streams[a].push_back(Value::Double(v.f64[k]));
+              } else {
+                g.streams[a].push_back(v.GetValue(k));
+              }
+            }
+          }
+        }
+        return util::Status::OK();
+      }));
+
+  // Merge cascade: groups in first-seen morsel order, streams replayed
+  // through the serial accumulator (plan.h's typed adds are documented
+  // to match Add(Value) observably, so replay via Add is exact).
+  struct Group {
+    Row key;
+    std::vector<AggState> states;
+  };
+  std::unordered_map<Row, size_t, RowHash, RowEq> group_index;
+  std::vector<Group> groups;
+  for (const auto& morsel : slots) {
+    for (const auto& pg : morsel.groups) {
+      auto [pos, inserted] = group_index.try_emplace(pg.key, groups.size());
+      if (inserted) groups.push_back(Group{pg.key, NewAggStates(agg.aggs)});
+      Group& g = groups[pos->second];
+      for (size_t a = 0; a < num_aggs; ++a) {
+        if (agg.aggs[a].func == AggFunc::kCountStar) {
+          g.states[a].count += pg.star_counts[a];
+          continue;
+        }
+        for (const Value& v : pg.streams[a]) g.states[a].Add(v);
+      }
+    }
+  }
+  if (groups.empty() && key_cols.empty()) {
+    groups.push_back(Group{{}, NewAggStates(agg.aggs)});
+  }
+  std::vector<Row> rows;
+  rows.reserve(groups.size());
+  for (const auto& g : groups) {
+    rows.push_back(FinalizeAggRow(g.key, g.states, agg.aggs, out_schema));
+  }
+  return Materialize(std::move(out_schema), std::move(rows));
+}
+
+/// Distinct over a chain: per-morsel first-occurrence sets, merged in
+/// morsel order (so the survivor of each duplicate is the serial one).
+util::StatusOr<PlanPtr> DistinctChain(const DistinctNode& distinct,
+                                      RewriteCtx& ctx) {
+  MorselPlan mp;
+  FF_ASSIGN_OR_RETURN(bool eligible, PlanMorsels(*distinct.input, ctx, &mp));
+  if (!eligible) return PlanPtr(nullptr);
+  FF_ASSIGN_OR_RETURN(Schema schema, InferSchema(*distinct.input, ctx.db));
+  size_t width = schema.num_columns();
+
+  std::vector<std::vector<Row>> slots(mp.morsels.size());
+  FF_RETURN_IF_ERROR(RunMorsels(
+      ctx, mp, "distinct", [&](size_t i, MorselStat* st) -> util::Status {
+        FF_ASSIGN_OR_RETURN(
+            IterPtr it,
+            BuildChainIterator(*distinct.input, &mp.setup, mp.morsels[i]));
+        std::unordered_set<Row, RowHash, RowEq> seen;
+        for (;;) {
+          FF_ASSIGN_OR_RETURN(const Batch* in, it->Next());
+          if (in == nullptr) break;
+          st->rows += in->ActiveRows();
+          for (size_t k = 0; k < in->ActiveRows(); ++k) {
+            Row row = in->MaterializeRow(in->RowAt(k), width);
+            if (seen.insert(row).second) slots[i].push_back(std::move(row));
+          }
+        }
+        return util::Status::OK();
+      }));
+
+  std::unordered_set<Row, RowHash, RowEq> seen;
+  std::vector<Row> rows;
+  for (auto& s : slots) {
+    for (auto& row : s) {
+      if (seen.insert(row).second) rows.push_back(std::move(row));
+    }
+  }
+  return Materialize(std::move(schema), std::move(rows));
+}
+
+/// Top-k Sort over a chain: per-morsel k-heaps under (keys, seq) with
+/// seq = (morsel << 32) | local arrival — the same total order as serial
+/// arrival — then one k-heap over the retained candidates.
+util::StatusOr<PlanPtr> TopKChain(const SortNode& sort, RewriteCtx& ctx) {
+  MorselPlan mp;
+  FF_ASSIGN_OR_RETURN(bool eligible, PlanMorsels(*sort.input, ctx, &mp));
+  if (!eligible) return PlanPtr(nullptr);
+  FF_ASSIGN_OR_RETURN(Schema schema, InferSchema(*sort.input, ctx.db));
+  size_t width = schema.num_columns();
+  std::vector<size_t> cols;
+  for (const auto& k : sort.keys) {
+    FF_ASSIGN_OR_RETURN(size_t i, schema.IndexOf(k.column));
+    cols.push_back(i);
+  }
+
+  struct Entry {
+    Row row;
+    uint64_t seq;
+  };
+  auto before = [&](const Entry& a, const Entry& b) {
+    for (size_t k = 0; k < cols.size(); ++k) {
+      int c = a.row[cols[k]].Compare(b.row[cols[k]]);
+      if (c != 0) return sort.keys[k].ascending ? c < 0 : c > 0;
+    }
+    return a.seq < b.seq;
+  };
+  using Heap =
+      std::priority_queue<Entry, std::vector<Entry>, decltype(before)>;
+
+  std::vector<std::vector<Entry>> slots(mp.morsels.size());
+  FF_RETURN_IF_ERROR(RunMorsels(
+      ctx, mp, "topk", [&](size_t i, MorselStat* st) -> util::Status {
+        FF_ASSIGN_OR_RETURN(
+            IterPtr it,
+            BuildChainIterator(*sort.input, &mp.setup, mp.morsels[i]));
+        Heap heap(before);
+        uint64_t local = 0;
+        for (;;) {
+          FF_ASSIGN_OR_RETURN(const Batch* in, it->Next());
+          if (in == nullptr) break;
+          st->rows += in->ActiveRows();
+          for (size_t k = 0; k < in->ActiveRows(); ++k) {
+            heap.push(Entry{in->MaterializeRow(in->RowAt(k), width),
+                            (static_cast<uint64_t>(i) << 32) | local++});
+            if (heap.size() > sort.limit_hint) heap.pop();
+          }
+        }
+        slots[i].reserve(heap.size());
+        while (!heap.empty()) {
+          slots[i].push_back(std::move(const_cast<Entry&>(heap.top())));
+          heap.pop();
+        }
+        return util::Status::OK();
+      }));
+
+  // Every row of the global top-k is in its morsel's top-k, so merging
+  // the per-morsel survivors loses nothing.
+  Heap heap(before);
+  for (auto& s : slots) {
+    for (auto& e : s) {
+      heap.push(std::move(e));
+      if (heap.size() > sort.limit_hint) heap.pop();
+    }
+  }
+  std::vector<Row> rows(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    rows[i] = std::move(const_cast<Entry&>(heap.top()).row);
+    heap.pop();
+  }
+  return Materialize(std::move(schema), std::move(rows));
+}
+
+// -------------------------------------------------------------- rewrite
+
+/// Rewrites `node`, eagerly executing eligible pipelines and splicing
+/// their results back as MaterializedNodes. `allow_exec` is false when
+/// some ancestor may stop consuming early (a Limit with no intervening
+/// pipeline breaker): a streaming chain must then stay lazy, while
+/// breakers — which drain their input fully no matter what sits above —
+/// may still parallelize. Execution order below a node matches the
+/// serial engine's pull order (join build side before probe side), so
+/// the first runtime error raised is the serial one.
+util::StatusOr<PlanPtr> Rewrite(const PlanPtr& node, bool allow_exec,
+                                RewriteCtx& ctx) {
+  if (IsChain(*node)) {
+    if (!allow_exec) return node;
+    FF_ASSIGN_OR_RETURN(PlanPtr repl, CollectChain(node, ctx));
+    return repl == nullptr ? node : repl;
+  }
+  switch (node->kind()) {
+    case PlanKind::kAggregate: {
+      const auto& n = static_cast<const AggregateNode&>(*node);
+      if (IsChain(*n.input)) {
+        FF_ASSIGN_OR_RETURN(PlanPtr repl, AggregateChain(n, ctx));
+        return repl == nullptr ? node : repl;
+      }
+      FF_ASSIGN_OR_RETURN(PlanPtr in, Rewrite(n.input, true, ctx));
+      if (in == n.input) return node;
+      return std::static_pointer_cast<const PlanNode>(
+          std::make_shared<AggregateNode>(std::move(in), n.group_by,
+                                          n.aggs));
+    }
+    case PlanKind::kDistinct: {
+      const auto& n = static_cast<const DistinctNode&>(*node);
+      if (IsChain(*n.input)) {
+        FF_ASSIGN_OR_RETURN(PlanPtr repl, DistinctChain(n, ctx));
+        return repl == nullptr ? node : repl;
+      }
+      FF_ASSIGN_OR_RETURN(PlanPtr in, Rewrite(n.input, true, ctx));
+      if (in == n.input) return node;
+      return std::static_pointer_cast<const PlanNode>(
+          std::make_shared<DistinctNode>(std::move(in)));
+    }
+    case PlanKind::kSort: {
+      const auto& n = static_cast<const SortNode&>(*node);
+      if (n.limit_hint > 0 && IsChain(*n.input)) {
+        FF_ASSIGN_OR_RETURN(PlanPtr repl, TopKChain(n, ctx));
+        if (repl != nullptr) return repl;
+      }
+      FF_ASSIGN_OR_RETURN(PlanPtr in, Rewrite(n.input, true, ctx));
+      if (in == n.input) return node;
+      return std::static_pointer_cast<const PlanNode>(
+          std::make_shared<SortNode>(std::move(in), n.keys, n.limit_hint));
+    }
+    case PlanKind::kLimit: {
+      const auto& n = static_cast<const LimitNode&>(*node);
+      FF_ASSIGN_OR_RETURN(PlanPtr in, Rewrite(n.input, false, ctx));
+      if (in == n.input) return node;
+      return std::static_pointer_cast<const PlanNode>(
+          std::make_shared<LimitNode>(std::move(in), n.limit, n.offset));
+    }
+    case PlanKind::kFilter: {
+      const auto& n = static_cast<const FilterNode&>(*node);
+      FF_ASSIGN_OR_RETURN(PlanPtr in, Rewrite(n.input, allow_exec, ctx));
+      if (in == n.input) return node;
+      return std::static_pointer_cast<const PlanNode>(
+          std::make_shared<FilterNode>(std::move(in), n.predicate));
+    }
+    case PlanKind::kProject: {
+      const auto& n = static_cast<const ProjectNode&>(*node);
+      FF_ASSIGN_OR_RETURN(PlanPtr in, Rewrite(n.input, allow_exec, ctx));
+      if (in == n.input) return node;
+      return std::static_pointer_cast<const PlanNode>(
+          std::make_shared<ProjectNode>(std::move(in), n.items));
+    }
+    case PlanKind::kHashJoin: {
+      const auto& n = static_cast<const HashJoinNode&>(*node);
+      // The serial probe drains the build (right) side in full before
+      // pulling the first probe batch, so execute right before left.
+      FF_ASSIGN_OR_RETURN(PlanPtr r, Rewrite(n.right, true, ctx));
+      FF_ASSIGN_OR_RETURN(PlanPtr l, Rewrite(n.left, allow_exec, ctx));
+      if (l == n.left && r == n.right) return node;
+      return std::static_pointer_cast<const PlanNode>(
+          std::make_shared<HashJoinNode>(std::move(l), std::move(r),
+                                         n.left_col, n.right_col));
+    }
+    case PlanKind::kScan:          // bare scans are chains, handled above
+    case PlanKind::kMaterialized:  // already computed
+      return node;
+  }
+  return node;
+}
+
+util::StatusOr<ResultSet> DrainIterator(BatchIterator& it) {
+  ResultSet rs{it.schema(), {}};
+  size_t width = rs.schema.num_columns();
+  for (;;) {
+    FF_ASSIGN_OR_RETURN(const Batch* batch, it.Next());
+    if (batch == nullptr) break;
+    for (size_t k = 0; k < batch->ActiveRows(); ++k) {
+      rs.rows.push_back(batch->MaterializeRow(batch->RowAt(k), width));
+    }
+  }
+  return rs;
+}
+
+}  // namespace
+
+ParallelConfig ParallelConfig::FromEnv() {
+  ParallelConfig cfg;
+  const char* env = std::getenv("FF_STATSDB_PARALLEL");
+  if (env == nullptr || *env == '\0') return cfg;
+  std::string v(env);
+  if (v == "off" || v == "0" || v == "false") {
+    cfg.enabled = false;
+    return cfg;
+  }
+  size_t colon = v.find(':');
+  std::string threads = colon == std::string::npos ? v : v.substr(0, colon);
+  char* end = nullptr;
+  unsigned long t = std::strtoul(threads.c_str(), &end, 10);
+  if (end != nullptr && *end == '\0' && t > 0) {
+    cfg.max_threads = static_cast<size_t>(t);
+  }
+  if (colon != std::string::npos) {
+    std::string chunks = v.substr(colon + 1);
+    unsigned long m = std::strtoul(chunks.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0' && m > 0) {
+      cfg.morsel_chunks = static_cast<size_t>(m);
+    }
+  }
+  return cfg;
+}
+
+util::StatusOr<ResultSet> ExecuteParallel(const PlanPtr& plan,
+                                          const Database& db,
+                                          const ParallelConfig& config) {
+  if (plan == nullptr) {
+    return util::Status::InvalidArgument("null plan");
+  }
+  size_t threads = config.max_threads == 0
+                       ? parallel::ThreadPool::DefaultThreads()
+                       : config.max_threads;
+  if (!config.enabled || threads <= 1) {
+    // Zero-overhead serial path; no pool is created.
+    return ExecuteColumnar(*plan, db);
+  }
+
+  // Pre-validation: building the full serial iterator tree surfaces
+  // every Init-time error (unknown table/column, ill-typed predicate,
+  // index lookup failure) in the exact DFS order the serial engine
+  // reports them — before any morsel runs.
+  FF_ASSIGN_OR_RETURN(IterPtr prevalidated, BuildIterator(*plan, db));
+
+  RewriteCtx ctx{db, config,
+                 config.pool != nullptr ? config.pool
+                                        : db.parallel_pool(threads)};
+  FF_ASSIGN_OR_RETURN(PlanPtr rewritten, Rewrite(plan, true, ctx));
+  if (rewritten == plan) {
+    // Nothing was eligible: drain the prevalidated tree directly rather
+    // than paying a second Init (notably a second index Lookup).
+    return DrainIterator(*prevalidated);
+  }
+  if (rewritten->kind() == PlanKind::kMaterialized) {
+    // The whole plan was executed in parallel; the merge result is
+    // solely owned here, so adopt it instead of copying row by row.
+    const auto& m = static_cast<const MaterializedNode&>(*rewritten);
+    ResultSet rs{m.schema, {}};
+    rs.rows = std::move(const_cast<std::vector<Row>&>(*m.rows));
+    return rs;
+  }
+  return ExecuteColumnar(*rewritten, db);
+}
+
+util::StatusOr<ResultSet> ExecuteParallel(const PlanPtr& plan,
+                                          const Database& db) {
+  return ExecuteParallel(plan, db, db.parallel_config());
+}
+
+}  // namespace statsdb
+}  // namespace ff

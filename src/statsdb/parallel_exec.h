@@ -1,0 +1,107 @@
+// Morsel-driven parallel query execution on the work-stealing pool
+// (parallel/thread_pool.h).
+//
+// The rewriter walks an optimized plan looking for parallel-safe
+// pipelines — a chain of Filter/Project operators over one Scan leaf,
+// optionally capped by a pipeline breaker (Aggregate, Distinct, top-k
+// Sort) or feeding a hash-join side. Eligible chains are executed
+// eagerly: the coordinator prepares the scan once (table lookup, index
+// probe, zone-map refresh), surveys the surviving chunks, groups them
+// into morsels of `morsel_chunks` consecutive 4096-row chunks, and fans
+// the morsels across the pool with a TaskGroup (safe even when the
+// query itself runs inside a pool task, e.g. a sweep replica). Each
+// worker drains a chunk-restricted copy of the chain into a private
+// partial state; a deterministic merge cascade combines the partials in
+// morsel order. The merged result is spliced back into the plan as a
+// MaterializedNode and the remaining serial operators run unchanged.
+//
+// Determinism contract: results are byte-identical to the serial
+// vectorized engine (exec.h) — row order, group order, and error
+// messages — at any thread count. The merge replays order-sensitive
+// folds (SUM/AVG buffer their value stream; MIN/MAX/P95 replay through
+// AggState::Add) in morsel order, distinct/group orders are
+// first-occurrence in morsel order, top-k seq numbers are
+// (morsel << 32) | local so heap ties break exactly as the serial
+// arrival order, and runtime errors are reported from the
+// lowest-indexed failing morsel, which is provably the error the serial
+// engine would have hit first. Chains consumed with early exit (under a
+// Limit with no intervening breaker) are never parallelized.
+
+#ifndef FF_STATSDB_PARALLEL_EXEC_H_
+#define FF_STATSDB_PARALLEL_EXEC_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "statsdb/query.h"
+
+namespace ff {
+namespace parallel {
+class ThreadPool;
+}  // namespace parallel
+
+namespace statsdb {
+
+class Database;
+
+/// Post-hoc description of one executed morsel, for observability (the
+/// obs layer turns these into Chrome-trace spans).
+struct MorselStat {
+  size_t morsel = 0;       // index in dispatch order
+  size_t first_chunk = 0;  // first ColumnStore chunk covered
+  size_t chunks = 0;       // chunks in the morsel (post zone-pruning)
+  size_t rows = 0;         // rows the morsel emitted into its partial
+  double wall_ms = 0.0;    // worker-side execution time
+};
+
+/// Invoked on the coordinator thread after each parallel operator's
+/// barrier with the operator tag ("collect", "aggregate", "distinct",
+/// "topk") and one entry per morsel.
+using MorselHook =
+    std::function<void(const char* op, const std::vector<MorselStat>&)>;
+
+/// Tuning knobs for parallel execution, per Database (see
+/// Database::set_parallel_config) and overridable via the
+/// FF_STATSDB_PARALLEL environment variable:
+///   FF_STATSDB_PARALLEL=off|0|false   disable (serial execution)
+///   FF_STATSDB_PARALLEL=N             cap at N threads
+///   FF_STATSDB_PARALLEL=N:M           ... and M chunks per morsel
+struct ParallelConfig {
+  /// Master switch; with `false` every query runs serial.
+  bool enabled = true;
+  /// Thread cap. 0 = hardware_concurrency; the resolved value must
+  /// exceed 1 for any query to go parallel (so single-core hosts pay
+  /// zero overhead — no pool is ever created).
+  size_t max_threads = 0;
+  /// Consecutive surviving chunks (4096 rows each) per morsel.
+  size_t morsel_chunks = 1;
+  /// Chains whose zone-map survey yields fewer chunks than this stay
+  /// serial: tiny queries should not pay fan-out overhead.
+  size_t min_chunks = 4;
+  /// External pool to run on (not owned; e.g. a SweepRunner's shared
+  /// pool). When null the Database lazily creates its own.
+  parallel::ThreadPool* pool = nullptr;
+  /// Observability callback; null = off.
+  MorselHook morsel_hook;
+
+  /// Defaults overridden by FF_STATSDB_PARALLEL (see above).
+  static ParallelConfig FromEnv();
+};
+
+/// Executes an already-optimized plan, fanning eligible pipelines across
+/// `config`-resolved threads. Falls back to the serial vectorized engine
+/// (byte-identical results by contract) when disabled, single-threaded,
+/// or when no pipeline is eligible.
+util::StatusOr<ResultSet> ExecuteParallel(const PlanPtr& plan,
+                                          const Database& db,
+                                          const ParallelConfig& config);
+
+/// As above with the database's own config (Database::parallel_config).
+util::StatusOr<ResultSet> ExecuteParallel(const PlanPtr& plan,
+                                          const Database& db);
+
+}  // namespace statsdb
+}  // namespace ff
+
+#endif  // FF_STATSDB_PARALLEL_EXEC_H_

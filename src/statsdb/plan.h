@@ -7,6 +7,7 @@
 #ifndef FF_STATSDB_PLAN_H_
 #define FF_STATSDB_PLAN_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -145,6 +146,23 @@ class HashJoinNode : public PlanNode {
   PlanPtr right;
   std::string left_col;
   std::string right_col;
+};
+
+/// Leaf node carrying already-computed rows (see PlanKind::kMaterialized).
+/// The rows are shared immutably so splicing one into a plan copies
+/// nothing.
+class MaterializedNode : public PlanNode {
+ public:
+  MaterializedNode(Schema schema_in,
+                   std::shared_ptr<const std::vector<Row>> rows_in)
+      : schema(std::move(schema_in)), rows(std::move(rows_in)) {}
+
+  util::StatusOr<ResultSet> Execute(const Database& db) const override;
+  std::string ToString() const override;
+  PlanKind kind() const override { return PlanKind::kMaterialized; }
+
+  Schema schema;
+  std::shared_ptr<const std::vector<Row>> rows;
 };
 
 // ------------------------------------------------------- shared helpers

@@ -245,6 +245,10 @@ PlanPtr Push(const PlanPtr& node, std::vector<ExprPtr> pending,
                                         std::move(index_column),
                                         std::move(index_value));
     }
+
+    case PlanKind::kMaterialized:
+      // Pre-computed rows: nothing to push into.
+      return WrapFilter(pending, node);
   }
   return node;
 }

@@ -232,6 +232,60 @@ TEST(ThreadPoolTest, StealsAreCountedWhenThievesDrainAnIdleOwner) {
   EXPECT_GE(pool.steals(), 64u);
 }
 
+TEST(TaskGroupTest, WaitFromExternalThreadScopesToOwnTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> grouped{0};
+  std::atomic<bool> release{false};
+  // An unrelated long-running pool task must not hold up the group wait.
+  pool.Submit([&] {
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  TaskGroup group(&pool);
+  for (int i = 0; i < 32; ++i) {
+    group.Submit([&grouped] { grouped.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(grouped.load(), 32);
+  release.store(true, std::memory_order_release);
+  pool.Wait();
+}
+
+TEST(TaskGroupTest, NestedParallelForInsideAPoolTask) {
+  // Pool-wide ParallelFor/Wait would deadlock (and FF_CHECK) on a worker
+  // thread; TaskGroup::ParallelFor is the sanctioned nested form — this
+  // is the shape of a morsel-parallel statsdb query issued from inside a
+  // sweep replica. Fuzz a few rounds to shake out lost-wakeup races.
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> inner_sum{0};
+    TaskGroup outer(&pool);
+    outer.ParallelFor(4, [&](size_t) {
+      TaskGroup inner(&pool);
+      inner.ParallelFor(16, [&](size_t j) {
+        inner_sum.fetch_add(static_cast<int>(j) + 1);
+      });
+      // inner.Wait() ran inside ParallelFor; all 16 indices done here.
+    });
+    EXPECT_EQ(inner_sum.load(), 4 * (16 * 17 / 2)) << "round " << round;
+  }
+  pool.Wait();
+}
+
+TEST(TaskGroupTest, DestructorWaitsAndGroupsAreReusableSequentially) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 8; ++batch) {
+    TaskGroup group(&pool);
+    for (int i = 0; i < 16; ++i) {
+      group.Submit([&count] { count.fetch_add(1); });
+    }
+    // No explicit Wait: the destructor owns the barrier.
+  }
+  EXPECT_EQ(count.load(), 8 * 16);
+}
+
 }  // namespace
 }  // namespace parallel
 }  // namespace ff

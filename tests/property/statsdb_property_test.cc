@@ -1,9 +1,13 @@
-// Property test: randomized SQL SELECTs run through both the vectorized
-// engine (planner + exec.h, what production uses) and the retained
-// row-at-a-time reference engine (PlanNode::Execute). Results must match.
+// Property test: randomized SQL SELECTs run through three engines — the
+// vectorized engine (planner + exec.h, what production uses), the
+// retained row-at-a-time reference engine (PlanNode::Execute), and the
+// morsel-parallel executor (parallel_exec.h) at pool sizes 1, 4 and 16.
 //
-// Comparison is ordering-insensitive (rendered rows are sorted) unless
-// the query has an ORDER BY, in which case row order must match too.
+// Vectorized-vs-reference comparison is ordering-insensitive (rendered
+// rows are sorted) unless the query has an ORDER BY, in which case row
+// order must match too. The parallel engine is held to the stricter
+// contract it documents: its CSV output (and any error string) must be
+// BYTE-identical to the serial vectorized engine at every pool size.
 // The generator only compares columns against literals of a comparable
 // type and never divides in predicates: the zone-map/index fast paths
 // legitimately skip evaluating rows a full scan would visit, so a
@@ -16,8 +20,10 @@
 #include <string>
 #include <vector>
 
+#include "parallel/thread_pool.h"
 #include "statsdb/database.h"
 #include "statsdb/exec.h"
+#include "statsdb/parallel_exec.h"
 #include "statsdb/plan.h"
 #include "statsdb/sql.h"
 #include "statsdb/table.h"
@@ -69,7 +75,49 @@ class StatsDbPropertyTest : public ::testing::Test {
     }
   }
 
+  // Runs `plan` through the parallel executor at pool sizes 1/4/16 and
+  // asserts the result — success CSV or error string — is byte-identical
+  // to the serial vectorized engine. min_chunks drops to 2 because the
+  // test table is only two chunks (5000 rows); explicit max_threads > 1
+  // forces a real fan-out even on a 1-core host. Shared fixture pools
+  // avoid rebuilding threads for each of the 360 statements.
+  void ExpectParallelByteIdentical(const PlanPtr& plan,
+                                   const std::string& sql) {
+    ParallelConfig serial;
+    serial.enabled = false;
+    db_.set_parallel_config(serial);
+    auto base = ExecutePlan(plan, db_);
+    struct Variant {
+      size_t threads;
+      parallel::ThreadPool* pool;
+    };
+    const Variant variants[] = {{1, nullptr}, {4, &pool4_}, {16, &pool16_}};
+    for (const Variant& v : variants) {
+      ParallelConfig cfg;
+      cfg.max_threads = v.threads;
+      cfg.morsel_chunks = 1;
+      cfg.min_chunks = 2;
+      cfg.pool = v.pool;
+      db_.set_parallel_config(cfg);
+      auto par = ExecutePlan(plan, db_);
+      ASSERT_EQ(base.ok(), par.ok())
+          << sql << "\nthreads=" << v.threads
+          << "\nserial: " << base.status().ToString()
+          << "\nparallel: " << par.status().ToString();
+      if (!base.ok()) {
+        ASSERT_EQ(base.status().ToString(), par.status().ToString())
+            << sql << "\nthreads=" << v.threads;
+        continue;
+      }
+      ASSERT_EQ(base->ToCsv(), par->ToCsv())
+          << sql << "\nthreads=" << v.threads;
+    }
+    db_.set_parallel_config(serial);
+  }
+
   Database db_;
+  parallel::ThreadPool pool4_{4};
+  parallel::ThreadPool pool16_{16};
 };
 
 struct SqlGen {
@@ -209,6 +257,7 @@ TEST_F(StatsDbPropertyTest, EnginesAgreeOnRandomQueries) {
     ASSERT_EQ(ref.ok(), vec.ok())
         << sql << "\nref: " << ref.status().ToString()
         << "\nvec: " << vec.status().ToString();
+    ASSERT_NO_FATAL_FAILURE(ExpectParallelByteIdentical(*plan, sql));
     if (!ref.ok()) continue;  // both failed: loose error agreement
     ++executed;
     ASSERT_EQ(Canonical(*ref, ordered), Canonical(*vec, ordered)) << sql;
@@ -234,6 +283,7 @@ TEST_F(StatsDbPropertyTest, EnginesAgreeAfterMutations) {
     auto ref = (*plan)->Execute(db_);
     auto vec = ExecutePlan(*plan, db_);
     ASSERT_EQ(ref.ok(), vec.ok()) << sql;
+    ASSERT_NO_FATAL_FAILURE(ExpectParallelByteIdentical(*plan, sql));
     if (!ref.ok()) continue;
     ASSERT_EQ(Canonical(*ref, ordered), Canonical(*vec, ordered)) << sql;
   }
