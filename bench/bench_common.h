@@ -13,6 +13,7 @@
 
 #include "cluster/cluster.h"
 #include "dataflow/forecast_run.h"
+#include "obs/runtime_stats.h"
 #include "sim/series.h"
 #include "workload/fleet.h"
 
@@ -92,6 +93,52 @@ inline std::vector<RepTiming> MeasureInterleaved(
     }
   }
   return out;
+}
+
+/// JSON object summarizing the wall-clock profiler's view of a thread
+/// pool (obs/runtime_stats.h) for a bench's BENCH_*.json blob: thread
+/// count, occupancy, steal/idle split and task-latency quantiles over
+/// the profiled window. `profile` may be null — benches with no pool
+/// (perf_kernel, perf_trace) still record whether profiling was
+/// compiled in, so downstream tooling can tell "no pool" from "hooks
+/// compiled out".
+inline std::string RuntimePoolJson(const obs::PoolRuntimeProfile* profile) {
+  char buf[512];
+  if (!obs::kProfilingCompiledIn || profile == nullptr ||
+      profile->num_threads == 0) {
+    std::snprintf(buf, sizeof(buf), "{\"profiling_compiled_in\": %s}",
+                  obs::kProfilingCompiledIn ? "true" : "false");
+    return buf;
+  }
+  const obs::RuntimeHistogram::Snapshot tasks = profile->MergedTaskNs();
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"profiling_compiled_in\": true, \"threads\": %zu, "
+      "\"occupancy\": %.4f, \"tasks\": %llu, \"run_ms\": %.3f, "
+      "\"idle_ms\": %.3f, \"steals\": %llu, \"steal_fails\": %llu, "
+      "\"global_queue_peak\": %llu, \"task_p50_us\": %.1f, "
+      "\"task_p95_us\": %.1f}",
+      profile->num_threads, profile->Occupancy(),
+      static_cast<unsigned long long>(profile->TotalTasks()),
+      static_cast<double>(profile->TotalRunNs()) / 1e6,
+      static_cast<double>(profile->TotalIdleNs()) / 1e6,
+      static_cast<unsigned long long>(profile->TotalSteals()),
+      static_cast<unsigned long long>(profile->TotalStealFails()),
+      static_cast<unsigned long long>(profile->global_queue_peak),
+      tasks.QuantileNs(0.5) / 1e3, tasks.QuantileNs(0.95) / 1e3);
+  return buf;
+}
+
+/// Path for a bench's plain-text runtime summary artifact, derived from
+/// its JSON path: "BENCH_sweep.json" -> "BENCH_sweep_runtime.txt".
+inline std::string RuntimeSummaryPath(const std::string& json_path) {
+  std::string base = json_path;
+  const std::string suffix = ".json";
+  if (base.size() > suffix.size() &&
+      base.compare(base.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    base.resize(base.size() - suffix.size());
+  }
+  return base + "_runtime.txt";
 }
 
 inline void PrintHeader(const std::string& id, const std::string& title) {

@@ -364,9 +364,11 @@ int main(int argc, char** argv) {
   std::fprintf(f,
                "{\n  \"bench\": \"perf_kernel\",\n"
                "  \"naive\": \"seed O(K)-sweep kernel (in-process replica)\","
-               "\n  \"results\": [\n%s\n  ],\n"
+               "\n  \"runtime\": %s,\n"
+               "  \"results\": [\n%s\n  ],\n"
                "  \"churn_1000_speedup_vs_naive\": %.2f\n}\n",
-               json_rows.c_str(), churn_1000_speedup);
+               bench::RuntimePoolJson(nullptr).c_str(), json_rows.c_str(),
+               churn_1000_speedup);
   std::fclose(f);
   std::printf("# wrote %s (churn@1000 speedup %.1fx)\n", json_path,
               churn_1000_speedup);

@@ -58,6 +58,7 @@
 
 #include "bench/bench_common.h"
 #include "logdata/loader.h"
+#include "obs/profiler.h"
 #include "parallel/sweep.h"
 #include "parallel/thread_pool.h"
 #include "statsdb/database.h"
@@ -402,6 +403,56 @@ int main(int argc, char** argv) {
                 kComposeReplicas, compose_ok ? "ok" : "FAILED");
   }
 
+  // ----- Self-observation: EXPLAIN ANALYZE smoke + pool runtime lane.
+  //
+  // The profiled run must return byte-identical rows to the unprofiled
+  // one (the profiled iterators are pass-through observers); the
+  // annotated tree and the pool's occupancy summary go to stdout and the
+  // *_runtime.txt artifact. Wall-clock numbers differ run to run — they
+  // never feed a determinism gate.
+  const obs::PoolRuntimeProfile pool8_profile = pool8.RuntimeProfile();
+  {
+    const auto& [topk_plan, topk_expected] = compose_expected.back();
+    obs::QueryProfile serial_profile;
+    statsdb::ParallelConfig serial_cfg;
+    serial_cfg.enabled = false;
+    auto serial_rs = statsdb::ExecutePlanProfiled(topk_plan, db, serial_cfg,
+                                                  &serial_profile);
+    obs::QueryProfile par_profile;
+    auto par_rs = statsdb::ExecutePlanProfiled(topk_plan, db,
+                                               par_config(4, &pool4),
+                                               &par_profile);
+    if (!serial_rs.ok() || serial_rs->ToCsv() != topk_expected ||
+        !par_rs.ok() || par_rs->ToCsv() != topk_expected) {
+      std::fprintf(stderr,
+                   "EXPLAIN ANALYZE: profiled results diverge from the "
+                   "unprofiled run\n");
+      ok = false;
+    }
+    std::printf("# EXPLAIN ANALYZE par_topk (serial engine):\n");
+    for (const auto& line : serial_profile.RenderLines()) {
+      std::printf("#   %s\n", line.c_str());
+    }
+    std::printf("# EXPLAIN ANALYZE par_topk (parallel engine):\n");
+    for (const auto& line : par_profile.RenderLines()) {
+      std::printf("#   %s\n", line.c_str());
+    }
+    const std::string pool_summary = obs::PoolRuntimeSummary(pool8_profile);
+    obs::LogRuntimeSummary("perf_statsdb", pool_summary);
+    const std::string runtime_path = bench::RuntimeSummaryPath(json_path);
+    std::FILE* rf = std::fopen(runtime_path.c_str(), "w");
+    if (rf != nullptr) {
+      std::fprintf(rf, "== EXPLAIN ANALYZE par_topk (serial) ==\n%s",
+                   serial_profile.Render().c_str());
+      std::fprintf(rf, "== EXPLAIN ANALYZE par_topk (parallel, 4 threads) "
+                       "==\n%s",
+                   par_profile.Render().c_str());
+      std::fprintf(rf, "== pool8 lifetime ==\n%s", pool_summary.c_str());
+      std::fclose(rf);
+      std::printf("# wrote %s\n", runtime_path.c_str());
+    }
+  }
+
   std::FILE* f = std::fopen(json_path, "w");
   if (!f) {
     std::fprintf(stderr, "cannot open %s\n", json_path);
@@ -417,12 +468,14 @@ int main(int argc, char** argv) {
                "  \"parallel_floor4\": %.0f,\n"
                "  \"parallel_floor8\": %.0f,\n"
                "  \"compose_ok\": %s,\n"
+               "  \"runtime\": %s,\n"
                "  \"results\": [\n%s\n  ],\n"
                "  \"parallel_results\": [\n%s\n  ]\n}\n",
                smoke ? "true" : "false", kForecasts, kDays,
                kForecasts * kDays, kReps, kFloor, hw, kFloor4, kFloor8,
-               compose_ok ? "true" : "false", json_rows.c_str(),
-               par_json_rows.c_str());
+               compose_ok ? "true" : "false",
+               bench::RuntimePoolJson(&pool8_profile).c_str(),
+               json_rows.c_str(), par_json_rows.c_str());
   std::fclose(f);
   std::printf("# wrote %s (%d forecasts x %d days%s)\n", json_path,
               kForecasts, kDays, smoke ? ", smoke" : "");

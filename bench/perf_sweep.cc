@@ -33,6 +33,7 @@
 #include "bench/bench_common.h"
 #include "factory/campaign.h"
 #include "obs/chrome_trace.h"
+#include "obs/profiler.h"
 #include "parallel/sweep.h"
 #include "statsdb/database.h"
 #include "statsdb/exec.h"
@@ -132,6 +133,7 @@ int main(int argc, char** argv) {
   // determinism gate, so the gate checks exactly what was timed.
   std::vector<Artifacts> artifacts(kWorkers.size());
   std::vector<uint64_t> steals(kWorkers.size(), 0);
+  std::vector<obs::SweepRuntimeProfile> runtimes(kWorkers.size());
   std::vector<std::function<double()>> variants;
   for (size_t w = 0; w < kWorkers.size(); ++w) {
     variants.push_back([&, w] {
@@ -143,6 +145,10 @@ int main(int argc, char** argv) {
       double ms = bench::WallMs(
           [&] { outputs = runner.Run(kReplicas, RunReplica); });
       steals[w] = outputs.steals;
+      // Last rep wins, matching the artifacts the determinism gate sees.
+      // The runtime profile is intentionally NOT part of that gate — it
+      // is wall-clock and differs every run by construction.
+      runtimes[w] = outputs.runtime;
       artifacts[w] = MakeArtifacts(outputs);
       return ms;
     });
@@ -194,13 +200,34 @@ int main(int argc, char** argv) {
         buf, sizeof(buf),
         "    {\"workers\": %zu, \"wall_ms\": %.3f, \"wall_ms_max\": %.3f, "
         "\"speedup_vs_serial\": %.2f, \"steals\": %llu, "
-        "\"deterministic\": %s, \"floor\": %.1f, \"floor_checked\": %s}",
+        "\"deterministic\": %s, \"floor\": %.1f, \"floor_checked\": %s, "
+        "\"runtime\": ",
         kWorkers[w], timings[w].wall_ms, timings[w].wall_ms_max, speedup,
         static_cast<unsigned long long>(steals[w]),
         deterministic ? "true" : "false", floor,
         floor_checked ? "true" : "false");
     if (!json_rows.empty()) json_rows += ",\n";
     json_rows += buf;
+    json_rows += bench::RuntimePoolJson(&runtimes[w].pool);
+    json_rows += "}";
+  }
+
+  // Plain-text runtime summary artifact (wall-clock lane of the self-
+  // observing bench): one section per worker count, also routed through
+  // util logging's sink hook so embedders can capture it.
+  {
+    const std::string runtime_path = bench::RuntimeSummaryPath(json_path);
+    std::FILE* rf = std::fopen(runtime_path.c_str(), "w");
+    if (rf != nullptr) {
+      for (size_t w = 0; w < kWorkers.size(); ++w) {
+        std::string summary = obs::SweepRuntimeSummary(runtimes[w]);
+        std::fprintf(rf, "== workers=%zu ==\n%s", kWorkers[w],
+                     summary.c_str());
+        obs::LogRuntimeSummary("perf_sweep", summary);
+      }
+      std::fclose(rf);
+      std::printf("# wrote %s\n", runtime_path.c_str());
+    }
   }
 
   std::FILE* f = std::fopen(json_path, "w");

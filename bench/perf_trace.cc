@@ -235,9 +235,11 @@ int main(int argc, char** argv) {
                "  \"reps\": %d,\n"
                "  \"baseline_noise_pct\": %.2f,\n"
                "  \"max_overhead_pct_full\": %.2f,\n"
+               "  \"runtime\": %s,\n"
                "  \"results\": [\n%s\n  ]\n}\n",
                obs::kTracingCompiledIn ? "true" : "false", kReps, noise_pct,
-               max_overhead_full, json_rows.c_str());
+               max_overhead_full, bench::RuntimePoolJson(nullptr).c_str(),
+               json_rows.c_str());
   std::fclose(f);
   std::printf("# wrote %s (max full-tracing overhead %.2f%%, "
               "baseline noise %.2f%%)\n",

@@ -81,11 +81,13 @@ struct SpanArgs {
   std::vector<const StrArgRecord*> strs;
 };
 
-}  // namespace
-
-void WriteChromeTrace(const TraceRecorder& trace,
-                      const MetricsRegistry* metrics, std::ostream* out,
-                      const ChromeTraceOptions& options) {
+/// Emits one recorder's metadata + spans + instants (+ counters) under a
+/// fixed process id. `first` threads the comma separator across multiple
+/// processes in one traceEvents array.
+void EmitProcessEvents(const TraceRecorder& trace,
+                       const MetricsRegistry* metrics, int pid,
+                       const std::string& process_name, bool include_counters,
+                       std::ostream* out, bool* first) {
   Lanes lanes;
   for (const auto& s : trace.spans()) lanes.Tid(s.track);
   for (const auto& i : trace.instants()) lanes.Tid(i.track);
@@ -94,20 +96,18 @@ void WriteChromeTrace(const TraceRecorder& trace,
   for (const auto& a : trace.num_args()) args[a.span].nums.push_back(&a);
   for (const auto& a : trace.str_args()) args[a.span].strs.push_back(&a);
 
-  *out << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
-  bool first = true;
   auto sep = [&] {
-    if (!first) *out << ",\n";
-    first = false;
+    if (!*first) *out << ",\n";
+    *first = false;
   };
 
   sep();
-  *out << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
-       << "\"args\":{\"name\":\"" << JsonEscape(options.process_name)
-       << "\"}}";
+  *out << "{\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"name\":\"process_name\","
+       << "\"args\":{\"name\":\"" << JsonEscape(process_name) << "\"}}";
   for (size_t i = 0; i < lanes.order().size(); ++i) {
     sep();
-    *out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << (i + 1)
+    *out << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << (i + 1)
          << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
          << JsonEscape(trace.str(lanes.order()[i])) << "\"}}";
   }
@@ -117,8 +117,9 @@ void WriteChromeTrace(const TraceRecorder& trace,
     SpanId id = static_cast<SpanId>(i + 1);
     double end = s.end < 0.0 ? s.start : s.end;
     sep();
-    *out << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << lanes.Tid(s.track)
-         << ",\"cat\":\"" << SpanCategoryName(s.category) << "\",\"name\":\""
+    *out << "{\"ph\":\"X\",\"pid\":" << pid
+         << ",\"tid\":" << lanes.Tid(s.track) << ",\"cat\":\""
+         << SpanCategoryName(s.category) << "\",\"name\":\""
          << JsonEscape(trace.str(s.name)) << "\",\"ts\":" << Us(s.start)
          << ",\"dur\":" << Us(end - s.start) << ",\"args\":{\"span_id\":"
          << id << ",\"parent_id\":" << s.parent;
@@ -143,22 +144,39 @@ void WriteChromeTrace(const TraceRecorder& trace,
 
   for (const auto& ev : trace.instants()) {
     sep();
-    *out << "{\"ph\":\"i\",\"pid\":1,\"tid\":" << lanes.Tid(ev.track)
-         << ",\"cat\":\"" << SpanCategoryName(ev.category)
-         << "\",\"name\":\"" << JsonEscape(trace.str(ev.name))
-         << "\",\"ts\":" << Us(ev.time) << ",\"s\":\"t\"}";
+    *out << "{\"ph\":\"i\",\"pid\":" << pid
+         << ",\"tid\":" << lanes.Tid(ev.track) << ",\"cat\":\""
+         << SpanCategoryName(ev.category) << "\",\"name\":\""
+         << JsonEscape(trace.str(ev.name)) << "\",\"ts\":" << Us(ev.time)
+         << ",\"s\":\"t\"}";
   }
 
-  if (metrics != nullptr && options.include_counters) {
+  if (metrics != nullptr && include_counters) {
     for (const auto& s : metrics->samples()) {
       sep();
-      *out << "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":\""
+      *out << "{\"ph\":\"C\",\"pid\":" << pid << ",\"tid\":0,\"name\":\""
            << JsonEscape(metrics->metric_name(s.metric))
            << "\",\"ts\":" << Us(s.time) << ",\"args\":{\"value\":"
            << Num(s.value) << "}}";
     }
   }
+}
 
+}  // namespace
+
+void WriteChromeTrace(const TraceRecorder& trace,
+                      const MetricsRegistry* metrics, std::ostream* out,
+                      const ChromeTraceOptions& options) {
+  *out << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  bool first = true;
+  EmitProcessEvents(trace, metrics, 1, options.process_name,
+                    options.include_counters, out, &first);
+  if (options.runtime_trace != nullptr) {
+    // Wall-clock process: separate pid, never mixed with virtual time.
+    EmitProcessEvents(*options.runtime_trace, nullptr, options.runtime_pid,
+                      options.runtime_process_name,
+                      /*include_counters=*/false, out, &first);
+  }
   *out << "\n]\n}\n";
 }
 

@@ -29,6 +29,17 @@ struct ChromeTraceOptions {
   std::string process_name = "forecast-factory";
   /// Include "C" counter events from the metrics sample series.
   bool include_counters = true;
+
+  /// Optional second recorder whose clock is WALL time (e.g. the sweep
+  /// runtime trace built by obs::FillSweepRuntimeTrace). Its events are
+  /// emitted under a separate process id so Perfetto shows sim-time and
+  /// run-time side by side without ever mixing the clock domains —
+  /// runtime rows carry real measurements and are NOT covered by the
+  /// byte-determinism contract above. Null = single-process output,
+  /// byte-identical to what this exporter always produced.
+  const TraceRecorder* runtime_trace = nullptr;
+  std::string runtime_process_name = "runtime (wall clock)";
+  int runtime_pid = 2;
 };
 
 /// Writes the Chrome trace_event JSON document. `metrics` may be null.

@@ -1,0 +1,256 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ff {
+namespace obs {
+
+namespace {
+
+using statsdb::Column;
+using statsdb::DataType;
+using statsdb::Schema;
+using statsdb::Table;
+
+util::StatusOr<Table*> FreshTable(statsdb::Database* db,
+                                  const std::string& name, Schema schema) {
+  if (db->HasTable(name)) {
+    FF_RETURN_IF_ERROR(db->DropTable(name));
+  }
+  return db->CreateTable(name, std::move(schema));
+}
+
+std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+double Ms(uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+}  // namespace
+
+void FillSweepRuntimeTrace(const SweepRuntimeProfile& profile,
+                           TraceRecorder* trace) {
+  if (trace == nullptr) return;
+  StrId replica_name = trace->Intern("replica");
+  for (const ReplicaRuntime& r : profile.replicas) {
+    std::string lane = r.worker == SIZE_MAX
+                           ? std::string("inline")
+                           : "w" + std::to_string(r.worker);
+    double start_s = r.queue_wait_ms / 1000.0;
+    SpanId id = trace->BeginSpan(start_s, SpanCategory::kRun, replica_name,
+                                 trace->Intern(lane));
+    trace->SpanArg(id, "replica", static_cast<double>(r.replica));
+    trace->SpanArg(id, "queue_wait_ms", r.queue_wait_ms);
+    trace->SpanArg(id, "wall_ms", r.wall_ms);
+    trace->EndSpan(id, start_s + r.wall_ms / 1000.0);
+  }
+}
+
+util::StatusOr<Table*> LoadRuntimeWorkers(const PoolRuntimeProfile& profile,
+                                          statsdb::Database* db,
+                                          const std::string& table_name) {
+  FF_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Create({Column{"worker", DataType::kInt64},
+                      Column{"tasks", DataType::kInt64},
+                      Column{"run_ms", DataType::kDouble},
+                      Column{"idle_ms", DataType::kDouble},
+                      Column{"parks", DataType::kInt64},
+                      Column{"steals", DataType::kInt64},
+                      Column{"steal_fails", DataType::kInt64},
+                      Column{"deque_peak", DataType::kInt64},
+                      Column{"task_p50_us", DataType::kDouble},
+                      Column{"task_p95_us", DataType::kDouble}}));
+  FF_ASSIGN_OR_RETURN(Table * table,
+                      FreshTable(db, table_name, std::move(schema)));
+  Table::BulkAppender app(table);
+  app.Reserve(profile.workers.size());
+  for (size_t i = 0; i < profile.workers.size(); ++i) {
+    const WorkerRuntimeSnapshot& w = profile.workers[i];
+    app.Int64(static_cast<int64_t>(i))
+        .Int64(static_cast<int64_t>(w.tasks_run))
+        .Double(Ms(w.run_ns))
+        .Double(Ms(w.idle_ns))
+        .Int64(static_cast<int64_t>(w.parks))
+        .Int64(static_cast<int64_t>(w.steals))
+        .Int64(static_cast<int64_t>(w.steal_fails))
+        .Int64(static_cast<int64_t>(w.deque_peak))
+        .Double(w.task_ns.QuantileNs(0.5) / 1e3)
+        .Double(w.task_ns.QuantileNs(0.95) / 1e3);
+    FF_RETURN_IF_ERROR(app.EndRow());
+  }
+  FF_RETURN_IF_ERROR(app.Finish());
+  return table;
+}
+
+namespace {
+
+util::Status AppendOperators(const OperatorProfile& op, int64_t parent_id,
+                             int64_t depth, int64_t* next_id,
+                             Table::BulkAppender* app) {
+  const int64_t id = (*next_id)++;
+  app->Int64(id)
+      .Int64(parent_id)
+      .Int64(depth)
+      .String(op.name)
+      .Int64(static_cast<int64_t>(op.rows_out))
+      .Int64(static_cast<int64_t>(op.batches))
+      .Double(Ms(op.wall_ns))
+      .Double(Ms(op.SelfNs()))
+      .Int64(static_cast<int64_t>(op.chunks_scanned))
+      .Int64(static_cast<int64_t>(op.chunks_pruned))
+      .Int64(static_cast<int64_t>(op.morsels))
+      .Double(Ms(op.merge_ns));
+  FF_RETURN_IF_ERROR(app->EndRow());
+  for (const auto& c : op.children) {
+    FF_RETURN_IF_ERROR(AppendOperators(*c, id, depth + 1, next_id, app));
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::StatusOr<Table*> LoadRuntimeOperators(const QueryProfile& profile,
+                                            statsdb::Database* db,
+                                            const std::string& table_name) {
+  FF_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Create({Column{"op_id", DataType::kInt64},
+                      Column{"parent_id", DataType::kInt64},
+                      Column{"depth", DataType::kInt64},
+                      Column{"name", DataType::kString},
+                      Column{"rows", DataType::kInt64},
+                      Column{"batches", DataType::kInt64},
+                      Column{"time_ms", DataType::kDouble},
+                      Column{"self_ms", DataType::kDouble},
+                      Column{"chunks_scanned", DataType::kInt64},
+                      Column{"chunks_pruned", DataType::kInt64},
+                      Column{"morsels", DataType::kInt64},
+                      Column{"merge_ms", DataType::kDouble}}));
+  FF_ASSIGN_OR_RETURN(Table * table,
+                      FreshTable(db, table_name, std::move(schema)));
+  Table::BulkAppender app(table);
+  if (profile.root != nullptr) {
+    int64_t next_id = 1;
+    FF_RETURN_IF_ERROR(
+        AppendOperators(*profile.root, 0, 0, &next_id, &app));
+  }
+  FF_RETURN_IF_ERROR(app.Finish());
+  return table;
+}
+
+util::StatusOr<Table*> LoadRuntimeReplicas(const SweepRuntimeProfile& profile,
+                                           statsdb::Database* db,
+                                           const std::string& table_name) {
+  FF_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Create({Column{"replica", DataType::kInt64},
+                      Column{"worker", DataType::kInt64},
+                      Column{"queue_wait_ms", DataType::kDouble},
+                      Column{"wall_ms", DataType::kDouble}}));
+  FF_ASSIGN_OR_RETURN(Table * table,
+                      FreshTable(db, table_name, std::move(schema)));
+  Table::BulkAppender app(table);
+  app.Reserve(profile.replicas.size());
+  for (const ReplicaRuntime& r : profile.replicas) {
+    app.Int64(static_cast<int64_t>(r.replica))
+        .Int64(r.worker == SIZE_MAX ? int64_t{-1}
+                                    : static_cast<int64_t>(r.worker))
+        .Double(r.queue_wait_ms)
+        .Double(r.wall_ms);
+    FF_RETURN_IF_ERROR(app.EndRow());
+  }
+  FF_RETURN_IF_ERROR(app.Finish());
+  return table;
+}
+
+std::string PoolRuntimeSummary(const PoolRuntimeProfile& profile) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "pool: threads=%zu window=%s occupancy=%s tasks=%llu "
+                "steals=%llu steal_fails=%llu global_queue_peak=%llu\n",
+                profile.num_threads, FormatNsAsMs(profile.lifetime_ns).c_str(),
+                Fmt("%.3f", profile.Occupancy()).c_str(),
+                static_cast<unsigned long long>(profile.TotalTasks()),
+                static_cast<unsigned long long>(profile.TotalSteals()),
+                static_cast<unsigned long long>(profile.TotalStealFails()),
+                static_cast<unsigned long long>(profile.global_queue_peak));
+  out += buf;
+  const RuntimeHistogram::Snapshot merged = profile.MergedTaskNs();
+  std::snprintf(buf, sizeof(buf),
+                "tasks: p50=%.1fus p95=%.1fus p99=%.1fus mean=%.1fus\n",
+                merged.QuantileNs(0.5) / 1e3, merged.QuantileNs(0.95) / 1e3,
+                merged.QuantileNs(0.99) / 1e3, merged.MeanNs() / 1e3);
+  out += buf;
+  for (size_t i = 0; i < profile.workers.size(); ++i) {
+    const WorkerRuntimeSnapshot& w = profile.workers[i];
+    std::snprintf(buf, sizeof(buf),
+                  "  w%zu: tasks=%llu run=%s idle=%s parks=%llu steals=%llu "
+                  "steal_fails=%llu deque_peak=%llu\n",
+                  i, static_cast<unsigned long long>(w.tasks_run),
+                  FormatNsAsMs(w.run_ns).c_str(),
+                  FormatNsAsMs(w.idle_ns).c_str(),
+                  static_cast<unsigned long long>(w.parks),
+                  static_cast<unsigned long long>(w.steals),
+                  static_cast<unsigned long long>(w.steal_fails),
+                  static_cast<unsigned long long>(w.deque_peak));
+    out += buf;
+  }
+  return out;
+}
+
+std::string SweepRuntimeSummary(const SweepRuntimeProfile& profile) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "sweep: wall=%.3fms replicas=%zu\n",
+                profile.wall_ms, profile.replicas.size());
+  out += buf;
+  if (!profile.replicas.empty()) {
+    double max_wait = 0.0, max_wall = 0.0, sum_wall = 0.0;
+    for (const ReplicaRuntime& r : profile.replicas) {
+      max_wait = std::max(max_wait, r.queue_wait_ms);
+      max_wall = std::max(max_wall, r.wall_ms);
+      sum_wall += r.wall_ms;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "replicas: mean_wall=%.3fms max_wall=%.3fms "
+                  "max_queue_wait=%.3fms\n",
+                  sum_wall / static_cast<double>(profile.replicas.size()),
+                  max_wall, max_wait);
+    out += buf;
+  }
+  if (!profile.worker_occupancy.empty()) {
+    out += "occupancy:";
+    for (size_t i = 0; i < profile.worker_occupancy.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), " w%zu=%.3f", i,
+                    profile.worker_occupancy[i]);
+      out += buf;
+    }
+    out += '\n';
+  }
+  if (profile.pool.num_threads > 0) out += PoolRuntimeSummary(profile.pool);
+  return out;
+}
+
+void LogRuntimeSummary(std::string_view title, const std::string& summary) {
+  size_t pos = 0;
+  while (pos < summary.size()) {
+    size_t nl = summary.find('\n', pos);
+    if (nl == std::string::npos) nl = summary.size();
+    if (nl > pos) {
+      FF_LOG(INFO) << title << ": " << summary.substr(pos, nl - pos);
+    }
+    pos = nl + 1;
+  }
+}
+
+}  // namespace obs
+}  // namespace ff

@@ -1,0 +1,74 @@
+// Exporters for wall-clock runtime profiles (obs/runtime_stats.h),
+// reusing the virtual-time observability machinery: runtime spans ride
+// a TraceRecorder whose "time" is wall-clock seconds and export as a
+// SEPARATE Chrome-trace process (ChromeTraceOptions::runtime_trace, pid
+// 2) so Perfetto shows sim-time and run-time side by side without ever
+// mixing the clock domains; profiles load into a `runtime_*` statsdb
+// table family for SQL; and plain-text summaries serve benches, routed
+// through util logging's SetLogSink hook rather than raw stderr.
+//
+// Everything here is a cold-path exporter — the hot-path counters live
+// in ff_runtime_stats (which ff_parallel_core and ff_statsdb link);
+// this header needs the full obs + statsdb stack and so lives in ff_obs.
+
+#ifndef FF_OBS_PROFILER_H_
+#define FF_OBS_PROFILER_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/runtime_stats.h"
+#include "obs/trace.h"
+#include "statsdb/database.h"
+#include "util/status.h"
+
+namespace ff {
+namespace obs {
+
+/// Renders a sweep's runtime profile as trace spans: one span per
+/// replica on its worker's lane ("w<idx>", "inline" for serial), span
+/// time = wall-clock seconds from the sweep start, with queue_wait_ms /
+/// wall_ms span args. Feed the result to WriteChromeTrace via
+/// ChromeTraceOptions::runtime_trace for the dual-process Perfetto view.
+void FillSweepRuntimeTrace(const SweepRuntimeProfile& profile,
+                           TraceRecorder* trace);
+
+/// runtime_workers(worker, tasks, run_ms, idle_ms, parks, steals,
+///                 steal_fails, deque_peak, task_p50_us, task_p95_us)
+util::StatusOr<statsdb::Table*> LoadRuntimeWorkers(
+    const PoolRuntimeProfile& profile, statsdb::Database* db,
+    const std::string& table_name = "runtime_workers");
+
+/// runtime_operators(op_id, parent_id, depth, name, rows, batches,
+///                   time_ms, self_ms, chunks_scanned, chunks_pruned,
+///                   morsels, merge_ms) — pre-order walk of the profile
+/// tree, op_id 1 = root, parent_id 0 = none.
+util::StatusOr<statsdb::Table*> LoadRuntimeOperators(
+    const QueryProfile& profile, statsdb::Database* db,
+    const std::string& table_name = "runtime_operators");
+
+/// runtime_replicas(replica, worker, queue_wait_ms, wall_ms);
+/// worker == -1 for replicas run inline (no pool).
+util::StatusOr<statsdb::Table*> LoadRuntimeReplicas(
+    const SweepRuntimeProfile& profile, statsdb::Database* db,
+    const std::string& table_name = "runtime_replicas");
+
+/// Multi-line human-readable pool summary: occupancy, per-worker
+/// run/idle/steal split, task-latency quantiles, queue peaks.
+std::string PoolRuntimeSummary(const PoolRuntimeProfile& profile);
+
+/// Sweep summary: wall time, per-worker occupancy, replica queue-wait
+/// and wall-time extremes, plus the pool summary for the sweep window.
+std::string SweepRuntimeSummary(const SweepRuntimeProfile& profile);
+
+/// Emits a (possibly multi-line) summary through util logging at INFO —
+/// one FF_LOG line per text line, "title: line" — so embedders capture
+/// profiler output via SetLogSink instead of scraping stderr. Remember
+/// the default min level is kWarning; call SetMinLogLevel(kInfo) to see
+/// these on stderr.
+void LogRuntimeSummary(std::string_view title, const std::string& summary);
+
+}  // namespace obs
+}  // namespace ff
+
+#endif  // FF_OBS_PROFILER_H_

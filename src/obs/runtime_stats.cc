@@ -1,0 +1,256 @@
+#include "obs/runtime_stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+
+namespace ff {
+namespace obs {
+
+int64_t RuntimeNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// RuntimeHistogram
+
+size_t RuntimeHistogram::BucketIndex(uint64_t ns) {
+  const size_t b = static_cast<size_t>(std::bit_width(ns));
+  return b < kBuckets ? b : kBuckets - 1;
+}
+
+uint64_t RuntimeHistogram::BucketLowNs(size_t b) {
+  if (b == 0) return 0;
+  return uint64_t{1} << (b - 1);
+}
+
+RuntimeHistogram::Snapshot RuntimeHistogram::Snap() const {
+  Snapshot s;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum_ns = sum_ns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+double RuntimeHistogram::Snapshot::QuantileNs(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const uint64_t next = seen + buckets[b];
+    if (static_cast<double>(next) >= target) {
+      const double lo = static_cast<double>(BucketLowNs(b));
+      const double hi = b + 1 < kBuckets
+                            ? static_cast<double>(BucketLowNs(b + 1))
+                            : lo * 2.0;
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(buckets[b]);
+      return lo + std::clamp(frac, 0.0, 1.0) * (hi - lo);
+    }
+    seen = next;
+  }
+  return static_cast<double>(BucketLowNs(kBuckets - 1)) * 2.0;
+}
+
+RuntimeHistogram::Snapshot RuntimeHistogram::Snapshot::Since(
+    const Snapshot& begin) const {
+  Snapshot d;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    d.buckets[b] = buckets[b] - begin.buckets[b];
+  }
+  d.count = count - begin.count;
+  d.sum_ns = sum_ns - begin.sum_ns;
+  return d;
+}
+
+void RuntimeHistogram::Snapshot::MergeFrom(const Snapshot& other) {
+  for (size_t b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+  count += other.count;
+  sum_ns += other.sum_ns;
+}
+
+// ---------------------------------------------------------------------------
+// PoolRuntimeProfile
+
+uint64_t PoolRuntimeProfile::TotalTasks() const {
+  uint64_t n = 0;
+  for (const auto& w : workers) n += w.tasks_run;
+  return n;
+}
+
+uint64_t PoolRuntimeProfile::TotalRunNs() const {
+  uint64_t n = 0;
+  for (const auto& w : workers) n += w.run_ns;
+  return n;
+}
+
+uint64_t PoolRuntimeProfile::TotalIdleNs() const {
+  uint64_t n = 0;
+  for (const auto& w : workers) n += w.idle_ns;
+  return n;
+}
+
+uint64_t PoolRuntimeProfile::TotalSteals() const {
+  uint64_t n = 0;
+  for (const auto& w : workers) n += w.steals;
+  return n;
+}
+
+uint64_t PoolRuntimeProfile::TotalStealFails() const {
+  uint64_t n = 0;
+  for (const auto& w : workers) n += w.steal_fails;
+  return n;
+}
+
+double PoolRuntimeProfile::Occupancy() const {
+  if (num_threads == 0 || lifetime_ns == 0) return 0.0;
+  return static_cast<double>(TotalRunNs()) /
+         (static_cast<double>(lifetime_ns) * static_cast<double>(num_threads));
+}
+
+RuntimeHistogram::Snapshot PoolRuntimeProfile::MergedTaskNs() const {
+  RuntimeHistogram::Snapshot merged;
+  for (const auto& w : workers) merged.MergeFrom(w.task_ns);
+  return merged;
+}
+
+PoolRuntimeProfile PoolRuntimeProfile::Since(
+    const PoolRuntimeProfile& begin) const {
+  PoolRuntimeProfile d;
+  d.num_threads = num_threads;
+  d.lifetime_ns = lifetime_ns - begin.lifetime_ns;
+  d.global_queue_depth = global_queue_depth;
+  d.global_queue_peak = global_queue_peak;
+  d.workers.resize(workers.size());
+  for (size_t i = 0; i < workers.size(); ++i) {
+    const WorkerRuntimeSnapshot& now = workers[i];
+    // A window may start before the pool existed (begin has no workers).
+    const bool have_begin = i < begin.workers.size();
+    WorkerRuntimeSnapshot& out = d.workers[i];
+    if (!have_begin) {
+      out = now;
+      continue;
+    }
+    const WorkerRuntimeSnapshot& b = begin.workers[i];
+    out.tasks_run = now.tasks_run - b.tasks_run;
+    out.run_ns = now.run_ns - b.run_ns;
+    out.idle_ns = now.idle_ns - b.idle_ns;
+    out.parks = now.parks - b.parks;
+    out.steals = now.steals - b.steals;
+    out.steal_fails = now.steal_fails - b.steal_fails;
+    out.deque_peak = now.deque_peak;  // peaks are lifetime highs, not deltas
+    out.deque_depth = now.deque_depth;
+    out.task_ns = now.task_ns.Since(b.task_ns);
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// OperatorProfile / QueryProfile
+
+OperatorProfile* OperatorProfile::AddChild() {
+  children.push_back(std::make_unique<OperatorProfile>());
+  return children.back().get();
+}
+
+uint64_t OperatorProfile::SelfNs() const {
+  uint64_t child_ns = 0;
+  for (const auto& c : children) child_ns += c->wall_ns;
+  return wall_ns > child_ns ? wall_ns - child_ns : 0;
+}
+
+void OperatorProfile::MergeFrom(const OperatorProfile& other) {
+  if (name.empty()) name = other.name;
+  rows_out += other.rows_out;
+  batches += other.batches;
+  wall_ns += other.wall_ns;
+  is_scan = is_scan || other.is_scan;
+  chunks_scanned += other.chunks_scanned;
+  chunks_pruned += other.chunks_pruned;
+  index_rows += other.index_rows;
+  parallel = parallel || other.parallel;
+  morsels += other.morsels;
+  merge_ns += other.merge_ns;
+  max_morsel_ns = std::max(max_morsel_ns, other.max_morsel_ns);
+  for (size_t i = 0; i < other.children.size(); ++i) {
+    if (i >= children.size()) AddChild();
+    children[i]->MergeFrom(*other.children[i]);
+  }
+}
+
+std::string FormatNsAsMs(uint64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3fms",
+                static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+namespace {
+
+void RenderOperator(const OperatorProfile& op, int depth,
+                    std::vector<std::string>* out) {
+  std::string line(static_cast<size_t>(depth) * 2, ' ');
+  line += op.name.empty() ? "<unnamed>" : op.name;
+  if (kProfilingCompiledIn) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "  rows=%llu batches=%llu",
+                  static_cast<unsigned long long>(op.rows_out),
+                  static_cast<unsigned long long>(op.batches));
+    line += buf;
+    if (op.is_scan) {
+      std::snprintf(buf, sizeof(buf), " chunks=%llu pruned=%llu",
+                    static_cast<unsigned long long>(op.chunks_scanned),
+                    static_cast<unsigned long long>(op.chunks_pruned));
+      line += buf;
+      if (op.index_rows > 0) {
+        std::snprintf(buf, sizeof(buf), " index_rows=%llu",
+                      static_cast<unsigned long long>(op.index_rows));
+        line += buf;
+      }
+    }
+    if (op.parallel) {
+      std::snprintf(buf, sizeof(buf), " morsels=%llu merge=%s max_morsel=%s",
+                    static_cast<unsigned long long>(op.morsels),
+                    FormatNsAsMs(op.merge_ns).c_str(),
+                    FormatNsAsMs(op.max_morsel_ns).c_str());
+      line += buf;
+    }
+    line += " time=" + FormatNsAsMs(op.wall_ns);
+  }
+  out->push_back(std::move(line));
+  for (const auto& c : op.children) RenderOperator(*c, depth + 1, out);
+}
+
+}  // namespace
+
+std::vector<std::string> QueryProfile::RenderLines() const {
+  std::vector<std::string> lines;
+  std::string header = "engine=" + engine;
+  if (kProfilingCompiledIn) {
+    header += "  total=" + FormatNsAsMs(total_ns);
+  } else {
+    header += "  (profiling compiled out)";
+  }
+  lines.push_back(std::move(header));
+  if (root) RenderOperator(*root, 1, &lines);
+  return lines;
+}
+
+std::string QueryProfile::Render() const {
+  std::string out;
+  for (const std::string& line : RenderLines()) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace ff

@@ -17,7 +17,43 @@ SweepOutputs SweepRunner::Run(size_t num_replicas, const ReplicaFn& fn) {
   out.replica_metrics.resize(num_replicas);
   out.replica_records.resize(num_replicas);
 
+  // Resolve the pool up front so the replica closure can attribute each
+  // replica to the worker that ran it (runtime profiling only — the
+  // deterministic outputs never see worker identity).
+  size_t workers = options_.pool != nullptr
+                       ? options_.pool->num_threads()
+                       : options_.num_workers == 0 ? ThreadPool::DefaultThreads()
+                                                   : options_.num_workers;
+  out.num_workers = workers;
+  const bool use_pool = workers > 1 && num_replicas > 1;
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = nullptr;
+  if (use_pool) {
+    pool = options_.pool;
+    if (pool == nullptr) {
+      owned = std::make_unique<ThreadPool>(
+          ThreadPool::Options{workers, /*max_queue=*/1024});
+      pool = owned.get();
+    }
+  }
+
+  int64_t sweep_t0 = 0;
+  obs::PoolRuntimeProfile pool_before;
+  if constexpr (obs::kProfilingCompiledIn) {
+    out.runtime.replicas.resize(num_replicas);
+    sweep_t0 = obs::RuntimeNowNs();
+    if (pool != nullptr) pool_before = pool->RuntimeProfile();
+  }
+
   auto run_replica = [&](size_t i) {
+    int64_t replica_t0 = 0;
+    if constexpr (obs::kProfilingCompiledIn) {
+      replica_t0 = obs::RuntimeNowNs();
+      obs::ReplicaRuntime& rt = out.runtime.replicas[i];
+      rt.replica = i;
+      rt.queue_wait_ms = static_cast<double>(replica_t0 - sweep_t0) / 1e6;
+      rt.worker = pool != nullptr ? pool->caller_worker_index() : SIZE_MAX;
+    }
     // Recorders are created on the worker that runs the replica (memory
     // first-touch locality) but land in replica-indexed slots, so which
     // worker ran what leaves no trace in the outputs.
@@ -37,6 +73,10 @@ SweepOutputs SweepRunner::Run(size_t num_replicas, const ReplicaFn& fn) {
     ctx.metrics = out.replica_metrics[i].get();
     ctx.records = &out.replica_records[i];
     fn(ctx);
+    if constexpr (obs::kProfilingCompiledIn) {
+      out.runtime.replicas[i].wall_ms =
+          static_cast<double>(obs::RuntimeNowNs() - replica_t0) / 1e6;
+    }
   };
 
   // Post-barrier merge steps. Each consumes only the frozen per-replica
@@ -67,24 +107,12 @@ SweepOutputs SweepRunner::Run(size_t num_replicas, const ReplicaFn& fn) {
     }
   };
 
-  size_t workers = options_.pool != nullptr
-                       ? options_.pool->num_threads()
-                       : options_.num_workers == 0 ? ThreadPool::DefaultThreads()
-                                                   : options_.num_workers;
-  out.num_workers = workers;
-  if (workers <= 1 || num_replicas <= 1) {
+  if (!use_pool) {
     for (size_t i = 0; i < num_replicas; ++i) run_replica(i);
     if (options_.record_traces) merge_traces();
     if (options_.record_metrics) merge_metrics();
     merge_records();
   } else {
-    std::unique_ptr<ThreadPool> owned;
-    ThreadPool* pool = options_.pool;
-    if (pool == nullptr) {
-      owned = std::make_unique<ThreadPool>(
-          ThreadPool::Options{workers, /*max_queue=*/1024});
-      pool = owned.get();
-    }
     // Waits are scoped to this sweep's own tasks (TaskGroup, not
     // pool-wide Wait), so concurrent users of a shared pool — another
     // sweep, a parallel statsdb query — neither block us nor get
@@ -100,6 +128,20 @@ SweepOutputs SweepRunner::Run(size_t num_replicas, const ReplicaFn& fn) {
     merge_records();
     merges.Wait();
     out.steals = pool->steals() - steals_before;
+  }
+  if constexpr (obs::kProfilingCompiledIn) {
+    const int64_t sweep_ns = obs::RuntimeNowNs() - sweep_t0;
+    out.runtime.wall_ms = static_cast<double>(sweep_ns) / 1e6;
+    if (pool != nullptr) {
+      out.runtime.pool = pool->RuntimeProfile().Since(pool_before);
+      out.runtime.worker_occupancy.resize(out.runtime.pool.workers.size());
+      for (size_t w = 0; w < out.runtime.pool.workers.size(); ++w) {
+        out.runtime.worker_occupancy[w] =
+            sweep_ns > 0 ? static_cast<double>(out.runtime.pool.workers[w].run_ns) /
+                               static_cast<double>(sweep_ns)
+                         : 0.0;
+      }
+    }
   }
   return out;
 }

@@ -27,6 +27,7 @@
 
 #include "logdata/log_record.h"
 #include "obs/metrics.h"
+#include "obs/runtime_stats.h"
 #include "obs/trace.h"
 #include "statsdb/database.h"
 #include "util/rng.h"
@@ -90,6 +91,13 @@ struct SweepOutputs {
   std::unique_ptr<obs::MetricsRegistry> merged_metrics;
   /// All replica records, concatenated in replica order.
   std::vector<logdata::LogRecord> merged_records;
+
+  /// Wall-clock runtime profile of this sweep: per-replica queue-wait /
+  /// wall time / worker attribution plus the pool's counter deltas over
+  /// the sweep window. Empty with FF_PROFILING compiled out. This is the
+  /// OTHER clock domain — real time, different every run — and must
+  /// never leak into the deterministic merged artifacts above.
+  obs::SweepRuntimeProfile runtime;
 };
 
 /// Runs replica functions across a private thread pool and merges.

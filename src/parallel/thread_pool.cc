@@ -110,8 +110,13 @@ ThreadPool::ThreadPool(Options options) : options_(options) {
                                        : options_.num_threads;
   FF_CHECK(options_.max_queue > 0) << "thread pool needs a non-empty queue";
   deques_.reserve(n);
+  worker_stats_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     deques_.push_back(std::make_unique<TaskDeque>());
+    worker_stats_.push_back(std::make_unique<obs::WorkerRuntimeStats>());
+  }
+  if constexpr (obs::kProfilingCompiledIn) {
+    start_ns_ = obs::RuntimeNowNs();
   }
   threads_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -137,6 +142,14 @@ void ThreadPool::Submit(std::function<void()> fn) {
     // Worker-spawned task: lock-free push onto the worker's own deque;
     // the bounded queue (and its backpressure) is for external producers.
     deques_[tl_worker]->PushBottom(task);
+    if constexpr (obs::kProfilingCompiledIn) {
+      // Owner is the only writer of its peak gauge; plain max is exact.
+      auto& ws = *worker_stats_[tl_worker];
+      const uint64_t depth = deques_[tl_worker]->ApproxSize();
+      if (depth > ws.deque_peak.load(std::memory_order_relaxed)) {
+        ws.deque_peak.store(depth, std::memory_order_relaxed);
+      }
+    }
     std::lock_guard<std::mutex> lock(mu_);
     ++work_signal_;
     work_cv_.notify_one();
@@ -148,6 +161,9 @@ void ThreadPool::Submit(std::function<void()> fn) {
   });
   FF_CHECK(!stop_) << "Submit on a stopping ThreadPool";
   global_.push_back(task);
+  if constexpr (obs::kProfilingCompiledIn) {
+    if (global_.size() > global_peak_) global_peak_ = global_.size();
+  }
   ++work_signal_;
   work_cv_.notify_one();
 }
@@ -191,17 +207,48 @@ std::function<void()>* ThreadPool::FindWork(size_t index) {
     }
   }
   size_t n = deques_.size();
+  uint64_t fails = 0;  // empty/lost StealTop attempts this scan
   for (size_t k = 1; k < n; ++k) {
     if (auto* task = deques_[(index + k) % n]->StealTop()) {
-      steals_.fetch_add(1, std::memory_order_relaxed);
+      auto& ws = *worker_stats_[index];
+      ws.steals.fetch_add(1, std::memory_order_relaxed);
+      if constexpr (obs::kProfilingCompiledIn) {
+        if (fails > 0) {
+          ws.steal_fails.fetch_add(fails, std::memory_order_relaxed);
+        }
+      }
       return task;
+    }
+    ++fails;
+  }
+  if constexpr (obs::kProfilingCompiledIn) {
+    if (fails > 0) {
+      worker_stats_[index]->steal_fails.fetch_add(fails,
+                                                  std::memory_order_relaxed);
     }
   }
   return nullptr;
 }
 
-void ThreadPool::RunTask(std::function<void()>* task) {
-  (*task)();
+void ThreadPool::RunTask(std::function<void()>* task, size_t index) {
+  if (index != static_cast<size_t>(-1)) {
+    // The task COUNT is an event counter like `steals` — one relaxed
+    // fetch_add, live even with FF_PROFILING=OFF. Only the clock reads
+    // and the histogram are profiling hooks.
+    auto& ws = *worker_stats_[index];
+    if constexpr (obs::kProfilingCompiledIn) {
+      const int64_t t0 = obs::RuntimeNowNs();
+      (*task)();
+      const uint64_t dt = static_cast<uint64_t>(obs::RuntimeNowNs() - t0);
+      ws.run_ns.fetch_add(dt, std::memory_order_relaxed);
+      ws.task_ns.Record(dt);
+    } else {
+      (*task)();
+    }
+    ws.tasks_run.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    (*task)();
+  }
   delete task;
   if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     // Last pending task: wake Wait(). Lock so the notify cannot slip
@@ -215,12 +262,48 @@ size_t ThreadPool::CallerWorkerIndex() const {
   return tl_pool == this ? tl_worker : static_cast<size_t>(-1);
 }
 
+uint64_t ThreadPool::steals() const {
+  uint64_t n = 0;
+  for (const auto& w : worker_stats_) {
+    n += w->steals.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+obs::PoolRuntimeProfile ThreadPool::RuntimeProfile() const {
+  obs::PoolRuntimeProfile p;
+  p.num_threads = threads_.size();
+  if constexpr (obs::kProfilingCompiledIn) {
+    p.lifetime_ns = static_cast<uint64_t>(obs::RuntimeNowNs() - start_ns_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    p.global_queue_depth = global_.size();
+    p.global_queue_peak = global_peak_;
+  }
+  p.workers.resize(worker_stats_.size());
+  for (size_t i = 0; i < worker_stats_.size(); ++i) {
+    const obs::WorkerRuntimeStats& ws = *worker_stats_[i];
+    obs::WorkerRuntimeSnapshot& out = p.workers[i];
+    out.tasks_run = ws.tasks_run.load(std::memory_order_relaxed);
+    out.run_ns = ws.run_ns.load(std::memory_order_relaxed);
+    out.idle_ns = ws.idle_ns.load(std::memory_order_relaxed);
+    out.parks = ws.parks.load(std::memory_order_relaxed);
+    out.steals = ws.steals.load(std::memory_order_relaxed);
+    out.steal_fails = ws.steal_fails.load(std::memory_order_relaxed);
+    out.deque_peak = ws.deque_peak.load(std::memory_order_relaxed);
+    out.deque_depth = deques_[i]->ApproxSize();
+    out.task_ns = ws.task_ns.Snap();
+  }
+  return p;
+}
+
 void ThreadPool::WorkerLoop(size_t index) {
   tl_pool = this;
   tl_worker = index;
   for (;;) {
     if (auto* task = FindWork(index)) {
-      RunTask(task);
+      RunTask(task, index);
       continue;
     }
     uint64_t sig;
@@ -233,11 +316,20 @@ void ThreadPool::WorkerLoop(size_t index) {
     // re-scanning once with the pre-scan signal in hand closes the
     // missed-wakeup window.
     if (auto* task = FindWork(index)) {
-      RunTask(task);
+      RunTask(task, index);
       continue;
     }
     std::unique_lock<std::mutex> lock(mu_);
-    work_cv_.wait(lock, [&] { return stop_ || work_signal_ != sig; });
+    if constexpr (obs::kProfilingCompiledIn) {
+      auto& ws = *worker_stats_[index];
+      ws.parks.fetch_add(1, std::memory_order_relaxed);
+      const int64_t t0 = obs::RuntimeNowNs();
+      work_cv_.wait(lock, [&] { return stop_ || work_signal_ != sig; });
+      ws.idle_ns.fetch_add(static_cast<uint64_t>(obs::RuntimeNowNs() - t0),
+                           std::memory_order_relaxed);
+    } else {
+      work_cv_.wait(lock, [&] { return stop_ || work_signal_ != sig; });
+    }
     if (stop_) return;
   }
 }
@@ -295,7 +387,7 @@ void TaskGroup::Wait() {
   for (;;) {
     if (done()) return sync_and_return();
     if (auto* task = pool_->FindWork(idx)) {
-      pool_->RunTask(task);
+      pool_->RunTask(task, idx);
       continue;
     }
     uint64_t sig;
@@ -305,13 +397,26 @@ void TaskGroup::Wait() {
     }
     if (done()) return sync_and_return();
     if (auto* task = pool_->FindWork(idx)) {
-      pool_->RunTask(task);
+      pool_->RunTask(task, idx);
       continue;
     }
     std::unique_lock<std::mutex> lock(pool_->mu_);
-    pool_->work_cv_.wait(lock, [&] {
-      return pool_->work_signal_ != sig || done();
-    });
+    if constexpr (obs::kProfilingCompiledIn) {
+      // A helping worker parked here is idle from the pool's point of
+      // view, same as a WorkerLoop park.
+      auto& ws = *pool_->worker_stats_[idx];
+      ws.parks.fetch_add(1, std::memory_order_relaxed);
+      const int64_t t0 = obs::RuntimeNowNs();
+      pool_->work_cv_.wait(lock, [&] {
+        return pool_->work_signal_ != sig || done();
+      });
+      ws.idle_ns.fetch_add(static_cast<uint64_t>(obs::RuntimeNowNs() - t0),
+                           std::memory_order_relaxed);
+    } else {
+      pool_->work_cv_.wait(lock, [&] {
+        return pool_->work_signal_ != sig || done();
+      });
+    }
   }
 }
 

@@ -32,6 +32,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/runtime_stats.h"
+
 namespace ff {
 namespace parallel {
 
@@ -132,8 +134,22 @@ class ThreadPool {
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return threads_.size(); }
-  /// Total successful steals since construction (observability/tests).
-  uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+  /// Total successful steals since construction. Shim over the
+  /// per-worker runtime stats (the pre-profiler counter this grew from);
+  /// live even with FF_PROFILING=OFF.
+  uint64_t steals() const;
+
+  /// Worker index of the calling thread, or SIZE_MAX if it is not a
+  /// worker of this pool. Lets instrumented callers (sweep replicas)
+  /// attribute work to the worker that ran it.
+  size_t caller_worker_index() const { return CallerWorkerIndex(); }
+
+  /// Snapshot of per-worker runtime counters since construction. Timing
+  /// fields (run/idle ns, task histograms, depth gauges, steal-fails)
+  /// are zero with FF_PROFILING=OFF; the successful-steal and task-run
+  /// event counters are always live. Subtract two snapshots with
+  /// PoolRuntimeProfile::Since to profile a window.
+  obs::PoolRuntimeProfile RuntimeProfile() const;
 
   static size_t DefaultThreads();
 
@@ -143,7 +159,9 @@ class ThreadPool {
   void WorkerLoop(size_t index);
   /// One scan for work: own deque, global queue, then every other deque.
   std::function<void()>* FindWork(size_t index);
-  void RunTask(std::function<void()>* task);
+  /// Runs and frees `task`, accounting it to worker `index` (SIZE_MAX
+  /// for the rare external helper with no worker identity).
+  void RunTask(std::function<void()>* task, size_t index);
   /// Worker index of the calling thread, or npos if it is not a worker
   /// of this pool.
   size_t CallerWorkerIndex() const;
@@ -151,17 +169,21 @@ class ThreadPool {
   Options options_;
   std::vector<std::unique_ptr<TaskDeque>> deques_;
   std::vector<std::thread> threads_;
+  // One stats block per worker, heap-separated (alignas(64) + unique
+  // ownership) so workers never false-share counters.
+  std::vector<std::unique_ptr<obs::WorkerRuntimeStats>> worker_stats_;
+  int64_t start_ns_ = 0;  // RuntimeNowNs() at construction (0 when off)
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;      // workers park here
   std::condition_variable not_full_cv_;  // producers park here
   std::condition_variable idle_cv_;      // Wait() parks here
   std::deque<std::function<void()>*> global_;  // bounded by max_queue
   uint64_t work_signal_ = 0;  // bumped on every enqueue (missed-wake guard)
+  size_t global_peak_ = 0;    // high-water mark of global_ (under mu_)
   bool stop_ = false;
 
   std::atomic<size_t> pending_{0};
-  std::atomic<uint64_t> steals_{0};
 };
 
 /// A countable subset of a pool's tasks that can be waited on from

@@ -5,11 +5,13 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/runtime_stats.h"
 #include "statsdb/database.h"
 #include "statsdb/parallel_exec.h"
 #include "statsdb/plan.h"
 #include "statsdb/planner.h"
 #include "util/logging.h"
+#include "util/strings.h"
 
 namespace ff {
 namespace statsdb {
@@ -110,13 +112,16 @@ bool ChunkPruned(const ScanSetup& s, size_t chunk, size_t span) {
 
 class ScanIterator : public BatchIterator {
  public:
-  ScanIterator(const ScanNode& node, const Database& db)
-      : node_(&node), db_(&db) {}
+  ScanIterator(const ScanNode& node, const Database& db,
+               obs::OperatorProfile* prof = nullptr)
+      : node_(&node), db_(&db), prof_(prof) {}
   /// Chunk-restricted scan reusing a shared coordinator-built setup
   /// (parallel morsels). `chunks` is an ascending subsequence of
   /// SurveyScanChunks(*setup).
-  ScanIterator(const ScanSetup* setup, std::vector<size_t> chunks)
-      : setup_(setup), chunks_(std::move(chunks)), restricted_(true) {}
+  ScanIterator(const ScanSetup* setup, std::vector<size_t> chunks,
+               obs::OperatorProfile* prof = nullptr)
+      : setup_(setup), chunks_(std::move(chunks)), restricted_(true),
+        prof_(prof) {}
 
   util::Status Init() {
     if (setup_ == nullptr) {
@@ -156,9 +161,20 @@ class ScanIterator : public BatchIterator {
           ++index_pos_;
         }
         if (sel0.empty()) continue;
+        if constexpr (obs::kProfilingCompiledIn) {
+          if (prof_ != nullptr) prof_->index_rows += sel0.size();
+        }
       }
 
-      if (ChunkPruned(*setup_, chunk, span)) continue;
+      if (ChunkPruned(*setup_, chunk, span)) {
+        if constexpr (obs::kProfilingCompiledIn) {
+          if (prof_ != nullptr) ++prof_->chunks_pruned;
+        }
+        continue;
+      }
+      if constexpr (obs::kProfilingCompiledIn) {
+        if (prof_ != nullptr) ++prof_->chunks_scanned;
+      }
 
       // Zero-copy chunk views.
       out_ = Batch();
@@ -249,6 +265,7 @@ class ScanIterator : public BatchIterator {
   size_t chunk_pos_ = 0;             // cursor into chunks_
   size_t index_pos_ = 0;
   size_t chunk_ = 0;
+  obs::OperatorProfile* prof_ = nullptr;
   Batch out_;
 };
 
@@ -750,6 +767,52 @@ util::StatusOr<IterPtr> MakeIter(Args&&... args) {
   return IterPtr(std::move(it));
 }
 
+// ------------------------------------------------------------- profiling
+
+/// Pass-through decorator that times Next() and counts emitted
+/// batches/rows into an OperatorProfile. Wall time includes the
+/// children's Next() calls (the profile renderer subtracts them via
+/// SelfNs); the batch itself is forwarded untouched, so profiled and
+/// unprofiled executions produce identical results.
+class ProfiledIterator : public BatchIterator {
+ public:
+  ProfiledIterator(IterPtr inner, obs::OperatorProfile* prof)
+      : inner_(std::move(inner)), prof_(prof) {}
+
+  const Schema& schema() const override { return inner_->schema(); }
+
+  util::StatusOr<const Batch*> Next() override {
+    const int64_t t0 = obs::RuntimeNowNs();
+    util::StatusOr<const Batch*> result = inner_->Next();
+    prof_->wall_ns += static_cast<uint64_t>(obs::RuntimeNowNs() - t0);
+    if (result.ok() && *result != nullptr) {
+      ++prof_->batches;
+      prof_->rows_out += (*result)->ActiveRows();
+    }
+    return result;
+  }
+
+ private:
+  IterPtr inner_;
+  obs::OperatorProfile* prof_;
+};
+
+/// Labels `prof` for `plan` and — when profiling is compiled in — wraps
+/// the iterator in a ProfiledIterator. With FF_PROFILING=OFF the label
+/// is still set (EXPLAIN ANALYZE renders the bare tree) but the stream
+/// is returned untouched: zero overhead beyond plan construction.
+util::StatusOr<IterPtr> WrapProfiled(util::StatusOr<IterPtr> it,
+                                     const PlanNode& plan,
+                                     obs::OperatorProfile* prof) {
+  if (!it.ok() || prof == nullptr) return it;
+  prof->name = NodeLabel(plan);
+  if (plan.kind() == PlanKind::kScan) prof->is_scan = true;
+  if constexpr (obs::kProfilingCompiledIn) {
+    return IterPtr(std::make_unique<ProfiledIterator>(std::move(*it), prof));
+  }
+  return it;
+}
+
 }  // namespace
 
 util::StatusOr<ScanSetup> PrepareScan(const ScanNode& node,
@@ -806,21 +869,30 @@ std::vector<size_t> SurveyScanChunks(const ScanSetup& setup) {
 
 util::StatusOr<IterPtr> BuildChainIterator(const PlanNode& plan,
                                            const ScanSetup* setup,
-                                           std::vector<size_t> chunks) {
+                                           std::vector<size_t> chunks,
+                                           obs::OperatorProfile* prof) {
   switch (plan.kind()) {
     case PlanKind::kScan:
-      return MakeIter<ScanIterator>(setup, std::move(chunks));
+      return WrapProfiled(MakeIter<ScanIterator>(setup, std::move(chunks),
+                                                 prof),
+                          plan, prof);
     case PlanKind::kFilter: {
       const auto& n = static_cast<const FilterNode&>(plan);
+      obs::OperatorProfile* cp = prof == nullptr ? nullptr : prof->AddChild();
       FF_ASSIGN_OR_RETURN(
-          IterPtr in, BuildChainIterator(*n.input, setup, std::move(chunks)));
-      return MakeIter<FilterIterator>(n, std::move(in));
+          IterPtr in,
+          BuildChainIterator(*n.input, setup, std::move(chunks), cp));
+      return WrapProfiled(MakeIter<FilterIterator>(n, std::move(in)), plan,
+                          prof);
     }
     case PlanKind::kProject: {
       const auto& n = static_cast<const ProjectNode&>(plan);
+      obs::OperatorProfile* cp = prof == nullptr ? nullptr : prof->AddChild();
       FF_ASSIGN_OR_RETURN(
-          IterPtr in, BuildChainIterator(*n.input, setup, std::move(chunks)));
-      return MakeIter<ProjectIterator>(n, std::move(in));
+          IterPtr in,
+          BuildChainIterator(*n.input, setup, std::move(chunks), cp));
+      return WrapProfiled(MakeIter<ProjectIterator>(n, std::move(in)), plan,
+                          prof);
     }
     default:
       return util::Status::Internal("BuildChainIterator: not a scan chain: " +
@@ -828,50 +900,70 @@ util::StatusOr<IterPtr> BuildChainIterator(const PlanNode& plan,
   }
 }
 
-util::StatusOr<IterPtr> BuildIterator(const PlanNode& plan,
-                                      const Database& db) {
+util::StatusOr<IterPtr> BuildIterator(const PlanNode& plan, const Database& db,
+                                      obs::OperatorProfile* prof) {
+  // One profile child per plan input, created lazily per case (leaves
+  // get none).
+  auto child = [prof]() {
+    return prof == nullptr ? nullptr : prof->AddChild();
+  };
   switch (plan.kind()) {
     case PlanKind::kScan:
-      return MakeIter<ScanIterator>(static_cast<const ScanNode&>(plan), db);
+      return WrapProfiled(
+          MakeIter<ScanIterator>(static_cast<const ScanNode&>(plan), db, prof),
+          plan, prof);
     case PlanKind::kFilter: {
       const auto& n = static_cast<const FilterNode&>(plan);
-      FF_ASSIGN_OR_RETURN(IterPtr in, BuildIterator(*n.input, db));
-      return MakeIter<FilterIterator>(n, std::move(in));
+      FF_ASSIGN_OR_RETURN(IterPtr in, BuildIterator(*n.input, db, child()));
+      return WrapProfiled(MakeIter<FilterIterator>(n, std::move(in)), plan,
+                          prof);
     }
     case PlanKind::kProject: {
       const auto& n = static_cast<const ProjectNode&>(plan);
-      FF_ASSIGN_OR_RETURN(IterPtr in, BuildIterator(*n.input, db));
-      return MakeIter<ProjectIterator>(n, std::move(in));
+      FF_ASSIGN_OR_RETURN(IterPtr in, BuildIterator(*n.input, db, child()));
+      return WrapProfiled(MakeIter<ProjectIterator>(n, std::move(in)), plan,
+                          prof);
     }
     case PlanKind::kAggregate: {
       const auto& n = static_cast<const AggregateNode&>(plan);
-      FF_ASSIGN_OR_RETURN(IterPtr in, BuildIterator(*n.input, db));
-      return MakeIter<AggregateIterator>(n, std::move(in));
+      FF_ASSIGN_OR_RETURN(IterPtr in, BuildIterator(*n.input, db, child()));
+      return WrapProfiled(MakeIter<AggregateIterator>(n, std::move(in)), plan,
+                          prof);
     }
     case PlanKind::kSort: {
       const auto& n = static_cast<const SortNode&>(plan);
-      FF_ASSIGN_OR_RETURN(IterPtr in, BuildIterator(*n.input, db));
-      return MakeIter<SortIterator>(n, std::move(in));
+      FF_ASSIGN_OR_RETURN(IterPtr in, BuildIterator(*n.input, db, child()));
+      return WrapProfiled(MakeIter<SortIterator>(n, std::move(in)), plan,
+                          prof);
     }
     case PlanKind::kLimit: {
       const auto& n = static_cast<const LimitNode&>(plan);
-      FF_ASSIGN_OR_RETURN(IterPtr in, BuildIterator(*n.input, db));
-      return MakeIter<LimitIterator>(n, std::move(in));
+      FF_ASSIGN_OR_RETURN(IterPtr in, BuildIterator(*n.input, db, child()));
+      return WrapProfiled(MakeIter<LimitIterator>(n, std::move(in)), plan,
+                          prof);
     }
     case PlanKind::kDistinct: {
       const auto& n = static_cast<const DistinctNode&>(plan);
-      FF_ASSIGN_OR_RETURN(IterPtr in, BuildIterator(*n.input, db));
-      return MakeIter<DistinctIterator>(std::move(in));
+      FF_ASSIGN_OR_RETURN(IterPtr in, BuildIterator(*n.input, db, child()));
+      return WrapProfiled(MakeIter<DistinctIterator>(std::move(in)), plan,
+                          prof);
     }
     case PlanKind::kHashJoin: {
       const auto& n = static_cast<const HashJoinNode&>(plan);
-      FF_ASSIGN_OR_RETURN(IterPtr l, BuildIterator(*n.left, db));
-      FF_ASSIGN_OR_RETURN(IterPtr r, BuildIterator(*n.right, db));
-      return MakeIter<HashJoinIterator>(n, std::move(l), std::move(r));
+      // Two children: [0] = left (probe), [1] = right (build), matching
+      // the parallel rewriter's traversal order.
+      obs::OperatorProfile* cl = child();
+      obs::OperatorProfile* cr = child();
+      FF_ASSIGN_OR_RETURN(IterPtr l, BuildIterator(*n.left, db, cl));
+      FF_ASSIGN_OR_RETURN(IterPtr r, BuildIterator(*n.right, db, cr));
+      return WrapProfiled(
+          MakeIter<HashJoinIterator>(n, std::move(l), std::move(r)), plan,
+          prof);
     }
     case PlanKind::kMaterialized:
-      return MakeIter<MaterializedIterator>(
-          static_cast<const MaterializedNode&>(plan));
+      return WrapProfiled(MakeIter<MaterializedIterator>(
+                              static_cast<const MaterializedNode&>(plan)),
+                          plan, prof);
   }
   return util::Status::Internal("unhandled plan kind");
 }
@@ -889,6 +981,128 @@ util::StatusOr<ResultSet> ExecuteColumnar(const PlanNode& plan,
     }
   }
   return rs;
+}
+
+util::StatusOr<ResultSet> ExecuteColumnarProfiled(const PlanNode& plan,
+                                                  const Database& db,
+                                                  obs::QueryProfile* profile) {
+  profile->root = std::make_unique<obs::OperatorProfile>();
+  int64_t t0 = 0;
+  if constexpr (obs::kProfilingCompiledIn) t0 = obs::RuntimeNowNs();
+  FF_ASSIGN_OR_RETURN(IterPtr it,
+                      BuildIterator(plan, db, profile->root.get()));
+  ResultSet rs{it->schema(), {}};
+  size_t width = rs.schema.num_columns();
+  for (;;) {
+    FF_ASSIGN_OR_RETURN(const Batch* batch, it->Next());
+    if (batch == nullptr) break;
+    for (size_t k = 0; k < batch->ActiveRows(); ++k) {
+      rs.rows.push_back(batch->MaterializeRow(batch->RowAt(k), width));
+    }
+  }
+  if constexpr (obs::kProfilingCompiledIn) {
+    profile->total_ns = static_cast<uint64_t>(obs::RuntimeNowNs() - t0);
+  }
+  return rs;
+}
+
+std::string NodeLabel(const PlanNode& plan) {
+  switch (plan.kind()) {
+    case PlanKind::kScan:
+    case PlanKind::kMaterialized:
+      return plan.ToString();  // leaves: ToString has no nested input
+    case PlanKind::kFilter:
+      return "Filter(" +
+             static_cast<const FilterNode&>(plan).predicate->ToString() + ")";
+    case PlanKind::kProject: {
+      const auto& n = static_cast<const ProjectNode&>(plan);
+      std::vector<std::string> parts;
+      for (const auto& item : n.items) {
+        parts.push_back(item.expr->ToString() +
+                        (item.alias.empty() ? "" : " AS " + item.alias));
+      }
+      return "Project([" + util::Join(parts, ", ") + "])";
+    }
+    case PlanKind::kAggregate: {
+      const auto& n = static_cast<const AggregateNode&>(plan);
+      std::vector<std::string> parts;
+      for (const auto& a : n.aggs) {
+        parts.push_back(std::string(AggFuncName(a.func)) +
+                        (a.arg ? "(" + a.arg->ToString() + ")" : ""));
+      }
+      return "Aggregate(by=[" + util::Join(n.group_by, ", ") + "], aggs=[" +
+             util::Join(parts, ", ") + "])";
+    }
+    case PlanKind::kSort: {
+      const auto& n = static_cast<const SortNode&>(plan);
+      std::vector<std::string> parts;
+      for (const auto& k : n.keys) {
+        parts.push_back(k.column + (k.ascending ? " ASC" : " DESC"));
+      }
+      std::string out = "Sort([" + util::Join(parts, ", ") + "]";
+      if (n.limit_hint > 0) out += util::StrFormat(", top=%zu", n.limit_hint);
+      return out + ")";
+    }
+    case PlanKind::kLimit: {
+      const auto& n = static_cast<const LimitNode&>(plan);
+      return util::StrFormat("Limit(%zu, offset=%zu)", n.limit, n.offset);
+    }
+    case PlanKind::kDistinct:
+      return "Distinct";
+    case PlanKind::kHashJoin: {
+      const auto& n = static_cast<const HashJoinNode&>(plan);
+      return "HashJoin(" + n.left_col + " = " + n.right_col + ")";
+    }
+  }
+  return "<unknown>";
+}
+
+namespace {
+
+void ExplainWalk(const PlanNode& plan, int depth,
+                 std::vector<std::string>* out) {
+  out->push_back(std::string(static_cast<size_t>(depth) * 2, ' ') +
+                 NodeLabel(plan));
+  switch (plan.kind()) {
+    case PlanKind::kFilter:
+      ExplainWalk(*static_cast<const FilterNode&>(plan).input, depth + 1, out);
+      break;
+    case PlanKind::kProject:
+      ExplainWalk(*static_cast<const ProjectNode&>(plan).input, depth + 1,
+                  out);
+      break;
+    case PlanKind::kAggregate:
+      ExplainWalk(*static_cast<const AggregateNode&>(plan).input, depth + 1,
+                  out);
+      break;
+    case PlanKind::kSort:
+      ExplainWalk(*static_cast<const SortNode&>(plan).input, depth + 1, out);
+      break;
+    case PlanKind::kLimit:
+      ExplainWalk(*static_cast<const LimitNode&>(plan).input, depth + 1, out);
+      break;
+    case PlanKind::kDistinct:
+      ExplainWalk(*static_cast<const DistinctNode&>(plan).input, depth + 1,
+                  out);
+      break;
+    case PlanKind::kHashJoin: {
+      const auto& n = static_cast<const HashJoinNode&>(plan);
+      ExplainWalk(*n.left, depth + 1, out);
+      ExplainWalk(*n.right, depth + 1, out);
+      break;
+    }
+    case PlanKind::kScan:
+    case PlanKind::kMaterialized:
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> ExplainPlanLines(const PlanNode& plan) {
+  std::vector<std::string> lines;
+  ExplainWalk(plan, 0, &lines);
+  return lines;
 }
 
 util::StatusOr<ResultSet> ExecutePlan(const PlanPtr& plan,

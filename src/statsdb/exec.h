@@ -11,9 +11,11 @@
 #define FF_STATSDB_EXEC_H_
 
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/runtime_stats.h"
 #include "statsdb/batch.h"
 #include "statsdb/query.h"
 
@@ -35,9 +37,13 @@ class BatchIterator {
 };
 
 /// Builds the iterator tree for `plan`. The plan must outlive the
-/// iterator.
+/// iterator. When `prof` is non-null a matching obs::OperatorProfile
+/// tree is grown under it (one child per plan input, labels always set)
+/// and — with FF_PROFILING compiled in — every iterator is wrapped to
+/// time Next() and count batches/rows; `prof` must outlive the iterator.
 util::StatusOr<std::unique_ptr<BatchIterator>> BuildIterator(
-    const PlanNode& plan, const Database& db);
+    const PlanNode& plan, const Database& db,
+    obs::OperatorProfile* prof = nullptr);
 
 /// Coordinator-side scan preparation, shared across morsels by the
 /// parallel executor (parallel_exec.h). Building one performs all the
@@ -68,13 +74,30 @@ std::vector<size_t> SurveyScanChunks(const ScanSetup& setup);
 /// scan over `chunks` (an ascending subsequence of SurveyScanChunks)
 /// reusing the shared `setup`. Both must outlive the iterator.
 util::StatusOr<std::unique_ptr<BatchIterator>> BuildChainIterator(
-    const PlanNode& plan, const ScanSetup* setup,
-    std::vector<size_t> chunks);
+    const PlanNode& plan, const ScanSetup* setup, std::vector<size_t> chunks,
+    obs::OperatorProfile* prof = nullptr);
 
 /// Runs `plan` through the vectorized engine as-is (no planner pass) and
 /// materializes the result.
 util::StatusOr<ResultSet> ExecuteColumnar(const PlanNode& plan,
                                           const Database& db);
+
+/// ExecuteColumnar with per-operator profiling: fills profile->root (and
+/// profile->total_ns) while producing the exact same rows — the profiled
+/// iterators are pass-through observers. Serial engine only; the
+/// parallel counterpart is ExecutePlanProfiled (parallel_exec.h).
+util::StatusOr<ResultSet> ExecuteColumnarProfiled(const PlanNode& plan,
+                                                  const Database& db,
+                                                  obs::QueryProfile* profile);
+
+/// Node-local operator label for EXPLAIN output and operator profiles:
+/// the node's own parameters without its inputs (a Scan leaf keeps its
+/// full self-contained ToString with pred=/prune=/index= annotations).
+std::string NodeLabel(const PlanNode& plan);
+
+/// Bare EXPLAIN: the optimized plan tree, one line per operator with
+/// two-space indentation per depth. Does not execute anything.
+std::vector<std::string> ExplainPlanLines(const PlanNode& plan);
 
 /// Production entry point: optimizes `plan` (predicate pushdown, index
 /// selection, top-k) and executes it through the vectorized engine.

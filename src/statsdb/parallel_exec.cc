@@ -10,10 +10,12 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/runtime_stats.h"
 #include "parallel/thread_pool.h"
 #include "statsdb/database.h"
 #include "statsdb/exec.h"
 #include "statsdb/plan.h"
+#include "statsdb/planner.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -59,6 +61,12 @@ struct RewriteCtx {
   const Database& db;
   const ParallelConfig& cfg;
   parallel::ThreadPool* pool;
+  /// Non-null when the query runs profiled (ExecutePlanProfiled): each
+  /// parallel unit deposits its "Parallel[<op>]" profile here, keyed by
+  /// the MaterializedNode that replaced the pipeline, for the post-
+  /// execution splice into the query's operator tree.
+  std::unordered_map<const PlanNode*, std::unique_ptr<obs::OperatorProfile>>*
+      unit_profiles = nullptr;
 };
 
 struct MorselPlan {
@@ -82,6 +90,76 @@ util::StatusOr<bool> PlanMorsels(const PlanNode& chain, RewriteCtx& ctx,
   return out->morsels.size() > 1;
 }
 
+/// Per-unit profiling scaffolding, inert (all null/no-op) when the query
+/// is not profiled. Owns the "Parallel[<op>]" operator node plus one
+/// chain profile per morsel for BuildChainIterator to fill; Attach()
+/// folds the morsel profiles into a single chain child (morsel order),
+/// attributes the survey's pruning delta to the chain's scan leaf — the
+/// chunk-restricted morsel scans never see the chunks the coordinator's
+/// survey already dropped — and registers the unit under the
+/// materialized node that replaced the pipeline.
+class UnitProfile {
+ public:
+  UnitProfile(RewriteCtx& ctx, const char* op, const MorselPlan& mp)
+      : ctx_(ctx) {
+    if (ctx.unit_profiles == nullptr) return;
+    unit_ = std::make_unique<obs::OperatorProfile>();
+    unit_->name = util::StrFormat("Parallel[%s]", op);
+    unit_->parallel = true;
+    morsel_profs_.resize(mp.morsels.size());
+    size_t surviving = 0;
+    for (const auto& m : mp.morsels) surviving += m.size();
+    pruned_ = mp.setup.store->num_chunks() - surviving;
+    if constexpr (obs::kProfilingCompiledIn) t0_ = obs::RuntimeNowNs();
+  }
+
+  /// Chain profile for morsel `i`; null when not profiling.
+  obs::OperatorProfile* morsel(size_t i) {
+    return unit_ == nullptr ? nullptr : &morsel_profs_[i];
+  }
+  /// The unit node itself (for RunMorsels); null when not profiling.
+  obs::OperatorProfile* unit() { return unit_.get(); }
+
+  /// Brackets the deterministic merge cascade (accumulates merge_ns).
+  void BeginMerge() {
+    if constexpr (obs::kProfilingCompiledIn) {
+      if (unit_ != nullptr) merge_t0_ = obs::RuntimeNowNs();
+    }
+  }
+  void EndMerge() {
+    if constexpr (obs::kProfilingCompiledIn) {
+      if (unit_ != nullptr) {
+        unit_->merge_ns +=
+            static_cast<uint64_t>(obs::RuntimeNowNs() - merge_t0_);
+      }
+    }
+  }
+
+  void Attach(const PlanPtr& materialized, size_t rows_out) {
+    if (unit_ == nullptr) return;
+    obs::OperatorProfile* chain = unit_->AddChild();
+    for (const obs::OperatorProfile& mp : morsel_profs_) {
+      chain->MergeFrom(mp);
+    }
+    obs::OperatorProfile* leaf = chain;
+    while (!leaf->children.empty()) leaf = leaf->children[0].get();
+    if (leaf->is_scan) leaf->chunks_pruned += pruned_;
+    unit_->rows_out = rows_out;
+    if constexpr (obs::kProfilingCompiledIn) {
+      unit_->wall_ns = static_cast<uint64_t>(obs::RuntimeNowNs() - t0_);
+    }
+    (*ctx_.unit_profiles)[materialized.get()] = std::move(unit_);
+  }
+
+ private:
+  RewriteCtx& ctx_;
+  std::unique_ptr<obs::OperatorProfile> unit_;
+  std::vector<obs::OperatorProfile> morsel_profs_;
+  uint64_t pruned_ = 0;
+  int64_t t0_ = 0;
+  int64_t merge_t0_ = 0;
+};
+
 /// Runs fn(morsel, stat) for every morsel on the pool and returns the
 /// error of the lowest-indexed failing morsel — which is exactly the
 /// error the serial engine would hit first: chunk-level errors are
@@ -89,7 +167,8 @@ util::StatusOr<bool> PlanMorsels(const PlanNode& chain, RewriteCtx& ctx,
 /// lives in the lowest failing morsel, whose own first failure it is.
 util::Status RunMorsels(
     RewriteCtx& ctx, const MorselPlan& mp, const char* op,
-    const std::function<util::Status(size_t, MorselStat*)>& fn) {
+    const std::function<util::Status(size_t, MorselStat*)>& fn,
+    obs::OperatorProfile* up = nullptr) {
   size_t m = mp.morsels.size();
   std::vector<util::Status> errs(m, util::Status::OK());
   std::vector<MorselStat> stats(m);
@@ -107,6 +186,13 @@ util::Status RunMorsels(
   });
   for (size_t i = 0; i < m; ++i) {
     if (!errs[i].ok()) return errs[i];
+  }
+  if (up != nullptr) {
+    up->morsels = m;
+    for (const MorselStat& st : stats) {
+      up->max_morsel_ns = std::max(
+          up->max_morsel_ns, static_cast<uint64_t>(st.wall_ms * 1e6));
+    }
   }
   if (ctx.cfg.morsel_hook) ctx.cfg.morsel_hook(op, stats);
   return util::Status::OK();
@@ -140,19 +226,24 @@ util::StatusOr<PlanPtr> CollectChain(const PlanPtr& chain, RewriteCtx& ctx) {
   MorselPlan mp;
   FF_ASSIGN_OR_RETURN(bool eligible, PlanMorsels(*chain, ctx, &mp));
   if (!eligible) return PlanPtr(nullptr);
+  UnitProfile prof(ctx, "collect", mp);
   FF_ASSIGN_OR_RETURN(Schema schema, InferSchema(*chain, ctx.db));
   size_t width = schema.num_columns();
 
   std::vector<std::vector<Row>> slots(mp.morsels.size());
   FF_RETURN_IF_ERROR(RunMorsels(
-      ctx, mp, "collect", [&](size_t i, MorselStat* st) -> util::Status {
+      ctx, mp, "collect",
+      [&](size_t i, MorselStat* st) -> util::Status {
         FF_ASSIGN_OR_RETURN(
-            IterPtr it, BuildChainIterator(*chain, &mp.setup, mp.morsels[i]));
+            IterPtr it, BuildChainIterator(*chain, &mp.setup, mp.morsels[i],
+                                           prof.morsel(i)));
         FF_RETURN_IF_ERROR(DrainToRows(*it, width, &slots[i]));
         st->rows = slots[i].size();
         return util::Status::OK();
-      }));
+      },
+      prof.unit()));
 
+  prof.BeginMerge();
   size_t total = 0;
   for (const auto& s : slots) total += s.size();
   std::vector<Row> rows;
@@ -160,7 +251,10 @@ util::StatusOr<PlanPtr> CollectChain(const PlanPtr& chain, RewriteCtx& ctx) {
   for (auto& s : slots) {
     for (auto& r : s) rows.push_back(std::move(r));
   }
-  return Materialize(std::move(schema), std::move(rows));
+  prof.EndMerge();
+  PlanPtr out = Materialize(std::move(schema), std::move(rows));
+  prof.Attach(out, total);
+  return out;
 }
 
 /// Aggregate over a chain: each morsel accumulates per-group partial
@@ -172,6 +266,7 @@ util::StatusOr<PlanPtr> AggregateChain(const AggregateNode& agg,
   MorselPlan mp;
   FF_ASSIGN_OR_RETURN(bool eligible, PlanMorsels(*agg.input, ctx, &mp));
   if (!eligible) return PlanPtr(nullptr);
+  UnitProfile prof(ctx, "aggregate", mp);
   FF_ASSIGN_OR_RETURN(Schema in_schema, InferSchema(*agg.input, ctx.db));
   std::vector<size_t> key_cols;
   FF_ASSIGN_OR_RETURN(
@@ -193,10 +288,11 @@ util::StatusOr<PlanPtr> AggregateChain(const AggregateNode& agg,
   size_t num_aggs = agg.aggs.size();
 
   FF_RETURN_IF_ERROR(RunMorsels(
-      ctx, mp, "aggregate", [&](size_t mi, MorselStat* st) -> util::Status {
+      ctx, mp, "aggregate",
+      [&](size_t mi, MorselStat* st) -> util::Status {
         FF_ASSIGN_OR_RETURN(
-            IterPtr it,
-            BuildChainIterator(*agg.input, &mp.setup, mp.morsels[mi]));
+            IterPtr it, BuildChainIterator(*agg.input, &mp.setup,
+                                           mp.morsels[mi], prof.morsel(mi)));
         MorselOut& out = slots[mi];
         Row key;
         for (;;) {
@@ -249,8 +345,10 @@ util::StatusOr<PlanPtr> AggregateChain(const AggregateNode& agg,
           }
         }
         return util::Status::OK();
-      }));
+      },
+      prof.unit()));
 
+  prof.BeginMerge();
   // Merge cascade: groups in first-seen morsel order, streams replayed
   // through the serial accumulator (plan.h's typed adds are documented
   // to match Add(Value) observably, so replay via Add is exact).
@@ -282,7 +380,11 @@ util::StatusOr<PlanPtr> AggregateChain(const AggregateNode& agg,
   for (const auto& g : groups) {
     rows.push_back(FinalizeAggRow(g.key, g.states, agg.aggs, out_schema));
   }
-  return Materialize(std::move(out_schema), std::move(rows));
+  prof.EndMerge();
+  size_t total = rows.size();
+  PlanPtr out = Materialize(std::move(out_schema), std::move(rows));
+  prof.Attach(out, total);
+  return out;
 }
 
 /// Distinct over a chain: per-morsel first-occurrence sets, merged in
@@ -292,15 +394,17 @@ util::StatusOr<PlanPtr> DistinctChain(const DistinctNode& distinct,
   MorselPlan mp;
   FF_ASSIGN_OR_RETURN(bool eligible, PlanMorsels(*distinct.input, ctx, &mp));
   if (!eligible) return PlanPtr(nullptr);
+  UnitProfile prof(ctx, "distinct", mp);
   FF_ASSIGN_OR_RETURN(Schema schema, InferSchema(*distinct.input, ctx.db));
   size_t width = schema.num_columns();
 
   std::vector<std::vector<Row>> slots(mp.morsels.size());
   FF_RETURN_IF_ERROR(RunMorsels(
-      ctx, mp, "distinct", [&](size_t i, MorselStat* st) -> util::Status {
+      ctx, mp, "distinct",
+      [&](size_t i, MorselStat* st) -> util::Status {
         FF_ASSIGN_OR_RETURN(
-            IterPtr it,
-            BuildChainIterator(*distinct.input, &mp.setup, mp.morsels[i]));
+            IterPtr it, BuildChainIterator(*distinct.input, &mp.setup,
+                                           mp.morsels[i], prof.morsel(i)));
         std::unordered_set<Row, RowHash, RowEq> seen;
         for (;;) {
           FF_ASSIGN_OR_RETURN(const Batch* in, it->Next());
@@ -312,8 +416,10 @@ util::StatusOr<PlanPtr> DistinctChain(const DistinctNode& distinct,
           }
         }
         return util::Status::OK();
-      }));
+      },
+      prof.unit()));
 
+  prof.BeginMerge();
   std::unordered_set<Row, RowHash, RowEq> seen;
   std::vector<Row> rows;
   for (auto& s : slots) {
@@ -321,7 +427,11 @@ util::StatusOr<PlanPtr> DistinctChain(const DistinctNode& distinct,
       if (seen.insert(row).second) rows.push_back(std::move(row));
     }
   }
-  return Materialize(std::move(schema), std::move(rows));
+  prof.EndMerge();
+  size_t total = rows.size();
+  PlanPtr out = Materialize(std::move(schema), std::move(rows));
+  prof.Attach(out, total);
+  return out;
 }
 
 /// Top-k Sort over a chain: per-morsel k-heaps under (keys, seq) with
@@ -331,6 +441,7 @@ util::StatusOr<PlanPtr> TopKChain(const SortNode& sort, RewriteCtx& ctx) {
   MorselPlan mp;
   FF_ASSIGN_OR_RETURN(bool eligible, PlanMorsels(*sort.input, ctx, &mp));
   if (!eligible) return PlanPtr(nullptr);
+  UnitProfile prof(ctx, "topk", mp);
   FF_ASSIGN_OR_RETURN(Schema schema, InferSchema(*sort.input, ctx.db));
   size_t width = schema.num_columns();
   std::vector<size_t> cols;
@@ -355,10 +466,11 @@ util::StatusOr<PlanPtr> TopKChain(const SortNode& sort, RewriteCtx& ctx) {
 
   std::vector<std::vector<Entry>> slots(mp.morsels.size());
   FF_RETURN_IF_ERROR(RunMorsels(
-      ctx, mp, "topk", [&](size_t i, MorselStat* st) -> util::Status {
+      ctx, mp, "topk",
+      [&](size_t i, MorselStat* st) -> util::Status {
         FF_ASSIGN_OR_RETURN(
-            IterPtr it,
-            BuildChainIterator(*sort.input, &mp.setup, mp.morsels[i]));
+            IterPtr it, BuildChainIterator(*sort.input, &mp.setup,
+                                           mp.morsels[i], prof.morsel(i)));
         Heap heap(before);
         uint64_t local = 0;
         for (;;) {
@@ -377,10 +489,12 @@ util::StatusOr<PlanPtr> TopKChain(const SortNode& sort, RewriteCtx& ctx) {
           heap.pop();
         }
         return util::Status::OK();
-      }));
+      },
+      prof.unit()));
 
   // Every row of the global top-k is in its morsel's top-k, so merging
   // the per-morsel survivors loses nothing.
+  prof.BeginMerge();
   Heap heap(before);
   for (auto& s : slots) {
     for (auto& e : s) {
@@ -393,7 +507,11 @@ util::StatusOr<PlanPtr> TopKChain(const SortNode& sort, RewriteCtx& ctx) {
     rows[i] = std::move(const_cast<Entry&>(heap.top()).row);
     heap.pop();
   }
-  return Materialize(std::move(schema), std::move(rows));
+  prof.EndMerge();
+  size_t total = rows.size();
+  PlanPtr out = Materialize(std::move(schema), std::move(rows));
+  prof.Attach(out, total);
+  return out;
 }
 
 // -------------------------------------------------------------- rewrite
@@ -500,6 +618,120 @@ util::StatusOr<ResultSet> DrainIterator(BatchIterator& it) {
   return rs;
 }
 
+/// Plan inputs in the order BuildIterator creates profile children:
+/// [0] = input (joins: [0] = left, [1] = right).
+std::vector<const PlanNode*> PlanInputs(const PlanNode& n) {
+  switch (n.kind()) {
+    case PlanKind::kFilter:
+      return {static_cast<const FilterNode&>(n).input.get()};
+    case PlanKind::kProject:
+      return {static_cast<const ProjectNode&>(n).input.get()};
+    case PlanKind::kAggregate:
+      return {static_cast<const AggregateNode&>(n).input.get()};
+    case PlanKind::kDistinct:
+      return {static_cast<const DistinctNode&>(n).input.get()};
+    case PlanKind::kSort:
+      return {static_cast<const SortNode&>(n).input.get()};
+    case PlanKind::kLimit:
+      return {static_cast<const LimitNode&>(n).input.get()};
+    case PlanKind::kHashJoin: {
+      const auto& j = static_cast<const HashJoinNode&>(n);
+      return {j.left.get(), j.right.get()};
+    }
+    case PlanKind::kScan:
+    case PlanKind::kMaterialized:
+      return {};
+  }
+  return {};
+}
+
+/// Lockstep walk of the rewritten plan and its serial profile tree,
+/// grafting each parallel unit's "Parallel[<op>]" profile under the
+/// MaterializedNode profile that now stands where the pipeline was —
+/// so EXPLAIN ANALYZE shows both the cheap re-emission of the merged
+/// rows and the fan-out that produced them.
+void SpliceUnitProfiles(
+    const PlanNode& plan, obs::OperatorProfile* prof,
+    std::unordered_map<const PlanNode*, std::unique_ptr<obs::OperatorProfile>>*
+        units) {
+  if (prof == nullptr || units->empty()) return;
+  if (plan.kind() == PlanKind::kMaterialized) {
+    auto it = units->find(&plan);
+    if (it != units->end()) {
+      prof->children.push_back(std::move(it->second));
+      units->erase(it);
+    }
+    return;
+  }
+  std::vector<const PlanNode*> inputs = PlanInputs(plan);
+  for (size_t i = 0; i < inputs.size() && i < prof->children.size(); ++i) {
+    SpliceUnitProfiles(*inputs[i], prof->children[i].get(), units);
+  }
+}
+
+util::StatusOr<ResultSet> ExecuteParallelImpl(const PlanPtr& plan,
+                                              const Database& db,
+                                              const ParallelConfig& config,
+                                              obs::QueryProfile* profile) {
+  if (plan == nullptr) {
+    return util::Status::InvalidArgument("null plan");
+  }
+  size_t threads = config.max_threads == 0
+                       ? parallel::ThreadPool::DefaultThreads()
+                       : config.max_threads;
+  if (!config.enabled || threads <= 1) {
+    // Zero-overhead serial path; no pool is created.
+    if (profile != nullptr) return ExecuteColumnarProfiled(*plan, db, profile);
+    return ExecuteColumnar(*plan, db);
+  }
+
+  // Pre-validation: building the full serial iterator tree surfaces
+  // every Init-time error (unknown table/column, ill-typed predicate,
+  // index lookup failure) in the exact DFS order the serial engine
+  // reports them — before any morsel runs.
+  FF_ASSIGN_OR_RETURN(IterPtr prevalidated, BuildIterator(*plan, db));
+
+  std::unordered_map<const PlanNode*, std::unique_ptr<obs::OperatorProfile>>
+      units;
+  RewriteCtx ctx{db, config,
+                 config.pool != nullptr ? config.pool
+                                        : db.parallel_pool(threads),
+                 profile != nullptr ? &units : nullptr};
+  FF_ASSIGN_OR_RETURN(PlanPtr rewritten, Rewrite(plan, true, ctx));
+  if (profile != nullptr) {
+    profile->engine = units.empty() ? "serial" : "parallel";
+  }
+  if (rewritten == plan) {
+    if (profile != nullptr) {
+      // Nothing was eligible; re-run profiled (the second Init is the
+      // price of observation — results are identical by contract).
+      return ExecuteColumnarProfiled(*plan, db, profile);
+    }
+    // Drain the prevalidated tree directly rather than paying a second
+    // Init (notably a second index Lookup).
+    return DrainIterator(*prevalidated);
+  }
+  if (rewritten->kind() == PlanKind::kMaterialized) {
+    // The whole plan was executed in parallel; the merge result is
+    // solely owned here, so adopt it instead of copying row by row.
+    const auto& m = static_cast<const MaterializedNode&>(*rewritten);
+    if (profile != nullptr) {
+      auto it = units.find(rewritten.get());
+      if (it != units.end()) profile->root = std::move(it->second);
+    }
+    ResultSet rs{m.schema, {}};
+    rs.rows = std::move(const_cast<std::vector<Row>&>(*m.rows));
+    return rs;
+  }
+  if (profile != nullptr) {
+    FF_ASSIGN_OR_RETURN(ResultSet rs,
+                        ExecuteColumnarProfiled(*rewritten, db, profile));
+    SpliceUnitProfiles(*rewritten, profile->root.get(), &units);
+    return rs;
+  }
+  return ExecuteColumnar(*rewritten, db);
+}
+
 }  // namespace
 
 ParallelConfig ParallelConfig::FromEnv() {
@@ -531,46 +763,39 @@ ParallelConfig ParallelConfig::FromEnv() {
 util::StatusOr<ResultSet> ExecuteParallel(const PlanPtr& plan,
                                           const Database& db,
                                           const ParallelConfig& config) {
-  if (plan == nullptr) {
-    return util::Status::InvalidArgument("null plan");
-  }
-  size_t threads = config.max_threads == 0
-                       ? parallel::ThreadPool::DefaultThreads()
-                       : config.max_threads;
-  if (!config.enabled || threads <= 1) {
-    // Zero-overhead serial path; no pool is created.
-    return ExecuteColumnar(*plan, db);
-  }
-
-  // Pre-validation: building the full serial iterator tree surfaces
-  // every Init-time error (unknown table/column, ill-typed predicate,
-  // index lookup failure) in the exact DFS order the serial engine
-  // reports them — before any morsel runs.
-  FF_ASSIGN_OR_RETURN(IterPtr prevalidated, BuildIterator(*plan, db));
-
-  RewriteCtx ctx{db, config,
-                 config.pool != nullptr ? config.pool
-                                        : db.parallel_pool(threads)};
-  FF_ASSIGN_OR_RETURN(PlanPtr rewritten, Rewrite(plan, true, ctx));
-  if (rewritten == plan) {
-    // Nothing was eligible: drain the prevalidated tree directly rather
-    // than paying a second Init (notably a second index Lookup).
-    return DrainIterator(*prevalidated);
-  }
-  if (rewritten->kind() == PlanKind::kMaterialized) {
-    // The whole plan was executed in parallel; the merge result is
-    // solely owned here, so adopt it instead of copying row by row.
-    const auto& m = static_cast<const MaterializedNode&>(*rewritten);
-    ResultSet rs{m.schema, {}};
-    rs.rows = std::move(const_cast<std::vector<Row>&>(*m.rows));
-    return rs;
-  }
-  return ExecuteColumnar(*rewritten, db);
+  return ExecuteParallelImpl(plan, db, config, nullptr);
 }
 
 util::StatusOr<ResultSet> ExecuteParallel(const PlanPtr& plan,
                                           const Database& db) {
   return ExecuteParallel(plan, db, db.parallel_config());
+}
+
+util::StatusOr<ResultSet> ExecutePlanProfiled(const PlanPtr& plan,
+                                              const Database& db,
+                                              const ParallelConfig& config,
+                                              obs::QueryProfile* profile) {
+  if (profile == nullptr) {
+    return util::Status::InvalidArgument("null profile");
+  }
+  if (plan == nullptr) {
+    return util::Status::InvalidArgument("null plan");
+  }
+  PlanPtr optimized = OptimizePlan(plan, db);
+  const int64_t t0 = obs::kProfilingCompiledIn ? obs::RuntimeNowNs() : 0;
+  auto result = ExecuteParallelImpl(optimized, db, config, profile);
+  if (obs::kProfilingCompiledIn) {
+    // Whole-call wall time, covering parallel units executed during the
+    // rewrite as well as the final serial drain.
+    profile->total_ns = static_cast<uint64_t>(obs::RuntimeNowNs() - t0);
+  }
+  return result;
+}
+
+util::StatusOr<ResultSet> ExecutePlanProfiled(const PlanPtr& plan,
+                                              const Database& db,
+                                              obs::QueryProfile* profile) {
+  return ExecutePlanProfiled(plan, db, db.parallel_config(), profile);
 }
 
 }  // namespace statsdb

@@ -37,6 +37,9 @@
 #include "statsdb/query.h"
 
 namespace ff {
+namespace obs {
+struct QueryProfile;
+}  // namespace obs
 namespace parallel {
 class ThreadPool;
 }  // namespace parallel
@@ -100,6 +103,25 @@ util::StatusOr<ResultSet> ExecuteParallel(const PlanPtr& plan,
 /// As above with the database's own config (Database::parallel_config).
 util::StatusOr<ResultSet> ExecuteParallel(const PlanPtr& plan,
                                           const Database& db);
+
+/// Production profiled entry point (EXPLAIN ANALYZE): optimizes `plan`
+/// like ExecutePlan, executes it — parallel when eligible, serial
+/// fallback otherwise — and fills `profile` with the wall-clock
+/// per-operator tree (obs/runtime_stats.h). Each parallelized pipeline
+/// appears as a "Parallel[<op>]" node under the MaterializedNode that
+/// replaced it, carrying morsel count, merge-cascade time, and the
+/// per-morsel chain profile merged in morsel order (chain wall times are
+/// CPU time summed across morsels). Results stay byte-identical to the
+/// unprofiled run; `profile->engine` reports which engine actually ran.
+util::StatusOr<ResultSet> ExecutePlanProfiled(const PlanPtr& plan,
+                                              const Database& db,
+                                              const ParallelConfig& config,
+                                              obs::QueryProfile* profile);
+
+/// As above with the database's own config.
+util::StatusOr<ResultSet> ExecutePlanProfiled(const PlanPtr& plan,
+                                              const Database& db,
+                                              obs::QueryProfile* profile);
 
 }  // namespace statsdb
 }  // namespace ff

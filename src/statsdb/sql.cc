@@ -4,8 +4,11 @@
 #include <optional>
 #include <vector>
 
+#include "obs/runtime_stats.h"
 #include "statsdb/database.h"
 #include "statsdb/exec.h"
+#include "statsdb/parallel_exec.h"
+#include "statsdb/planner.h"
 #include "util/strings.h"
 
 namespace ff {
@@ -839,6 +842,19 @@ util::StatusOr<PlanPtr> BuildSelectPlan(const SelectStmt& stmt) {
   return plan;
 }
 
+/// Renders plan/profile lines as a single-column result set so EXPLAIN
+/// output flows through every existing ResultSet consumer (CSV dumps,
+/// tests, the statsdb bridge) unchanged.
+ResultSet PlanLinesResult(const std::vector<std::string>& lines) {
+  ResultSet rs;
+  rs.schema = Schema({Column{"plan", DataType::kString}});
+  rs.rows.reserve(lines.size());
+  for (const std::string& line : lines) {
+    rs.rows.push_back(Row{Value::String(line)});
+  }
+  return rs;
+}
+
 }  // namespace
 
 util::StatusOr<ResultSet> ExecuteSql(Database* db,
@@ -848,10 +864,44 @@ util::StatusOr<ResultSet> ExecuteSql(Database* db,
   if (toks.empty() || toks[0].kind == TokKind::kEnd) {
     return util::Status::ParseError("empty statement");
   }
+  // EXPLAIN [ANALYZE] prefixes are stripped before the parser is built;
+  // the remaining tokens must form a plain SELECT.
+  bool explain = false;
+  bool analyze = false;
+  if (toks[0].kind == TokKind::kIdent &&
+      util::EqualsIgnoreCase(toks[0].text, "EXPLAIN")) {
+    explain = true;
+    size_t strip = 1;
+    if (toks.size() > 1 && toks[1].kind == TokKind::kIdent &&
+        util::EqualsIgnoreCase(toks[1].text, "ANALYZE")) {
+      analyze = true;
+      strip = 2;
+    }
+    toks.erase(toks.begin(), toks.begin() + strip);
+    if (toks.empty() || toks[0].kind == TokKind::kEnd) {
+      return util::Status::ParseError("EXPLAIN requires a SELECT statement");
+    }
+  }
   Parser parser(std::move(toks));
+  if (explain && !parser.PeekKeyword("SELECT")) {
+    return util::Status::ParseError("EXPLAIN supports only SELECT");
+  }
   if (parser.PeekKeyword("SELECT")) {
     FF_ASSIGN_OR_RETURN(SelectStmt stmt, parser.ParseSelect());
     FF_ASSIGN_OR_RETURN(PlanPtr plan, BuildSelectPlan(stmt));
+    if (explain && !analyze) {
+      // Bare EXPLAIN: optimized plan tree, nothing executes.
+      PlanPtr optimized = OptimizePlan(plan, *db);
+      return PlanLinesResult(ExplainPlanLines(*optimized));
+    }
+    if (explain) {
+      // EXPLAIN ANALYZE: run the statement (serial or parallel per the
+      // database's config — results are byte-identical to the plain run
+      // and are discarded) and render the annotated operator tree.
+      obs::QueryProfile profile;
+      FF_RETURN_IF_ERROR(ExecutePlanProfiled(plan, *db, &profile).status());
+      return PlanLinesResult(profile.RenderLines());
+    }
     return ExecutePlan(plan, *db);
   }
   if (parser.PeekKeyword("CREATE")) {
@@ -927,8 +977,8 @@ util::StatusOr<ResultSet> ExecuteSql(Database* db,
     return rs;
   }
   return util::Status::ParseError(
-      "statement must start with SELECT, INSERT, UPDATE, DELETE or "
-      "CREATE");
+      "statement must start with SELECT, INSERT, UPDATE, DELETE, CREATE "
+      "or EXPLAIN");
 }
 
 util::StatusOr<PlanPtr> PlanSql(const std::string& statement) {

@@ -1,0 +1,182 @@
+// Cold-path exporters for the runtime profiler: statsdb runtime_*
+// tables, the dual-process Chrome-trace lane, and the SetLogSink
+// summary route. Everything here is a pure function of an
+// already-collected profile, so the tests fabricate profiles directly
+// and assert on bytes/rows — no timing assumptions.
+
+#include "obs/profiler.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/chrome_trace.h"
+#include "obs/trace.h"
+#include "statsdb/database.h"
+#include "util/logging.h"
+
+namespace ff {
+namespace obs {
+namespace {
+
+PoolRuntimeProfile MakePoolProfile() {
+  PoolRuntimeProfile p;
+  p.num_threads = 2;
+  p.lifetime_ns = 10'000'000;  // 10ms
+  p.global_queue_peak = 3;
+  p.workers.resize(2);
+  p.workers[0].tasks_run = 4;
+  p.workers[0].run_ns = 6'000'000;
+  p.workers[0].idle_ns = 4'000'000;
+  p.workers[0].steals = 1;
+  p.workers[1].tasks_run = 2;
+  p.workers[1].run_ns = 2'000'000;
+  p.workers[1].idle_ns = 8'000'000;
+  p.workers[1].steal_fails = 5;
+  return p;
+}
+
+SweepRuntimeProfile MakeSweepProfile() {
+  SweepRuntimeProfile s;
+  s.wall_ms = 12.5;
+  s.replicas.resize(2);
+  s.replicas[0].replica = 0;
+  s.replicas[0].worker = 1;
+  s.replicas[0].queue_wait_ms = 0.5;
+  s.replicas[0].wall_ms = 3.0;
+  s.replicas[1].replica = 1;
+  s.replicas[1].worker = SIZE_MAX;  // ran inline
+  s.replicas[1].queue_wait_ms = 0.0;
+  s.replicas[1].wall_ms = 4.0;
+  s.pool = MakePoolProfile();
+  s.worker_occupancy = {0.6, 0.2};
+  return s;
+}
+
+TEST(ProfilerExportTest, LoadRuntimeWorkersRows) {
+  statsdb::Database db;
+  auto table = LoadRuntimeWorkers(MakePoolProfile(), &db);
+  ASSERT_TRUE(table.ok()) << table.status();
+  auto rs = db.Sql(
+      "SELECT worker, tasks, steals, steal_fails FROM runtime_workers "
+      "ORDER BY worker");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  ASSERT_EQ(rs->rows.size(), 2u);
+  EXPECT_EQ(rs->rows[0][1].int64_value(), 4);
+  EXPECT_EQ(rs->rows[0][2].int64_value(), 1);
+  EXPECT_EQ(rs->rows[1][3].int64_value(), 5);
+  // Aggregate the profile back out of SQL, as an embedder would.
+  auto sum = db.Sql("SELECT SUM(tasks) AS t, SUM(run_ms) AS r "
+                    "FROM runtime_workers");
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->rows[0][0].int64_value(), 6);
+  EXPECT_NEAR(sum->rows[0][1].double_value(), 8.0, 1e-9);
+}
+
+TEST(ProfilerExportTest, LoadRuntimeOperatorsPreservesTree) {
+  QueryProfile prof;
+  prof.engine = "parallel";
+  prof.root = std::make_unique<OperatorProfile>();
+  prof.root->name = "Limit(5)";
+  prof.root->rows_out = 5;
+  prof.root->wall_ns = 3'000'000;
+  OperatorProfile* scan = prof.root->AddChild();
+  scan->name = "Scan(runs)";
+  scan->is_scan = true;
+  scan->rows_out = 100;
+  scan->wall_ns = 2'000'000;
+  scan->chunks_scanned = 1;
+  scan->chunks_pruned = 5;
+
+  statsdb::Database db;
+  ASSERT_TRUE(LoadRuntimeOperators(prof, &db).ok());
+  auto rs = db.Sql(
+      "SELECT op_id, parent_id, depth, name, rows, chunks_pruned "
+      "FROM runtime_operators ORDER BY op_id");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  ASSERT_EQ(rs->rows.size(), 2u);
+  EXPECT_EQ(rs->rows[0][0].int64_value(), 1);
+  EXPECT_EQ(rs->rows[0][1].int64_value(), 0);  // root has no parent
+  EXPECT_EQ(rs->rows[0][3].string_value(), "Limit(5)");
+  EXPECT_EQ(rs->rows[1][1].int64_value(), 1);  // scan's parent is root
+  EXPECT_EQ(rs->rows[1][2].int64_value(), 1);
+  EXPECT_EQ(rs->rows[1][5].int64_value(), 5);
+}
+
+TEST(ProfilerExportTest, LoadRuntimeReplicasMapsInlineToMinusOne) {
+  statsdb::Database db;
+  ASSERT_TRUE(LoadRuntimeReplicas(MakeSweepProfile(), &db).ok());
+  auto rs = db.Sql(
+      "SELECT replica, worker, wall_ms FROM runtime_replicas "
+      "ORDER BY replica");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  ASSERT_EQ(rs->rows.size(), 2u);
+  EXPECT_EQ(rs->rows[0][1].int64_value(), 1);
+  EXPECT_EQ(rs->rows[1][1].int64_value(), -1);
+  EXPECT_NEAR(rs->rows[1][2].double_value(), 4.0, 1e-9);
+}
+
+TEST(ProfilerExportTest, SweepRuntimeTraceRidesASecondProcess) {
+  // A virtual-time trace (the determinism-gated artifact)...
+  TraceRecorder sim;
+  SpanId s = sim.BeginSpan(0.0, SpanCategory::kRun, "till-day1", "f1");
+  sim.EndSpan(s, 40000.0);
+  const std::string single = ChromeTraceJson(sim);
+
+  // ...must not change byte-for-byte when a runtime lane is added.
+  TraceRecorder runtime;
+  FillSweepRuntimeTrace(MakeSweepProfile(), &runtime);
+  ChromeTraceOptions opt;
+  opt.runtime_trace = &runtime;
+  const std::string dual = ChromeTraceJson(sim, nullptr, opt);
+
+  EXPECT_NE(single, dual);
+  // The exporter appends the runtime process; everything before the
+  // closing "\n]\n}\n" must be byte-identical to the single-process doc.
+  ASSERT_GE(single.size(), 5u);
+  EXPECT_EQ(dual.rfind(single.substr(0, single.size() - 5), 0), 0u)
+      << "dual-process output must extend the single-process bytes";
+  EXPECT_NE(dual.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(dual.find("runtime (wall clock)"), std::string::npos);
+  EXPECT_EQ(single.find("\"pid\":2"), std::string::npos);
+  // Replica lanes: one per worker plus the inline lane.
+  EXPECT_NE(dual.find("\"w1\""), std::string::npos);
+  EXPECT_NE(dual.find("\"inline\""), std::string::npos);
+}
+
+TEST(ProfilerExportTest, SummariesRenderWithoutAPool) {
+  // Inline sweeps (no pool) must still summarize cleanly.
+  SweepRuntimeProfile s;
+  s.wall_ms = 1.0;
+  s.replicas.resize(1);
+  s.replicas[0].wall_ms = 1.0;
+  std::string text = SweepRuntimeSummary(s);
+  EXPECT_NE(text.find("replicas=1"), std::string::npos) << text;
+  EXPECT_EQ(text.find("pool:"), std::string::npos) << text;
+
+  std::string pool_text = PoolRuntimeSummary(MakePoolProfile());
+  EXPECT_NE(pool_text.find("threads=2"), std::string::npos) << pool_text;
+  EXPECT_NE(pool_text.find("steals=1"), std::string::npos) << pool_text;
+}
+
+TEST(ProfilerExportTest, LogRuntimeSummaryRoutesThroughSink) {
+  std::vector<std::string> captured;
+  util::LogLevel saved_level = util::GetMinLogLevel();
+  util::SetMinLogLevel(util::LogLevel::kInfo);
+  util::SetLogSink([&captured](util::LogLevel, const std::string& msg) {
+    captured.push_back(msg);
+  });
+  LogRuntimeSummary("mybench", "line one\nline two\n");
+  util::SetLogSink(nullptr);
+  util::SetMinLogLevel(saved_level);
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_NE(captured[0].find("mybench"), std::string::npos);
+  EXPECT_NE(captured[0].find("line one"), std::string::npos);
+  EXPECT_NE(captured[1].find("line two"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ff
