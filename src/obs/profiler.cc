@@ -171,6 +171,45 @@ util::StatusOr<Table*> LoadRuntimeReplicas(const SweepRuntimeProfile& profile,
   return table;
 }
 
+util::StatusOr<Table*> LoadRuntimeCache(const statsdb::QueryCacheStats& stats,
+                                        statsdb::Database* db,
+                                        const std::string& table_name) {
+  FF_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Create({Column{"tier", DataType::kString},
+                      Column{"hits", DataType::kInt64},
+                      Column{"misses", DataType::kInt64},
+                      Column{"bypasses", DataType::kInt64},
+                      Column{"invalidations", DataType::kInt64},
+                      Column{"evictions", DataType::kInt64},
+                      Column{"entries", DataType::kInt64},
+                      Column{"bytes", DataType::kInt64}}));
+  FF_ASSIGN_OR_RETURN(Table * table,
+                      FreshTable(db, table_name, std::move(schema)));
+  Table::BulkAppender app(table);
+  app.Reserve(2);
+  app.String("plan")
+      .Int64(static_cast<int64_t>(stats.plan_hits))
+      .Int64(static_cast<int64_t>(stats.plan_misses))
+      .Int64(static_cast<int64_t>(stats.plan_bypasses))
+      .Int64(static_cast<int64_t>(stats.plan_invalidations))
+      .Int64(static_cast<int64_t>(stats.plan_evictions))
+      .Int64(static_cast<int64_t>(stats.plan_entries))
+      .Int64(0);
+  FF_RETURN_IF_ERROR(app.EndRow());
+  app.String("result")
+      .Int64(static_cast<int64_t>(stats.result_hits))
+      .Int64(static_cast<int64_t>(stats.result_misses))
+      .Int64(static_cast<int64_t>(stats.result_bypasses))
+      .Int64(static_cast<int64_t>(stats.result_invalidations))
+      .Int64(static_cast<int64_t>(stats.result_evictions))
+      .Int64(static_cast<int64_t>(stats.result_entries))
+      .Int64(static_cast<int64_t>(stats.result_bytes));
+  FF_RETURN_IF_ERROR(app.EndRow());
+  FF_RETURN_IF_ERROR(app.Finish());
+  return table;
+}
+
 std::string PoolRuntimeSummary(const PoolRuntimeProfile& profile) {
   std::string out;
   char buf[256];

@@ -19,6 +19,7 @@
 
 #include "obs/runtime_stats.h"
 #include "obs/trace.h"
+#include "statsdb/cache.h"
 #include "statsdb/database.h"
 #include "util/status.h"
 
@@ -52,6 +53,16 @@ util::StatusOr<statsdb::Table*> LoadRuntimeOperators(
 util::StatusOr<statsdb::Table*> LoadRuntimeReplicas(
     const SweepRuntimeProfile& profile, statsdb::Database* db,
     const std::string& table_name = "runtime_replicas");
+
+/// runtime_cache(tier, hits, misses, bypasses, invalidations, evictions,
+///               entries, bytes) — one row per cache tier ("plan",
+/// "result"); bytes is 0 for the plan tier (plans are shared, not
+/// copied). Snapshot typically via db->cache().Stats(); self-observing
+/// loads (exporting a database's cache stats into that same database)
+/// are fine — the snapshot is taken before the target table is touched.
+util::StatusOr<statsdb::Table*> LoadRuntimeCache(
+    const statsdb::QueryCacheStats& stats, statsdb::Database* db,
+    const std::string& table_name = "runtime_cache");
 
 /// Multi-line human-readable pool summary: occupancy, per-worker
 /// run/idle/steal split, task-latency quantiles, queue peaks.

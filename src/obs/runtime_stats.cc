@@ -233,6 +233,7 @@ void RenderOperator(const OperatorProfile& op, int depth,
 std::vector<std::string> QueryProfile::RenderLines() const {
   std::vector<std::string> lines;
   std::string header = "engine=" + engine;
+  if (!cache.empty()) header += "  cache=" + cache;
   if (kProfilingCompiledIn) {
     header += "  total=" + FormatNsAsMs(total_ns);
   } else {

@@ -221,14 +221,20 @@ struct OperatorProfile {
 };
 
 struct QueryProfile {
-  std::string engine = "serial";  // "serial" or "parallel"
+  std::string engine = "serial";  // "serial", "parallel", or "cache"
   uint64_t total_ns = 0;          // whole ExecutePlanProfiled call
   std::unique_ptr<OperatorProfile> root;
+  /// Result-cache disposition: "hit" (served from statsdb's result
+  /// cache, nothing executed, root stays null), "miss" (consulted,
+  /// executed, stored), "bypass" (cache off or plan uncacheable), or
+  /// "" for profiled runs that never consulted the cache layer.
+  std::string cache;
 
   /// Annotated plan tree, one line per operator (two-space indent per
-  /// depth), preceded by an `engine=... total=...` header. With
-  /// profiling compiled out the tree renders without counters and the
-  /// header notes "(profiling compiled out)".
+  /// depth), preceded by an `engine=... total=...` header (plus
+  /// `cache=...` when the cache layer was consulted). With profiling
+  /// compiled out the tree renders without counters and the header
+  /// notes "(profiling compiled out)".
   std::vector<std::string> RenderLines() const;
   std::string Render() const;  // newline-joined RenderLines()
 };

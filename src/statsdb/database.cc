@@ -6,7 +6,9 @@
 namespace ff {
 namespace statsdb {
 
-Database::Database() : parallel_config_(ParallelConfig::FromEnv()) {}
+Database::Database()
+    : parallel_config_(ParallelConfig::FromEnv()),
+      cache_(std::make_unique<QueryCache>(CacheConfig::FromEnv())) {}
 
 Database::~Database() = default;
 
@@ -28,6 +30,7 @@ util::StatusOr<Table*> Database::CreateTable(const std::string& name,
   auto table = std::make_unique<Table>(name, std::move(schema));
   Table* ptr = table.get();
   tables_.emplace(name, std::move(table));
+  ++catalog_epoch_;
   return ptr;
 }
 
@@ -35,6 +38,7 @@ util::Status Database::DropTable(const std::string& name) {
   if (tables_.erase(name) == 0) {
     return util::Status::NotFound("table " + name);
   }
+  ++catalog_epoch_;
   return util::Status::OK();
 }
 
@@ -63,6 +67,11 @@ std::vector<std::string> Database::TableNames() const {
 
 util::StatusOr<ResultSet> Database::Sql(const std::string& statement) {
   return ExecuteSql(this, statement);
+}
+
+util::StatusOr<PreparedStatement> Database::Prepare(
+    const std::string& statement) {
+  return PrepareSql(this, statement);
 }
 
 }  // namespace statsdb

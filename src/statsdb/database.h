@@ -8,8 +8,10 @@
 #include <string>
 #include <vector>
 
+#include "statsdb/cache.h"
 #include "statsdb/parallel_exec.h"
 #include "statsdb/query.h"
+#include "statsdb/sql.h"
 #include "statsdb/table.h"
 
 namespace ff {
@@ -46,6 +48,11 @@ class Database {
   /// "rows_inserted" column).
   util::StatusOr<ResultSet> Sql(const std::string& statement);
 
+  /// Compiles a SELECT (the only statement kind worth preparing) with
+  /// `?` placeholders into a reusable statement: parse + plan happen
+  /// once, Execute(params) only binds and runs. See sql.h.
+  util::StatusOr<PreparedStatement> Prepare(const std::string& statement);
+
   /// Morsel-parallel execution knobs (seeded from FF_STATSDB_PARALLEL;
   /// see parallel_exec.h). Queries issued through ExecutePlan/Sql
   /// consult this config.
@@ -59,10 +66,27 @@ class Database {
   /// changes, and never created at all while queries stay serial.
   parallel::ThreadPool* parallel_pool(size_t threads) const;
 
+  /// Query cache (plan + result tiers, cache.h), seeded from
+  /// FF_STATSDB_CACHE. Mutable through const because execution paths
+  /// take a const Database&; the cache is internally synchronized.
+  QueryCache& cache() const { return *cache_; }
+  CacheConfig cache_config() const { return cache_->config(); }
+  /// Reconfigures the cache in place; entries persist across config
+  /// swaps (QueryCache::set_config), so toggling modes stays warm.
+  void set_cache_config(CacheConfig config) {
+    cache_->set_config(std::move(config));
+  }
+
+  /// Catalog epoch: bumped by CreateTable/DropTable. Plan-cache entries
+  /// pin it, so any catalog change invalidates every cached plan.
+  uint64_t catalog_epoch() const { return catalog_epoch_; }
+
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;
   ParallelConfig parallel_config_;
   mutable std::unique_ptr<parallel::ThreadPool> query_pool_;
+  std::unique_ptr<QueryCache> cache_;
+  uint64_t catalog_epoch_ = 0;
 };
 
 }  // namespace statsdb

@@ -1108,10 +1108,11 @@ std::vector<std::string> ExplainPlanLines(const PlanNode& plan) {
 util::StatusOr<ResultSet> ExecutePlan(const PlanPtr& plan,
                                       const Database& db) {
   PlanPtr optimized = OptimizePlan(plan, db);
-  // Dispatches to the morsel-parallel executor when the database's
+  // Consults the result cache when the database's cache config enables
+  // it, then dispatches to the morsel-parallel executor when the
   // parallel config (and the hardware) allow it; byte-identical results
-  // either way, with a zero-overhead serial path otherwise.
-  return ExecuteParallel(optimized, db);
+  // in every combination, with a zero-overhead serial path otherwise.
+  return ExecuteOptimized(optimized, db);
 }
 
 }  // namespace statsdb

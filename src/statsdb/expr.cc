@@ -282,6 +282,36 @@ class ColumnExpr : public Expr {
   std::string name_;
 };
 
+class ParamExpr : public Expr {
+ public:
+  ParamExpr(size_t index, std::shared_ptr<const ParamSlot> slot)
+      : index_(index), slot_(std::move(slot)) {}
+
+  util::StatusOr<Value> Eval(const Row&, const Schema&) const override {
+    if (!slot_->bound) {
+      return util::Status::InvalidArgument("parameter " + ToString() +
+                                           " is unbound");
+    }
+    return slot_->value;
+  }
+  util::StatusOr<DataType> ResultType(const Schema&) const override {
+    // Unbound parameters type as NULL; planning happens before binding
+    // and must not reject a statement whose types are fine once bound.
+    return slot_->bound ? slot_->value.type() : DataType::kNull;
+  }
+  std::string ToString() const override {
+    return "?" + std::to_string(index_ + 1);
+  }
+  Kind kind() const override { return Kind::kParam; }
+  const Value* literal() const override {
+    return slot_->bound ? &slot_->value : nullptr;
+  }
+
+ private:
+  size_t index_;
+  std::shared_ptr<const ParamSlot> slot_;
+};
+
 class UnaryExpr : public Expr {
  public:
   UnaryExpr(UnaryOp op, ExprPtr operand)
@@ -444,6 +474,9 @@ ExprPtr Col(std::string name) {
 ExprPtr Unary(UnaryOp op, ExprPtr operand) {
   return std::make_shared<UnaryExpr>(op, std::move(operand));
 }
+ExprPtr Param(size_t index, std::shared_ptr<const ParamSlot> slot) {
+  return std::make_shared<ParamExpr>(index, std::move(slot));
+}
 ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
   return std::make_shared<BinaryExpr>(op, std::move(lhs), std::move(rhs));
 }
@@ -542,7 +575,8 @@ ExprPtr RewriteColumns(
     const std::function<std::string(const std::string&)>& rename) {
   switch (e->kind()) {
     case Expr::Kind::kLiteral:
-      return e;
+    case Expr::Kind::kParam:
+      return e;  // params keep their shared slot through the rewrite
     case Expr::Kind::kColumn:
       return Col(rename(*e->column()));
     case Expr::Kind::kUnary:
@@ -570,11 +604,19 @@ std::optional<SimplePredicate> MatchSimplePredicate(const Expr& e) {
   }
   const Expr* a = e.child(0).get();
   const Expr* b = e.child(1).get();
-  if (a->kind() == Expr::Kind::kColumn &&
-      b->kind() == Expr::Kind::kLiteral) {
-    return SimplePredicate{*a->column(), op, *b->literal()};
+  // A bound parameter exposes its value through literal() and matches
+  // like a literal (so prepared statements keep zone-map pruning); an
+  // unbound one has no value yet and cannot match.
+  auto literal_of = [](const Expr* x) -> const Value* {
+    return x->kind() == Expr::Kind::kLiteral ||
+                   x->kind() == Expr::Kind::kParam
+               ? x->literal()
+               : nullptr;
+  };
+  if (a->kind() == Expr::Kind::kColumn && literal_of(b) != nullptr) {
+    return SimplePredicate{*a->column(), op, *literal_of(b)};
   }
-  if (a->kind() == Expr::Kind::kLiteral &&
+  if (literal_of(a) != nullptr &&
       b->kind() == Expr::Kind::kColumn) {
     BinaryOp mirrored = op;
     switch (op) {
@@ -1057,6 +1099,14 @@ util::StatusOr<ColumnVector> EvalBatch(const Expr& e, const Batch& batch,
   switch (e.kind()) {
     case Expr::Kind::kLiteral:
       return ColumnVector::Constant(*e.literal(), n);
+    case Expr::Kind::kParam: {
+      const Value* bound = e.literal();
+      if (bound == nullptr) {
+        return util::Status::InvalidArgument("parameter " + e.ToString() +
+                                             " is unbound");
+      }
+      return ColumnVector::Constant(*bound, n);
+    }
     case Expr::Kind::kColumn: {
       FF_ASSIGN_OR_RETURN(size_t i, schema.IndexOf(*e.column()));
       return ColumnVector::Gather(batch.cols[i], sel, n);

@@ -47,10 +47,18 @@ enum class UnaryOp {
 
 const char* BinaryOpName(BinaryOp op);
 
+/// Binding slot for one `?` placeholder of a prepared statement
+/// (sql.h). The PreparedStatement owns the slots and writes them on
+/// Execute(); every ParamExpr sharing the slot sees the bound value.
+struct ParamSlot {
+  Value value;
+  bool bound = false;
+};
+
 /// Immutable expression node.
 class Expr {
  public:
-  enum class Kind { kLiteral, kColumn, kUnary, kBinary };
+  enum class Kind { kLiteral, kColumn, kUnary, kBinary, kParam };
 
   virtual ~Expr() = default;
 
@@ -69,7 +77,8 @@ class Expr {
   /// Structural introspection, used by the planner (predicate pushdown)
   /// and the vectorized evaluator to dispatch without RTTI.
   virtual Kind kind() const = 0;
-  /// Literal value; non-null only for kLiteral.
+  /// Literal value; non-null for kLiteral and for a *bound* kParam (so
+  /// zone-map/index matching sees bound parameters as literals).
   virtual const Value* literal() const { return nullptr; }
   /// Column name; non-null only for kColumn.
   virtual const std::string* column() const { return nullptr; }
@@ -91,6 +100,9 @@ ExprPtr LitNull();
 ExprPtr Col(std::string name);
 ExprPtr Unary(UnaryOp op, ExprPtr operand);
 ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+/// Parameter placeholder `?N` (0-based `index`); evaluates to the value
+/// currently bound into `slot`, errors when unbound.
+ExprPtr Param(size_t index, std::shared_ptr<const ParamSlot> slot);
 
 /// Convenience comparison/arithmetic builders.
 ExprPtr Eq(ExprPtr a, ExprPtr b);

@@ -12,6 +12,7 @@
 
 #include "obs/runtime_stats.h"
 #include "parallel/thread_pool.h"
+#include "statsdb/cache.h"
 #include "statsdb/database.h"
 #include "statsdb/exec.h"
 #include "statsdb/plan.h"
@@ -771,6 +772,72 @@ util::StatusOr<ResultSet> ExecuteParallel(const PlanPtr& plan,
   return ExecuteParallel(plan, db, db.parallel_config());
 }
 
+util::StatusOr<ResultSet> ExecuteOptimized(const PlanPtr& optimized,
+                                           const Database& db) {
+  if (optimized == nullptr) {
+    return util::Status::InvalidArgument("null plan");
+  }
+  QueryCache& qc = db.cache();
+  if (qc.config().mode != CacheConfig::Mode::kFull) {
+    qc.RecordResultBypass();
+    return ExecuteParallel(optimized, db);
+  }
+  QueryCache::ResultKey key = QueryCache::MakeResultKey(*optimized, db);
+  if (!key.cacheable) {
+    qc.RecordResultBypass();
+    return ExecuteParallel(optimized, db);
+  }
+  if (std::shared_ptr<const ResultSet> hit = qc.GetResult(key)) {
+    return *hit;  // copy out; the cached ResultSet stays immutable
+  }
+  util::StatusOr<ResultSet> result = ExecuteParallel(optimized, db);
+  if (result.ok()) qc.PutResult(key, *result);
+  return result;
+}
+
+util::StatusOr<ResultSet> ExecuteOptimizedProfiled(
+    const PlanPtr& optimized, const Database& db,
+    const ParallelConfig& config, obs::QueryProfile* profile) {
+  if (profile == nullptr) {
+    return util::Status::InvalidArgument("null profile");
+  }
+  if (optimized == nullptr) {
+    return util::Status::InvalidArgument("null plan");
+  }
+  const int64_t t0 = obs::kProfilingCompiledIn ? obs::RuntimeNowNs() : 0;
+  QueryCache& qc = db.cache();
+  QueryCache::ResultKey key;
+  if (qc.config().mode != CacheConfig::Mode::kFull) {
+    qc.RecordResultBypass();
+    profile->cache = "bypass";
+  } else {
+    key = QueryCache::MakeResultKey(*optimized, db);
+    if (!key.cacheable) {
+      qc.RecordResultBypass();
+      profile->cache = "bypass";
+    } else if (std::shared_ptr<const ResultSet> hit = qc.GetResult(key)) {
+      // Nothing executed: no operator tree, and the engine label says
+      // so. The result bytes are identical to a real run by contract.
+      profile->cache = "hit";
+      profile->engine = "cache";
+      if (obs::kProfilingCompiledIn) {
+        profile->total_ns = static_cast<uint64_t>(obs::RuntimeNowNs() - t0);
+      }
+      return *hit;
+    } else {
+      profile->cache = "miss";
+    }
+  }
+  auto result = ExecuteParallelImpl(optimized, db, config, profile);
+  if (obs::kProfilingCompiledIn) {
+    // Whole-call wall time, covering parallel units executed during the
+    // rewrite as well as the final serial drain.
+    profile->total_ns = static_cast<uint64_t>(obs::RuntimeNowNs() - t0);
+  }
+  if (key.cacheable && result.ok()) qc.PutResult(key, *result);
+  return result;
+}
+
 util::StatusOr<ResultSet> ExecutePlanProfiled(const PlanPtr& plan,
                                               const Database& db,
                                               const ParallelConfig& config,
@@ -781,15 +848,8 @@ util::StatusOr<ResultSet> ExecutePlanProfiled(const PlanPtr& plan,
   if (plan == nullptr) {
     return util::Status::InvalidArgument("null plan");
   }
-  PlanPtr optimized = OptimizePlan(plan, db);
-  const int64_t t0 = obs::kProfilingCompiledIn ? obs::RuntimeNowNs() : 0;
-  auto result = ExecuteParallelImpl(optimized, db, config, profile);
-  if (obs::kProfilingCompiledIn) {
-    // Whole-call wall time, covering parallel units executed during the
-    // rewrite as well as the final serial drain.
-    profile->total_ns = static_cast<uint64_t>(obs::RuntimeNowNs() - t0);
-  }
-  return result;
+  return ExecuteOptimizedProfiled(OptimizePlan(plan, db), db, config,
+                                  profile);
 }
 
 util::StatusOr<ResultSet> ExecutePlanProfiled(const PlanPtr& plan,

@@ -104,6 +104,26 @@ util::StatusOr<ResultSet> ExecuteParallel(const PlanPtr& plan,
 util::StatusOr<ResultSet> ExecuteParallel(const PlanPtr& plan,
                                           const Database& db);
 
+/// Production execution of an already-optimized plan: consults the
+/// database's result cache (cache.h) before either engine runs, then
+/// falls through to ExecuteParallel. Successful results are stored;
+/// error results never are (re-execution is byte-identical and cheap).
+/// ExecutePlan (exec.h), Database::Sql, and PreparedStatement::Execute
+/// all funnel through here; the engine-level entry points
+/// (ExecuteParallel, ExecuteColumnar) stay cache-free so tests can
+/// always reach the real engines.
+util::StatusOr<ResultSet> ExecuteOptimized(const PlanPtr& optimized,
+                                           const Database& db);
+
+/// Profiled variant of ExecuteOptimized: annotates `profile->cache`
+/// with "hit" (served from the result cache, nothing executed — the
+/// operator tree stays empty and engine reports "cache"), "miss"
+/// (consulted, executed, stored), or "bypass" (cache off or plan
+/// uncacheable). Results remain byte-identical to the unprofiled run.
+util::StatusOr<ResultSet> ExecuteOptimizedProfiled(
+    const PlanPtr& optimized, const Database& db,
+    const ParallelConfig& config, obs::QueryProfile* profile);
+
 /// Production profiled entry point (EXPLAIN ANALYZE): optimizes `plan`
 /// like ExecutePlan, executes it — parallel when eligible, serial
 /// fallback otherwise — and fills `profile` with the wall-clock

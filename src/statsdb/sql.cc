@@ -1,10 +1,13 @@
 #include "statsdb/sql.h"
 
 #include <cctype>
+#include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "obs/runtime_stats.h"
+#include "statsdb/cache.h"
 #include "statsdb/database.h"
 #include "statsdb/exec.h"
 #include "statsdb/parallel_exec.h"
@@ -104,7 +107,7 @@ class Lexer {
             break;
           }
         }
-        static const std::string kSingles = "(),*=<>+-/%";
+        static const std::string kSingles = "(),*=<>+-/%?";
         if (sym.size() == 1 && kSingles.find(c) == std::string::npos) {
           return util::Status::ParseError(
               util::StrFormat("unexpected character '%c' at %zu", c, i_));
@@ -191,7 +194,11 @@ struct DeleteStmt {
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+  /// `params` collects one ParamSlot per `?` placeholder in statement
+  /// order; null (the default, for direct SQL) makes `?` a parse error.
+  explicit Parser(std::vector<Token> tokens,
+                  std::vector<std::shared_ptr<ParamSlot>>* params = nullptr)
+      : toks_(std::move(tokens)), params_(params) {}
 
   util::StatusOr<SelectStmt> ParseSelect() {
     FF_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
@@ -730,6 +737,18 @@ class Parser {
           FF_RETURN_IF_ERROR(ExpectSymbol(")"));
           return e;
         }
+        if (t.text == "?") {
+          if (params_ == nullptr) {
+            return util::Status::ParseError(
+                "'?' placeholders are only valid in prepared statements "
+                "(Database::Prepare)");
+          }
+          Advance();
+          auto slot = std::make_shared<ParamSlot>();
+          size_t index = params_->size();
+          params_->push_back(slot);
+          return Param(index, slot);
+        }
         return util::Status::ParseError("unexpected symbol '" + t.text +
                                         "'");
       }
@@ -740,6 +759,7 @@ class Parser {
 
   std::vector<Token> toks_;
   size_t i_ = 0;
+  std::vector<std::shared_ptr<ParamSlot>>* params_ = nullptr;
 };
 
 // --------------------------------------------------------------- binder --
@@ -855,6 +875,22 @@ ResultSet PlanLinesResult(const std::vector<std::string>& lines) {
   return rs;
 }
 
+/// Normalized statement identity for the plan tier: the token stream —
+/// whitespace and comments are already gone, and the caller strips any
+/// EXPLAIN [ANALYZE] prefix first, so `SELECT x FROM t`, `select x FROM
+/// t  -- note`, and the SELECT inside an EXPLAIN share one plan entry.
+/// Identifier case is preserved (table names are case-sensitive);
+/// differently-cased keywords therefore key separate entries, which
+/// costs a duplicate plan, never a wrong one.
+QueryCache::Key TokensKey(const std::vector<Token>& toks) {
+  DualFingerprint fp;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kEnd) break;
+    fp.U8(static_cast<uint8_t>(t.kind)).Str(t.text);
+  }
+  return QueryCache::Key{fp.fp(), fp.check()};
+}
+
 }  // namespace
 
 util::StatusOr<ResultSet> ExecuteSql(Database* db,
@@ -882,28 +918,52 @@ util::StatusOr<ResultSet> ExecuteSql(Database* db,
       return util::Status::ParseError("EXPLAIN requires a SELECT statement");
     }
   }
-  Parser parser(std::move(toks));
-  if (explain && !parser.PeekKeyword("SELECT")) {
+  bool is_select = toks[0].kind == TokKind::kIdent &&
+                   util::EqualsIgnoreCase(toks[0].text, "SELECT");
+  if (explain && !is_select) {
     return util::Status::ParseError("EXPLAIN supports only SELECT");
   }
-  if (parser.PeekKeyword("SELECT")) {
-    FF_ASSIGN_OR_RETURN(SelectStmt stmt, parser.ParseSelect());
-    FF_ASSIGN_OR_RETURN(PlanPtr plan, BuildSelectPlan(stmt));
+  if (is_select) {
+    // Plan tier: the token-stream fingerprint is computed before the
+    // parser consumes the tokens, and a hit skips parse + plan + optimize
+    // entirely. EXPLAIN variants share the entry with the plain SELECT
+    // (the prefix was stripped above).
+    QueryCache& qc = db->cache();
+    const bool plan_cache_on = qc.config().mode != CacheConfig::Mode::kOff;
+    QueryCache::Key key;
+    PlanPtr optimized;
+    if (plan_cache_on) {
+      key = TokensKey(toks);
+      optimized = qc.GetPlan(key, *db);
+    } else {
+      qc.RecordPlanBypass();
+    }
+    if (!optimized) {
+      Parser parser(std::move(toks));
+      FF_ASSIGN_OR_RETURN(SelectStmt stmt, parser.ParseSelect());
+      FF_ASSIGN_OR_RETURN(PlanPtr plan, BuildSelectPlan(stmt));
+      optimized = OptimizePlan(plan, *db);
+      if (plan_cache_on) qc.PutPlan(key, *db, optimized);
+    }
     if (explain && !analyze) {
       // Bare EXPLAIN: optimized plan tree, nothing executes.
-      PlanPtr optimized = OptimizePlan(plan, *db);
       return PlanLinesResult(ExplainPlanLines(*optimized));
     }
     if (explain) {
       // EXPLAIN ANALYZE: run the statement (serial or parallel per the
       // database's config — results are byte-identical to the plain run
-      // and are discarded) and render the annotated operator tree.
+      // and are discarded) and render the annotated operator tree with
+      // its cache=hit|miss|bypass header annotation.
       obs::QueryProfile profile;
-      FF_RETURN_IF_ERROR(ExecutePlanProfiled(plan, *db, &profile).status());
+      FF_RETURN_IF_ERROR(ExecuteOptimizedProfiled(optimized, *db,
+                                                  db->parallel_config(),
+                                                  &profile)
+                             .status());
       return PlanLinesResult(profile.RenderLines());
     }
-    return ExecutePlan(plan, *db);
+    return ExecuteOptimized(optimized, *db);
   }
+  Parser parser(std::move(toks));
   if (parser.PeekKeyword("CREATE")) {
     FF_ASSIGN_OR_RETURN(CreateStmt stmt, parser.ParseCreate());
     FF_ASSIGN_OR_RETURN(Schema schema, Schema::Create(stmt.columns));
@@ -979,6 +1039,67 @@ util::StatusOr<ResultSet> ExecuteSql(Database* db,
   return util::Status::ParseError(
       "statement must start with SELECT, INSERT, UPDATE, DELETE, CREATE "
       "or EXPLAIN");
+}
+
+util::StatusOr<PreparedStatement> PrepareSql(Database* db,
+                                             const std::string& statement) {
+  if (db == nullptr) {
+    return util::Status::InvalidArgument("null database");
+  }
+  Lexer lexer(statement);
+  FF_ASSIGN_OR_RETURN(std::vector<Token> toks, lexer.Tokenize());
+  if (toks.empty() || toks[0].kind == TokKind::kEnd) {
+    return util::Status::ParseError("empty statement");
+  }
+  if (!(toks[0].kind == TokKind::kIdent &&
+        util::EqualsIgnoreCase(toks[0].text, "SELECT"))) {
+    return util::Status::ParseError("Prepare supports only SELECT");
+  }
+  PreparedStatement ps;
+  ps.db_ = db;
+  ps.sql_ = statement;
+
+  // A parameterless template is just a SELECT compiled early — let it
+  // share the text-keyed plan tier with Database::Sql traffic.
+  bool has_params = false;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kSymbol && t.text == "?") has_params = true;
+  }
+  QueryCache& qc = db->cache();
+  const bool share_plan_tier =
+      !has_params && qc.config().mode != CacheConfig::Mode::kOff;
+  QueryCache::Key key;
+  if (share_plan_tier) {
+    key = TokensKey(toks);
+    ps.plan_ = qc.GetPlan(key, *db);
+    if (ps.plan_) return ps;
+  }
+
+  Parser parser(std::move(toks), &ps.slots_);
+  FF_ASSIGN_OR_RETURN(SelectStmt stmt, parser.ParseSelect());
+  FF_ASSIGN_OR_RETURN(PlanPtr plan, BuildSelectPlan(stmt));
+  ps.plan_ = OptimizePlan(plan, *db);
+  if (share_plan_tier) qc.PutPlan(key, *db, ps.plan_);
+  return ps;
+}
+
+util::StatusOr<ResultSet> PreparedStatement::Execute(
+    const std::vector<Value>& params) const {
+  if (db_ == nullptr || plan_ == nullptr) {
+    return util::Status::InvalidArgument("statement was not prepared");
+  }
+  if (params.size() != slots_.size()) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "statement has %zu parameter(s), got %zu", slots_.size(),
+        params.size()));
+  }
+  // The slots are shared with the ParamExprs baked into plan_; binding
+  // them is what makes the (otherwise immutable) plan see the values.
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    slots_[i]->value = params[i];
+    slots_[i]->bound = true;
+  }
+  return ExecuteOptimized(plan_, *db_);
 }
 
 util::StatusOr<PlanPtr> PlanSql(const std::string& statement) {

@@ -26,8 +26,11 @@
 #ifndef FF_STATSDB_SQL_H_
 #define FF_STATSDB_SQL_H_
 
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "statsdb/expr.h"
 #include "statsdb/query.h"
 
 namespace ff {
@@ -38,6 +41,46 @@ class Database;
 /// Parses and executes one SQL statement against `db`.
 util::StatusOr<ResultSet> ExecuteSql(Database* db,
                                      const std::string& statement);
+
+/// A compiled SELECT with `?` parameter placeholders: parse, plan, and
+/// optimization happen once at Prepare time; Execute(params) binds the
+/// placeholders and runs through the result cache + engines. Dashboard
+/// templates ("SELECT avg(walltime) FROM runs WHERE forecast = ?") thus
+/// share one plan across bindings while each binding keys its own
+/// result-cache entry.
+///
+/// Placeholders may appear wherever a literal may inside a SELECT's
+/// expressions. A bound placeholder participates in zone-map pruning
+/// and simple-predicate matching like a literal, but never in plan-time
+/// index selection (the value is unknown when the plan is built).
+///
+/// Copies share binding slots with the original — don't Execute two
+/// copies concurrently. Obtain via Database::Prepare.
+class PreparedStatement {
+ public:
+  PreparedStatement() = default;
+
+  /// Number of `?` placeholders, in left-to-right statement order.
+  size_t num_params() const { return slots_.size(); }
+  const std::string& sql() const { return sql_; }
+
+  /// Binds `params` (one Value per placeholder, in order) and executes.
+  /// InvalidArgument when the count does not match.
+  util::StatusOr<ResultSet> Execute(const std::vector<Value>& params) const;
+
+ private:
+  friend util::StatusOr<PreparedStatement> PrepareSql(
+      Database* db, const std::string& statement);
+
+  const Database* db_ = nullptr;
+  std::string sql_;
+  PlanPtr plan_;  // optimized at Prepare time
+  std::vector<std::shared_ptr<ParamSlot>> slots_;
+};
+
+/// Implementation behind Database::Prepare. SELECT only.
+util::StatusOr<PreparedStatement> PrepareSql(Database* db,
+                                             const std::string& statement);
 
 /// Parses a SELECT statement into its logical plan without executing it.
 /// Table/column binding happens at execution time, so no database is

@@ -5,11 +5,30 @@
 #include "util/logging.h"
 #include "util/strings.h"
 
+#include <atomic>
+
 namespace ff {
 namespace statsdb {
 
+namespace {
+
+/// One process-wide counter feeds every table's epochs so a value is
+/// never reused, even across drop/recreate of the same table name.
+uint64_t NextGlobalEpoch() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
 Table::Table(std::string name, Schema schema)
-    : name_(std::move(name)), schema_(std::move(schema)), store_(&schema_) {}
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      epoch_(NextGlobalEpoch()),
+      ddl_epoch_(NextGlobalEpoch()),
+      store_(&schema_) {}
+
+void Table::BumpEpoch() { epoch_ = NextGlobalEpoch(); }
 
 void Table::MaterializeRows() const {
   size_t n = store_.num_rows();
@@ -55,6 +74,7 @@ util::Status Table::Insert(Row row) {
   store_.Append(row);
   // Keep a fully-materialized row cache warm instead of throwing it away.
   if (row_cache_.size() == row_index) row_cache_.push_back(std::move(row));
+  BumpEpoch();
   return util::Status::OK();
 }
 
@@ -89,6 +109,7 @@ util::Status Table::UpdateCell(size_t row_index, size_t col_index, Value v) {
     row_cache_[row_index][col_index] = v;
   }
   store_.Set(row_index, col_index, v);
+  BumpEpoch();
   return util::Status::OK();
 }
 
@@ -108,6 +129,7 @@ util::Status Table::DeleteRows(std::vector<size_t> row_indices) {
   }
   store_.Rebuild(row_cache_);
   RebuildIndexes();
+  if (!row_indices.empty()) BumpEpoch();
   return util::Status::OK();
 }
 
@@ -128,6 +150,7 @@ util::Status Table::CreateIndex(const std::string& column) {
     index[store_.GetValue(i, col)].push_back(i);
   }
   indexes_.emplace(col, std::move(index));
+  ddl_epoch_ = NextGlobalEpoch();
   return util::Status::OK();
 }
 
@@ -240,6 +263,9 @@ util::Status Table::BulkAppender::EndRow() {
     return error_;
   }
   table_->store_.EndRow();
+  // Bump per committed row, not in Finish(): rows are scan-visible as
+  // soon as EndRow returns, so the epoch must already reflect them.
+  table_->BumpEpoch();
   col_ = 0;
   return util::Status::OK();
 }

@@ -30,6 +30,19 @@ class Table {
   const Schema& schema() const { return schema_; }
   size_t num_rows() const { return store_.num_rows(); }
 
+  /// Data epoch: advances on every mutation (Insert, UpdateCell,
+  /// DeleteRows, each BulkAppender::EndRow). Values are drawn from one
+  /// process-wide monotonic counter, so an epoch is never reused — even
+  /// across dropping and recreating a table of the same name — which is
+  /// what lets the result cache (cache.h) key on (table, epoch) without
+  /// an explicit invalidation hook.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Structure epoch: advances when planning-relevant structure changes
+  /// (currently CreateIndex). Plan-cache entries key on this; data
+  /// writes do not disturb cached plans.
+  uint64_t ddl_epoch() const { return ddl_epoch_; }
+
   /// Row views, materialized lazily from the column store. The reference
   /// stays valid until the next mutation (as with the old row store, a
   /// mutation may reallocate).
@@ -120,9 +133,12 @@ class Table {
   /// Extends the lazy row cache to cover all rows.
   void MaterializeRows() const;
   void RebuildIndexes();
+  void BumpEpoch();
 
   std::string name_;
   Schema schema_;
+  uint64_t epoch_;
+  uint64_t ddl_epoch_;
   ColumnStore store_;
   mutable std::vector<Row> row_cache_;  // first N rows, N <= num_rows()
   std::map<size_t, HashIndex> indexes_;  // column index -> hash index

@@ -1,0 +1,51 @@
+#include "util/fingerprint.h"
+
+namespace ff {
+namespace util {
+
+uint64_t Fingerprint64(std::string_view bytes) {
+  uint64_t h = kFnv64Offset;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= kFnv64Prime;
+  }
+  return h;
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t FingerprintCombine(uint64_t a, uint64_t b) {
+  // 64-bit widening of the boost hash_combine recipe, finalized through
+  // splitmix64 so low-entropy inputs still avalanche.
+  return SplitMix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4)));
+}
+
+FingerprintStream& FingerprintStream::Bytes(const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = state_;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnv64Prime;
+  }
+  state_ = h;
+  return *this;
+}
+
+FingerprintStream& FingerprintStream::U64(uint64_t v) {
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  return Bytes(b, 8);
+}
+
+FingerprintStream& FingerprintStream::Str(std::string_view s) {
+  U64(s.size());
+  return Bytes(s.data(), s.size());
+}
+
+}  // namespace util
+}  // namespace ff

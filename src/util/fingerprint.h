@@ -1,0 +1,72 @@
+// Stable 64-bit fingerprints for cache keys.
+//
+// statsdb's plan and result caches (statsdb/cache.h) key on fingerprints
+// of SQL token streams and plan trees. Those keys must be STABLE — a
+// silent change to the hash function invalidates nothing visibly but
+// turns every warm cache cold and, worse, can collide entries that a
+// persisted artifact (BENCH json, golden test) assumed distinct. So the
+// functions here are frozen by golden-value tests
+// (tests/util/fingerprint_test.cc): FNV-1a 64 with the canonical offset
+// basis / prime for byte streams, and splitmix64 as the avalanche
+// finalizer / combiner. Do not "improve" either without updating the
+// goldens deliberately.
+//
+// std::hash is explicitly NOT suitable: its value is unspecified and
+// differs across standard libraries and process runs.
+
+#ifndef FF_UTIL_FINGERPRINT_H_
+#define FF_UTIL_FINGERPRINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ff {
+namespace util {
+
+/// FNV-1a 64-bit offset basis and prime (canonical constants).
+inline constexpr uint64_t kFnv64Offset = 14695981039346656037ULL;
+inline constexpr uint64_t kFnv64Prime = 1099511628211ULL;
+
+/// Plain FNV-1a 64 over `bytes`. Matches the published reference
+/// algorithm, so goldens can be cross-checked against independent
+/// implementations. Empty input returns the offset basis.
+uint64_t Fingerprint64(std::string_view bytes);
+
+/// splitmix64 finalizer: bijective on uint64, flips ~half the output
+/// bits per input bit. Used to post-whiten FNV state (FNV-1a alone
+/// diffuses poorly into the low bits) and inside FingerprintCombine.
+uint64_t SplitMix64(uint64_t x);
+
+/// Order-dependent combination of two fingerprints:
+/// Combine(a, b) != Combine(b, a) in general.
+uint64_t FingerprintCombine(uint64_t a, uint64_t b);
+
+/// Incremental fingerprint builder. Feeds typed tokens into an FNV-1a
+/// state; Digest() whitens through splitmix64. Strings are
+/// length-prefixed so {"ab","c"} and {"a","bc"} digest differently.
+///
+///   FingerprintStream fp;
+///   fp.Str(table).U64(epoch).U8(kind);
+///   uint64_t key = fp.Digest();
+class FingerprintStream {
+ public:
+  FingerprintStream& Bytes(const void* data, size_t n);
+  FingerprintStream& U8(uint8_t v) { return Bytes(&v, 1); }
+  FingerprintStream& U64(uint64_t v);  // fed as 8 little-endian bytes
+  FingerprintStream& Str(std::string_view s);
+
+  /// Raw FNV state so far (stable, un-whitened).
+  uint64_t State() const { return state_; }
+  /// Whitened digest; does not consume the stream (more tokens may be
+  /// appended and Digest() called again).
+  uint64_t Digest() const { return SplitMix64(state_); }
+
+ private:
+  uint64_t state_ = kFnv64Offset;
+};
+
+}  // namespace util
+}  // namespace ff
+
+#endif  // FF_UTIL_FINGERPRINT_H_

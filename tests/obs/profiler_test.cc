@@ -74,6 +74,57 @@ TEST(ProfilerExportTest, LoadRuntimeWorkersRows) {
   EXPECT_NEAR(sum->rows[0][1].double_value(), 8.0, 1e-9);
 }
 
+TEST(ProfilerExportTest, LoadRuntimeCacheRows) {
+  statsdb::QueryCacheStats stats;
+  stats.plan_hits = 10;
+  stats.plan_misses = 3;
+  stats.plan_bypasses = 1;
+  stats.plan_invalidations = 2;
+  stats.plan_evictions = 4;
+  stats.plan_entries = 5;
+  stats.result_hits = 20;
+  stats.result_misses = 6;
+  stats.result_bypasses = 7;
+  stats.result_invalidations = 8;
+  stats.result_evictions = 9;
+  stats.result_entries = 11;
+  stats.result_bytes = 4096;
+
+  statsdb::Database db;
+  auto table = LoadRuntimeCache(stats, &db);
+  ASSERT_TRUE(table.ok()) << table.status();
+  auto rs = db.Sql(
+      "SELECT tier, hits, misses, bypasses, invalidations, evictions, "
+      "entries, bytes FROM runtime_cache ORDER BY tier");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  ASSERT_EQ(rs->rows.size(), 2u);
+  EXPECT_EQ(rs->rows[0][0].string_value(), "plan");
+  EXPECT_EQ(rs->rows[0][1].int64_value(), 10);
+  EXPECT_EQ(rs->rows[0][2].int64_value(), 3);
+  EXPECT_EQ(rs->rows[0][4].int64_value(), 2);
+  EXPECT_EQ(rs->rows[0][7].int64_value(), 0) << "plans carry no bytes";
+  EXPECT_EQ(rs->rows[1][0].string_value(), "result");
+  EXPECT_EQ(rs->rows[1][1].int64_value(), 20);
+  EXPECT_EQ(rs->rows[1][6].int64_value(), 11);
+  EXPECT_EQ(rs->rows[1][7].int64_value(), 4096);
+
+  // Live round trip: a warm database exports its own cache counters
+  // (snapshot precedes the exporter's own table writes, so the
+  // self-observation is coherent).
+  statsdb::CacheConfig cfg;
+  cfg.mode = statsdb::CacheConfig::Mode::kFull;
+  db.set_cache_config(cfg);
+  ASSERT_TRUE(db.Sql("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(db.Sql("INSERT INTO t VALUES (1)").ok());
+  ASSERT_TRUE(db.Sql("SELECT a FROM t").ok());
+  ASSERT_TRUE(db.Sql("SELECT a FROM t").ok());
+  ASSERT_TRUE(LoadRuntimeCache(db.cache().Stats(), &db).ok());
+  auto hits = db.Sql("SELECT hits FROM runtime_cache WHERE tier = 'result'");
+  ASSERT_TRUE(hits.ok()) << hits.status();
+  ASSERT_EQ(hits->rows.size(), 1u);
+  EXPECT_EQ(hits->rows[0][0].int64_value(), 1);
+}
+
 TEST(ProfilerExportTest, LoadRuntimeOperatorsPreservesTree) {
   QueryProfile prof;
   prof.engine = "parallel";

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "parallel/thread_pool.h"
+#include "statsdb/cache.h"
 #include "statsdb/database.h"
 #include "statsdb/exec.h"
 #include "statsdb/parallel_exec.h"
@@ -73,6 +74,9 @@ class StatsDbPropertyTest : public ::testing::Test {
                              Value::Double(1.0 + 0.1 * i)})
                       .ok());
     }
+    // Engine-agreement tests must exercise the engines, not the result
+    // cache, whatever FF_STATSDB_CACHE says; the cache lane opts in.
+    db_.set_cache_config(CacheConfig{});
   }
 
   // Runs `plan` through the parallel executor at pool sizes 1/4/16 and
@@ -287,6 +291,97 @@ TEST_F(StatsDbPropertyTest, EnginesAgreeAfterMutations) {
     if (!ref.ok()) continue;
     ASSERT_EQ(Canonical(*ref, ordered), Canonical(*vec, ordered)) << sql;
   }
+}
+
+// Cache lane: every statement the two engine tests draw (300 + 60 =
+// 360), re-run with the two-tier cache in full mode at pool sizes
+// 1/4/16, with random DML interleaved so epoch invalidation is under
+// constant attack. Contract (cache.h): a cache-on run — cold, warm, or
+// freshly invalidated — is BYTE-identical to cache-off, rows and error
+// text alike. The result cache deliberately survives pool-size changes
+// (a serially-computed result may serve a parallel session), so warm
+// hits at pool 4/16 often serve bytes first computed at pool 1 — that
+// cross-engine serving is exactly what the comparison pins down.
+TEST_F(StatsDbPropertyTest, CacheOnMatchesCacheOffAcrossWritesAndPools) {
+  CacheConfig off;  // kOff
+  CacheConfig full;
+  full.mode = CacheConfig::Mode::kFull;
+
+  util::Rng writes(0xcac4e);
+  SqlGen gen(0x5eed);        // statement stream of EnginesAgree...
+  SqlGen gen2(0xbadc0de);    // ...and of EnginesAgreeAfterMutations
+  uint64_t checked = 0;
+
+  for (int q = 0; q < kQueries + 60; ++q) {
+    bool ordered = false;
+    std::string sql =
+        q < kQueries ? gen.Next(&ordered) : gen2.Next(&ordered);
+
+    struct Variant {
+      size_t threads;
+      parallel::ThreadPool* pool;
+    };
+    const Variant variants[] = {{1, nullptr}, {4, &pool4_}, {16, &pool16_}};
+    for (const Variant& v : variants) {
+      ParallelConfig cfg;
+      cfg.max_threads = v.threads;
+      cfg.morsel_chunks = 1;
+      cfg.min_chunks = 2;
+      cfg.pool = v.pool;
+      db_.set_parallel_config(cfg);
+
+      db_.set_cache_config(off);
+      auto base = db_.Sql(sql);
+      db_.set_cache_config(full);
+      auto cold = db_.Sql(sql);  // miss (or invalidated): executes
+      auto warm = db_.Sql(sql);  // typically a hit: served bytes
+      for (const auto* run : {&cold, &warm}) {
+        ASSERT_EQ(base.ok(), run->ok())
+            << sql << "\nthreads=" << v.threads
+            << "\noff: " << base.status().ToString()
+            << "\non:  " << run->status().ToString();
+        if (base.ok()) {
+          ASSERT_EQ(base->ToCsv(), (*run)->ToCsv())
+              << sql << "\nthreads=" << v.threads;
+        } else {
+          ASSERT_EQ(base.status().ToString(), run->status().ToString())
+              << sql << "\nthreads=" << v.threads;
+        }
+      }
+      ++checked;
+    }
+
+    // Random write interleaving: the next statements must observe the
+    // mutation through the cache (epoch mismatch), never stale bytes.
+    if (writes.Bernoulli(0.2)) {
+      db_.set_cache_config(full);  // write while caching is live
+      int day = static_cast<int>(writes.UniformInt(0, 364));
+      switch (writes.UniformInt(0, 2)) {
+        case 0:
+          ASSERT_TRUE(db_.Sql("UPDATE runs SET walltime = " +
+                              std::to_string(day) + ".5 WHERE day = " +
+                              std::to_string(day))
+                          .ok());
+          break;
+        case 1:
+          ASSERT_TRUE(db_.Sql("DELETE FROM runs WHERE day = " +
+                              std::to_string(day))
+                          .ok());
+          break;
+        default:
+          ASSERT_TRUE(db_.Sql("INSERT INTO runs VALUES ('till', " +
+                              std::to_string(day) + ", 'f2', 42.0)")
+                          .ok());
+          break;
+      }
+    }
+  }
+
+  EXPECT_EQ(checked, static_cast<uint64_t>(kQueries + 60) * 3);
+  QueryCacheStats s = db_.cache().Stats();
+  EXPECT_GT(s.result_hits, 0u) << "lane never exercised a warm hit";
+  EXPECT_GT(s.result_invalidations, 0u)
+      << "lane never caught an epoch invalidation";
 }
 
 }  // namespace

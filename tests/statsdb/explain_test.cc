@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include "obs/runtime_stats.h"
+#include "statsdb/cache.h"
 #include "statsdb/database.h"
 #include "statsdb/exec.h"
 #include "statsdb/parallel_exec.h"
@@ -52,6 +53,15 @@ class ExplainTest : public ::testing::Test {
     ParallelConfig cfg;
     cfg.enabled = false;
     db_.set_parallel_config(cfg);
+    // Likewise pin the cache off (FF_STATSDB_CACHE may say otherwise in
+    // CI smoke lanes); cache-specific tests opt in explicitly.
+    db_.set_cache_config(CacheConfig{});
+  }
+
+  void UseFullCache() {
+    CacheConfig cfg;
+    cfg.mode = CacheConfig::Mode::kFull;
+    db_.set_cache_config(cfg);
   }
 
   void UseParallel() {
@@ -177,6 +187,38 @@ TEST_F(ExplainTest, ProfiledExecutionIsByteIdenticalToPlain) {
     ASSERT_NE(profile.root, nullptr);
     EXPECT_EQ(profile.engine, parallel ? "parallel" : "serial");
   }
+}
+
+TEST_F(ExplainTest, AnalyzeAnnotatesCacheDisposition) {
+  // Cache off (fixture default): every run reports a bypass.
+  std::vector<std::string> off =
+      PlanColumn(Run(std::string("EXPLAIN ANALYZE ") + kPrunedTopK));
+  ASSERT_FALSE(off.empty());
+  EXPECT_NE(off[0].find("cache=bypass"), std::string::npos) << off[0];
+
+  UseFullCache();
+  std::vector<std::string> miss =
+      PlanColumn(Run(std::string("EXPLAIN ANALYZE ") + kPrunedTopK));
+  ASSERT_FALSE(miss.empty());
+  EXPECT_NE(miss[0].find("cache=miss"), std::string::npos) << miss[0];
+  EXPECT_EQ(miss.size(), off.size())
+      << "a miss executes and renders the full operator tree";
+
+  // The miss above stored the result; the rerun serves it and executes
+  // nothing, so the rendered tree collapses to the header line.
+  std::vector<std::string> hit =
+      PlanColumn(Run(std::string("EXPLAIN ANALYZE ") + kPrunedTopK));
+  ASSERT_EQ(hit.size(), 1u) << "a hit must not render operator lines";
+  EXPECT_EQ(hit[0].rfind("engine=cache", 0), 0u) << hit[0];
+  EXPECT_NE(hit[0].find("cache=hit"), std::string::npos) << hit[0];
+}
+
+TEST_F(ExplainTest, CacheHitResultsAreByteIdenticalToTheMiss) {
+  UseFullCache();
+  ResultSet miss = Run(kPrunedTopK);
+  ResultSet hit = Run(kPrunedTopK);
+  EXPECT_EQ(miss.ToCsv(), hit.ToCsv());
+  EXPECT_GT(db_.cache().Stats().result_hits, 0u);
 }
 
 TEST_F(ExplainTest, KeywordsAreCaseInsensitive) {

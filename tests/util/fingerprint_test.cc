@@ -1,0 +1,92 @@
+// Golden-value regression tests: these fingerprints key the statsdb
+// plan/result caches, so the exact output of every function here is
+// frozen. If one of these tests fails, the hash changed — that silently
+// invalidates warm caches and re-keys persisted artifacts, so either
+// revert the change or update the goldens *deliberately* in the same
+// change that documents why.
+
+#include "util/fingerprint.h"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace ff {
+namespace util {
+namespace {
+
+TEST(Fingerprint64Test, MatchesPublishedFnv1aVectors) {
+  // Canonical FNV-1a 64 test vectors (cross-checkable against any
+  // independent implementation).
+  EXPECT_EQ(Fingerprint64(""), 14695981039346656037ULL);  // offset basis
+  EXPECT_EQ(Fingerprint64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fingerprint64("abc"), 16654208175385433931ULL);
+  EXPECT_EQ(Fingerprint64("foobar"), 9625390261332436968ULL);
+  EXPECT_EQ(Fingerprint64("SELECT 1"), 1846049006458406130ULL);
+}
+
+TEST(Fingerprint64Test, EmbeddedNulBytesAreHashed) {
+  std::string_view with_nul("a\0b", 3);
+  EXPECT_NE(Fingerprint64(with_nul), Fingerprint64("ab"));
+  EXPECT_NE(Fingerprint64(with_nul), Fingerprint64("a"));
+}
+
+TEST(SplitMix64Test, Goldens) {
+  EXPECT_EQ(SplitMix64(0), 16294208416658607535ULL);
+  EXPECT_EQ(SplitMix64(1), 10451216379200822465ULL);
+  EXPECT_EQ(SplitMix64(0xdeadbeefULL), 5395234354446855067ULL);
+}
+
+TEST(FingerprintCombineTest, GoldensAndOrderDependence) {
+  EXPECT_EQ(FingerprintCombine(1, 2), 4557874333849936870ULL);
+  EXPECT_EQ(FingerprintCombine(2, 1), 15538830299641316923ULL);
+  EXPECT_EQ(FingerprintCombine(0, 0), 7960286522194355700ULL);
+  EXPECT_NE(FingerprintCombine(1, 2), FingerprintCombine(2, 1));
+}
+
+TEST(FingerprintStreamTest, Golden) {
+  FingerprintStream fp;
+  fp.Str("runs").U64(42).U8(7);
+  EXPECT_EQ(fp.State(), 3745689956911367838ULL);
+  EXPECT_EQ(fp.Digest(), 10416011049876419696ULL);
+}
+
+TEST(FingerprintStreamTest, EmptyStreamDigestsOffsetBasis) {
+  FingerprintStream fp;
+  EXPECT_EQ(fp.State(), kFnv64Offset);
+  EXPECT_EQ(fp.Digest(), SplitMix64(kFnv64Offset));
+}
+
+TEST(FingerprintStreamTest, StringsAreLengthPrefixed) {
+  FingerprintStream a;
+  a.Str("ab").Str("c");
+  FingerprintStream b;
+  b.Str("a").Str("bc");
+  EXPECT_NE(a.Digest(), b.Digest());
+
+  // Raw Bytes() has no framing: the two streams above concatenate the
+  // same payload bytes, so only the length prefixes separate them.
+  FingerprintStream c, d;
+  c.Bytes("abc", 3);
+  d.Bytes("ab", 2).Bytes("c", 1);
+  EXPECT_EQ(c.Digest(), d.Digest());
+}
+
+TEST(FingerprintStreamTest, DigestDoesNotConsume) {
+  FingerprintStream fp;
+  fp.Str("x");
+  uint64_t first = fp.Digest();
+  EXPECT_EQ(first, fp.Digest());
+  fp.U8(1);
+  EXPECT_NE(first, fp.Digest());
+}
+
+TEST(FingerprintStreamTest, MatchesFingerprint64ForRawBytes) {
+  FingerprintStream fp;
+  fp.Bytes("SELECT 1", 8);
+  EXPECT_EQ(fp.State(), Fingerprint64("SELECT 1"));
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace ff
