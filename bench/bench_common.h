@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -92,6 +93,51 @@ inline std::vector<RepTiming> MeasureInterleaved(
       out[v].wall_ms_max = std::max(out[v].wall_ms_max, ms);
     }
   }
+  return out;
+}
+
+/// Exact percentile over a sample: sort, take rank ceil(q*n) (1-based).
+/// No interpolation — the reported latency is one that actually
+/// happened, which matters for tail percentiles over small samples.
+/// Same convention as the chaos harness's P95 SLO scoring, so a
+/// latency measured here and an SLO checked there agree on rank.
+inline double ExactPercentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  size_t rank =
+      static_cast<size_t>(std::ceil(q * static_cast<double>(values.size())));
+  if (rank == 0) rank = 1;
+  if (rank > values.size()) rank = values.size();
+  return values[rank - 1];
+}
+
+/// The tail-latency summary every serving bench reports: exact
+/// P50/P95/P99 plus min/max/mean over one shared sort.
+struct LatencyQuantiles {
+  size_t count = 0;
+  double min = 0.0, max = 0.0, mean = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+};
+
+inline LatencyQuantiles SummarizeLatencies(std::vector<double> values) {
+  LatencyQuantiles out;
+  out.count = values.size();
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  out.min = values.front();
+  out.max = values.back();
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  out.mean = sum / static_cast<double>(values.size());
+  auto rank = [&](double q) {
+    size_t r = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(values.size())));
+    if (r == 0) r = 1;
+    return values[r - 1];
+  };
+  out.p50 = rank(0.50);
+  out.p95 = rank(0.95);
+  out.p99 = rank(0.99);
   return out;
 }
 

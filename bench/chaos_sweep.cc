@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "fault/chaos.h"
 #include "obs/chrome_trace.h"
 #include "statsdb/database.h"
@@ -117,6 +118,37 @@ Artifacts MakeArtifacts(const fault::ChaosSweepResult& result) {
   return a;
 }
 
+/// Re-derives every cell's P95 from the chaos_runs table with the
+/// shared exact-percentile helper (bench_common.h) and compares it to
+/// the score the sweep reported. Ties the SLO scorer and the serving
+/// bench's latency math to one rank convention: if either drifts to an
+/// interpolating percentile, this gate fails.
+bool CrossCheckSloPercentiles(const fault::ChaosSweepResult& result) {
+  statsdb::Database db;
+  if (!fault::LoadChaosRuns(&db, result).ok()) std::abort();
+  bool ok = true;
+  for (const auto& c : result.cells) {
+    auto rs = db.Sql(util::StrFormat(
+        "SELECT delivery_seconds FROM chaos_runs "
+        "WHERE policy = '%s' AND intensity = %.2f",
+        c.policy.c_str(), c.intensity));
+    if (!rs.ok()) std::abort();
+    std::vector<double> delivery;
+    for (const auto& row : rs->rows) {
+      delivery.push_back(row[0].double_value());
+    }
+    const double p95 = bench::ExactPercentile(std::move(delivery), 0.95);
+    if (p95 != c.p95_delivery_seconds) {
+      std::fprintf(stderr,
+                   "cell (%s, %.2f): SQL-derived P95 %.6f != scored %.6f\n",
+                   c.policy.c_str(), c.intensity, p95,
+                   c.p95_delivery_seconds);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
 }  // namespace
 }  // namespace ff
 
@@ -169,10 +201,14 @@ int main(int argc, char** argv) {
   std::printf("# determinism across workers {1,4,16}: %s\n",
               deterministic ? "yes" : "NO");
 
+  const bool slo_percentiles_agree = CrossCheckSloPercentiles(scored);
+  std::printf("# SQL-derived exact P95 matches scored cells: %s\n",
+              slo_percentiles_agree ? "yes" : "NO");
+
   // The no-fault control must deliver everything on time under every
   // policy, and retries must help (never hurt) delivery at the highest
   // intensity.
-  bool ok = deterministic;
+  bool ok = deterministic && slo_percentiles_agree;
   double best_on_time_no_retry = -1.0, best_on_time_retry = -1.0;
   for (const auto& c : scored.cells) {
     if (c.intensity == 0.0 && c.on_time_fraction < 1.0) {

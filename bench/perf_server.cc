@@ -1,0 +1,553 @@
+// Served statsdb throughput and tail latency over the loopback wire.
+//
+// The PR's claim: serving the statistics database over the binary wire
+// protocol (net/wire.h) keeps the dashboard repeat path fast END TO END
+// — not just inside the engine. The bench stands up a real Server on
+// 127.0.0.1 (4-worker session pool, query cache defaulted full) and
+// drives it with concurrent client threads, each owning one connection,
+// through three dashboard shapes:
+//
+//   point — SELECT walltime FROM runs WHERE forecast = ? AND day = ?
+//           (hash-index probe; one row)
+//   agg   — per-node COUNT/AVG for one forecast, grouped and ordered
+//   topk  — a forecast's 10 slowest days (bounded-heap ORDER BY LIMIT)
+//
+// Each shape is measured two ways, interleaved client-for-client:
+//
+//   naive     — query cache OFF, statement text re-sent and re-planned
+//               per request, result framed one row per frame with one
+//               send() per row (kFlagRowAtATime): the wire equivalent
+//               of the row-at-a-time reference engine.
+//   optimized — cache full, statement Prepared once per client and
+//               executed by id with bound params, result shipped as one
+//               columnar kResultSet frame in one send().
+//
+// plus a PIPELINED throughput mode: the optimized path with a window of
+// 32 requests in flight per connection (the session's frame queue
+// executes strictly in order, so responses stream back while later
+// requests are still in the socket) — the loopback round trip stops
+// being the bottleneck and the server's actual per-request cost shows.
+//
+// Every synchronous request's wall time is recorded and summarized with
+// EXACT percentiles (bench_common.h ExactPercentile: sort + rank, no
+// interpolation) — P50/P95/P99 are latencies that actually happened.
+// Acceptance floor: pipelined prepared+cached point-lookup throughput
+// must be >= 5x naive (armed outside --smoke; the PR's headline claim).
+// Correctness gates (always armed): for each shape, the batched
+// columnar result, the row-at-a-time result and the prepared-execute
+// result must render byte-identical CSV.
+//
+// Self-observation: the server's per-stage histograms (queue-wait /
+// exec / serialize / send, PR 8 runtime primitives) and its pool
+// profile go into the JSON + the *_runtime.txt artifact, and the bench
+// reads runtime_cache / runtime_sessions back OVER THE WIRE after a
+// kRefreshStats — the served-dashboard story observing itself.
+//
+// Usage: perf_server [--smoke] [json_path]
+// Output: labelled CSV on stdout, BENCH_server.json (default path).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "logdata/loader.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/profiler.h"
+#include "util/rng.h"
+
+namespace ff {
+namespace {
+
+using bench::LatencyQuantiles;
+using statsdb::Value;
+
+// Same fleet-scale shape as perf_statsdb's runs table (day-outer load).
+std::vector<logdata::LogRecord> MakeRecords(int n_forecasts, int n_days) {
+  util::Rng rng(7);
+  std::vector<logdata::LogRecord> out;
+  out.reserve(static_cast<size_t>(n_forecasts) * n_days);
+  for (int d = 1; d <= n_days; ++d) {
+    for (int f = 0; f < n_forecasts; ++f) {
+      logdata::LogRecord r;
+      r.forecast = "forecast-" + std::to_string(f);
+      r.region = "region-" + std::to_string(f % 20);
+      r.day = d;
+      r.node = "f" + std::to_string(f % 6 + 1);
+      r.code_version = "v" + std::to_string(d / 60);
+      r.mesh_sides = 5000 + (f % 26) * 1000;
+      r.timesteps = f % 2 ? 5760 : 2880;
+      r.start_time = d * 86400.0 + 3600.0;
+      r.walltime = rng.Uniform(20000.0, 80000.0);
+      r.end_time = r.start_time + r.walltime;
+      r.status = logdata::RunStatus::kCompleted;
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+struct Shape {
+  const char* name;
+  const char* prepared_sql;  // with ? placeholders
+  // Bound params for request i (cycling a small hot set, as a dashboard
+  // polling a handful of forecasts does).
+  std::function<std::vector<Value>(size_t)> params;
+  // The same statement as literal text (the naive client re-sends text).
+  std::function<std::string(size_t)> text;
+};
+
+std::string ForecastName(size_t i) {
+  return "forecast-" + std::to_string(i % 8);
+}
+int64_t DayOf(size_t i) { return static_cast<int64_t>(i % 28) + 1; }
+
+std::vector<Shape> MakeShapes() {
+  return {
+      {"point",
+       "SELECT walltime FROM runs WHERE forecast = ? AND day = ?",
+       [](size_t i) {
+         return std::vector<Value>{Value::String(ForecastName(i)),
+                                   Value::Int64(DayOf(i))};
+       },
+       [](size_t i) {
+         return "SELECT walltime FROM runs WHERE forecast = '" +
+                ForecastName(i) + "' AND day = " + std::to_string(DayOf(i));
+       }},
+      {"agg",
+       "SELECT node, COUNT(*) AS n, AVG(walltime) AS avg_w FROM runs "
+       "WHERE forecast = ? GROUP BY node ORDER BY node",
+       [](size_t i) {
+         return std::vector<Value>{Value::String(ForecastName(i))};
+       },
+       [](size_t i) {
+         return "SELECT node, COUNT(*) AS n, AVG(walltime) AS avg_w "
+                "FROM runs WHERE forecast = '" +
+                ForecastName(i) + "' GROUP BY node ORDER BY node";
+       }},
+      {"topk",
+       "SELECT day, walltime FROM runs WHERE forecast = ? "
+       "ORDER BY walltime DESC LIMIT 10",
+       [](size_t i) {
+         return std::vector<Value>{Value::String(ForecastName(i))};
+       },
+       [](size_t i) {
+         return "SELECT day, walltime FROM runs WHERE forecast = '" +
+                ForecastName(i) +
+                "' ORDER BY walltime DESC LIMIT 10";
+       }},
+  };
+}
+
+struct PhaseResult {
+  size_t requests = 0;
+  double wall_ms = 0.0;
+  LatencyQuantiles lat;  // per-request ms
+  double qps() const {
+    return wall_ms > 0.0 ? 1000.0 * static_cast<double>(requests) / wall_ms
+                         : 0.0;
+  }
+};
+
+/// Runs `clients` threads, each connecting its own session and calling
+/// `run(client_index, &latencies_ms)`; returns merged latencies + wall.
+PhaseResult RunPhase(
+    size_t clients,
+    const std::function<void(size_t, std::vector<double>*)>& run) {
+  std::vector<std::vector<double>> lats(clients);
+  std::vector<std::thread> threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] { run(c, &lats[c]); });
+  }
+  for (auto& t : threads) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  PhaseResult out;
+  out.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  std::vector<double> merged;
+  for (auto& l : lats) {
+    out.requests += l.size();
+    merged.insert(merged.end(), l.begin(), l.end());
+  }
+  out.lat = bench::SummarizeLatencies(std::move(merged));
+  return out;
+}
+
+double TimedMs(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+std::atomic<int> g_errors{0};
+
+void Fail(const char* where, const util::Status& st) {
+  std::fprintf(stderr, "%s: %s\n", where, st.ToString().c_str());
+  g_errors.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string QuantilesJson(const PhaseResult& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"requests\": %zu, \"qps\": %.0f, \"mean_ms\": %.4f, "
+                "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f, "
+                "\"max_ms\": %.4f}",
+                r.requests, r.qps(), r.lat.mean, r.lat.p50, r.lat.p95,
+                r.lat.p99, r.lat.max);
+  return buf;
+}
+
+std::string StageJson(const obs::RuntimeHistogram& h) {
+  const obs::RuntimeHistogram::Snapshot s = h.Snap();
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\": %llu, \"mean_us\": %.1f, \"p50_us\": %.1f, "
+                "\"p95_us\": %.1f}",
+                static_cast<unsigned long long>(s.count), s.MeanNs() / 1e3,
+                s.QuantileNs(0.5) / 1e3, s.QuantileNs(0.95) / 1e3);
+  return buf;
+}
+
+}  // namespace
+}  // namespace ff
+
+int main(int argc, char** argv) {
+  using namespace ff;
+  bool smoke = false;
+  const char* json_path = "BENCH_server.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+  const int kForecasts = smoke ? 20 : 100;
+  const int kDays = smoke ? 60 : 365;
+  const size_t kClients = smoke ? 2 : 4;
+  const size_t kPointReqs = smoke ? 100 : 2000;  // per client
+  const size_t kHeavyReqs = smoke ? 30 : 400;    // agg/topk per client
+  const size_t kWarmup = 64;  // optimized-phase per-client warmup
+  const double kFloor = 5.0;  // optimized point qps over naive
+
+  net::ServerConfig scfg;
+  scfg.pool_threads = 4;
+  net::Server server(scfg);
+  {
+    auto records = MakeRecords(kForecasts, kDays);
+    auto table = logdata::LoadRuns(&server.db(), records);
+    if (!table.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   table.status().ToString().c_str());
+      return 1;
+    }
+  }
+  if (auto st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const uint16_t port = server.port();
+
+  const auto shapes = MakeShapes();
+
+  // Correctness gates: batched == row-at-a-time == prepared, per shape,
+  // across a cycle of the param set. Armed in smoke too — these are
+  // cheap and non-negotiable.
+  bool identical = true;
+  {
+    auto client = net::Client::Connect("127.0.0.1", port);
+    if (!client.ok()) {
+      std::fprintf(stderr, "connect failed: %s\n",
+                   client.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& shape : shapes) {
+      auto prep = client->Prepare(shape.prepared_sql);
+      if (!prep.ok()) {
+        Fail(shape.name, prep.status());
+        break;
+      }
+      for (size_t i = 0; i < 8; ++i) {
+        auto batch = client->Query(shape.text(i));
+        auto rows = client->QueryRows(shape.text(i));
+        auto prepped = client->ExecutePrepared(*prep, shape.params(i));
+        if (!batch.ok() || !rows.ok() || !prepped.ok()) {
+          Fail(shape.name, !batch.ok() ? batch.status()
+                           : !rows.ok() ? rows.status()
+                                        : prepped.status());
+          identical = false;
+          break;
+        }
+        const std::string want = batch->ToCsv();
+        if (rows->ToCsv() != want || prepped->ToCsv() != want) {
+          std::fprintf(stderr,
+                       "%s: row-framed / prepared results diverge from the "
+                       "batched frame\n",
+                       shape.name);
+          identical = false;
+        }
+      }
+      if (auto st = client->ClosePrepared(*prep); !st.ok()) {
+        Fail(shape.name, st);
+      }
+    }
+  }
+
+  struct ShapeResult {
+    std::string name;
+    PhaseResult naive, optimized, pipelined;
+  };
+  std::vector<ShapeResult> results;
+
+  statsdb::CacheConfig cache_off;  // mode kOff
+  statsdb::CacheConfig cache_full;
+  cache_full.mode = statsdb::CacheConfig::Mode::kFull;
+
+  for (const auto& shape : shapes) {
+    const size_t reqs =
+        std::string(shape.name) == "point" ? kPointReqs : kHeavyReqs;
+    ShapeResult sr;
+    sr.name = shape.name;
+
+    // Naive: cache off, text per request, one frame (and send) per row.
+    auto st = server.SubmitWrite([&] {
+      server.db().set_cache_config(cache_off);
+      server.db().cache().Clear();
+      return util::Status::OK();
+    });
+    if (!st.ok()) Fail("cache off", st);
+    sr.naive = RunPhase(kClients, [&](size_t c, std::vector<double>* lat) {
+      auto client = net::Client::Connect("127.0.0.1", port);
+      if (!client.ok()) return Fail("connect", client.status());
+      for (size_t i = 0; i < reqs; ++i) {
+        const std::string sql = shape.text(c + i);
+        double ms = TimedMs([&] {
+          auto rs = client->QueryRows(sql);
+          if (!rs.ok()) Fail("naive query", rs.status());
+        });
+        lat->push_back(ms);
+      }
+    });
+
+    // Optimized: cache full, prepared once, batched columnar frames.
+    st = server.SubmitWrite([&] {
+      server.db().set_cache_config(cache_full);
+      return util::Status::OK();
+    });
+    if (!st.ok()) Fail("cache full", st);
+    sr.optimized =
+        RunPhase(kClients, [&](size_t c, std::vector<double>* lat) {
+          auto client = net::Client::Connect("127.0.0.1", port);
+          if (!client.ok()) return Fail("connect", client.status());
+          auto prep = client->Prepare(shape.prepared_sql);
+          if (!prep.ok()) return Fail("prepare", prep.status());
+          for (size_t i = 0; i < kWarmup; ++i) {
+            auto rs = client->ExecutePrepared(*prep, shape.params(c + i));
+            if (!rs.ok()) return Fail("warmup", rs.status());
+          }
+          for (size_t i = 0; i < reqs; ++i) {
+            const auto params = shape.params(c + i);
+            double ms = TimedMs([&] {
+              auto rs = client->ExecutePrepared(*prep, params);
+              if (!rs.ok()) Fail("prepared query", rs.status());
+            });
+            lat->push_back(ms);
+          }
+        });
+
+    // Pipelined: same prepared+cached path, but a window of requests in
+    // flight per connection — the session's frame queue executes them
+    // in order, so responses stream back while later requests are still
+    // in the socket. This is the throughput mode (per-request latency
+    // is not well-defined here; the percentiles above come from the
+    // synchronous phase).
+    const size_t kWindow = 32;
+    sr.pipelined =
+        RunPhase(kClients, [&](size_t c, std::vector<double>* lat) {
+          auto client = net::Client::Connect("127.0.0.1", port);
+          if (!client.ok()) return Fail("connect", client.status());
+          auto prep = client->Prepare(shape.prepared_sql);
+          if (!prep.ok()) return Fail("prepare", prep.status());
+          size_t sent = 0, received = 0;
+          while (received < reqs) {
+            while (sent < reqs && sent - received < kWindow) {
+              if (auto st = client->SendExecute(*prep, shape.params(c + sent));
+                  !st.ok()) {
+                return Fail("pipelined send", st);
+              }
+              ++sent;
+            }
+            auto rs = client->ReadResult();
+            if (!rs.ok()) return Fail("pipelined read", rs.status());
+            lat->push_back(0.0);  // counted; latency comes from sync phase
+            ++received;
+          }
+        });
+    results.push_back(std::move(sr));
+  }
+
+  // Read the server's own runtime tables back over the wire.
+  std::string cache_csv, sessions_summary;
+  size_t sessions_seen = 0;
+  {
+    auto client = net::Client::Connect("127.0.0.1", port);
+    if (!client.ok()) {
+      Fail("connect", client.status());
+    } else {
+      if (auto st = client->RefreshServerStats(); !st.ok()) {
+        Fail("refresh stats", st);
+      }
+      auto cache_rs = client->Query(
+          "SELECT tier, hits, misses, entries FROM runtime_cache "
+          "ORDER BY tier");
+      if (cache_rs.ok()) cache_csv = cache_rs->ToCsv();
+      else Fail("runtime_cache", cache_rs.status());
+      auto sess_rs = client->Query(
+          "SELECT COUNT(*) AS sessions, SUM(queries) AS queries, "
+          "SUM(errors) AS errors, SUM(rows_out) AS rows_out "
+          "FROM runtime_sessions");
+      if (sess_rs.ok()) {
+        sessions_summary = sess_rs->ToCsv();
+        if (!sess_rs->rows.empty()) {
+          sessions_seen =
+              static_cast<size_t>(sess_rs->rows[0][0].int64_value());
+        }
+      } else {
+        Fail("runtime_sessions", sess_rs.status());
+      }
+    }
+  }
+  // Every phase opened kClients sessions; all must be in the registry.
+  const size_t min_sessions = 2 + shapes.size() * 3 * kClients;
+  bool sessions_ok = sessions_seen >= min_sessions;
+  if (!sessions_ok) {
+    std::fprintf(stderr,
+                 "runtime_sessions reports %zu sessions, expected >= %zu\n",
+                 sessions_seen, min_sessions);
+  }
+
+  const obs::PoolRuntimeProfile pool_profile = server.pool().RuntimeProfile();
+  const net::RequestBreakdown& bd = server.breakdown();
+
+  std::printf("shape,mode,requests,qps,mean_ms,p50_ms,p95_ms,p99_ms,max_ms\n");
+  bool ok = identical && sessions_ok && g_errors.load() == 0;
+  std::string json_rows;
+  for (const auto& r : results) {
+    for (const auto* mode : {"naive", "optimized"}) {
+      const PhaseResult& p =
+          std::strcmp(mode, "naive") == 0 ? r.naive : r.optimized;
+      std::printf("%s,%s,%zu,%.0f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+                  r.name.c_str(), mode, p.requests, p.qps(), p.lat.mean,
+                  p.lat.p50, p.lat.p95, p.lat.p99, p.lat.max);
+    }
+    std::printf("%s,pipelined,%zu,%.0f,,,,,\n", r.name.c_str(),
+                r.pipelined.requests, r.pipelined.qps());
+    const double sync_speedup =
+        r.naive.qps() > 0.0 ? r.optimized.qps() / r.naive.qps() : 0.0;
+    const double speedup =
+        r.naive.qps() > 0.0 ? r.pipelined.qps() / r.naive.qps() : 0.0;
+    const bool floor_armed = !smoke && r.name == "point";
+    if (floor_armed && speedup < kFloor) {
+      std::fprintf(stderr,
+                   "%s: pipelined throughput only %.1fx naive, below the "
+                   "%.0fx floor\n",
+                   r.name.c_str(), speedup, kFloor);
+      ok = false;
+    }
+    char buf[768];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"shape\": \"%s\", \"naive\": %s, "
+                  "\"optimized\": %s, "
+                  "\"pipelined\": {\"requests\": %zu, \"qps\": %.0f}, "
+                  "\"sync_speedup\": %.2f, \"qps_speedup\": %.2f, "
+                  "\"floor_armed\": %s}",
+                  r.name.c_str(), QuantilesJson(r.naive).c_str(),
+                  QuantilesJson(r.optimized).c_str(), r.pipelined.requests,
+                  r.pipelined.qps(), sync_speedup, speedup,
+                  floor_armed ? "true" : "false");
+    if (!json_rows.empty()) json_rows += ",\n";
+    json_rows += buf;
+  }
+  std::printf("# results identical across framings: %s\n",
+              identical ? "yes" : "NO");
+  std::printf("# runtime_cache over the wire:\n%s", cache_csv.c_str());
+  std::printf("# runtime_sessions over the wire (%zu sessions):\n%s",
+              sessions_seen, sessions_summary.c_str());
+
+  // Per-stage breakdown + pool summary -> stdout and *_runtime.txt.
+  const std::string pool_summary = obs::PoolRuntimeSummary(pool_profile);
+  obs::LogRuntimeSummary("perf_server", pool_summary);
+  {
+    const std::string runtime_path = bench::RuntimeSummaryPath(json_path);
+    std::FILE* rf = std::fopen(runtime_path.c_str(), "w");
+    if (rf != nullptr) {
+      std::fprintf(rf, "== request stage breakdown ==\n");
+      struct StageRow {
+        const char* name;
+        const obs::RuntimeHistogram* h;
+      };
+      for (const StageRow& srow :
+           {StageRow{"queue_wait", &bd.queue_wait_ns},
+            StageRow{"exec", &bd.exec_ns},
+            StageRow{"serialize", &bd.serialize_ns},
+            StageRow{"send", &bd.send_ns}}) {
+        const auto s = srow.h->Snap();
+        std::fprintf(rf,
+                     "%-10s count=%llu mean=%s p50=%s p95=%s\n", srow.name,
+                     static_cast<unsigned long long>(s.count),
+                     obs::FormatNsAsMs(static_cast<uint64_t>(s.MeanNs()))
+                         .c_str(),
+                     obs::FormatNsAsMs(
+                         static_cast<uint64_t>(s.QuantileNs(0.5)))
+                         .c_str(),
+                     obs::FormatNsAsMs(
+                         static_cast<uint64_t>(s.QuantileNs(0.95)))
+                         .c_str());
+      }
+      std::fprintf(rf, "== session pool lifetime ==\n%s",
+                   pool_summary.c_str());
+      std::fprintf(rf, "== runtime_cache (served) ==\n%s",
+                   cache_csv.c_str());
+      std::fprintf(rf, "== runtime_sessions (served) ==\n%s",
+                   sessions_summary.c_str());
+      std::fclose(rf);
+      std::printf("# wrote %s\n", runtime_path.c_str());
+    }
+  }
+
+  server.Stop();
+
+  std::FILE* f = std::fopen(json_path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n  \"bench\": \"perf_server\",\n"
+      "  \"smoke\": %s,\n"
+      "  \"table_rows\": %d,\n"
+      "  \"clients\": %zu,\n  \"pool_threads\": %zu,\n"
+      "  \"qps_floor\": %.0f,\n"
+      "  \"identical\": %s,\n  \"sessions_seen\": %zu,\n"
+      "  \"breakdown\": {\"queue_wait\": %s, \"exec\": %s, "
+      "\"serialize\": %s, \"send\": %s},\n"
+      "  \"runtime\": %s,\n"
+      "  \"shapes\": [\n%s\n  ]\n}\n",
+      smoke ? "true" : "false", kForecasts * kDays, kClients,
+      scfg.pool_threads, kFloor, identical ? "true" : "false",
+      sessions_seen, StageJson(bd.queue_wait_ns).c_str(),
+      StageJson(bd.exec_ns).c_str(), StageJson(bd.serialize_ns).c_str(),
+      StageJson(bd.send_ns).c_str(),
+      bench::RuntimePoolJson(&pool_profile).c_str(), json_rows.c_str());
+  std::fclose(f);
+  std::printf("# wrote %s%s\n", json_path, smoke ? " (smoke)" : "");
+  return ok ? 0 : 2;
+}

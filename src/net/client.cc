@@ -1,0 +1,286 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/serialize.h"
+#include "util/status.h"
+
+namespace ff {
+namespace net {
+
+namespace {
+
+using statsdb::ResultSet;
+using util::Status;
+using util::StatusCode;
+using util::StatusOr;
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Reconstructs the server-side Status from a kError frame body.
+Status DecodeError(std::string_view body) {
+  WireReader r(body);
+  auto code = r.U8();
+  if (!code.ok()) return code.status();
+  if (*code == 0 ||
+      *code > static_cast<uint8_t>(StatusCode::kDeadlineMissed)) {
+    return Status::ParseError("error frame carries invalid status code " +
+                              std::to_string(*code));
+  }
+  std::string_view msg = r.Rest();
+  return Status(static_cast<StatusCode>(*code), std::string(msg));
+}
+
+}  // namespace
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), rbuf_(std::move(other.rbuf_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    rbuf_ = std::move(other.rbuf_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+  rbuf_.clear();
+}
+
+util::StatusOr<Client> Client::Connect(const std::string& host,
+                                       uint16_t port) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Errno("connect");
+    close(fd);
+    return st;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  Client c;
+  c.fd_ = fd;
+  return c;
+}
+
+util::Status Client::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n =
+        send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+util::StatusOr<std::pair<Opcode, std::string>> Client::ReadFrame() {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  for (;;) {
+    FrameView f;
+    size_t consumed = 0;
+    FrameParse p = ParseFrame(rbuf_, kDefaultMaxFrameBytes, &f, &consumed);
+    if (p == FrameParse::kBad) {
+      return Status::ParseError("malformed frame from server");
+    }
+    if (p == FrameParse::kFrame) {
+      std::pair<Opcode, std::string> out{f.opcode, std::string(f.body)};
+      rbuf_.erase(0, consumed);
+      return out;
+    }
+    char buf[1 << 16];
+    ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      rbuf_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::IoError("server closed the connection");
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+util::StatusOr<statsdb::ResultSet> Client::ReadRowStream() {
+  auto header = ReadFrame();
+  if (!header.ok()) return header.status();
+  if (header->first == Opcode::kError) return DecodeError(header->second);
+  if (header->first != Opcode::kRowHeader) {
+    return Status::ParseError("expected row header frame, got opcode " +
+                              std::to_string(static_cast<int>(header->first)));
+  }
+  ResultSet rs;
+  {
+    WireReader r(header->second);
+    FF_ASSIGN_OR_RETURN(rs.schema, DecodeSchema(&r));
+  }
+  const size_t ncols = rs.schema.num_columns();
+  for (;;) {
+    auto frame = ReadFrame();
+    if (!frame.ok()) return frame.status();
+    if (frame->first == Opcode::kError) return DecodeError(frame->second);
+    if (frame->first == Opcode::kRowEnd) {
+      WireReader r(frame->second);
+      FF_ASSIGN_OR_RETURN(uint64_t count, r.U64());
+      if (count != rs.rows.size()) {
+        return Status::ParseError(
+            "row stream trailer declares " + std::to_string(count) +
+            " rows but " + std::to_string(rs.rows.size()) + " arrived");
+      }
+      return rs;
+    }
+    if (frame->first != Opcode::kRow) {
+      return Status::ParseError("expected row frame, got opcode " +
+                                std::to_string(static_cast<int>(frame->first)));
+    }
+    WireReader r(frame->second);
+    statsdb::Row row;
+    row.reserve(ncols);
+    for (size_t c = 0; c < ncols; ++c) {
+      FF_ASSIGN_OR_RETURN(statsdb::Value v, r.Value());
+      row.push_back(std::move(v));
+    }
+    if (!r.AtEnd()) {
+      return Status::ParseError("trailing bytes after row values");
+    }
+    rs.rows.push_back(std::move(row));
+  }
+}
+
+util::StatusOr<statsdb::ResultSet> Client::RoundTrip(Opcode op,
+                                                     std::string_view body,
+                                                     bool row_at_a_time) {
+  FF_RETURN_IF_ERROR(SendRaw(EncodeFrame(op, body)));
+  if (row_at_a_time) return ReadRowStream();
+  auto frame = ReadFrame();
+  if (!frame.ok()) return frame.status();
+  if (frame->first == Opcode::kError) return DecodeError(frame->second);
+  if (frame->first != Opcode::kResultSet) {
+    return Status::ParseError("expected result frame, got opcode " +
+                              std::to_string(static_cast<int>(frame->first)));
+  }
+  WireReader r(frame->second);
+  return DecodeResultSet(&r);
+}
+
+util::StatusOr<statsdb::ResultSet> Client::Query(const std::string& sql) {
+  WireWriter w;
+  w.U8(0);
+  w.Raw(sql.data(), sql.size());
+  return RoundTrip(Opcode::kQuery, w.buffer(), /*row_at_a_time=*/false);
+}
+
+util::StatusOr<statsdb::ResultSet> Client::QueryRows(const std::string& sql) {
+  WireWriter w;
+  w.U8(kFlagRowAtATime);
+  w.Raw(sql.data(), sql.size());
+  return RoundTrip(Opcode::kQuery, w.buffer(), /*row_at_a_time=*/true);
+}
+
+util::StatusOr<Client::Prepared> Client::Prepare(const std::string& sql) {
+  FF_RETURN_IF_ERROR(SendRaw(EncodeFrame(Opcode::kPrepare, sql)));
+  auto frame = ReadFrame();
+  if (!frame.ok()) return frame.status();
+  if (frame->first == Opcode::kError) return DecodeError(frame->second);
+  if (frame->first != Opcode::kPrepared) {
+    return Status::ParseError("expected prepared frame, got opcode " +
+                              std::to_string(static_cast<int>(frame->first)));
+  }
+  WireReader r(frame->second);
+  Prepared p;
+  FF_ASSIGN_OR_RETURN(p.id, r.U32());
+  FF_ASSIGN_OR_RETURN(p.num_params, r.U32());
+  return p;
+}
+
+util::StatusOr<statsdb::ResultSet> Client::ExecutePrepared(
+    const Prepared& stmt, const std::vector<statsdb::Value>& params,
+    bool row_at_a_time) {
+  WireWriter w;
+  w.U32(stmt.id);
+  w.U8(row_at_a_time ? kFlagRowAtATime : 0);
+  w.U16(static_cast<uint16_t>(params.size()));
+  for (const statsdb::Value& v : params) w.Value(v);
+  return RoundTrip(Opcode::kExecute, w.buffer(), row_at_a_time);
+}
+
+util::Status Client::SendExecute(const Prepared& stmt,
+                                 const std::vector<statsdb::Value>& params) {
+  WireWriter w;
+  w.U32(stmt.id);
+  w.U8(0);
+  w.U16(static_cast<uint16_t>(params.size()));
+  for (const statsdb::Value& v : params) w.Value(v);
+  return SendRaw(EncodeFrame(Opcode::kExecute, w.buffer()));
+}
+
+util::StatusOr<statsdb::ResultSet> Client::ReadResult() {
+  auto frame = ReadFrame();
+  if (!frame.ok()) return frame.status();
+  if (frame->first == Opcode::kError) return DecodeError(frame->second);
+  if (frame->first != Opcode::kResultSet) {
+    return Status::ParseError("expected result frame, got opcode " +
+                              std::to_string(static_cast<int>(frame->first)));
+  }
+  WireReader r(frame->second);
+  return DecodeResultSet(&r);
+}
+
+util::Status Client::ClosePrepared(const Prepared& stmt) {
+  WireWriter w;
+  w.U32(stmt.id);
+  FF_RETURN_IF_ERROR(SendRaw(EncodeFrame(Opcode::kCloseStmt, w.buffer())));
+  auto frame = ReadFrame();
+  if (!frame.ok()) return frame.status();
+  if (frame->first == Opcode::kError) return DecodeError(frame->second);
+  if (frame->first != Opcode::kStmtClosed) {
+    return Status::ParseError("expected close-ack frame, got opcode " +
+                              std::to_string(static_cast<int>(frame->first)));
+  }
+  return Status::OK();
+}
+
+util::Status Client::RefreshServerStats() {
+  FF_RETURN_IF_ERROR(SendRaw(EncodeFrame(Opcode::kRefreshStats, "")));
+  auto frame = ReadFrame();
+  if (!frame.ok()) return frame.status();
+  if (frame->first == Opcode::kError) return DecodeError(frame->second);
+  if (frame->first != Opcode::kStatsOk) {
+    return Status::ParseError("expected stats-ack frame, got opcode " +
+                              std::to_string(static_cast<int>(frame->first)));
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace ff

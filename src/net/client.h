@@ -1,0 +1,92 @@
+// Blocking C++ client for the served statsdb wire protocol (wire.h).
+//
+// One Client is one connection is one session; it is NOT thread-safe —
+// the protocol is strictly request/response per session, so share
+// nothing and open one Client per client thread (that is exactly what
+// bench/perf_server does). Errors from the server arrive as kError
+// frames and surface as the original util::Status, code and message
+// byte-identical to in-process Database::Execute — the equivalence
+// property lane depends on that round trip.
+
+#ifndef FF_NET_CLIENT_H_
+#define FF_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/wire.h"
+#include "statsdb/query.h"
+#include "util/statusor.h"
+
+namespace ff {
+namespace net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to a served statsdb (TCP, TCP_NODELAY).
+  static util::StatusOr<Client> Connect(const std::string& host,
+                                        uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Executes one SQL statement; the result arrives as a single batched
+  /// kResultSet frame.
+  util::StatusOr<statsdb::ResultSet> Query(const std::string& sql);
+  /// Same statement, but requests the naive one-frame-per-row result
+  /// framing (kRowHeader / kRow... / kRowEnd) — the perf_server
+  /// baseline. Results are required to match Query() byte-for-byte.
+  util::StatusOr<statsdb::ResultSet> QueryRows(const std::string& sql);
+
+  struct Prepared {
+    uint32_t id = 0;
+    uint32_t num_params = 0;
+  };
+  util::StatusOr<Prepared> Prepare(const std::string& sql);
+  util::StatusOr<statsdb::ResultSet> ExecutePrepared(
+      const Prepared& stmt, const std::vector<statsdb::Value>& params,
+      bool row_at_a_time = false);
+  util::Status ClosePrepared(const Prepared& stmt);
+
+  /// Pipelining split of ExecutePrepared: SendExecute pushes the
+  /// request frame without waiting, ReadResult collects one batched
+  /// response. The server executes a session's frames strictly in
+  /// order, so responses arrive in send order; keeping a window of
+  /// requests in flight amortizes the round trip — the throughput
+  /// mode of bench/perf_server.
+  util::Status SendExecute(const Prepared& stmt,
+                           const std::vector<statsdb::Value>& params);
+  util::StatusOr<statsdb::ResultSet> ReadResult();
+
+  /// Asks the server to rebuild its runtime_cache / runtime_sessions
+  /// tables, so a following Query() can read them.
+  util::Status RefreshServerStats();
+
+  /// Escape hatches for the malformed-frame hardening tests: push raw
+  /// bytes at the server / read one raw frame back.
+  util::Status SendRaw(std::string_view bytes);
+  util::StatusOr<std::pair<Opcode, std::string>> ReadFrame();
+
+ private:
+  util::StatusOr<statsdb::ResultSet> RoundTrip(Opcode op,
+                                               std::string_view body,
+                                               bool row_at_a_time);
+  util::StatusOr<statsdb::ResultSet> ReadRowStream();
+
+  int fd_ = -1;
+  std::string rbuf_;  // bytes received but not yet framed
+};
+
+}  // namespace net
+}  // namespace ff
+
+#endif  // FF_NET_CLIENT_H_

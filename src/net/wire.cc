@@ -1,0 +1,202 @@
+#include "net/wire.h"
+
+#include <bit>
+#include <cstring>
+
+namespace ff {
+namespace net {
+
+namespace {
+
+// Value tags on the wire (distinct from DataType: wire layout contract).
+constexpr uint8_t kTagNull = 0;
+constexpr uint8_t kTagBool = 1;
+constexpr uint8_t kTagInt64 = 2;
+constexpr uint8_t kTagDouble = 3;
+constexpr uint8_t kTagString = 4;
+
+}  // namespace
+
+void WireWriter::U16(uint16_t v) {
+  char b[2] = {static_cast<char>(v & 0xff), static_cast<char>(v >> 8)};
+  buf_.append(b, 2);
+}
+
+void WireWriter::U32(uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf_.append(b, 4);
+}
+
+void WireWriter::U64(uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf_.append(b, 8);
+}
+
+void WireWriter::F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+
+void WireWriter::Raw(const void* data, size_t n) {
+  buf_.append(static_cast<const char*>(data), n);
+}
+
+void WireWriter::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+void WireWriter::Value(const statsdb::Value& v) {
+  switch (v.type()) {
+    case statsdb::DataType::kNull:
+      U8(kTagNull);
+      break;
+    case statsdb::DataType::kBool:
+      U8(kTagBool);
+      U8(v.bool_value() ? 1 : 0);
+      break;
+    case statsdb::DataType::kInt64:
+      U8(kTagInt64);
+      I64(v.int64_value());
+      break;
+    case statsdb::DataType::kDouble:
+      U8(kTagDouble);
+      F64(v.double_value());
+      break;
+    case statsdb::DataType::kString:
+      U8(kTagString);
+      Str(v.string_value());
+      break;
+  }
+}
+
+util::Status WireReader::Need(size_t n) const {
+  if (data_.size() - pos_ < n) {
+    return util::Status::ParseError(
+        "truncated frame: need " + std::to_string(n) + " bytes, have " +
+        std::to_string(data_.size() - pos_));
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<uint8_t> WireReader::U8() {
+  FF_RETURN_IF_ERROR(Need(1));
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+util::StatusOr<uint16_t> WireReader::U16() {
+  FF_RETURN_IF_ERROR(Need(2));
+  uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v |= static_cast<uint16_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 2;
+  return v;
+}
+
+util::StatusOr<uint32_t> WireReader::U32() {
+  FF_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+util::StatusOr<uint64_t> WireReader::U64() {
+  FF_RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+util::StatusOr<int64_t> WireReader::I64() {
+  FF_ASSIGN_OR_RETURN(uint64_t v, U64());
+  return static_cast<int64_t>(v);
+}
+
+util::StatusOr<double> WireReader::F64() {
+  FF_ASSIGN_OR_RETURN(uint64_t v, U64());
+  return std::bit_cast<double>(v);
+}
+
+util::StatusOr<std::string> WireReader::Str() {
+  FF_ASSIGN_OR_RETURN(uint32_t n, U32());
+  FF_RETURN_IF_ERROR(Need(n));
+  std::string s(data_.substr(pos_, n));
+  pos_ += n;
+  return s;
+}
+
+util::StatusOr<statsdb::Value> WireReader::Value() {
+  FF_ASSIGN_OR_RETURN(uint8_t tag, U8());
+  switch (tag) {
+    case kTagNull:
+      return statsdb::Value::Null();
+    case kTagBool: {
+      FF_ASSIGN_OR_RETURN(uint8_t b, U8());
+      return statsdb::Value::Bool(b != 0);
+    }
+    case kTagInt64: {
+      FF_ASSIGN_OR_RETURN(int64_t i, I64());
+      return statsdb::Value::Int64(i);
+    }
+    case kTagDouble: {
+      FF_ASSIGN_OR_RETURN(double d, F64());
+      return statsdb::Value::Double(d);
+    }
+    case kTagString: {
+      FF_ASSIGN_OR_RETURN(std::string s, Str());
+      return statsdb::Value::String(std::move(s));
+    }
+    default:
+      return util::Status::ParseError("unknown value tag " +
+                                      std::to_string(tag));
+  }
+}
+
+util::StatusOr<std::string_view> WireReader::Bytes(size_t n) {
+  FF_RETURN_IF_ERROR(Need(n));
+  std::string_view out = data_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::string_view WireReader::Rest() {
+  std::string_view out = data_.substr(pos_);
+  pos_ = data_.size();
+  return out;
+}
+
+std::string EncodeFrame(Opcode op, std::string_view body) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + 1 + body.size());
+  uint32_t len = static_cast<uint32_t>(1 + body.size());
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  }
+  frame.push_back(static_cast<char>(op));
+  frame.append(body.data(), body.size());
+  return frame;
+}
+
+FrameParse ParseFrame(std::string_view stream, uint32_t max_frame_bytes,
+                      FrameView* out, size_t* consumed) {
+  if (stream.size() < kFrameHeaderBytes) return FrameParse::kNeedMore;
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(stream[i])) << (8 * i);
+  }
+  if (len == 0 || len > max_frame_bytes) return FrameParse::kBad;
+  if (stream.size() < kFrameHeaderBytes + len) return FrameParse::kNeedMore;
+  out->opcode = static_cast<Opcode>(stream[kFrameHeaderBytes]);
+  out->body = stream.substr(kFrameHeaderBytes + 1, len - 1);
+  *consumed = kFrameHeaderBytes + len;
+  return FrameParse::kFrame;
+}
+
+}  // namespace net
+}  // namespace ff

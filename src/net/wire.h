@@ -1,0 +1,162 @@
+// Length-prefixed binary wire protocol for served statsdb.
+//
+// Every frame on the socket is
+//
+//   u32 LE length   -- bytes that follow the length field (>= 1)
+//   u8  opcode      -- Opcode below
+//   length-1 bytes  -- opcode-specific body
+//
+// The framing layer is deliberately dumb: a receiver can always resolve
+// frame boundaries from the length field alone, so an unknown opcode is
+// a recoverable error (skip the frame, answer kError) while a declared
+// length of zero or one exceeding kDefaultMaxFrameBytes is a protocol
+// error that poisons the stream (the boundary can no longer be
+// trusted) and closes the session.
+//
+// All integers are little-endian. Doubles travel as their IEEE-754 bit
+// pattern (std::bit_cast through u64), so values round-trip bit-exactly
+// — the equivalence property lane compares rendered CSV byte-for-byte
+// against in-process execution and would catch any text-format detour.
+//
+// Bodies:
+//   kQuery      u8 flags | SQL text (rest of frame)
+//   kPrepare    SQL text
+//   kExecute    u32 stmt_id | u8 flags | u16 nparams | nparams x Value
+//   kCloseStmt  u32 stmt_id
+//   kRefreshStats (empty)
+//   kResultSet  columnar result (serialize.h)
+//   kError      u8 util::StatusCode | message text (rest of frame)
+//   kPrepared   u32 stmt_id | u32 num_params
+//   kStmtClosed (empty)
+//   kStatsOk    (empty)
+//   kRowHeader  schema only (serialize.h EncodeSchema)
+//   kRow        one row: ncols x Value
+//   kRowEnd     u64 row_count
+//
+// kQuery/kExecute flags bit 0 (kFlagRowAtATime) selects the naive
+// one-frame-per-row result framing (kRowHeader/kRow.../kRowEnd) that
+// bench/perf_server keeps as its baseline; the default is one batched
+// kResultSet frame written with a single send.
+
+#ifndef FF_NET_WIRE_H_
+#define FF_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "statsdb/value.h"
+#include "util/statusor.h"
+
+namespace ff {
+namespace net {
+
+enum class Opcode : uint8_t {
+  // client -> server
+  kQuery = 0x01,
+  kPrepare = 0x02,
+  kExecute = 0x03,
+  kCloseStmt = 0x04,
+  kRefreshStats = 0x05,
+  // server -> client
+  kResultSet = 0x81,
+  kError = 0x82,
+  kPrepared = 0x83,
+  kStmtClosed = 0x84,
+  kStatsOk = 0x85,
+  kRowHeader = 0x86,
+  kRow = 0x87,
+  kRowEnd = 0x88,
+};
+
+/// kQuery/kExecute flag: serialize the result one row per frame (the
+/// perf_server naive baseline) instead of one batched kResultSet frame.
+inline constexpr uint8_t kFlagRowAtATime = 0x01;
+
+/// Ceiling on a frame's declared length (length field value). A peer
+/// declaring more is treated as a protocol error, not an allocation.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 64u << 20;
+
+/// Byte count of the length prefix.
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+/// Append-only little-endian buffer writer. The buffer grows as needed;
+/// Raw() is a single memcpy, which is what makes contiguous column
+/// storage cheap to ship (serialize.h).
+class WireWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v);
+  void Raw(const void* data, size_t n);
+  /// u32 length + bytes.
+  void Str(std::string_view s);
+  void Value(const statsdb::Value& v);
+
+  const std::string& buffer() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reader over one frame body. Every getter fails with
+/// ParseError("truncated frame: ...") instead of reading past the end,
+/// so a malformed body can never walk off the buffer — the wire_test
+/// malformed-frame lane runs these paths under ASan.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  util::StatusOr<uint8_t> U8();
+  util::StatusOr<uint16_t> U16();
+  util::StatusOr<uint32_t> U32();
+  util::StatusOr<uint64_t> U64();
+  util::StatusOr<int64_t> I64();
+  util::StatusOr<double> F64();
+  /// u32 length + bytes (copies out).
+  util::StatusOr<std::string> Str();
+  util::StatusOr<statsdb::Value> Value();
+  /// Borrowed view of the next n bytes.
+  util::StatusOr<std::string_view> Bytes(size_t n);
+  /// Everything left (possibly empty); consumes it.
+  std::string_view Rest();
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  util::Status Need(size_t n) const;
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Assembles one frame (header + opcode + body) into a contiguous
+/// buffer, ready for a single send.
+std::string EncodeFrame(Opcode op, std::string_view body);
+
+/// Splits complete frames off the front of `stream`.
+struct FrameView {
+  Opcode opcode;
+  std::string_view body;  // points into the caller's buffer
+};
+
+enum class FrameParse {
+  kFrame,     // *out filled; *consumed bytes belong to this frame
+  kNeedMore,  // fewer bytes buffered than one complete frame
+  kBad,       // poisoned stream: zero or oversized declared length
+};
+
+/// Examines the front of `stream`. On kFrame, `*consumed` is the total
+/// frame size (header included) and out->body points into `stream`.
+FrameParse ParseFrame(std::string_view stream, uint32_t max_frame_bytes,
+                      FrameView* out, size_t* consumed);
+
+}  // namespace net
+}  // namespace ff
+
+#endif  // FF_NET_WIRE_H_

@@ -210,6 +210,46 @@ util::StatusOr<Table*> LoadRuntimeCache(const statsdb::QueryCacheStats& stats,
   return table;
 }
 
+util::StatusOr<Table*> LoadRuntimeSessions(
+    const std::vector<SessionRuntime>& sessions, statsdb::Database* db,
+    const std::string& table_name) {
+  FF_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Create({Column{"session", DataType::kInt64},
+                      Column{"closed", DataType::kBool},
+                      Column{"queries", DataType::kInt64},
+                      Column{"errors", DataType::kInt64},
+                      Column{"rows_out", DataType::kInt64},
+                      Column{"bytes_in", DataType::kInt64},
+                      Column{"bytes_out", DataType::kInt64},
+                      Column{"prepared_open", DataType::kInt64},
+                      Column{"queue_wait_ms", DataType::kDouble},
+                      Column{"exec_ms", DataType::kDouble},
+                      Column{"serialize_ms", DataType::kDouble},
+                      Column{"send_ms", DataType::kDouble}}));
+  FF_ASSIGN_OR_RETURN(Table * table,
+                      FreshTable(db, table_name, std::move(schema)));
+  Table::BulkAppender app(table);
+  app.Reserve(sessions.size());
+  for (const SessionRuntime& s : sessions) {
+    app.Int64(static_cast<int64_t>(s.id))
+        .Bool(s.closed)
+        .Int64(static_cast<int64_t>(s.queries))
+        .Int64(static_cast<int64_t>(s.errors))
+        .Int64(static_cast<int64_t>(s.rows_out))
+        .Int64(static_cast<int64_t>(s.bytes_in))
+        .Int64(static_cast<int64_t>(s.bytes_out))
+        .Int64(static_cast<int64_t>(s.prepared_open))
+        .Double(s.queue_wait_ms)
+        .Double(s.exec_ms)
+        .Double(s.serialize_ms)
+        .Double(s.send_ms);
+    FF_RETURN_IF_ERROR(app.EndRow());
+  }
+  FF_RETURN_IF_ERROR(app.Finish());
+  return table;
+}
+
 std::string PoolRuntimeSummary(const PoolRuntimeProfile& profile) {
   std::string out;
   char buf[256];

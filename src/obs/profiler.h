@@ -16,6 +16,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "obs/runtime_stats.h"
 #include "obs/trace.h"
@@ -63,6 +64,34 @@ util::StatusOr<statsdb::Table*> LoadRuntimeReplicas(
 util::StatusOr<statsdb::Table*> LoadRuntimeCache(
     const statsdb::QueryCacheStats& stats, statsdb::Database* db,
     const std::string& table_name = "runtime_cache");
+
+/// One served-client session's counters, as exported by the statsdb
+/// server (net/server.h converts its atomics into this plain struct —
+/// ff_obs stays below ff_net in the layering, so the exporter takes
+/// data, not the server type).
+struct SessionRuntime {
+  uint64_t id = 0;
+  bool closed = false;
+  uint64_t queries = 0;
+  uint64_t errors = 0;
+  uint64_t rows_out = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t prepared_open = 0;
+  double queue_wait_ms = 0.0;
+  double exec_ms = 0.0;
+  double serialize_ms = 0.0;
+  double send_ms = 0.0;
+};
+
+/// runtime_sessions(session, closed, queries, errors, rows_out,
+///                  bytes_in, bytes_out, prepared_open, queue_wait_ms,
+///                  exec_ms, serialize_ms, send_ms) — one row per
+/// session ever accepted, alongside runtime_cache for the served
+/// database's dashboard.
+util::StatusOr<statsdb::Table*> LoadRuntimeSessions(
+    const std::vector<SessionRuntime>& sessions, statsdb::Database* db,
+    const std::string& table_name = "runtime_sessions");
 
 /// Multi-line human-readable pool summary: occupancy, per-worker
 /// run/idle/steal split, task-latency quantiles, queue peaks.

@@ -31,49 +31,18 @@
 #include "util/rng.h"
 #include "util/strings.h"
 
+#include "sqlgen.h"
+
 namespace ff {
 namespace statsdb {
 namespace {
 
-constexpr size_t kRows = 5000;  // > kChunkRows: exercises chunk slicing
 constexpr int kQueries = 300;
 
 class StatsDbPropertyTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    Schema runs({{"forecast", DataType::kString},
-                 {"day", DataType::kInt64},
-                 {"node", DataType::kString},
-                 {"walltime", DataType::kDouble}});
-    Table* t = *db_.CreateTable("runs", runs);
-    util::Rng rng(0xf0f0);
-    const char* forecasts[] = {"till", "dev", "coos", "umpqua"};
-    const char* nodes[] = {"f1", "f2", "f3", "f4", "f5"};
-    Table::BulkAppender app(t);
-    app.Reserve(kRows);
-    for (size_t i = 0; i < kRows; ++i) {
-      app.String(forecasts[rng.UniformInt(0, 3)])
-          .Int64(rng.UniformInt(0, 364))
-          .String(nodes[rng.UniformInt(0, 4)]);
-      if (rng.Bernoulli(0.08)) {
-        app.Null();  // in-flight run: walltime unknown
-      } else {
-        app.Double(rng.Uniform(1000.0, 90000.0));
-      }
-      ASSERT_TRUE(app.EndRow().ok());
-    }
-    ASSERT_TRUE(app.Finish().ok());
-    ASSERT_TRUE(t->CreateIndex("forecast").ok());
-    ASSERT_TRUE(t->CreateIndex("node").ok());
-
-    Schema speeds({{"node", DataType::kString},
-                   {"speed", DataType::kDouble}});
-    Table* n = *db_.CreateTable("nodes", speeds);
-    for (int i = 1; i <= 4; ++i) {  // f5 intentionally unmatched
-      ASSERT_TRUE(n->Insert({Value::String("f" + std::to_string(i)),
-                             Value::Double(1.0 + 0.1 * i)})
-                      .ok());
-    }
+    ASSERT_NO_FATAL_FAILURE(property::BuildPropertyTables(&db_));
     // Engine-agreement tests must exercise the engines, not the result
     // cache, whatever FF_STATSDB_CACHE says; the cache lane opts in.
     db_.set_cache_config(CacheConfig{});
@@ -124,132 +93,8 @@ class StatsDbPropertyTest : public ::testing::Test {
   parallel::ThreadPool pool16_{16};
 };
 
-struct SqlGen {
-  util::Rng rng;
-  explicit SqlGen(uint64_t seed) : rng(seed) {}
-
-  int Pick(int n) { return static_cast<int>(rng.UniformInt(0, n - 1)); }
-  template <size_t N>
-  const char* OneOf(const char* (&arr)[N]) {
-    return arr[Pick(static_cast<int>(N))];
-  }
-
-  std::string StringLit() {
-    static const char* vals[] = {"'till'", "'dev'", "'coos'", "'umpqua'",
-                                 "'ghost'", "'f1'", "'f3'", "'f5'"};
-    return OneOf(vals);
-  }
-  std::string IntLit() { return std::to_string(rng.UniformInt(-5, 370)); }
-  std::string DoubleLit() {
-    return util::StrFormat("%.1f", rng.Uniform(0.0, 95000.0));
-  }
-
-  // One comparison whose literal type is comparable with the column's.
-  std::string Comparison(bool joined) {
-    static const char* cmps[] = {"=", "<>", "<", "<=", ">", ">="};
-    int c = Pick(joined ? 6 : 4);
-    switch (c) {
-      case 0:
-        return "forecast " + std::string(OneOf(cmps)) + " " + StringLit();
-      case 1:
-        return "day " + std::string(OneOf(cmps)) + " " + IntLit();
-      case 2: {
-        int k = Pick(4);
-        if (k == 0) return "walltime IS NULL";
-        if (k == 1) return "walltime IS NOT NULL";
-        return "walltime " + std::string(OneOf(cmps)) + " " + DoubleLit();
-      }
-      case 3: {
-        int k = Pick(4);
-        if (k == 0) return "node LIKE 'f%'";
-        if (k == 1) return "node IN ('f1', 'f2', 'f5')";
-        if (k == 2) return "day BETWEEN 50 AND 300";
-        return "node " + std::string(OneOf(cmps)) + " " + StringLit();
-      }
-      case 4:
-        return "speed " + std::string(OneOf(cmps)) + " " + DoubleLit();
-      default:
-        return "node_r " + std::string(OneOf(cmps)) + " " + StringLit();
-    }
-  }
-
-  std::string Where(bool joined) {
-    int n = Pick(3) + 1;
-    std::string out;
-    for (int i = 0; i < n; ++i) {
-      if (i > 0) out += Pick(4) == 0 ? " OR " : " AND ";
-      out += Comparison(joined);
-    }
-    return out;
-  }
-
-  std::string Next(bool* ordered) {
-    bool joined = Pick(4) == 0;
-    std::string from =
-        joined ? "FROM runs JOIN nodes ON node = node" : "FROM runs";
-    bool agg = !joined && Pick(3) == 0;
-    std::string sql;
-    std::vector<std::string> order_cols;
-    if (agg) {
-      static const char* keys[] = {"forecast", "node", "day"};
-      std::string key = keys[Pick(Pick(3) == 0 ? 3 : 2)];
-      sql = "SELECT " + key +
-            ", COUNT(*) AS n, AVG(walltime) AS aw, MIN(walltime) AS lo, "
-            "MAX(walltime) AS hi, SUM(day) AS sd " +
-            from + " ";
-      if (Pick(2) == 0) sql += "WHERE " + Where(false) + " ";
-      sql += "GROUP BY " + key + " ";
-      if (Pick(3) == 0) sql += "HAVING n > 5 ";
-      order_cols = {key, "n", "aw"};
-    } else {
-      static const char* items[] = {
-          "*", "forecast, day", "node, walltime",
-          "forecast, day, node, walltime", "day, day + 1 AS next_day"};
-      std::string item = OneOf(items);
-      if (joined) item = Pick(2) == 0 ? "*" : "forecast, day, speed";
-      bool distinct = !joined && Pick(5) == 0;
-      if (distinct) item = Pick(2) == 0 ? "forecast" : "forecast, node";
-      sql = std::string("SELECT ") + (distinct ? "DISTINCT " : "") + item +
-            " " + from + " ";
-      if (Pick(5) != 0) sql += "WHERE " + Where(joined) + " ";
-      if (item == "*") {
-        order_cols = {"forecast", "day", "node", "walltime"};
-      } else if (!distinct) {
-        order_cols = {"day"};
-      } else {
-        order_cols = {"forecast"};
-      }
-    }
-    *ordered = Pick(2) == 0;
-    if (*ordered) {
-      sql += "ORDER BY " + order_cols[Pick(static_cast<int>(
-                               order_cols.size()))];
-      if (Pick(2) == 0) sql += " DESC";
-      if (order_cols.size() > 1 && Pick(2) == 0) {
-        sql += ", " + order_cols[0] + " ASC";
-      }
-      sql += " ";
-    }
-    if (Pick(3) == 0) {
-      sql += "LIMIT " + std::to_string(Pick(40));
-      if (Pick(2) == 0) sql += " OFFSET " + std::to_string(Pick(20));
-    }
-    return sql;
-  }
-};
-
-// Rendered result, row order normalized away unless `ordered`.
-std::string Canonical(const ResultSet& rs, bool ordered) {
-  std::string csv = rs.ToCsv();
-  if (ordered) return csv;
-  std::vector<std::string> lines = util::Split(csv, '\n');
-  if (!lines.empty() && lines.back().empty()) lines.pop_back();
-  if (lines.size() > 1) std::sort(lines.begin() + 1, lines.end());
-  return util::Join(lines, "\n");
-}
-
 TEST_F(StatsDbPropertyTest, EnginesAgreeOnRandomQueries) {
-  SqlGen gen(0x5eed);
+  property::SqlGen gen(0x5eed);
   int executed = 0;
   for (int q = 0; q < kQueries; ++q) {
     bool ordered = false;
@@ -264,7 +109,7 @@ TEST_F(StatsDbPropertyTest, EnginesAgreeOnRandomQueries) {
     ASSERT_NO_FATAL_FAILURE(ExpectParallelByteIdentical(*plan, sql));
     if (!ref.ok()) continue;  // both failed: loose error agreement
     ++executed;
-    ASSERT_EQ(Canonical(*ref, ordered), Canonical(*vec, ordered)) << sql;
+    ASSERT_EQ(property::Canonical(*ref, ordered), property::Canonical(*vec, ordered)) << sql;
   }
   // The generator should produce overwhelmingly valid queries.
   EXPECT_GT(executed, kQueries * 9 / 10);
@@ -273,7 +118,7 @@ TEST_F(StatsDbPropertyTest, EnginesAgreeOnRandomQueries) {
 TEST_F(StatsDbPropertyTest, EnginesAgreeAfterMutations) {
   // Interleave DML with checks: update/delete dirty the zone maps, and
   // subsequent scans must still agree.
-  SqlGen gen(0xbadc0de);
+  property::SqlGen gen(0xbadc0de);
   ASSERT_TRUE(
       db_.Sql("UPDATE runs SET walltime = 12345.0 WHERE day = 100").ok());
   ASSERT_TRUE(db_.Sql("DELETE FROM runs WHERE day > 350").ok());
@@ -289,7 +134,7 @@ TEST_F(StatsDbPropertyTest, EnginesAgreeAfterMutations) {
     ASSERT_EQ(ref.ok(), vec.ok()) << sql;
     ASSERT_NO_FATAL_FAILURE(ExpectParallelByteIdentical(*plan, sql));
     if (!ref.ok()) continue;
-    ASSERT_EQ(Canonical(*ref, ordered), Canonical(*vec, ordered)) << sql;
+    ASSERT_EQ(property::Canonical(*ref, ordered), property::Canonical(*vec, ordered)) << sql;
   }
 }
 
@@ -308,8 +153,8 @@ TEST_F(StatsDbPropertyTest, CacheOnMatchesCacheOffAcrossWritesAndPools) {
   full.mode = CacheConfig::Mode::kFull;
 
   util::Rng writes(0xcac4e);
-  SqlGen gen(0x5eed);        // statement stream of EnginesAgree...
-  SqlGen gen2(0xbadc0de);    // ...and of EnginesAgreeAfterMutations
+  property::SqlGen gen(0x5eed);        // statement stream of EnginesAgree...
+  property::SqlGen gen2(0xbadc0de);    // ...and of EnginesAgreeAfterMutations
   uint64_t checked = 0;
 
   for (int q = 0; q < kQueries + 60; ++q) {
