@@ -1,0 +1,575 @@
+// Chaos-hardened serving: the served statsdb under injected socket
+// faults and overload, with exit-code gates instead of numbers to
+// admire.
+//
+// Phase 1 — CHAOS. 8 concurrent RetryingClients drive point and top-k
+// reads through ChaosTransports injecting ALL fault kinds: partial
+// reads/writes, delays, single-byte corruption, connection resets
+// (net/chaos_transport.h). Gates:
+//
+//   * zero crashes (the CI lane runs this under ASan);
+//   * every request terminates — in a result or a typed error, never a
+//     hang (connect/read deadlines turn wedged streams into
+//     kDeadlineMissed, which the retry ladder absorbs);
+//   * 100% eventual completion: no request exhausts the retry ladder
+//     (gave_up == 0). A request "completes" when it returns rows OR a
+//     SERVER-reported error — a corrupted byte can land in the SQL
+//     text, and the server's parse error for the garbled statement is
+//     a correct, complete answer to what actually arrived.
+//
+// Phase 2 — DETERMINISM. Phase 1 runs twice with the same seeds; the
+// per-client fault-injection counter lines must be byte-identical.
+// Chaos events are scheduled by stream byte offset from Rng::Split
+// substreams, so kernel chunking and thread timing cannot perturb
+// them — same seed, same chaos timeline (the PR 6 discipline on real
+// sockets).
+//
+// Phase 3 — OVERLOAD. A fresh server with a small admission budget
+// (max_pending_frames) takes ~4x its budget in pipelined aggressor
+// traffic while synchronous probe clients measure per-request latency.
+// Gates:
+//
+//   * shedding engages (shed > 0) and every probe request is answered;
+//   * accepted-probe P99 stays under a recorded bound (the budget caps
+//     the queue, so accepted work is never behind an unbounded line);
+//   * shed-probe P99 stays under the same bound — kUnavailable is a
+//     FAST no, that is the point of admission control;
+//   * the server's own overload ledger (runtime_server table) read
+//     back over the wire agrees that frames were shed.
+//
+// Usage: server_chaos [--smoke] [json_path]
+// Output: labelled text on stdout, BENCH_server_chaos.json; exit 0 iff
+// every gate passed.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "logdata/loader.h"
+#include "net/chaos_transport.h"
+#include "net/client.h"
+#include "net/retrying_client.h"
+#include "net/server.h"
+#include "util/rng.h"
+
+namespace ff {
+namespace {
+
+using bench::LatencyQuantiles;
+using util::Status;
+
+std::atomic<int> g_gate_failures{0};
+
+void Gate(bool ok, const char* what) {
+  std::printf("  gate %-44s %s\n", what, ok ? "PASS" : "FAIL");
+  if (!ok) g_gate_failures.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<logdata::LogRecord> MakeRecords(int n_forecasts, int n_days) {
+  util::Rng rng(7);
+  std::vector<logdata::LogRecord> out;
+  out.reserve(static_cast<size_t>(n_forecasts) * n_days);
+  for (int d = 1; d <= n_days; ++d) {
+    for (int f = 0; f < n_forecasts; ++f) {
+      logdata::LogRecord r;
+      r.forecast = "forecast-" + std::to_string(f);
+      r.region = "region-" + std::to_string(f % 5);
+      r.day = d;
+      r.node = "f" + std::to_string(f % 6 + 1);
+      r.code_version = "v1";
+      r.mesh_sides = 5000 + (f % 26) * 1000;
+      r.timesteps = f % 2 ? 5760 : 2880;
+      r.start_time = d * 86400.0 + 3600.0;
+      r.walltime = rng.Uniform(20000.0, 80000.0);
+      r.end_time = r.start_time + r.walltime;
+      r.status = logdata::RunStatus::kCompleted;
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+std::string PointSql(size_t i) {
+  return "SELECT walltime FROM runs WHERE forecast = 'forecast-" +
+         std::to_string(i % 8) + "' AND day = " + std::to_string(i % 28 + 1);
+}
+
+std::string TopkSql(size_t i) {
+  return "SELECT day, walltime FROM runs WHERE forecast = 'forecast-" +
+         std::to_string(i % 8) + "' ORDER BY walltime DESC LIMIT 10";
+}
+
+// ---------------------------------------------------------------------
+// Phase 1/2: chaos workload
+// ---------------------------------------------------------------------
+
+struct ChaosClientResult {
+  size_t requests = 0;
+  size_t ok = 0;
+  size_t server_error = 0;     // typed kError answers (complete!)
+  size_t transport_error = 0;  // exhausted ladder / refused retry
+  net::RetryingClient::Stats stats;
+  std::string counters;  // ChaosCounters::ToString()
+};
+
+struct ChaosRunResult {
+  std::vector<ChaosClientResult> clients;
+  double wall_ms = 0.0;
+
+  size_t Total(size_t ChaosClientResult::* field) const {
+    size_t sum = 0;
+    for (const auto& c : clients) sum += c.*field;
+    return sum;
+  }
+  uint64_t TotalStat(uint64_t net::RetryingClient::Stats::* field) const {
+    uint64_t sum = 0;
+    for (const auto& c : clients) sum += c.stats.*field;
+    return sum;
+  }
+  /// One line per client — the determinism gate diffs this across runs.
+  std::string CounterDump() const {
+    std::string out;
+    for (size_t i = 0; i < clients.size(); ++i) {
+      out += "client" + std::to_string(i) + ": " + clients[i].counters + "\n";
+    }
+    return out;
+  }
+};
+
+ChaosRunResult RunChaosWorkload(uint16_t port, size_t n_clients,
+                                size_t requests_per_client,
+                                uint64_t seed_base) {
+  net::ChaosProfile profile;
+  profile.split_gap_bytes = 48;     // constant partial-I/O pressure
+  profile.delay_gap_bytes = 512;    // frequent but tiny stalls
+  profile.delay_min_ms = 0.05;
+  profile.delay_max_ms = 0.5;
+  profile.corrupt_gap_bytes = 4096; // occasional flipped byte
+  profile.reset_gap_bytes = 8192;   // a few mid-stream teardowns
+
+  ChaosRunResult run;
+  run.clients.resize(n_clients);
+  std::vector<std::thread> threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t c = 0; c < n_clients; ++c) {
+    threads.emplace_back([&, c] {
+      ChaosClientResult& out = run.clients[c];
+      net::ChaosProfile my_profile = profile;
+      my_profile.seed = seed_base + c;  // distinct timeline per client
+      auto counters = std::make_shared<net::ChaosCounters>();
+      auto conn_index = std::make_shared<std::atomic<uint64_t>>(0);
+
+      net::RetryingClientOptions opts;
+      // Deadlines turn a wedged stream (e.g. a corrupted length header
+      // promising megabytes that never come) into kDeadlineMissed.
+      opts.client.connect_timeout_ms = 2000;
+      opts.client.io_timeout_ms = 750;
+      opts.client.wrap_transport =
+          [my_profile, counters,
+           conn_index](std::unique_ptr<net::Transport> base)
+          -> std::unique_ptr<net::Transport> {
+        return std::make_unique<net::ChaosTransport>(
+            std::move(base), my_profile,
+            conn_index->fetch_add(1, std::memory_order_relaxed),
+            counters.get());
+      };
+      // A deeper-than-default ladder: the gate is 100% eventual
+      // completion, so the client keeps going through repeated resets.
+      opts.policy.max_attempts = 12;
+      opts.policy.base_backoff = 0.001;
+      opts.policy.max_backoff = 0.05;
+      opts.seed = 0x9e3779b97f4a7c15ULL ^ (seed_base + c);
+
+      net::RetryingClient client("127.0.0.1", static_cast<uint16_t>(port),
+                                 std::move(opts));
+      for (size_t i = 0; i < requests_per_client; ++i) {
+        const std::string sql = (i % 4 == 3) ? TopkSql(c + i) : PointSql(c + i);
+        auto rs = client.Query(sql);
+        ++out.requests;
+        if (rs.ok()) {
+          ++out.ok;
+        } else if (client.raw().last_error_was_server_reported()) {
+          ++out.server_error;
+        } else {
+          ++out.transport_error;
+        }
+      }
+      out.stats = client.stats();
+      out.counters = counters->ToString();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  run.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return run;
+}
+
+// ---------------------------------------------------------------------
+// Phase 3: overload
+// ---------------------------------------------------------------------
+
+struct OverloadResult {
+  size_t probe_requests = 0;
+  size_t probe_ok = 0;
+  size_t probe_shed = 0;
+  size_t probe_other_error = 0;
+  size_t aggressor_responses = 0;
+  size_t aggressor_shed = 0;
+  LatencyQuantiles accepted;  // probe latency when answered with rows
+  LatencyQuantiles shed;      // probe latency when answered kUnavailable
+  int64_t wire_shed_frames = -1;  // server's own ledger, read over the wire
+};
+
+OverloadResult RunOverload(uint16_t port, size_t n_aggressors,
+                           size_t n_probes, size_t window, size_t rounds,
+                           size_t probe_requests) {
+  OverloadResult out;
+  std::vector<std::vector<double>> accepted_lat(n_probes);
+  std::vector<std::vector<double>> shed_lat(n_probes);
+  std::vector<size_t> probe_ok(n_probes, 0), probe_shed(n_probes, 0),
+      probe_other(n_probes, 0);
+  std::atomic<size_t> agg_responses{0}, agg_shed{0};
+  std::atomic<bool> aggressors_on{true};
+
+  std::vector<std::thread> threads;
+  // Aggressors: fire a window of kQuery frames back-to-back, then
+  // collect the window's responses; the un-drained window is what keeps
+  // the server's admission level pinned above budget.
+  for (size_t a = 0; a < n_aggressors; ++a) {
+    threads.emplace_back([&, a] {
+      auto client = net::Client::Connect("127.0.0.1", port);
+      if (!client.ok()) return;
+      for (size_t r = 0; r < rounds; ++r) {
+        for (size_t i = 0; i < window; ++i) {
+          net::WireWriter w;
+          w.U8(0);
+          const std::string sql = PointSql(a * 131 + r * window + i);
+          w.Raw(sql.data(), sql.size());
+          if (!client->SendRaw(net::EncodeFrame(net::Opcode::kQuery,
+                                                w.buffer()))
+                   .ok()) {
+            return;
+          }
+        }
+        for (size_t i = 0; i < window; ++i) {
+          auto frame = client->ReadFrame();
+          if (!frame.ok()) return;
+          agg_responses.fetch_add(1, std::memory_order_relaxed);
+          if (frame->first == net::Opcode::kError &&
+              frame->second.size() >= 1 &&
+              static_cast<uint8_t>(frame->second[0]) ==
+                  static_cast<uint8_t>(util::StatusCode::kUnavailable)) {
+            agg_shed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+      aggressors_on.store(false, std::memory_order_relaxed);
+    });
+  }
+  // Probes: synchronous request/response, one latency sample each.
+  for (size_t p = 0; p < n_probes; ++p) {
+    threads.emplace_back([&, p] {
+      auto client = net::Client::Connect("127.0.0.1", port);
+      if (!client.ok()) return;
+      for (size_t i = 0; i < probe_requests; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        auto rs = client->Query(PointSql(p * 977 + i));
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (rs.ok()) {
+          ++probe_ok[p];
+          accepted_lat[p].push_back(ms);
+        } else if (rs.status().IsUnavailable()) {
+          ++probe_shed[p];
+          shed_lat[p].push_back(ms);
+        } else {
+          ++probe_other[p];
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<double> acc, sh;
+  for (size_t p = 0; p < n_probes; ++p) {
+    out.probe_requests += probe_ok[p] + probe_shed[p] + probe_other[p];
+    out.probe_ok += probe_ok[p];
+    out.probe_shed += probe_shed[p];
+    out.probe_other_error += probe_other[p];
+    acc.insert(acc.end(), accepted_lat[p].begin(), accepted_lat[p].end());
+    sh.insert(sh.end(), shed_lat[p].begin(), shed_lat[p].end());
+  }
+  out.accepted = bench::SummarizeLatencies(std::move(acc));
+  out.shed = bench::SummarizeLatencies(std::move(sh));
+  out.aggressor_responses = agg_responses.load();
+  out.aggressor_shed = agg_shed.load();
+
+  // Read the server's own overload ledger back over the wire.
+  auto client = net::Client::Connect("127.0.0.1", port);
+  if (client.ok() && client->RefreshServerStats().ok()) {
+    auto rs = client->Query(
+        "SELECT value FROM runtime_server WHERE counter = 'shed_frames'");
+    if (rs.ok()) {
+      auto scalar = rs->Scalar();
+      if (scalar.ok() && scalar->type() == statsdb::DataType::kInt64) {
+        out.wire_shed_frames = scalar->int64_value();
+      }
+    }
+  }
+  return out;
+}
+
+std::string QuantilesJson(const LatencyQuantiles& q) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\": %zu, \"mean_ms\": %.4f, \"p50_ms\": %.4f, "
+                "\"p95_ms\": %.4f, \"p99_ms\": %.4f, \"max_ms\": %.4f}",
+                q.count, q.mean, q.p50, q.p95, q.p99, q.max);
+  return buf;
+}
+
+}  // namespace
+}  // namespace ff
+
+int main(int argc, char** argv) {
+  using namespace ff;
+  bool smoke = false;
+  const char* json_path = "BENCH_server_chaos.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+  // The crash/termination gates are only meaningful at real
+  // concurrency, so --smoke keeps all 8 clients and trims request
+  // counts instead.
+  const size_t kChaosClients = 8;
+  const size_t kChaosRequests = smoke ? 40 : 250;  // per client
+  const uint64_t kSeedBase = 0xc4a05ULL;
+
+  bench::PrintHeader("server_chaos",
+                     "served statsdb under socket faults and overload");
+
+  // ------------------------------------------------------------------
+  // Phases 1+2: chaos, twice, against one fault-free server.
+  // ------------------------------------------------------------------
+  ChaosRunResult runs[2];
+  {
+    net::ServerConfig scfg;
+    scfg.pool_threads = 4;
+    // Generous hygiene limits: they should NOT fire here (the chaos is
+    // client-side), but a bug that wedges a session now fails loudly
+    // instead of hanging the bench.
+    scfg.idle_timeout_ms = 30000;
+    scfg.drain_deadline_ms = 5000;
+    net::Server server(scfg);
+    {
+      auto records = MakeRecords(smoke ? 10 : 20, smoke ? 30 : 60);
+      auto table = logdata::LoadRuns(&server.db(), records);
+      if (!table.ok()) {
+        std::fprintf(stderr, "load failed: %s\n",
+                     table.status().ToString().c_str());
+        return 1;
+      }
+    }
+    if (auto st = server.Start(); !st.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    for (int r = 0; r < 2; ++r) {
+      runs[r] = RunChaosWorkload(server.port(), kChaosClients,
+                                 kChaosRequests, kSeedBase);
+    }
+    server.Stop();
+  }
+
+  const ChaosRunResult& chaos = runs[0];
+  std::printf("\nchaos phase (%zu clients x %zu requests, all fault kinds)\n",
+              kChaosClients, kChaosRequests);
+  std::printf("  wall_ms=%.0f ok=%zu server_error=%zu transport_error=%zu\n",
+              chaos.wall_ms, chaos.Total(&ChaosClientResult::ok),
+              chaos.Total(&ChaosClientResult::server_error),
+              chaos.Total(&ChaosClientResult::transport_error));
+  std::printf(
+      "  retries=%llu reconnects=%llu gave_up=%llu not_retried=%llu\n",
+      static_cast<unsigned long long>(
+          chaos.TotalStat(&net::RetryingClient::Stats::retries)),
+      static_cast<unsigned long long>(
+          chaos.TotalStat(&net::RetryingClient::Stats::connects)),
+      static_cast<unsigned long long>(
+          chaos.TotalStat(&net::RetryingClient::Stats::gave_up)),
+      static_cast<unsigned long long>(
+          chaos.TotalStat(&net::RetryingClient::Stats::not_retried)));
+  std::printf("%s", chaos.CounterDump().c_str());
+
+  const size_t total_requests = chaos.Total(&ChaosClientResult::requests);
+  const size_t completed = chaos.Total(&ChaosClientResult::ok) +
+                           chaos.Total(&ChaosClientResult::server_error);
+  Gate(total_requests == kChaosClients * kChaosRequests,
+       "every chaos request terminated");
+  Gate(chaos.TotalStat(&net::RetryingClient::Stats::gave_up) == 0 &&
+           completed == total_requests,
+       "100% eventual completion (no request gave up)");
+  Gate(chaos.TotalStat(&net::RetryingClient::Stats::retries) > 0,
+       "chaos actually forced retries");
+  // Each fault kind must have fired somewhere, or the phase proved
+  // nothing. Counters are seeded, so this is a deterministic check.
+  {
+    bool all_kinds = true;
+    for (const char* kind :
+         {"splits=0 ", "delays=0 ", "corruptions=0 ", "resets=0"}) {
+      size_t firing = 0;
+      for (const auto& c : chaos.clients) {
+        if (c.counters.find(kind) == std::string::npos) ++firing;
+      }
+      all_kinds = all_kinds && firing > 0;
+    }
+    Gate(all_kinds, "every fault kind injected at least once");
+  }
+  Gate(runs[0].CounterDump() == runs[1].CounterDump(),
+       "same seed => byte-identical injection counters");
+
+  // ------------------------------------------------------------------
+  // Phase 3: overload against a budgeted server.
+  // ------------------------------------------------------------------
+  const size_t kBudget = 24;
+  const size_t kAggressors = 6;
+  const size_t kWindow = 16;  // 6 x 16 = 96 in flight = 4x budget
+  const size_t kRounds = smoke ? 8 : 40;
+  const size_t kProbes = 2;
+  const size_t kProbeReqs = smoke ? 80 : 400;
+
+  OverloadResult baseline, overload;
+  {
+    net::ServerConfig scfg;
+    scfg.pool_threads = 4;
+    scfg.max_pending_frames = kBudget;
+    scfg.drain_deadline_ms = 5000;
+    net::Server server(scfg);
+    {
+      auto records = MakeRecords(smoke ? 10 : 20, smoke ? 30 : 60);
+      auto table = logdata::LoadRuns(&server.db(), records);
+      if (!table.ok()) return 1;
+    }
+    if (auto st = server.Start(); !st.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    // Baseline: probes alone, well under budget.
+    baseline = RunOverload(server.port(), /*n_aggressors=*/0, kProbes,
+                           kWindow, /*rounds=*/0, kProbeReqs);
+    // Overload: ~4x the admission budget in pipelined traffic.
+    overload = RunOverload(server.port(), kAggressors, kProbes, kWindow,
+                           kRounds, kProbeReqs);
+    server.Stop();
+  }
+
+  std::printf("\noverload phase (budget=%zu frames, %zux%zu pipelined)\n",
+              kBudget, kAggressors, kWindow);
+  std::printf("  baseline accepted: %s\n",
+              QuantilesJson(baseline.accepted).c_str());
+  std::printf("  overload accepted: %s\n",
+              QuantilesJson(overload.accepted).c_str());
+  std::printf("  overload shed:     %s\n", QuantilesJson(overload.shed).c_str());
+  std::printf("  probe ok=%zu shed=%zu other=%zu | aggressor shed=%zu/%zu | "
+              "wire shed_frames=%lld\n",
+              overload.probe_ok, overload.probe_shed,
+              overload.probe_other_error, overload.aggressor_shed,
+              overload.aggressor_responses,
+              static_cast<long long>(overload.wire_shed_frames));
+
+  // A generous recorded bound: overload tails may be well above the
+  // unloaded baseline, but admission control must keep them BOUNDED —
+  // the failure mode without it is a queue that grows without limit.
+  const double bound_ms =
+      std::max(50.0, 25.0 * std::max(baseline.accepted.p99, 0.2));
+  std::printf("  accepted-P99 bound: %.1f ms\n", bound_ms);
+
+  Gate(baseline.probe_ok == baseline.probe_requests &&
+           baseline.probe_requests == kProbes * kProbeReqs,
+       "baseline probes all accepted");
+  Gate(overload.probe_requests == kProbes * kProbeReqs &&
+           overload.probe_other_error == 0,
+       "every overload probe answered (rows or typed kUnavailable)");
+  Gate(overload.aggressor_shed + overload.probe_shed > 0,
+       "shedding engaged under 4x overload");
+  Gate(overload.wire_shed_frames > 0,
+       "server overload ledger readable over the wire");
+  Gate(overload.accepted.count > 0 && overload.accepted.p99 <= bound_ms,
+       "accepted-probe P99 under recorded bound");
+  Gate(overload.shed.count == 0 || overload.shed.p99 <= bound_ms,
+       "shed probes fail fast");
+
+  // ------------------------------------------------------------------
+  // Artifact
+  // ------------------------------------------------------------------
+  const bool ok = g_gate_failures.load() == 0;
+  FILE* jf = std::fopen(json_path, "w");
+  if (jf != nullptr) {
+    std::fprintf(jf, "{\n  \"bench\": \"server_chaos\",\n");
+    std::fprintf(jf, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(jf, "  \"chaos\": {\n");
+    std::fprintf(jf, "    \"clients\": %zu,\n    \"requests\": %zu,\n",
+                 kChaosClients, total_requests);
+    std::fprintf(jf,
+                 "    \"ok\": %zu,\n    \"server_error\": %zu,\n"
+                 "    \"transport_error\": %zu,\n",
+                 chaos.Total(&ChaosClientResult::ok),
+                 chaos.Total(&ChaosClientResult::server_error),
+                 chaos.Total(&ChaosClientResult::transport_error));
+    std::fprintf(
+        jf,
+        "    \"retries\": %llu,\n    \"connects\": %llu,\n"
+        "    \"gave_up\": %llu,\n    \"wall_ms\": %.1f,\n",
+        static_cast<unsigned long long>(
+            chaos.TotalStat(&net::RetryingClient::Stats::retries)),
+        static_cast<unsigned long long>(
+            chaos.TotalStat(&net::RetryingClient::Stats::connects)),
+        static_cast<unsigned long long>(
+            chaos.TotalStat(&net::RetryingClient::Stats::gave_up)),
+        chaos.wall_ms);
+    std::fprintf(jf, "    \"counters\": [\n");
+    for (size_t i = 0; i < chaos.clients.size(); ++i) {
+      std::fprintf(jf, "      \"%s\"%s\n", chaos.clients[i].counters.c_str(),
+                   i + 1 < chaos.clients.size() ? "," : "");
+    }
+    std::fprintf(jf, "    ],\n");
+    std::fprintf(jf, "    \"deterministic\": %s\n  },\n",
+                 runs[0].CounterDump() == runs[1].CounterDump() ? "true"
+                                                                : "false");
+    std::fprintf(jf, "  \"overload\": {\n");
+    std::fprintf(jf, "    \"budget_frames\": %zu,\n", kBudget);
+    std::fprintf(jf, "    \"baseline_accepted\": %s,\n",
+                 QuantilesJson(baseline.accepted).c_str());
+    std::fprintf(jf, "    \"accepted\": %s,\n",
+                 QuantilesJson(overload.accepted).c_str());
+    std::fprintf(jf, "    \"shed\": %s,\n", QuantilesJson(overload.shed).c_str());
+    std::fprintf(jf,
+                 "    \"probe_ok\": %zu,\n    \"probe_shed\": %zu,\n"
+                 "    \"aggressor_shed\": %zu,\n"
+                 "    \"wire_shed_frames\": %lld,\n"
+                 "    \"p99_bound_ms\": %.1f\n  },\n",
+                 overload.probe_ok, overload.probe_shed,
+                 overload.aggressor_shed,
+                 static_cast<long long>(overload.wire_shed_frames), bound_ms);
+    std::fprintf(jf, "  \"gates_failed\": %d,\n  \"ok\": %s\n}\n",
+                 g_gate_failures.load(), ok ? "true" : "false");
+    std::fclose(jf);
+  }
+
+  std::printf("\n%s (%d gate failure%s) -> %s\n", ok ? "PASS" : "FAIL",
+              g_gate_failures.load(), g_gate_failures.load() == 1 ? "" : "s",
+              json_path);
+  return ok ? 0 : 2;
+}

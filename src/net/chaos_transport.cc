@@ -1,0 +1,204 @@
+#include "net/chaos_transport.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ff {
+namespace net {
+
+namespace {
+
+using util::Status;
+
+constexpr uint64_t kNever = std::numeric_limits<uint64_t>::max();
+
+/// Next event gap in bytes: exponential with the given mean, floored at
+/// one byte so consecutive events land on distinct offsets.
+uint64_t DrawGap(util::Rng* rng, double mean_bytes) {
+  double g = rng->Exponential(1.0 / mean_bytes);
+  if (g < 1.0) return 1;
+  if (g > 1e15) return static_cast<uint64_t>(1e15);
+  return static_cast<uint64_t>(g);
+}
+
+void Bump(std::atomic<uint64_t>* c) {
+  c->fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::string ChaosCounters::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "splits=%llu delays=%llu corruptions=%llu resets=%llu",
+                static_cast<unsigned long long>(
+                    splits.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(
+                    delays.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(
+                    corruptions.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(
+                    resets.load(std::memory_order_relaxed)));
+  return buf;
+}
+
+ChaosTransport::ChaosTransport(std::unique_ptr<Transport> base,
+                               const ChaosProfile& profile,
+                               uint64_t conn_index,
+                               ChaosCounters* counters)
+    : base_(std::move(base)), profile_(profile), counters_(counters) {
+  const util::Rng root(profile_.seed);
+  // Eight substreams per connection: {split, delay, corrupt, reset} x
+  // {outbound, inbound}. Split() is a pure function of (state, i), so a
+  // connection's schedule is independent of how many connections came
+  // before it — index conn_index replays identically across runs.
+  InitSchedule(root, conn_index * 8, &out_);
+  InitSchedule(root, conn_index * 8 + 4, &in_);
+}
+
+void ChaosTransport::InitSchedule(const util::Rng& root,
+                                  uint64_t base_stream, Schedule* s) {
+  s->split_rng = root.Split(base_stream + 0);
+  s->delay_rng = root.Split(base_stream + 1);
+  s->corrupt_rng = root.Split(base_stream + 2);
+  s->reset_rng = root.Split(base_stream + 3);
+  s->next_split = profile_.split_gap_bytes > 0
+                      ? DrawGap(&s->split_rng, profile_.split_gap_bytes)
+                      : kNever;
+  s->next_delay = profile_.delay_gap_bytes > 0
+                      ? DrawGap(&s->delay_rng, profile_.delay_gap_bytes)
+                      : kNever;
+  s->next_corrupt =
+      profile_.corrupt_gap_bytes > 0
+          ? DrawGap(&s->corrupt_rng, profile_.corrupt_gap_bytes)
+          : kNever;
+  s->next_reset = profile_.reset_gap_bytes > 0
+                      ? DrawGap(&s->reset_rng, profile_.reset_gap_bytes)
+                      : kNever;
+}
+
+size_t ChaosTransport::CapAndFire(Schedule* s, size_t want, bool* reset) {
+  *reset = false;
+  // Events whose offset has been reached fire BEFORE the I/O moves any
+  // further bytes; the caps below guarantee the position lands exactly
+  // on each pending offset, so every scheduled event fires exactly once
+  // no matter how the kernel or the caller chunk the stream.
+  if (s->next_reset != kNever && s->pos >= s->next_reset) {
+    if (counters_ != nullptr) Bump(&counters_->resets);
+    *reset = true;
+    return 0;
+  }
+  while (s->next_delay != kNever && s->pos >= s->next_delay) {
+    const double ms =
+        s->delay_rng.Uniform(profile_.delay_min_ms, profile_.delay_max_ms);
+    if (counters_ != nullptr) Bump(&counters_->delays);
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+    s->next_delay += DrawGap(&s->delay_rng, profile_.delay_gap_bytes);
+  }
+  while (s->next_split != kNever && s->pos >= s->next_split) {
+    if (counters_ != nullptr) Bump(&counters_->splits);
+    s->next_split += DrawGap(&s->split_rng, profile_.split_gap_bytes);
+  }
+  size_t cap = want;
+  for (uint64_t boundary : {s->next_split, s->next_delay, s->next_reset}) {
+    if (boundary != kNever && boundary - s->pos < cap) {
+      cap = static_cast<size_t>(boundary - s->pos);
+    }
+  }
+  return cap;
+}
+
+void ChaosTransport::CorruptAndAdvance(Schedule* s, char* data, size_t n) {
+  while (s->next_corrupt != kNever && s->next_corrupt < s->pos + n) {
+    // next_corrupt >= pos always holds: offsets only advance past bytes
+    // that actually moved.
+    data[s->next_corrupt - s->pos] ^= 0xFF;
+    if (counters_ != nullptr) Bump(&counters_->corruptions);
+    s->next_corrupt += DrawGap(&s->corrupt_rng, profile_.corrupt_gap_bytes);
+  }
+  s->pos += n;
+}
+
+util::StatusOr<size_t> ChaosTransport::Send(const char* data, size_t n) {
+  if (dead_) return Status::IoError("chaos: connection reset");
+  if (n == 0) return static_cast<size_t>(0);
+  bool reset = false;
+  size_t cap = CapAndFire(&out_, n, &reset);
+  if (reset) {
+    dead_ = true;
+    base_->Close();
+    return Status::IoError("chaos: connection reset");
+  }
+  // Corruption flips bytes on their way out; work on a copy so a short
+  // send re-flips the same offsets to the same values next call.
+  const char* payload = data;
+  std::vector<char> scratch;
+  if (out_.next_corrupt != kNever && out_.next_corrupt < out_.pos + cap) {
+    scratch.assign(data, data + cap);
+    uint64_t probe = out_.next_corrupt;
+    util::Rng probe_rng = out_.corrupt_rng;  // peek without committing
+    while (probe != kNever && probe < out_.pos + cap) {
+      scratch[probe - out_.pos] ^= 0xFF;
+      probe += DrawGap(&probe_rng, profile_.corrupt_gap_bytes);
+    }
+    payload = scratch.data();
+  }
+  auto sent = base_->Send(payload, cap);
+  if (!sent.ok()) return sent.status();
+  // Commit schedule advancement only over bytes that actually moved.
+  uint64_t pos_before = out_.pos;
+  while (out_.next_corrupt != kNever &&
+         out_.next_corrupt < pos_before + *sent) {
+    if (counters_ != nullptr) Bump(&counters_->corruptions);
+    out_.next_corrupt +=
+        DrawGap(&out_.corrupt_rng, profile_.corrupt_gap_bytes);
+  }
+  out_.pos += *sent;
+  return *sent;
+}
+
+util::StatusOr<size_t> ChaosTransport::Recv(char* buf, size_t n) {
+  if (dead_) return Status::IoError("chaos: connection reset");
+  if (n == 0) return static_cast<size_t>(0);
+  bool reset = false;
+  size_t cap = CapAndFire(&in_, n, &reset);
+  if (reset) {
+    dead_ = true;
+    base_->Close();
+    return Status::IoError("chaos: connection reset");
+  }
+  auto got = base_->Recv(buf, cap);
+  if (!got.ok()) return got.status();
+  if (*got == 0) return static_cast<size_t>(0);  // clean EOF from the peer
+  CorruptAndAdvance(&in_, buf, *got);
+  return *got;
+}
+
+void ChaosTransport::Close() {
+  dead_ = true;
+  base_->Close();
+}
+
+util::StatusOr<std::unique_ptr<Transport>> ConnectChaos(
+    const std::string& host, uint16_t port,
+    const TransportDeadlines& deadlines, const ChaosProfile& profile,
+    uint64_t conn_index, ChaosCounters* counters) {
+  auto sock = SocketTransport::Connect(host, port, deadlines);
+  if (!sock.ok()) return sock.status();
+  if (!profile.any_enabled()) {
+    return std::unique_ptr<Transport>(std::move(*sock));
+  }
+  return std::unique_ptr<Transport>(std::make_unique<ChaosTransport>(
+      std::move(*sock), profile, conn_index, counters));
+}
+
+}  // namespace net
+}  // namespace ff

@@ -1,0 +1,141 @@
+// ChaosTransport: seeded, deterministic network-fault injection for the
+// served statsdb — PR 6's fault discipline (util::Rng::Split substreams,
+// same seed => byte-identical timeline) applied to REAL sockets instead
+// of the simulated cluster.
+//
+// The decorator wraps any Transport (either end of a loopback
+// connection — it is direction-symmetric) and injects five fault kinds:
+//
+//   kSplit    partial reads/writes: an I/O call is capped short of what
+//             was asked, exercising every resume loop above it
+//   kDelay    artificial stalls of a drawn duration
+//   kCorrupt  a single byte XOR-flipped in flight
+//   kReset    the connection torn down mid-stream (usually mid-frame)
+//   plus EOF via reset — a reset after the last request byte looks like
+//   a clean close at an unfortunate moment
+//
+// Determinism. Faults are scheduled by BYTE OFFSET, not by wall clock
+// or call count: each (direction, kind) pair owns an Rng::Split
+// substream that yields a sequence of absolute stream offsets (gaps
+// drawn exponential with the profile's mean). An event fires exactly
+// when the stream position crosses its offset, so however the kernel or
+// the caller chunks the I/O — and however slowly the peer drains — the
+// same seed produces the same faulted byte stream and the same per-kind
+// injection counters. bench/server_chaos gates on exactly that: two
+// runs, byte-identical counter dumps.
+//
+// Reconnects. A transport is built with a connection index; substreams
+// are Split(conn_index * kNumChaosKinds * 2 + stream) of the profile
+// seed, so a RetryingClient's third connection replays the same chaos
+// whether or not the second one was reset early.
+
+#ifndef FF_NET_CHAOS_TRANSPORT_H_
+#define FF_NET_CHAOS_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/transport.h"
+#include "util/rng.h"
+
+namespace ff {
+namespace net {
+
+/// Injection rates. A kind's gap is the MEAN number of stream bytes
+/// between injections (exponential gaps, minimum 1); 0 disables the
+/// kind entirely — and draws nothing from its substream, so enabling
+/// corruption never perturbs the delay schedule.
+struct ChaosProfile {
+  uint64_t seed = 0xc4a05eedULL;
+
+  double split_gap_bytes = 0.0;    // partial read/write boundaries
+  double delay_gap_bytes = 0.0;    // stalls
+  double delay_min_ms = 0.2;       // stall duration drawn uniform
+  double delay_max_ms = 2.0;       //   in [min, max)
+  double corrupt_gap_bytes = 0.0;  // single-byte XOR flips
+  double reset_gap_bytes = 0.0;    // connection teardowns
+
+  bool any_enabled() const {
+    return split_gap_bytes > 0 || delay_gap_bytes > 0 ||
+           corrupt_gap_bytes > 0 || reset_gap_bytes > 0;
+  }
+};
+
+/// Per-kind injection counters, shared by every connection of one
+/// logical client (atomics: the bench aggregates across threads).
+struct ChaosCounters {
+  std::atomic<uint64_t> splits{0};
+  std::atomic<uint64_t> delays{0};
+  std::atomic<uint64_t> corruptions{0};
+  std::atomic<uint64_t> resets{0};
+
+  void Add(const ChaosCounters& other) {
+    splits.fetch_add(other.splits.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    delays.fetch_add(other.delays.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    corruptions.fetch_add(
+        other.corruptions.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    resets.fetch_add(other.resets.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  }
+
+  /// Stable rendering ("splits=12 delays=3 corruptions=1 resets=2") —
+  /// the determinism gate diffs these strings across runs.
+  std::string ToString() const;
+};
+
+class ChaosTransport : public Transport {
+ public:
+  /// Wraps `base`. `conn_index` selects this connection's substreams
+  /// (see file comment); `counters` may be null (drops the counts) and
+  /// is not owned.
+  ChaosTransport(std::unique_ptr<Transport> base,
+                 const ChaosProfile& profile, uint64_t conn_index,
+                 ChaosCounters* counters);
+
+  util::StatusOr<size_t> Send(const char* data, size_t n) override;
+  util::StatusOr<size_t> Recv(char* buf, size_t n) override;
+  void Close() override;
+
+ private:
+  /// One direction's fault schedule: absolute next-event offsets per
+  /// kind, each advanced from its own substream.
+  struct Schedule {
+    util::Rng split_rng, delay_rng, corrupt_rng, reset_rng;
+    uint64_t pos = 0;  // stream bytes moved so far
+    uint64_t next_split = 0, next_delay = 0, next_corrupt = 0,
+             next_reset = 0;
+  };
+
+  void InitSchedule(const util::Rng& root, uint64_t base_stream,
+                    Schedule* s);
+  /// Applies pre-I/O events at the current position (delay, reset) and
+  /// returns the cap on how many bytes this call may move (to the
+  /// nearest upcoming boundary). Sets *reset when the connection dies.
+  size_t CapAndFire(Schedule* s, size_t want, bool* reset);
+  /// Corrupts bytes in [s->pos, s->pos + n) that cross the corruption
+  /// schedule, then advances the position.
+  void CorruptAndAdvance(Schedule* s, char* data, size_t n);
+
+  std::unique_ptr<Transport> base_;
+  ChaosProfile profile_;
+  ChaosCounters* counters_;
+  Schedule out_, in_;
+  bool dead_ = false;
+};
+
+/// Convenience: SocketTransport::Connect wrapped in chaos. `counters`
+/// may be null; each call should pass the next connection index.
+util::StatusOr<std::unique_ptr<Transport>> ConnectChaos(
+    const std::string& host, uint16_t port,
+    const TransportDeadlines& deadlines, const ChaosProfile& profile,
+    uint64_t conn_index, ChaosCounters* counters);
+
+}  // namespace net
+}  // namespace ff
+
+#endif  // FF_NET_CHAOS_TRANSPORT_H_

@@ -1,11 +1,5 @@
 #include "net/client.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -23,20 +17,20 @@ using util::Status;
 using util::StatusCode;
 using util::StatusOr;
 
-Status Errno(const char* what) {
-  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
-}
-
 /// Reconstructs the server-side Status from a kError frame body.
-Status DecodeError(std::string_view body) {
+/// *decoded says whether the frame was well-formed — a kError frame
+/// that itself fails to decode is a garbled stream, not a server
+/// answer, and the retry layer must treat it as a transport failure.
+Status DecodeError(std::string_view body, bool* decoded) {
+  *decoded = false;
   WireReader r(body);
   auto code = r.U8();
   if (!code.ok()) return code.status();
-  if (*code == 0 ||
-      *code > static_cast<uint8_t>(StatusCode::kDeadlineMissed)) {
+  if (*code == 0 || *code > static_cast<uint8_t>(util::kMaxStatusCode)) {
     return Status::ParseError("error frame carries invalid status code " +
                               std::to_string(*code));
   }
+  *decoded = true;
   std::string_view msg = r.Rest();
   return Status(static_cast<StatusCode>(*code), std::string(msg));
 }
@@ -46,67 +40,74 @@ Status DecodeError(std::string_view body) {
 Client::~Client() { Close(); }
 
 Client::Client(Client&& other) noexcept
-    : fd_(other.fd_), rbuf_(std::move(other.rbuf_)) {
-  other.fd_ = -1;
-}
+    : transport_(std::move(other.transport_)),
+      rbuf_(std::move(other.rbuf_)),
+      remote_error_(other.remote_error_) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     Close();
-    fd_ = other.fd_;
+    transport_ = std::move(other.transport_);
     rbuf_ = std::move(other.rbuf_);
-    other.fd_ = -1;
+    remote_error_ = other.remote_error_;
   }
   return *this;
 }
 
 void Client::Close() {
-  if (fd_ >= 0) close(fd_);
-  fd_ = -1;
+  if (transport_ != nullptr) transport_->Close();
+  transport_.reset();
   rbuf_.clear();
 }
 
 util::StatusOr<Client> Client::Connect(const std::string& host,
                                        uint16_t port) {
-  int fd = socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return Errno("socket");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    close(fd);
-    return Status::InvalidArgument("not an IPv4 address: " + host);
+  return Connect(host, port, ClientOptions{});
+}
+
+util::StatusOr<Client> Client::Connect(const std::string& host,
+                                       uint16_t port,
+                                       const ClientOptions& options) {
+  TransportDeadlines deadlines;
+  deadlines.connect_timeout_ms = options.connect_timeout_ms;
+  deadlines.io_timeout_ms = options.io_timeout_ms;
+  auto sock = SocketTransport::Connect(host, port, deadlines);
+  if (!sock.ok()) return sock.status();
+  std::unique_ptr<Transport> transport = std::move(*sock);
+  if (options.wrap_transport) {
+    transport = options.wrap_transport(std::move(transport));
   }
-  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    Status st = Errno("connect");
-    close(fd);
-    return st;
-  }
-  int one = 1;
-  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   Client c;
-  c.fd_ = fd;
+  c.transport_ = std::move(transport);
   return c;
 }
 
+util::Status Client::RemoteError(std::string_view body) {
+  bool decoded = false;
+  Status st = DecodeError(body, &decoded);
+  remote_error_ = decoded;
+  return st;
+}
+
 util::Status Client::SendRaw(std::string_view bytes) {
-  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  remote_error_ = false;
+  if (transport_ == nullptr) {
+    return Status::FailedPrecondition("client not connected");
+  }
   size_t off = 0;
   while (off < bytes.size()) {
-    ssize_t n =
-        send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
-    if (n > 0) {
-      off += static_cast<size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    return Errno("send");
+    auto n = transport_->Send(bytes.data() + off, bytes.size() - off);
+    if (!n.ok()) return n.status();
+    off += *n;
   }
   return Status::OK();
 }
 
 util::StatusOr<std::pair<Opcode, std::string>> Client::ReadFrame() {
-  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  remote_error_ = false;
+  if (transport_ == nullptr) {
+    return Status::FailedPrecondition("client not connected");
+  }
   for (;;) {
     FrameView f;
     size_t consumed = 0;
@@ -120,21 +121,28 @@ util::StatusOr<std::pair<Opcode, std::string>> Client::ReadFrame() {
       return out;
     }
     char buf[1 << 16];
-    ssize_t n = recv(fd_, buf, sizeof(buf), 0);
-    if (n > 0) {
-      rbuf_.append(buf, static_cast<size_t>(n));
-      continue;
+    auto n = transport_->Recv(buf, sizeof(buf));
+    if (!n.ok()) return n.status();
+    if (*n == 0) {
+      // EOF between frames is an orderly close; EOF with a partial
+      // frame buffered means the response was torn mid-flight — a
+      // poisoned stream the retry layer treats as retryable transport
+      // failure, never as a server answer.
+      if (rbuf_.empty()) {
+        return Status::IoError("server closed the connection");
+      }
+      return Status::ParseError("connection closed mid-frame (" +
+                                std::to_string(rbuf_.size()) +
+                                " bytes of a partial frame buffered)");
     }
-    if (n == 0) return Status::IoError("server closed the connection");
-    if (errno == EINTR) continue;
-    return Errno("recv");
+    rbuf_.append(buf, *n);
   }
 }
 
 util::StatusOr<statsdb::ResultSet> Client::ReadRowStream() {
   auto header = ReadFrame();
   if (!header.ok()) return header.status();
-  if (header->first == Opcode::kError) return DecodeError(header->second);
+  if (header->first == Opcode::kError) return RemoteError(header->second);
   if (header->first != Opcode::kRowHeader) {
     return Status::ParseError("expected row header frame, got opcode " +
                               std::to_string(static_cast<int>(header->first)));
@@ -148,7 +156,7 @@ util::StatusOr<statsdb::ResultSet> Client::ReadRowStream() {
   for (;;) {
     auto frame = ReadFrame();
     if (!frame.ok()) return frame.status();
-    if (frame->first == Opcode::kError) return DecodeError(frame->second);
+    if (frame->first == Opcode::kError) return RemoteError(frame->second);
     if (frame->first == Opcode::kRowEnd) {
       WireReader r(frame->second);
       FF_ASSIGN_OR_RETURN(uint64_t count, r.U64());
@@ -184,7 +192,7 @@ util::StatusOr<statsdb::ResultSet> Client::RoundTrip(Opcode op,
   if (row_at_a_time) return ReadRowStream();
   auto frame = ReadFrame();
   if (!frame.ok()) return frame.status();
-  if (frame->first == Opcode::kError) return DecodeError(frame->second);
+  if (frame->first == Opcode::kError) return RemoteError(frame->second);
   if (frame->first != Opcode::kResultSet) {
     return Status::ParseError("expected result frame, got opcode " +
                               std::to_string(static_cast<int>(frame->first)));
@@ -211,7 +219,7 @@ util::StatusOr<Client::Prepared> Client::Prepare(const std::string& sql) {
   FF_RETURN_IF_ERROR(SendRaw(EncodeFrame(Opcode::kPrepare, sql)));
   auto frame = ReadFrame();
   if (!frame.ok()) return frame.status();
-  if (frame->first == Opcode::kError) return DecodeError(frame->second);
+  if (frame->first == Opcode::kError) return RemoteError(frame->second);
   if (frame->first != Opcode::kPrepared) {
     return Status::ParseError("expected prepared frame, got opcode " +
                               std::to_string(static_cast<int>(frame->first)));
@@ -247,7 +255,7 @@ util::Status Client::SendExecute(const Prepared& stmt,
 util::StatusOr<statsdb::ResultSet> Client::ReadResult() {
   auto frame = ReadFrame();
   if (!frame.ok()) return frame.status();
-  if (frame->first == Opcode::kError) return DecodeError(frame->second);
+  if (frame->first == Opcode::kError) return RemoteError(frame->second);
   if (frame->first != Opcode::kResultSet) {
     return Status::ParseError("expected result frame, got opcode " +
                               std::to_string(static_cast<int>(frame->first)));
@@ -262,7 +270,7 @@ util::Status Client::ClosePrepared(const Prepared& stmt) {
   FF_RETURN_IF_ERROR(SendRaw(EncodeFrame(Opcode::kCloseStmt, w.buffer())));
   auto frame = ReadFrame();
   if (!frame.ok()) return frame.status();
-  if (frame->first == Opcode::kError) return DecodeError(frame->second);
+  if (frame->first == Opcode::kError) return RemoteError(frame->second);
   if (frame->first != Opcode::kStmtClosed) {
     return Status::ParseError("expected close-ack frame, got opcode " +
                               std::to_string(static_cast<int>(frame->first)));
@@ -274,7 +282,7 @@ util::Status Client::RefreshServerStats() {
   FF_RETURN_IF_ERROR(SendRaw(EncodeFrame(Opcode::kRefreshStats, "")));
   auto frame = ReadFrame();
   if (!frame.ok()) return frame.status();
-  if (frame->first == Opcode::kError) return DecodeError(frame->second);
+  if (frame->first == Opcode::kError) return RemoteError(frame->second);
   if (frame->first != Opcode::kStatsOk) {
     return Status::ParseError("expected stats-ack frame, got opcode " +
                               std::to_string(static_cast<int>(frame->first)));

@@ -7,21 +7,51 @@
 // frames and surface as the original util::Status, code and message
 // byte-identical to in-process Database::Execute — the equivalence
 // property lane depends on that round trip.
+//
+// I/O goes through a Transport (transport.h): by default a
+// SocketTransport with the ClientOptions deadlines (all default 0 =
+// wait forever, the fair-weather seed behaviour), optionally wrapped by
+// the caller (chaos_transport.h injects faults this way). A read
+// deadline turns a silent or wedged server into kDeadlineMissed
+// instead of a hang; a connection that closes in the middle of a frame
+// surfaces as ParseError("connection closed mid-frame") — distinct
+// from the clean between-frames close — so retry logic can tell a torn
+// response from an orderly goodbye.
+//
+// For resilience (reconnects, backoff, re-prepare, read-only
+// auto-retry) layer RetryingClient (retrying_client.h) on top.
 
 #ifndef FF_NET_CLIENT_H_
 #define FF_NET_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "net/transport.h"
 #include "net/wire.h"
 #include "statsdb/query.h"
 #include "util/statusor.h"
 
 namespace ff {
 namespace net {
+
+struct ClientOptions {
+  /// Deadline on establishing the TCP connection; 0 = block forever.
+  int connect_timeout_ms = 0;
+  /// Deadline on any single read/write wait; 0 = block forever. An
+  /// expired wait surfaces as kDeadlineMissed.
+  int io_timeout_ms = 0;
+  /// Optional decorator applied to the freshly connected transport
+  /// (e.g. wrap in a ChaosTransport). Called once per successful
+  /// connect — a RetryingClient's reconnects call it again, so a
+  /// stateful wrapper can hand out per-connection fault schedules.
+  std::function<std::unique_ptr<Transport>(std::unique_ptr<Transport>)>
+      wrap_transport;
+};
 
 class Client {
  public:
@@ -35,8 +65,11 @@ class Client {
   /// Connects to a served statsdb (TCP, TCP_NODELAY).
   static util::StatusOr<Client> Connect(const std::string& host,
                                         uint16_t port);
+  static util::StatusOr<Client> Connect(const std::string& host,
+                                        uint16_t port,
+                                        const ClientOptions& options);
 
-  bool connected() const { return fd_ >= 0; }
+  bool connected() const { return transport_ != nullptr; }
   void Close();
 
   /// Executes one SQL statement; the result arrives as a single batched
@@ -67,9 +100,17 @@ class Client {
                            const std::vector<statsdb::Value>& params);
   util::StatusOr<statsdb::ResultSet> ReadResult();
 
-  /// Asks the server to rebuild its runtime_cache / runtime_sessions
-  /// tables, so a following Query() can read them.
+  /// Asks the server to rebuild its runtime_cache / runtime_sessions /
+  /// runtime_server tables, so a following Query() can read them.
   util::Status RefreshServerStats();
+
+  /// True when the last failed operation's error was REPORTED BY THE
+  /// SERVER as a typed kError frame (the request/response exchange
+  /// itself worked); false when the failure was local or in transit
+  /// (connect/send/recv error, deadline, torn or malformed frame).
+  /// RetryingClient keys its retry decision on this: a server-reported
+  /// error would just recur, a transport error is worth a reconnect.
+  bool last_error_was_server_reported() const { return remote_error_; }
 
   /// Escape hatches for the malformed-frame hardening tests: push raw
   /// bytes at the server / read one raw frame back.
@@ -81,9 +122,13 @@ class Client {
                                                std::string_view body,
                                                bool row_at_a_time);
   util::StatusOr<statsdb::ResultSet> ReadRowStream();
+  /// Decodes a kError frame body into the server's Status and flags it
+  /// as server-reported.
+  util::Status RemoteError(std::string_view body);
 
-  int fd_ = -1;
+  std::unique_ptr<Transport> transport_;
   std::string rbuf_;  // bytes received but not yet framed
+  bool remote_error_ = false;
 };
 
 }  // namespace net

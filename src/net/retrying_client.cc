@@ -1,0 +1,203 @@
+#include "net/retrying_client.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "net/server.h"  // IsWriteStatement
+#include "util/status.h"
+
+namespace ff {
+namespace net {
+
+namespace {
+
+using statsdb::ResultSet;
+using util::Status;
+using util::StatusOr;
+
+/// Uniform error access across Status and StatusOr<T> results.
+inline const Status& AsStatus(const Status& s) { return s; }
+template <typename T>
+const Status& AsStatus(const StatusOr<T>& s) {
+  return s.status();
+}
+
+}  // namespace
+
+fault::RetryPolicy DefaultClientRetryPolicy() {
+  fault::RetryPolicy p;
+  p.max_attempts = 8;
+  p.base_backoff = 0.002;  // seconds: 2 ms first retry
+  p.backoff_multiplier = 2.0;
+  p.max_backoff = 0.25;  // cap any single wait at 250 ms
+  p.jitter = 0.25;
+  return p;
+}
+
+RetryingClient::RetryingClient(std::string host, uint16_t port,
+                               RetryingClientOptions options)
+    : host_(std::move(host)),
+      port_(port),
+      options_(std::move(options)),
+      rng_(options_.seed) {}
+
+void RetryingClient::DropConnection() {
+  client_.Close();
+  for (auto& [id, entry] : stmts_) entry.valid = false;
+}
+
+util::Status RetryingClient::EnsureConnected() {
+  if (client_.connected()) return Status::OK();
+  auto c = Client::Connect(host_, port_, options_.client);
+  if (!c.ok()) return c.status();
+  client_ = std::move(*c);
+  ++stats_.connects;
+  // Server-side statement ids belong to the dead session; anything
+  // prepared there must be prepared again before use.
+  for (auto& [id, entry] : stmts_) entry.valid = false;
+  return Status::OK();
+}
+
+void RetryingClient::Backoff(int retry) {
+  const double seconds = options_.policy.NextDelay(retry, &rng_);
+  if (seconds <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+template <typename Fn>
+auto RetryingClient::RunWithRetry(bool idempotent, Fn&& attempt)
+    -> decltype(attempt()) {
+  int failures = 0;
+  for (;;) {
+    bool retryable;
+    decltype(attempt()) result = [&]() -> decltype(attempt()) {
+      Status conn = EnsureConnected();
+      if (!conn.ok()) {
+        // A failed connect risked nothing — the request never left this
+        // process — so even a mutation may retry it.
+        retryable = true;
+        return conn;
+      }
+      auto r = attempt();
+      if (r.ok()) {
+        retryable = false;
+        return r;
+      }
+      if (client_.last_error_was_server_reported()) {
+        // The exchange worked; the error IS the answer. Retrying a
+        // deterministic error just repeats it — except kUnavailable,
+        // which is the server asking us to come back later.
+        retryable = options_.retry_unavailable && idempotent &&
+                    AsStatus(r).code() == util::StatusCode::kUnavailable;
+        if (retryable) DropConnection();
+        return r;
+      }
+      // Transport failure: the connection is in an unknown state (a
+      // response may be half-read, a request half-written) — it cannot
+      // be reused either way.
+      DropConnection();
+      retryable = idempotent;
+      return r;
+    }();
+    if (result.ok()) return result;
+    if (!retryable) {
+      ++stats_.not_retried;
+      return result;
+    }
+    ++failures;
+    if (!options_.policy.AllowsRetry(failures)) {
+      ++stats_.gave_up;
+      return result;
+    }
+    ++stats_.retries;
+    Backoff(failures);
+  }
+}
+
+util::Status RetryingClient::Connect() {
+  return RunWithRetry(/*idempotent=*/true,
+                      [&]() -> Status { return Status::OK(); });
+}
+
+util::StatusOr<ResultSet> RetryingClient::Query(const std::string& sql) {
+  const bool write = IsWriteStatement(sql);
+  return RunWithRetry(/*idempotent=*/!write, [&]() -> StatusOr<ResultSet> {
+    return client_.Query(sql);
+  });
+}
+
+util::StatusOr<ResultSet> RetryingClient::QueryRows(const std::string& sql) {
+  const bool write = IsWriteStatement(sql);
+  return RunWithRetry(/*idempotent=*/!write, [&]() -> StatusOr<ResultSet> {
+    return client_.QueryRows(sql);
+  });
+}
+
+util::StatusOr<RetryingClient::Handle> RetryingClient::Prepare(
+    const std::string& sql) {
+  // Preparing is pure parsing server-side — always idempotent, even for
+  // a mutation statement (executing it is what isn't).
+  auto prepared = RunWithRetry(
+      /*idempotent=*/true,
+      [&]() -> StatusOr<Client::Prepared> { return client_.Prepare(sql); });
+  if (!prepared.ok()) return prepared.status();
+  PreparedEntry entry;
+  entry.sql = sql;
+  entry.is_write = IsWriteStatement(sql);
+  entry.valid = true;
+  entry.server = *prepared;
+  Handle h{next_handle_++};
+  stmts_[h.id] = std::move(entry);
+  return h;
+}
+
+util::StatusOr<ResultSet> RetryingClient::ExecutePrepared(
+    Handle handle, const std::vector<statsdb::Value>& params) {
+  auto it = stmts_.find(handle.id);
+  if (it == stmts_.end()) {
+    return Status::FailedPrecondition("unknown prepared-statement handle " +
+                                      std::to_string(handle.id));
+  }
+  const bool write = it->second.is_write;
+  return RunWithRetry(/*idempotent=*/!write, [&]() -> StatusOr<ResultSet> {
+    PreparedEntry& entry = stmts_[handle.id];
+    if (!entry.valid) {
+      auto again = client_.Prepare(entry.sql);
+      if (!again.ok()) return again.status();
+      entry.server = *again;
+      entry.valid = true;
+      ++stats_.reprepared;
+    }
+    return client_.ExecutePrepared(entry.server, params);
+  });
+}
+
+util::Status RetryingClient::ClosePrepared(Handle handle) {
+  auto it = stmts_.find(handle.id);
+  if (it == stmts_.end()) {
+    return Status::FailedPrecondition("unknown prepared-statement handle " +
+                                      std::to_string(handle.id));
+  }
+  Status st = Status::OK();
+  if (it->second.valid && client_.connected()) {
+    st = client_.ClosePrepared(it->second.server);
+    if (!st.ok() && !client_.last_error_was_server_reported()) {
+      // Transport died mid-close; the session (and its statements) are
+      // gone with it, which closes the statement rather thoroughly.
+      DropConnection();
+      st = Status::OK();
+    }
+  }
+  stmts_.erase(it);
+  return st;
+}
+
+util::Status RetryingClient::RefreshServerStats() {
+  return RunWithRetry(/*idempotent=*/true, [&]() -> Status {
+    return client_.RefreshServerStats();
+  });
+}
+
+}  // namespace net
+}  // namespace ff

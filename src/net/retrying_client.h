@@ -1,0 +1,155 @@
+// RetryingClient: the resilience layer over Client — reconnects,
+// exponential backoff with jitter, transparent re-prepare, and
+// read-only auto-retry, built on the same fault::RetryPolicy shape the
+// simulated dataflow uses (PR 6), reinterpreted on the wall clock.
+//
+// Retry semantics (the error taxonomy, EXPERIMENTS.md §V):
+//
+//  * TRANSPORT failures — connect errors, send/recv errors, expired
+//    deadlines (kDeadlineMissed), torn or garbled frames (ParseError
+//    from the stream, not from SQL) — mean the response never arrived.
+//    For an IDEMPOTENT request (SELECT/EXPLAIN, Prepare, refresh-stats,
+//    executing a prepared read) the client reconnects, re-prepares any
+//    statement it needs, and retries under the policy's backoff ladder.
+//
+//  * SERVER-REPORTED errors — a well-formed kError frame — mean the
+//    exchange worked and the answer IS the error. Retrying would just
+//    recur, so these return immediately, byte-identical to in-process
+//    execution. The one configurable exception is kUnavailable
+//    ("overloaded" shedding / refused connection): fail-fast by
+//    default, opt-in retryable via retry_unavailable for clients that
+//    prefer waiting out an overload to erroring.
+//
+//  * MUTATIONS (INSERT/UPDATE/DELETE/CREATE/DROP) are NEVER auto-
+//    retried after they may have been sent: a transport failure leaves
+//    the statement's fate unknown (it may have committed before the
+//    connection died), and a blind re-send could double-apply it.
+//    Failures *before* the request could have reached the server
+//    (connect failures) are still retried — nothing was risked yet.
+//
+// Backoff delays are drawn from the policy via an owned util::Rng
+// stream (seeded per client), so a fleet of clients with distinct seeds
+// jitters apart deterministically. RetryPolicy's delay unit is
+// interpreted as SECONDS of wall time; the defaults here are
+// milliseconds-scale (2 ms base, ×2, 250 ms cap), not the simulation's
+// minutes-scale ladder.
+//
+// Like Client, a RetryingClient is single-threaded; open one per
+// client thread.
+
+#ifndef FF_NET_RETRYING_CLIENT_H_
+#define FF_NET_RETRYING_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fault/retry.h"
+#include "net/client.h"
+#include "statsdb/query.h"
+#include "util/rng.h"
+#include "util/statusor.h"
+
+namespace ff {
+namespace net {
+
+/// A retry ladder sized for loopback/datacenter wall time rather than
+/// simulated hours: 8 attempts, 2 ms base, doubling, 250 ms cap, 25%
+/// jitter.
+fault::RetryPolicy DefaultClientRetryPolicy();
+
+struct RetryingClientOptions {
+  ClientOptions client;
+  fault::RetryPolicy policy = DefaultClientRetryPolicy();
+  /// Seeds the jitter stream (and nothing else).
+  uint64_t seed = 0x5eedbacc0ffULL;
+  /// Retry requests the server shed with kUnavailable (overload
+  /// admission control). Default false: shed means the server wants
+  /// LESS traffic right now, and the bench's fail-fast gate depends on
+  /// shed requests erroring promptly.
+  bool retry_unavailable = false;
+};
+
+class RetryingClient {
+ public:
+  RetryingClient(std::string host, uint16_t port,
+                 RetryingClientOptions options);
+  RetryingClient(const RetryingClient&) = delete;
+  RetryingClient& operator=(const RetryingClient&) = delete;
+  RetryingClient(RetryingClient&&) = default;
+  RetryingClient& operator=(RetryingClient&&) = default;
+
+  /// Connects eagerly (with retries). The constructor alone is lazy —
+  /// the first request connects on demand.
+  util::Status Connect();
+
+  /// One SQL statement, batched result framing. Reads auto-retry;
+  /// mutations get exactly one wire attempt.
+  util::StatusOr<statsdb::ResultSet> Query(const std::string& sql);
+  /// Same, with the row-at-a-time result framing.
+  util::StatusOr<statsdb::ResultSet> QueryRows(const std::string& sql);
+
+  /// Client-local prepared-statement handle: survives reconnects (the
+  /// statement is transparently re-prepared on the new session).
+  struct Handle {
+    uint32_t id = 0;
+  };
+  util::StatusOr<Handle> Prepare(const std::string& sql);
+  util::StatusOr<statsdb::ResultSet> ExecutePrepared(
+      Handle handle, const std::vector<statsdb::Value>& params);
+  /// Forgets the handle; best-effort close on the live session.
+  util::Status ClosePrepared(Handle handle);
+
+  util::Status RefreshServerStats();
+
+  /// Wall-clock-free counters for benches and tests.
+  struct Stats {
+    uint64_t connects = 0;     // successful connections (1 = no drama)
+    uint64_t retries = 0;      // request attempts after the first
+    uint64_t reprepared = 0;   // statements re-prepared after reconnect
+    uint64_t gave_up = 0;      // requests that exhausted the ladder
+    uint64_t not_retried = 0;  // failed requests refused a retry
+                               //   (mutations / server-reported errors)
+  };
+  const Stats& stats() const { return stats_; }
+
+  bool connected() const { return client_.connected(); }
+  /// The underlying connection (tests poke at it).
+  Client& raw() { return client_; }
+
+ private:
+  struct PreparedEntry {
+    std::string sql;
+    bool is_write = false;
+    bool valid = false;  // server-side statement exists on this session
+    Client::Prepared server;
+  };
+
+  /// Reconnects if needed; invalidates prepared entries on a fresh
+  /// session.
+  util::Status EnsureConnected();
+  void DropConnection();
+  /// Sleeps out the ladder delay for failure number `retry` (1-based).
+  void Backoff(int retry);
+
+  /// Runs `attempt` under the retry discipline. `idempotent` gates
+  /// post-send retries; connect failures always retry.
+  template <typename Fn>
+  auto RunWithRetry(bool idempotent, Fn&& attempt)
+      -> decltype(attempt());
+
+  std::string host_;
+  uint16_t port_ = 0;
+  RetryingClientOptions options_;
+  util::Rng rng_;
+  Client client_;
+  std::map<uint32_t, PreparedEntry> stmts_;
+  uint32_t next_handle_ = 1;
+  Stats stats_;
+};
+
+}  // namespace net
+}  // namespace ff
+
+#endif  // FF_NET_RETRYING_CLIENT_H_

@@ -209,19 +209,39 @@ void Server::Stop() {
   // Quiesce: session tasks spawn writer jobs and writer jobs spawn
   // continuation tasks, but with the event thread gone nothing NEW
   // enters the system — so "no task in flight anywhere and the writer
-  // idle" is a stable fixpoint, not a race window.
+  // idle" is a stable fixpoint, not a race window. The event thread's
+  // flushing duty moves here: parked response bytes still reach their
+  // clients (the no-torn-frames drain guarantee), bounded by the
+  // write-stall timeout and, for the whole backlog, drain_deadline_ms.
+  const int64_t drain_start = obs::RuntimeNowNs();
+  bool forced = false;
   for (;;) {
     pool_->Wait();
     bool busy = false;
     for (auto& [fd, s] : sessions_) {
+      FlushOutbound(s);
       std::lock_guard<std::mutex> lk(s->mu);
-      busy |= s->task_in_flight || !s->pending.empty();
+      if (s->fatal) s->obuf.clear();
+      busy |= s->task_in_flight || !s->pending.empty() || !s->obuf.empty();
     }
     {
       std::lock_guard<std::mutex> lk(writer_mu_);
       busy |= !writer_jobs_.empty() || writer_busy_;
     }
     if (!busy) break;
+    if (!forced && config_.drain_deadline_ms > 0 &&
+        obs::RuntimeNowNs() - drain_start >
+            static_cast<int64_t>(config_.drain_deadline_ms) * 1000000) {
+      // Deadline: drop queued-but-unstarted work and parked bytes.
+      // Tasks already executing a statement still run to completion —
+      // the only thing a deadline cannot do is abort SQL mid-flight.
+      forced = true;
+      counters_.drain_forced.fetch_add(1, std::memory_order_relaxed);
+      for (auto& [fd, s] : sessions_) {
+        std::lock_guard<std::mutex> lk(s->mu);
+        s->fatal = true;
+      }
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 
@@ -300,6 +320,7 @@ void Server::EventLoop() {
     fds.clear();
     fds.push_back({wake_read_fd_, POLLIN, 0});
     fds.push_back({listen_fd_, POLLIN, 0});
+    bool want_tick = false;
     for (auto& [fd, s] : sessions_) {
       short events = 0;
       {
@@ -307,10 +328,17 @@ void Server::EventLoop() {
         // A poisoned or finished stream needs no more reads; the session
         // only waits for its task to drain before reaping.
         if (!s->eof && !s->parse_dead) events = POLLIN;
+        if (!s->obuf.empty() && !s->fatal) {
+          events |= POLLOUT;
+          want_tick = true;  // the write-stall clock is running
+        }
       }
       fds.push_back({fd, events, 0});
     }
-    if (poll(fds.data(), fds.size(), -1) < 0) {
+    // Idle and stall deadlines need the loop to wake even when no fd
+    // fires; 20 ms bounds their detection granularity.
+    if (config_.idle_timeout_ms > 0 && !sessions_.empty()) want_tick = true;
+    if (poll(fds.data(), fds.size(), want_tick ? 20 : -1) < 0) {
       if (errno == EINTR) continue;
       break;
     }
@@ -322,12 +350,42 @@ void Server::EventLoop() {
     if (stopping_.load(std::memory_order_acquire)) break;
     if (fds[1].revents & POLLIN) AcceptNew();
     for (size_t i = 2; i < fds.size(); ++i) {
+      auto it = sessions_.find(fds[i].fd);
+      if (it == sessions_.end()) continue;
       if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
-        auto it = sessions_.find(fds[i].fd);
-        if (it != sessions_.end()) PumpSession(it->second);
+        PumpSession(it->second);
+      }
+      if (fds[i].revents & POLLOUT) FlushOutbound(it->second);
+    }
+    // Deadline sweep: write-stall (also checked inside FlushOutbound,
+    // but a reader that never becomes writable never fires POLLOUT) and
+    // idle sessions.
+    const int64_t now = obs::RuntimeNowNs();
+    for (auto& [fd, s] : sessions_) {
+      std::lock_guard<std::mutex> lk(s->mu);
+      if (s->fatal) continue;
+      if (!s->obuf.empty() && config_.write_stall_timeout_ms > 0 &&
+          now - s->last_progress_ns >
+              static_cast<int64_t>(config_.write_stall_timeout_ms) * 1000000) {
+        counters_.stall_closed.fetch_add(1, std::memory_order_relaxed);
+        s->fatal = true;
+        s->obuf.clear();
+        continue;
+      }
+      // rbuf may hold a half-received frame — a client wedged mid-frame
+      // is exactly the slow-loris shape the idle timeout is for.
+      if (config_.idle_timeout_ms > 0 && !s->task_in_flight &&
+          s->pending.empty() && s->obuf.empty() &&
+          now - s->last_activity_ns >
+              static_cast<int64_t>(config_.idle_timeout_ms) * 1000000) {
+        counters_.idle_closed.fetch_add(1, std::memory_order_relaxed);
+        s->fatal = true;  // nothing buffered: the peer sees a clean close
       }
     }
-    // Reap sessions whose tasks flagged them done/fatal.
+    // Reap sessions whose tasks flagged them done/fatal. An EOF session
+    // still flushing parked bytes is NOT reaped — the peer half-closed
+    // and may well be reading our responses (that is what a pipelined
+    // client draining its tail looks like).
     std::vector<int> reap;
     {
       std::lock_guard<std::mutex> lk(reap_mu_);
@@ -339,7 +397,7 @@ void Server::EventLoop() {
       {
         std::lock_guard<std::mutex> lk(s.mu);
         close_now = !s.task_in_flight && s.pending.empty() &&
-                    (s.fatal || s.eof);
+                    (s.fatal || (s.eof && s.obuf.empty()));
       }
       if (close_now) {
         s.state->closed.store(true, std::memory_order_release);
@@ -361,9 +419,28 @@ void Server::AcceptNew() {
       continue;
     }
     SetNoDelay(fd);
+    if (config_.max_connections > 0 &&
+        sessions_.size() >= config_.max_connections) {
+      // Refuse with a reason: one typed kError frame, then close. The
+      // frame is a few dozen bytes into a fresh socket buffer, so the
+      // non-blocking send cannot meaningfully fall short.
+      counters_.refused_connections.fetch_add(1, std::memory_order_relaxed);
+      WireWriter w;
+      w.U8(static_cast<uint8_t>(util::StatusCode::kUnavailable));
+      const std::string msg =
+          "server at connection limit (" +
+          std::to_string(config_.max_connections) + ")";
+      w.Raw(msg.data(), msg.size());
+      std::string frame = EncodeFrame(Opcode::kError, w.buffer());
+      (void)send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+      close(fd);
+      continue;
+    }
+    counters_.accepted.fetch_add(1, std::memory_order_relaxed);
     auto s = std::make_shared<Session>();
     s->fd = fd;
     s->state = std::make_shared<SessionState>();
+    s->last_activity_ns = obs::RuntimeNowNs();
     {
       std::lock_guard<std::mutex> lk(registry_mu_);
       s->state->id = next_session_id_++;
@@ -398,6 +475,7 @@ void Server::PumpSession(const std::shared_ptr<Session>& s) {
   bool poisoned = false;
   {
     std::lock_guard<std::mutex> lk(s->mu);
+    s->last_activity_ns = now;
     if (!s->parse_dead) {
       for (;;) {
         FrameView f;
@@ -410,6 +488,7 @@ void Server::PumpSession(const std::shared_ptr<Session>& s) {
           bad.poisoned = true;
           bad.enqueue_ns = now;
           s->pending.push_back(std::move(bad));
+          pending_frames_.fetch_add(1, std::memory_order_relaxed);
           s->parse_dead = true;
           poisoned = true;
           break;
@@ -418,7 +497,15 @@ void Server::PumpSession(const std::shared_ptr<Session>& s) {
         pf.opcode = f.opcode;
         pf.body.assign(f.body.data(), f.body.size());
         pf.enqueue_ns = now;
+        // Admission control: a frame arriving over the global budget is
+        // queued SHED — it keeps its place in the session's order (the
+        // protocol is strictly in-order per session) but will be
+        // answered kUnavailable without ever reaching the engine.
+        pf.shed = config_.max_pending_frames > 0 &&
+                  pending_frames_.load(std::memory_order_relaxed) >=
+                      config_.max_pending_frames;
         s->pending.push_back(std::move(pf));
+        pending_frames_.fetch_add(1, std::memory_order_relaxed);
         s->rbuf.erase(0, consumed);
       }
       if (poisoned) s->rbuf.clear();
@@ -450,13 +537,19 @@ void Server::DrainSession(std::shared_ptr<Session> s) {
     {
       std::lock_guard<std::mutex> lk(s->mu);
       if (s->pending.empty() || s->fatal) {
-        if (s->fatal) s->pending.clear();
+        if (s->fatal) {
+          pending_frames_.fetch_sub(s->pending.size(),
+                                    std::memory_order_relaxed);
+          s->pending.clear();
+        }
         s->task_in_flight = false;
+        s->last_activity_ns = obs::RuntimeNowNs();
         break;
       }
       frame = std::move(s->pending.front());
       s->pending.pop_front();
     }
+    pending_frames_.fetch_sub(1, std::memory_order_relaxed);
     const uint64_t wait_ns = static_cast<uint64_t>(
         std::max<int64_t>(0, obs::RuntimeNowNs() - frame.enqueue_ns));
     breakdown_.queue_wait_ns.Record(wait_ns);
@@ -468,6 +561,18 @@ void Server::DrainSession(std::shared_ptr<Session> s) {
                         "the server frame limit"));
       std::lock_guard<std::mutex> lk(s->mu);
       s->fatal = true;
+      continue;
+    }
+
+    // Shed before classify/execute: an over-budget frame costs one
+    // error frame, never engine time (and never the writer queue).
+    if (frame.shed) {
+      counters_.shed_frames.fetch_add(1, std::memory_order_relaxed);
+      s->state->shed.fetch_add(1, std::memory_order_relaxed);
+      SendError(*s, Status::Unavailable(
+                        "overloaded: admission budget exceeded (" +
+                        std::to_string(config_.max_pending_frames) +
+                        " frames queued)"));
       continue;
     }
 
@@ -693,6 +798,7 @@ util::Status Server::RefreshRuntimeTablesLocked() {
     sr.closed = snap.closed;
     sr.queries = snap.queries;
     sr.errors = snap.errors;
+    sr.shed = snap.shed;
     sr.rows_out = snap.rows_out;
     sr.bytes_in = snap.bytes_in;
     sr.bytes_out = snap.bytes_out;
@@ -703,8 +809,19 @@ util::Status Server::RefreshRuntimeTablesLocked() {
     sr.send_ms = Ms(snap.send_ns);
     sessions.push_back(sr);
   }
+  obs::ServerRuntime server;
+  server.accepted = counters_.accepted.load(std::memory_order_relaxed);
+  server.refused_connections =
+      counters_.refused_connections.load(std::memory_order_relaxed);
+  server.shed_frames = counters_.shed_frames.load(std::memory_order_relaxed);
+  server.stall_closed = counters_.stall_closed.load(std::memory_order_relaxed);
+  server.overflow_closed =
+      counters_.overflow_closed.load(std::memory_order_relaxed);
+  server.idle_closed = counters_.idle_closed.load(std::memory_order_relaxed);
+  server.drain_forced = counters_.drain_forced.load(std::memory_order_relaxed);
   FF_RETURN_IF_ERROR(obs::LoadRuntimeCache(cache_stats, &db_).status());
   FF_RETURN_IF_ERROR(obs::LoadRuntimeSessions(sessions, &db_).status());
+  FF_RETURN_IF_ERROR(obs::LoadRuntimeServer(server, &db_).status());
   return Status::OK();
 }
 
@@ -722,6 +839,7 @@ std::vector<SessionSnapshot> Server::SessionStats() const {
     s.closed = st->closed.load(std::memory_order_acquire);
     s.queries = st->queries.load(std::memory_order_relaxed);
     s.errors = st->errors.load(std::memory_order_relaxed);
+    s.shed = st->shed.load(std::memory_order_relaxed);
     s.rows_out = st->rows_out.load(std::memory_order_relaxed);
     s.bytes_in = st->bytes_in.load(std::memory_order_relaxed);
     s.bytes_out = st->bytes_out.load(std::memory_order_relaxed);
@@ -795,41 +913,95 @@ void Server::SendFrame(Session& s, Opcode op, std::string_view body) {
   (void)SendAll(s, EncodeFrame(op, body));
 }
 
+util::Status Server::ParkLocked(Session& s, std::string_view rest) {
+  if (config_.max_outbound_buffer_bytes > 0 &&
+      s.obuf.size() + rest.size() > config_.max_outbound_buffer_bytes) {
+    counters_.overflow_closed.fetch_add(1, std::memory_order_relaxed);
+    s.obuf.clear();  // a capped reader never gets a torn tail, just EOF
+    return Status::IoError(
+        "outbound buffer cap exceeded (" +
+        std::to_string(config_.max_outbound_buffer_bytes) +
+        " bytes): slow reader closed");
+  }
+  if (s.obuf.empty()) s.last_progress_ns = obs::RuntimeNowNs();
+  s.obuf.append(rest.data(), rest.size());
+  return Status::OK();
+}
+
 util::Status Server::SendAll(Session& s, std::string_view data) {
   const int64_t t0 = obs::RuntimeNowNs();
-  size_t off = 0;
+  size_t sent = 0;
+  bool parked = false;
   Status result = Status::OK();
-  while (off < data.size()) {
-    ssize_t n = send(s.fd, data.data() + off, data.size() - off,
-                     MSG_NOSIGNAL);
-    if (n > 0) {
-      off += static_cast<size_t>(n);
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      pollfd p{s.fd, POLLOUT, 0};
-      int pr = poll(&p, 1, 10000);
-      if (pr <= 0) {
-        result = Status::IoError("send timed out");
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (s.fatal) return Status::IoError("session closed");
+    if (!s.obuf.empty()) {
+      // Bytes are already parked: append behind them (frame order) and
+      // let the event thread's POLLOUT flush carry everything.
+      result = ParkLocked(s, data);
+      parked = result.ok();
+    } else {
+      size_t off = 0;
+      while (off < data.size()) {
+        ssize_t n = send(s.fd, data.data() + off, data.size() - off,
+                         MSG_NOSIGNAL);
+        if (n > 0) {
+          off += static_cast<size_t>(n);
+          continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          // The kernel buffer is full. The old path blocked here (up
+          // to 10 s) on a poll — stalling a pool worker, or worse the
+          // writer thread, on ONE slow reader. Now the remainder parks
+          // and this thread moves on.
+          result = ParkLocked(s, data.substr(off));
+          parked = result.ok();
+          break;
+        }
+        result = Errno("send");  // EPIPE/ECONNRESET: peer went away
         break;
       }
-      continue;
+      sent = off;
     }
-    if (n < 0 && errno == EINTR) continue;
-    result = Errno("send");  // EPIPE/ECONNRESET: peer went away
-    break;
+    if (!result.ok()) s.fatal = true;
   }
   const uint64_t ns = static_cast<uint64_t>(
       std::max<int64_t>(0, obs::RuntimeNowNs() - t0));
   breakdown_.send_ns.Record(ns);
   s.state->send_ns.fetch_add(ns, std::memory_order_relaxed);
-  if (result.ok()) {
-    s.state->bytes_out.fetch_add(off, std::memory_order_relaxed);
-  } else {
-    std::lock_guard<std::mutex> lk(s.mu);
-    s.fatal = true;
+  if (sent > 0) {
+    s.state->bytes_out.fetch_add(sent, std::memory_order_relaxed);
   }
+  // The event thread must learn about new POLLOUT interest (parked
+  // bytes) or a newly fatal session either way.
+  if (parked || !result.ok()) WakeEventThread();
   return result;
+}
+
+void Server::FlushOutbound(const std::shared_ptr<Session>& s) {
+  std::lock_guard<std::mutex> lk(s->mu);
+  if (s->fatal || s->obuf.empty()) return;
+  size_t sent = 0;
+  while (sent < s->obuf.size()) {
+    ssize_t n = send(s->fd, s->obuf.data() + sent, s->obuf.size() - sent,
+                     MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    s->fatal = true;  // peer went away; parked bytes die with it
+    s->obuf.clear();
+    return;
+  }
+  if (sent > 0) {
+    s->obuf.erase(0, sent);
+    s->last_progress_ns = obs::RuntimeNowNs();
+    s->state->bytes_out.fetch_add(sent, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace net

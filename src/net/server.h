@@ -8,11 +8,14 @@
 //  * One EVENT thread runs a poll() loop over the listen socket, a
 //    self-pipe (wakeups), and every connected session. It accepts,
 //    reads, and splits the byte stream into frames (wire.h); it never
-//    executes SQL and never writes to a socket. Complete frames go onto
-//    the session's pending queue and at most ONE pool task per session
-//    is kept in flight to drain it — so frames of one session execute
-//    in order while different sessions proceed concurrently, even on a
-//    one-worker pool.
+//    executes SQL. Complete frames go onto the session's pending queue
+//    and at most ONE pool task per session is kept in flight to drain
+//    it — so frames of one session execute in order while different
+//    sessions proceed concurrently, even on a one-worker pool. The
+//    event thread also FLUSHES outbound buffers on POLLOUT: response
+//    bytes a slow reader would not take stay parked per session (see
+//    Session::obuf) instead of stalling the sender, and the event
+//    thread enforces the write-stall / idle deadlines on them.
 //
 //  * The POOL workers run session tasks. A task drains its session's
 //    queue: classify the statement, execute, serialize, send — the
@@ -98,6 +101,51 @@ struct ServerConfig {
   /// Morsel sizing forwarded to the database's ParallelConfig.
   size_t morsel_chunks = 1;
   size_t min_chunks = 4;
+
+  // Overload / robustness limits. Every limit that fires is counted in
+  // ServerCounters and exported through the runtime_server table, so a
+  // client can read the overload ledger back over the wire.
+
+  /// Connection ceiling; 0 = unlimited. The connection OVER the limit
+  /// is still accepted, answered one typed kError frame (kUnavailable,
+  /// "server at connection limit"), and closed — a refused client gets
+  /// a reason, not a silent RST.
+  size_t max_connections = 0;
+  /// Global admission budget: total frames queued across all sessions;
+  /// 0 = unlimited. A frame arriving over budget is NOT executed — the
+  /// drain task answers it kUnavailable("overloaded: ...") immediately,
+  /// shedding load in frame-arrival order while the session survives.
+  size_t max_pending_frames = 0;
+  /// Per-session cap on response bytes parked for a slow reader; 0 =
+  /// unlimited. Exceeding it closes the session (overflow_closed):
+  /// a reader this far behind is holding server memory hostage.
+  size_t max_outbound_buffer_bytes = 0;
+  /// A session whose parked outbound bytes make NO progress for this
+  /// long is closed (stall_closed). Replaces the old hard-coded 10 s
+  /// in-send poll: responses now park in the outbound buffer and flush
+  /// asynchronously, so a stalled reader costs memory, never a thread.
+  int write_stall_timeout_ms = 10000;
+  /// A session with no request activity and nothing in flight for this
+  /// long is closed cleanly (idle_closed); 0 = never.
+  int idle_timeout_ms = 0;
+  /// Stop() waits this long for in-flight work to drain before forcing
+  /// sessions closed (drain_forced); 0 = wait forever. Statements
+  /// already executing always run to completion — the deadline bounds
+  /// the queued-but-unstarted backlog.
+  int drain_deadline_ms = 0;
+};
+
+/// Server-wide robustness counters: one per configured limit, counting
+/// how often it fired (plus `accepted`, the denominator). Exported as
+/// the runtime_server table by RefreshRuntimeTables.
+struct ServerCounters {
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> refused_connections{0};
+  std::atomic<uint64_t> shed_frames{0};
+  std::atomic<uint64_t> stall_closed{0};
+  std::atomic<uint64_t> overflow_closed{0};
+  std::atomic<uint64_t> idle_closed{0};
+  std::atomic<uint64_t> drain_forced{0};
 };
 
 /// Per-session counters, exported as one row of the `runtime_sessions`
@@ -108,6 +156,7 @@ struct SessionState {
   std::atomic<bool> closed{false};
   std::atomic<uint64_t> queries{0};      // kQuery + kExecute frames
   std::atomic<uint64_t> errors{0};       // kError frames answered
+  std::atomic<uint64_t> shed{0};         // frames refused by admission
   std::atomic<uint64_t> rows_out{0};     // result rows serialized
   std::atomic<uint64_t> bytes_in{0};     // frame bytes received
   std::atomic<uint64_t> bytes_out{0};    // frame bytes sent
@@ -124,6 +173,7 @@ struct SessionSnapshot {
   bool closed = false;
   uint64_t queries = 0;
   uint64_t errors = 0;
+  uint64_t shed = 0;
   uint64_t rows_out = 0;
   uint64_t bytes_in = 0;
   uint64_t bytes_out = 0;
@@ -180,6 +230,7 @@ class Server {
   /// Snapshot of every session ever accepted (closed ones included).
   std::vector<SessionSnapshot> SessionStats() const;
   const RequestBreakdown& breakdown() const { return breakdown_; }
+  const ServerCounters& counters() const { return counters_; }
   parallel::ThreadPool& pool() { return *pool_; }
 
  private:
@@ -188,6 +239,7 @@ class Server {
     std::string body;
     int64_t enqueue_ns = 0;
     bool poisoned = false;  // framing broke; answer kError and close
+    bool shed = false;      // over admission budget; answer kUnavailable
   };
 
   struct Session {
@@ -201,6 +253,17 @@ class Server {
     bool fatal = false;       // set by the task: close once drained
     bool eof = false;         // peer closed its end
     bool parse_dead = false;  // framing broke: stop parsing the stream
+
+    // Outbound buffer: response bytes the kernel would not take
+    // immediately. SendAll parks them here and the event thread
+    // flushes on POLLOUT — no server thread ever blocks on a slow
+    // reader. Guarded by mu, like the pending queue; the send side is
+    // serialized BY mu now (task / writer-thread sends and event-thread
+    // flushes interleave whole send() calls, and frame order is
+    // preserved because a send appends behind a non-empty obuf).
+    std::string obuf;
+    int64_t last_progress_ns = 0;  // last time obuf bytes reached the fd
+    int64_t last_activity_ns = 0;  // last read / completed drain
 
     // Task-side state; only the single in-flight task touches these.
     std::map<uint32_t, statsdb::PreparedStatement> stmts;
@@ -252,8 +315,17 @@ class Server {
   void SendResult(Session& s, const statsdb::ResultSet& rs, uint8_t flags);
   void SendError(Session& s, const util::Status& st);
   void SendFrame(Session& s, Opcode op, std::string_view body);
-  /// Full blocking send on a non-blocking fd (POLLOUT waits, EPIPE-safe).
+  /// Queues `data` for the session: sends what the kernel takes now,
+  /// parks the rest in the outbound buffer (flushed by the event
+  /// thread on POLLOUT). Never blocks. Fails — and marks the session
+  /// fatal — on a hard socket error or the outbound-buffer cap.
   util::Status SendAll(Session& s, std::string_view data);
+  /// Appends to the outbound buffer under s.mu, enforcing
+  /// max_outbound_buffer_bytes.
+  util::Status ParkLocked(Session& s, std::string_view rest);
+  /// Drains as much of the outbound buffer as the kernel takes;
+  /// enforces write_stall_timeout_ms on no-progress sessions.
+  void FlushOutbound(const std::shared_ptr<Session>& s);
 
   void WakeEventThread();
 
@@ -262,6 +334,9 @@ class Server {
   std::unique_ptr<parallel::ThreadPool> pool_;
   ReadGate gate_;
   RequestBreakdown breakdown_;
+  ServerCounters counters_;
+  /// Frames queued across ALL sessions — the admission-control level.
+  std::atomic<size_t> pending_frames_{0};
 
   int listen_fd_ = -1;
   int wake_read_fd_ = -1;

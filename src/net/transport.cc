@@ -1,0 +1,150 @@
+#include "net/transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/status.h"
+
+namespace ff {
+namespace net {
+
+namespace {
+
+using util::Status;
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+Status Deadline(const char* what, int timeout_ms) {
+  return Status::DeadlineMissed(std::string(what) + " deadline (" +
+                                std::to_string(timeout_ms) + " ms) expired");
+}
+
+/// poll() for `events` on `fd`. timeout_ms 0 = wait forever. Returns OK
+/// when ready, kDeadlineMissed on expiry, IoError on poll failure.
+Status WaitFor(int fd, short events, int timeout_ms, const char* what) {
+  pollfd p{fd, events, 0};
+  for (;;) {
+    int pr = poll(&p, 1, timeout_ms > 0 ? timeout_ms : -1);
+    if (pr > 0) return Status::OK();
+    if (pr == 0) return Deadline(what, timeout_ms);
+    if (errno == EINTR) continue;
+    return Errno("poll");
+  }
+}
+
+}  // namespace
+
+SocketTransport::~SocketTransport() { Close(); }
+
+void SocketTransport::Close() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+}
+
+util::StatusOr<std::unique_ptr<SocketTransport>> SocketTransport::Connect(
+    const std::string& host, uint16_t port,
+    const TransportDeadlines& deadlines) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  if (Status st = SetNonBlocking(fd); !st.ok()) {
+    close(fd);
+    return st;
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS) {
+      Status st = Errno("connect");
+      close(fd);
+      return st;
+    }
+    // Non-blocking connect: wait for writability, then read the final
+    // verdict out of SO_ERROR (POLLOUT alone also fires on failure).
+    Status st =
+        WaitFor(fd, POLLOUT, deadlines.connect_timeout_ms, "connect");
+    if (st.ok()) {
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+        st = Errno("getsockopt(SO_ERROR)");
+      } else if (err != 0) {
+        st = Status::IoError(std::string("connect: ") + std::strerror(err));
+      }
+    }
+    if (!st.ok()) {
+      close(fd);
+      return st;
+    }
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<SocketTransport>(
+      new SocketTransport(fd, deadlines));
+}
+
+util::StatusOr<std::unique_ptr<SocketTransport>> SocketTransport::Adopt(
+    int fd, const TransportDeadlines& deadlines) {
+  if (fd < 0) return Status::InvalidArgument("Adopt: negative fd");
+  if (Status st = SetNonBlocking(fd); !st.ok()) {
+    close(fd);
+    return st;
+  }
+  return std::unique_ptr<SocketTransport>(
+      new SocketTransport(fd, deadlines));
+}
+
+util::StatusOr<size_t> SocketTransport::Send(const char* data, size_t n) {
+  if (fd_ < 0) return Status::FailedPrecondition("transport closed");
+  for (;;) {
+    ssize_t sent = send(fd_, data, n, MSG_NOSIGNAL);
+    if (sent > 0) return static_cast<size_t>(sent);
+    if (sent < 0 && errno == EINTR) continue;
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      FF_RETURN_IF_ERROR(
+          WaitFor(fd_, POLLOUT, deadlines_.io_timeout_ms, "write"));
+      continue;
+    }
+    return Errno("send");
+  }
+}
+
+util::StatusOr<size_t> SocketTransport::Recv(char* buf, size_t n) {
+  if (fd_ < 0) return Status::FailedPrecondition("transport closed");
+  for (;;) {
+    ssize_t got = recv(fd_, buf, n, 0);
+    if (got >= 0) return static_cast<size_t>(got);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      FF_RETURN_IF_ERROR(
+          WaitFor(fd_, POLLIN, deadlines_.io_timeout_ms, "read"));
+      continue;
+    }
+    return Errno("recv");
+  }
+}
+
+}  // namespace net
+}  // namespace ff

@@ -1,0 +1,98 @@
+// Byte-stream transport abstraction under the served-statsdb client.
+//
+// The wire protocol (wire.h) only needs two primitives — "push some
+// bytes" and "pull some bytes" — so the client reads and writes through
+// this interface instead of a raw fd. That buys two things:
+//
+//  * Deadlines. SocketTransport runs its socket non-blocking and waits
+//    in poll() with explicit connect/read/write timeouts, so a stalled
+//    or silent peer surfaces as kDeadlineMissed instead of hanging the
+//    caller forever. Timeouts default to 0 (= wait forever), keeping
+//    the fair-weather behaviour byte-identical for existing users.
+//
+//  * Fault injection. chaos_transport.h decorates any Transport with a
+//    seeded schedule of partial I/O, delays, corruption and resets; the
+//    client can be pointed at a chaotic network without knowing it.
+//
+// Both Send and Recv are allowed to move FEWER bytes than asked — the
+// caller loops. That contract is what makes partial-I/O injection a
+// pure decorator: a short count from chaos is indistinguishable from a
+// short count from the kernel, which is exactly the point.
+
+#ifndef FF_NET_TRANSPORT_H_
+#define FF_NET_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/statusor.h"
+
+namespace ff {
+namespace net {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends up to `n` bytes; returns the count actually sent (>= 1) or an
+  /// error. May send fewer than asked — callers loop.
+  virtual util::StatusOr<size_t> Send(const char* data, size_t n) = 0;
+
+  /// Receives up to `n` bytes into `buf`; returns the count received, 0
+  /// for a clean end-of-stream, or an error. May return fewer than `n`.
+  virtual util::StatusOr<size_t> Recv(char* buf, size_t n) = 0;
+
+  /// Releases the underlying resources; further I/O fails.
+  virtual void Close() = 0;
+};
+
+/// Deadline knobs for SocketTransport (and thereby Client). All values
+/// in milliseconds; 0 means "no deadline" — block forever, the seed
+/// behaviour.
+struct TransportDeadlines {
+  int connect_timeout_ms = 0;
+  int io_timeout_ms = 0;
+};
+
+/// A TCP socket with poll()-based deadlines. The fd is non-blocking for
+/// its whole life; every wait happens in poll() with the configured
+/// timeout, and a wait that expires returns
+/// kDeadlineMissed("... deadline (<N> ms) expired").
+class SocketTransport : public Transport {
+ public:
+  ~SocketTransport() override;
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  /// Connects to host:port (IPv4 dotted quad). With a connect deadline,
+  /// the connect itself is non-blocking + poll; without one it may block
+  /// as long as the kernel lets it.
+  static util::StatusOr<std::unique_ptr<SocketTransport>> Connect(
+      const std::string& host, uint16_t port,
+      const TransportDeadlines& deadlines);
+
+  /// Wraps an already-connected fd (server-side accept, socketpair in
+  /// tests). Takes ownership; switches the fd non-blocking.
+  static util::StatusOr<std::unique_ptr<SocketTransport>> Adopt(
+      int fd, const TransportDeadlines& deadlines);
+
+  util::StatusOr<size_t> Send(const char* data, size_t n) override;
+  util::StatusOr<size_t> Recv(char* buf, size_t n) override;
+  void Close() override;
+
+  int fd() const { return fd_; }
+
+ private:
+  SocketTransport(int fd, const TransportDeadlines& deadlines)
+      : fd_(fd), deadlines_(deadlines) {}
+
+  int fd_ = -1;
+  TransportDeadlines deadlines_;
+};
+
+}  // namespace net
+}  // namespace ff
+
+#endif  // FF_NET_TRANSPORT_H_

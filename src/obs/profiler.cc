@@ -219,6 +219,7 @@ util::StatusOr<Table*> LoadRuntimeSessions(
                       Column{"closed", DataType::kBool},
                       Column{"queries", DataType::kInt64},
                       Column{"errors", DataType::kInt64},
+                      Column{"shed", DataType::kInt64},
                       Column{"rows_out", DataType::kInt64},
                       Column{"bytes_in", DataType::kInt64},
                       Column{"bytes_out", DataType::kInt64},
@@ -236,6 +237,7 @@ util::StatusOr<Table*> LoadRuntimeSessions(
         .Bool(s.closed)
         .Int64(static_cast<int64_t>(s.queries))
         .Int64(static_cast<int64_t>(s.errors))
+        .Int64(static_cast<int64_t>(s.shed))
         .Int64(static_cast<int64_t>(s.rows_out))
         .Int64(static_cast<int64_t>(s.bytes_in))
         .Int64(static_cast<int64_t>(s.bytes_out))
@@ -244,6 +246,33 @@ util::StatusOr<Table*> LoadRuntimeSessions(
         .Double(s.exec_ms)
         .Double(s.serialize_ms)
         .Double(s.send_ms);
+    FF_RETURN_IF_ERROR(app.EndRow());
+  }
+  FF_RETURN_IF_ERROR(app.Finish());
+  return table;
+}
+
+util::StatusOr<Table*> LoadRuntimeServer(const ServerRuntime& server,
+                                         statsdb::Database* db,
+                                         const std::string& table_name) {
+  FF_ASSIGN_OR_RETURN(Schema schema,
+                      Schema::Create({Column{"counter", DataType::kString},
+                                      Column{"value", DataType::kInt64}}));
+  FF_ASSIGN_OR_RETURN(Table * table,
+                      FreshTable(db, table_name, std::move(schema)));
+  const std::pair<const char*, uint64_t> rows[] = {
+      {"accepted", server.accepted},
+      {"refused_connections", server.refused_connections},
+      {"shed_frames", server.shed_frames},
+      {"stall_closed", server.stall_closed},
+      {"overflow_closed", server.overflow_closed},
+      {"idle_closed", server.idle_closed},
+      {"drain_forced", server.drain_forced},
+  };
+  Table::BulkAppender app(table);
+  app.Reserve(std::size(rows));
+  for (const auto& [name, value] : rows) {
+    app.String(name).Int64(static_cast<int64_t>(value));
     FF_RETURN_IF_ERROR(app.EndRow());
   }
   FF_RETURN_IF_ERROR(app.Finish());

@@ -74,6 +74,7 @@ struct SessionRuntime {
   bool closed = false;
   uint64_t queries = 0;
   uint64_t errors = 0;
+  uint64_t shed = 0;
   uint64_t rows_out = 0;
   uint64_t bytes_in = 0;
   uint64_t bytes_out = 0;
@@ -84,14 +85,35 @@ struct SessionRuntime {
   double send_ms = 0.0;
 };
 
-/// runtime_sessions(session, closed, queries, errors, rows_out,
+/// runtime_sessions(session, closed, queries, errors, shed, rows_out,
 ///                  bytes_in, bytes_out, prepared_open, queue_wait_ms,
 ///                  exec_ms, serialize_ms, send_ms) — one row per
 /// session ever accepted, alongside runtime_cache for the served
-/// database's dashboard.
+/// database's dashboard. `shed` counts frames refused by admission
+/// control (answered kUnavailable without executing).
 util::StatusOr<statsdb::Table*> LoadRuntimeSessions(
     const std::vector<SessionRuntime>& sessions, statsdb::Database* db,
     const std::string& table_name = "runtime_sessions");
+
+/// Server-wide robustness counters (net/server.h overload-control
+/// limits), mirrored as plain data for the same layering reason as
+/// SessionRuntime.
+struct ServerRuntime {
+  uint64_t accepted = 0;             // connections admitted
+  uint64_t refused_connections = 0;  // over max_connections
+  uint64_t shed_frames = 0;          // admission budget exceeded
+  uint64_t stall_closed = 0;         // write_stall_timeout expirations
+  uint64_t overflow_closed = 0;      // outbound-buffer cap closes
+  uint64_t idle_closed = 0;          // idle read-timeout closes
+  uint64_t drain_forced = 0;         // Stop() drain deadline hit
+};
+
+/// runtime_server(counter, value) — one row per ServerRuntime field, so
+/// a dashboard (or the chaos bench) can read the server's own overload
+/// ledger over the wire after a kRefreshStats.
+util::StatusOr<statsdb::Table*> LoadRuntimeServer(
+    const ServerRuntime& server, statsdb::Database* db,
+    const std::string& table_name = "runtime_server");
 
 /// Multi-line human-readable pool summary: occupancy, per-worker
 /// run/idle/steal split, task-latency quantiles, queue peaks.

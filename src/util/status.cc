@@ -29,6 +29,8 @@ const char* StatusCodeName(StatusCode code) {
       return "CapacityExceeded";
     case StatusCode::kDeadlineMissed:
       return "DeadlineMissed";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -29,7 +29,12 @@ enum class StatusCode {
   kParseError = 9,
   kCapacityExceeded = 10,
   kDeadlineMissed = 11,
+  kUnavailable = 12,
 };
+
+/// Highest StatusCode value in use — wire decoders validating a code
+/// byte check against this instead of hard-coding the last enumerator.
+inline constexpr StatusCode kMaxStatusCode = StatusCode::kUnavailable;
 
 /// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
 const char* StatusCodeName(StatusCode code);
@@ -80,6 +85,9 @@ class Status {
   static Status DeadlineMissed(std::string msg) {
     return Status(StatusCode::kDeadlineMissed, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -107,6 +115,7 @@ class Status {
   bool IsDeadlineMissed() const {
     return code() == StatusCode::kDeadlineMissed;
   }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
